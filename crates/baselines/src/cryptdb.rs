@@ -1,0 +1,170 @@
+//! CryptDB onion join (Popa et al. 2011): deterministic join labels
+//! wrapped in a probabilistic onion layer. Nothing is comparable at
+//! `t0`; the **first** join query on a column pair strips the onion from
+//! *every* row of both columns, after which all equal pairs are visible
+//! forever — the paper's `t1` analysis in §2.1.
+
+use crate::ground_truth;
+use crate::traits::{JoinScheme, QueryOutcome, SchemeSetup};
+use eqjoin_crypto::{AeadKey, ChaChaRng, Prf};
+use eqjoin_db::{JoinQuery, Table, Value};
+use eqjoin_leakage::PairSet;
+
+/// State of the CryptDB-style onion scheme.
+pub struct CryptDbScheme {
+    det: Prf,
+    onion: AeadKey,
+    rng: ChaChaRng,
+    left: Option<(Table, String)>,
+    right: Option<(Table, String)>,
+    /// Onion ciphertexts as uploaded (demonstration of the mechanism).
+    onion_cells: Vec<Vec<u8>>,
+    peeled: bool,
+    all_pairs: PairSet,
+}
+
+impl CryptDbScheme {
+    /// Fresh scheme seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let det = Prf::generate(&mut rng);
+        let onion = AeadKey::generate(&mut rng);
+        CryptDbScheme {
+            det,
+            onion,
+            rng,
+            left: None,
+            right: None,
+            onion_cells: Vec::new(),
+            peeled: false,
+            all_pairs: PairSet::new(),
+        }
+    }
+
+    /// Whether the onion layer has been stripped.
+    pub fn onion_peeled(&self) -> bool {
+        self.peeled
+    }
+
+    fn wrap(&mut self, value: &Value) -> Vec<u8> {
+        let det_label = self.det.eval(&value.canonical_bytes());
+        self.onion.seal(&mut self.rng, b"onion", &det_label)
+    }
+
+    /// Peel one onion cell (what the server does once it holds the onion
+    /// key) — returns the deterministic label.
+    pub fn peel(&self, cell: &[u8]) -> Option<Vec<u8>> {
+        self.onion.open(b"onion", cell).ok()
+    }
+}
+
+impl JoinScheme for CryptDbScheme {
+    fn name(&self) -> &'static str {
+        "cryptdb-onion"
+    }
+
+    fn upload(&mut self, left: &Table, right: &Table, setup: &SchemeSetup) -> PairSet {
+        // Probabilistic wrapping: no two cells are comparable at t0.
+        let lcol = left
+            .schema
+            .column_index(&setup.left.0)
+            .expect("join column");
+        let rcol = right
+            .schema
+            .column_index(&setup.right.0)
+            .expect("join column");
+        self.onion_cells.clear();
+        for row in &left.rows {
+            let cell = self.wrap(row.get(lcol));
+            self.onion_cells.push(cell);
+        }
+        for row in &right.rows {
+            let cell = self.wrap(row.get(rcol));
+            self.onion_cells.push(cell);
+        }
+        self.all_pairs =
+            ground_truth::all_equality_pairs(left, right, &setup.left.0, &setup.right.0);
+        self.left = Some((left.clone(), setup.left.0.clone()));
+        self.right = Some((right.clone(), setup.right.0.clone()));
+        self.peeled = false;
+        PairSet::new() // nothing visible at t0
+    }
+
+    fn run_query(&mut self, query: &JoinQuery) -> QueryOutcome {
+        // The first join on this column pair hands the onion key to the
+        // server: the probabilistic layer comes off every row.
+        self.peeled = true;
+        let (left, _) = self.left.as_ref().expect("upload first");
+        let (right, _) = self.right.as_ref().expect("upload first");
+        QueryOutcome {
+            result_pairs: ground_truth::reference_join(left, right, query),
+            per_query_leakage: ground_truth::sigma(left, right, query),
+        }
+    }
+
+    fn visible_pairs(&self) -> PairSet {
+        if self.peeled {
+            self.all_pairs.clone()
+        } else {
+            PairSet::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::example_2_1;
+
+    fn setup() -> SchemeSetup {
+        SchemeSetup {
+            left: ("Key".into(), vec!["Name".into()]),
+            right: ("Team".into(), vec!["Role".into()]),
+            t: 2,
+        }
+    }
+
+    fn t1_query() -> JoinQuery {
+        JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Web Application".into()])
+            .filter("Employees", "Role", vec!["Tester".into()])
+    }
+
+    #[test]
+    fn nothing_at_t0_everything_at_t1() {
+        let (teams, employees) = example_2_1();
+        let mut scheme = CryptDbScheme::new(3);
+        let t0 = scheme.upload(&teams, &employees, &setup());
+        assert!(t0.is_empty(), "onion hides everything at t0");
+        assert!(scheme.visible_pairs().is_empty());
+        assert!(!scheme.onion_peeled());
+
+        let out = scheme.run_query(&t1_query());
+        assert_eq!(out.result_pairs, vec![(0, 1)]);
+        assert!(scheme.onion_peeled());
+        assert_eq!(
+            scheme.visible_pairs().len(),
+            6,
+            "first query exposes the whole column pair"
+        );
+    }
+
+    #[test]
+    fn onion_cells_are_probabilistic_but_peel_to_det_labels() {
+        let (teams, employees) = example_2_1();
+        let mut scheme = CryptDbScheme::new(3);
+        scheme.upload(&teams, &employees, &setup());
+        // Teams rows 0,1 then Employees rows 0..4; employees 0 and 1
+        // share team 1 — wrapped cells differ, peeled labels agree.
+        let cells = scheme.onion_cells.clone();
+        assert_ne!(cells[2], cells[3], "probabilistic wrapping");
+        let l0 = scheme.peel(&cells[2]).unwrap();
+        let l1 = scheme.peel(&cells[3]).unwrap();
+        assert_eq!(l0, l1, "equal join values peel to equal labels");
+        let l2 = scheme.peel(&cells[4]).unwrap();
+        assert_ne!(l0, l2);
+        // Cross-table: Teams row 0 (key 1) matches employees of team 1.
+        let t0 = scheme.peel(&cells[0]).unwrap();
+        assert_eq!(t0, l0);
+    }
+}

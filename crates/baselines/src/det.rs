@@ -1,0 +1,110 @@
+//! Deterministic-encryption join (Hacigümüs et al., the first proposal):
+//! every join value is deterministically encrypted to the same label, so
+//! the server sees **all** equal pairs already at upload time `t0` —
+//! the weakest baseline in the paper's §2.1 analysis.
+
+use crate::ground_truth;
+use crate::traits::{JoinScheme, QueryOutcome, SchemeSetup};
+use eqjoin_crypto::Prf;
+use eqjoin_db::{JoinQuery, Table};
+use eqjoin_leakage::PairSet;
+
+/// State of the deterministic-encryption scheme.
+pub struct DetScheme {
+    prf: Prf,
+    left: Option<(Table, String)>,
+    right: Option<(Table, String)>,
+    visible: PairSet,
+}
+
+impl DetScheme {
+    /// Fresh scheme with the given deterministic-encryption key.
+    pub fn new(key: [u8; 32]) -> Self {
+        DetScheme {
+            prf: Prf::from_key(key),
+            left: None,
+            right: None,
+            visible: PairSet::new(),
+        }
+    }
+
+    /// The deterministic label of a join value (what the server stores).
+    pub fn label(&self, value: &eqjoin_db::Value) -> [u8; 32] {
+        self.prf.eval(&value.canonical_bytes())
+    }
+}
+
+impl JoinScheme for DetScheme {
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+
+    fn upload(&mut self, left: &Table, right: &Table, setup: &SchemeSetup) -> PairSet {
+        // Labels are deterministic: the server can compare everything
+        // immediately. Visible-at-t0 = all true equality pairs.
+        self.left = Some((left.clone(), setup.left.0.clone()));
+        self.right = Some((right.clone(), setup.right.0.clone()));
+        self.visible = ground_truth::all_equality_pairs(left, right, &setup.left.0, &setup.right.0);
+        self.visible.clone()
+    }
+
+    fn run_query(&mut self, query: &JoinQuery) -> QueryOutcome {
+        let (left, _) = self.left.as_ref().expect("upload first");
+        let (right, _) = self.right.as_ref().expect("upload first");
+        QueryOutcome {
+            result_pairs: ground_truth::reference_join(left, right, query),
+            per_query_leakage: ground_truth::sigma(left, right, query),
+        }
+    }
+
+    fn visible_pairs(&self) -> PairSet {
+        self.visible.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::example_2_1;
+
+    fn setup() -> SchemeSetup {
+        SchemeSetup {
+            left: ("Key".into(), vec!["Name".into()]),
+            right: ("Team".into(), vec!["Role".into()]),
+            t: 2,
+        }
+    }
+
+    #[test]
+    fn all_six_pairs_at_t0() {
+        let (teams, employees) = example_2_1();
+        let mut scheme = DetScheme::new([1; 32]);
+        let t0 = scheme.upload(&teams, &employees, &setup());
+        assert_eq!(t0.len(), 6, "DET leaks everything at upload");
+        assert_eq!(scheme.visible_pairs().len(), 6);
+    }
+
+    #[test]
+    fn labels_deterministic_and_key_dependent() {
+        let s1 = DetScheme::new([1; 32]);
+        let s2 = DetScheme::new([2; 32]);
+        let v = eqjoin_db::Value::Int(42);
+        assert_eq!(s1.label(&v), s1.label(&v));
+        assert_ne!(s1.label(&v), s2.label(&v));
+        assert_ne!(s1.label(&v), s1.label(&eqjoin_db::Value::Int(43)));
+    }
+
+    #[test]
+    fn queries_answer_correctly_without_new_leakage() {
+        let (teams, employees) = example_2_1();
+        let mut scheme = DetScheme::new([1; 32]);
+        scheme.upload(&teams, &employees, &setup());
+        let q = JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Web Application".into()])
+            .filter("Employees", "Role", vec!["Tester".into()]);
+        let out = scheme.run_query(&q);
+        assert_eq!(out.result_pairs, vec![(0, 1)]);
+        // Visible set unchanged (already maximal).
+        assert_eq!(scheme.visible_pairs().len(), 6);
+    }
+}

@@ -1,0 +1,219 @@
+//! Plaintext ground truth: which rows a query selects, which pairs have
+//! a true equality condition, and the per-query minimal leakage
+//! `σ(qᵢ)`. Used to calibrate every scheme's leakage accounting and to
+//! verify join results.
+
+use eqjoin_db::{JoinQuery, Table, Value};
+use eqjoin_leakage::{Node, PairSet};
+
+/// Rows of `table` matching all of the query's `IN` predicates bound to
+/// it (all rows when unconstrained).
+pub fn selected_rows(table: &Table, query: &JoinQuery) -> Vec<usize> {
+    let filters = query.filters_for(&table.schema.name);
+    table
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            filters.iter().all(|f| {
+                table
+                    .schema
+                    .column_index(&f.column)
+                    .map(|idx| f.values.contains(row.get(idx)))
+                    .unwrap_or(false)
+            })
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn join_value<'t>(table: &'t Table, row: usize, column: &str) -> &'t Value {
+    let idx = table
+        .schema
+        .column_index(column)
+        .expect("join column exists");
+    table.rows[row].get(idx)
+}
+
+/// The reference join result: `(left row, right row)` pairs with equal
+/// join values among *selected* rows.
+pub fn reference_join(left: &Table, right: &Table, query: &JoinQuery) -> Vec<(usize, usize)> {
+    let ls = selected_rows(left, query);
+    let rs = selected_rows(right, query);
+    let mut out = Vec::new();
+    for &l in &ls {
+        let lv = join_value(left, l, &query.left_join_column);
+        for &r in &rs {
+            if lv == join_value(right, r, &query.right_join_column) {
+                out.push((l, r));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The per-query minimal leakage `σ(q)` (Definition 5.2): all equality
+/// pairs among the pooled selected rows of both tables — including
+/// within-table pairs, which complete the transitive closure.
+pub fn sigma(left: &Table, right: &Table, query: &JoinQuery) -> PairSet {
+    let mut pool: Vec<(Node, Value)> = Vec::new();
+    for row in selected_rows(left, query) {
+        pool.push((
+            Node::new(&left.schema.name, row),
+            join_value(left, row, &query.left_join_column).clone(),
+        ));
+    }
+    for row in selected_rows(right, query) {
+        pool.push((
+            Node::new(&right.schema.name, row),
+            join_value(right, row, &query.right_join_column).clone(),
+        ));
+    }
+    let mut set = PairSet::new();
+    for i in 0..pool.len() {
+        for j in i + 1..pool.len() {
+            if pool[i].1 == pool[j].1 {
+                set.insert(pool[i].0.clone(), pool[j].0.clone());
+            }
+        }
+    }
+    set
+}
+
+/// All pairs with a true equality condition over *all* rows (the paper's
+/// six-pair set in Example 2.1) — what deterministic encryption reveals
+/// at `t0`.
+pub fn all_equality_pairs(
+    left: &Table,
+    right: &Table,
+    left_join_col: &str,
+    right_join_col: &str,
+) -> PairSet {
+    let mut pool: Vec<(Node, Value)> = Vec::new();
+    for row in 0..left.len() {
+        pool.push((
+            Node::new(&left.schema.name, row),
+            join_value(left, row, left_join_col).clone(),
+        ));
+    }
+    for row in 0..right.len() {
+        pool.push((
+            Node::new(&right.schema.name, row),
+            join_value(right, row, right_join_col).clone(),
+        ));
+    }
+    let mut set = PairSet::new();
+    for i in 0..pool.len() {
+        for j in i + 1..pool.len() {
+            if pool[i].1 == pool[j].1 {
+                set.insert(pool[i].0.clone(), pool[j].0.clone());
+            }
+        }
+    }
+    set
+}
+
+/// The paper's Example 2.1 fixture: Teams (Tables 1) and Employees
+/// (Table 2), exactly as printed.
+pub fn example_2_1() -> (Table, Table) {
+    use eqjoin_db::Schema;
+    let mut teams = Table::new(Schema::new("Teams", &["Key", "Name"]));
+    teams.push_row(vec![Value::Int(1), "Web Application".into()]);
+    teams.push_row(vec![Value::Int(2), "Database".into()]);
+
+    let mut employees = Table::new(Schema::new(
+        "Employees",
+        &["Record", "Employee", "Role", "Team"],
+    ));
+    employees.push_row(vec![Value::Int(1), "Hans".into(), "Programmer".into(), Value::Int(1)]);
+    employees.push_row(vec![Value::Int(2), "Kaily".into(), "Tester".into(), Value::Int(1)]);
+    employees.push_row(vec![Value::Int(3), "John".into(), "Programmer".into(), Value::Int(2)]);
+    employees.push_row(vec![Value::Int(4), "Sally".into(), "Tester".into(), Value::Int(2)]);
+    (teams, employees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t1_query() -> JoinQuery {
+        JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Web Application".into()])
+            .filter("Employees", "Role", vec!["Tester".into()])
+    }
+
+    fn t2_query() -> JoinQuery {
+        JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Database".into()])
+            .filter("Employees", "Role", vec!["Programmer".into()])
+    }
+
+    #[test]
+    fn example_tables_shape() {
+        let (teams, employees) = example_2_1();
+        assert_eq!(teams.len(), 2);
+        assert_eq!(employees.len(), 4);
+    }
+
+    #[test]
+    fn six_pairs_at_full_disclosure() {
+        // The paper counts six (equal) pairs: (a1,b1), (a1,b2), (a2,b3),
+        // (a2,b4), (b1,b2), (b3,b4).
+        let (teams, employees) = example_2_1();
+        let all = all_equality_pairs(&teams, &employees, "Key", "Team");
+        assert_eq!(all.len(), 6);
+        assert!(all.contains(&Node::new("Teams", 0), &Node::new("Employees", 0)));
+        assert!(all.contains(&Node::new("Employees", 0), &Node::new("Employees", 1)));
+        assert!(all.contains(&Node::new("Employees", 2), &Node::new("Employees", 3)));
+    }
+
+    #[test]
+    fn query_t1_selects_and_reveals_one_pair() {
+        let (teams, employees) = example_2_1();
+        let q = t1_query();
+        // Selected: Teams row 0; Employees rows 1 (Kaily) and 3 (Sally).
+        assert_eq!(selected_rows(&teams, &q), vec![0]);
+        assert_eq!(selected_rows(&employees, &q), vec![1, 3]);
+        // Result: Kaily only (team 1).
+        assert_eq!(reference_join(&teams, &employees, &q), vec![(0, 1)]);
+        // σ(t1) = {(a1, b2)}: Sally's team (2) has no selected partner.
+        let s = sigma(&teams, &employees, &q);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Node::new("Teams", 0), &Node::new("Employees", 1)));
+    }
+
+    #[test]
+    fn query_t2_reveals_one_pair() {
+        let (teams, employees) = example_2_1();
+        let q = t2_query();
+        assert_eq!(reference_join(&teams, &employees, &q), vec![(1, 2)]);
+        let s = sigma(&teams, &employees, &q);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Node::new("Teams", 1), &Node::new("Employees", 2)));
+    }
+
+    #[test]
+    fn sigma_includes_within_table_pairs_when_both_selected() {
+        let (teams, employees) = example_2_1();
+        // Select both testers AND both programmers on the employee side,
+        // nothing on teams: within-table equal-join pairs appear.
+        let q = JoinQuery::on("Teams", "Key", "Employees", "Team").filter(
+            "Employees",
+            "Role",
+            vec!["Tester".into(), "Programmer".into()],
+        );
+        let s = sigma(&teams, &employees, &q);
+        // All six pairs: teams unconstrained, employees all selected.
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn unfiltered_query_selects_everything() {
+        let (teams, employees) = example_2_1();
+        let q = JoinQuery::on("Teams", "Key", "Employees", "Team");
+        assert_eq!(selected_rows(&teams, &q).len(), 2);
+        assert_eq!(selected_rows(&employees, &q).len(), 4);
+        assert_eq!(reference_join(&teams, &employees, &q).len(), 4);
+    }
+}

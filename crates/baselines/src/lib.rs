@@ -1,0 +1,36 @@
+//! Baseline encrypted-join schemes the paper compares against (§2.1,
+//! §6.5, §7), implemented behind one uniform [`JoinScheme`] interface so
+//! the leakage experiments and comparison benchmarks treat all schemes
+//! identically:
+//!
+//! * [`det`] — deterministic-encryption joins (Hacigümüs et al. 2002):
+//!   all equal pairs visible from upload time (`t0`).
+//! * [`cryptdb`] — CryptDB's onion join (Popa et al. 2011): nothing at
+//!   `t0`, but the first join query peels the probabilistic onion from
+//!   the whole column pair — all pairs at `t1`.
+//! * [`hahn`] — a functional reconstruction of Hahn et al. (ICDE 2019):
+//!   pairing-testable randomized join labels wrapped under [`kpabe`]
+//!   (a GPSW-style key-policy ABE built on our pairing engine) so only
+//!   selection-matching rows unwrap, pairwise `O(n²)` testing, and the
+//!   **super-additive** cross-query leakage the paper's §2.1 dissects.
+//! * [`secure`] — the adapter exposing this paper's Secure Join engine
+//!   through the same interface (the no-super-additive-leakage arm).
+//!
+//! [`ground_truth`] computes, from plaintext, the per-query minimal
+//! leakage `σ(qᵢ)` and the all-pairs sets that calibrate every scheme's
+//! ledger.
+
+pub mod cryptdb;
+pub mod det;
+pub mod ground_truth;
+pub mod hahn;
+pub mod kpabe;
+pub mod secure;
+pub mod traits;
+
+pub use cryptdb::CryptDbScheme;
+pub use det::DetScheme;
+pub use hahn::HahnScheme;
+pub use kpabe::{KpAbe, KpAbeCiphertext, KpAbeKey, KpAbeMasterKey, Policy};
+pub use secure::SecureJoinScheme;
+pub use traits::{JoinScheme, QueryOutcome, SchemeSetup};

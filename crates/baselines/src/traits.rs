@@ -1,0 +1,45 @@
+//! The uniform interface all join schemes implement for the comparison
+//! experiments.
+
+use eqjoin_db::{JoinQuery, Table};
+use eqjoin_leakage::PairSet;
+
+/// Which columns of the two tables participate (mirrors the encrypted
+/// engine's `TableConfig`).
+#[derive(Clone, Debug)]
+pub struct SchemeSetup {
+    /// `(join column, filter columns)` for the left table.
+    pub left: (String, Vec<String>),
+    /// `(join column, filter columns)` for the right table.
+    pub right: (String, Vec<String>),
+    /// `IN`-clause bound `t` (schemes that don't need it ignore it).
+    pub t: usize,
+}
+
+/// The outcome of one query under a scheme.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Join result as `(left row, right row)` index pairs.
+    pub result_pairs: Vec<(usize, usize)>,
+    /// The equality pairs this query *newly and necessarily* revealed
+    /// (the σ(qᵢ) of Definition 5.2: equality among query-selected rows).
+    pub per_query_leakage: PairSet,
+}
+
+/// A join scheme under leakage/performance comparison.
+pub trait JoinScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Encrypt and upload both tables; returns the pairs already visible
+    /// to the server at `t0`.
+    fn upload(&mut self, left: &Table, right: &Table, setup: &SchemeSetup) -> PairSet;
+
+    /// Execute one join query.
+    fn run_query(&mut self, query: &JoinQuery) -> QueryOutcome;
+
+    /// Everything the adversary can currently *derive* about equality
+    /// pairs (cumulative, including scheme-state effects like peeled
+    /// onions or unwrapped labels, closed under transitivity).
+    fn visible_pairs(&self) -> PairSet;
+}

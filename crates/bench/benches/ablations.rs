@@ -1,0 +1,105 @@
+//! Ablations of the implementation's design choices (DESIGN.md §1):
+//!
+//! * multi-pairing (shared Miller loop + one final exponentiation) vs a
+//!   naive product of single pairings — the `SJ.Dec` hot path;
+//! * twist-coordinate sparse-line Miller loop vs the generic `Fp12`
+//!   reference loop;
+//! * fixed-base window tables vs double-and-add generator
+//!   exponentiation — the `SJ.Enc`/`SJ.TokenGen` hot path;
+//! * parallel server decryption (crossbeam) — the §6.5 parallelism
+//!   discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqjoin_bench::{selectivity_query, setup_tpch};
+use eqjoin_crypto::ChaChaRng;
+use eqjoin_db::JoinOptions;
+use eqjoin_pairing::pairing::{final_exponentiation, multi_miller_loop, multi_miller_loop_generic};
+use eqjoin_pairing::{g1, g2, Bls12, Engine, Fr, G1Affine, G2Affine, Gt};
+
+fn sample_pairs(n: usize) -> Vec<(G1Affine, G2Affine)> {
+    let mut rng = ChaChaRng::seed_from_u64(77);
+    (0..n)
+        .map(|_| {
+            (
+                Bls12::g1_mul_gen(&Fr::random(&mut rng)),
+                Bls12::g2_mul_gen(&Fr::random(&mut rng)),
+            )
+        })
+        .collect()
+}
+
+fn bench_multi_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_pairing_19");
+    group.sample_size(10);
+    let pairs = sample_pairs(19); // the t=1, m=8 SJ.Dec dimension
+
+    group.bench_function("shared_miller_and_final_exp", |b| {
+        b.iter(|| final_exponentiation(&multi_miller_loop(&pairs)))
+    });
+    group.bench_function("naive_product_of_pairings", |b| {
+        b.iter(|| {
+            pairs.iter().fold(Gt::one(), |acc, (p, q)| {
+                acc.mul(&eqjoin_pairing::pairing(p, q))
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_miller_loop_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miller_loop");
+    group.sample_size(10);
+    let pairs = sample_pairs(4);
+    group.bench_function("twist_sparse (default)", |b| {
+        b.iter(|| multi_miller_loop(&pairs))
+    });
+    group.bench_function("generic_fp12 (reference)", |b| {
+        b.iter(|| multi_miller_loop_generic(&pairs))
+    });
+    group.finish();
+}
+
+fn bench_fixed_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_exponentiation");
+    group.sample_size(10);
+    let mut rng = ChaChaRng::seed_from_u64(78);
+    let s = Fr::random(&mut rng);
+    group.bench_function("g1_window_table", |b| b.iter(|| Bls12::g1_mul_gen(&s)));
+    group.bench_function("g1_double_and_add", |b| {
+        b.iter(|| g1::mul_fr(g1::generator(), &s).to_affine())
+    });
+    group.bench_function("g2_window_table", |b| b.iter(|| Bls12::g2_mul_gen(&s)));
+    group.bench_function("g2_double_and_add", |b| {
+        b.iter(|| g2::mul_fr(g2::generator(), &s).to_affine())
+    });
+    group.finish();
+}
+
+fn bench_parallel_decrypt(c: &mut Criterion) {
+    // Tiny real-engine database; the decrypt phase dominates, so thread
+    // scaling is visible even at 60 selected rows.
+    let mut group = c.benchmark_group("server_threads_bls12");
+    group.sample_size(10);
+    let mut bench = setup_tpch::<Bls12>(0.0004, 1, 11); // 60 customers, 600 orders
+    let query = selectivity_query("1/12.5", 1);
+    let tokens = bench.client.query_tokens(&query).expect("tokens");
+    for threads in [1usize, 4] {
+        let opts = JoinOptions {
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| bench.server.execute_join(&tokens, &opts).expect("join"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_pairing,
+    bench_miller_loop_variants,
+    bench_fixed_base,
+    bench_parallel_decrypt
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! **§6.5 comparison**: Secure Join vs the Hahn et al. reconstruction.
+//!
+//! * per-row unlock cost: `SJ.Dec` (one multi-pairing) vs Hahn's
+//!   KP-ABE unwrap, on the real curve;
+//! * matching phase asymptotics: hash join on `D` values (`O(n)`) vs
+//!   pairwise label testing (`O(n²)`), on the mock engine so the curve
+//!   shape is measurable in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqjoin_baselines::kpabe::{KpAbe, Policy};
+use eqjoin_baselines::JoinScheme;
+use eqjoin_core::{RowEncoding, SecureJoin, SjParams, SjTableSide};
+use eqjoin_crypto::ChaChaRng;
+use eqjoin_db::join::{hash_join, nested_loop_join};
+use eqjoin_pairing::{Bls12, MockEngine};
+use std::collections::HashSet;
+
+fn bench_per_row_unlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_row_unlock_bls12");
+    group.sample_size(10);
+    let mut rng = ChaChaRng::seed_from_u64(65);
+
+    // Secure Join: one SJ.Dec on a Customers-shaped row, t = 1.
+    type Sj = SecureJoin<Bls12>;
+    let msk = Sj::setup(SjParams { m: 8, t: 1 }, &mut rng);
+    let attrs: Vec<Vec<u8>> = (0..8).map(|i| format!("a{i}").into_bytes()).collect();
+    let row = RowEncoding::from_bytes(b"jv", &attrs);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let key = Sj::fresh_query_key(&mut rng);
+    let mut filters: Vec<Option<Vec<eqjoin_pairing::Fr>>> = vec![None; 8];
+    filters[0] = Some(vec![eqjoin_core::embed_attribute(b"a0")]);
+    let tk = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+    group.bench_function("secure_join_dec", |b| b.iter(|| Sj::decrypt(&tk, &ct)));
+
+    // Hahn: KP-ABE unwrap (2-leaf policy) for one row.
+    let universe: Vec<String> = vec!["a".into(), "b".into()];
+    let kp_msk = KpAbe::<Bls12>::setup(&universe, &mut rng);
+    let (m, _) = KpAbe::<Bls12>::random_message(&kp_msk, &mut rng);
+    let attrs: HashSet<String> = ["a".to_string(), "b".to_string()].into();
+    let kp_ct = KpAbe::<Bls12>::encrypt(&kp_msk, &m, &attrs, &mut rng);
+    let kp_key = KpAbe::<Bls12>::keygen(
+        &kp_msk,
+        &Policy::And(vec![Policy::leaf("a"), Policy::leaf("b")]),
+        &mut rng,
+    );
+    group.bench_function("hahn_kpabe_unwrap", |b| {
+        b.iter(|| KpAbe::<Bls12>::decrypt(&kp_key, &kp_ct).expect("satisfied"))
+    });
+    group.finish();
+}
+
+fn bench_match_phase_asymptotics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_phase");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        // n keys per side, ~10% duplicates across sides.
+        let keyed = |offset: usize| -> Vec<(usize, Vec<u8>)> {
+            (0..n)
+                .map(|i| (i, ((i * 10 + offset) % (n * 9)).to_le_bytes().to_vec()))
+                .collect()
+        };
+        let left = keyed(0);
+        let right = keyed(5);
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| hash_join(&left, &right));
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+            b.iter(|| nested_loop_join(&left, &right));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_scheme_mock(c: &mut Criterion) {
+    // End-to-end query under both schemes (mock engine), paper example
+    // scale: shows the structural gap even at tiny n.
+    let mut group = c.benchmark_group("scheme_query_mock");
+    group.sample_size(10);
+    let (teams, employees) = eqjoin_baselines::ground_truth::example_2_1();
+    let setup = eqjoin_baselines::SchemeSetup {
+        left: ("Key".into(), vec!["Name".into()]),
+        right: ("Team".into(), vec!["Role".into()]),
+        t: 2,
+    };
+    let query = eqjoin_db::JoinQuery::on("Teams", "Key", "Employees", "Team")
+        .filter("Teams", "Name", vec!["Web Application".into()])
+        .filter("Employees", "Role", vec!["Tester".into()]);
+
+    group.bench_function("secure_join", |b| {
+        b.iter_with_setup(
+            || {
+                let mut s = eqjoin_baselines::SecureJoinScheme::<MockEngine>::new(3, 2, 9);
+                s.upload(&teams, &employees, &setup);
+                s
+            },
+            |mut s| s.run_query(&query),
+        )
+    });
+    group.bench_function("hahn", |b| {
+        b.iter_with_setup(
+            || {
+                let mut s = eqjoin_baselines::HahnScheme::<MockEngine>::new(9);
+                s.upload(&teams, &employees, &setup);
+                s
+            },
+            |mut s| s.run_query(&query),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_row_unlock,
+    bench_match_phase_asymptotics,
+    bench_full_scheme_mock
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **Figure 2** (reduced grid): micro-benchmarks of the Secure Join
+//! cryptographic operations — `SJ.TokenGen`, `SJ.Enc`, `SJ.Dec` — for a
+//! single `Customers`-shaped row (`m = 8` attributes) on the real
+//! BLS12-381 engine, as the `IN`-clause size `t` grows.
+//!
+//! The full `t = 1..10` sweep with paper-style output lives in
+//! `cargo run --release -p eqjoin-bench --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqjoin_core::{RowEncoding, SecureJoin, SjParams, SjTableSide};
+use eqjoin_crypto::ChaChaRng;
+use eqjoin_pairing::Bls12;
+
+type Sj = SecureJoin<Bls12>;
+
+/// A Customers row: 8 attribute values (as in §6.1).
+fn customer_row() -> RowEncoding {
+    let attrs: Vec<Vec<u8>> = [
+        "Customer#000000042",
+        "oX3 street",
+        "7",
+        "17-345-123-4567",
+        "1234.56",
+        "BUILDING",
+        "quick comment",
+        "1/25",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect();
+    RowEncoding::from_bytes(b"42", &attrs)
+}
+
+fn filters(t: usize) -> Vec<Option<Vec<eqjoin_pairing::Fr>>> {
+    let mut f: Vec<Option<Vec<eqjoin_pairing::Fr>>> = vec![None; 8];
+    f[7] = Some(
+        (0..t)
+            .map(|i| eqjoin_core::embed_attribute(format!("sel-{i}").as_bytes()))
+            .collect(),
+    );
+    f
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for t in [1usize, 5, 10] {
+        let mut rng = ChaChaRng::seed_from_u64(2 + t as u64);
+        let msk = Sj::setup(SjParams { m: 8, t }, &mut rng);
+        let row = customer_row();
+        let key = Sj::fresh_query_key(&mut rng);
+        let fs = filters(t);
+
+        group.bench_with_input(BenchmarkId::new("token_gen", t), &t, |b, _| {
+            b.iter(|| Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("encrypt_row", t), &t, |b, _| {
+            b.iter(|| Sj::encrypt_row(&msk, &row, &mut rng));
+        });
+        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng);
+        let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decrypt", t), &t, |b, _| {
+            b.iter(|| Sj::decrypt(&token, &ct));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

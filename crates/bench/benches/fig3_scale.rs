@@ -1,0 +1,33 @@
+//! **Figure 3** (reduced grid): server-side join runtime
+//! (`SJ.Dec` + `SJ.Match`) as the TPC-H scale factor grows, for the
+//! extreme selectivity levels, on the real BLS12-381 engine at tiny
+//! scale factors (the per-row `SJ.Dec` multi-pairing dominates exactly
+//! as in the paper, so the shape is faithful). The paper's full grid
+//! runs via `cargo run --release -p eqjoin-bench --bin fig3 -- bls`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqjoin_bench::{selectivity_query, setup_tpch};
+use eqjoin_db::JoinOptions;
+use eqjoin_pairing::Bls12;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scale in [0.0005f64, 0.001, 0.002] {
+        let mut bench = setup_tpch::<Bls12>(scale, 1, 3);
+        for s in ["1/100", "1/12.5"] {
+            let query = selectivity_query(s, 1);
+            let tokens = bench.client.query_tokens(&query).expect("tokens");
+            let opts = JoinOptions::default();
+            let id = BenchmarkId::new(format!("s={s}"), scale);
+            group.bench_with_input(id, &scale, |b, _| {
+                b.iter(|| bench.server.execute_join(&tokens, &opts).expect("join"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

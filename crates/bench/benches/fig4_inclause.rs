@@ -1,0 +1,32 @@
+//! **Figure 4** (reduced grid): join runtime as the `IN`-clause size `t`
+//! grows at fixed scale factor 0.01. Each `t` re-encrypts the database
+//! (the ciphertext dimension `m(t+1)+3` is fixed at encryption time,
+//! exactly as in the paper). Real BLS12-381 engine at a tiny scale
+//! factor; the fuller sweep is the `fig4` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqjoin_bench::{selectivity_query, setup_tpch};
+use eqjoin_db::JoinOptions;
+use eqjoin_pairing::Bls12;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for t in [1usize, 5, 10] {
+        let mut bench = setup_tpch::<Bls12>(0.0005, t, 4);
+        for s in ["1/100", "1/12.5"] {
+            let query = selectivity_query(s, t);
+            let tokens = bench.client.query_tokens(&query).expect("tokens");
+            let opts = JoinOptions::default();
+            let id = BenchmarkId::new(format!("s={s}"), t);
+            group.bench_with_input(id, &t, |b, _| {
+                b.iter(|| bench.server.execute_join(&tokens, &opts).expect("join"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

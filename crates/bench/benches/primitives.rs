@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the cryptographic substrate (not a paper figure,
+//! but the numbers every other measurement decomposes into): field
+//! multiplication and inversion, tower arithmetic, group operations and
+//! the pairing itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqjoin_crypto::ChaChaRng;
+use eqjoin_pairing::{g1, g2, Bls12, Engine, Field, Fp, Fp12, Fr};
+
+fn bench_fields(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_ops");
+    group.sample_size(20);
+    let mut rng = ChaChaRng::seed_from_u64(0x11);
+    let a = Fp::random(&mut rng);
+    let b = Fp::random(&mut rng);
+    group.bench_function("fp_mul", |bch| bch.iter(|| a * b));
+    group.bench_function("fp_square", |bch| bch.iter(|| a.square()));
+    group.bench_function("fp_invert", |bch| bch.iter(|| a.invert().unwrap()));
+    let x = Fp12::random(&mut rng);
+    let y = Fp12::random(&mut rng);
+    group.bench_function("fp12_mul", |bch| bch.iter(|| x * y));
+    group.bench_function("fp12_invert", |bch| bch.iter(|| x.invert().unwrap()));
+    group.bench_function("fp12_frobenius", |bch| bch.iter(|| x.frobenius()));
+    let s = Fr::random(&mut rng);
+    let t = Fr::random(&mut rng);
+    group.bench_function("fr_mul", |bch| bch.iter(|| s * t));
+    group.bench_function("fr_invert", |bch| bch.iter(|| s.invert().unwrap()));
+    group.finish();
+}
+
+fn bench_groups_and_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_ops");
+    group.sample_size(10);
+    let mut rng = ChaChaRng::seed_from_u64(0x12);
+    let s = Fr::random(&mut rng);
+    let p = g1::mul_fr(g1::generator(), &s);
+    let q = g2::mul_fr(g2::generator(), &s);
+    group.bench_function("g1_double", |b| b.iter(|| p.double()));
+    group.bench_function("g1_add", |b| b.iter(|| p.add(&p.double())));
+    group.bench_function("g1_scalar_mul", |b| b.iter(|| g1::mul_fr(&p, &s)));
+    group.bench_function("g2_scalar_mul", |b| b.iter(|| g2::mul_fr(&q, &s)));
+    let pa = p.to_affine();
+    let qa = q.to_affine();
+    group.bench_function("pairing", |b| b.iter(|| eqjoin_pairing::pairing(&pa, &qa)));
+    let gt = eqjoin_pairing::pairing(&pa, &qa);
+    group.bench_function("gt_pow", |b| b.iter(|| gt.pow(&s)));
+    group.bench_function("gt_hash_key_bytes", |b| b.iter(|| Bls12::gt_bytes(&gt)));
+    group.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric");
+    group.sample_size(20);
+    let data = vec![0xabu8; 4096];
+    group.bench_function("sha256_4k", |b| b.iter(|| eqjoin_crypto::sha256(&data)));
+    group.bench_function("hash_to_field", |b| {
+        b.iter(|| Fr::hash_to_field(b"bench", &data[..64]))
+    });
+    let key = eqjoin_crypto::AeadKey::from_master(&[7u8; 32]);
+    let mut rng = ChaChaRng::seed_from_u64(0x13);
+    group.bench_function("aead_seal_4k", |b| {
+        b.iter(|| key.seal(&mut rng, b"ad", &data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fields, bench_groups_and_pairing, bench_symmetric);
+criterion_main!(benches);

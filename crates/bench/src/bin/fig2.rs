@@ -1,0 +1,87 @@
+//! Regenerate **Figure 2**: running time of the Secure Join crypto
+//! operations (`SJ.TokenGen`, `SJ.Enc`, `SJ.Dec`) for a single
+//! `Customers` row (`m = 8` attributes) as the `IN`-clause size sweeps
+//! `t = 1..10`, on the real BLS12-381 engine.
+//!
+//! ```sh
+//! cargo run --release -p eqjoin-bench --bin fig2 -- [reps]
+//! ```
+//!
+//! Writes `results/fig2.csv` and prints the paper's reference values for
+//! side-by-side comparison.
+
+use eqjoin_bench::{mean_duration, millis, CsvWriter};
+use eqjoin_core::{embed_attribute, RowEncoding, SecureJoin, SjParams, SjTableSide};
+use eqjoin_crypto::ChaChaRng;
+use eqjoin_pairing::{Bls12, Fr};
+use std::time::Instant;
+
+type Sj = SecureJoin<Bls12>;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("reps"))
+        .unwrap_or(5);
+
+    println!("Figure 2 — crypto operations for one Customers row (m = 8), BLS12-381");
+    println!("averages over {reps} runs\n");
+    println!(
+        "{:>3} | {:>14} | {:>12} | {:>12}",
+        "t", "TokenGen (ms)", "Enc (ms)", "Dec (ms)"
+    );
+    println!("{}", "-".repeat(52));
+
+    let mut csv = CsvWriter::create(Some("results/fig2.csv"));
+    csv.row(&["t".into(), "token_gen_ms".into(), "enc_ms".into(), "dec_ms".into()]);
+
+    let attrs: Vec<Vec<u8>> = (0..8).map(|i| format!("attr-{i}").into_bytes()).collect();
+    let row = RowEncoding::from_bytes(b"custkey-42", &attrs);
+
+    for t in 1..=10usize {
+        let mut rng = ChaChaRng::seed_from_u64(0xf16 + t as u64);
+        let msk = Sj::setup(SjParams { m: 8, t }, &mut rng);
+        let key = Sj::fresh_query_key(&mut rng);
+        let filters: Vec<Option<Vec<Fr>>> = {
+            let mut f: Vec<Option<Vec<Fr>>> = vec![None; 8];
+            f[7] = Some(
+                (0..t)
+                    .map(|i| embed_attribute(format!("sel-{i}").as_bytes()))
+                    .collect(),
+            );
+            f
+        };
+
+        let tok = mean_duration(reps, || {
+            let t0 = Instant::now();
+            let _ = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+            t0.elapsed()
+        });
+        let enc = mean_duration(reps, || {
+            let t0 = Instant::now();
+            let _ = Sj::encrypt_row(&msk, &row, &mut rng);
+            t0.elapsed()
+        });
+        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+        let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+        let dec = mean_duration(reps, || {
+            let t0 = Instant::now();
+            let _ = Sj::decrypt(&token, &ct);
+            t0.elapsed()
+        });
+
+        println!(
+            "{:>3} | {:>14} | {:>12} | {:>12}",
+            t,
+            millis(tok),
+            millis(enc),
+            millis(dec)
+        );
+        csv.row(&[t.to_string(), millis(tok), millis(enc), millis(dec)]);
+    }
+
+    println!("\npaper (i7-7500U, Charm/C): TokenGen < 2 ms flat; Enc 3.4 -> 9.6 ms;");
+    println!("Dec 21.2 -> 53 ms across t = 1..10. Expected shape: TokenGen and Enc");
+    println!("grow mildly (G1/G2 fixed-base muls, dim m(t+1)+3); Dec grows linearly");
+    println!("in the multi-pairing dimension. CSV written to results/fig2.csv");
+}

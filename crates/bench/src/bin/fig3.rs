@@ -1,0 +1,77 @@
+//! Regenerate **Figure 3**: server-side join runtime (`SJ.Dec` +
+//! `SJ.Match`) over `Orders ⋈ Customers` for scale factors and the four
+//! selectivity levels, `t = 1`.
+//!
+//! ```sh
+//! # full paper grid on the mock engine (shape-faithful, fast):
+//! cargo run --release -p eqjoin-bench --bin fig3 -- mock
+//! # reduced grid on the real BLS12-381 engine:
+//! cargo run --release -p eqjoin-bench --bin fig3 -- bls 0.002 0.01 0.002 1
+//! ```
+//!
+//! Positional arguments: `engine [scale_min scale_max scale_step reps]`.
+
+use eqjoin_bench::{
+    mean_duration, run_join, secs, selectivity_query, setup_tpch, CsvWriter, SELECTIVITY_LABELS,
+};
+use eqjoin_db::JoinOptions;
+use eqjoin_pairing::{Bls12, Engine, MockEngine};
+
+fn sweep<E: Engine>(scale_min: f64, scale_max: f64, step: f64, reps: usize) {
+    println!(
+        "Figure 3 — join runtime vs scale factor, t = 1, engine = {} ({} reps)\n",
+        E::NAME,
+        reps
+    );
+    let header: String = SELECTIVITY_LABELS
+        .iter()
+        .map(|s| format!("{:>12}", format!("s={s}")))
+        .collect();
+    println!("{:>6} {:>10} {header}", "scale", "rows");
+    println!("{}", "-".repeat(66));
+
+    let mut csv = CsvWriter::create(Some(&format!("results/fig3_{}.csv", E::NAME)));
+    csv.row(&[
+        "scale".into(),
+        "rows_total".into(),
+        "s_1_100_s".into(),
+        "s_1_50_s".into(),
+        "s_1_25_s".into(),
+        "s_1_12_5_s".into(),
+    ]);
+
+    let mut scale = scale_min;
+    while scale <= scale_max + 1e-12 {
+        let mut bench = setup_tpch::<E>(scale, 1, 33);
+        let total_rows = bench.rows.0 + bench.rows.1;
+        let mut cells = Vec::new();
+        for s in SELECTIVITY_LABELS {
+            let query = selectivity_query(s, 1);
+            let d = mean_duration(reps, || {
+                run_join(&mut bench, &query, &JoinOptions::default()).total
+            });
+            cells.push(secs(d));
+        }
+        let row_cells: String = cells.iter().map(|c| format!("{c:>12}")).collect();
+        println!("{:>6} {:>10} {row_cells}", format!("{scale:.3}"), total_rows);
+        let mut csv_row = vec![format!("{scale:.4}"), total_rows.to_string()];
+        csv_row.extend(cells);
+        csv.row(&csv_row);
+        scale += step;
+    }
+
+    println!("\npaper (Fig. 3): linear growth in the scale factor; ordering");
+    println!("s=1/12.5 > 1/25 > 1/50 > 1/100 (more selected rows = more SJ.Dec).");
+    println!("Reference points: scale 0.01 @ s=1/100 = 3.52 s; scale 0.1 @ s=1/12.5 = 282.49 s.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = args.get(1).map(String::as_str).unwrap_or("mock");
+    let f = |i: usize, d: f64| args.get(i).map(|s| s.parse().expect("number")).unwrap_or(d);
+    match engine {
+        "mock" => sweep::<MockEngine>(f(2, 0.01), f(3, 0.1), f(4, 0.01), f(5, 3.0) as usize),
+        "bls" => sweep::<Bls12>(f(2, 0.002), f(3, 0.01), f(4, 0.002), f(5, 1.0) as usize),
+        other => panic!("unknown engine {other:?} (use 'mock' or 'bls')"),
+    }
+}

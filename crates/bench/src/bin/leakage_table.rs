@@ -1,0 +1,155 @@
+//! Regenerate the **§2.1 leakage analysis** (experiment E5): visible
+//! equality-pair counts at `t0`, `t1`, `t2` for all four schemes on the
+//! paper's Example 2.1, plus a TPC-H query series with the
+//! transitive-closure bound. Writes `results/leakage.csv`.
+//!
+//! ```sh
+//! cargo run --release -p eqjoin-bench --bin leakage_table
+//! ```
+
+use eqjoin_baselines::ground_truth::example_2_1;
+use eqjoin_baselines::{
+    CryptDbScheme, DetScheme, HahnScheme, JoinScheme, SchemeSetup, SecureJoinScheme,
+};
+use eqjoin_bench::CsvWriter;
+use eqjoin_db::JoinQuery;
+use eqjoin_leakage::{LeakageLedger, QueryLeakage};
+use eqjoin_pairing::MockEngine;
+use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
+
+fn run_series(
+    scheme: &mut dyn JoinScheme,
+    left: &eqjoin_db::Table,
+    right: &eqjoin_db::Table,
+    setup: &SchemeSetup,
+    series: &[JoinQuery],
+) -> (Vec<usize>, LeakageLedger) {
+    let t0 = scheme.upload(left, right, setup).len();
+    let mut counts = vec![t0];
+    let mut ledger = LeakageLedger::new();
+    for (i, q) in series.iter().enumerate() {
+        let out = scheme.run_query(q);
+        ledger.record(QueryLeakage {
+            query_id: i as u64,
+            per_query: out.per_query_leakage,
+            cumulative_visible: scheme.visible_pairs(),
+        });
+        counts.push(scheme.visible_pairs().len());
+    }
+    (counts, ledger)
+}
+
+fn example_2_1_table(csv: &mut CsvWriter) {
+    println!("== Example 2.1 (Teams ⋈ Employees, queries t1 and t2) ==\n");
+    let (teams, employees) = example_2_1();
+    let setup = SchemeSetup {
+        left: ("Key".into(), vec!["Name".into()]),
+        right: ("Team".into(), vec!["Role".into()]),
+        t: 2,
+    };
+    let series = vec![
+        JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Web Application".into()])
+            .filter("Employees", "Role", vec!["Tester".into()]),
+        JoinQuery::on("Teams", "Key", "Employees", "Team")
+            .filter("Teams", "Name", vec!["Database".into()])
+            .filter("Employees", "Role", vec!["Programmer".into()]),
+    ];
+
+    println!("{:<28} {:>4} {:>4} {:>4} {:>22}", "scheme", "t0", "t1", "t2", "excess over bound");
+    csv.row(&["experiment".into(), "scheme".into(), "t0".into(), "t1".into(), "t2".into(), "excess".into()]);
+    let mut schemes: Vec<Box<dyn JoinScheme>> = vec![
+        Box::new(DetScheme::new([1; 32])),
+        Box::new(CryptDbScheme::new(2)),
+        Box::new(HahnScheme::<MockEngine>::new(3)),
+        Box::new(SecureJoinScheme::<MockEngine>::new(3, 2, 4)),
+    ];
+    for scheme in schemes.iter_mut() {
+        let (counts, ledger) = run_series(scheme.as_mut(), &teams, &employees, &setup, &series);
+        let excess = ledger.super_additive_excess().len();
+        println!(
+            "{:<28} {:>4} {:>4} {:>4} {:>22}",
+            scheme.name(),
+            counts[0],
+            counts[1],
+            counts[2],
+            if excess == 0 { "0 (within bound)".to_string() } else { format!("+{excess}") },
+        );
+        csv.row(&[
+            "example-2.1".into(),
+            scheme.name().into(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            excess.to_string(),
+        ]);
+    }
+    println!("\npaper: DET = 6/6/6, CryptDB = 0/6/6, Hahn = 0/1/6 (super-additive),");
+    println!("SecureJoin = 0/1/2 = the transitive closure of the union of the queries.\n");
+}
+
+fn tpch_series_table(csv: &mut CsvWriter) {
+    println!("== TPC-H query series (60 customers / 600 orders, 4 queries) ==\n");
+    let cfg = TpchConfig::new(0.0004, 9);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+    let setup = SchemeSetup {
+        left: ("custkey".into(), vec!["mktsegment".into(), "selectivity".into()]),
+        right: ("custkey".into(), vec!["orderpriority".into(), "selectivity".into()]),
+        t: 2,
+    };
+    let series = vec![
+        JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+            .filter("Customers", "selectivity", vec!["1/12.5".into()])
+            .filter("Orders", "selectivity", vec!["1/12.5".into()]),
+        JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+            .filter("Customers", "mktsegment", vec!["BUILDING".into()])
+            .filter("Orders", "selectivity", vec!["1/25".into()]),
+        JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+            .filter("Customers", "selectivity", vec!["1/25".into()])
+            .filter("Orders", "orderpriority", vec!["1-URGENT".into()]),
+        JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+            .filter("Customers", "selectivity", vec!["1/50".into()])
+            .filter("Orders", "orderpriority", vec!["5-LOW".into()]),
+    ];
+
+    let mut header = format!("{:<28} {:>7}", "scheme", "t0");
+    for i in 1..=series.len() {
+        header.push_str(&format!(" {:>7}", format!("q{i}")));
+    }
+    println!("{header}");
+
+    let mut bound = Vec::new();
+    let mut schemes: Vec<Box<dyn JoinScheme>> = vec![
+        Box::new(DetScheme::new([5; 32])),
+        Box::new(CryptDbScheme::new(6)),
+        Box::new(HahnScheme::<MockEngine>::new(7)),
+        Box::new(SecureJoinScheme::<MockEngine>::new(2, 2, 8)),
+    ];
+    for scheme in schemes.iter_mut() {
+        let (counts, ledger) = run_series(scheme.as_mut(), &customers, &orders, &setup, &series);
+        let mut line = format!("{:<28}", scheme.name());
+        for c in &counts {
+            line.push_str(&format!(" {c:>7}"));
+        }
+        println!("{line}");
+        let mut csv_row = vec!["tpch-series".to_string(), scheme.name().to_string()];
+        csv_row.extend(counts.iter().map(|c| c.to_string()));
+        csv.row(&csv_row);
+        if scheme.name().starts_with("secure-join") {
+            bound = ledger.growth_series().iter().map(|(_, _, b)| *b).collect();
+        }
+    }
+    let mut line = format!("{:<28} {:>7}", "closure bound (paper)", 0);
+    for b in &bound {
+        line.push_str(&format!(" {b:>7}"));
+    }
+    println!("{line}");
+}
+
+fn main() {
+    let mut csv = CsvWriter::create(Some("results/leakage.csv"));
+    example_2_1_table(&mut csv);
+    tpch_series_table(&mut csv);
+    println!("\nCSV written to results/leakage.csv");
+}

@@ -1,0 +1,18 @@
+//! Arbitrary-precision unsigned integer arithmetic used to *derive* every
+//! constant of the BLS12-381 pairing curve from the single BLS parameter
+//! `z`, instead of hard-coding magic numbers.
+//!
+//! The crate intentionally implements only what constant derivation needs:
+//! addition, subtraction, schoolbook multiplication, division by a single
+//! 64-bit limb, comparison, bit access and hex conversion. All values are
+//! unsigned; callers track signs symbolically (the curve-polynomial
+//! evaluations in `eqjoin-pairing` are rearranged so every intermediate is
+//! non-negative).
+//!
+//! This code runs only at parameter-derivation time (once per process), so
+//! clarity is preferred over speed.
+
+pub mod limb;
+pub mod uint;
+
+pub use uint::BigUint;

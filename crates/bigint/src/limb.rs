@@ -1,0 +1,75 @@
+//! Single-limb (`u64`) primitives with explicit carry/borrow propagation.
+//!
+//! These helpers are shared by the dynamic [`crate::BigUint`] and by the
+//! fixed-width Montgomery fields in `eqjoin-pairing`. They are written with
+//! `u128` intermediates and wrapping semantics so they behave identically
+//! with and without overflow checks enabled.
+
+/// Add with carry: returns `(a + b + carry) mod 2^64` and the carry out.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `(a - b - borrow) mod 2^64` and the borrow
+/// out (`0` or `1`).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub((b as u128) + (borrow as u128));
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Multiply-accumulate: returns `(a + b * c + carry) mod 2^64` and the new
+/// carry (which always fits in a `u64`).
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Full 64x64 -> 128 multiplication split into `(lo, hi)` limbs.
+#[inline(always)]
+pub const fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let t = (a as u128) * (b as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+        assert_eq!(sbb(0, u64::MAX, 1), (0, 1));
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        // a + b*c + carry with maximal operands stays within 128 bits.
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        let expect = (u64::MAX as u128)
+            + (u64::MAX as u128) * (u64::MAX as u128)
+            + (u64::MAX as u128);
+        assert_eq!(lo, expect as u64);
+        assert_eq!(hi, (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn mul_wide_matches_u128() {
+        let (lo, hi) = mul_wide(0xdead_beef_dead_beef, 0x1234_5678_9abc_def0);
+        let t = (0xdead_beef_dead_beefu128) * (0x1234_5678_9abc_def0u128);
+        assert_eq!(lo, t as u64);
+        assert_eq!(hi, (t >> 64) as u64);
+    }
+}

@@ -1,0 +1,120 @@
+//! Embedding attribute values into `Z_q` and building the row vector `ω`
+//! (§4.1, §4.3).
+//!
+//! The paper assumes "an efficient and injective embedding from the
+//! attribute values … to `Z_q` which generates elements … uniformly at
+//! random, to comply with the Schwartz–Zippel lemma. We use a
+//! cryptographic hash function to provide such a mapping." Join values
+//! are hashed in a *global* join domain (so equal values collide across
+//! tables, which is what makes cross-table equality testable), while
+//! filter attributes use a generic attribute domain (the polynomials are
+//! per-attribute, so no cross-attribute interaction arises; random
+//! per-polynomial scaling makes accidental sum-cancellation negligible).
+
+use eqjoin_pairing::Fr;
+
+/// Hash a join-column value into `Z_q` — the paper's `H(a₀)`.
+pub fn embed_join_value(value: &[u8]) -> Fr {
+    Fr::hash_to_field(b"eqjoin/join-value/v1", value)
+}
+
+/// Hash a filter-attribute value into `Z_q` (the `aᵢ` fed to the powers
+/// and the `φᵢ` used as polynomial roots).
+pub fn embed_attribute(value: &[u8]) -> Fr {
+    Fr::hash_to_field(b"eqjoin/attribute/v1", value)
+}
+
+/// The plaintext row encoding `ω` of §4.3, before blinding and FHIPE
+/// encryption: hashed join value plus `t+1` powers of each embedded
+/// attribute value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowEncoding {
+    /// `H(a₀)`.
+    pub join_hash: Fr,
+    /// Embedded filter attributes `a₁ … a_m`.
+    pub attributes: Vec<Fr>,
+}
+
+impl RowEncoding {
+    /// Encode from raw bytes: the join value plus `m` attribute values.
+    pub fn from_bytes(join_value: &[u8], attributes: &[Vec<u8>]) -> Self {
+        RowEncoding {
+            join_hash: embed_join_value(join_value),
+            attributes: attributes.iter().map(|a| embed_attribute(a)).collect(),
+        }
+    }
+
+    /// Number of filter attributes `m`.
+    pub fn m(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Build the payload vector
+    /// `ω = (H(a₀), γ₂·a₁⁰, …, γ₂·a₁ᵗ, …, γ₂·a_m⁰, …, γ₂·a_mᵗ)`
+    /// of length `m(t+1) + 1`.
+    pub fn omega(&self, t: usize, gamma2: Fr) -> Vec<Fr> {
+        let mut omega = Vec::with_capacity(self.attributes.len() * (t + 1) + 1);
+        omega.push(self.join_hash);
+        for &attr in &self.attributes {
+            let mut power = Fr::one();
+            for _ in 0..=t {
+                omega.push(gamma2 * power);
+                power *= attr;
+            }
+        }
+        omega
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_embedding_is_table_agnostic() {
+        // The same join value must embed identically regardless of which
+        // table it appears in (cross-table equality is the whole point).
+        assert_eq!(embed_join_value(b"42"), embed_join_value(b"42"));
+        assert_ne!(embed_join_value(b"42"), embed_join_value(b"43"));
+    }
+
+    #[test]
+    fn join_and_attribute_domains_are_separated() {
+        assert_ne!(embed_join_value(b"x"), embed_attribute(b"x"));
+    }
+
+    #[test]
+    fn omega_layout() {
+        let enc = RowEncoding::from_bytes(b"key", &[b"a".to_vec(), b"b".to_vec()]);
+        let gamma2 = Fr::from_u64(3);
+        let t = 2;
+        let omega = enc.omega(t, gamma2);
+        assert_eq!(omega.len(), 2 * 3 + 1);
+        assert_eq!(omega[0], enc.join_hash);
+        let a = embed_attribute(b"a");
+        let b = embed_attribute(b"b");
+        // Blinded power ladder per attribute.
+        assert_eq!(omega[1], gamma2);
+        assert_eq!(omega[2], gamma2 * a);
+        assert_eq!(omega[3], gamma2 * a * a);
+        assert_eq!(omega[4], gamma2);
+        assert_eq!(omega[5], gamma2 * b);
+        assert_eq!(omega[6], gamma2 * b * b);
+    }
+
+    #[test]
+    fn omega_with_no_attributes() {
+        let enc = RowEncoding::from_bytes(b"key", &[]);
+        assert_eq!(enc.omega(3, Fr::one()), vec![enc.join_hash]);
+        assert_eq!(enc.m(), 0);
+    }
+
+    #[test]
+    fn distinct_gamma_distinct_omega_same_join_slot() {
+        let enc = RowEncoding::from_bytes(b"k", &[b"v".to_vec()]);
+        let o1 = enc.omega(1, Fr::from_u64(2));
+        let o2 = enc.omega(1, Fr::from_u64(5));
+        assert_eq!(o1[0], o2[0], "join hash is not blinded");
+        assert_ne!(o1[1..], o2[1..], "powers are blinded by γ₂");
+    }
+}

@@ -1,0 +1,38 @@
+//! **Secure Join** — the paper's primary contribution (§4.3):
+//! `SJ = (SJ.Setup, SJ.TokenGen, SJ.Enc, SJ.Dec, SJ.Match)`.
+//!
+//! An encryption scheme for non-interactive equi-joins over outsourced
+//! tables where a *series* of join queries leaks only the transitive
+//! closure of the union of the per-query leakages — no super-additive
+//! leakage (§2.1, Corollaries 5.2.1/5.2.2).
+//!
+//! # How it fits together
+//!
+//! * Each row of a table is encoded as the vector
+//!   `ω = (H(a₀), γ₂·a₁⁰, …, γ₂·a₁ᵗ, …, γ₂·a_m⁰, …, γ₂·a_mᵗ)` — the
+//!   hashed join value followed by `t+1` powers of every (hashed)
+//!   filter-attribute value, blinded by a per-row random `γ₂`
+//!   ([`encode`]).
+//! * A query's `IN`-clause predicates become degree-`t` polynomials that
+//!   vanish exactly on the selected values ([`poly`]); the token vector is
+//!   `ν = (k, p₁,₀, …, p_m,t)` with a fresh per-query symmetric key `k`.
+//! * Both sides go through the modified function-hiding inner-product
+//!   encryption ([`eqjoin_fhipe::modified`]), so the server's `SJ.Dec`
+//!   computes `D = e(g1,g2)^{det(B)·(k·H(a₀) + γ₂·Σᵢ Pᵢ(aᵢ))}`:
+//!   when the selection matches, every `Pᵢ(aᵢ)` is zero and
+//!   `D = e(g1,g2)^{det(B)·k·H(a₀)}` — equal across rows (of either
+//!   table) *iff* the join values match **under the same query**
+//!   (Theorem 5.2 case analysis).
+//! * `SJ.Match` compares `D` values; equality means "join these rows".
+//!   A hash join on the canonical `D` bytes gives the paper's `O(n)`
+//!   expected-time matching.
+
+pub mod encode;
+pub mod poly;
+pub mod scheme;
+
+pub use encode::{embed_attribute, embed_join_value, RowEncoding};
+pub use poly::SelectionPolynomial;
+pub use scheme::{
+    SecureJoin, SjMasterKey, SjParams, SjQueryKey, SjRowCiphertext, SjTableSide, SjToken,
+};

@@ -1,0 +1,189 @@
+//! Polynomial encoding of `IN`-clause selection predicates (§4.1).
+//!
+//! A predicate `Aᵢ IN Φᵢ = (φᵢ,₁, …, φᵢ,ₛ)` with `s ≤ t` becomes a
+//! degree-`t` polynomial `Pᵢ` whose root set is exactly `Φᵢ`:
+//! short root lists are padded by repeating the last root (raising its
+//! multiplicity, which never adds spurious roots), and the whole
+//! polynomial is scaled by a fresh random `ρ ∈ Z_q \ {0}` — this is the
+//! "at least q distinct polynomials" degree of freedom the paper uses in
+//! the security argument. Attributes absent from the WHERE clause encode
+//! as the identically-zero polynomial.
+
+use eqjoin_crypto::RandomSource;
+use eqjoin_pairing::Fr;
+
+/// A selection polynomial of fixed degree `t`, stored as `t+1`
+/// coefficients `p₀ … p_t` (low to high).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectionPolynomial {
+    coeffs: Vec<Fr>,
+}
+
+impl SelectionPolynomial {
+    /// The identically-zero polynomial (attribute not constrained).
+    pub fn zero(t: usize) -> Self {
+        SelectionPolynomial {
+            coeffs: vec![Fr::zero(); t + 1],
+        }
+    }
+
+    /// Build a randomized degree-`t` polynomial vanishing exactly on
+    /// `roots` (`1 ≤ |roots| ≤ t`; shorter lists are padded by root
+    /// repetition).
+    pub fn from_roots(roots: &[Fr], t: usize, rng: &mut dyn RandomSource) -> Self {
+        assert!(!roots.is_empty(), "selection predicate needs ≥ 1 value");
+        assert!(
+            roots.len() <= t,
+            "IN clause has {} values but t = {t}",
+            roots.len()
+        );
+        let rho = Fr::random_nonzero(rng);
+        // Expand ρ·∏(x - φ), padding with the last root up to degree t.
+        let mut coeffs = vec![Fr::zero(); t + 1];
+        coeffs[0] = rho;
+        let mut degree = 0usize;
+        for i in 0..t {
+            let root = roots[i.min(roots.len() - 1)];
+            // Multiply by (x - root): shift up one degree, subtract root×.
+            degree += 1;
+            for d in (1..=degree).rev() {
+                let lower = coeffs[d - 1];
+                coeffs[d] = lower - root * coeffs[d];
+                // coeffs[d] was the old coefficient; new = old_lower - root*old.
+            }
+            coeffs[0] = -(root * coeffs[0]);
+        }
+        SelectionPolynomial { coeffs }
+    }
+
+    /// Coefficients `p₀ … p_t`.
+    pub fn coeffs(&self) -> &[Fr] {
+        &self.coeffs
+    }
+
+    /// Degree bound `t`.
+    pub fn t(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// True for the identically-zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(Fr::is_zero)
+    }
+
+    /// Horner evaluation (used by tests and the leakage analyzer).
+    pub fn eval(&self, x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+    use proptest::prelude::*;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(0x901)
+    }
+
+    fn fr(v: u64) -> Fr {
+        Fr::from_u64(v)
+    }
+
+    #[test]
+    fn vanishes_exactly_on_roots() {
+        let mut r = rng();
+        let roots = [fr(3), fr(7), fr(11)];
+        let p = SelectionPolynomial::from_roots(&roots, 5, &mut r);
+        assert_eq!(p.coeffs().len(), 6);
+        for root in roots {
+            assert!(p.eval(root).is_zero(), "must vanish at every root");
+        }
+        for non_root in [fr(1), fr(4), fr(12), fr(1000)] {
+            assert!(!p.eval(non_root).is_zero(), "must not vanish off-roots");
+        }
+    }
+
+    #[test]
+    fn padding_repeats_roots_without_adding_new_ones() {
+        let mut r = rng();
+        // One root, degree 4: P = ρ(x-5)⁴.
+        let p = SelectionPolynomial::from_roots(&[fr(5)], 4, &mut r);
+        assert!(p.eval(fr(5)).is_zero());
+        for x in 0..20u64 {
+            if x != 5 {
+                assert!(!p.eval(fr(x)).is_zero(), "spurious root at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_scaling_varies_but_roots_do_not() {
+        let mut r = rng();
+        let p1 = SelectionPolynomial::from_roots(&[fr(2), fr(9)], 3, &mut r);
+        let p2 = SelectionPolynomial::from_roots(&[fr(2), fr(9)], 3, &mut r);
+        assert_ne!(p1, p2, "fresh ρ must differ");
+        assert!(p1.eval(fr(2)).is_zero() && p2.eval(fr(2)).is_zero());
+        assert!(p1.eval(fr(9)).is_zero() && p2.eval(fr(9)).is_zero());
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let p = SelectionPolynomial::zero(4);
+        assert!(p.is_zero());
+        assert_eq!(p.coeffs().len(), 5);
+        assert!(p.eval(fr(123)).is_zero());
+    }
+
+    #[test]
+    fn leading_coefficient_nonzero() {
+        // Degree is exactly t: leading coefficient = ρ ≠ 0.
+        let mut r = rng();
+        let p = SelectionPolynomial::from_roots(&[fr(1), fr(2)], 2, &mut r);
+        assert!(!p.coeffs()[2].is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "IN clause")]
+    fn too_many_roots_panics() {
+        let mut r = rng();
+        let _ = SelectionPolynomial::from_roots(&[fr(1), fr(2), fr(3)], 2, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 value")]
+    fn empty_roots_panics() {
+        let mut r = rng();
+        let _ = SelectionPolynomial::from_roots(&[], 2, &mut r);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_roots_always_vanish(
+            seed in any::<u64>(),
+            raw_roots in proptest::collection::vec(1u64..10_000, 1..5),
+            extra in 0usize..3,
+        ) {
+            let mut r = ChaChaRng::seed_from_u64(seed);
+            let t = raw_roots.len() + extra;
+            let roots: Vec<Fr> = raw_roots.iter().map(|&v| fr(v)).collect();
+            let p = SelectionPolynomial::from_roots(&roots, t, &mut r);
+            for root in &roots {
+                prop_assert!(p.eval(*root).is_zero());
+            }
+            // A value distinct from all roots is (with overwhelming
+            // probability) not a root.
+            let probe = fr(10_007);
+            if !raw_roots.contains(&10_007) {
+                prop_assert!(!p.eval(probe).is_zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// The "expand 32-byte k" constant words.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Compute one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("key word"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce word"));
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter`. Encryption and decryption are the same operation.
+pub fn apply_keystream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2: key 00..1f, nonce 000000090000004a00000000, ctr 1.
+        let key = test_key();
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let ks = block(&key, 1, &nonce);
+        let expected_first_words: [u32; 4] = [0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3];
+        for (i, w) in expected_first_words.iter().enumerate() {
+            assert_eq!(
+                u32::from_le_bytes(ks[4 * i..4 * i + 4].try_into().unwrap()),
+                *w,
+                "word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = test_key();
+        let nonce = [7u8; NONCE_LEN];
+        let plaintext: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut buf = plaintext.clone();
+        apply_keystream(&key, &nonce, 0, &mut buf);
+        assert_ne!(buf, plaintext);
+        apply_keystream(&key, &nonce, 0, &mut buf);
+        assert_eq!(buf, plaintext);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = test_key();
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        apply_keystream(&key, &[1u8; NONCE_LEN], 0, &mut a);
+        apply_keystream(&key, &[2u8; NONCE_LEN], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_offset_is_contiguous() {
+        // Applying from counter 0 over 128 bytes equals applying two 64-byte
+        // halves at counters 0 and 1.
+        let key = test_key();
+        let nonce = [3u8; NONCE_LEN];
+        let mut whole = vec![0u8; 128];
+        apply_keystream(&key, &nonce, 0, &mut whole);
+        let mut lo = vec![0u8; 64];
+        let mut hi = vec![0u8; 64];
+        apply_keystream(&key, &nonce, 0, &mut lo);
+        apply_keystream(&key, &nonce, 1, &mut hi);
+        assert_eq!(&whole[..64], &lo[..]);
+        assert_eq!(&whole[64..], &hi[..]);
+    }
+
+    #[test]
+    fn quarter_round_rfc_vector() {
+        // RFC 8439 §2.1.1 test vector.
+        let mut st = [0u32; 16];
+        st[0] = 0x11111111;
+        st[1] = 0x01020304;
+        st[2] = 0x9b8d6f43;
+        st[3] = 0x01234567;
+        quarter_round(&mut st, 0, 1, 2, 3);
+        assert_eq!(st[0], 0xea2a92f4);
+        assert_eq!(st[1], 0xcb1cf8ce);
+        assert_eq!(st[2], 0x4581472e);
+        assert_eq!(st[3], 0x5881c4bb);
+    }
+}

@@ -1,0 +1,120 @@
+//! HMAC-SHA-256 (RFC 2104) and an HKDF-expand style key-derivation helper.
+
+use crate::sha256::{sha256, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        k[..DIGEST_LEN].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad).update(data);
+    let mut outer = Sha256::new();
+    outer.update(&opad).update(&inner.finalize());
+    outer.finalize()
+}
+
+/// HKDF-style expansion: derive `len` bytes from `prk` and `info`
+/// (RFC 5869 expand step with HMAC-SHA-256).
+pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "hkdf output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        t = hmac_sha256(prk, &msg).to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("hkdf counter overflow");
+    }
+    out
+}
+
+/// Constant-time byte-slice equality (length must match).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // Keys longer than the block size are first hashed; verify against
+        // the equivalent short-key invocation.
+        let long_key = vec![0x42u8; 100];
+        let short_key = sha256(&long_key);
+        assert_eq!(
+            hmac_sha256(&long_key, b"msg"),
+            hmac_sha256(&short_key, b"msg")
+        );
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn hkdf_lengths_and_prefix_property() {
+        let prk = sha256(b"input key material");
+        let a = hkdf_expand(&prk, b"ctx", 16);
+        let b = hkdf_expand(&prk, b"ctx", 80);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 80);
+        assert_eq!(&b[..16], &a[..]);
+        assert_ne!(hkdf_expand(&prk, b"ctx2", 16), a);
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"same "));
+        assert!(!ct_eq(b"abcd", b"abce"));
+        assert!(ct_eq(b"", b""));
+    }
+}

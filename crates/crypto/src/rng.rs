@@ -1,0 +1,185 @@
+//! Deterministic ChaCha20-based CSPRNG behind the dyn-safe
+//! [`RandomSource`] trait.
+//!
+//! Every piece of protocol randomness (FHIPE matrices, blinding factors
+//! `γ`, `δ`, query keys `k`, polynomial scalings) is drawn through this
+//! trait, which keeps the whole system reproducible from a single seed —
+//! essential for the paper-reproduction experiments and for property tests.
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::sha256::sha256;
+
+/// A source of cryptographically-strong random bytes.
+///
+/// Deliberately dyn-safe so protocol code can take `&mut dyn RandomSource`
+/// without generic plumbing.
+pub trait RandomSource {
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Next random `u64`.
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Uniform value in `[0, bound)` by rejection sampling (`bound > 0`).
+    fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection zone keeps the result exactly uniform.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// ChaCha20-based deterministic random generator.
+#[derive(Clone)]
+pub struct ChaChaRng {
+    key: [u8; KEY_LEN],
+    nonce: [u8; NONCE_LEN],
+    counter: u32,
+    buf: [u8; 64],
+    buf_pos: usize,
+}
+
+impl ChaChaRng {
+    /// Construct from a full 32-byte seed.
+    pub fn from_seed(seed: [u8; KEY_LEN]) -> Self {
+        ChaChaRng {
+            key: seed,
+            nonce: [0u8; NONCE_LEN],
+            counter: 0,
+            buf: [0u8; 64],
+            buf_pos: 64,
+        }
+    }
+
+    /// Construct from a 64-bit seed (expanded through SHA-256).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut msg = *b"eqjoin-rng-seed-........";
+        msg[16..24].copy_from_slice(&seed.to_le_bytes());
+        Self::from_seed(sha256(&msg))
+    }
+
+    /// Construct from ambient entropy (time + PID + a process counter).
+    ///
+    /// This is a research artifact: "from_entropy" is best-effort and meant
+    /// for interactive use; experiments should always use explicit seeds.
+    pub fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let mut material = Vec::with_capacity(64);
+        material.extend_from_slice(&now.to_le_bytes());
+        material.extend_from_slice(&std::process::id().to_le_bytes());
+        material.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+        let bt = std::time::Instant::now();
+        material.extend_from_slice(&(&bt as *const _ as usize).to_le_bytes());
+        Self::from_seed(sha256(&material))
+    }
+
+    fn refill(&mut self) {
+        self.buf = chacha20::block(&self.key, self.counter, &self.nonce);
+        self.counter = self.counter.checked_add(1).unwrap_or_else(|| {
+            // Counter exhausted: ratchet the key forward and restart.
+            self.key = sha256(&self.key);
+            0
+        });
+        self.buf_pos = 0;
+    }
+}
+
+impl RandomSource for ChaChaRng {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.buf_pos == 64 {
+                self.refill();
+            }
+            let take = (dest.len() - filled).min(64 - self.buf_pos);
+            dest[filled..filled + take]
+                .copy_from_slice(&self.buf[self.buf_pos..self.buf_pos + take]);
+            self.buf_pos += take;
+            filled += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ChaChaRng::seed_from_u64(42);
+        let mut b = ChaChaRng::seed_from_u64(42);
+        let mut c = ChaChaRng::seed_from_u64(43);
+        let (mut ba, mut bb, mut bc) = ([0u8; 97], [0u8; 97], [0u8; 97]);
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        c.fill_bytes(&mut bc);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, bc);
+    }
+
+    #[test]
+    fn chunked_reads_match_bulk() {
+        let mut bulk = ChaChaRng::seed_from_u64(7);
+        let mut chunked = ChaChaRng::seed_from_u64(7);
+        let mut big = [0u8; 200];
+        bulk.fill_bytes(&mut big);
+        let mut acc = Vec::new();
+        for size in [1usize, 3, 64, 63, 69] {
+            let mut b = vec![0u8; size];
+            chunked.fill_bytes(&mut b);
+            acc.extend_from_slice(&b);
+        }
+        assert_eq!(&big[..], &acc[..]);
+    }
+
+    #[test]
+    fn bounded_is_in_range_and_covers() {
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_bounded(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn entropy_instances_differ() {
+        let mut a = ChaChaRng::from_entropy();
+        let mut b = ChaChaRng::from_entropy();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_u32_and_u64_advance_stream() {
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        let c = rng.next_u32();
+        let d = rng.next_u32();
+        assert_ne!(c, d);
+    }
+}

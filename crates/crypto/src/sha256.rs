@@ -1,0 +1,288 @@
+//! SHA-256 (FIPS 180-4), implemented from the specification.
+//!
+//! The round constants `K[0..64]` are the first 32 bits of the fractional
+//! parts of the cube roots of the first 64 primes, and the initial state
+//! `H0[0..8]` the same for square roots of the first 8 primes. Instead of
+//! hard-coding the tables we derive them with *exact* integer root
+//! computations at first use; the standard FIPS test vectors below then
+//! pin down full correctness.
+
+use std::sync::OnceLock;
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+/// Exact integer square root of a `u128` by binary search.
+fn isqrt(n: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 64);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if mid.checked_mul(mid).map(|m| m <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Exact integer cube root of a `u128` by binary search.
+fn icbrt(n: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 43);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let cube = mid.checked_mul(mid).and_then(|m| m.checked_mul(mid));
+        if cube.map(|c| c <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+struct Tables {
+    k: [u32; 64],
+    h0: [u32; 8],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in primes.iter().enumerate() {
+            // frac(p^(1/3)) * 2^32 == floor(cbrt(p * 2^96)) mod 2^32 (exact).
+            k[i] = (icbrt((p as u128) << 96) & 0xffff_ffff) as u32;
+        }
+        let mut h0 = [0u32; 8];
+        for (i, &p) in primes.iter().take(8).enumerate() {
+            h0[i] = (isqrt((p as u128) << 64) & 0xffff_ffff) as u32;
+        }
+        Tables { k, h0 }
+    })
+}
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher with the standard initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: tables().h0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(BLOCK_LEN - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= BLOCK_LEN {
+            let (block, tail) = rest.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+        self
+    }
+
+    /// Finish and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        let pad_len = {
+            let rem = (self.buf_len + 1 + 8) % BLOCK_LEN;
+            let zeros = if rem == 0 { 0 } else { BLOCK_LEN - rem };
+            1 + zeros + 8
+        };
+        pad[0] = 0x80;
+        pad[pad_len - 8..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        let pad = pad;
+        self.update(&pad[..pad_len]);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let k = &tables().k;
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_constants_match_fips() {
+        let t = tables();
+        // Spot-check the published FIPS 180-4 values.
+        assert_eq!(t.h0[0], 0x6a09e667);
+        assert_eq!(t.h0[7], 0x5be0cd19);
+        assert_eq!(t.k[0], 0x428a2f98);
+        assert_eq!(t.k[63], 0xc67178f2);
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // FIPS 180-4 example: 448-bit message.
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn length_extension_padding_edges() {
+        // Hash inputs whose length sits exactly around block boundaries.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xa5u8; len];
+            let d1 = sha256(&data);
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4 long test vector: one million repetitions of "a".
+        let chunk = [b'a'; 1000];
+        let mut h = Sha256::new();
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! The trusted client: key management, table encryption, token
+//! generation and result decryption.
+
+use crate::data::{Row, Table, Value};
+use crate::encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
+use crate::error::DbError;
+use crate::query::JoinQuery;
+use eqjoin_core::{embed_attribute, RowEncoding, SecureJoin, SjMasterKey, SjParams, SjTableSide};
+use eqjoin_crypto::{AeadKey, ChaChaRng, Prf};
+use eqjoin_pairing::{Engine, Fr};
+use std::collections::HashMap;
+
+/// Per-table encryption configuration (fixed when the table is
+/// encrypted).
+#[derive(Clone, Debug)]
+pub struct TableConfig {
+    /// The join column (the paper's `A0`).
+    pub join_column: String,
+    /// The filter columns carrying encrypted power ladders
+    /// (`A1 … A_m'`, `m' ≤ m`; the scheme pads to `m`).
+    pub filter_columns: Vec<String>,
+}
+
+/// Value used to pad tables with fewer than `m` filter attributes; it is
+/// never a legal filter target, so its polynomials stay identically zero.
+const PAD_ATTRIBUTE: &[u8] = b"\xff\xfeeqjoin-pad";
+
+/// The trusted client of the outsourced-database model (§2).
+pub struct DbClient<E: Engine> {
+    params: SjParams,
+    msk: SjMasterKey<E>,
+    aead: AeadKey,
+    prefilter_root: Prf,
+    prefilter_enabled: bool,
+    rng: ChaChaRng,
+    tables: HashMap<String, TableConfig>,
+    join_col_indices: HashMap<String, usize>,
+    next_query_id: u64,
+}
+
+/// A decrypted joined row: `(θ, left columns…, right columns…)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinedRow {
+    /// The shared join value `θ = a₀ = b₀`.
+    pub theta: Value,
+    /// The left row's values (join column included, as stored).
+    pub left: Row,
+    /// The right row's values.
+    pub right: Row,
+}
+
+impl<E: Engine> DbClient<E> {
+    /// Create a client for one join context.
+    ///
+    /// * `m` — filter attributes per table (tables with fewer are padded);
+    /// * `t` — maximum `IN`-clause size;
+    /// * `seed` — deterministic RNG seed (experiments are reproducible).
+    pub fn new(m: usize, t: usize, seed: u64) -> Self {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let params = SjParams { m, t };
+        let msk = SecureJoin::<E>::setup(params, &mut rng);
+        let aead = AeadKey::generate(&mut rng);
+        let prefilter_root = Prf::generate(&mut rng);
+        DbClient {
+            params,
+            msk,
+            aead,
+            prefilter_root,
+            prefilter_enabled: false,
+            rng,
+            tables: HashMap::new(),
+            join_col_indices: HashMap::new(),
+            next_query_id: 0,
+        }
+    }
+
+    /// Enable the selectivity pre-filter (§4.3's orthogonal searchable
+    /// encryption). Disabled by default: the deterministic per-column
+    /// tags leak value-equality within a column to the server, which the
+    /// core scheme itself does not — the paper's Figures 3/4 measure the
+    /// pre-filtered configuration, so the benchmarks turn this on.
+    pub fn enable_prefilter(&mut self, enabled: bool) {
+        self.prefilter_enabled = enabled;
+    }
+
+    /// Scheme parameters.
+    pub fn params(&self) -> SjParams {
+        self.params
+    }
+
+    /// Encrypt a table for joins on `config.join_column` with the given
+    /// filter attributes. Consumes the plaintext table (the client keeps
+    /// only configuration, not data).
+    pub fn encrypt_table(
+        &mut self,
+        table: &Table,
+        config: TableConfig,
+    ) -> Result<EncryptedTable<E>, DbError> {
+        let schema = &table.schema;
+        let join_idx = schema.column_index(&config.join_column).ok_or_else(|| {
+            DbError::UnknownColumn {
+                table: schema.name.clone(),
+                column: config.join_column.clone(),
+            }
+        })?;
+        assert!(
+            config.filter_columns.len() <= self.params.m,
+            "table {} has {} filter columns, context supports m = {}",
+            schema.name,
+            config.filter_columns.len(),
+            self.params.m
+        );
+        let filter_idx: Vec<usize> = config
+            .filter_columns
+            .iter()
+            .map(|c| {
+                schema
+                    .column_index(c)
+                    .ok_or_else(|| DbError::UnknownColumn {
+                        table: schema.name.clone(),
+                        column: c.clone(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let table_prf = self.prefilter_root.derive(schema.name.as_bytes());
+        let column_prfs: Vec<Prf> = config
+            .filter_columns
+            .iter()
+            .map(|c| table_prf.derive(c.as_bytes()))
+            .collect();
+
+        let mut rows = Vec::with_capacity(table.len());
+        for (ridx, row) in table.rows.iter().enumerate() {
+            let join_bytes = row.get(join_idx).canonical_bytes();
+            // Filter attribute bytes, padded to m with the pad constant.
+            let mut attr_bytes: Vec<Vec<u8>> = filter_idx
+                .iter()
+                .map(|&i| row.get(i).canonical_bytes())
+                .collect();
+            while attr_bytes.len() < self.params.m {
+                attr_bytes.push(PAD_ATTRIBUTE.to_vec());
+            }
+            let encoding = RowEncoding::from_bytes(&join_bytes, &attr_bytes);
+            let cipher = SecureJoin::<E>::encrypt_row(&self.msk, &encoding, &mut self.rng);
+            let ad = format!("{}#{}", schema.name, ridx);
+            let payload = self.aead.seal(&mut self.rng, ad.as_bytes(), &row.encode());
+            let tags = self.prefilter_enabled.then(|| {
+                filter_idx
+                    .iter()
+                    .zip(&column_prfs)
+                    .map(|(&i, prf)| prf.tag16(&row.get(i).canonical_bytes()))
+                    .collect()
+            });
+            rows.push(EncryptedRow {
+                cipher,
+                payload,
+                tags,
+            });
+        }
+
+        self.tables.insert(schema.name.clone(), config.clone());
+        self.join_col_indices.insert(schema.name.clone(), join_idx);
+        Ok(EncryptedTable {
+            name: schema.name.clone(),
+            join_column: config.join_column,
+            filter_columns: config.filter_columns,
+            rows,
+        })
+    }
+
+    /// Build the two tokens (sharing one fresh query key `k`) for a join
+    /// query.
+    pub fn query_tokens(&mut self, query: &JoinQuery) -> Result<QueryTokens<E>, DbError> {
+        let key = SecureJoin::<E>::fresh_query_key(&mut self.rng);
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let left = self.side_tokens(query, true, &key)?;
+        let right = self.side_tokens(query, false, &key)?;
+        Ok(QueryTokens {
+            query_id,
+            left,
+            right,
+        })
+    }
+
+    fn side_tokens(
+        &mut self,
+        query: &JoinQuery,
+        left: bool,
+        key: &eqjoin_core::SjQueryKey,
+    ) -> Result<SideTokens<E>, DbError> {
+        let (table, join_col, side) = if left {
+            (&query.left_table, &query.left_join_column, SjTableSide::A)
+        } else {
+            (&query.right_table, &query.right_join_column, SjTableSide::B)
+        };
+        let config = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.clone()))?
+            .clone();
+        if *join_col != config.join_column {
+            return Err(DbError::JoinColumnMismatch {
+                table: table.clone(),
+                requested: join_col.clone(),
+                encrypted: config.join_column.clone(),
+            });
+        }
+
+        // Collect per-filter-column IN values.
+        let mut per_column: Vec<Option<Vec<Fr>>> = vec![None; self.params.m];
+        let mut prefilter = Vec::new();
+        let table_prf = self.prefilter_root.derive(table.as_bytes());
+        for filter in query.filters_for(table) {
+            let col_pos = config
+                .filter_columns
+                .iter()
+                .position(|c| *c == filter.column)
+                .ok_or_else(|| DbError::NotAFilterColumn {
+                    table: table.clone(),
+                    column: filter.column.clone(),
+                })?;
+            if filter.values.is_empty() {
+                return Err(DbError::EmptyInClause);
+            }
+            if filter.values.len() > self.params.t {
+                return Err(DbError::InClauseTooLarge {
+                    got: filter.values.len(),
+                    max: self.params.t,
+                });
+            }
+            let embedded: Vec<Fr> = filter
+                .values
+                .iter()
+                .map(|v| embed_attribute(&v.canonical_bytes()))
+                .collect();
+            per_column[col_pos] = Some(embedded);
+            if self.prefilter_enabled {
+                let col_prf = table_prf.derive(filter.column.as_bytes());
+                let tags = filter
+                    .values
+                    .iter()
+                    .map(|v| col_prf.tag16(&v.canonical_bytes()))
+                    .collect();
+                prefilter.push((col_pos, tags));
+            }
+        }
+
+        let token =
+            SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng);
+        Ok(SideTokens {
+            table: table.clone(),
+            token,
+            prefilter,
+        })
+    }
+
+    /// Decrypt the server's matched row pairs into joined plaintext rows.
+    pub fn decrypt_result(
+        &self,
+        query: &JoinQuery,
+        result: &crate::server::EncryptedJoinResult,
+    ) -> Result<Vec<JoinedRow>, DbError> {
+        let join_idx = *self
+            .join_col_indices
+            .get(&query.left_table)
+            .ok_or_else(|| DbError::UnknownTable(query.left_table.clone()))?;
+        let mut out = Vec::with_capacity(result.pairs.len());
+        for pair in &result.pairs {
+            let left = self.open_row(&query.left_table, pair.left_row, &pair.left_payload)?;
+            let right = self.open_row(&query.right_table, pair.right_row, &pair.right_payload)?;
+            // θ is the (equal) join value, recovered from the left row.
+            let theta = left.get(join_idx).clone();
+            out.push(JoinedRow { theta, left, right });
+        }
+        Ok(out)
+    }
+
+    fn open_row(&self, table: &str, row_idx: usize, payload: &[u8]) -> Result<Row, DbError> {
+        let ad = format!("{table}#{row_idx}");
+        let plain = self
+            .aead
+            .open(ad.as_bytes(), payload)
+            .map_err(|_| DbError::PayloadCorrupted)?;
+        Row::decode(&plain).ok_or(DbError::PayloadCorrupted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Schema;
+    use eqjoin_pairing::MockEngine;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(Schema::new("People", &["id", "name", "role"]));
+        t.push_row(vec![Value::Int(1), "ann".into(), "dev".into()]);
+        t.push_row(vec![Value::Int(2), "bob".into(), "ops".into()]);
+        t
+    }
+
+    fn config() -> TableConfig {
+        TableConfig {
+            join_column: "id".into(),
+            filter_columns: vec!["name".into(), "role".into()],
+        }
+    }
+
+    #[test]
+    fn encrypt_table_shapes() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        let enc = client.encrypt_table(&sample_table(), config()).unwrap();
+        assert_eq!(enc.len(), 2);
+        assert_eq!(enc.join_column, "id");
+        // inner dim = m(t+1)+3 = 2*3+3 = 9 ciphertext elements per row.
+        assert_eq!(enc.rows[0].cipher.elements().len(), 9);
+        assert!(enc.rows[0].tags.is_none(), "prefilter off by default");
+        assert!(enc.ciphertext_bytes() > 0);
+    }
+
+    #[test]
+    fn prefilter_tags_emitted_when_enabled() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        client.enable_prefilter(true);
+        let enc = client.encrypt_table(&sample_table(), config()).unwrap();
+        let tags = enc.rows[0].tags.as_ref().unwrap();
+        assert_eq!(tags.len(), 2);
+        // Equal values get equal tags; different rows differ.
+        assert_ne!(enc.rows[0].tags, enc.rows[1].tags);
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        let bad = TableConfig {
+            join_column: "nope".into(),
+            filter_columns: vec![],
+        };
+        assert!(matches!(
+            client.encrypt_table(&sample_table(), bad),
+            Err(DbError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn query_validation_errors() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        client.encrypt_table(&sample_table(), config()).unwrap();
+        // Unknown table.
+        let q = JoinQuery::on("Ghost", "id", "People", "id");
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::UnknownTable(_))
+        ));
+        // Wrong join column.
+        let q = JoinQuery::on("People", "name", "People", "id");
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::JoinColumnMismatch { .. })
+        ));
+        // Filter on a non-filter column.
+        let q = JoinQuery::on("People", "id", "People", "id").filter(
+            "People",
+            "id",
+            vec![Value::Int(1)],
+        );
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::NotAFilterColumn { .. })
+        ));
+        // Oversized IN clause (t = 2).
+        let q = JoinQuery::on("People", "id", "People", "id").filter(
+            "People",
+            "role",
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::InClauseTooLarge { got: 3, max: 2 })
+        ));
+        // Empty IN clause.
+        let q = JoinQuery::on("People", "id", "People", "id").filter("People", "role", vec![]);
+        assert!(matches!(client.query_tokens(&q), Err(DbError::EmptyInClause)));
+    }
+
+    #[test]
+    fn query_ids_are_monotonic() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        client.encrypt_table(&sample_table(), config()).unwrap();
+        let q = JoinQuery::on("People", "id", "People", "id");
+        let t1 = client.query_tokens(&q).unwrap();
+        let t2 = client.query_tokens(&q).unwrap();
+        assert_eq!(t1.query_id + 1, t2.query_id);
+    }
+}

@@ -1,0 +1,78 @@
+//! Server-side encrypted artifacts: tables, rows and query tokens.
+
+use eqjoin_core::{SjRowCiphertext, SjToken};
+use eqjoin_pairing::Engine;
+
+/// One encrypted row as stored by the server.
+pub struct EncryptedRow<E: Engine> {
+    /// The Secure Join ciphertext vector `C_r = g2^{w_r·B*}`.
+    pub cipher: SjRowCiphertext<E>,
+    /// AEAD-sealed row payload (the client decrypts this after a match).
+    pub payload: Vec<u8>,
+    /// Optional pre-filter tags, one per filter column
+    /// (`PRF(k_col, value)`, 16 bytes). Present only if the client
+    /// enabled the selectivity pre-filter for this table.
+    pub tags: Option<Vec<[u8; 16]>>,
+}
+
+/// An encrypted table.
+pub struct EncryptedTable<E: Engine> {
+    /// Table name.
+    pub name: String,
+    /// Join column fixed at encryption time (plaintext metadata).
+    pub join_column: String,
+    /// Filter columns in encryption order (plaintext metadata).
+    pub filter_columns: Vec<String>,
+    /// The encrypted rows.
+    pub rows: Vec<EncryptedRow<E>>,
+}
+
+impl<E: Engine> EncryptedTable<E> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate ciphertext size in bytes (for storage-overhead
+    /// reporting).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.cipher
+                    .elements()
+                    .iter()
+                    .map(|e| E::g2_bytes(e).len())
+                    .sum::<usize>()
+                    + r.payload.len()
+                    + r.tags.as_ref().map_or(0, |t| t.len() * 16)
+            })
+            .sum()
+    }
+}
+
+/// The token bundle for one side of a join query.
+pub struct SideTokens<E: Engine> {
+    /// Target table name.
+    pub table: String,
+    /// The Secure Join token `Tk = g1^{v·B}`.
+    pub token: SjToken<E>,
+    /// Pre-filter tag sets: `(filter column index, allowed tags)` for
+    /// each constrained column. Empty when the pre-filter is unused.
+    pub prefilter: Vec<(usize, Vec<[u8; 16]>)>,
+}
+
+/// Everything the server needs to execute one join query.
+pub struct QueryTokens<E: Engine> {
+    /// Monotonic query identifier (leakage bookkeeping).
+    pub query_id: u64,
+    /// Tokens for the left table.
+    pub left: SideTokens<E>,
+    /// Tokens for the right table.
+    pub right: SideTokens<E>,
+}

@@ -1,0 +1,76 @@
+//! Error type for the encrypted database engine.
+
+use std::fmt;
+
+/// Errors surfaced by the client/server engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced table was never registered/encrypted.
+    UnknownTable(String),
+    /// Referenced column does not exist in the table's schema.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// The query joins on a column other than the one fixed at
+    /// encryption time.
+    JoinColumnMismatch {
+        /// Table name.
+        table: String,
+        /// The column the query asked for.
+        requested: String,
+        /// The join column baked into the ciphertexts.
+        encrypted: String,
+    },
+    /// A filter references a column that was not registered as a filter
+    /// attribute (only filter columns carry encrypted power ladders).
+    NotAFilterColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// An `IN` clause exceeds the degree bound `t` fixed at setup.
+    InClauseTooLarge {
+        /// Values supplied.
+        got: usize,
+        /// Maximum supported (`t`).
+        max: usize,
+    },
+    /// An `IN` clause with no values selects nothing.
+    EmptyInClause,
+    /// Payload authentication failed during result decryption.
+    PayloadCorrupted,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            DbError::JoinColumnMismatch {
+                table,
+                requested,
+                encrypted,
+            } => write!(
+                f,
+                "table {table} is encrypted for joins on {encrypted:?}, not {requested:?}"
+            ),
+            DbError::NotAFilterColumn { table, column } => write!(
+                f,
+                "column {table}.{column} was not registered as a filter attribute"
+            ),
+            DbError::InClauseTooLarge { got, max } => {
+                write!(f, "IN clause has {got} values, the scheme supports at most {max}")
+            }
+            DbError::EmptyInClause => write!(f, "IN clause must contain at least one value"),
+            DbError::PayloadCorrupted => write!(f, "row payload failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

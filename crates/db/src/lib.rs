@@ -1,0 +1,41 @@
+//! The encrypted DBMS engine the paper evaluates: a trusted client that
+//! encrypts relational tables and issues join tokens, and a semi-honest
+//! server that executes `SJ.Dec`/`SJ.Match` and returns matching
+//! (still-encrypted) row pairs.
+//!
+//! ```text
+//!          client (trusted)                server (semi-honest)
+//!   ┌──────────────────────────┐      ┌───────────────────────────┐
+//!   │ DbClient                 │      │ DbServer                  │
+//!   │  encrypt_table ──────────┼──────▶ insert_table              │
+//!   │  query_tokens(JoinQuery) ┼──────▶ execute_join              │
+//!   │  decrypt_result ◀────────┼──────┼── EncryptedJoinResult     │
+//!   └──────────────────────────┘      └───────────────────────────┘
+//! ```
+//!
+//! * [`data`] — the plaintext relational model (`Value`, `Row`, `Table`).
+//! * [`query`] — logical equi-join queries with `IN`-clause filters.
+//! * [`client`] — key management, table encryption, token generation,
+//!   result decryption.
+//! * [`server`] — storage, per-row `SJ.Dec`, `O(n)` hash join /
+//!   `O(n²)` nested-loop join, optional crossbeam parallelism, and the
+//!   optional selectivity pre-filter (§4.3: orthogonal searchable
+//!   encryption that lets the server decrypt only rows matching the
+//!   selection — the configuration the paper's Figures 3/4 measure).
+//! * [`join`] — the matching algorithms on decrypted `D` values.
+
+pub mod client;
+pub mod data;
+pub mod encrypted;
+pub mod error;
+pub mod join;
+pub mod query;
+pub mod server;
+
+pub use client::{DbClient, JoinedRow, TableConfig};
+pub use data::{Row, Schema, Table, Value};
+pub use encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
+pub use error::DbError;
+pub use join::JoinAlgorithm;
+pub use query::{InFilter, JoinQuery};
+pub use server::{DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, ServerStats};

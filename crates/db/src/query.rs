@@ -1,0 +1,83 @@
+//! Logical equi-join queries — the shape the paper supports:
+//!
+//! ```sql
+//! SELECT * FROM T_A JOIN T_B ON A0 = B0
+//! WHERE A1 IN (φ…) AND B3 IN (ψ…)
+//! ```
+
+use crate::data::Value;
+
+/// One `column IN (values…)` predicate on a specific table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InFilter {
+    /// Table the predicate applies to.
+    pub table: String,
+    /// Filter column name.
+    pub column: String,
+    /// The `IN`-clause values (an equality predicate is a 1-element list).
+    pub values: Vec<Value>,
+}
+
+/// A logical equi-join query over two encrypted tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinQuery {
+    /// Left table name (`T_A`).
+    pub left_table: String,
+    /// Right table name (`T_B`).
+    pub right_table: String,
+    /// Join column of the left table.
+    pub left_join_column: String,
+    /// Join column of the right table.
+    pub right_join_column: String,
+    /// Conjunction of `IN` predicates (each bound to one table).
+    pub filters: Vec<InFilter>,
+}
+
+impl JoinQuery {
+    /// Convenience constructor for the unfiltered join.
+    pub fn on(
+        left_table: &str,
+        left_join_column: &str,
+        right_table: &str,
+        right_join_column: &str,
+    ) -> Self {
+        JoinQuery {
+            left_table: left_table.to_owned(),
+            right_table: right_table.to_owned(),
+            left_join_column: left_join_column.to_owned(),
+            right_join_column: right_join_column.to_owned(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Add an `IN` predicate (builder style).
+    pub fn filter(mut self, table: &str, column: &str, values: Vec<Value>) -> Self {
+        self.filters.push(InFilter {
+            table: table.to_owned(),
+            column: column.to_owned(),
+            values,
+        });
+        self
+    }
+
+    /// All predicates bound to `table`.
+    pub fn filters_for(&self, table: &str) -> Vec<&InFilter> {
+        self.filters.iter().filter(|f| f.table == table).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let q = JoinQuery::on("Employees", "Team", "Teams", "Key")
+            .filter("Teams", "Name", vec!["Web Application".into()])
+            .filter("Employees", "Role", vec!["Tester".into()]);
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters_for("Teams").len(), 1);
+        assert_eq!(q.filters_for("Employees")[0].column, "Role");
+        assert!(q.filters_for("Nope").is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! The semi-honest server: stores encrypted tables, executes join
+//! queries with `SJ.Dec` + `SJ.Match`, and reports the equality pattern
+//! it (unavoidably) observes — the instrumentation the leakage
+//! experiments consume.
+
+use crate::encrypted::{EncryptedTable, QueryTokens, SideTokens};
+use crate::error::DbError;
+use crate::join::{hash_join, nested_loop_join, JoinAlgorithm, MatchOutcome};
+use eqjoin_core::{SecureJoin, SjToken};
+use eqjoin_pairing::Engine;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Join execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinOptions {
+    /// Matching algorithm (hash join is the paper's default).
+    pub algorithm: JoinAlgorithm,
+    /// Honor pre-filter tags if the ciphertexts carry them.
+    pub use_prefilter: bool,
+    /// Worker threads for the decryption phase (1 = sequential; the
+    /// paper's setup is single-threaded, §6.5 discusses parallelism).
+    pub threads: usize,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            algorithm: JoinAlgorithm::Hash,
+            use_prefilter: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Counters and timings from one join execution.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Rows considered on each side after pre-filtering.
+    pub rows_decrypted: usize,
+    /// Rows skipped by the pre-filter.
+    pub rows_prefiltered_out: usize,
+    /// Equality comparisons / bucket probes in the match phase.
+    pub comparisons: u64,
+    /// Matched row pairs.
+    pub matched_pairs: usize,
+    /// Wall time of the `SJ.Dec` phase.
+    pub decrypt_time: Duration,
+    /// Wall time of the `SJ.Match` phase.
+    pub match_time: Duration,
+}
+
+/// One matched pair, carrying the sealed payloads back to the client.
+pub struct MatchedPair {
+    /// Row index in the left table.
+    pub left_row: usize,
+    /// Row index in the right table.
+    pub right_row: usize,
+    /// Sealed payload of the left row.
+    pub left_payload: Vec<u8>,
+    /// Sealed payload of the right row.
+    pub right_payload: Vec<u8>,
+}
+
+/// The server's response to a join query.
+pub struct EncryptedJoinResult {
+    /// Matched pairs with payloads.
+    pub pairs: Vec<MatchedPair>,
+    /// Execution statistics.
+    pub stats: ServerStats,
+}
+
+/// What the adversary controlling the server learns from one query: the
+/// equality classes among decrypted rows, labeled `(table name, row)`.
+pub struct JoinObservation {
+    /// Query id (from the token bundle).
+    pub query_id: u64,
+    /// Observed equality classes (≥ 2 members) as `(table, row index)`.
+    pub equality_classes: Vec<Vec<(String, usize)>>,
+}
+
+/// The semi-honest DBMS server.
+pub struct DbServer<E: Engine> {
+    tables: HashMap<String, EncryptedTable<E>>,
+}
+
+impl<E: Engine> Default for DbServer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Engine> DbServer<E> {
+    /// Empty server.
+    pub fn new() -> Self {
+        DbServer {
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Upload an encrypted table.
+    pub fn insert_table(&mut self, table: EncryptedTable<E>) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Access a stored table.
+    pub fn table(&self, name: &str) -> Option<&EncryptedTable<E>> {
+        self.tables.get(name)
+    }
+
+    /// Execute a join query: per-row `SJ.Dec` on both sides (optionally
+    /// pre-filtered and parallel), then `SJ.Match` via the selected
+    /// algorithm. Returns the encrypted result and the leakage
+    /// observation.
+    pub fn execute_join(
+        &self,
+        tokens: &QueryTokens<E>,
+        opts: &JoinOptions,
+    ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
+        let left_table = self
+            .tables
+            .get(&tokens.left.table)
+            .ok_or_else(|| DbError::UnknownTable(tokens.left.table.clone()))?;
+        let right_table = self
+            .tables
+            .get(&tokens.right.table)
+            .ok_or_else(|| DbError::UnknownTable(tokens.right.table.clone()))?;
+
+        let mut stats = ServerStats::default();
+
+        let t0 = Instant::now();
+        let left_d = decrypt_side(left_table, &tokens.left, opts, &mut stats);
+        let right_d = decrypt_side(right_table, &tokens.right, opts, &mut stats);
+        stats.decrypt_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let outcome: MatchOutcome = match opts.algorithm {
+            JoinAlgorithm::Hash => hash_join(&left_d, &right_d),
+            JoinAlgorithm::NestedLoop => nested_loop_join(&left_d, &right_d),
+        };
+        stats.match_time = t1.elapsed();
+        stats.comparisons = outcome.comparisons;
+        stats.matched_pairs = outcome.pairs.len();
+
+        let pairs = outcome
+            .pairs
+            .iter()
+            .map(|&(l, r)| MatchedPair {
+                left_row: l,
+                right_row: r,
+                left_payload: left_table.rows[l].payload.clone(),
+                right_payload: right_table.rows[r].payload.clone(),
+            })
+            .collect();
+
+        let observation = JoinObservation {
+            query_id: tokens.query_id,
+            equality_classes: outcome
+                .equality_classes
+                .iter()
+                .map(|class| {
+                    class
+                        .iter()
+                        .map(|&(side, row)| {
+                            let name = if side == 0 {
+                                tokens.left.table.clone()
+                            } else {
+                                tokens.right.table.clone()
+                            };
+                            (name, row)
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+
+        Ok((
+            EncryptedJoinResult { pairs, stats },
+            observation,
+        ))
+    }
+}
+
+/// Decrypt one side: returns `(row index, D bytes)` for every candidate
+/// row that survives the pre-filter.
+fn decrypt_side<E: Engine>(
+    table: &EncryptedTable<E>,
+    side: &SideTokens<E>,
+    opts: &JoinOptions,
+    stats: &mut ServerStats,
+) -> Vec<(usize, Vec<u8>)> {
+    // Pre-filter: a row survives if, for every constrained column, its
+    // tag is in the allowed set.
+    let candidates: Vec<usize> = table
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            if !opts.use_prefilter || side.prefilter.is_empty() {
+                return true;
+            }
+            match &row.tags {
+                None => true, // table carries no tags; cannot pre-filter
+                Some(tags) => side
+                    .prefilter
+                    .iter()
+                    .all(|(col, allowed)| allowed.contains(&tags[*col])),
+            }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    stats.rows_prefiltered_out += table.rows.len() - candidates.len();
+    stats.rows_decrypted += candidates.len();
+
+    let decrypt_one = |&idx: &usize| -> (usize, Vec<u8>) {
+        let d = SecureJoin::<E>::decrypt(&side.token, &table.rows[idx].cipher);
+        (idx, SecureJoin::<E>::match_key(&d))
+    };
+
+    if opts.threads <= 1 || candidates.len() < 2 {
+        candidates.iter().map(decrypt_one).collect()
+    } else {
+        parallel_decrypt(&candidates, &side.token, table, opts.threads)
+    }
+}
+
+/// Chunked parallel decryption with crossbeam scoped threads.
+fn parallel_decrypt<E: Engine>(
+    candidates: &[usize],
+    token: &SjToken<E>,
+    table: &EncryptedTable<E>,
+    threads: usize,
+) -> Vec<(usize, Vec<u8>)> {
+    let chunk_size = candidates.len().div_ceil(threads);
+    let mut results: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&idx| {
+                            let d = SecureJoin::<E>::decrypt(token, &table.rows[idx].cipher);
+                            (idx, SecureJoin::<E>::match_key(&d))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("decrypt worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{DbClient, TableConfig};
+    use crate::data::{Schema, Table, Value};
+    use crate::query::JoinQuery;
+    use eqjoin_pairing::MockEngine;
+
+    fn setup() -> (DbClient<MockEngine>, DbServer<MockEngine>, JoinQuery) {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 99);
+        let mut server = DbServer::new();
+
+        let mut left = Table::new(Schema::new("L", &["key", "color", "size"]));
+        left.push_row(vec![Value::Int(1), "red".into(), "s".into()]);
+        left.push_row(vec![Value::Int(2), "blue".into(), "m".into()]);
+        left.push_row(vec![Value::Int(3), "red".into(), "l".into()]);
+
+        let mut right = Table::new(Schema::new("R", &["key", "shape", "weight"]));
+        right.push_row(vec![Value::Int(1), "disc".into(), "w1".into()]);
+        right.push_row(vec![Value::Int(1), "cube".into(), "w2".into()]);
+        right.push_row(vec![Value::Int(4), "cone".into(), "w3".into()]);
+
+        let cfg = |cols: [&str; 2]| TableConfig {
+            join_column: "key".into(),
+            filter_columns: cols.iter().map(|c| (*c).to_string()).collect(),
+        };
+        let enc_l = client.encrypt_table(&left, cfg(["color", "size"])).unwrap();
+        let enc_r = client
+            .encrypt_table(&right, cfg(["shape", "weight"]))
+            .unwrap();
+        server.insert_table(enc_l);
+        server.insert_table(enc_r);
+
+        let query = JoinQuery::on("L", "key", "R", "key");
+        (client, server, query)
+    }
+
+    #[test]
+    fn unfiltered_join_finds_key_matches() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let (result, obs) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        // key 1 in L matches rows 0 and 1 in R.
+        let pairs: Vec<(usize, usize)> = result
+            .pairs
+            .iter()
+            .map(|p| (p.left_row, p.right_row))
+            .collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1)]);
+        assert_eq!(result.stats.matched_pairs, 2);
+        assert_eq!(result.stats.rows_decrypted, 6);
+        assert_eq!(obs.equality_classes.len(), 1);
+        assert_eq!(obs.equality_classes[0].len(), 3);
+    }
+
+    #[test]
+    fn filtered_join_restricts_matches() {
+        let (mut client, server, _) = setup();
+        let query = JoinQuery::on("L", "key", "R", "key")
+            .filter("L", "color", vec!["red".into()])
+            .filter("R", "shape", vec!["cube".into()]);
+        let tokens = client.query_tokens(&query).unwrap();
+        let (result, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        let pairs: Vec<(usize, usize)> = result
+            .pairs
+            .iter()
+            .map(|p| (p.left_row, p.right_row))
+            .collect();
+        // Only L row 0 (key 1, red) × R row 1 (key 1, cube).
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn client_decrypts_results() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let (result, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        let rows = client.decrypt_result(&query, &result).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].left.get(0), &Value::Int(1));
+        assert_eq!(rows[0].right.get(0), &Value::Int(1));
+        assert_eq!(rows[0].theta, Value::Int(1));
+    }
+
+    #[test]
+    fn nested_loop_agrees_with_hash() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let (hash_res, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        let (nl_res, _) = server
+            .execute_join(
+                &tokens,
+                &JoinOptions {
+                    algorithm: JoinAlgorithm::NestedLoop,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+            r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+        };
+        assert_eq!(key(&hash_res), key(&nl_res));
+        assert!(nl_res.stats.comparisons > hash_res.stats.comparisons);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let (seq, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        let (par, _) = server
+            .execute_join(
+                &tokens,
+                &JoinOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+            r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+        };
+        assert_eq!(key(&seq), key(&par));
+    }
+
+    #[test]
+    fn prefilter_reduces_decryptions() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 5);
+        client.enable_prefilter(true);
+        let mut server = DbServer::new();
+        let mut t = Table::new(Schema::new("T", &["k", "attr"]));
+        for i in 0..10 {
+            let attr = if i < 2 { "hit" } else { "miss" };
+            t.push_row(vec![Value::Int(i), attr.into()]);
+        }
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["attr".into()],
+                },
+            )
+            .unwrap();
+        server.insert_table(enc);
+        let query = JoinQuery::on("T", "k", "T", "k").filter("T", "attr", vec!["hit".into()]);
+        let tokens = client.query_tokens(&query).unwrap();
+        let (result, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        // Self-join: the filter applies to both sides, 2 rows each.
+        assert_eq!(result.stats.rows_decrypted, 4);
+        assert_eq!(result.stats.rows_prefiltered_out, 16);
+        // Without the prefilter everything is decrypted.
+        let (nofilter, _) = server
+            .execute_join(
+                &tokens,
+                &JoinOptions {
+                    use_prefilter: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(nofilter.stats.rows_decrypted, 20);
+        // Same matches either way.
+        assert_eq!(result.stats.matched_pairs, nofilter.stats.matched_pairs);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (mut client, _server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let empty = DbServer::<MockEngine>::new();
+        assert!(matches!(
+            empty.execute_join(&tokens, &JoinOptions::default()),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+}

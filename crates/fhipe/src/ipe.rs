@@ -1,0 +1,191 @@
+//! The original function-hiding inner-product encryption of Kim et al.
+//! (§3.3 of the paper): `Π_ipe = (Setup, KeyGen, Encrypt, Decrypt)`.
+//!
+//! Decryption recovers `⟨v, w⟩` when it lies in a polynomial-size set
+//! `S = {0, …, s_max}` by brute-force discrete logarithm in `GT` —
+//! exactly the `(D1)^z = D2` check of the paper. The Secure Join scheme
+//! uses the [`crate::modified`] variant instead; this one exists to show
+//! the base construction and for differential testing.
+
+use crate::linalg::Matrix;
+use eqjoin_crypto::RandomSource;
+use eqjoin_pairing::{Engine, Fr};
+
+/// Master secret key: the basis `B`, its dual `B*`, and `det B`.
+pub struct IpeMasterKey<E: Engine> {
+    dim: usize,
+    b: Matrix,
+    b_star: Matrix,
+    det_b: Fr,
+    _marker: std::marker::PhantomData<E>,
+}
+
+/// A decryption key for a vector `v`:
+/// `(K1, K2) = (g1^{α·det B}, g1^{α·v·B})`.
+pub struct IpeSecretKey<E: Engine> {
+    /// `g1^{α·det B}`.
+    pub k1: E::G1,
+    /// `g1^{α·v·B}` (component-wise).
+    pub k2: Vec<E::G1>,
+}
+
+/// A ciphertext for a vector `w`: `(C1, C2) = (g2^β, g2^{β·w·B*})`.
+pub struct IpeCiphertext<E: Engine> {
+    /// `g2^β`.
+    pub c1: E::G2,
+    /// `g2^{β·w·B*}` (component-wise).
+    pub c2: Vec<E::G2>,
+}
+
+/// The scheme, generic over the bilinear engine.
+pub struct Ipe<E: Engine>(std::marker::PhantomData<E>);
+
+impl<E: Engine> Ipe<E> {
+    /// `IPE.Setup(1^λ)`: sample `B ← GL_n(Z_q)` and compute
+    /// `B* = det(B)·(B⁻¹)ᵀ`.
+    pub fn setup(dim: usize, rng: &mut dyn RandomSource) -> IpeMasterKey<E> {
+        assert!(dim > 0, "dimension must be positive");
+        let (b, det_b, inv) = Matrix::random_invertible(dim, rng);
+        let b_star = b.dual(det_b, &inv);
+        IpeMasterKey {
+            dim,
+            b,
+            b_star,
+            det_b,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// `IPE.KeyGen(msk, v)` with fresh `α`.
+    pub fn keygen(
+        msk: &IpeMasterKey<E>,
+        v: &[Fr],
+        rng: &mut dyn RandomSource,
+    ) -> IpeSecretKey<E> {
+        assert_eq!(v.len(), msk.dim, "keygen vector dimension");
+        let alpha = Fr::random_nonzero(rng);
+        let vb = msk.b.row_vec_mul(v);
+        IpeSecretKey {
+            k1: E::g1_mul_gen(&(alpha * msk.det_b)),
+            k2: vb.iter().map(|x| E::g1_mul_gen(&(alpha * *x))).collect(),
+        }
+    }
+
+    /// `IPE.Encrypt(msk, w)` with fresh `β`.
+    pub fn encrypt(
+        msk: &IpeMasterKey<E>,
+        w: &[Fr],
+        rng: &mut dyn RandomSource,
+    ) -> IpeCiphertext<E> {
+        assert_eq!(w.len(), msk.dim, "encrypt vector dimension");
+        let beta = Fr::random_nonzero(rng);
+        let wb = msk.b_star.row_vec_mul(w);
+        IpeCiphertext {
+            c1: E::g2_mul_gen(&beta),
+            c2: wb.iter().map(|x| E::g2_mul_gen(&(beta * *x))).collect(),
+        }
+    }
+
+    /// `IPE.Decrypt(pp, sk, ct)`: compute `D1 = e(K1, C1)`,
+    /// `D2 = ∏ e(K2ᵢ, C2ᵢ)` and search `z ∈ {0, …, s_max}` with
+    /// `D1^z = D2`. Returns `None` if the inner product is outside `S`.
+    pub fn decrypt(sk: &IpeSecretKey<E>, ct: &IpeCiphertext<E>, s_max: u64) -> Option<u64> {
+        let d1 = E::pair(&sk.k1, &ct.c1);
+        let d2 = E::multi_pair(&sk.k2, &ct.c2);
+        let mut acc = E::gt_one();
+        for z in 0..=s_max {
+            if acc == d2 {
+                return Some(z);
+            }
+            acc = E::gt_mul(&acc, &d1);
+        }
+        None
+    }
+}
+
+impl<E: Engine> IpeMasterKey<E> {
+    /// Dimension `n` of the vector space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `det B` (needed by the simulator in the security proof replay).
+    pub fn det_b(&self) -> Fr {
+        self.det_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+    use eqjoin_pairing::{Bls12, MockEngine};
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(0x1be)
+    }
+
+    fn small_vec(vals: &[u64]) -> Vec<Fr> {
+        vals.iter().map(|&v| Fr::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn decrypt_recovers_inner_product_mock() {
+        let mut r = rng();
+        let msk = Ipe::<MockEngine>::setup(4, &mut r);
+        let v = small_vec(&[1, 2, 3, 4]);
+        let w = small_vec(&[5, 6, 7, 8]);
+        let sk = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
+        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        // ⟨v, w⟩ = 5 + 12 + 21 + 32 = 70.
+        assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 100), Some(70));
+        assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 69), None);
+    }
+
+    #[test]
+    fn decrypt_recovers_inner_product_bls() {
+        let mut r = rng();
+        let msk = Ipe::<Bls12>::setup(3, &mut r);
+        let v = small_vec(&[2, 0, 1]);
+        let w = small_vec(&[3, 9, 4]);
+        let sk = Ipe::<Bls12>::keygen(&msk, &v, &mut r);
+        let ct = Ipe::<Bls12>::encrypt(&msk, &w, &mut r);
+        assert_eq!(Ipe::<Bls12>::decrypt(&sk, &ct, 20), Some(10));
+    }
+
+    #[test]
+    fn zero_inner_product() {
+        let mut r = rng();
+        let msk = Ipe::<MockEngine>::setup(2, &mut r);
+        let sk = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1, 1]), &mut r);
+        let w = vec![Fr::from_u64(5), -Fr::from_u64(5)];
+        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 10), Some(0));
+    }
+
+    #[test]
+    fn fresh_randomness_rerandomizes() {
+        // Same vector, two keys/ciphertexts: components differ (fresh α,
+        // β) but decryption agrees.
+        let mut r = rng();
+        let msk = Ipe::<MockEngine>::setup(2, &mut r);
+        let v = small_vec(&[1, 2]);
+        let w = small_vec(&[3, 4]);
+        let sk1 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
+        let sk2 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
+        assert_ne!(sk1.k2, sk2.k2, "keys must be randomized");
+        let ct1 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        let ct2 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        assert_ne!(ct1.c2, ct2.c2, "ciphertexts must be randomized");
+        assert_eq!(Ipe::<MockEngine>::decrypt(&sk1, &ct2, 20), Some(11));
+        assert_eq!(Ipe::<MockEngine>::decrypt(&sk2, &ct1, 20), Some(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn dimension_mismatch_panics() {
+        let mut r = rng();
+        let msk = Ipe::<MockEngine>::setup(3, &mut r);
+        let _ = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1]), &mut r);
+    }
+}

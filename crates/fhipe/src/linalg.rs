@@ -1,0 +1,298 @@
+//! Dense linear algebra over the scalar field `Fr` for the FHIPE setup:
+//! sampling from `GL_n(Z_q)`, determinant/inverse via Gauss–Jordan
+//! elimination, and the dual matrix `B* = det(B)·(B⁻¹)ᵀ`.
+//!
+//! Dimensions here are tiny (`n = m(t+1)+3`, at most ~100 for the paper's
+//! experiments), so `O(n³)` elimination is more than fast enough and runs
+//! once per database setup.
+
+use eqjoin_crypto::RandomSource;
+use eqjoin_pairing::Fr;
+
+/// A dense square matrix over `Fr`, row-major.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<Fr>,
+}
+
+impl Matrix {
+    /// The `n × n` zero matrix.
+    pub fn zero(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![Fr::zero(); n * n],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n);
+        for i in 0..n {
+            *m.at_mut(i, i) = Fr::one();
+        }
+        m
+    }
+
+    /// Construct from a row-major element vector.
+    pub fn from_rows(n: usize, data: Vec<Fr>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data length");
+        Matrix { n, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    pub fn at(&self, row: usize, col: usize) -> Fr {
+        self.data[row * self.n + col]
+    }
+
+    fn at_mut(&mut self, row: usize, col: usize) -> &mut Fr {
+        &mut self.data[row * self.n + col]
+    }
+
+    /// Sample a uniformly random matrix.
+    pub fn random(n: usize, rng: &mut dyn RandomSource) -> Self {
+        Matrix {
+            n,
+            data: (0..n * n).map(|_| Fr::random(rng)).collect(),
+        }
+    }
+
+    /// Sample from `GL_n(Z_q)`: rejection-sample random matrices until one
+    /// is invertible (all but a `≈ n/q` fraction are). Returns
+    /// `(B, det B, B⁻¹)`.
+    pub fn random_invertible(n: usize, rng: &mut dyn RandomSource) -> (Self, Fr, Self) {
+        loop {
+            let b = Self::random(n, rng);
+            if let Some((det, inv)) = b.det_and_inverse() {
+                return (b, det, inv);
+            }
+        }
+    }
+
+    /// Determinant and inverse by Gauss–Jordan elimination with pivot
+    /// search; `None` for singular matrices.
+    pub fn det_and_inverse(&self) -> Option<(Fr, Self)> {
+        let n = self.n;
+        let mut a = self.clone();
+        let mut inv = Self::identity(n);
+        let mut det = Fr::one();
+        for col in 0..n {
+            // Find a nonzero pivot at or below the diagonal.
+            let pivot_row = (col..n).find(|&r| !a.at(r, col).is_zero())?;
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+                det = -det;
+            }
+            let pivot = a.at(col, col);
+            det *= pivot;
+            let pivot_inv = pivot.invert().expect("pivot nonzero");
+            a.scale_row(col, pivot_inv);
+            inv.scale_row(col, pivot_inv);
+            for row in 0..n {
+                if row != col {
+                    let factor = a.at(row, col);
+                    if !factor.is_zero() {
+                        a.sub_scaled_row(row, col, factor);
+                        inv.sub_scaled_row(row, col, factor);
+                    }
+                }
+            }
+        }
+        Some((det, inv))
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        for col in 0..self.n {
+            self.data.swap(i * self.n + col, j * self.n + col);
+        }
+    }
+
+    fn scale_row(&mut self, row: usize, k: Fr) {
+        for col in 0..self.n {
+            *self.at_mut(row, col) *= k;
+        }
+    }
+
+    /// `row_i -= k · row_j`.
+    fn sub_scaled_row(&mut self, i: usize, j: usize, k: Fr) {
+        for col in 0..self.n {
+            let v = self.at(j, col) * k;
+            *self.at_mut(i, col) -= v;
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero(self.n);
+        for r in 0..self.n {
+            for c in 0..self.n {
+                *out.at_mut(c, r) = self.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// Scale every entry.
+    pub fn scale(&self, k: Fr) -> Self {
+        Matrix {
+            n: self.n,
+            data: self.data.iter().map(|&x| x * k).collect(),
+        }
+    }
+
+    /// Matrix product (test utility).
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = Self::zero(n);
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = Fr::zero();
+                for k in 0..n {
+                    acc += self.at(r, k) * other.at(k, c);
+                }
+                *out.at_mut(r, c) = acc;
+            }
+        }
+        out
+    }
+
+    /// Row-vector–matrix product `v · M` (the shape FHIPE uses).
+    pub fn row_vec_mul(&self, v: &[Fr]) -> Vec<Fr> {
+        assert_eq!(v.len(), self.n, "vector/matrix dimension mismatch");
+        let mut out = vec![Fr::zero(); self.n];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr.is_zero() {
+                continue;
+            }
+            for c in 0..self.n {
+                out[c] += vr * self.at(r, c);
+            }
+        }
+        out
+    }
+
+    /// The FHIPE dual matrix `B* = det(B)·(B⁻¹)ᵀ`, satisfying
+    /// `B·(B*)ᵀ = det(B)·I`.
+    pub fn dual(&self, det: Fr, inverse: &Self) -> Self {
+        debug_assert_eq!(self.n, inverse.n);
+        inverse.transpose().scale(det)
+    }
+}
+
+/// Inner product `⟨a, b⟩` over `Fr`.
+pub fn inner_product(a: &[Fr], b: &[Fr]) -> Fr {
+    assert_eq!(a.len(), b.len(), "inner product dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| *x * *y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(0x11a)
+    }
+
+    #[test]
+    fn identity_inverse() {
+        let i = Matrix::identity(4);
+        let (det, inv) = i.det_and_inverse().unwrap();
+        assert_eq!(det, Fr::one());
+        assert_eq!(inv, i);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut r = rng();
+        for n in [1, 2, 3, 7, 12] {
+            let (b, det, inv) = Matrix::random_invertible(n, &mut r);
+            assert!(!det.is_zero());
+            assert_eq!(b.mul(&inv), Matrix::identity(n), "n = {n}");
+            assert_eq!(inv.mul(&b), Matrix::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // Two equal rows ⇒ singular.
+        let mut r = rng();
+        let row: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
+        let mut data = row.clone();
+        data.extend_from_slice(&row);
+        data.extend((0..3).map(|_| Fr::random(&mut r)));
+        let m = Matrix::from_rows(3, data);
+        assert!(m.det_and_inverse().is_none());
+        assert!(Matrix::zero(2).det_and_inverse().is_none());
+    }
+
+    #[test]
+    fn dual_matrix_identity() {
+        // B · (B*)ᵀ = det(B) · I — the identity FHIPE correctness needs.
+        let mut r = rng();
+        let (b, det, inv) = Matrix::random_invertible(5, &mut r);
+        let b_star = b.dual(det, &inv);
+        let prod = b.mul(&b_star.transpose());
+        assert_eq!(prod, Matrix::identity(5).scale(det));
+    }
+
+    #[test]
+    fn ipe_core_identity() {
+        // (v·B) · (w·B*) = det(B) · ⟨v, w⟩ for random vectors — the exact
+        // algebra behind FHIPE decryption.
+        let mut r = rng();
+        let n = 6;
+        let (b, det, inv) = Matrix::random_invertible(n, &mut r);
+        let b_star = b.dual(det, &inv);
+        let v: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let w: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let vb = b.row_vec_mul(&v);
+        let wb = b_star.row_vec_mul(&w);
+        assert_eq!(inner_product(&vb, &wb), det * inner_product(&v, &w));
+    }
+
+    #[test]
+    fn det_of_permutation_swap() {
+        // Swapping rows of I gives determinant -1.
+        let mut m = Matrix::identity(2);
+        m.swap_rows(0, 1);
+        let (det, _) = m.det_and_inverse().unwrap();
+        assert_eq!(det, -Fr::one());
+    }
+
+    #[test]
+    fn det_multiplicative() {
+        let mut r = rng();
+        let (a, da, _) = Matrix::random_invertible(4, &mut r);
+        let (b, db, _) = Matrix::random_invertible(4, &mut r);
+        let (dab, _) = a.mul(&b).det_and_inverse().unwrap();
+        assert_eq!(dab, da * db);
+    }
+
+    #[test]
+    fn row_vec_mul_matches_definition() {
+        let mut r = rng();
+        let m = Matrix::random(3, &mut r);
+        let v: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
+        let out = m.row_vec_mul(&v);
+        for c in 0..3 {
+            let expect: Fr = (0..3).map(|k| v[k] * m.at(k, c)).sum();
+            assert_eq!(out[c], expect);
+        }
+    }
+
+    #[test]
+    fn inner_product_basic() {
+        let a = [Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+        let b = [Fr::from_u64(4), Fr::from_u64(5), Fr::from_u64(6)];
+        assert_eq!(inner_product(&a, &b), Fr::from_u64(32));
+        assert_eq!(inner_product(&[], &[]), Fr::zero());
+    }
+}

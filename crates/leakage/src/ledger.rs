@@ -1,0 +1,232 @@
+//! The leakage ledger: per-query observations, cumulative accounting and
+//! the super-additivity verdict.
+//!
+//! For a series of queries `q₁ … q_μ`, let `σ(qᵢ)` be the equality pairs
+//! a scheme reveals *while processing* `qᵢ` (for Secure Join these are
+//! the matching `D`-value pairs; for baselines, whatever their mechanism
+//! exposes). The paper's target (Corollary 5.2.2) is
+//!
+//! ```text
+//!   cumulative leakage  ⊆  closure( σ(q₁) ∪ … ∪ σ(q_μ) )
+//! ```
+//!
+//! A scheme exhibits **super-additive leakage** when the pairs it makes
+//! visible exceed that closure (CryptDB's onion peel and Hahn et al.'s
+//! cumulative unwrap both do; see `eqjoin-baselines`).
+
+use crate::pairs::{closure, PairSet};
+
+/// The observation recorded for one query.
+#[derive(Clone, Debug)]
+pub struct QueryLeakage {
+    /// Query identifier (position in the series).
+    pub query_id: u64,
+    /// Pairs revealed *by this query alone* under the scheme's minimal
+    /// semantics (for SJ: matched selected rows).
+    pub per_query: PairSet,
+    /// Pairs actually visible to the adversary after this query,
+    /// cumulatively (schemes with state, like an onion peel, can expose
+    /// strictly more than `per_query`).
+    pub cumulative_visible: PairSet,
+}
+
+/// Accumulates a query series for one scheme and renders verdicts.
+#[derive(Clone, Debug, Default)]
+pub struct LeakageLedger {
+    history: Vec<QueryLeakage>,
+    union_of_queries: PairSet,
+}
+
+impl LeakageLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one query's leakage.
+    pub fn record(&mut self, leakage: QueryLeakage) {
+        self.union_of_queries.union_with(&leakage.per_query);
+        self.history.push(leakage);
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True iff nothing recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The union of per-query leakages `σ(q₁) ∪ … ∪ σ(q_μ)`.
+    pub fn union_of_queries(&self) -> &PairSet {
+        &self.union_of_queries
+    }
+
+    /// The paper's bound: `closure(union of per-query leakages)`.
+    pub fn closure_bound(&self) -> PairSet {
+        closure(&self.union_of_queries)
+    }
+
+    /// Latest cumulative visible pair set (empty if no queries ran).
+    pub fn visible_now(&self) -> PairSet {
+        self.history
+            .last()
+            .map(|q| q.cumulative_visible.clone())
+            .unwrap_or_default()
+    }
+
+    /// Corollary 5.2.2 check: does the cumulative visible leakage stay
+    /// within the transitive-closure bound?
+    pub fn is_within_closure_bound(&self) -> bool {
+        self.visible_now().is_subset(&self.closure_bound())
+    }
+
+    /// The super-additive excess: visible pairs beyond the closure bound
+    /// (empty for Secure Join; non-empty for Hahn/CryptDB-style schemes).
+    pub fn super_additive_excess(&self) -> PairSet {
+        self.visible_now().difference(&self.closure_bound())
+    }
+
+    /// Per-query cumulative counts `(query id, visible pairs, bound)` —
+    /// the series plotted by the leakage experiment.
+    pub fn growth_series(&self) -> Vec<(u64, usize, usize)> {
+        let mut union_so_far = PairSet::new();
+        self.history
+            .iter()
+            .map(|q| {
+                union_so_far.union_with(&q.per_query);
+                (
+                    q.query_id,
+                    q.cumulative_visible.len(),
+                    closure(&union_so_far).len(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::Node;
+
+    fn n(t: &str, r: usize) -> Node {
+        Node::new(t, r)
+    }
+
+    fn pairset(pairs: &[((&str, usize), (&str, usize))]) -> PairSet {
+        pairs
+            .iter()
+            .map(|&((ta, ra), (tb, rb))| (n(ta, ra), n(tb, rb)))
+            .collect()
+    }
+
+    #[test]
+    fn additive_scheme_stays_within_bound() {
+        // Two queries, each revealing one disjoint pair: the visible set
+        // equals the union; no excess.
+        let mut ledger = LeakageLedger::new();
+        let p1 = pairset(&[(("a", 1), ("b", 2))]);
+        ledger.record(QueryLeakage {
+            query_id: 0,
+            per_query: p1.clone(),
+            cumulative_visible: p1.clone(),
+        });
+        let p2 = pairset(&[(("a", 2), ("b", 3))]);
+        let mut vis = p1.clone();
+        vis.union_with(&p2);
+        ledger.record(QueryLeakage {
+            query_id: 1,
+            per_query: p2,
+            cumulative_visible: vis,
+        });
+        assert!(ledger.is_within_closure_bound());
+        assert!(ledger.super_additive_excess().is_empty());
+        assert_eq!(ledger.closure_bound().len(), 2);
+    }
+
+    #[test]
+    fn super_additive_scheme_detected() {
+        // Query 1 reveals (a1,b2); query 2 reveals (a2,b3); but the
+        // scheme's cumulative state exposes all six pairs (the paper's
+        // Hahn-at-t2 situation).
+        let mut ledger = LeakageLedger::new();
+        let p1 = pairset(&[(("a", 1), ("b", 2))]);
+        ledger.record(QueryLeakage {
+            query_id: 0,
+            per_query: p1.clone(),
+            cumulative_visible: p1,
+        });
+        let p2 = pairset(&[(("a", 2), ("b", 3))]);
+        let all_six = pairset(&[
+            (("a", 1), ("b", 1)),
+            (("a", 1), ("b", 2)),
+            (("a", 2), ("b", 3)),
+            (("a", 2), ("b", 4)),
+            (("b", 1), ("b", 2)),
+            (("b", 3), ("b", 4)),
+        ]);
+        ledger.record(QueryLeakage {
+            query_id: 1,
+            per_query: p2,
+            cumulative_visible: all_six,
+        });
+        assert!(!ledger.is_within_closure_bound());
+        let excess = ledger.super_additive_excess();
+        assert_eq!(excess.len(), 4, "four pairs beyond the two queried ones");
+    }
+
+    #[test]
+    fn closure_credit_for_linked_queries() {
+        // Query 1 reveals (a1,b1); query 2 reveals (b1,b4). The closure
+        // bound then *includes* (a1,b4): a scheme showing that pair is
+        // still additive.
+        let mut ledger = LeakageLedger::new();
+        let p1 = pairset(&[(("a", 1), ("b", 1))]);
+        ledger.record(QueryLeakage {
+            query_id: 0,
+            per_query: p1.clone(),
+            cumulative_visible: p1.clone(),
+        });
+        let p2 = pairset(&[(("b", 1), ("b", 4))]);
+        let mut vis = p1;
+        vis.union_with(&p2);
+        vis.insert(n("a", 1), n("b", 4)); // the transitive pair
+        ledger.record(QueryLeakage {
+            query_id: 1,
+            per_query: p2,
+            cumulative_visible: vis,
+        });
+        assert!(ledger.is_within_closure_bound());
+        assert_eq!(ledger.closure_bound().len(), 3);
+    }
+
+    #[test]
+    fn growth_series_tracks_both_curves() {
+        let mut ledger = LeakageLedger::new();
+        for i in 0..3u64 {
+            let p = pairset(&[(("a", i as usize), ("b", i as usize))]);
+            let mut vis = ledger.visible_now();
+            vis.union_with(&p);
+            ledger.record(QueryLeakage {
+                query_id: i,
+                per_query: p,
+                cumulative_visible: vis,
+            });
+        }
+        let series = ledger.growth_series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (0, 1, 1));
+        assert_eq!(series[2], (2, 3, 3));
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let ledger = LeakageLedger::new();
+        assert!(ledger.is_empty());
+        assert!(ledger.is_within_closure_bound());
+        assert!(ledger.visible_now().is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Leakage accounting for encrypted-join schemes.
+//!
+//! The paper compares schemes by the set of **pairs with true equality
+//! condition** an adversarial server can observe over a series of queries
+//! (§2.1). This crate provides the machinery to make that comparison
+//! executable:
+//!
+//! * [`Node`] — a row identity `(table, row)`;
+//! * [`PairSet`] — a normalized set of revealed equality pairs;
+//! * [`closure`] — the transitive closure of a pair set (union–find),
+//!   the paper's lower bound for cumulative leakage;
+//! * [`LeakageLedger`] — accumulates per-query observations and answers
+//!   the two questions of Corollaries 5.2.1/5.2.2: is the cumulative
+//!   leakage bounded by the transitive closure of the union of per-query
+//!   leakages (no super-additive leakage), and how much *extra* leakage
+//!   did a scheme reveal beyond it.
+
+pub mod ledger;
+pub mod pairs;
+pub mod union_find;
+
+pub use ledger::{LeakageLedger, QueryLeakage};
+pub use pairs::{closure, pairs_from_classes, Node, PairSet};
+pub use union_find::UnionFind;

@@ -1,0 +1,366 @@
+//! Generic short-Weierstrass curve arithmetic `y² = x³ + b` (the `a = 0`
+//! shape of both BLS12-381 groups), parameterized over the base field.
+//!
+//! Points are represented in Jacobian coordinates `(X, Y, Z)` with
+//! `x = X/Z²`, `y = Y/Z³`; the identity is `Z = 0`. Formulas are the
+//! standard EFD `dbl-2009-l` and `add-2007-bl`.
+
+use crate::traits::Field;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Static parameters of a concrete curve.
+pub trait CurveParams: 'static + Copy + Clone + Debug + Send + Sync {
+    /// The field the coordinates live in.
+    type Base: Field;
+    /// The constant `b` in `y² = x³ + b`.
+    fn b() -> Self::Base;
+}
+
+/// An affine point (or the point at infinity).
+#[derive(Clone, Copy, Debug)]
+pub struct Affine<C: CurveParams> {
+    /// x-coordinate (meaningless if `infinity`).
+    pub x: C::Base,
+    /// y-coordinate (meaningless if `infinity`).
+    pub y: C::Base,
+    /// True for the identity element.
+    pub infinity: bool,
+}
+
+/// A Jacobian-coordinates point.
+#[derive(Clone, Copy, Debug)]
+pub struct Projective<C: CurveParams> {
+    /// Jacobian X.
+    pub x: C::Base,
+    /// Jacobian Y.
+    pub y: C::Base,
+    /// Jacobian Z (`0` for the identity).
+    pub z: C::Base,
+    _marker: PhantomData<C>,
+}
+
+impl<C: CurveParams> PartialEq for Affine<C> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.infinity, other.infinity) {
+            (true, true) => true,
+            (false, false) => self.x == other.x && self.y == other.y,
+            _ => false,
+        }
+    }
+}
+impl<C: CurveParams> Eq for Affine<C> {}
+
+impl<C: CurveParams> Affine<C> {
+    /// The point at infinity.
+    pub fn identity() -> Self {
+        Affine {
+            x: C::Base::zero(),
+            y: C::Base::zero(),
+            infinity: true,
+        }
+    }
+
+    /// Construct from coordinates, checking the curve equation.
+    pub fn new(x: C::Base, y: C::Base) -> Option<Self> {
+        let p = Affine {
+            x,
+            y,
+            infinity: false,
+        };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Check `y² = x³ + b` (identity passes).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + C::b()
+    }
+
+    /// Negate (reflect over the x-axis).
+    pub fn neg(&self) -> Self {
+        Affine {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+
+    /// Lift to Jacobian coordinates.
+    pub fn to_projective(&self) -> Projective<C> {
+        if self.infinity {
+            Projective::identity()
+        } else {
+            Projective {
+                x: self.x,
+                y: self.y,
+                z: C::Base::one(),
+                _marker: PhantomData,
+            }
+        }
+    }
+}
+
+impl<C: CurveParams> PartialEq for Projective<C> {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1², Y1/Z1³) == (X2/Z2², Y2/Z2³) cross-multiplied.
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * (z2z2 * other.z) == other.y * (z1z1 * self.z)
+            }
+            _ => false,
+        }
+    }
+}
+impl<C: CurveParams> Eq for Projective<C> {}
+
+impl<C: CurveParams> Projective<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Projective {
+            x: C::Base::one(),
+            y: C::Base::one(),
+            z: C::Base::zero(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// True iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (EFD `dbl-2009-l`, a = 0).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let eight_c = c.double().double().double();
+        let y3 = e * (d - x3) - eight_c;
+        let z3 = (self.y * self.z).double();
+        if z3.is_zero() {
+            // y was zero: the tangent is vertical (cannot happen on odd-order
+            // subgroups, but handle it for generic correctness).
+            return Self::identity();
+        }
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
+    /// General point addition (EFD `add-2007-bl`).
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * other.z * z2z2;
+        let s2 = other.y * self.z * z1z1;
+        if u1 == u2 {
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Self::identity()
+            };
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Projective {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication by a little-endian limb-slice scalar
+    /// (double-and-add, MSB first).
+    pub fn mul_limbs(&self, scalar: &[u64]) -> Self {
+        let mut acc = Self::identity();
+        for &limb in scalar.iter().rev() {
+            for i in (0..64).rev() {
+                acc = acc.double();
+                if (limb >> i) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Normalize to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine<C> {
+        if self.is_identity() {
+            return Affine::identity();
+        }
+        let z_inv = self.z.invert().expect("nonzero z");
+        let z_inv2 = z_inv.square();
+        Affine {
+            x: self.x * z_inv2,
+            y: self.y * z_inv2 * z_inv,
+            infinity: false,
+        }
+    }
+
+    /// Check the curve equation in Jacobian form:
+    /// `Y² = X³ + b·Z⁶` (identity passes).
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_identity() {
+            return true;
+        }
+        let z6 = self.z.square().square() * self.z.square();
+        self.y.square() == self.x.square() * self.x + C::b() * z6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp;
+
+    // A concrete instantiation for testing the generic formulas: the G1
+    // curve y² = x³ + 4 over Fp.
+    #[derive(Clone, Copy, Debug)]
+    struct TestCurve;
+    impl CurveParams for TestCurve {
+        type Base = Fp;
+        fn b() -> Fp {
+            Fp::from_u64(4)
+        }
+    }
+
+    fn base_point() -> Projective<TestCurve> {
+        // Smallest x with a valid y on y² = x³ + 4 (not necessarily in the
+        // r-torsion; fine for formula tests on the full group).
+        let mut x = Fp::zero();
+        loop {
+            let rhs = x.square() * x + Fp::from_u64(4);
+            if let Some(y) = rhs.sqrt() {
+                return Affine::<TestCurve>::new(x, y).unwrap().to_projective();
+            }
+            x += Fp::one();
+        }
+    }
+
+    #[test]
+    fn identity_laws() {
+        let p = base_point();
+        let id = Projective::<TestCurve>::identity();
+        assert_eq!(p.add(&id), p);
+        assert_eq!(id.add(&p), p);
+        assert_eq!(id.double(), id);
+        assert!(id.to_affine().infinity);
+        assert_eq!(p.add(&p.neg()), id);
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let p = base_point();
+        assert_eq!(p.double(), p.add(&p));
+        assert!(p.double().is_on_curve());
+    }
+
+    #[test]
+    fn associativity_and_commutativity() {
+        let p = base_point();
+        let q = p.double();
+        let r = q.double();
+        assert_eq!(p.add(&q), q.add(&p));
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    }
+
+    #[test]
+    fn scalar_mul_small() {
+        let p = base_point();
+        assert_eq!(p.mul_limbs(&[0]), Projective::identity());
+        assert_eq!(p.mul_limbs(&[1]), p);
+        assert_eq!(p.mul_limbs(&[2]), p.double());
+        assert_eq!(p.mul_limbs(&[5]), p.double().double().add(&p));
+        // (a+b)P = aP + bP
+        assert_eq!(
+            p.mul_limbs(&[7]).add(&p.mul_limbs(&[8])),
+            p.mul_limbs(&[15])
+        );
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let p = base_point().mul_limbs(&[12345]);
+        let a = p.to_affine();
+        assert!(a.is_on_curve());
+        assert_eq!(a.to_projective(), p);
+        assert_eq!(a.neg().to_projective(), p.neg());
+    }
+
+    #[test]
+    fn new_rejects_off_curve() {
+        assert!(Affine::<TestCurve>::new(Fp::from_u64(1), Fp::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn projective_eq_ignores_scaling() {
+        let p = base_point().mul_limbs(&[99]);
+        // Scale Jacobian coordinates by λ²,λ³ — same point.
+        let lambda = Fp::from_u64(7);
+        let scaled = Projective::<TestCurve> {
+            x: p.x * lambda.square(),
+            y: p.y * lambda.square() * lambda,
+            z: p.z * lambda,
+            _marker: PhantomData,
+        };
+        assert_eq!(p, scaled);
+        assert!(scaled.is_on_curve());
+    }
+
+    #[test]
+    fn mixed_branch_in_add() {
+        let p = base_point();
+        // add with equal x / equal y triggers the doubling branch
+        assert_eq!(p.add(&p), p.double());
+        // and with negated y the identity branch
+        assert!(p.add(&p.neg()).is_identity());
+    }
+}

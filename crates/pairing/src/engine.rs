@@ -1,0 +1,290 @@
+//! The [`Engine`] abstraction over a bilinear group, and its production
+//! implementation [`Bls12`].
+//!
+//! The Secure Join scheme and the FHIPE layer are generic over this trait,
+//! which lets the test suite and the large-scale shape experiments swap in
+//! the transparent [`crate::MockEngine`] while the cryptographic
+//! benchmarks use the real curve. All scheme code treats group elements
+//! opaquely: only generator exponentiations, pairings and `GT` equality
+//! are required (plus general adds/muls used by the baseline schemes).
+
+use crate::curve::{CurveParams, Projective};
+use crate::fr::Fr;
+use crate::g1::{self, G1Affine};
+use crate::g2::{self, G2Affine};
+use crate::pairing as pr;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::OnceLock;
+
+/// A bilinear group `(G1, G2, GT, q, e)` with the operations the schemes
+/// need. Groups are written additively at this layer; the paper's
+/// multiplicative `g^x` corresponds to `mul_gen(x)`.
+pub trait Engine: 'static + Clone + Copy + Debug + Send + Sync {
+    /// First source group.
+    type G1: Clone + Copy + PartialEq + Debug + Send + Sync;
+    /// Second source group.
+    type G2: Clone + Copy + PartialEq + Debug + Send + Sync;
+    /// Target group.
+    type Gt: Clone + Copy + PartialEq + Eq + Hash + Debug + Send + Sync;
+
+    /// Human-readable engine name (used in benchmark reports).
+    const NAME: &'static str;
+
+    /// `g1^s` for the fixed generator (fixed-base optimized).
+    fn g1_mul_gen(s: &Fr) -> Self::G1;
+    /// `g2^s` for the fixed generator (fixed-base optimized).
+    fn g2_mul_gen(s: &Fr) -> Self::G2;
+
+    /// Identity of `G1`.
+    fn g1_identity() -> Self::G1;
+    /// Identity of `G2`.
+    fn g2_identity() -> Self::G2;
+    /// Group operation in `G1`.
+    fn g1_add(a: &Self::G1, b: &Self::G1) -> Self::G1;
+    /// Group operation in `G2`.
+    fn g2_add(a: &Self::G2, b: &Self::G2) -> Self::G2;
+    /// Scalar multiplication with an arbitrary base in `G1`.
+    fn g1_mul(p: &Self::G1, s: &Fr) -> Self::G1;
+    /// Scalar multiplication with an arbitrary base in `G2`.
+    fn g2_mul(p: &Self::G2, s: &Fr) -> Self::G2;
+
+    /// The bilinear map `e(p, q)`.
+    fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt;
+    /// `∏ᵢ e(pᵢ, qᵢ)` (slices must have equal length).
+    fn multi_pair(ps: &[Self::G1], qs: &[Self::G2]) -> Self::Gt;
+
+    /// Identity of `GT`.
+    fn gt_one() -> Self::Gt;
+    /// Group operation in `GT` (multiplicative notation in the paper).
+    fn gt_mul(a: &Self::Gt, b: &Self::Gt) -> Self::Gt;
+    /// Exponentiation in `GT`.
+    fn gt_pow(a: &Self::Gt, s: &Fr) -> Self::Gt;
+    /// Inverse in `GT`.
+    fn gt_inv(a: &Self::Gt) -> Self::Gt;
+    /// Canonical bytes of a `GT` element — the hash-join key.
+    fn gt_bytes(a: &Self::Gt) -> Vec<u8>;
+
+    /// Serialize a `G1` element.
+    fn g1_bytes(p: &Self::G1) -> Vec<u8>;
+    /// Deserialize a `G1` element (validated).
+    fn g1_from_bytes(bytes: &[u8]) -> Option<Self::G1>;
+    /// Serialize a `G2` element.
+    fn g2_bytes(p: &Self::G2) -> Vec<u8>;
+    /// Deserialize a `G2` element (validated).
+    fn g2_from_bytes(bytes: &[u8]) -> Option<Self::G2>;
+}
+
+/// Fixed-base exponentiation table: 4-bit windows over a 256-bit scalar.
+struct FixedBaseTable<C: CurveParams> {
+    /// `windows[w][j] = j · 16^w · G` for `j` in `0..16`.
+    windows: Vec<[Projective<C>; 16]>,
+}
+
+impl<C: CurveParams> FixedBaseTable<C> {
+    fn build(base: &Projective<C>) -> Self {
+        let mut windows = Vec::with_capacity(64);
+        let mut window_base = *base;
+        for _ in 0..64 {
+            let mut row = [Projective::<C>::identity(); 16];
+            for j in 1..16 {
+                row[j] = row[j - 1].add(&window_base);
+            }
+            window_base = row[15].add(&window_base); // 16 · window_base
+            windows.push(row);
+        }
+        FixedBaseTable { windows }
+    }
+
+    fn mul(&self, s: &Fr) -> Projective<C> {
+        let limbs = s.to_canonical_limbs();
+        let mut acc = Projective::<C>::identity();
+        for w in 0..64 {
+            let limb = limbs[w / 16];
+            let nibble = ((limb >> (4 * (w % 16))) & 0xf) as usize;
+            if nibble != 0 {
+                acc = acc.add(&self.windows[w][nibble]);
+            }
+        }
+        acc
+    }
+}
+
+fn g1_table() -> &'static FixedBaseTable<crate::g1::G1Params> {
+    static TABLE: OnceLock<FixedBaseTable<crate::g1::G1Params>> = OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::build(g1::generator()))
+}
+
+fn g2_table() -> &'static FixedBaseTable<crate::g2::G2Params> {
+    static TABLE: OnceLock<FixedBaseTable<crate::g2::G2Params>> = OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::build(g2::generator()))
+}
+
+/// The production BLS12-381 engine.
+#[derive(Clone, Copy, Debug)]
+pub struct Bls12;
+
+impl Engine for Bls12 {
+    type G1 = G1Affine;
+    type G2 = G2Affine;
+    type Gt = pr::Gt;
+
+    const NAME: &'static str = "bls12-381";
+
+    fn g1_mul_gen(s: &Fr) -> G1Affine {
+        g1_table().mul(s).to_affine()
+    }
+
+    fn g2_mul_gen(s: &Fr) -> G2Affine {
+        g2_table().mul(s).to_affine()
+    }
+
+    fn g1_identity() -> G1Affine {
+        G1Affine::identity()
+    }
+
+    fn g2_identity() -> G2Affine {
+        G2Affine::identity()
+    }
+
+    fn g1_add(a: &G1Affine, b: &G1Affine) -> G1Affine {
+        a.to_projective().add(&b.to_projective()).to_affine()
+    }
+
+    fn g2_add(a: &G2Affine, b: &G2Affine) -> G2Affine {
+        a.to_projective().add(&b.to_projective()).to_affine()
+    }
+
+    fn g1_mul(p: &G1Affine, s: &Fr) -> G1Affine {
+        g1::mul_fr(&p.to_projective(), s).to_affine()
+    }
+
+    fn g2_mul(p: &G2Affine, s: &Fr) -> G2Affine {
+        g2::mul_fr(&p.to_projective(), s).to_affine()
+    }
+
+    fn pair(p: &G1Affine, q: &G2Affine) -> pr::Gt {
+        pr::pairing(p, q)
+    }
+
+    fn multi_pair(ps: &[G1Affine], qs: &[G2Affine]) -> pr::Gt {
+        assert_eq!(ps.len(), qs.len(), "multi_pair length mismatch");
+        let pairs: Vec<(G1Affine, G2Affine)> =
+            ps.iter().copied().zip(qs.iter().copied()).collect();
+        pr::multi_pairing(&pairs)
+    }
+
+    fn gt_one() -> pr::Gt {
+        pr::Gt::one()
+    }
+
+    fn gt_mul(a: &pr::Gt, b: &pr::Gt) -> pr::Gt {
+        a.mul(b)
+    }
+
+    fn gt_pow(a: &pr::Gt, s: &Fr) -> pr::Gt {
+        a.pow(s)
+    }
+
+    fn gt_inv(a: &pr::Gt) -> pr::Gt {
+        a.inverse()
+    }
+
+    fn gt_bytes(a: &pr::Gt) -> Vec<u8> {
+        a.to_bytes()
+    }
+
+    fn g1_bytes(p: &G1Affine) -> Vec<u8> {
+        g1::to_bytes(p).to_vec()
+    }
+
+    fn g1_from_bytes(bytes: &[u8]) -> Option<G1Affine> {
+        let arr: &[u8; g1::G1_BYTES] = bytes.try_into().ok()?;
+        g1::from_bytes(arr)
+    }
+
+    fn g2_bytes(p: &G2Affine) -> Vec<u8> {
+        g2::to_bytes(p).to_vec()
+    }
+
+    fn g2_from_bytes(bytes: &[u8]) -> Option<G2Affine> {
+        let arr: &[u8; g2::G2_BYTES] = bytes.try_into().ok()?;
+        g2::from_bytes(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+
+    #[test]
+    fn fixed_base_matches_double_and_add() {
+        let mut rng = ChaChaRng::seed_from_u64(61);
+        for _ in 0..5 {
+            let s = Fr::random(&mut rng);
+            assert_eq!(
+                Bls12::g1_mul_gen(&s),
+                g1::mul_fr(g1::generator(), &s).to_affine()
+            );
+            assert_eq!(
+                Bls12::g2_mul_gen(&s),
+                g2::mul_fr(g2::generator(), &s).to_affine()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_edge_scalars() {
+        assert!(Bls12::g1_mul_gen(&Fr::zero()).infinity);
+        assert_eq!(Bls12::g1_mul_gen(&Fr::one()), g1::generator().to_affine());
+        assert_eq!(
+            Bls12::g1_mul_gen(&Fr::from_u64(16)),
+            g1::mul_fr(g1::generator(), &Fr::from_u64(16)).to_affine()
+        );
+        assert_eq!(
+            Bls12::g1_mul_gen(&(-Fr::one())),
+            g1::generator().neg().to_affine()
+        );
+    }
+
+    #[test]
+    fn engine_bilinearity() {
+        let mut rng = ChaChaRng::seed_from_u64(62);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let lhs = Bls12::pair(&Bls12::g1_mul_gen(&a), &Bls12::g2_mul_gen(&b));
+        let e_gen = Bls12::pair(&Bls12::g1_mul_gen(&Fr::one()), &Bls12::g2_mul_gen(&Fr::one()));
+        assert_eq!(lhs, Bls12::gt_pow(&e_gen, &(a * b)));
+    }
+
+    #[test]
+    fn engine_serialization_roundtrip() {
+        let mut rng = ChaChaRng::seed_from_u64(63);
+        let s = Fr::random(&mut rng);
+        let p = Bls12::g1_mul_gen(&s);
+        let q = Bls12::g2_mul_gen(&s);
+        assert_eq!(Bls12::g1_from_bytes(&Bls12::g1_bytes(&p)).unwrap(), p);
+        assert_eq!(Bls12::g2_from_bytes(&Bls12::g2_bytes(&q)).unwrap(), q);
+        assert!(Bls12::g1_from_bytes(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn engine_group_ops_consistent() {
+        let mut rng = ChaChaRng::seed_from_u64(64);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(
+            Bls12::g1_add(&Bls12::g1_mul_gen(&a), &Bls12::g1_mul_gen(&b)),
+            Bls12::g1_mul_gen(&(a + b))
+        );
+        assert_eq!(
+            Bls12::g1_mul(&Bls12::g1_mul_gen(&a), &b),
+            Bls12::g1_mul_gen(&(a * b))
+        );
+        assert_eq!(
+            Bls12::g2_mul(&Bls12::g2_mul_gen(&a), &b),
+            Bls12::g2_mul_gen(&(a * b))
+        );
+    }
+}

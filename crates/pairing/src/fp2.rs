@@ -1,0 +1,330 @@
+//! Quadratic extension `Fp2 = Fp[u]/(u² + 1)`.
+//!
+//! `-1` is a quadratic non-residue in `Fp` because `p ≡ 3 mod 4`
+//! (asserted during parameter derivation), so this is a field.
+
+use crate::fp::Fp;
+use crate::traits::Field;
+use eqjoin_crypto::RandomSource;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element `c0 + c1·u` of `Fp2`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Fp2 {
+    /// Constant coefficient.
+    pub c0: Fp,
+    /// Coefficient of `u`.
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// Construct from coefficients.
+    pub const fn new(c0: Fp, c1: Fp) -> Self {
+        Fp2 { c0, c1 }
+    }
+
+    /// Embed an `Fp` element.
+    pub fn from_fp(c0: Fp) -> Self {
+        Fp2 {
+            c0,
+            c1: Fp::zero(),
+        }
+    }
+
+    /// The distinguished non-residue `ξ = 1 + u` used to build `Fp6`.
+    pub fn xi() -> Self {
+        Fp2 {
+            c0: Fp::one(),
+            c1: Fp::one(),
+        }
+    }
+
+    /// Complex conjugate `c0 - c1·u`; this is also the `p`-power Frobenius
+    /// endomorphism on `Fp2`.
+    pub fn conjugate(&self) -> Self {
+        Fp2 {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Multiply by the non-residue `ξ = 1 + u`:
+    /// `(c0 + c1·u)(1 + u) = (c0 - c1) + (c0 + c1)·u`.
+    pub fn mul_by_xi(&self) -> Self {
+        Fp2 {
+            c0: self.c0 - self.c1,
+            c1: self.c0 + self.c1,
+        }
+    }
+
+    /// Scale by an `Fp` element.
+    pub fn scale(&self, k: Fp) -> Self {
+        Fp2 {
+            c0: self.c0 * k,
+            c1: self.c1 * k,
+        }
+    }
+
+    /// The norm `c0² + c1²` (an `Fp` element).
+    pub fn norm(&self) -> Fp {
+        self.c0.square() + self.c1.square()
+    }
+
+    /// `true` iff the element is a square in `Fp2`.
+    ///
+    /// `a` is a square iff `a^((p²-1)/2) = 1`, and
+    /// `a^((p²-1)/2) = norm(a)^((p-1)/2)`, so the test reduces to a
+    /// Legendre symbol of the norm.
+    pub fn is_square(&self) -> bool {
+        self.norm().is_square()
+    }
+
+    /// Square root via the "complex method" for `p ≡ 3 mod 4`; `None` if
+    /// the element is not a square.
+    pub fn sqrt(&self) -> Option<Fp2> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        if self.c1.is_zero() {
+            // sqrt of an Fp element inside Fp2.
+            return match self.c0.sqrt() {
+                Some(r) => Some(Fp2::from_fp(r)),
+                None => {
+                    // c0 is a non-square in Fp; then -c0 is a square
+                    // (p ≡ 3 mod 4) and (r·u)² = -r² = c0 with r² = -c0.
+                    let r = (-self.c0).sqrt()?;
+                    Some(Fp2::new(Fp::zero(), r))
+                }
+            };
+        }
+        let lambda = self.norm().sqrt()?;
+        let half = Fp::from_u64(2).invert().expect("2 invertible");
+        // δ = (c0 + λ)/2, falling back to (c0 - λ)/2.
+        let mut delta = (self.c0 + lambda) * half;
+        if !delta.is_square() {
+            delta = (self.c0 - lambda) * half;
+        }
+        let c = delta.sqrt()?;
+        let c_inv_2 = (c.double()).invert()?;
+        let d = self.c1 * c_inv_2;
+        let cand = Fp2::new(c, d);
+        (cand.square() == *self).then_some(cand)
+    }
+}
+
+impl Add for Fp2 {
+    type Output = Fp2;
+    #[inline]
+    fn add(self, rhs: Fp2) -> Fp2 {
+        Fp2 {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
+    }
+}
+
+impl Sub for Fp2 {
+    type Output = Fp2;
+    #[inline]
+    fn sub(self, rhs: Fp2) -> Fp2 {
+        Fp2 {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
+    }
+}
+
+impl Neg for Fp2 {
+    type Output = Fp2;
+    #[inline]
+    fn neg(self) -> Fp2 {
+        Fp2 {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+
+impl Mul for Fp2 {
+    type Output = Fp2;
+    #[inline]
+    fn mul(self, rhs: Fp2) -> Fp2 {
+        // Karatsuba: (a0 + a1 u)(b0 + b1 u) with u² = -1.
+        let t0 = self.c0 * rhs.c0;
+        let t1 = self.c1 * rhs.c1;
+        let sum = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Fp2 {
+            c0: t0 - t1,
+            c1: sum - t0 - t1,
+        }
+    }
+}
+
+impl AddAssign for Fp2 {
+    fn add_assign(&mut self, rhs: Fp2) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp2 {
+    fn sub_assign(&mut self, rhs: Fp2) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp2 {
+    fn mul_assign(&mut self, rhs: Fp2) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fp2 {
+    fn zero() -> Self {
+        Fp2 {
+            c0: Fp::zero(),
+            c1: Fp::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        Fp2 {
+            c0: Fp::one(),
+            c1: Fp::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // (a0 + a1 u)² = (a0+a1)(a0-a1) + 2 a0 a1 u.
+        let t = (self.c0 + self.c1) * (self.c0 - self.c1);
+        let cross = (self.c0 * self.c1).double();
+        Fp2 { c0: t, c1: cross }
+    }
+
+    fn invert(&self) -> Option<Self> {
+        // (a0 + a1 u)⁻¹ = (a0 - a1 u) / (a0² + a1²).
+        let n = self.norm().invert()?;
+        Some(Fp2 {
+            c0: self.c0 * n,
+            c1: -(self.c1 * n),
+        })
+    }
+
+    fn random(rng: &mut dyn RandomSource) -> Self {
+        Fp2 {
+            c0: Fp::random(rng),
+            c1: Fp::random(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(2)
+    }
+
+    fn u() -> Fp2 {
+        Fp2::new(Fp::zero(), Fp::one())
+    }
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        assert_eq!(u().square(), -Fp2::one());
+        assert_eq!(u() * u(), -Fp2::one());
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            let b = Fp2::random(&mut r);
+            let c = Fp2::random(&mut r);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.invert().unwrap(), Fp2::one());
+        }
+        assert!(Fp2::zero().invert().is_none());
+    }
+
+    #[test]
+    fn conjugate_is_frobenius() {
+        // a^p == conjugate(a).
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let frob = a.pow_slice(crate::params::consts().p_big.limbs());
+        assert_eq!(frob, a.conjugate());
+    }
+
+    #[test]
+    fn mul_by_xi_matches_mul() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_xi(), a * Fp2::xi());
+    }
+
+    #[test]
+    fn norm_is_multiplicative() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let b = Fp2::random(&mut r);
+        assert_eq!((a * b).norm(), a.norm() * b.norm());
+        assert_eq!(a.norm(), (a * a.conjugate()).c0);
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square has a root");
+            assert!(root == a || root == -a, "root mismatch");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_fp_embedded() {
+        // Both Fp-square and Fp-non-square cases embedded in Fp2.
+        let four = Fp2::from_fp(Fp::from_u64(4));
+        let root = four.sqrt().unwrap();
+        assert_eq!(root.square(), four);
+        let minus_four = -four;
+        let root2 = minus_four.sqrt().expect("-4 is a square in Fp2");
+        assert_eq!(root2.square(), minus_four);
+    }
+
+    #[test]
+    fn xi_is_not_a_square() {
+        // ξ = 1 + u generates the sextic twist; it must be a non-square
+        // (and non-cube) for the tower to be a field.
+        assert!(!Fp2::xi().is_square());
+        assert!(Fp2::xi().sqrt().is_none());
+    }
+
+    #[test]
+    fn scale_matches_embedded_mul() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let k = Fp::from_u64(12345);
+        assert_eq!(a.scale(k), a * Fp2::from_fp(k));
+    }
+}

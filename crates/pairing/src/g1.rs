@@ -1,0 +1,211 @@
+//! The group `G1`: the `r`-torsion of `E(Fp): y² = x³ + 4`.
+//!
+//! The generator is constructed deterministically (smallest valid `x`,
+//! lexicographically smaller `y`, cleared by the cofactor `h1`) rather than
+//! hard-coded; its order is verified at derivation time.
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::fp::Fp;
+use crate::fr::Fr;
+use crate::params;
+
+use std::sync::OnceLock;
+
+/// Curve parameters of `E(Fp)`.
+#[derive(Clone, Copy, Debug)]
+pub struct G1Params;
+
+impl CurveParams for G1Params {
+    type Base = Fp;
+    fn b() -> Fp {
+        Fp::from_u64(4)
+    }
+}
+
+/// Affine `G1` point.
+pub type G1Affine = Affine<G1Params>;
+/// Jacobian `G1` point.
+pub type G1Projective = Projective<G1Params>;
+
+/// Number of bytes in the uncompressed affine serialization.
+pub const G1_BYTES: usize = 2 * Fp::BYTES;
+
+/// Deterministic generator of the order-`r` subgroup.
+pub fn generator() -> &'static G1Projective {
+    static GEN: OnceLock<G1Projective> = OnceLock::new();
+    GEN.get_or_init(|| {
+        let c = params::consts();
+        let mut x = Fp::one();
+        loop {
+            if let Some(point) = point_with_x(x) {
+                let cleared = point.to_projective().mul_limbs(&c.g1_cofactor);
+                if !cleared.is_identity() {
+                    assert!(
+                        cleared.mul_limbs(&c.r_limbs).is_identity(),
+                        "cofactor-cleared point must have order r"
+                    );
+                    return cleared;
+                }
+            }
+            x += Fp::one();
+        }
+    })
+}
+
+/// The curve point with the given `x`, if one exists (canonical `y`).
+fn point_with_x(x: Fp) -> Option<G1Affine> {
+    let rhs = x.square() * x + G1Params::b();
+    let y = rhs.sqrt()?;
+    // Canonicalize the y choice by byte order so the generator derivation
+    // is platform-independent.
+    let y = canonical_y(y);
+    G1Affine::new(x, y)
+}
+
+fn canonical_y(y: Fp) -> Fp {
+    let neg = -y;
+    if y.to_bytes() <= neg.to_bytes() {
+        y
+    } else {
+        neg
+    }
+}
+
+/// Multiply a point by a scalar-field element.
+pub fn mul_fr(point: &G1Projective, s: &Fr) -> G1Projective {
+    point.mul_limbs(&s.to_canonical_limbs())
+}
+
+/// Check membership in the order-`r` subgroup.
+pub fn in_subgroup(point: &G1Projective) -> bool {
+    point.mul_limbs(&params::consts().r_limbs).is_identity()
+}
+
+/// Hash arbitrary bytes to a subgroup point (try-and-increment over the
+/// hashed x-coordinate, then cofactor clearing). Not constant-time; used
+/// for tests and baselines, not the core protocol.
+pub fn hash_to_g1(domain: &[u8], msg: &[u8]) -> G1Projective {
+    let mut counter = 0u32;
+    loop {
+        let mut material = Vec::with_capacity(msg.len() + 8);
+        material.extend_from_slice(&counter.to_le_bytes());
+        material.extend_from_slice(msg);
+        let fe = crate::fr::Fr::hash_to_field(domain, &material);
+        // Map Fr bits into Fp (injective: r < p).
+        let limbs4 = fe.to_canonical_limbs();
+        let mut limbs6 = [0u64; 6];
+        limbs6[..4].copy_from_slice(&limbs4);
+        let x = Fp::from_canonical_limbs(limbs6).expect("r < p");
+        if let Some(point) = point_with_x(x) {
+            let cleared = point
+                .to_projective()
+                .mul_limbs(&params::consts().g1_cofactor);
+            if !cleared.is_identity() {
+                return cleared;
+            }
+        }
+        counter += 1;
+    }
+}
+
+/// Serialize an affine point (uncompressed; all-zero = identity).
+pub fn to_bytes(point: &G1Affine) -> [u8; G1_BYTES] {
+    let mut out = [0u8; G1_BYTES];
+    if !point.infinity {
+        out[..Fp::BYTES].copy_from_slice(&point.x.to_bytes());
+        out[Fp::BYTES..].copy_from_slice(&point.y.to_bytes());
+    }
+    out
+}
+
+/// Deserialize an affine point; checks the curve equation and subgroup.
+pub fn from_bytes(bytes: &[u8; G1_BYTES]) -> Option<G1Affine> {
+    if bytes.iter().all(|&b| b == 0) {
+        return Some(G1Affine::identity());
+    }
+    let mut xb = [0u8; Fp::BYTES];
+    let mut yb = [0u8; Fp::BYTES];
+    xb.copy_from_slice(&bytes[..Fp::BYTES]);
+    yb.copy_from_slice(&bytes[Fp::BYTES..]);
+    let point = G1Affine::new(Fp::from_bytes(&xb)?, Fp::from_bytes(&yb)?)?;
+    in_subgroup(&point.to_projective()).then_some(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::{ChaChaRng, RandomSource};
+
+    #[test]
+    fn generator_has_order_r() {
+        let g = generator();
+        assert!(g.is_on_curve());
+        assert!(!g.is_identity());
+        assert!(in_subgroup(g));
+        // Order exactly r (not a proper divisor): r is prime, so any
+        // non-identity point of r-torsion has order r.
+        assert!(!g.mul_limbs(&[2]).is_identity());
+    }
+
+    #[test]
+    fn generator_matches_standard_one_in_subgroup_size() {
+        // r·G = O and (r-1)·G = -G.
+        let c = params::consts();
+        let g = generator();
+        let mut r_minus_1 = c.r_big.limbs().to_vec();
+        r_minus_1[0] -= 1;
+        assert_eq!(g.mul_limbs(&r_minus_1), g.neg());
+    }
+
+    #[test]
+    fn scalar_mul_by_fr_is_group_hom() {
+        let g = generator();
+        let mut rng = ChaChaRng::seed_from_u64(31);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(
+            mul_fr(g, &a).add(&mul_fr(g, &b)),
+            mul_fr(g, &(a + b)),
+            "additive homomorphism"
+        );
+        assert_eq!(mul_fr(&mul_fr(g, &a), &b), mul_fr(g, &(a * b)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = ChaChaRng::seed_from_u64(32);
+        let s = Fr::random(&mut rng);
+        let p = mul_fr(generator(), &s).to_affine();
+        let bytes = to_bytes(&p);
+        assert_eq!(from_bytes(&bytes).unwrap(), p);
+        // Identity encodes as all-zero.
+        let id = G1Affine::identity();
+        assert_eq!(to_bytes(&id), [0u8; G1_BYTES]);
+        assert!(from_bytes(&[0u8; G1_BYTES]).unwrap().infinity);
+    }
+
+    #[test]
+    fn from_bytes_rejects_off_curve() {
+        let mut bytes = [0u8; G1_BYTES];
+        bytes[Fp::BYTES - 1] = 1; // x = 1, y = 0: not on curve
+        assert!(from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn hash_to_g1_lands_in_subgroup() {
+        let p = hash_to_g1(b"test", b"hello");
+        let q = hash_to_g1(b"test", b"world");
+        assert!(in_subgroup(&p) && in_subgroup(&q));
+        assert_ne!(p, q);
+        assert_eq!(p, hash_to_g1(b"test", b"hello"));
+    }
+
+    #[test]
+    fn random_points_via_rng() {
+        let mut rng = ChaChaRng::seed_from_u64(33);
+        let s = Fr::random(&mut rng);
+        let p = mul_fr(generator(), &s);
+        assert!(p.is_on_curve() && in_subgroup(&p));
+        let _ = rng.next_u32();
+    }
+}

@@ -1,0 +1,175 @@
+//! The group `G2`: the `r`-torsion of the sextic twist
+//! `E'(Fp2): y² = x³ + 4(1+u) = x³ + 4ξ`.
+//!
+//! As for `G1`, the generator is found deterministically and cleared by
+//! the (≈508-bit) cofactor `h2`, with the order verified at derivation
+//! time.
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::fr::Fr;
+use crate::params;
+use crate::traits::Field;
+use std::sync::OnceLock;
+
+/// Curve parameters of the twist `E'(Fp2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct G2Params;
+
+impl CurveParams for G2Params {
+    type Base = Fp2;
+    fn b() -> Fp2 {
+        // 4·ξ = 4 + 4u.
+        Fp2::new(Fp::from_u64(4), Fp::from_u64(4))
+    }
+}
+
+/// Affine `G2` point.
+pub type G2Affine = Affine<G2Params>;
+/// Jacobian `G2` point.
+pub type G2Projective = Projective<G2Params>;
+
+/// Number of bytes in the uncompressed affine serialization.
+pub const G2_BYTES: usize = 4 * Fp::BYTES;
+
+/// Deterministic generator of the order-`r` subgroup of the twist.
+pub fn generator() -> &'static G2Projective {
+    static GEN: OnceLock<G2Projective> = OnceLock::new();
+    GEN.get_or_init(|| {
+        let c = params::consts();
+        let mut n = 0u64;
+        loop {
+            // Walk x = n + u, n = 0, 1, 2, … (x with a u-component so we
+            // don't accidentally start in a proper subfield).
+            let x = Fp2::new(Fp::from_u64(n), Fp::one());
+            if let Some(point) = point_with_x(x) {
+                let cleared = point.to_projective().mul_limbs(&c.g2_cofactor);
+                if !cleared.is_identity() {
+                    assert!(
+                        cleared.mul_limbs(&c.r_limbs).is_identity(),
+                        "cofactor-cleared twist point must have order r"
+                    );
+                    return cleared;
+                }
+            }
+            n += 1;
+        }
+    })
+}
+
+fn point_with_x(x: Fp2) -> Option<G2Affine> {
+    let rhs = x.square() * x + G2Params::b();
+    let y = rhs.sqrt()?;
+    let y = canonical_y(y);
+    G2Affine::new(x, y)
+}
+
+fn canonical_y(y: Fp2) -> Fp2 {
+    let neg = -y;
+    let yb = (y.c0.to_bytes(), y.c1.to_bytes());
+    let nb = (neg.c0.to_bytes(), neg.c1.to_bytes());
+    if yb <= nb {
+        y
+    } else {
+        neg
+    }
+}
+
+/// Multiply a point by a scalar-field element.
+pub fn mul_fr(point: &G2Projective, s: &Fr) -> G2Projective {
+    point.mul_limbs(&s.to_canonical_limbs())
+}
+
+/// Check membership in the order-`r` subgroup.
+pub fn in_subgroup(point: &G2Projective) -> bool {
+    point.mul_limbs(&params::consts().r_limbs).is_identity()
+}
+
+/// Serialize an affine point (uncompressed; all-zero = identity).
+pub fn to_bytes(point: &G2Affine) -> [u8; G2_BYTES] {
+    let mut out = [0u8; G2_BYTES];
+    if !point.infinity {
+        out[..Fp::BYTES].copy_from_slice(&point.x.c0.to_bytes());
+        out[Fp::BYTES..2 * Fp::BYTES].copy_from_slice(&point.x.c1.to_bytes());
+        out[2 * Fp::BYTES..3 * Fp::BYTES].copy_from_slice(&point.y.c0.to_bytes());
+        out[3 * Fp::BYTES..].copy_from_slice(&point.y.c1.to_bytes());
+    }
+    out
+}
+
+/// Deserialize an affine point; checks the curve equation and subgroup.
+pub fn from_bytes(bytes: &[u8; G2_BYTES]) -> Option<G2Affine> {
+    if bytes.iter().all(|&b| b == 0) {
+        return Some(G2Affine::identity());
+    }
+    let part = |i: usize| -> Option<Fp> {
+        let mut b = [0u8; Fp::BYTES];
+        b.copy_from_slice(&bytes[i * Fp::BYTES..(i + 1) * Fp::BYTES]);
+        Fp::from_bytes(&b)
+    };
+    let x = Fp2::new(part(0)?, part(1)?);
+    let y = Fp2::new(part(2)?, part(3)?);
+    let point = G2Affine::new(x, y)?;
+    in_subgroup(&point.to_projective()).then_some(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+
+    #[test]
+    fn generator_has_order_r() {
+        let g = generator();
+        assert!(g.is_on_curve());
+        assert!(!g.is_identity());
+        assert!(in_subgroup(g));
+        assert!(!g.mul_limbs(&[2]).is_identity());
+    }
+
+    #[test]
+    fn twist_group_laws() {
+        let g = generator();
+        let two_g = g.double();
+        let three_g = two_g.add(g);
+        assert_eq!(three_g.sub(g), two_g);
+        assert_eq!(g.mul_limbs(&[3]), three_g);
+        assert!(three_g.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_homomorphism() {
+        let g = generator();
+        let mut rng = ChaChaRng::seed_from_u64(41);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(mul_fr(g, &a).add(&mul_fr(g, &b)), mul_fr(g, &(a + b)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = ChaChaRng::seed_from_u64(42);
+        let p = mul_fr(generator(), &Fr::random(&mut rng)).to_affine();
+        assert_eq!(from_bytes(&to_bytes(&p)).unwrap(), p);
+        assert!(from_bytes(&[0u8; G2_BYTES]).unwrap().infinity);
+    }
+
+    #[test]
+    fn from_bytes_rejects_non_subgroup_points() {
+        // A random twist point (before cofactor clearing) is on the curve
+        // but almost surely outside the r-subgroup; serialization must
+        // reject it.
+        let mut n = 0u64;
+        let raw = loop {
+            let x = Fp2::new(Fp::from_u64(n), Fp::one());
+            if let Some(p) = point_with_x(x) {
+                if !in_subgroup(&p.to_projective()) {
+                    break p;
+                }
+            }
+            n += 1;
+        };
+        assert!(from_bytes(&to_bytes(&raw)).is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! From-scratch implementation of the BLS12-381 pairing-friendly curve,
+//! providing the asymmetric bilinear group `(G1, G2, GT, q, e)` that the
+//! paper's Secure Join scheme (and the underlying function-hiding
+//! inner-product encryption of Kim et al.) is built on.
+//!
+//! # Design
+//!
+//! * **Every constant is derived from the BLS parameter**
+//!   `z = -0xd201_0000_0001_0000`: base-field modulus
+//!   `p = (z-1)²(z⁴-z²+1)/3 + z`, scalar modulus `r = z⁴-z²+1`, Montgomery
+//!   parameters, Frobenius coefficients, cofactors and generators. No
+//!   magic hex blobs; tests cross-check the derived values against the
+//!   published standard ones.
+//! * **Field tower** `Fp → Fp2 → Fp6 → Fp12` with
+//!   `Fp2 = Fp[u]/(u²+1)`, `Fp6 = Fp2[v]/(v³-ξ)`, `ξ = 1+u`,
+//!   `Fp12 = Fp6[w]/(w²-v)`.
+//! * **Pairing**: optimal ate, computed with affine Miller-loop formulas
+//!   over the untwisted `G2` image in `Fp12` (the untwist
+//!   `(x', y') ↦ (x'/w², y'/w³)` keeps the formulas textbook-verifiable),
+//!   with **batched inversions across a multi-pairing** so the product of
+//!   pairings in `SJ.Dec` shares one inversion per Miller step and a single
+//!   final exponentiation.
+//! * **[`mock`] engine**: a transparent-exponent stand-in with the same
+//!   [`engine::Engine`] API, used by fast protocol tests and by the
+//!   full-scale shape experiments (see DESIGN.md §4).
+//!
+//! This is a research prototype: arithmetic is *not* constant-time (the
+//! paper's security model is leakage at the query level, not side
+//! channels), and `unsafe` is not used.
+
+pub mod curve;
+pub mod engine;
+pub mod fp;
+pub mod fp12;
+pub mod fp2;
+pub mod fp6;
+pub mod fr;
+pub mod g1;
+pub mod g2;
+pub mod mock;
+pub mod montgomery;
+pub mod pairing;
+pub mod params;
+pub mod traits;
+
+pub use engine::{Bls12, Engine};
+pub use fp::Fp;
+pub use fp12::Fp12;
+pub use fp2::Fp2;
+pub use fp6::Fp6;
+pub use fr::Fr;
+pub use g1::{G1Affine, G1Projective};
+pub use g2::{G2Affine, G2Projective};
+pub use mock::MockEngine;
+pub use pairing::{multi_pairing, pairing, Gt};
+pub use traits::Field;

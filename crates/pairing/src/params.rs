@@ -1,0 +1,214 @@
+//! Derivation of every BLS12-381 constant from the BLS family parameter.
+//!
+//! BLS12 curves are parameterized by one integer `z`; for BLS12-381,
+//! `z = -0xd201_0000_0001_0000`. The family polynomials are
+//!
+//! * scalar field modulus  `r(z) = z⁴ - z² + 1`
+//! * base field modulus    `p(z) = (z-1)²·r(z)/3 + z`
+//! * G1 cofactor           `h1(z) = (z-1)²/3`
+//! * G2 cofactor           `h2(z) = (z⁸ - 4z⁷ + 5z⁶ - 4z⁴ + 6z³ - 4z² - 4z + 13)/9`
+//! * trace of Frobenius    `t(z) = z + 1`
+//!
+//! Since `z < 0`, every polynomial is rearranged in `|z|` so all
+//! intermediate values are non-negative (see the inline comments). The
+//! derived values are cross-checked against the published standard
+//! constants in the test module.
+
+use crate::montgomery::FieldParams;
+use eqjoin_bigint::BigUint;
+use std::sync::OnceLock;
+
+/// `|z|` for BLS12-381 (`z` itself is negative).
+pub const BLS_X: u64 = 0xd201_0000_0001_0000;
+
+/// Sign of the BLS parameter (true = negative), affecting the Miller loop
+/// and final exponentiation.
+pub const BLS_X_IS_NEGATIVE: bool = true;
+
+/// All derived curve constants.
+pub struct Constants {
+    /// Montgomery parameters of the base field `Fp` (381 bits, 6 limbs).
+    pub fp: FieldParams<6>,
+    /// Montgomery parameters of the scalar field `Fr` (255 bits, 4 limbs).
+    pub fr: FieldParams<4>,
+    /// `p` as a big integer.
+    pub p_big: BigUint,
+    /// `r` as a big integer.
+    pub r_big: BigUint,
+    /// `(p - 1) / 2` — Legendre-symbol exponent.
+    pub p_minus_1_over_2: Vec<u64>,
+    /// `(p + 1) / 4` — square-root exponent (`p ≡ 3 mod 4`).
+    pub p_plus_1_over_4: Vec<u64>,
+    /// `(p - 1) / 6` — Frobenius coefficient exponent (`p ≡ 1 mod 6`).
+    pub p_minus_1_over_6: Vec<u64>,
+    /// G1 cofactor `h1` limbs.
+    pub g1_cofactor: Vec<u64>,
+    /// G2 cofactor `h2` limbs.
+    pub g2_cofactor: Vec<u64>,
+    /// `r` limbs (for subgroup checks).
+    pub r_limbs: Vec<u64>,
+}
+
+/// Global constants, derived once per process.
+pub fn consts() -> &'static Constants {
+    static CONSTS: OnceLock<Constants> = OnceLock::new();
+    CONSTS.get_or_init(derive)
+}
+
+fn derive() -> Constants {
+    let z = BigUint::from_u64(BLS_X);
+    let one = BigUint::one();
+
+    // r = z⁴ - z² + 1 (identical in z and |z|: even powers only).
+    let z2 = z.square();
+    let z4 = z2.square();
+    let r_big = z4.sub(&z2).add(&one);
+
+    // p = (z-1)²·r/3 + z. With z = -|z|: (z-1)² = (|z|+1)², and +z = -|z|.
+    let zp1_sq = z.add(&one).square();
+    let p_big = zp1_sq.mul(&r_big).div_exact_u64(3).sub(&z);
+
+    // Structural sanity checks used throughout the tower construction.
+    assert_eq!(p_big.rem(&BigUint::from_u64(4)), BigUint::from_u64(3), "p ≡ 3 mod 4");
+    assert_eq!(p_big.rem(&BigUint::from_u64(6)), BigUint::from_u64(1), "p ≡ 1 mod 6");
+    assert_eq!(p_big.bit_len(), 381);
+    assert_eq!(r_big.bit_len(), 255);
+
+    let fp = FieldParams::derive(p_big.to_limbs_fixed::<6>());
+    let fr = FieldParams::derive(r_big.to_limbs_fixed::<4>());
+
+    let p_minus_1 = p_big.sub(&one);
+    let p_minus_1_over_2 = p_minus_1.div_exact_u64(2).limbs().to_vec();
+    let p_minus_1_over_6 = p_minus_1.div_exact_u64(6).limbs().to_vec();
+    let p_plus_1_over_4 = p_big.add(&one).div_exact_u64(4).limbs().to_vec();
+
+    // h1 = (z-1)²/3 = (|z|+1)²/3.
+    let g1_cofactor = zp1_sq.div_exact_u64(3).limbs().to_vec();
+
+    // h2 = (z⁸ - 4z⁷ + 5z⁶ - 4z⁴ + 6z³ - 4z² - 4z + 13)/9. Substituting
+    // z = -|z| flips the sign of odd powers:
+    //   9·h2 = |z|⁸ + 4|z|⁷ + 5|z|⁶ + 4|z| + 13 - (4|z|⁴ + 6|z|³ + 4|z|²)
+    let z3 = z2.mul(&z);
+    let z6 = z3.square();
+    let z7 = z6.mul(&z);
+    let z8 = z7.mul(&z);
+    let positive = z8
+        .add(&z7.mul_u64(4))
+        .add(&z6.mul_u64(5))
+        .add(&z.mul_u64(4))
+        .add(&BigUint::from_u64(13));
+    let negative = z4.mul_u64(4).add(&z3.mul_u64(6)).add(&z2.mul_u64(4));
+    let g2_cofactor = positive.sub(&negative).div_exact_u64(9).limbs().to_vec();
+
+    Constants {
+        fp,
+        fr,
+        p_minus_1_over_2,
+        p_plus_1_over_4,
+        p_minus_1_over_6,
+        g1_cofactor,
+        g2_cofactor,
+        r_limbs: r_big.limbs().to_vec(),
+        p_big,
+        r_big,
+    }
+}
+
+/// Base-field parameters accessor (used by the `Fp` type).
+pub fn fp_params() -> &'static FieldParams<6> {
+    &consts().fp
+}
+
+/// Scalar-field parameters accessor (used by the `Fr` type).
+pub fn fr_params() -> &'static FieldParams<4> {
+    &consts().fr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The published standard BLS12-381 moduli — the derivation must
+    /// reproduce them exactly.
+    #[test]
+    fn derived_moduli_match_standard() {
+        let c = consts();
+        assert_eq!(
+            c.p_big.to_hex(),
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624\
+             1eabfffeb153ffffb9feffffffffaaab"
+                .replace(char::is_whitespace, "")
+        );
+        assert_eq!(
+            c.r_big.to_hex(),
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+        );
+    }
+
+    #[test]
+    fn montgomery_inv_is_consistent() {
+        let c = consts();
+        assert_eq!(
+            c.fp.modulus[0].wrapping_mul(c.fp.inv.wrapping_neg()),
+            1,
+            "fp inv"
+        );
+        assert_eq!(
+            c.fr.modulus[0].wrapping_mul(c.fr.inv.wrapping_neg()),
+            1,
+            "fr inv"
+        );
+    }
+
+    #[test]
+    fn cofactor_times_r_covers_curve_order() {
+        // #E(Fp) = h1 · r must equal p + 1 - t with t = z + 1 = 1 - |z|,
+        // i.e. p + |z| (since t = 1 - |z|, p + 1 - t = p + |z|).
+        let c = consts();
+        let h1 = BigUint::from_limbs(&c.g1_cofactor);
+        let lhs = h1.mul(&c.r_big);
+        let rhs = c.p_big.add(&BigUint::from_u64(BLS_X));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn exponents_recombine() {
+        let c = consts();
+        let one = BigUint::one();
+        let half = BigUint::from_limbs(&c.p_minus_1_over_2);
+        assert_eq!(half.mul_u64(2).add(&one), c.p_big);
+        let sixth = BigUint::from_limbs(&c.p_minus_1_over_6);
+        assert_eq!(sixth.mul_u64(6).add(&one), c.p_big);
+        let quarter = BigUint::from_limbs(&c.p_plus_1_over_4);
+        assert_eq!(quarter.mul_u64(4), c.p_big.add(&one));
+    }
+
+    #[test]
+    fn g2_cofactor_size() {
+        // h2 has ~508 bits for BLS12-381.
+        let c = consts();
+        let h2 = BigUint::from_limbs(&c.g2_cofactor);
+        assert!(h2.bit_len() > 500 && h2.bit_len() < 520, "{}", h2.bit_len());
+    }
+
+    #[test]
+    fn hard_part_decomposition_holds() {
+        // Final-exponentiation hard part (Hayashida et al. for BLS12):
+        //   (x-1)²·(x+p)·(x²+p²-1) + 3  ==  3·(p⁴-p²+1)/r
+        // Verified without division: LHS·r == 3·(p⁴-p²+1).
+        let c = consts();
+        let one = BigUint::one();
+        let p = &c.p_big;
+        let p2 = p.square();
+        let p4 = p2.square();
+        let x_minus_1_sq = BigUint::from_u64(BLS_X).add(&one).square(); // (x-1)² with x<0
+        let x_plus_p = p.sub(&BigUint::from_u64(BLS_X)); // p - |x|
+        let x2_plus_p2_minus_1 = BigUint::from_u64(BLS_X).square().add(&p2).sub(&one);
+        let lhs = x_minus_1_sq
+            .mul(&x_plus_p)
+            .mul(&x2_plus_p2_minus_1)
+            .add(&BigUint::from_u64(3));
+        let rhs = p4.sub(&p2).add(&one).mul_u64(3);
+        assert_eq!(lhs.mul(&c.r_big), rhs);
+    }
+}

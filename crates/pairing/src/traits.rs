@@ -1,0 +1,118 @@
+//! Shared abstractions: the [`Field`] trait implemented by every level of
+//! the tower (`Fp`, `Fp2`, `Fp6`, `Fp12`) and the scalar field `Fr`.
+
+use eqjoin_crypto::RandomSource;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A finite field, used generically by the curve and tower arithmetic.
+///
+/// Arithmetic is exposed through the standard operator traits (elements are
+/// small `Copy` values); the trait adds constructors and the operations the
+/// generic code needs beyond operators.
+pub trait Field:
+    Copy
+    + Clone
+    + PartialEq
+    + Eq
+    + Debug
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// True iff the element is zero.
+    fn is_zero(&self) -> bool;
+    /// `self²` (may be faster than `self * self`).
+    fn square(&self) -> Self;
+    /// `2·self`.
+    fn double(&self) -> Self {
+        *self + *self
+    }
+    /// Multiplicative inverse; `None` for zero.
+    fn invert(&self) -> Option<Self>;
+    /// Uniformly random element.
+    fn random(rng: &mut dyn RandomSource) -> Self;
+
+    /// Exponentiation by a little-endian limb-slice exponent.
+    fn pow_slice(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        for &limb in exp.iter().rev() {
+            for i in (0..64).rev() {
+                res = res.square();
+                if (limb >> i) & 1 == 1 {
+                    res *= *self;
+                }
+            }
+        }
+        res
+    }
+}
+
+/// Invert a batch of field elements with a single inversion
+/// (Montgomery's trick). Panics if any element is zero.
+pub fn batch_invert<F: Field>(values: &mut [F]) {
+    if values.is_empty() {
+        return;
+    }
+    // Prefix products.
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = F::one();
+    for v in values.iter() {
+        assert!(!v.is_zero(), "batch_invert: zero element");
+        prefix.push(acc);
+        acc *= *v;
+    }
+    let mut inv = acc.invert().expect("product of nonzero elements");
+    // Walk back, peeling one inverse at a time.
+    for i in (0..values.len()).rev() {
+        let orig = values[i];
+        values[i] = inv * prefix[i];
+        inv *= orig;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::Fp;
+    use eqjoin_crypto::ChaChaRng;
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let originals: Vec<Fp> = (0..17).map(|_| Fp::random_nonzero(&mut rng)).collect();
+        let mut batch = originals.clone();
+        batch_invert(&mut batch);
+        for (o, b) in originals.iter().zip(&batch) {
+            assert_eq!(o.invert().unwrap(), *b);
+            assert_eq!(*o * *b, Fp::one());
+        }
+    }
+
+    #[test]
+    fn batch_invert_empty_and_single() {
+        let mut empty: Vec<Fp> = vec![];
+        batch_invert(&mut empty);
+        let mut single = vec![Fp::from_u64(7)];
+        batch_invert(&mut single);
+        assert_eq!(single[0] * Fp::from_u64(7), Fp::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn batch_invert_rejects_zero() {
+        let mut vals = vec![Fp::one(), Fp::zero()];
+        batch_invert(&mut vals);
+    }
+}

@@ -1,0 +1,23 @@
+//! A small SQL front-end for the query shape the paper supports:
+//!
+//! ```sql
+//! SELECT * FROM Employees JOIN Teams ON Team = Key
+//! WHERE Name = 'Web Application' AND Role = 'Tester'
+//!
+//! SELECT * FROM T_A JOIN T_B ON T_A.a0 = T_B.b0
+//! WHERE T_A.a1 IN (1, 2, 3) AND T_B.b1 IN ('x', 'y')
+//! ```
+//!
+//! Column references may be qualified (`Table.col`) or bare; bare
+//! references are resolved against the two joined tables' filter columns
+//! at planning time (the paper's example queries use bare names).
+//! `col = v` is sugar for `col IN (v)`. The output is the engine's
+//! [`JoinQuery`].
+//!
+//! [`JoinQuery`]: eqjoin_db::JoinQuery
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{tokenize, SqlError, Token};
+pub use parser::{parse, parse_join_query, ColumnRef, ParsedQuery, ResolutionContext};

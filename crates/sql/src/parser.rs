@@ -1,0 +1,390 @@
+//! Recursive-descent parser producing a [`ParsedQuery`], and the planner
+//! that resolves bare column references into the engine's
+//! [`JoinQuery`].
+
+use crate::lexer::{tokenize, SqlError, Token};
+use eqjoin_db::{InFilter, JoinQuery, Value};
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Qualifying table, if written as `Table.col`.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// A parsed (not yet resolved) query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// Left (first) table in `FROM a JOIN b`.
+    pub left_table: String,
+    /// Right (second) table.
+    pub right_table: String,
+    /// Left side of the `ON x = y` condition.
+    pub on_left: ColumnRef,
+    /// Right side of the `ON` condition.
+    pub on_right: ColumnRef,
+    /// WHERE conjuncts: `(column, values)`; `=` is a 1-element `IN`.
+    pub predicates: Vec<(ColumnRef, Vec<Value>)>,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, p)| *p)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        let at = self.here();
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(SqlError::new(
+                format!("expected keyword {kw}, found {other:?}"),
+                at,
+            )),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), SqlError> {
+        let at = self.here();
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            other => Err(SqlError::new(
+                format!("expected {tok:?}, found {other:?}"),
+                at,
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        let at = self.here();
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            other => Err(SqlError::new(
+                format!("expected identifier, found {other:?}"),
+                at,
+            )),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.next();
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        let at = self.here();
+        match self.next() {
+            Some(Token::StringLit(s)) => Ok(Value::Str(s)),
+            Some(Token::IntLit(v)) => Ok(Value::Int(v)),
+            Some(Token::DecimalLit(c)) => Ok(Value::Decimal(c)),
+            other => Err(SqlError::new(
+                format!("expected literal, found {other:?}"),
+                at,
+            )),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Parse the supported statement shape:
+///
+/// `SELECT * FROM a JOIN b ON x = y [WHERE col IN (v, …) [AND …]] [;]`
+pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    p.expect_keyword("SELECT")?;
+    p.expect(&Token::Star)?;
+    p.expect_keyword("FROM")?;
+    let left_table = p.ident()?;
+    p.expect_keyword("JOIN")?;
+    let right_table = p.ident()?;
+    p.expect_keyword("ON")?;
+    let on_left = p.column_ref()?;
+    p.expect(&Token::Equals)?;
+    let on_right = p.column_ref()?;
+
+    let mut predicates = Vec::new();
+    if p.keyword_is("WHERE") {
+        p.next();
+        loop {
+            let col = p.column_ref()?;
+            let at = p.here();
+            let values = match p.next() {
+                Some(Token::Equals) => vec![p.literal()?],
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("IN") => {
+                    p.expect(&Token::LParen)?;
+                    let mut vs = vec![p.literal()?];
+                    while p.peek() == Some(&Token::Comma) {
+                        p.next();
+                        vs.push(p.literal()?);
+                    }
+                    p.expect(&Token::RParen)?;
+                    vs
+                }
+                other => {
+                    return Err(SqlError::new(
+                        format!("expected '=' or IN, found {other:?}"),
+                        at,
+                    ))
+                }
+            };
+            predicates.push((col, values));
+            if p.keyword_is("AND") {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if p.peek() == Some(&Token::Semicolon) {
+        p.next();
+    }
+    if let Some(tok) = p.peek() {
+        return Err(SqlError::new(
+            format!("unexpected trailing token {tok:?}"),
+            p.here(),
+        ));
+    }
+    Ok(ParsedQuery {
+        left_table,
+        right_table,
+        on_left,
+        on_right,
+        predicates,
+    })
+}
+
+/// Resolution context: which columns belong to which table (needed for
+/// bare column references, as in the paper's example queries).
+pub struct ResolutionContext<'a> {
+    /// `(table name, its column names)` for the two joined tables.
+    pub tables: [(&'a str, &'a [String]); 2],
+}
+
+impl ParsedQuery {
+    /// Resolve into the engine's [`JoinQuery`], attributing bare columns
+    /// to whichever joined table has them (erroring on ambiguity).
+    pub fn resolve(&self, ctx: &ResolutionContext<'_>) -> Result<JoinQuery, SqlError> {
+        let resolve_col = |col: &ColumnRef| -> Result<(String, String), SqlError> {
+            if let Some(table) = &col.table {
+                return Ok((table.clone(), col.column.clone()));
+            }
+            let owners: Vec<&str> = ctx
+                .tables
+                .iter()
+                .filter(|(_, cols)| cols.iter().any(|c| c == &col.column))
+                .map(|(t, _)| *t)
+                .collect();
+            match owners.as_slice() {
+                [table] => Ok(((*table).to_owned(), col.column.clone())),
+                [] => Err(SqlError::new(
+                    format!("column {:?} not found in joined tables", col.column),
+                    0,
+                )),
+                _ => Err(SqlError::new(
+                    format!("column {:?} is ambiguous between tables", col.column),
+                    0,
+                )),
+            }
+        };
+
+        let (on_left_table, on_left_col) = resolve_col(&self.on_left)?;
+        let (on_right_table, on_right_col) = resolve_col(&self.on_right)?;
+
+        // Orient the ON condition to (left table, right table).
+        let (left_join_column, right_join_column) = if on_left_table == self.left_table
+            && on_right_table == self.right_table
+        {
+            (on_left_col, on_right_col)
+        } else if on_left_table == self.right_table && on_right_table == self.left_table {
+            (on_right_col, on_left_col)
+        } else {
+            return Err(SqlError::new(
+                "ON condition must reference both joined tables",
+                0,
+            ));
+        };
+
+        let mut query = JoinQuery::on(
+            &self.left_table,
+            &left_join_column,
+            &self.right_table,
+            &right_join_column,
+        );
+        for (col, values) in &self.predicates {
+            let (table, column) = resolve_col(col)?;
+            query.filters.push(InFilter {
+                table,
+                column,
+                values: values.clone(),
+            });
+        }
+        Ok(query)
+    }
+}
+
+/// Parse and resolve in one step.
+pub fn parse_join_query(
+    input: &str,
+    ctx: &ResolutionContext<'_>,
+) -> Result<JoinQuery, SqlError> {
+    parse(input)?.resolve(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse(
+            "SELECT * FROM Employees JOIN Teams ON Team = Key \
+             WHERE Name = 'Web Application' AND Role = 'Tester'",
+        )
+        .unwrap();
+        assert_eq!(q.left_table, "Employees");
+        assert_eq!(q.right_table, "Teams");
+        assert_eq!(q.on_left.column, "Team");
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(
+            q.predicates[0].1,
+            vec![Value::Str("Web Application".into())]
+        );
+    }
+
+    #[test]
+    fn resolves_bare_columns() {
+        let emp_cols = cols(&["Record", "Employee", "Role", "Team"]);
+        let team_cols = cols(&["Key", "Name"]);
+        let ctx = ResolutionContext {
+            tables: [("Employees", &emp_cols), ("Teams", &team_cols)],
+        };
+        let q = parse_join_query(
+            "SELECT * FROM Employees JOIN Teams ON Team = Key \
+             WHERE Name = 'Web Application' AND Role = 'Tester'",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(q.left_join_column, "Team");
+        assert_eq!(q.right_join_column, "Key");
+        assert_eq!(q.filters[0].table, "Teams");
+        assert_eq!(q.filters[1].table, "Employees");
+    }
+
+    #[test]
+    fn in_clause_and_qualified_refs() {
+        let a_cols = cols(&["k", "x"]);
+        let b_cols = cols(&["k", "y"]);
+        let ctx = ResolutionContext {
+            tables: [("A", &a_cols), ("B", &b_cols)],
+        };
+        let q = parse_join_query(
+            "SELECT * FROM A JOIN B ON A.k = B.k WHERE A.x IN (1, 2, 3) AND B.y IN ('u');",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(q.filters[0].values.len(), 3);
+        assert_eq!(q.filters[0].values[2], Value::Int(3));
+        assert_eq!(q.filters[1].values, vec![Value::Str("u".into())]);
+    }
+
+    #[test]
+    fn on_condition_reorientation() {
+        // ON written right-table-first must still resolve correctly.
+        let a_cols = cols(&["ka", "x"]);
+        let b_cols = cols(&["kb", "y"]);
+        let ctx = ResolutionContext {
+            tables: [("A", &a_cols), ("B", &b_cols)],
+        };
+        let q = parse_join_query("SELECT * FROM A JOIN B ON kb = ka", &ctx).unwrap();
+        assert_eq!(q.left_join_column, "ka");
+        assert_eq!(q.right_join_column, "kb");
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let a_cols = cols(&["k", "shared"]);
+        let b_cols = cols(&["k", "shared"]);
+        let ctx = ResolutionContext {
+            tables: [("A", &a_cols), ("B", &b_cols)],
+        };
+        let err = parse_join_query(
+            "SELECT * FROM A JOIN B ON A.k = B.k WHERE shared = 1",
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let a_cols = cols(&["k"]);
+        let b_cols = cols(&["k"]);
+        let ctx = ResolutionContext {
+            tables: [("A", &a_cols), ("B", &b_cols)],
+        };
+        let err =
+            parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE ghost = 1", &ctx)
+                .unwrap_err();
+        assert!(err.message.contains("not found"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse("SELECT * FROM A").is_err());
+        assert!(parse("SELECT col FROM A JOIN B ON a = b").is_err());
+        assert!(parse("SELECT * FROM A JOIN B ON a = b WHERE x IN ()").is_err());
+        assert!(parse("SELECT * FROM A JOIN B ON a = b trailing").is_err());
+        assert!(parse("SELECT * FROM A JOIN B ON a = b WHERE x > 1").is_err());
+    }
+
+    #[test]
+    fn decimal_and_negative_literals() {
+        let q = parse("SELECT * FROM A JOIN B ON a = b WHERE x IN (-5, 10.25)").unwrap();
+        assert_eq!(
+            q.predicates[0].1,
+            vec![Value::Int(-5), Value::Decimal(1025)]
+        );
+    }
+}

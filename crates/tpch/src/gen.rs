@@ -1,0 +1,222 @@
+//! Table generators for `Customers` and `Orders`.
+//!
+//! Row counts per scale factor follow TPC-H: `150 000 · SF` customers and
+//! `1 500 000 · SF` orders. (§6.1 of the paper states the two base counts
+//! with the table names swapped — an obvious transposition; the join
+//! structure is identical either way and we keep the standard
+//! orientation.) Each order's `custkey` references a uniformly random
+//! customer, giving the skewed PK/FK fan-out the scheme must handle.
+
+use crate::selectivity;
+use crate::text;
+use eqjoin_crypto::{ChaChaRng, RandomSource};
+use eqjoin_db::{Schema, Table, Value};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (the paper sweeps 0.01–0.1).
+    pub scale_factor: f64,
+    /// RNG seed; identical configs generate identical tables.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// Construct a config.
+    pub fn new(scale_factor: f64, seed: u64) -> Self {
+        TpchConfig { scale_factor, seed }
+    }
+
+    /// Number of customer rows at this scale factor.
+    pub fn customer_rows(&self) -> usize {
+        ((150_000.0 * self.scale_factor).round() as usize).max(1)
+    }
+
+    /// Number of order rows at this scale factor.
+    pub fn order_rows(&self) -> usize {
+        ((1_500_000.0 * self.scale_factor).round() as usize).max(1)
+    }
+}
+
+/// The `Customers` schema: the 8 TPC-H attributes plus the paper's
+/// `selectivity` column.
+pub fn customers_schema() -> Schema {
+    Schema::new(
+        "Customers",
+        &[
+            "custkey",
+            "name",
+            "address",
+            "nationkey",
+            "phone",
+            "acctbal",
+            "mktsegment",
+            "comment",
+            "selectivity",
+        ],
+    )
+}
+
+/// The `Orders` schema: the 9 TPC-H attributes plus `selectivity`.
+pub fn orders_schema() -> Schema {
+    Schema::new(
+        "Orders",
+        &[
+            "orderkey",
+            "custkey",
+            "orderstatus",
+            "totalprice",
+            "orderdate",
+            "orderpriority",
+            "clerk",
+            "shippriority",
+            "comment",
+            "selectivity",
+        ],
+    )
+}
+
+/// Generate the `Customers` table.
+pub fn generate_customers(config: &TpchConfig) -> Table {
+    let n = config.customer_rows();
+    let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0xc057_04e5);
+    let mut table = Table::new(customers_schema());
+    for i in 0..n {
+        let custkey = (i + 1) as i64;
+        let nation = rng.next_bounded(text::NATION_COUNT as u64) as i64;
+        table.push_row(vec![
+            Value::Int(custkey),
+            Value::Str(text::customer_name(custkey)),
+            Value::Str(text::address(&mut rng)),
+            Value::Int(nation),
+            Value::Str(text::phone(nation, &mut rng)),
+            // acctbal ∈ [-999.99, 9999.99] as in dbgen.
+            Value::Decimal(rng.next_bounded(1_099_999) as i64 - 99_999),
+            Value::Str(text::SEGMENTS[rng.next_bounded(5) as usize].to_owned()),
+            Value::Str(text::comment(&mut rng)),
+            Value::Str(selectivity::assign(i, n)),
+        ]);
+    }
+    table
+}
+
+/// Generate the `Orders` table with `custkey` foreign keys into a
+/// customer table of `config.customer_rows()` rows.
+pub fn generate_orders(config: &TpchConfig) -> Table {
+    let n = config.order_rows();
+    let customers = config.customer_rows() as u64;
+    let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0x04de_4500);
+    let mut table = Table::new(orders_schema());
+    for i in 0..n {
+        let orderkey = (i + 1) as i64;
+        let custkey = (rng.next_bounded(customers) + 1) as i64;
+        table.push_row(vec![
+            Value::Int(orderkey),
+            Value::Int(custkey),
+            Value::Str(text::ORDER_STATUS[rng.next_bounded(3) as usize].to_owned()),
+            // totalprice ∈ [1000.00, 500000.00).
+            Value::Decimal(rng.next_bounded(49_900_000) as i64 + 100_000),
+            // orderdate: days within the 1992–1998 TPC-H window.
+            Value::Date(8035 + rng.next_bounded(2406) as i32),
+            Value::Str(text::PRIORITIES[rng.next_bounded(5) as usize].to_owned()),
+            Value::Str(text::clerk_name(&mut rng)),
+            Value::Int(0),
+            Value::Str(text::comment(&mut rng)),
+            Value::Str(selectivity::assign(i, n)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_scale() {
+        let cfg = TpchConfig::new(0.01, 1);
+        assert_eq!(cfg.customer_rows(), 1_500);
+        assert_eq!(cfg.order_rows(), 15_000);
+        let cfg = TpchConfig::new(0.001, 1);
+        assert_eq!(cfg.customer_rows(), 150);
+        assert_eq!(cfg.order_rows(), 1_500);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TpchConfig::new(0.001, 42);
+        assert_eq!(generate_customers(&cfg), generate_customers(&cfg));
+        assert_eq!(generate_orders(&cfg), generate_orders(&cfg));
+        let other = TpchConfig::new(0.001, 43);
+        assert_ne!(generate_customers(&cfg), generate_customers(&other));
+    }
+
+    #[test]
+    fn customers_shape() {
+        let cfg = TpchConfig::new(0.001, 7);
+        let t = generate_customers(&cfg);
+        assert_eq!(t.len(), 150);
+        assert_eq!(t.schema.columns.len(), 9);
+        // Primary keys are 1..=n and unique.
+        let keys: std::collections::HashSet<i64> = t
+            .rows
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(k) => *k,
+                _ => panic!("custkey type"),
+            })
+            .collect();
+        assert_eq!(keys.len(), 150);
+        assert!(keys.contains(&1) && keys.contains(&150));
+    }
+
+    #[test]
+    fn orders_reference_valid_customers() {
+        let cfg = TpchConfig::new(0.001, 7);
+        let t = generate_orders(&cfg);
+        assert_eq!(t.len(), 1_500);
+        let n_cust = cfg.customer_rows() as i64;
+        for row in &t.rows {
+            match row.get(1) {
+                Value::Int(ck) => assert!((1..=n_cust).contains(ck), "custkey {ck}"),
+                other => panic!("custkey type {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_column_present_with_expected_blocks() {
+        let cfg = TpchConfig::new(0.01, 7);
+        let t = generate_customers(&cfg);
+        let sel_idx = t.schema.column_index("selectivity").unwrap();
+        let count_1_100 = t
+            .rows
+            .iter()
+            .filter(|r| r.get(sel_idx) == &Value::Str("1/100".into()))
+            .count();
+        assert_eq!(count_1_100, 15, "1% of 1500 rows");
+        let count_1_12_5 = t
+            .rows
+            .iter()
+            .filter(|r| r.get(sel_idx) == &Value::Str("1/12.5".into()))
+            .count();
+        assert_eq!(count_1_12_5, 120, "8% of 1500 rows");
+    }
+
+    #[test]
+    fn fk_fanout_is_plausible() {
+        // With 1500 orders over 150 customers the mean fan-out is 10;
+        // check it is neither degenerate nor constant.
+        let cfg = TpchConfig::new(0.001, 9);
+        let orders = generate_orders(&cfg);
+        let mut fanout = std::collections::HashMap::new();
+        for row in &orders.rows {
+            if let Value::Int(ck) = row.get(1) {
+                *fanout.entry(*ck).or_insert(0usize) += 1;
+            }
+        }
+        assert!(fanout.len() > 100, "most customers referenced");
+        let max = fanout.values().max().unwrap();
+        assert!(*max >= 10, "some skew expected");
+    }
+}

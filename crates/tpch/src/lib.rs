@@ -1,0 +1,22 @@
+//! TPC-H-style synthetic data generator for the paper's evaluation
+//! (§6.1).
+//!
+//! Generates the two tables the paper joins — `Customers` and `Orders` —
+//! with the standard schemas, the `custkey` PK/FK relationship, scale
+//! factors, and the paper's extra **`selectivity`** column whose values
+//! `{1/12.5, 1/25, 1/50, 1/100}` are assigned to proportional row blocks
+//! ("each Selectivity value x is assigned to x·n rows"; the remaining
+//! 85% of rows carry a `none` marker so every row has a value).
+//!
+//! The real TPC-H `dbgen` is not available offline; this generator
+//! reproduces everything the encrypted-join workload is sensitive to —
+//! join-key equality structure, per-attribute selection predicates, row
+//! counts and value domains — with deterministic seeded randomness
+//! (DESIGN.md §4 records the substitution).
+
+pub mod gen;
+pub mod selectivity;
+pub mod text;
+
+pub use gen::{generate_customers, generate_orders, TpchConfig};
+pub use selectivity::{selectivity_label, SELECTIVITIES};

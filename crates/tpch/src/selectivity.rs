@@ -1,0 +1,67 @@
+//! The paper's `selectivity` column (§6.1): values `1/12.5`, `1/25`,
+//! `1/50`, `1/100`, each assigned to a proportional block of rows.
+
+/// The four selectivity levels used in Figures 3 and 4, as fractions.
+pub const SELECTIVITIES: [f64; 4] = [1.0 / 12.5, 1.0 / 25.0, 1.0 / 50.0, 1.0 / 100.0];
+
+/// Human-readable label for a selectivity fraction ("1/25" etc.).
+pub fn selectivity_label(s: f64) -> String {
+    let denom = 1.0 / s;
+    if (denom - denom.round()).abs() < 1e-9 {
+        format!("1/{}", denom.round() as u64)
+    } else {
+        format!("1/{denom}")
+    }
+}
+
+/// Assign a selectivity label to row `idx` of `n`: the first `s₀·n` rows
+/// get `1/12.5`, the next `s₁·n` rows `1/25`, and so on; the remainder
+/// gets `"none"`. Returns the column value.
+pub fn assign(idx: usize, n: usize) -> String {
+    let mut start = 0usize;
+    for &s in &SELECTIVITIES {
+        let block = (s * n as f64).round() as usize;
+        if idx < start + block {
+            return selectivity_label(s);
+        }
+        start += block;
+    }
+    "none".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(selectivity_label(1.0 / 12.5), "1/12.5");
+        assert_eq!(selectivity_label(1.0 / 25.0), "1/25");
+        assert_eq!(selectivity_label(1.0 / 50.0), "1/50");
+        assert_eq!(selectivity_label(1.0 / 100.0), "1/100");
+    }
+
+    #[test]
+    fn block_sizes_match_fractions() {
+        let n = 10_000;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            *counts.entry(assign(i, n)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts["1/12.5"], 800);
+        assert_eq!(counts["1/25"], 400);
+        assert_eq!(counts["1/50"], 200);
+        assert_eq!(counts["1/100"], 100);
+        assert_eq!(counts["none"], n - 1500);
+    }
+
+    #[test]
+    fn small_tables_still_cover_levels() {
+        // Even a 200-row table assigns at least one row to each level.
+        let n = 200;
+        let labels: std::collections::HashSet<String> = (0..n).map(|i| assign(i, n)).collect();
+        for s in SELECTIVITIES {
+            assert!(labels.contains(&selectivity_label(s)), "{}", s);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Text corpora for name/comment generation, in the spirit of TPC-H
+//! `dbgen`'s grammar-based text (shortened word lists, deterministic
+//! selection).
+
+use eqjoin_crypto::RandomSource;
+
+/// TPC-H market segments (exact dbgen values).
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// TPC-H order priorities (exact dbgen values).
+pub const PRIORITIES: [&str; 5] = [
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+];
+
+/// TPC-H order status values.
+pub const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
+
+/// 25 nations as in TPC-H.
+pub const NATION_COUNT: i64 = 25;
+
+const NOUNS: [&str; 12] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto beans",
+    "instructions", "dependencies", "excuses", "platelets",
+];
+
+const VERBS: [&str; 10] = [
+    "sleep", "wake", "nag", "haggle", "cajole", "integrate", "detect", "snooze", "doze", "boost",
+];
+
+const ADJECTIVES: [&str; 10] = [
+    "furious", "quick", "careful", "ironic", "bold", "silent", "pending", "express", "regular",
+    "special",
+];
+
+const ADVERBS: [&str; 8] = [
+    "quickly", "slowly", "carefully", "furiously", "blithely", "daringly", "evenly", "finally",
+];
+
+fn pick<'a>(words: &'a [&'a str], rng: &mut dyn RandomSource) -> &'a str {
+    words[rng.next_bounded(words.len() as u64) as usize]
+}
+
+/// A dbgen-flavoured comment sentence.
+pub fn comment(rng: &mut dyn RandomSource) -> String {
+    format!(
+        "{} {} {} {} the {} {}",
+        pick(&ADVERBS, rng),
+        pick(&ADJECTIVES, rng),
+        pick(&NOUNS, rng),
+        pick(&VERBS, rng),
+        pick(&ADJECTIVES, rng),
+        pick(&NOUNS, rng),
+    )
+}
+
+/// Customer name `Customer#000000NNN` (dbgen format).
+pub fn customer_name(key: i64) -> String {
+    format!("Customer#{key:09}")
+}
+
+/// Clerk name `Clerk#000000NNN` (dbgen format).
+pub fn clerk_name(rng: &mut dyn RandomSource) -> String {
+    format!("Clerk#{:09}", rng.next_bounded(1000) + 1)
+}
+
+/// A synthetic street address.
+pub fn address(rng: &mut dyn RandomSource) -> String {
+    format!(
+        "{} {} {}",
+        rng.next_bounded(9999) + 1,
+        pick(&ADJECTIVES, rng),
+        pick(&NOUNS, rng)
+    )
+}
+
+/// A phone number with the TPC-H `NN-NNN-NNN-NNNN` shape, nation-coded.
+pub fn phone(nation: i64, rng: &mut dyn RandomSource) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.next_bounded(900) + 100,
+        rng.next_bounded(900) + 100,
+        rng.next_bounded(9000) + 1000
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_crypto::ChaChaRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaChaRng::seed_from_u64(1);
+        let mut b = ChaChaRng::seed_from_u64(1);
+        assert_eq!(comment(&mut a), comment(&mut b));
+        assert_eq!(address(&mut a), address(&mut b));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(customer_name(7), "Customer#000000007");
+        let mut r = ChaChaRng::seed_from_u64(2);
+        let p = phone(3, &mut r);
+        assert_eq!(p.len(), 15);
+        assert!(p.starts_with("13-"));
+        assert!(clerk_name(&mut r).starts_with("Clerk#"));
+    }
+
+    #[test]
+    fn comments_vary() {
+        let mut r = ChaChaRng::seed_from_u64(3);
+        let c1 = comment(&mut r);
+        let c2 = comment(&mut r);
+        assert_ne!(c1, c2);
+        assert!(c1.split(' ').count() >= 6);
+    }
+}

@@ -1,0 +1,18 @@
+//! # eqjoin — Equi-Joins over Encrypted Data for Series of Queries
+//!
+//! Facade crate re-exporting the full reproduction of Shafieinejad et al.,
+//! *"Equi-Joins over Encrypted Data for Series of Queries"* (ICDE 2022).
+//!
+//! Start with [`db::EncryptedDatabase`] for the end-to-end client/server
+//! workflow, or [`core`] for the raw `SJ.{Setup, Enc, TokenGen, Dec, Match}`
+//! scheme. See `examples/quickstart.rs` for a five-minute tour.
+
+pub use eqjoin_baselines as baselines;
+pub use eqjoin_core as core;
+pub use eqjoin_crypto as crypto;
+pub use eqjoin_db as db;
+pub use eqjoin_fhipe as fhipe;
+pub use eqjoin_leakage as leakage;
+pub use eqjoin_pairing as pairing;
+pub use eqjoin_sql as sql;
+pub use eqjoin_tpch as tpch;

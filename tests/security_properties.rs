@@ -1,0 +1,189 @@
+//! Statistical verification of Theorem 5.2's case analysis: `D = D'`
+//! holds iff (same query) ∧ (same join value) ∧ (both selections
+//! satisfied); in every other of the eight cases the probability of
+//! equality is negligible (`O(t/q)` with `q ≈ 2^255`), so across many
+//! randomized trials we must observe **zero** spurious matches.
+//!
+//! Runs on the mock engine (exact same match semantics as BLS12-381,
+//! verified in `eqjoin-fhipe`'s cross-engine tests) so thousands of
+//! trials are cheap.
+
+use eqjoin::core::{
+    embed_attribute, RowEncoding, SecureJoin, SjParams, SjTableSide,
+};
+use eqjoin::crypto::ChaChaRng;
+use eqjoin::pairing::MockEngine;
+
+type Sj = SecureJoin<MockEngine>;
+
+struct Trial {
+    same_query: bool,
+    same_join: bool,
+    sel_a: bool,
+    sel_b: bool,
+}
+
+/// Run one randomized trial of the given case; returns whether D_A = D_B.
+fn run_trial(trial: &Trial, rng: &mut ChaChaRng, counter: u64) -> bool {
+    let params = SjParams { m: 2, t: 3 };
+    let msk = Sj::setup(params, rng);
+
+    let join_a = format!("join-{counter}");
+    let join_b = if trial.same_join {
+        join_a.clone()
+    } else {
+        format!("join-{counter}-other")
+    };
+    let row_a = RowEncoding::from_bytes(
+        join_a.as_bytes(),
+        &[b"attrA".to_vec(), b"other".to_vec()],
+    );
+    let row_b = RowEncoding::from_bytes(
+        join_b.as_bytes(),
+        &[b"attrB".to_vec(), b"other".to_vec()],
+    );
+    let ct_a = Sj::encrypt_row(&msk, &row_a, rng);
+    let ct_b = Sj::encrypt_row(&msk, &row_b, rng);
+
+    let k1 = Sj::fresh_query_key(rng);
+    let k2 = if trial.same_query { k1 } else { Sj::fresh_query_key(rng) };
+
+    // Filters on attribute 0: hit or miss the row's value.
+    let filt = |hit: bool, actual: &[u8]| -> Vec<Option<Vec<eqjoin::pairing::Fr>>> {
+        let target = if hit {
+            embed_attribute(actual)
+        } else {
+            embed_attribute(b"never-matches")
+        };
+        vec![Some(vec![target]), None]
+    };
+    let tk_a = Sj::token_gen(&msk, SjTableSide::A, &k1, &filt(trial.sel_a, b"attrA"), rng);
+    let tk_b = Sj::token_gen(&msk, SjTableSide::B, &k2, &filt(trial.sel_b, b"attrB"), rng);
+
+    let da = Sj::decrypt(&tk_a, &ct_a);
+    let db = Sj::decrypt(&tk_b, &ct_b);
+    Sj::matches(&da, &db)
+}
+
+#[test]
+fn case_1_match_always() {
+    // Same query, same join value, both selections hold: Pr[D = D'] = 1.
+    let mut rng = ChaChaRng::seed_from_u64(100);
+    for i in 0..50 {
+        let trial = Trial {
+            same_query: true,
+            same_join: true,
+            sel_a: true,
+            sel_b: true,
+        };
+        assert!(run_trial(&trial, &mut rng, i), "case (1) trial {i}");
+    }
+}
+
+#[test]
+fn cases_2_through_8_never_match() {
+    // Every other combination must produce D ≠ D' in all trials.
+    let mut rng = ChaChaRng::seed_from_u64(200);
+    let mut case_no = 2;
+    for same_query in [true, false] {
+        for same_join in [true, false] {
+            for (sel_a, sel_b) in [(true, true), (false, true), (true, false), (false, false)] {
+                if same_query && same_join && sel_a && sel_b {
+                    continue; // case (1), tested above
+                }
+                for i in 0..40 {
+                    let trial = Trial {
+                        same_query,
+                        same_join,
+                        sel_a,
+                        sel_b,
+                    };
+                    assert!(
+                        !run_trial(&trial, &mut rng, (case_no * 1000 + i) as u64),
+                        "spurious match: same_query={same_query} same_join={same_join} \
+                         sel=({sel_a},{sel_b}) trial {i}"
+                    );
+                }
+                case_no += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary_5_2_1_selection_restricts_leakage() {
+    // Rows not matching the selection leak nothing: their D values are
+    // mutually distinct random-looking elements even when join values
+    // collide (within one query).
+    let mut rng = ChaChaRng::seed_from_u64(300);
+    let params = SjParams { m: 1, t: 2 };
+    let msk = Sj::setup(params, &mut rng);
+    let k = Sj::fresh_query_key(&mut rng);
+    let tk = Sj::token_gen(
+        &msk,
+        SjTableSide::A,
+        &k,
+        &[Some(vec![embed_attribute(b"selected")])],
+        &mut rng,
+    );
+    // 30 rows, all with the SAME join value but a non-selected attribute.
+    let ds: Vec<_> = (0..30)
+        .map(|_| {
+            let row = RowEncoding::from_bytes(b"shared-join", &[b"NOT-selected".to_vec()]);
+            let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+            Sj::match_key(&Sj::decrypt(&tk, &ct))
+        })
+        .collect();
+    for i in 0..ds.len() {
+        for j in i + 1..ds.len() {
+            assert_ne!(ds[i], ds[j], "unselected rows must not be linkable");
+        }
+    }
+}
+
+#[test]
+fn corollary_5_2_2_no_cross_query_linkage() {
+    // The same row decrypted under 200 different queries yields 200
+    // distinct D values (fresh k per query prevents linkage).
+    let mut rng = ChaChaRng::seed_from_u64(400);
+    let params = SjParams { m: 1, t: 2 };
+    let msk = Sj::setup(params, &mut rng);
+    let row = RowEncoding::from_bytes(b"jv", &[b"attr".to_vec()]);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..200 {
+        let k = Sj::fresh_query_key(&mut rng);
+        let tk = Sj::token_gen(
+            &msk,
+            SjTableSide::A,
+            &k,
+            &[Some(vec![embed_attribute(b"attr")])],
+            &mut rng,
+        );
+        let key = Sj::match_key(&Sj::decrypt(&tk, &ct));
+        assert!(seen.insert(key), "two queries produced linkable D values");
+    }
+}
+
+#[test]
+fn tokens_hide_the_query_on_reuse() {
+    // Two tokens for the SAME filters and SAME k still differ (fresh δ
+    // and fresh polynomial scaling ρ) — the function-hiding property at
+    // the interface level.
+    let mut rng = ChaChaRng::seed_from_u64(500);
+    let params = SjParams { m: 1, t: 2 };
+    let msk = Sj::setup(params, &mut rng);
+    let k = Sj::fresh_query_key(&mut rng);
+    let filters = vec![Some(vec![embed_attribute(b"v")])];
+    let tk1 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng);
+    let tk2 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng);
+    assert_ne!(tk1.elements(), tk2.elements());
+    // Yet both decrypt a matching row to the same D (they carry the same
+    // k and select the same value).
+    let row = RowEncoding::from_bytes(b"j", &[b"v".to_vec()]);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    assert_eq!(
+        Sj::match_key(&Sj::decrypt(&tk1, &ct)),
+        Sj::match_key(&Sj::decrypt(&tk2, &ct))
+    );
+}

@@ -1,0 +1,98 @@
+//! Wire-format integration tests: group elements, tokens and
+//! ciphertexts survive byte roundtrips on both engines, and invalid
+//! bytes are rejected (subgroup/curve checks).
+
+use eqjoin::core::{RowEncoding, SecureJoin, SjParams, SjRowCiphertext, SjTableSide, SjToken};
+use eqjoin::crypto::ChaChaRng;
+use eqjoin::pairing::{Bls12, Engine, Fr, MockEngine};
+
+fn roundtrip_group_elements<E: Engine>(seed: u64) {
+    let mut rng = ChaChaRng::seed_from_u64(seed);
+    for _ in 0..5 {
+        let s = Fr::random(&mut rng);
+        let p = E::g1_mul_gen(&s);
+        let q = E::g2_mul_gen(&s);
+        assert_eq!(E::g1_from_bytes(&E::g1_bytes(&p)).unwrap(), p);
+        assert_eq!(E::g2_from_bytes(&E::g2_bytes(&q)).unwrap(), q);
+    }
+    // Identity elements.
+    let id1 = E::g1_identity();
+    assert_eq!(E::g1_from_bytes(&E::g1_bytes(&id1)).unwrap(), id1);
+    // Garbage is rejected.
+    assert!(E::g1_from_bytes(&[0xffu8; 7]).is_none());
+}
+
+#[test]
+fn group_elements_roundtrip_bls() {
+    roundtrip_group_elements::<Bls12>(1);
+}
+
+#[test]
+fn group_elements_roundtrip_mock() {
+    roundtrip_group_elements::<MockEngine>(2);
+}
+
+fn roundtrip_scheme_artifacts<E: Engine>(seed: u64) {
+    type SjOf<E> = SecureJoin<E>;
+    let mut rng = ChaChaRng::seed_from_u64(seed);
+    let msk = SjOf::<E>::setup(SjParams { m: 2, t: 2 }, &mut rng);
+    let row = RowEncoding::from_bytes(b"key", &[b"x".to_vec(), b"y".to_vec()]);
+    let ct = SjOf::<E>::encrypt_row(&msk, &row, &mut rng);
+    let key = SjOf::<E>::fresh_query_key(&mut rng);
+    let tk = SjOf::<E>::token_gen(&msk, SjTableSide::A, &key, &[None, None], &mut rng);
+
+    // Serialize every element, rebuild, and check the decryption value
+    // is bit-identical.
+    let tk_bytes: Vec<Vec<u8>> = tk.elements().iter().map(E::g1_bytes).collect();
+    let ct_bytes: Vec<Vec<u8>> = ct.elements().iter().map(E::g2_bytes).collect();
+    let tk2 = SjToken::<E>::from_elements(
+        SjTableSide::A,
+        tk_bytes
+            .iter()
+            .map(|b| E::g1_from_bytes(b).expect("valid token element"))
+            .collect(),
+    );
+    let ct2 = SjRowCiphertext::<E>::from_elements(
+        ct_bytes
+            .iter()
+            .map(|b| E::g2_from_bytes(b).expect("valid ciphertext element"))
+            .collect(),
+    );
+    let d1 = SjOf::<E>::decrypt(&tk, &ct);
+    let d2 = SjOf::<E>::decrypt(&tk2, &ct2);
+    assert_eq!(
+        SjOf::<E>::match_key(&d1),
+        SjOf::<E>::match_key(&d2),
+        "wire roundtrip must preserve decryption"
+    );
+}
+
+#[test]
+fn scheme_artifacts_roundtrip_bls() {
+    roundtrip_scheme_artifacts::<Bls12>(3);
+}
+
+#[test]
+fn scheme_artifacts_roundtrip_mock() {
+    roundtrip_scheme_artifacts::<MockEngine>(4);
+}
+
+#[test]
+fn fr_bytes_are_canonical_and_ordered() {
+    // from_bytes must reject non-canonical encodings (value >= r).
+    let max = [0xffu8; 32];
+    assert!(Fr::from_bytes(&max).is_none());
+    let one = Fr::from_u64(1).to_bytes();
+    assert_eq!(Fr::from_bytes(&one).unwrap(), Fr::from_u64(1));
+}
+
+#[test]
+fn gt_bytes_distinguish_distinct_values_bls() {
+    let mut rng = ChaChaRng::seed_from_u64(5);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    let e1 = Bls12::pair(&Bls12::g1_mul_gen(&a), &Bls12::g2_mul_gen(&Fr::from_u64(1)));
+    let e2 = Bls12::pair(&Bls12::g1_mul_gen(&b), &Bls12::g2_mul_gen(&Fr::from_u64(1)));
+    assert_ne!(Bls12::gt_bytes(&e1), Bls12::gt_bytes(&e2));
+    assert_eq!(Bls12::gt_bytes(&e1).len(), 576);
+}

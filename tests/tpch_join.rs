@@ -1,0 +1,158 @@
+//! TPC-H workload integration: encrypted `Orders ⋈ Customers` on
+//! `custkey` with selectivity filters, validated against the plaintext
+//! reference join (mock engine at a small scale factor; one BLS12-381
+//! smoke run at a tiny scale).
+
+use eqjoin::baselines::ground_truth;
+use eqjoin::db::{DbClient, DbServer, JoinAlgorithm, JoinOptions, JoinQuery, TableConfig};
+use eqjoin::pairing::{Bls12, MockEngine};
+use eqjoin::tpch::{generate_customers, generate_orders, TpchConfig};
+
+fn customer_config() -> TableConfig {
+    TableConfig {
+        join_column: "custkey".into(),
+        filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+    }
+}
+
+fn orders_config() -> TableConfig {
+    TableConfig {
+        join_column: "custkey".into(),
+        filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+    }
+}
+
+#[test]
+fn selectivity_filtered_join_matches_reference_mock() {
+    let cfg = TpchConfig::new(0.002, 4242); // 300 customers, 3000 orders
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+
+    let mut client = DbClient::<MockEngine>::new(2, 4, 99);
+    client.enable_prefilter(true);
+    let mut server = DbServer::new();
+    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
+    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+        .filter("Customers", "selectivity", vec!["1/25".into()])
+        .filter("Orders", "selectivity", vec!["1/25".into()]);
+    let tokens = client.query_tokens(&query).unwrap();
+    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
+
+    let mut got: Vec<(usize, usize)> = result
+        .pairs
+        .iter()
+        .map(|p| (p.left_row, p.right_row))
+        .collect();
+    got.sort_unstable();
+    let expected = ground_truth::reference_join(&customers, &orders, &query);
+    assert_eq!(got, expected);
+    assert!(!got.is_empty(), "selectivity blocks must intersect");
+
+    // Pre-filter accounting: only the 1/25 blocks get decrypted.
+    let sel_customers = ground_truth::selected_rows(&customers, &query).len();
+    let sel_orders = ground_truth::selected_rows(&orders, &query).len();
+    assert_eq!(result.stats.rows_decrypted, sel_customers + sel_orders);
+}
+
+#[test]
+fn in_clause_query_matches_reference_mock() {
+    let cfg = TpchConfig::new(0.001, 7);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+
+    let mut client = DbClient::<MockEngine>::new(2, 4, 13);
+    let mut server = DbServer::new();
+    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
+    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+
+    // IN over market segments and order priorities.
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+        .filter(
+            "Customers",
+            "mktsegment",
+            vec!["BUILDING".into(), "MACHINERY".into()],
+        )
+        .filter(
+            "Orders",
+            "orderpriority",
+            vec!["1-URGENT".into(), "2-HIGH".into(), "5-LOW".into()],
+        );
+    let tokens = client.query_tokens(&query).unwrap();
+    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
+    let mut got: Vec<(usize, usize)> = result
+        .pairs
+        .iter()
+        .map(|p| (p.left_row, p.right_row))
+        .collect();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        ground_truth::reference_join(&customers, &orders, &query)
+    );
+}
+
+#[test]
+fn hash_and_nested_loop_agree_on_tpch_mock() {
+    let cfg = TpchConfig::new(0.001, 21);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+    let mut client = DbClient::<MockEngine>::new(2, 4, 31);
+    let mut server = DbServer::new();
+    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
+    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+        .filter("Customers", "selectivity", vec!["1/12.5".into()]);
+    let tokens = client.query_tokens(&query).unwrap();
+    let (hash, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
+    let (nested, _) = server
+        .execute_join(
+            &tokens,
+            &JoinOptions {
+                algorithm: JoinAlgorithm::NestedLoop,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let as_pairs = |r: &eqjoin::db::EncryptedJoinResult| -> Vec<(usize, usize)> {
+        r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+    };
+    assert_eq!(as_pairs(&hash), as_pairs(&nested));
+    assert!(nested.stats.comparisons >= hash.stats.comparisons);
+}
+
+#[test]
+fn tiny_scale_bls12_smoke() {
+    // 15 customers / 150 orders on the real curve with the prefilter:
+    // keeps the test fast while exercising the production engine on
+    // realistic data.
+    let cfg = TpchConfig::new(0.0001, 5);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+    assert_eq!(customers.len(), 15);
+    assert_eq!(orders.len(), 150);
+
+    let mut client = DbClient::<Bls12>::new(2, 2, 1);
+    client.enable_prefilter(true);
+    let mut server = DbServer::new();
+    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
+    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
+        .filter("Orders", "selectivity", vec!["1/12.5".into()]);
+    let tokens = client.query_tokens(&query).unwrap();
+    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
+    let mut got: Vec<(usize, usize)> = result
+        .pairs
+        .iter()
+        .map(|p| (p.left_row, p.right_row))
+        .collect();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        ground_truth::reference_join(&customers, &orders, &query)
+    );
+    let rows = client.decrypt_result(&query, &result).unwrap();
+    assert_eq!(rows.len(), got.len());
+}
