@@ -126,10 +126,30 @@ pub fn example_2_1() -> (Table, Table) {
         "Employees",
         &["Record", "Employee", "Role", "Team"],
     ));
-    employees.push_row(vec![Value::Int(1), "Hans".into(), "Programmer".into(), Value::Int(1)]);
-    employees.push_row(vec![Value::Int(2), "Kaily".into(), "Tester".into(), Value::Int(1)]);
-    employees.push_row(vec![Value::Int(3), "John".into(), "Programmer".into(), Value::Int(2)]);
-    employees.push_row(vec![Value::Int(4), "Sally".into(), "Tester".into(), Value::Int(2)]);
+    employees.push_row(vec![
+        Value::Int(1),
+        "Hans".into(),
+        "Programmer".into(),
+        Value::Int(1),
+    ]);
+    employees.push_row(vec![
+        Value::Int(2),
+        "Kaily".into(),
+        "Tester".into(),
+        Value::Int(1),
+    ]);
+    employees.push_row(vec![
+        Value::Int(3),
+        "John".into(),
+        "Programmer".into(),
+        Value::Int(2),
+    ]);
+    employees.push_row(vec![
+        Value::Int(4),
+        "Sally".into(),
+        "Tester".into(),
+        Value::Int(2),
+    ]);
     (teams, employees)
 }
 

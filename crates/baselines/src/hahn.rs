@@ -203,7 +203,6 @@ impl<E: Engine> HahnScheme<E> {
         }
         self.pairing_ops += ops;
     }
-
 }
 
 fn count_leaves(policy: &Policy) -> usize {
@@ -301,7 +300,10 @@ impl<E: Engine> JoinScheme for HahnScheme<E> {
         // Recompute by actual pairwise pairing tests over the cumulative
         // unwrapped set — the adversary's honest procedure.
         let mut nodes: Vec<(Node, &JoinLabel<E>)> = Vec::new();
-        for table in [self.left.as_ref(), self.right.as_ref()].into_iter().flatten() {
+        for table in [self.left.as_ref(), self.right.as_ref()]
+            .into_iter()
+            .flatten()
+        {
             for (idx, label) in table.unwrapped.iter().enumerate() {
                 if let Some(l) = label {
                     nodes.push((Node::new(&table.name, idx), l));

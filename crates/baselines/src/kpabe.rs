@@ -260,8 +260,7 @@ mod tests {
         let and_bad = Policy::And(vec![Policy::leaf("red"), Policy::leaf("blue")]);
         let or_ok = Policy::Or(vec![Policy::leaf("blue"), Policy::leaf("green")]);
         let or_bad = Policy::Or(vec![Policy::leaf("blue"), Policy::leaf("top")]);
-        let nested =
-            Policy::And(vec![or_ok.clone(), Policy::Or(vec![Policy::leaf("red")])]);
+        let nested = Policy::And(vec![or_ok.clone(), Policy::Or(vec![Policy::leaf("red")])]);
 
         for (policy, expect) in [
             (and_ok, true),

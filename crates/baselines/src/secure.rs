@@ -2,39 +2,42 @@
 //! [`JoinScheme`] interface, so the leakage experiments can put it side
 //! by side with the baselines.
 //!
-//! The adversary's view under Secure Join is the per-query `D`-equality
+//! Internally this drives the engine's [`Session`] API — the same path
+//! applications use — so the comparison experiments also exercise the
+//! session's protocol backend, token cache and embedded ledger. The
+//! adversary's view under Secure Join is the per-query `D`-equality
 //! pattern; across queries nothing new becomes comparable (fresh `k`),
 //! so the derivable pair set is exactly the transitive closure of the
-//! union of per-query observations — which the ledger then confirms is
-//! the paper's bound.
+//! union of per-query observations — which the session ledger then
+//! confirms is the paper's bound.
 
 use crate::traits::{JoinScheme, QueryOutcome, SchemeSetup};
-use eqjoin_db::{DbClient, DbServer, JoinOptions, JoinQuery, Table, TableConfig};
-use eqjoin_leakage::{closure, pairs_from_classes, Node, PairSet};
+use eqjoin_db::{JoinQuery, Session, SessionConfig, Table, TableConfig};
+use eqjoin_leakage::PairSet;
 use eqjoin_pairing::Engine;
 
 /// Secure Join behind the comparison interface.
 pub struct SecureJoinScheme<E: Engine> {
-    client: DbClient<E>,
-    server: DbServer<E>,
-    options: JoinOptions,
-    observed_union: PairSet,
+    session: Session<E>,
 }
 
 impl<E: Engine> SecureJoinScheme<E> {
     /// Create with scheme dimensions `m`, `t` and a deterministic seed.
     pub fn new(m: usize, t: usize, seed: u64) -> Self {
+        Self::with_config(SessionConfig::new(m, t).seed(seed))
+    }
+
+    /// Create from a full session configuration (join algorithm,
+    /// threads, pre-filter, token cache).
+    pub fn with_config(config: SessionConfig) -> Self {
         SecureJoinScheme {
-            client: DbClient::new(m, t, seed),
-            server: DbServer::new(),
-            options: JoinOptions::default(),
-            observed_union: PairSet::new(),
+            session: Session::local(config),
         }
     }
 
-    /// Access the execution options (e.g. to switch join algorithms).
-    pub fn options_mut(&mut self) -> &mut JoinOptions {
-        &mut self.options
+    /// The underlying session (experiments read its stats and ledger).
+    pub fn session(&self) -> &Session<E> {
+        &self.session
     }
 }
 
@@ -49,47 +52,32 @@ impl<E: Engine> JoinScheme for SecureJoinScheme<E> {
                 join_column: join_col.clone(),
                 filter_columns: filter_cols.clone(),
             };
-            let enc = self
-                .client
-                .encrypt_table(table, config)
+            self.session
+                .create_table(table, config)
                 .expect("table encrypts");
-            self.server.insert_table(enc);
         }
         PairSet::new() // probabilistic ciphertexts: nothing at t0
     }
 
     fn run_query(&mut self, query: &JoinQuery) -> QueryOutcome {
-        let tokens = self.client.query_tokens(query).expect("valid query");
-        let (result, observation) = self
-            .server
-            .execute_join(&tokens, &self.options)
-            .expect("join executes");
-        // What the server actually observed this query: equality classes
-        // of D values.
-        let classes: Vec<Vec<Node>> = observation
-            .equality_classes
-            .iter()
-            .map(|class| {
-                class
-                    .iter()
-                    .map(|(table, row)| Node::new(table, *row))
-                    .collect()
-            })
-            .collect();
-        let per_query_leakage = pairs_from_classes(&classes);
-        self.observed_union.union_with(&per_query_leakage);
+        let result = self.session.execute(query).expect("join executes");
+        // The session already recorded what the server observed this
+        // query into its ledger; report that σ(q) to the harness.
+        let per_query_leakage = self
+            .session
+            .ledger()
+            .last()
+            .expect("execute recorded the query")
+            .per_query
+            .clone();
         QueryOutcome {
-            result_pairs: result
-                .pairs
-                .iter()
-                .map(|p| (p.left_row, p.right_row))
-                .collect(),
+            result_pairs: result.pairs,
             per_query_leakage,
         }
     }
 
     fn visible_pairs(&self) -> PairSet {
-        closure(&self.observed_union)
+        self.session.visible_pairs()
     }
 }
 
@@ -97,6 +85,7 @@ impl<E: Engine> JoinScheme for SecureJoinScheme<E> {
 mod tests {
     use super::*;
     use crate::ground_truth::{self, example_2_1};
+    use eqjoin_leakage::Node;
     use eqjoin_pairing::MockEngine;
 
     fn setup_spec() -> SchemeSetup {
@@ -135,9 +124,17 @@ mod tests {
         let out2 = scheme.run_query(&t2_query());
         assert_eq!(out2.result_pairs, vec![(1, 2)]);
         let visible = scheme.visible_pairs();
-        assert_eq!(visible.len(), 2, "exactly the two queried pairs: {visible:?}");
+        assert_eq!(
+            visible.len(),
+            2,
+            "exactly the two queried pairs: {visible:?}"
+        );
         assert!(visible.contains(&Node::new("Teams", 0), &Node::new("Employees", 1)));
         assert!(visible.contains(&Node::new("Teams", 1), &Node::new("Employees", 2)));
+        // The session's own verdict agrees with the harness view.
+        let report = scheme.session().leakage_report();
+        assert!(report.within_bound);
+        assert_eq!(report.visible_pairs, 2);
     }
 
     #[test]

@@ -64,5 +64,10 @@ fn bench_symmetric(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fields, bench_groups_and_pairing, bench_symmetric);
+criterion_group!(
+    benches,
+    bench_fields,
+    bench_groups_and_pairing,
+    bench_symmetric
+);
 criterion_main!(benches);

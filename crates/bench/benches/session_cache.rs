@@ -1,0 +1,58 @@
+//! Criterion bench for the session token cache: executing a repeated
+//! query with the cache on vs off, BLS12-381. The cached path skips both
+//! `SJ.TkGen` calls (the client's pairing-group work), so the difference
+//! isolates the client-side token cost of a repeat query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqjoin_bench::{selectivity_query, setup_tpch_session};
+use eqjoin_db::{Session, SessionConfig, TableConfig};
+use eqjoin_pairing::Bls12;
+use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
+
+fn bench_session_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_repeat_query");
+    group.sample_size(10);
+
+    let query = selectivity_query("1/12.5", 3);
+
+    // Cache on: first execution warms the cache, samples hit it.
+    let mut cached = setup_tpch_session::<Bls12>(0.0002, 3, 9);
+    cached.session.execute(&query).expect("warmup");
+    group.bench_function("cache_on", |b| {
+        b.iter(|| cached.session.execute(&query).expect("join"))
+    });
+
+    // Cache off: every execution re-runs SJ.TkGen on both sides.
+    let cfg = TpchConfig::new(0.0002, 9);
+    let mut uncached = Session::<Bls12>::local(
+        SessionConfig::new(2, 3)
+            .seed(9 ^ 0xbe9c)
+            .prefilter(true)
+            .token_cache(false),
+    );
+    uncached
+        .create_table(
+            &generate_customers(&cfg),
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt customers");
+    uncached
+        .create_table(
+            &generate_orders(&cfg),
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt orders");
+    group.bench_function("cache_off", |b| {
+        b.iter(|| uncached.execute(&query).expect("join"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_cache);
+criterion_main!(benches);

@@ -7,7 +7,10 @@
 //! ```
 
 use eqjoin_baselines::kpabe::{KpAbe, Policy};
-use eqjoin_bench::{mean_duration, millis, run_join, secs, selectivity_query, setup_tpch};
+use eqjoin_bench::{
+    mean_duration, millis, run_join, run_join_session, secs, selectivity_query, setup_tpch,
+    setup_tpch_session,
+};
 use eqjoin_core::{embed_attribute, RowEncoding, SecureJoin, SjParams, SjTableSide};
 use eqjoin_crypto::ChaChaRng;
 use eqjoin_db::join::{hash_join, nested_loop_join};
@@ -50,15 +53,24 @@ fn per_row_unlock() {
         t0.elapsed()
     });
 
-    println!("  SecureJoin SJ.Dec (one 19-way multi-pairing): {} ms", millis(sj_dec));
-    println!("  Hahn KP-ABE unwrap (2-leaf policy):           {} ms", millis(hahn_unwrap));
+    println!(
+        "  SecureJoin SJ.Dec (one 19-way multi-pairing): {} ms",
+        millis(sj_dec)
+    );
+    println!(
+        "  Hahn KP-ABE unwrap (2-leaf policy):           {} ms",
+        millis(hahn_unwrap)
+    );
     println!("  paper reference: SJ ~21 ms/dec, Hahn ~15 ms/dec (different hw/libs)\n");
 }
 
 fn match_asymptotics() {
     println!("-- matching phase: O(n) hash join vs O(n^2) nested loop --");
     println!("   (D-value matching only; per-pair costs are equal-by-construction)");
-    println!("{:>8} {:>14} {:>14} {:>8}", "n/side", "hash (ms)", "nested (ms)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "n/side", "hash (ms)", "nested (ms)", "ratio"
+    );
     for n in [500usize, 2000, 8000] {
         let keyed = |offset: usize| -> Vec<(usize, Vec<u8>)> {
             (0..n)
@@ -99,11 +111,11 @@ fn parallel_scaling() {
             ..Default::default()
         };
         let d = mean_duration(3, || run_join(&mut bench, &query, &opts).total);
-        let speedup = base
-            .get_or_insert(d)
-            .as_secs_f64()
-            / d.as_secs_f64();
-        println!("  threads = {threads}: {} s (speedup {speedup:.2}x)", secs(d));
+        let speedup = base.get_or_insert(d).as_secs_f64() / d.as_secs_f64();
+        println!(
+            "  threads = {threads}: {} s (speedup {speedup:.2}x)",
+            secs(d)
+        );
     }
     println!("  (the paper's numbers are single-threaded; §6.5 notes its scheme");
     println!("   parallelizes trivially — this measures that headroom)\n");
@@ -111,11 +123,11 @@ fn parallel_scaling() {
 
 fn whole_query_shape() {
     println!("-- whole-query scaling, BLS12-381, scale 0.001 (shape check) --");
-    let mut bench = setup_tpch::<Bls12>(0.001, 1, 0xcb);
+    let mut bench = setup_tpch_session::<Bls12>(0.001, 1, 0xcb);
     let mut times = Vec::new();
     for s in ["1/100", "1/12.5"] {
         let query = selectivity_query(s, 1);
-        let m = run_join(&mut bench, &query, &JoinOptions::default());
+        let m = run_join_session(&mut bench, &query);
         println!(
             "  s = {s:>7}: {} rows decrypted, {} pairs, {} s total",
             m.rows_decrypted,

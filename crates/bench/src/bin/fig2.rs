@@ -33,7 +33,12 @@ fn main() {
     println!("{}", "-".repeat(52));
 
     let mut csv = CsvWriter::create(Some("results/fig2.csv"));
-    csv.row(&["t".into(), "token_gen_ms".into(), "enc_ms".into(), "dec_ms".into()]);
+    csv.row(&[
+        "t".into(),
+        "token_gen_ms".into(),
+        "enc_ms".into(),
+        "dec_ms".into(),
+    ]);
 
     let attrs: Vec<Vec<u8>> = (0..8).map(|i| format!("attr-{i}").into_bytes()).collect();
     let row = RowEncoding::from_bytes(b"custkey-42", &attrs);

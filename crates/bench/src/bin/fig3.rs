@@ -12,9 +12,9 @@
 //! Positional arguments: `engine [scale_min scale_max scale_step reps]`.
 
 use eqjoin_bench::{
-    mean_duration, run_join, secs, selectivity_query, setup_tpch, CsvWriter, SELECTIVITY_LABELS,
+    mean_duration, run_join_session, secs, selectivity_query, setup_tpch_session, CsvWriter,
+    SELECTIVITY_LABELS,
 };
-use eqjoin_db::JoinOptions;
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
 
 fn sweep<E: Engine>(scale_min: f64, scale_max: f64, step: f64, reps: usize) {
@@ -42,18 +42,20 @@ fn sweep<E: Engine>(scale_min: f64, scale_max: f64, step: f64, reps: usize) {
 
     let mut scale = scale_min;
     while scale <= scale_max + 1e-12 {
-        let mut bench = setup_tpch::<E>(scale, 1, 33);
+        let mut bench = setup_tpch_session::<E>(scale, 1, 33);
         let total_rows = bench.rows.0 + bench.rows.1;
         let mut cells = Vec::new();
         for s in SELECTIVITY_LABELS {
             let query = selectivity_query(s, 1);
-            let d = mean_duration(reps, || {
-                run_join(&mut bench, &query, &JoinOptions::default()).total
-            });
+            let d = mean_duration(reps, || run_join_session(&mut bench, &query).total);
             cells.push(secs(d));
         }
         let row_cells: String = cells.iter().map(|c| format!("{c:>12}")).collect();
-        println!("{:>6} {:>10} {row_cells}", format!("{scale:.3}"), total_rows);
+        println!(
+            "{:>6} {:>10} {row_cells}",
+            format!("{scale:.3}"),
+            total_rows
+        );
         let mut csv_row = vec![format!("{scale:.4}"), total_rows.to_string()];
         csv_row.extend(cells);
         csv.row(&csv_row);

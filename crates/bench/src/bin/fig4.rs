@@ -10,9 +10,9 @@
 //! Positional arguments: `engine [scale reps]`.
 
 use eqjoin_bench::{
-    mean_duration, run_join, secs, selectivity_query, setup_tpch, CsvWriter, SELECTIVITY_LABELS,
+    mean_duration, run_join_session, secs, selectivity_query, setup_tpch_session, CsvWriter,
+    SELECTIVITY_LABELS,
 };
-use eqjoin_db::JoinOptions;
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
 
 fn sweep<E: Engine>(scale: f64, reps: usize) {
@@ -38,13 +38,11 @@ fn sweep<E: Engine>(scale: f64, reps: usize) {
     ]);
 
     for t in 1..=10usize {
-        let mut bench = setup_tpch::<E>(scale, t, 44);
+        let mut bench = setup_tpch_session::<E>(scale, t, 44);
         let mut cells = Vec::new();
         for s in SELECTIVITY_LABELS {
             let query = selectivity_query(s, t);
-            let d = mean_duration(reps, || {
-                run_join(&mut bench, &query, &JoinOptions::default()).total
-            });
+            let d = mean_duration(reps, || run_join_session(&mut bench, &query).total);
             cells.push(secs(d));
         }
         let row_cells: String = cells.iter().map(|c| format!("{c:>12}")).collect();

@@ -56,8 +56,18 @@ fn example_2_1_table(csv: &mut CsvWriter) {
             .filter("Employees", "Role", vec!["Programmer".into()]),
     ];
 
-    println!("{:<28} {:>4} {:>4} {:>4} {:>22}", "scheme", "t0", "t1", "t2", "excess over bound");
-    csv.row(&["experiment".into(), "scheme".into(), "t0".into(), "t1".into(), "t2".into(), "excess".into()]);
+    println!(
+        "{:<28} {:>4} {:>4} {:>4} {:>22}",
+        "scheme", "t0", "t1", "t2", "excess over bound"
+    );
+    csv.row(&[
+        "experiment".into(),
+        "scheme".into(),
+        "t0".into(),
+        "t1".into(),
+        "t2".into(),
+        "excess".into(),
+    ]);
     let mut schemes: Vec<Box<dyn JoinScheme>> = vec![
         Box::new(DetScheme::new([1; 32])),
         Box::new(CryptDbScheme::new(2)),
@@ -73,7 +83,11 @@ fn example_2_1_table(csv: &mut CsvWriter) {
             counts[0],
             counts[1],
             counts[2],
-            if excess == 0 { "0 (within bound)".to_string() } else { format!("+{excess}") },
+            if excess == 0 {
+                "0 (within bound)".to_string()
+            } else {
+                format!("+{excess}")
+            },
         );
         csv.row(&[
             "example-2.1".into(),
@@ -94,8 +108,14 @@ fn tpch_series_table(csv: &mut CsvWriter) {
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
     let setup = SchemeSetup {
-        left: ("custkey".into(), vec!["mktsegment".into(), "selectivity".into()]),
-        right: ("custkey".into(), vec!["orderpriority".into(), "selectivity".into()]),
+        left: (
+            "custkey".into(),
+            vec!["mktsegment".into(), "selectivity".into()],
+        ),
+        right: (
+            "custkey".into(),
+            vec!["orderpriority".into(), "selectivity".into()],
+        ),
         t: 2,
     };
     let series = vec![

@@ -1,0 +1,121 @@
+//! **Session series benchmark**: the token-cache payoff for a repeated
+//! query series (a dashboard refreshing the same filtered joins) — the
+//! workload the paper's "series of queries" setting is about.
+//!
+//! Runs the same series twice through the [`Session`] API, token cache
+//! on vs off, and reports wall time and `SJ.TkGen` counts. On the
+//! BLS12-381 engine `SJ.TkGen` is a per-side `m(t+1)+3`-element `G1`
+//! fixed-base batch — the hot client path the cache removes on every
+//! repeat.
+//!
+//! ```sh
+//! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5
+//! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10
+//! ```
+//!
+//! Positional arguments: `engine [scale rounds]`.
+//!
+//! [`Session`]: eqjoin_db::Session
+
+use eqjoin_bench::{secs, selectivity_query, SELECTIVITY_LABELS};
+use eqjoin_db::{JoinQuery, Session, SessionConfig, TableConfig};
+use eqjoin_pairing::{Bls12, Engine, MockEngine};
+use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
+use std::time::Instant;
+
+/// One dashboard refresh: the four selectivity queries of Figures 3/4.
+fn refresh_queries() -> Vec<JoinQuery> {
+    SELECTIVITY_LABELS
+        .iter()
+        .map(|s| selectivity_query(s, 3))
+        .collect()
+}
+
+/// Encrypted TPC-H session with the cache toggled as requested.
+fn build_session<E: Engine>(scale: f64, token_cache: bool) -> (Session<E>, (usize, usize)) {
+    let cfg = TpchConfig::new(scale, 0x5e55);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+    let rows = (customers.len(), orders.len());
+    let mut session = Session::<E>::local(
+        SessionConfig::new(2, 3)
+            .seed(0x5e55 ^ 0xbe9c)
+            .prefilter(true)
+            .token_cache(token_cache),
+    );
+    session
+        .create_table(
+            &customers,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt customers");
+    session
+        .create_table(
+            &orders,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt orders");
+    (session, rows)
+}
+
+/// Run the series and report; returns (wall seconds, SJ.TkGen calls).
+fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> (f64, u64) {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for query in refresh_queries() {
+            session.execute(&query).expect("join");
+        }
+    }
+    let wall = t0.elapsed();
+    let stats = session.stats();
+    println!(
+        "{label:<10} wall {:>8} s | SJ.TkGen calls {:>4} | cache hits {:>4} | within bound: {}",
+        secs(wall),
+        stats.client.tkgen_calls,
+        stats.token_cache_hits,
+        session.leakage_report().within_bound,
+    );
+    (wall.as_secs_f64(), stats.client.tkgen_calls)
+}
+
+fn series<E: Engine>(scale: f64, rounds: usize) {
+    let (mut uncached, rows) = build_session::<E>(scale, false);
+    let (mut cached, _) = build_session::<E>(scale, true);
+    println!(
+        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}\n",
+        rounds,
+        SELECTIVITY_LABELS.len(),
+        rows.0,
+        rows.1,
+        E::NAME,
+    );
+
+    let (t_off, tkgen_off) = measure("cache off", &mut uncached, rounds);
+    let (t_on, tkgen_on) = measure("cache on", &mut cached, rounds);
+    assert!(
+        tkgen_on < tkgen_off,
+        "cache must issue strictly fewer SJ.TkGen calls"
+    );
+    println!(
+        "\nSJ.TkGen calls: {tkgen_off} -> {tkgen_on} ({}x fewer); wall time {:.2}x",
+        tkgen_off / tkgen_on.max(1),
+        t_off / t_on.max(1e-9),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = args.get(1).map(String::as_str).unwrap_or("mock");
+    let f = |i: usize, d: f64| args.get(i).map(|s| s.parse().expect("number")).unwrap_or(d);
+    match engine {
+        "mock" => series::<MockEngine>(f(2, 0.002), (f(3, 10.0) as usize).max(2)),
+        "bls" => series::<Bls12>(f(2, 0.0004), (f(3, 5.0) as usize).max(2)),
+        other => panic!("unknown engine {other:?} (use 'mock' or 'bls')"),
+    }
+}

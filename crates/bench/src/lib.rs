@@ -11,7 +11,10 @@
 //!   that sweeps the paper's full parameter grid and prints the same
 //!   series the paper plots, optionally writing CSV.
 
-use eqjoin_db::{DbClient, DbServer, JoinOptions, JoinQuery, TableConfig, Value};
+use eqjoin_db::{
+    ClientConfig, DbClient, DbServer, JoinOptions, JoinQuery, Session, SessionConfig, TableConfig,
+    Value,
+};
 use eqjoin_pairing::Engine;
 use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
 use std::time::{Duration, Instant};
@@ -42,8 +45,8 @@ pub fn setup_tpch<E: Engine>(scale: f64, t: usize, seed: u64) -> TpchBench<E> {
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
     let rows = (customers.len(), orders.len());
-    let mut client = DbClient::<E>::new(2, t, seed ^ 0xbe9c);
-    client.enable_prefilter(true);
+    let mut client =
+        DbClient::<E>::with_config(ClientConfig::new(2, t).seed(seed ^ 0xbe9c).prefilter(true));
     let mut server = DbServer::new();
     server.insert_table(
         client
@@ -126,6 +129,65 @@ pub fn run_join<E: Engine>(
     }
 }
 
+/// An encrypted TPC-H instance behind the [`Session`] API — the harness
+/// the figure binaries drive (the criterion benches keep the raw
+/// [`TpchBench`] so they can time pre-tokenized server work alone).
+pub struct TpchSession<E: Engine> {
+    /// The session (client keys + local backend + token cache).
+    pub session: Session<E>,
+    /// Row counts `(customers, orders)`.
+    pub rows: (usize, usize),
+}
+
+/// Build an encrypted `Customers`/`Orders` session: same tables and
+/// parameters as [`setup_tpch`], pre-filter on, token cache on.
+pub fn setup_tpch_session<E: Engine>(scale: f64, t: usize, seed: u64) -> TpchSession<E> {
+    let cfg = TpchConfig::new(scale, seed);
+    let customers = generate_customers(&cfg);
+    let orders = generate_orders(&cfg);
+    let rows = (customers.len(), orders.len());
+    let mut session =
+        Session::<E>::local(SessionConfig::new(2, t).seed(seed ^ 0xbe9c).prefilter(true));
+    session
+        .create_table(
+            &customers,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt customers");
+    session
+        .create_table(
+            &orders,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt orders");
+    TpchSession { session, rows }
+}
+
+/// Execute one join through the session and collect the timing
+/// breakdown. `total` is the server-side work (`SJ.Dec` + `SJ.Match`)
+/// reported by the backend, matching what [`run_join`] timed on the raw
+/// path; client-side token generation is excluded (and skipped entirely
+/// on repeats, via the session token cache).
+pub fn run_join_session<E: Engine>(
+    bench: &mut TpchSession<E>,
+    query: &JoinQuery,
+) -> JoinMeasurement {
+    let result = bench.session.execute(query).expect("join executes");
+    JoinMeasurement {
+        total: result.stats.decrypt_time + result.stats.match_time,
+        decrypt: result.stats.decrypt_time,
+        match_phase: result.stats.match_time,
+        rows_decrypted: result.stats.rows_decrypted,
+        matched_pairs: result.stats.matched_pairs,
+    }
+}
+
 /// Mean of `reps` measurements of `f` (wall-clock), discarding nothing —
 /// the figure binaries use this for the paper-style "average of N runs"
 /// numbers.
@@ -186,6 +248,21 @@ mod tests {
         let expected = (150 / 25) + (1500 / 25);
         assert_eq!(m.rows_decrypted, expected);
         assert!(m.total >= m.decrypt);
+    }
+
+    #[test]
+    fn session_harness_matches_raw_harness() {
+        let mut raw = setup_tpch::<MockEngine>(0.001, 2, 5);
+        let mut sess = setup_tpch_session::<MockEngine>(0.001, 2, 5);
+        assert_eq!(sess.rows, raw.rows);
+        let q = selectivity_query("1/25", 1);
+        let m_raw = run_join(&mut raw, &q, &JoinOptions::default());
+        let m_sess = run_join_session(&mut sess, &q);
+        assert_eq!(m_raw.rows_decrypted, m_sess.rows_decrypted);
+        assert_eq!(m_raw.matched_pairs, m_sess.matched_pairs);
+        // Repeat: the session serves tokens from its cache.
+        run_join_session(&mut sess, &q);
+        assert_eq!(sess.session.stats().token_cache_hits, 1);
     }
 
     #[test]

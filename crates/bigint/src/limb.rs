@@ -58,9 +58,8 @@ mod tests {
     fn mac_accumulates() {
         // a + b*c + carry with maximal operands stays within 128 bits.
         let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
-        let expect = (u64::MAX as u128)
-            + (u64::MAX as u128) * (u64::MAX as u128)
-            + (u64::MAX as u128);
+        let expect =
+            (u64::MAX as u128) + (u64::MAX as u128) * (u64::MAX as u128) + (u64::MAX as u128);
         assert_eq!(lo, expect as u64);
         assert_eq!(hi, (expect >> 64) as u64);
     }

@@ -140,9 +140,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (v, c) = adc(long[i], b, carry);
+            let (v, c) = adc(l, b, carry);
             out.push(v);
             carry = c;
         }
@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn hex_roundtrip() {
         let n = BigUint::from_hex("1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf");
-        assert_eq!(n.to_hex(), "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf");
+        assert_eq!(
+            n.to_hex(),
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf"
+        );
         assert_eq!(BigUint::from_hex("0").to_hex(), "0");
         assert_eq!(BigUint::from_hex("0x_ff").to_hex(), "ff");
     }
@@ -354,7 +357,10 @@ mod tests {
     #[test]
     fn shifts() {
         let n = BigUint::from_u64(0b1011);
-        assert_eq!(n.shl(130).shr1().shr1().shl(2).shl(0).to_hex(), n.shl(130).to_hex());
+        assert_eq!(
+            n.shl(130).shr1().shr1().shl(2).shl(0).to_hex(),
+            n.shl(130).to_hex()
+        );
         assert_eq!(n.shl(64).limbs(), &[0, 0b1011]);
     }
 

@@ -1,0 +1,229 @@
+//! An offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree
+//! stand-in implements the surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter` — with a
+//! simple warmup + timed-samples loop and a plain-text median/mean
+//! report instead of criterion's statistical machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used when the group name already names the
+    /// function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Names accepted by `bench_function` / `bench_with_input`.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples (after one
+    /// untimed warmup call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = std_black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let _ = std_black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], with an untimed per-sample setup call
+    /// producing the routine's input.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = std_black_box(routine(input));
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the simple loop ignores it (the
+    /// sample count alone bounds runtime).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkName,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.group_name, &name.into_name(), &bencher.results);
+        let _ = &self.criterion; // group lifetime ties reports to one run
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<N, I, F>(&mut self, name: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkName,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&self.group_name, &name.into_name(), &bencher.results);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated `main`s.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = name.into();
+        println!("\n== {group_name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group_name,
+            sample_size: 10,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_owned()).bench_function("", f);
+        self
+    }
+}
+
+fn report(group: &str, name: &str, samples: &[Duration]) {
+    let label = if name.is_empty() {
+        group.to_owned()
+    } else {
+        format!("{group}/{name}")
+    };
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<48} median {:>12?}  mean {:>12?}  ({} samples)",
+        median,
+        mean,
+        sorted.len()
+    );
+}
+
+/// Mirror of `criterion_group!`: defines a function running each
+/// benchmark with a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

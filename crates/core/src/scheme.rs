@@ -254,17 +254,17 @@ mod tests {
     }
 
     fn filter_on(values: &[&str]) -> Option<Vec<Fr>> {
-        Some(values.iter().map(|v| embed_attribute(v.as_bytes())).collect())
+        Some(
+            values
+                .iter()
+                .map(|v| embed_attribute(v.as_bytes()))
+                .collect(),
+        )
     }
 
     /// Run the full protocol for one query on both engines and return
     /// whether the two rows matched.
-    fn run_match<E: Engine>(
-        join_a: &str,
-        join_b: &str,
-        selected: bool,
-        same_query: bool,
-    ) -> bool {
+    fn run_match<E: Engine>(join_a: &str, join_b: &str, selected: bool, same_query: bool) -> bool {
         let mut r = rng();
         let msk = SecureJoin::<E>::setup(params(), &mut r);
         let ct_a = enc_row::<E>(&msk, join_a, "red", "x", &mut r);

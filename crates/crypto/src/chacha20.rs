@@ -29,8 +29,7 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce word"));
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce word"));
     }
     let mut working = state;
     for _ in 0..10 {

@@ -18,7 +18,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut cand = 2u64;
     while primes.len() < n {
-        if primes.iter().all(|p| cand % p != 0) {
+        if primes.iter().all(|p| !cand.is_multiple_of(*p)) {
             primes.push(cand);
         }
         cand += 1;
@@ -30,7 +30,7 @@ fn first_primes(n: usize) -> Vec<u64> {
 fn isqrt(n: u128) -> u128 {
     let (mut lo, mut hi) = (0u128, 1u128 << 64);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid.checked_mul(mid).map(|m| m <= n).unwrap_or(false) {
             lo = mid;
         } else {
@@ -44,7 +44,7 @@ fn isqrt(n: u128) -> u128 {
 fn icbrt(n: u128) -> u128 {
     let (mut lo, mut hi) = (0u128, 1u128 << 43);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let cube = mid.checked_mul(mid).and_then(|m| m.checked_mul(mid));
         if cube.map(|c| c <= n).unwrap_or(false) {
             lo = mid;

@@ -25,6 +25,65 @@ pub struct TableConfig {
 /// never a legal filter target, so its polynomials stay identically zero.
 const PAD_ATTRIBUTE: &[u8] = b"\xff\xfeeqjoin-pad";
 
+/// Client configuration, fixed at construction.
+///
+/// ```
+/// use eqjoin_db::ClientConfig;
+/// let config = ClientConfig::new(2, 3).seed(42).prefilter(true);
+/// assert_eq!(config.m, 2);
+/// assert!(config.prefilter);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Filter attributes per table (tables with fewer are padded).
+    pub m: usize,
+    /// Maximum `IN`-clause size (= selection-polynomial degree bound).
+    pub t: usize,
+    /// Deterministic RNG seed (experiments are reproducible).
+    pub seed: u64,
+    /// Enable the selectivity pre-filter (§4.3's orthogonal searchable
+    /// encryption). Disabled by default: the deterministic per-column
+    /// tags leak value-equality within a column to the server, which the
+    /// core scheme itself does not — the paper's Figures 3/4 measure the
+    /// pre-filtered configuration, so the benchmarks turn this on.
+    pub prefilter: bool,
+}
+
+impl ClientConfig {
+    /// Scheme dimensions `m` (filter attributes) and `t` (`IN` bound);
+    /// seed 0, pre-filter off.
+    pub fn new(m: usize, t: usize) -> Self {
+        ClientConfig {
+            m,
+            t,
+            seed: 0,
+            prefilter: false,
+        }
+    }
+
+    /// Set the deterministic RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable/disable the selectivity pre-filter.
+    pub fn prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+}
+
+/// Client-side operation counters (token-cache experiments read these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Number of `SJ.TkGen` invocations (one per query side) — the hot
+    /// pairing-group path the session token cache avoids on repeats.
+    pub tkgen_calls: u64,
+    /// Number of rows encrypted via `SJ.Enc`.
+    pub rows_encrypted: u64,
+}
+
 /// The trusted client of the outsourced-database model (§2).
 pub struct DbClient<E: Engine> {
     params: SjParams,
@@ -36,6 +95,8 @@ pub struct DbClient<E: Engine> {
     tables: HashMap<String, TableConfig>,
     join_col_indices: HashMap<String, usize>,
     next_query_id: u64,
+    embed_cache: HashMap<Vec<u8>, Fr>,
+    stats: ClientStats,
 }
 
 /// A decrypted joined row: `(θ, left columns…, right columns…)`.
@@ -50,14 +111,13 @@ pub struct JoinedRow {
 }
 
 impl<E: Engine> DbClient<E> {
-    /// Create a client for one join context.
-    ///
-    /// * `m` — filter attributes per table (tables with fewer are padded);
-    /// * `t` — maximum `IN`-clause size;
-    /// * `seed` — deterministic RNG seed (experiments are reproducible).
-    pub fn new(m: usize, t: usize, seed: u64) -> Self {
-        let mut rng = ChaChaRng::seed_from_u64(seed);
-        let params = SjParams { m, t };
+    /// Create a client for one join context from a [`ClientConfig`].
+    pub fn with_config(config: ClientConfig) -> Self {
+        let mut rng = ChaChaRng::seed_from_u64(config.seed);
+        let params = SjParams {
+            m: config.m,
+            t: config.t,
+        };
         let msk = SecureJoin::<E>::setup(params, &mut rng);
         let aead = AeadKey::generate(&mut rng);
         let prefilter_root = Prf::generate(&mut rng);
@@ -66,26 +126,30 @@ impl<E: Engine> DbClient<E> {
             msk,
             aead,
             prefilter_root,
-            prefilter_enabled: false,
+            prefilter_enabled: config.prefilter,
             rng,
             tables: HashMap::new(),
             join_col_indices: HashMap::new(),
             next_query_id: 0,
+            embed_cache: HashMap::new(),
+            stats: ClientStats::default(),
         }
     }
 
-    /// Enable the selectivity pre-filter (§4.3's orthogonal searchable
-    /// encryption). Disabled by default: the deterministic per-column
-    /// tags leak value-equality within a column to the server, which the
-    /// core scheme itself does not — the paper's Figures 3/4 measure the
-    /// pre-filtered configuration, so the benchmarks turn this on.
-    pub fn enable_prefilter(&mut self, enabled: bool) {
-        self.prefilter_enabled = enabled;
+    /// Shorthand for [`DbClient::with_config`] with the pre-filter off:
+    /// `m` filter attributes, `IN`-clause bound `t`, RNG seed `seed`.
+    pub fn new(m: usize, t: usize, seed: u64) -> Self {
+        Self::with_config(ClientConfig::new(m, t).seed(seed))
     }
 
     /// Scheme parameters.
     pub fn params(&self) -> SjParams {
         self.params
+    }
+
+    /// Operation counters since construction.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     /// Encrypt a table for joins on `config.join_column` with the given
@@ -97,19 +161,20 @@ impl<E: Engine> DbClient<E> {
         config: TableConfig,
     ) -> Result<EncryptedTable<E>, DbError> {
         let schema = &table.schema;
-        let join_idx = schema.column_index(&config.join_column).ok_or_else(|| {
-            DbError::UnknownColumn {
+        let join_idx =
+            schema
+                .column_index(&config.join_column)
+                .ok_or_else(|| DbError::UnknownColumn {
+                    table: schema.name.clone(),
+                    column: config.join_column.clone(),
+                })?;
+        if config.filter_columns.len() > self.params.m {
+            return Err(DbError::TooManyFilterColumns {
                 table: schema.name.clone(),
-                column: config.join_column.clone(),
-            }
-        })?;
-        assert!(
-            config.filter_columns.len() <= self.params.m,
-            "table {} has {} filter columns, context supports m = {}",
-            schema.name,
-            config.filter_columns.len(),
-            self.params.m
-        );
+                got: config.filter_columns.len(),
+                max: self.params.m,
+            });
+        }
         let filter_idx: Vec<usize> = config
             .filter_columns
             .iter()
@@ -157,6 +222,7 @@ impl<E: Engine> DbClient<E> {
                 payload,
                 tags,
             });
+            self.stats.rows_encrypted += 1;
         }
 
         self.tables.insert(schema.name.clone(), config.clone());
@@ -208,38 +274,49 @@ impl<E: Engine> DbClient<E> {
             });
         }
 
-        // Collect per-filter-column IN values.
+        // Collect per-filter-column IN values. Filters are
+        // canonicalized first (values deduplicated, repeated filters on
+        // one column intersected), so validation and token shape depend
+        // only on the query's meaning — the same canonical form the
+        // session token cache keys on.
         let mut per_column: Vec<Option<Vec<Fr>>> = vec![None; self.params.m];
         let mut prefilter = Vec::new();
         let table_prf = self.prefilter_root.derive(table.as_bytes());
-        for filter in query.filters_for(table) {
+        for ((filter_table, column), values) in query.canonical_filter_sets() {
+            if filter_table != *table {
+                continue;
+            }
             let col_pos = config
                 .filter_columns
                 .iter()
-                .position(|c| *c == filter.column)
+                .position(|c| *c == column)
                 .ok_or_else(|| DbError::NotAFilterColumn {
                     table: table.clone(),
-                    column: filter.column.clone(),
+                    column: column.clone(),
                 })?;
-            if filter.values.is_empty() {
+            if values.is_empty() {
                 return Err(DbError::EmptyInClause);
             }
-            if filter.values.len() > self.params.t {
+            if values.len() > self.params.t {
                 return Err(DbError::InClauseTooLarge {
-                    got: filter.values.len(),
+                    got: values.len(),
                     max: self.params.t,
                 });
             }
-            let embedded: Vec<Fr> = filter
-                .values
+            let embedded: Vec<Fr> = values
                 .iter()
-                .map(|v| embed_attribute(&v.canonical_bytes()))
+                .map(|v| {
+                    let bytes = v.canonical_bytes();
+                    *self
+                        .embed_cache
+                        .entry(bytes.clone())
+                        .or_insert_with(|| embed_attribute(&bytes))
+                })
                 .collect();
             per_column[col_pos] = Some(embedded);
             if self.prefilter_enabled {
-                let col_prf = table_prf.derive(filter.column.as_bytes());
-                let tags = filter
-                    .values
+                let col_prf = table_prf.derive(column.as_bytes());
+                let tags = values
                     .iter()
                     .map(|v| col_prf.tag16(&v.canonical_bytes()))
                     .collect();
@@ -247,8 +324,8 @@ impl<E: Engine> DbClient<E> {
             }
         }
 
-        let token =
-            SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng);
+        self.stats.tkgen_calls += 1;
+        let token = SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng);
         Ok(SideTokens {
             table: table.clone(),
             token,
@@ -321,13 +398,43 @@ mod tests {
 
     #[test]
     fn prefilter_tags_emitted_when_enabled() {
-        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
-        client.enable_prefilter(true);
+        let mut client =
+            DbClient::<MockEngine>::with_config(ClientConfig::new(2, 2).seed(7).prefilter(true));
         let enc = client.encrypt_table(&sample_table(), config()).unwrap();
         let tags = enc.rows[0].tags.as_ref().unwrap();
         assert_eq!(tags.len(), 2);
         // Equal values get equal tags; different rows differ.
         assert_ne!(enc.rows[0].tags, enc.rows[1].tags);
+    }
+
+    #[test]
+    fn too_many_filter_columns_is_an_error_not_a_panic() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 7);
+        let bad = TableConfig {
+            join_column: "id".into(),
+            filter_columns: vec!["name".into(), "role".into()],
+        };
+        assert_eq!(
+            client.encrypt_table(&sample_table(), bad).unwrap_err(),
+            DbError::TooManyFilterColumns {
+                table: "People".into(),
+                got: 2,
+                max: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn tkgen_counter_counts_sides() {
+        let mut client = DbClient::<MockEngine>::new(2, 2, 7);
+        client.encrypt_table(&sample_table(), config()).unwrap();
+        assert_eq!(client.stats().tkgen_calls, 0);
+        assert_eq!(client.stats().rows_encrypted, 2);
+        let q = JoinQuery::on("People", "id", "People", "id");
+        client.query_tokens(&q).unwrap();
+        assert_eq!(client.stats().tkgen_calls, 2, "one SJ.TkGen per side");
+        client.query_tokens(&q).unwrap();
+        assert_eq!(client.stats().tkgen_calls, 4);
     }
 
     #[test]
@@ -381,7 +488,10 @@ mod tests {
         ));
         // Empty IN clause.
         let q = JoinQuery::on("People", "id", "People", "id").filter("People", "role", vec![]);
-        assert!(matches!(client.query_tokens(&q), Err(DbError::EmptyInClause)));
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::EmptyInClause)
+        ));
     }
 
     #[test]

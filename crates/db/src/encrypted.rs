@@ -4,6 +4,7 @@ use eqjoin_core::{SjRowCiphertext, SjToken};
 use eqjoin_pairing::Engine;
 
 /// One encrypted row as stored by the server.
+#[derive(Clone, Debug)]
 pub struct EncryptedRow<E: Engine> {
     /// The Secure Join ciphertext vector `C_r = g2^{w_r·B*}`.
     pub cipher: SjRowCiphertext<E>,
@@ -16,6 +17,7 @@ pub struct EncryptedRow<E: Engine> {
 }
 
 /// An encrypted table.
+#[derive(Clone, Debug)]
 pub struct EncryptedTable<E: Engine> {
     /// Table name.
     pub name: String,
@@ -57,6 +59,7 @@ impl<E: Engine> EncryptedTable<E> {
 }
 
 /// The token bundle for one side of a join query.
+#[derive(Clone, Debug)]
 pub struct SideTokens<E: Engine> {
     /// Target table name.
     pub table: String,
@@ -68,6 +71,7 @@ pub struct SideTokens<E: Engine> {
 }
 
 /// Everything the server needs to execute one join query.
+#[derive(Clone, Debug)]
 pub struct QueryTokens<E: Engine> {
     /// Monotonic query identifier (leakage bookkeeping).
     pub query_id: u64,

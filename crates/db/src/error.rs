@@ -43,6 +43,24 @@ pub enum DbError {
     EmptyInClause,
     /// Payload authentication failed during result decryption.
     PayloadCorrupted,
+    /// A table declares more filter columns than the `m` fixed at setup.
+    TooManyFilterColumns {
+        /// Table name.
+        table: String,
+        /// Filter columns the table config declared.
+        got: usize,
+        /// Maximum supported (`m`).
+        max: usize,
+    },
+    /// A protocol message could not be decoded, or a backend answered a
+    /// request with a response of the wrong kind.
+    Protocol(String),
+    /// SQL text could not be parsed or resolved against the session
+    /// catalog.
+    Sql(String),
+    /// SQL text was submitted to a session without an installed
+    /// [`SqlPlanner`](crate::session::SqlPlanner).
+    NoSqlPlanner,
 }
 
 impl fmt::Display for DbError {
@@ -65,10 +83,25 @@ impl fmt::Display for DbError {
                 "column {table}.{column} was not registered as a filter attribute"
             ),
             DbError::InClauseTooLarge { got, max } => {
-                write!(f, "IN clause has {got} values, the scheme supports at most {max}")
+                write!(
+                    f,
+                    "IN clause has {got} values, the scheme supports at most {max}"
+                )
             }
             DbError::EmptyInClause => write!(f, "IN clause must contain at least one value"),
             DbError::PayloadCorrupted => write!(f, "row payload failed authentication"),
+            DbError::TooManyFilterColumns { table, got, max } => write!(
+                f,
+                "table {table} declares {got} filter columns, the join context supports m = {max}"
+            ),
+            DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            DbError::Sql(msg) => write!(f, "SQL error: {msg}"),
+            DbError::NoSqlPlanner => {
+                write!(
+                    f,
+                    "session has no SQL planner installed (use prepare with a JoinQuery)"
+                )
+            }
         }
     }
 }

@@ -1,27 +1,47 @@
-//! The encrypted DBMS engine the paper evaluates: a trusted client that
-//! encrypts relational tables and issues join tokens, and a semi-honest
-//! server that executes `SJ.Dec`/`SJ.Match` and returns matching
-//! (still-encrypted) row pairs.
+//! The encrypted DBMS engine the paper evaluates, organized around a
+//! [`Session`] for *series* of queries — the object the paper's leakage
+//! result (Corollary 5.2.2) is actually about.
 //!
 //! ```text
-//!          client (trusted)                server (semi-honest)
-//!   ┌──────────────────────────┐      ┌───────────────────────────┐
-//!   │ DbClient                 │      │ DbServer                  │
-//!   │  encrypt_table ──────────┼──────▶ insert_table              │
-//!   │  query_tokens(JoinQuery) ┼──────▶ execute_join              │
-//!   │  decrypt_result ◀────────┼──────┼── EncryptedJoinResult     │
-//!   └──────────────────────────┘      └───────────────────────────┘
+//!                 Session<E>  (trusted side)
+//!   ┌────────────────────────────────────────────────┐
+//!   │ catalog ── SqlPlanner ──▶ PreparedQuery        │
+//!   │                              │                 │
+//!   │ DbClient (keys) ◀── token cache (per series)   │
+//!   │    │ encrypt_table  │ query_tokens on miss     │
+//!   │    ▼                ▼                          │
+//!   │ LeakageLedger   Request::{InsertTable,         │
+//!   │ (report)                  ExecuteJoin}         │
+//!   └───────────────────────┬────────────────────────┘
+//!                           │  ServerApi (protocol)
+//!                           ▼
+//!              LocalBackend / remote backend
+//!   ┌────────────────────────────────────────────────┐
+//!   │ DbServer: SJ.Dec per row (pre-filter, threads) │
+//!   │           SJ.Match via hash / nested-loop join │
+//!   │           → EncryptedJoinResult + observation  │
+//!   └────────────────────────────────────────────────┘
 //! ```
+//!
+//! Most callers only need the session layer:
+//!
+//! * [`session`] — [`Session`], [`SessionConfig`], [`PreparedQuery`],
+//!   [`ResultSet`], the per-series token cache and the embedded
+//!   [`LeakageLedger`](eqjoin_leakage::LeakageLedger).
+//! * [`protocol`] — the [`ServerApi`] trait, the [`Request`]/[`Response`]
+//!   message enums and their wire codec, and the in-process
+//!   [`LocalBackend`].
+//!
+//! The documented low-level layer underneath (useful for experiments
+//! that need to drive each protocol step by hand):
 //!
 //! * [`data`] — the plaintext relational model (`Value`, `Row`, `Table`).
 //! * [`query`] — logical equi-join queries with `IN`-clause filters.
 //! * [`client`] — key management, table encryption, token generation,
-//!   result decryption.
+//!   result decryption ([`DbClient`], configured via [`ClientConfig`]).
 //! * [`server`] — storage, per-row `SJ.Dec`, `O(n)` hash join /
-//!   `O(n²)` nested-loop join, optional crossbeam parallelism, and the
-//!   optional selectivity pre-filter (§4.3: orthogonal searchable
-//!   encryption that lets the server decrypt only rows matching the
-//!   selection — the configuration the paper's Figures 3/4 measure).
+//!   `O(n²)` nested-loop join, optional parallelism, and the optional
+//!   selectivity pre-filter (§4.3).
 //! * [`join`] — the matching algorithms on decrypted `D` values.
 
 pub mod client;
@@ -29,13 +49,20 @@ pub mod data;
 pub mod encrypted;
 pub mod error;
 pub mod join;
+pub mod protocol;
 pub mod query;
 pub mod server;
+pub mod session;
 
-pub use client::{DbClient, JoinedRow, TableConfig};
+pub use client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
 pub use data::{Row, Schema, Table, Value};
 pub use encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 pub use error::DbError;
 pub use join::JoinAlgorithm;
+pub use protocol::{LocalBackend, Request, Response, ServerApi};
 pub use query::{InFilter, JoinQuery};
 pub use server::{DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, ServerStats};
+pub use session::{
+    Catalog, LeakageReport, PreparedQuery, QueryInput, ResultSet, Session, SessionConfig,
+    SessionStats, SqlPlanner,
+};

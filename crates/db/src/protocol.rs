@@ -1,0 +1,807 @@
+//! The client↔server message protocol behind [`Session`], and the
+//! [`ServerApi`] abstraction any backend implements.
+//!
+//! [`Session`]: crate::session::Session
+//!
+//! The session never touches a [`DbServer`] directly; it speaks a small
+//! request/response protocol:
+//!
+//! ```text
+//!   Session ── Request::InsertTable ──────▶ ServerApi
+//!   Session ── Request::ExecuteJoin ──────▶ ServerApi
+//!   Session ◀─ Response::JoinExecuted ──── ServerApi
+//! ```
+//!
+//! [`LocalBackend`] implements [`ServerApi`] in-process over today's
+//! [`DbServer`]; a remote backend would serialize the same messages
+//! ([`Request::to_bytes`] / [`Response::from_bytes`] define the wire
+//! format) onto a socket. The wire codec is deliberately dependency-free:
+//! length-prefixed fields, group elements via the engine's canonical
+//! (validated) encodings.
+
+use crate::encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
+use crate::error::DbError;
+use crate::join::JoinAlgorithm;
+use crate::server::{
+    DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats,
+};
+use eqjoin_core::{SjRowCiphertext, SjTableSide, SjToken};
+use eqjoin_pairing::Engine;
+use std::time::Duration;
+
+/// A client→server message.
+pub enum Request<E: Engine> {
+    /// Liveness / version probe.
+    Ping,
+    /// Upload one encrypted table.
+    InsertTable(EncryptedTable<E>),
+    /// Execute a join query for the given token bundle.
+    ExecuteJoin {
+        /// The two-sided token bundle.
+        tokens: QueryTokens<E>,
+        /// Execution options.
+        options: JoinOptions,
+    },
+}
+
+/// A server→client message.
+///
+/// No variant carries engine-typed data (matched pairs are returned as
+/// sealed payload bytes), so the response side of the protocol is not
+/// generic over the engine.
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Table stored.
+    TableInserted {
+        /// Table name as stored.
+        table: String,
+        /// Number of encrypted rows stored.
+        rows: usize,
+    },
+    /// Join executed: the encrypted result and the equality pattern the
+    /// server (unavoidably) observed while matching.
+    JoinExecuted {
+        /// Matched pairs + execution statistics.
+        result: EncryptedJoinResult,
+        /// The server's leakage observation for this query.
+        observation: JoinObservation,
+    },
+    /// The request failed.
+    Error(DbError),
+}
+
+/// A join-database backend: anything that can answer the protocol.
+///
+/// The in-process implementation is [`LocalBackend`]; the message-enum
+/// shape (rather than one trait method per operation) is what lets a
+/// remote or sharded backend forward requests byte-for-byte.
+pub trait ServerApi<E: Engine> {
+    /// Handle one request. Implementations must map internal failures to
+    /// [`Response::Error`] rather than panicking.
+    fn handle(&mut self, request: Request<E>) -> Response;
+}
+
+/// The in-process backend: a [`DbServer`] behind the protocol.
+#[derive(Default)]
+pub struct LocalBackend<E: Engine> {
+    server: DbServer<E>,
+}
+
+impl<E: Engine> LocalBackend<E> {
+    /// Empty backend.
+    pub fn new() -> Self {
+        LocalBackend {
+            server: DbServer::new(),
+        }
+    }
+
+    /// Access the underlying server (tests and experiments peek at
+    /// stored ciphertexts).
+    pub fn server(&self) -> &DbServer<E> {
+        &self.server
+    }
+}
+
+impl<E: Engine> ServerApi<E> for LocalBackend<E> {
+    fn handle(&mut self, request: Request<E>) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::InsertTable(table) => {
+                let (name, rows) = (table.name.clone(), table.len());
+                self.server.insert_table(table);
+                Response::TableInserted { table: name, rows }
+            }
+            Request::ExecuteJoin { tokens, options } => {
+                match self.server.execute_join(&tokens, &options) {
+                    Ok((result, observation)) => Response::JoinExecuted {
+                        result,
+                        observation,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+
+/// Byte-writer half of the wire codec.
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Self {
+        Writer { out: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.out.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Byte-reader half of the wire codec.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err<T>(what: &str) -> Result<T, DbError> {
+        Err(DbError::Protocol(format!("truncated or invalid {what}")))
+    }
+
+    fn u8(&mut self) -> Result<u8, DbError> {
+        let v = self.buf.get(self.pos).copied();
+        self.pos += 1;
+        v.map_or_else(|| Self::err("u8"), Ok)
+    }
+
+    fn u64(&mut self) -> Result<u64, DbError> {
+        let end = self.pos + 8;
+        let slice = self.buf.get(self.pos..end);
+        self.pos = end;
+        match slice {
+            Some(s) => Ok(u64::from_le_bytes(s.try_into().unwrap())),
+            None => Self::err("u64"),
+        }
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize, DbError> {
+        let n = self.u64()? as usize;
+        // A length can never exceed the bytes remaining; reject early so
+        // corrupt lengths cannot trigger huge allocations.
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(DbError::Protocol(format!("implausible length for {what}")));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DbError> {
+        let n = self.len("byte string")?;
+        let end = self.pos + n;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn str(&mut self) -> Result<String, DbError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| DbError::Protocol("non-UTF-8 string".into()))
+    }
+
+    fn finish(self) -> Result<(), DbError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DbError::Protocol("trailing bytes after message".into()))
+        }
+    }
+}
+
+fn put_g1<E: Engine>(w: &mut Writer, p: &E::G1) {
+    w.bytes(&E::g1_bytes(p));
+}
+
+fn get_g1<E: Engine>(r: &mut Reader<'_>) -> Result<E::G1, DbError> {
+    E::g1_from_bytes(r.bytes()?)
+        .ok_or_else(|| DbError::Protocol("invalid G1 element (curve/subgroup check)".into()))
+}
+
+fn put_g2<E: Engine>(w: &mut Writer, p: &E::G2) {
+    w.bytes(&E::g2_bytes(p));
+}
+
+fn get_g2<E: Engine>(r: &mut Reader<'_>) -> Result<E::G2, DbError> {
+    E::g2_from_bytes(r.bytes()?)
+        .ok_or_else(|| DbError::Protocol("invalid G2 element (curve/subgroup check)".into()))
+}
+
+fn put_side_tokens<E: Engine>(w: &mut Writer, side: &SideTokens<E>) {
+    w.str(&side.table);
+    w.u8(match side.token.side() {
+        SjTableSide::A => 0,
+        SjTableSide::B => 1,
+    });
+    w.u64(side.token.elements().len() as u64);
+    for e in side.token.elements() {
+        put_g1::<E>(w, e);
+    }
+    w.u64(side.prefilter.len() as u64);
+    for (col, tags) in &side.prefilter {
+        w.u64(*col as u64);
+        w.u64(tags.len() as u64);
+        for tag in tags {
+            w.out.extend_from_slice(tag);
+        }
+    }
+}
+
+fn get_side_tokens<E: Engine>(r: &mut Reader<'_>) -> Result<SideTokens<E>, DbError> {
+    let table = r.str()?;
+    let side = match r.u8()? {
+        0 => SjTableSide::A,
+        1 => SjTableSide::B,
+        other => return Err(DbError::Protocol(format!("unknown table side {other}"))),
+    };
+    let n = r.len("token elements")?;
+    let elements = (0..n).map(|_| get_g1::<E>(r)).collect::<Result<_, _>>()?;
+    let n_filters = r.len("prefilter sets")?;
+    let mut prefilter = Vec::with_capacity(n_filters);
+    for _ in 0..n_filters {
+        let col = r.u64()? as usize;
+        let n_tags = r.len("prefilter tags")?;
+        let mut tags = Vec::with_capacity(n_tags);
+        for _ in 0..n_tags {
+            let mut tag = [0u8; 16];
+            let end = r.pos + 16;
+            let slice = r
+                .buf
+                .get(r.pos..end)
+                .ok_or_else(|| DbError::Protocol("truncated tag".into()))?;
+            tag.copy_from_slice(slice);
+            r.pos = end;
+            tags.push(tag);
+        }
+        prefilter.push((col, tags));
+    }
+    Ok(SideTokens {
+        table,
+        token: SjToken::from_elements(side, elements),
+        prefilter,
+    })
+}
+
+fn put_query_tokens<E: Engine>(w: &mut Writer, tokens: &QueryTokens<E>) {
+    w.u64(tokens.query_id);
+    put_side_tokens(w, &tokens.left);
+    put_side_tokens(w, &tokens.right);
+}
+
+fn get_query_tokens<E: Engine>(r: &mut Reader<'_>) -> Result<QueryTokens<E>, DbError> {
+    Ok(QueryTokens {
+        query_id: r.u64()?,
+        left: get_side_tokens(r)?,
+        right: get_side_tokens(r)?,
+    })
+}
+
+fn put_options(w: &mut Writer, options: &JoinOptions) {
+    w.u8(match options.algorithm {
+        JoinAlgorithm::Hash => 0,
+        JoinAlgorithm::NestedLoop => 1,
+    });
+    w.u8(options.use_prefilter as u8);
+    w.u64(options.threads as u64);
+}
+
+fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
+    let algorithm = match r.u8()? {
+        0 => JoinAlgorithm::Hash,
+        1 => JoinAlgorithm::NestedLoop,
+        other => return Err(DbError::Protocol(format!("unknown join algorithm {other}"))),
+    };
+    let use_prefilter = r.u8()? != 0;
+    let threads = r.u64()? as usize;
+    Ok(JoinOptions {
+        algorithm,
+        use_prefilter,
+        threads,
+    })
+}
+
+fn put_table<E: Engine>(w: &mut Writer, table: &EncryptedTable<E>) {
+    w.str(&table.name);
+    w.str(&table.join_column);
+    w.u64(table.filter_columns.len() as u64);
+    for c in &table.filter_columns {
+        w.str(c);
+    }
+    w.u64(table.rows.len() as u64);
+    for row in &table.rows {
+        w.u64(row.cipher.elements().len() as u64);
+        for e in row.cipher.elements() {
+            put_g2::<E>(w, e);
+        }
+        w.bytes(&row.payload);
+        match &row.tags {
+            None => w.u8(0),
+            Some(tags) => {
+                w.u8(1);
+                w.u64(tags.len() as u64);
+                for tag in tags {
+                    w.out.extend_from_slice(tag);
+                }
+            }
+        }
+    }
+}
+
+fn get_table<E: Engine>(r: &mut Reader<'_>) -> Result<EncryptedTable<E>, DbError> {
+    let name = r.str()?;
+    let join_column = r.str()?;
+    let n_cols = r.len("filter columns")?;
+    let filter_columns = (0..n_cols).map(|_| r.str()).collect::<Result<_, _>>()?;
+    let n_rows = r.len("rows")?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let n_elems = r.len("ciphertext elements")?;
+        let elements = (0..n_elems)
+            .map(|_| get_g2::<E>(r))
+            .collect::<Result<_, _>>()?;
+        let payload = r.bytes()?.to_vec();
+        let tags = match r.u8()? {
+            0 => None,
+            1 => {
+                let n_tags = r.len("row tags")?;
+                let mut tags = Vec::with_capacity(n_tags);
+                for _ in 0..n_tags {
+                    let end = r.pos + 16;
+                    let slice = r
+                        .buf
+                        .get(r.pos..end)
+                        .ok_or_else(|| DbError::Protocol("truncated tag".into()))?;
+                    let mut tag = [0u8; 16];
+                    tag.copy_from_slice(slice);
+                    r.pos = end;
+                    tags.push(tag);
+                }
+                Some(tags)
+            }
+            other => return Err(DbError::Protocol(format!("bad tags marker {other}"))),
+        };
+        rows.push(EncryptedRow {
+            cipher: SjRowCiphertext::from_elements(elements),
+            payload,
+            tags,
+        });
+    }
+    Ok(EncryptedTable {
+        name,
+        join_column,
+        filter_columns,
+        rows,
+    })
+}
+
+fn put_error(w: &mut Writer, e: &DbError) {
+    // Compact structured encoding so a remote backend's errors survive
+    // the wire without collapsing into strings.
+    match e {
+        DbError::UnknownTable(t) => {
+            w.u8(0);
+            w.str(t);
+        }
+        DbError::UnknownColumn { table, column } => {
+            w.u8(1);
+            w.str(table);
+            w.str(column);
+        }
+        DbError::JoinColumnMismatch {
+            table,
+            requested,
+            encrypted,
+        } => {
+            w.u8(2);
+            w.str(table);
+            w.str(requested);
+            w.str(encrypted);
+        }
+        DbError::NotAFilterColumn { table, column } => {
+            w.u8(3);
+            w.str(table);
+            w.str(column);
+        }
+        DbError::InClauseTooLarge { got, max } => {
+            w.u8(4);
+            w.u64(*got as u64);
+            w.u64(*max as u64);
+        }
+        DbError::EmptyInClause => w.u8(5),
+        DbError::PayloadCorrupted => w.u8(6),
+        DbError::TooManyFilterColumns { table, got, max } => {
+            w.u8(7);
+            w.str(table);
+            w.u64(*got as u64);
+            w.u64(*max as u64);
+        }
+        DbError::Protocol(msg) => {
+            w.u8(8);
+            w.str(msg);
+        }
+        DbError::Sql(msg) => {
+            w.u8(9);
+            w.str(msg);
+        }
+        DbError::NoSqlPlanner => w.u8(10),
+    }
+}
+
+fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
+    Ok(match r.u8()? {
+        0 => DbError::UnknownTable(r.str()?),
+        1 => DbError::UnknownColumn {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        2 => DbError::JoinColumnMismatch {
+            table: r.str()?,
+            requested: r.str()?,
+            encrypted: r.str()?,
+        },
+        3 => DbError::NotAFilterColumn {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        4 => DbError::InClauseTooLarge {
+            got: r.u64()? as usize,
+            max: r.u64()? as usize,
+        },
+        5 => DbError::EmptyInClause,
+        6 => DbError::PayloadCorrupted,
+        7 => DbError::TooManyFilterColumns {
+            table: r.str()?,
+            got: r.u64()? as usize,
+            max: r.u64()? as usize,
+        },
+        8 => DbError::Protocol(r.str()?),
+        9 => DbError::Sql(r.str()?),
+        10 => DbError::NoSqlPlanner,
+        other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
+    })
+}
+
+impl<E: Engine> Request<E> {
+    /// Serialize for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => Writer::new(0).out,
+            Request::InsertTable(table) => {
+                let mut w = Writer::new(1);
+                put_table(&mut w, table);
+                w.out
+            }
+            Request::ExecuteJoin { tokens, options } => {
+                let mut w = Writer::new(2);
+                put_query_tokens(&mut w, tokens);
+                put_options(&mut w, options);
+                w.out
+            }
+        }
+    }
+
+    /// Parse a wire message (rejects trailing bytes and invalid group
+    /// elements).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DbError> {
+        let mut r = Reader::new(bytes);
+        let req = match r.u8()? {
+            0 => Request::Ping,
+            1 => Request::InsertTable(get_table(&mut r)?),
+            2 => Request::ExecuteJoin {
+                tokens: get_query_tokens(&mut r)?,
+                options: get_options(&mut r)?,
+            },
+            other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => Writer::new(0).out,
+            Response::TableInserted { table, rows } => {
+                let mut w = Writer::new(1);
+                w.str(table);
+                w.u64(*rows as u64);
+                w.out
+            }
+            Response::JoinExecuted {
+                result,
+                observation,
+            } => {
+                let mut w = Writer::new(2);
+                w.u64(result.pairs.len() as u64);
+                for p in &result.pairs {
+                    w.u64(p.left_row as u64);
+                    w.u64(p.right_row as u64);
+                    w.bytes(&p.left_payload);
+                    w.bytes(&p.right_payload);
+                }
+                let s = &result.stats;
+                w.u64(s.rows_decrypted as u64);
+                w.u64(s.rows_prefiltered_out as u64);
+                w.u64(s.comparisons);
+                w.u64(s.matched_pairs as u64);
+                w.u64(s.decrypt_time.as_nanos() as u64);
+                w.u64(s.match_time.as_nanos() as u64);
+                w.u64(observation.query_id);
+                w.u64(observation.equality_classes.len() as u64);
+                for class in &observation.equality_classes {
+                    w.u64(class.len() as u64);
+                    for (table, row) in class {
+                        w.str(table);
+                        w.u64(*row as u64);
+                    }
+                }
+                w.out
+            }
+            Response::Error(e) => {
+                let mut w = Writer::new(3);
+                put_error(&mut w, e);
+                w.out
+            }
+        }
+    }
+
+    /// Parse a wire message.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DbError> {
+        let mut r = Reader::new(bytes);
+        let resp = match r.u8()? {
+            0 => Response::Pong,
+            1 => Response::TableInserted {
+                table: r.str()?,
+                rows: r.u64()? as usize,
+            },
+            2 => {
+                let n_pairs = r.len("matched pairs")?;
+                let mut pairs = Vec::with_capacity(n_pairs);
+                for _ in 0..n_pairs {
+                    pairs.push(MatchedPair {
+                        left_row: r.u64()? as usize,
+                        right_row: r.u64()? as usize,
+                        left_payload: r.bytes()?.to_vec(),
+                        right_payload: r.bytes()?.to_vec(),
+                    });
+                }
+                let stats = ServerStats {
+                    rows_decrypted: r.u64()? as usize,
+                    rows_prefiltered_out: r.u64()? as usize,
+                    comparisons: r.u64()?,
+                    matched_pairs: r.u64()? as usize,
+                    decrypt_time: Duration::from_nanos(r.u64()?),
+                    match_time: Duration::from_nanos(r.u64()?),
+                };
+                let query_id = r.u64()?;
+                let n_classes = r.len("equality classes")?;
+                let mut equality_classes = Vec::with_capacity(n_classes);
+                for _ in 0..n_classes {
+                    let n_members = r.len("class members")?;
+                    let mut class = Vec::with_capacity(n_members);
+                    for _ in 0..n_members {
+                        let table = r.str()?;
+                        class.push((table, r.u64()? as usize));
+                    }
+                    equality_classes.push(class);
+                }
+                Response::JoinExecuted {
+                    result: EncryptedJoinResult { pairs, stats },
+                    observation: JoinObservation {
+                        query_id,
+                        equality_classes,
+                    },
+                }
+            }
+            3 => Response::Error(get_error(&mut r)?),
+            other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DbClient;
+    use crate::data::{Schema, Table, Value};
+    use crate::query::JoinQuery;
+    use crate::TableConfig;
+    use eqjoin_pairing::MockEngine;
+
+    fn sample() -> (DbClient<MockEngine>, EncryptedTable<MockEngine>, JoinQuery) {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 11);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        t.push_row(vec![Value::Int(1), "x".into()]);
+        t.push_row(vec![Value::Int(2), "y".into()]);
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+        let q = JoinQuery::on("T", "k", "T", "k").filter("T", "a", vec!["x".into()]);
+        (client, enc, q)
+    }
+
+    #[test]
+    fn local_backend_round_trip() {
+        let (mut client, enc, q) = sample();
+        let mut backend = LocalBackend::<MockEngine>::new();
+        assert!(matches!(backend.handle(Request::Ping), Response::Pong));
+        match backend.handle(Request::InsertTable(enc)) {
+            Response::TableInserted { table, rows } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows, 2);
+            }
+            _ => panic!("expected TableInserted"),
+        }
+        let tokens = client.query_tokens(&q).unwrap();
+        match backend.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+        }) {
+            Response::JoinExecuted { result, .. } => assert_eq!(result.pairs.len(), 1),
+            _ => panic!("expected JoinExecuted"),
+        }
+    }
+
+    #[test]
+    fn backend_errors_are_responses_not_panics() {
+        let (mut client, _enc, q) = sample();
+        let mut backend = LocalBackend::<MockEngine>::new();
+        let tokens = client.query_tokens(&q).unwrap();
+        match backend.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+        }) {
+            Response::Error(DbError::UnknownTable(t)) => assert_eq!(t, "T"),
+            _ => panic!("expected UnknownTable error response"),
+        }
+    }
+
+    #[test]
+    fn request_wire_round_trip_preserves_execution() {
+        let (mut client, enc, q) = sample();
+        let tokens = client.query_tokens(&q).unwrap();
+
+        // Serialize both requests, parse them back, execute, and compare
+        // with the direct execution path.
+        let insert = Request::InsertTable(enc);
+        let exec = Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions {
+                algorithm: JoinAlgorithm::NestedLoop,
+                use_prefilter: false,
+                threads: 3,
+            },
+        };
+        let insert2 = Request::<MockEngine>::from_bytes(&insert.to_bytes()).unwrap();
+        let exec2 = Request::<MockEngine>::from_bytes(&exec.to_bytes()).unwrap();
+        match (&exec, &exec2) {
+            (Request::ExecuteJoin { options: a, .. }, Request::ExecuteJoin { options: b, .. }) => {
+                assert_eq!(a.algorithm, b.algorithm);
+                assert_eq!(a.use_prefilter, b.use_prefilter);
+                assert_eq!(a.threads, b.threads);
+            }
+            _ => panic!("round trip changed the message kind"),
+        }
+
+        let mut direct = LocalBackend::<MockEngine>::new();
+        let mut wired = LocalBackend::<MockEngine>::new();
+        match (direct.handle(insert), wired.handle(insert2)) {
+            (
+                Response::TableInserted { table: a, rows: ra },
+                Response::TableInserted { table: b, rows: rb },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(ra, rb);
+            }
+            _ => panic!("insert failed"),
+        }
+        let (r1, r2) = (direct.handle(exec), wired.handle(exec2));
+        match (r1, r2) {
+            (
+                Response::JoinExecuted { result: a, .. },
+                Response::JoinExecuted { result: b, .. },
+            ) => {
+                let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+                    r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+                };
+                assert_eq!(key(&a), key(&b));
+            }
+            _ => panic!("join failed"),
+        }
+    }
+
+    #[test]
+    fn corrupt_messages_rejected() {
+        assert!(Request::<MockEngine>::from_bytes(&[]).is_err());
+        assert!(Request::<MockEngine>::from_bytes(&[9]).is_err());
+        let mut ping = Request::<MockEngine>::Ping.to_bytes();
+        ping.push(0); // trailing byte
+        assert!(Request::<MockEngine>::from_bytes(&ping).is_err());
+        // A length field pointing past the end of the buffer must error,
+        // not allocate.
+        let bad = [1u8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            Request::<MockEngine>::from_bytes(&bad),
+            Err(DbError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn error_responses_round_trip_structurally() {
+        let errors = vec![
+            DbError::UnknownTable("X".into()),
+            DbError::UnknownColumn {
+                table: "T".into(),
+                column: "c".into(),
+            },
+            DbError::JoinColumnMismatch {
+                table: "T".into(),
+                requested: "a".into(),
+                encrypted: "b".into(),
+            },
+            DbError::NotAFilterColumn {
+                table: "T".into(),
+                column: "c".into(),
+            },
+            DbError::InClauseTooLarge { got: 9, max: 3 },
+            DbError::EmptyInClause,
+            DbError::PayloadCorrupted,
+            DbError::TooManyFilterColumns {
+                table: "T".into(),
+                got: 4,
+                max: 2,
+            },
+            DbError::Protocol("p".into()),
+            DbError::Sql("s".into()),
+            DbError::NoSqlPlanner,
+        ];
+        for e in errors {
+            let resp = Response::Error(e.clone());
+            match Response::from_bytes(&resp.to_bytes()).unwrap() {
+                Response::Error(back) => assert_eq!(back, e),
+                _ => panic!("changed kind"),
+            }
+        }
+    }
+}

@@ -64,11 +64,63 @@ impl JoinQuery {
     pub fn filters_for(&self, table: &str) -> Vec<&InFilter> {
         self.filters.iter().filter(|f| f.table == table).collect()
     }
+
+    /// The query's *effective* IN sets, canonicalized: values are sorted
+    /// and deduplicated, and multiple filters on one `(table, column)`
+    /// are intersected (`x IN (a,b) AND x IN (b,c)` ≡ `x IN (b)`).
+    /// Returned sorted by `(table, column)`. A declared-empty list or a
+    /// contradictory conjunction yields an empty value set (token
+    /// generation rejects it as [`EmptyInClause`]).
+    ///
+    /// Token generation and the session token cache both key off this
+    /// canonical form, so two queries with equal canonical sets are
+    /// guaranteed to select the same rows.
+    ///
+    /// [`EmptyInClause`]: crate::error::DbError::EmptyInClause
+    pub fn canonical_filter_sets(&self) -> Vec<((String, String), Vec<Value>)> {
+        let mut map: std::collections::BTreeMap<(String, String), Option<Vec<Value>>> =
+            std::collections::BTreeMap::new();
+        for f in &self.filters {
+            let key = (f.table.clone(), f.column.clone());
+            let mut values = f.values.clone();
+            values.sort();
+            values.dedup();
+            let entry = map.entry(key).or_insert(None);
+            *entry = Some(match entry.take() {
+                None => values,
+                Some(mut prev) => {
+                    prev.retain(|v| values.contains(v));
+                    prev
+                }
+            });
+        }
+        map.into_iter()
+            .map(|(key, values)| (key, values.unwrap_or_default()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_sets_dedupe_and_intersect() {
+        let q = JoinQuery::on("A", "k", "B", "k")
+            .filter("A", "x", vec![2.into(), 1.into(), 2.into()])
+            .filter("A", "x", vec![3.into(), 2.into()])
+            .filter("B", "y", vec!["u".into()]);
+        let sets = q.canonical_filter_sets();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].0, ("A".into(), "x".into()));
+        assert_eq!(sets[0].1, vec![crate::data::Value::Int(2)]);
+        assert_eq!(sets[1].0, ("B".into(), "y".into()));
+        // Contradictory conjunction → empty effective set.
+        let q = JoinQuery::on("A", "k", "B", "k")
+            .filter("A", "x", vec![1.into()])
+            .filter("A", "x", vec![2.into()]);
+        assert!(q.canonical_filter_sets()[0].1.is_empty());
+    }
 
     #[test]
     fn builder_and_lookup() {

@@ -174,10 +174,7 @@ impl<E: Engine> DbServer<E> {
                 .collect(),
         };
 
-        Ok((
-            EncryptedJoinResult { pairs, stats },
-            observation,
-        ))
+        Ok((EncryptedJoinResult { pairs, stats }, observation))
     }
 }
 
@@ -224,7 +221,7 @@ fn decrypt_side<E: Engine>(
     }
 }
 
-/// Chunked parallel decryption with crossbeam scoped threads.
+/// Chunked parallel decryption with std scoped threads.
 fn parallel_decrypt<E: Engine>(
     candidates: &[usize],
     token: &SjToken<E>,
@@ -233,11 +230,11 @@ fn parallel_decrypt<E: Engine>(
 ) -> Vec<(usize, Vec<u8>)> {
     let chunk_size = candidates.len().div_ceil(threads);
     let mut results: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk_size)
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|&idx| {
@@ -251,8 +248,7 @@ fn parallel_decrypt<E: Engine>(
         for h in handles {
             results.push(h.join().expect("decrypt worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().flatten().collect()
 }
 
@@ -393,8 +389,9 @@ mod tests {
 
     #[test]
     fn prefilter_reduces_decryptions() {
-        let mut client = DbClient::<MockEngine>::new(1, 2, 5);
-        client.enable_prefilter(true);
+        use crate::client::ClientConfig;
+        let mut client =
+            DbClient::<MockEngine>::with_config(ClientConfig::new(1, 2).seed(5).prefilter(true));
         let mut server = DbServer::new();
         let mut t = Table::new(Schema::new("T", &["k", "attr"]));
         for i in 0..10 {

@@ -1,0 +1,694 @@
+//! The [`Session`] facade: one object owning keys, planning, transport
+//! and per-query leakage accounting for a **series** of join queries —
+//! the paper's actual subject (Corollary 5.2.2 bounds leakage over a
+//! series, not a single query).
+//!
+//! ```text
+//!   "SELECT * FROM A JOIN B ON … WHERE x IN (…)"
+//!        │ prepare (SqlPlanner + catalog)
+//!        ▼
+//!   PreparedQuery ── execute ──▶ token cache ──▶ DbClient::query_tokens
+//!        │                          │ hit: reuse bundle (skip SJ.TkGen)
+//!        │                          ▼
+//!        │                     ServerApi backend (LocalBackend today)
+//!        │                          │
+//!        ▼                          ▼
+//!   ResultSet ◀── decrypt ──── EncryptedJoinResult + JoinObservation
+//!                                   │
+//!                                   ▼
+//!                             LeakageLedger (leakage_report())
+//! ```
+//!
+//! # Token caching and the fresh-`k` rule
+//!
+//! The cache is keyed by the **whole query** (both sides, canonical
+//! filter order). That granularity is forced by the scheme: the two
+//! [`SjToken`](eqjoin_core::SjToken)s of one query share a fresh key
+//! `k`, and it is exactly the freshness of `k` *across distinct queries*
+//! that makes a series leak no more than the transitive closure of the
+//! per-query leakages (Corollary 5.2.2). Re-using a cached side token
+//! inside a *different* query would force that query's other side onto
+//! the old `k` and make result rows comparable across the two queries —
+//! super-additive leakage the paper's design rules out. Re-issuing the
+//! *same* query under its old `k` reveals nothing new: the equality
+//! pattern it exposes is the one the first execution already revealed.
+//! Hence: repeated queries skip `SJ.TkGen` entirely (the hot
+//! pairing-group path); distinct queries always draw a fresh `k`.
+
+use crate::client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
+use crate::data::Table;
+use crate::error::DbError;
+use crate::join::JoinAlgorithm;
+use crate::protocol::{LocalBackend, Request, Response, ServerApi};
+use crate::query::JoinQuery;
+use crate::server::{JoinOptions, ServerStats};
+use eqjoin_leakage::{closure, pairs_from_classes, LeakageLedger, Node, PairSet, QueryLeakage};
+use eqjoin_pairing::Engine;
+use std::collections::{BTreeMap, HashMap};
+
+/// Session configuration: the client's crypto parameters plus execution
+/// and caching policy, fixed at construction.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Client crypto configuration (`m`, `t`, seed, pre-filter).
+    pub client: ClientConfig,
+    /// Server-side execution options sent with every join.
+    pub options: JoinOptions,
+    /// Cache token bundles per canonical query (on by default; see the
+    /// module docs for why the cache key is the whole query).
+    pub token_cache: bool,
+}
+
+impl SessionConfig {
+    /// Scheme dimensions `m` (filter attributes per table) and `t`
+    /// (`IN`-clause bound); defaults: seed 0, pre-filter off, hash join,
+    /// single-threaded, token cache on.
+    pub fn new(m: usize, t: usize) -> Self {
+        SessionConfig {
+            client: ClientConfig::new(m, t),
+            options: JoinOptions::default(),
+            token_cache: true,
+        }
+    }
+
+    /// Set the deterministic RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.client.seed = seed;
+        self
+    }
+
+    /// Enable/disable the §4.3 selectivity pre-filter.
+    pub fn prefilter(mut self, enabled: bool) -> Self {
+        self.client.prefilter = enabled;
+        self
+    }
+
+    /// Enable/disable the per-series token cache.
+    pub fn token_cache(mut self, enabled: bool) -> Self {
+        self.token_cache = enabled;
+        self
+    }
+
+    /// Select the server-side matching algorithm.
+    pub fn algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.options.algorithm = algorithm;
+        self
+    }
+
+    /// Worker threads for the server's decryption phase.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+}
+
+/// Table name → ordered column names, as registered via
+/// [`Session::create_table`]. SQL planners resolve bare column
+/// references against this.
+pub type Catalog = BTreeMap<String, Vec<String>>;
+
+/// A pluggable SQL front-end. Implemented by `eqjoin-sql`'s
+/// `SqlFrontend`; the `eqjoin` facade crate installs it automatically.
+pub trait SqlPlanner {
+    /// Parse `sql` and resolve it against `catalog` into a logical
+    /// [`JoinQuery`].
+    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<JoinQuery, DbError>;
+}
+
+/// Anything [`Session::prepare`]/[`Session::execute`] accepts: SQL text,
+/// a logical [`JoinQuery`], or an already-prepared query.
+pub enum QueryInput {
+    /// SQL text (requires an installed [`SqlPlanner`]).
+    Sql(String),
+    /// A logical query, bypassing the SQL front-end.
+    Query(JoinQuery),
+    /// A previously prepared query.
+    Prepared(PreparedQuery),
+}
+
+impl From<&str> for QueryInput {
+    fn from(sql: &str) -> Self {
+        QueryInput::Sql(sql.to_owned())
+    }
+}
+
+impl From<String> for QueryInput {
+    fn from(sql: String) -> Self {
+        QueryInput::Sql(sql)
+    }
+}
+
+impl From<JoinQuery> for QueryInput {
+    fn from(query: JoinQuery) -> Self {
+        QueryInput::Query(query)
+    }
+}
+
+impl From<&JoinQuery> for QueryInput {
+    fn from(query: &JoinQuery) -> Self {
+        QueryInput::Query(query.clone())
+    }
+}
+
+impl From<PreparedQuery> for QueryInput {
+    fn from(prepared: PreparedQuery) -> Self {
+        QueryInput::Prepared(prepared)
+    }
+}
+
+impl From<&PreparedQuery> for QueryInput {
+    fn from(prepared: &PreparedQuery) -> Self {
+        QueryInput::Prepared(prepared.clone())
+    }
+}
+
+/// A planned query with its canonical cache key.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    query: JoinQuery,
+    fingerprint: Vec<u8>,
+}
+
+impl PreparedQuery {
+    /// The resolved logical query.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// Canonical cache key: identical for semantically identical queries
+    /// (filter order and duplicate `IN` values do not matter).
+    pub fn fingerprint(&self) -> &[u8] {
+        &self.fingerprint
+    }
+}
+
+/// Canonical byte encoding of a query: table/column names
+/// length-prefixed, followed by the query's *effective* IN sets
+/// ([`JoinQuery::canonical_filter_sets`] — deduplicated, same-column
+/// filters intersected, sorted). Token generation consumes exactly the
+/// same canonical sets, so two queries with the same fingerprint are
+/// guaranteed to execute identically — sharing one token bundle between
+/// them is safe.
+fn fingerprint(query: &JoinQuery) -> Vec<u8> {
+    fn put(out: &mut Vec<u8>, bytes: &[u8]) {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let mut out = Vec::new();
+    put(&mut out, query.left_table.as_bytes());
+    put(&mut out, query.left_join_column.as_bytes());
+    put(&mut out, query.right_table.as_bytes());
+    put(&mut out, query.right_join_column.as_bytes());
+    for ((table, column), values) in query.canonical_filter_sets() {
+        let mut enc = Vec::new();
+        put(&mut enc, table.as_bytes());
+        put(&mut enc, column.as_bytes());
+        for v in &values {
+            put(&mut enc, &v.canonical_bytes());
+        }
+        put(&mut out, &enc);
+    }
+    out
+}
+
+/// Decrypted result of one executed query.
+#[derive(Debug)]
+pub struct ResultSet {
+    /// The joined plaintext rows.
+    pub rows: Vec<JoinedRow>,
+    /// Matched `(left row, right row)` server-side indices, aligned with
+    /// `rows` (experiments compare these against the plaintext reference
+    /// join).
+    pub pairs: Vec<(usize, usize)>,
+    /// Server-side execution statistics for this query.
+    pub stats: ServerStats,
+    /// Position of this execution in the session's series (0-based).
+    pub series_index: u64,
+    /// Whether the token bundle came from the session cache.
+    pub cache_hit: bool,
+}
+
+/// Session-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries executed through this session.
+    pub queries_executed: u64,
+    /// Token bundles served from the cache.
+    pub token_cache_hits: u64,
+    /// Token bundles generated fresh.
+    pub token_cache_misses: u64,
+    /// Client-side crypto counters (includes `SJ.TkGen` calls).
+    pub client: ClientStats,
+}
+
+/// Summary of the session's cumulative leakage (Corollary 5.2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakageReport {
+    /// Number of recorded queries.
+    pub queries: usize,
+    /// Pairs currently visible to the adversarial server.
+    pub visible_pairs: usize,
+    /// The paper's bound: |closure(∪ per-query leakage)|.
+    pub closure_bound: usize,
+    /// Whether the visible set stays within the closure bound — `true`
+    /// for Secure Join; the property super-additive schemes violate.
+    pub within_bound: bool,
+    /// Pairs visible beyond the bound (0 when `within_bound`).
+    pub super_additive_excess: usize,
+}
+
+/// One encrypted-database session over a series of join queries.
+///
+/// Owns the trusted [`DbClient`] (keys never leave it) and a
+/// [`ServerApi`] backend, and threads every query through prepare →
+/// tokens (cached) → backend join → decrypt → leakage ledger. See the
+/// [module docs](self) for the full pipeline.
+pub struct Session<E: Engine> {
+    client: DbClient<E>,
+    backend: Box<dyn ServerApi<E>>,
+    config: SessionConfig,
+    catalog: Catalog,
+    planner: Option<Box<dyn SqlPlanner>>,
+    token_cache: HashMap<Vec<u8>, crate::encrypted::QueryTokens<E>>,
+    ledger: LeakageLedger,
+    observed_union: PairSet,
+    stats: SessionStats,
+}
+
+impl<E: Engine> Session<E> {
+    /// Session over an in-process [`LocalBackend`].
+    pub fn local(config: SessionConfig) -> Self {
+        Self::with_backend(config, Box::new(LocalBackend::new()))
+    }
+
+    /// Session over an arbitrary backend (remote/sharded backends plug
+    /// in here).
+    pub fn with_backend(config: SessionConfig, backend: Box<dyn ServerApi<E>>) -> Self {
+        Session {
+            client: DbClient::with_config(config.client),
+            backend,
+            config,
+            catalog: Catalog::new(),
+            planner: None,
+            token_cache: HashMap::new(),
+            ledger: LeakageLedger::new(),
+            observed_union: PairSet::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Install a SQL front-end (builder style). Without one, only
+    /// [`JoinQuery`] inputs are accepted.
+    pub fn with_planner(mut self, planner: Box<dyn SqlPlanner>) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The registered plaintext schemas.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Session counters (cache behavior, `SJ.TkGen` calls).
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = self.stats;
+        stats.client = self.client.stats();
+        stats
+    }
+
+    /// Encrypt a plaintext table under the session keys and upload it to
+    /// the backend.
+    pub fn create_table(&mut self, table: &Table, config: TableConfig) -> Result<(), DbError> {
+        let encrypted = self.client.encrypt_table(table, config)?;
+        match self.backend.handle(Request::InsertTable(encrypted)) {
+            Response::TableInserted { .. } => {
+                self.catalog
+                    .insert(table.schema.name.clone(), table.schema.columns.clone());
+                Ok(())
+            }
+            Response::Error(e) => Err(e),
+            _ => Err(DbError::Protocol(
+                "backend answered InsertTable with the wrong response kind".into(),
+            )),
+        }
+    }
+
+    /// Plan a query: SQL text goes through the installed [`SqlPlanner`]
+    /// and the session catalog; [`JoinQuery`] inputs are fingerprinted
+    /// directly.
+    pub fn prepare(&mut self, input: impl Into<QueryInput>) -> Result<PreparedQuery, DbError> {
+        match input.into() {
+            QueryInput::Prepared(prepared) => Ok(prepared),
+            QueryInput::Query(query) => Ok(PreparedQuery {
+                fingerprint: fingerprint(&query),
+                query,
+            }),
+            QueryInput::Sql(sql) => {
+                let planner = self.planner.as_ref().ok_or(DbError::NoSqlPlanner)?;
+                let query = planner.plan(&sql, &self.catalog)?;
+                Ok(PreparedQuery {
+                    fingerprint: fingerprint(&query),
+                    query,
+                })
+            }
+        }
+    }
+
+    /// Execute a query end-to-end: tokens (cached on repeats) → backend
+    /// join → decrypt → leakage ledger.
+    pub fn execute(&mut self, input: impl Into<QueryInput>) -> Result<ResultSet, DbError> {
+        let prepared = self.prepare(input)?;
+        let (tokens, cache_hit) = if self.config.token_cache {
+            match self.token_cache.get(&prepared.fingerprint) {
+                Some(cached) => (cached.clone(), true),
+                None => {
+                    let fresh = self.client.query_tokens(&prepared.query)?;
+                    self.token_cache
+                        .insert(prepared.fingerprint.clone(), fresh.clone());
+                    (fresh, false)
+                }
+            }
+        } else {
+            (self.client.query_tokens(&prepared.query)?, false)
+        };
+        if cache_hit {
+            self.stats.token_cache_hits += 1;
+        } else {
+            self.stats.token_cache_misses += 1;
+        }
+
+        let (result, observation) = match self.backend.handle(Request::ExecuteJoin {
+            tokens,
+            options: self.config.options,
+        }) {
+            Response::JoinExecuted {
+                result,
+                observation,
+            } => (result, observation),
+            Response::Error(e) => return Err(e),
+            _ => {
+                return Err(DbError::Protocol(
+                    "backend answered ExecuteJoin with the wrong response kind".into(),
+                ))
+            }
+        };
+
+        // Leakage accounting first: the server *has* observed this query
+        // regardless of whether the client can open the payloads below,
+        // so the ledger must record it even if decryption then fails.
+        let classes: Vec<Vec<Node>> = observation
+            .equality_classes
+            .iter()
+            .map(|class| {
+                class
+                    .iter()
+                    .map(|(table, row)| Node::new(table, *row))
+                    .collect()
+            })
+            .collect();
+        let per_query = pairs_from_classes(&classes);
+        self.observed_union.union_with(&per_query);
+        let series_index = self.stats.queries_executed;
+        self.ledger.record(QueryLeakage {
+            query_id: series_index,
+            per_query,
+            cumulative_visible: closure(&self.observed_union),
+        });
+        self.stats.queries_executed += 1;
+
+        let rows = self.client.decrypt_result(&prepared.query, &result)?;
+        let pairs = result
+            .pairs
+            .iter()
+            .map(|p| (p.left_row, p.right_row))
+            .collect();
+
+        Ok(ResultSet {
+            rows,
+            pairs,
+            stats: result.stats,
+            series_index,
+            cache_hit,
+        })
+    }
+
+    /// The embedded per-query ledger (full history and growth series).
+    pub fn ledger(&self) -> &LeakageLedger {
+        &self.ledger
+    }
+
+    /// Everything the adversarial server can currently derive about
+    /// equality pairs (the closure of all observations so far).
+    pub fn visible_pairs(&self) -> PairSet {
+        closure(&self.observed_union)
+    }
+
+    /// The Corollary 5.2.2 verdict for the series executed so far.
+    pub fn leakage_report(&self) -> LeakageReport {
+        LeakageReport {
+            queries: self.ledger.len(),
+            visible_pairs: self.ledger.visible_now().len(),
+            closure_bound: self.ledger.closure_bound().len(),
+            within_bound: self.ledger.is_within_closure_bound(),
+            super_additive_excess: self.ledger.super_additive_excess().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Schema, Value};
+    use eqjoin_pairing::MockEngine;
+
+    fn tables() -> (Table, Table) {
+        let mut left = Table::new(Schema::new("L", &["k", "color"]));
+        left.push_row(vec![Value::Int(1), "red".into()]);
+        left.push_row(vec![Value::Int(2), "blue".into()]);
+        left.push_row(vec![Value::Int(1), "red".into()]);
+        let mut right = Table::new(Schema::new("R", &["k", "shape"]));
+        right.push_row(vec![Value::Int(1), "disc".into()]);
+        right.push_row(vec![Value::Int(3), "cube".into()]);
+        (left, right)
+    }
+
+    fn cfg(name: &str) -> TableConfig {
+        TableConfig {
+            join_column: "k".into(),
+            filter_columns: vec![if name == "L" { "color" } else { "shape" }.to_owned()],
+        }
+    }
+
+    fn session() -> Session<MockEngine> {
+        let mut s = Session::local(SessionConfig::new(1, 3).seed(99));
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        s
+    }
+
+    #[test]
+    fn create_execute_and_ledger() {
+        let mut s = session();
+        assert_eq!(s.catalog().len(), 2);
+        let q = JoinQuery::on("L", "k", "R", "k");
+        let result = s.execute(&q).unwrap();
+        assert_eq!(result.rows.len(), 2, "both k=1 rows of L match R row 0");
+        assert!(!result.cache_hit);
+        assert_eq!(result.series_index, 0);
+        let report = s.leakage_report();
+        assert_eq!(report.queries, 1);
+        assert!(report.within_bound);
+        assert_eq!(report.super_additive_excess, 0);
+    }
+
+    #[test]
+    fn repeated_query_hits_cache_and_skips_tkgen() {
+        let mut s = session();
+        let q = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]);
+        let r1 = s.execute(&q).unwrap();
+        let tkgen_after_first = s.stats().client.tkgen_calls;
+        assert_eq!(tkgen_after_first, 2);
+        let r2 = s.execute(&q).unwrap();
+        assert!(r2.cache_hit);
+        assert_eq!(
+            s.stats().client.tkgen_calls,
+            tkgen_after_first,
+            "repeat must not re-run SJ.TkGen"
+        );
+        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(s.stats().token_cache_hits, 1);
+        assert_eq!(s.stats().token_cache_misses, 1);
+    }
+
+    #[test]
+    fn duplicate_column_filters_intersect_and_cache_safely() {
+        // Two IN filters on one column are a conjunction; execution must
+        // intersect them (not last-wins), and the cache must never serve
+        // one ordering's tokens for the other unless they really are the
+        // same query. (Regression: order-sorted fingerprints used to
+        // collide while execution was order-dependent.)
+        let q_ab = JoinQuery::on("L", "k", "R", "k")
+            .filter("L", "color", vec!["red".into(), "blue".into()])
+            .filter("L", "color", vec!["blue".into()]);
+        let q_ba = JoinQuery::on("L", "k", "R", "k")
+            .filter("L", "color", vec!["blue".into()])
+            .filter("L", "color", vec!["red".into(), "blue".into()]);
+        let plain = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["blue".into()]);
+        assert_eq!(fingerprint(&q_ab), fingerprint(&q_ba));
+        assert_eq!(fingerprint(&q_ab), fingerprint(&plain));
+
+        let mut s = session();
+        let r1 = s.execute(&q_ab).unwrap();
+        let r2 = s.execute(&q_ba).unwrap();
+        let r3 = s.execute(&plain).unwrap();
+        assert!(r2.cache_hit && r3.cache_hit);
+        assert_eq!(r1.pairs, r2.pairs);
+        assert_eq!(r1.pairs, r3.pairs);
+        // And the intersection is really what executes: only blue rows
+        // of L (row 1, k=2) — no R row has k=2, so the join is empty,
+        // whereas color IN (red, blue) alone would match.
+        assert!(r1.rows.is_empty());
+        let red = s
+            .execute(JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]))
+            .unwrap();
+        assert!(!red.rows.is_empty());
+    }
+
+    #[test]
+    fn in_clause_bound_applies_to_effective_values_deterministically() {
+        // t = 3; four literal values but only one distinct: valid, and
+        // identically valid whether or not the cache is warm.
+        let dup4 = JoinQuery::on("L", "k", "R", "k").filter(
+            "L",
+            "color",
+            vec!["red".into(), "red".into(), "red".into(), "red".into()],
+        );
+        let mut cold = session();
+        let r_cold = cold.execute(&dup4).unwrap();
+        let mut warm = session();
+        warm.execute(JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]))
+            .unwrap();
+        let r_warm = warm.execute(&dup4).unwrap();
+        assert!(r_warm.cache_hit);
+        assert_eq!(r_cold.pairs, r_warm.pairs);
+        // Four *distinct* values still exceed t = 3, cold or warm.
+        let distinct4 = JoinQuery::on("L", "k", "R", "k").filter(
+            "L",
+            "color",
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        );
+        assert!(matches!(
+            cold.execute(&distinct4),
+            Err(DbError::InClauseTooLarge { got: 4, max: 3 })
+        ));
+        // A contradictory conjunction selects nothing and is rejected
+        // like an empty IN list.
+        let contradiction = JoinQuery::on("L", "k", "R", "k")
+            .filter("L", "color", vec!["red".into()])
+            .filter("L", "color", vec!["blue".into()]);
+        assert!(matches!(
+            cold.execute(&contradiction),
+            Err(DbError::EmptyInClause)
+        ));
+    }
+
+    #[test]
+    fn leakage_recorded_even_when_decryption_fails() {
+        // The server observed the join whether or not the client can
+        // open the payloads; a decrypt failure must not erase the
+        // observation from the ledger. Stage the failure with a backend
+        // that corrupts sealed payloads on the way back — also the
+        // smallest example of plugging a custom ServerApi into Session.
+        struct CorruptingBackend(LocalBackend<MockEngine>);
+        impl ServerApi<MockEngine> for CorruptingBackend {
+            fn handle(&mut self, request: Request<MockEngine>) -> Response {
+                let mut response = self.0.handle(request);
+                if let Response::JoinExecuted { result, .. } = &mut response {
+                    for pair in &mut result.pairs {
+                        if let Some(b) = pair.left_payload.first_mut() {
+                            *b ^= 0xff;
+                        }
+                    }
+                }
+                response
+            }
+        }
+
+        let mut s = Session::<MockEngine>::with_backend(
+            SessionConfig::new(1, 3).seed(99),
+            Box::new(CorruptingBackend(LocalBackend::new())),
+        );
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        let err = s.execute(JoinQuery::on("L", "k", "R", "k")).unwrap_err();
+        assert_eq!(err, DbError::PayloadCorrupted);
+        let report = s.leakage_report();
+        assert_eq!(report.queries, 1, "observation recorded despite the error");
+        assert!(report.visible_pairs > 0, "the matched pairs were observed");
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_duplicate_insensitive() {
+        let a = JoinQuery::on("L", "k", "R", "k")
+            .filter("L", "color", vec!["red".into(), "blue".into()])
+            .filter("R", "shape", vec!["disc".into()]);
+        let b = JoinQuery::on("L", "k", "R", "k")
+            .filter("R", "shape", vec!["disc".into(), "disc".into()])
+            .filter("L", "color", vec!["blue".into(), "red".into()]);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn distinct_queries_draw_fresh_tokens() {
+        let mut s = session();
+        let q1 = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]);
+        let q2 = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["blue".into()]);
+        s.execute(&q1).unwrap();
+        s.execute(&q2).unwrap();
+        assert_eq!(
+            s.stats().client.tkgen_calls,
+            4,
+            "2 sides × 2 distinct queries"
+        );
+        assert_eq!(s.stats().token_cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_off_always_regenerates() {
+        let mut s =
+            Session::<MockEngine>::local(SessionConfig::new(1, 3).seed(99).token_cache(false));
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        let q = JoinQuery::on("L", "k", "R", "k");
+        s.execute(&q).unwrap();
+        s.execute(&q).unwrap();
+        assert_eq!(s.stats().client.tkgen_calls, 4);
+        assert_eq!(s.stats().token_cache_hits, 0);
+    }
+
+    #[test]
+    fn sql_without_planner_is_an_error() {
+        let mut s = session();
+        assert!(matches!(
+            s.execute("SELECT * FROM L JOIN R ON k = k"),
+            Err(DbError::NoSqlPlanner)
+        ));
+    }
+
+    #[test]
+    fn executing_against_missing_table_propagates_backend_error() {
+        let mut s = session();
+        let q = JoinQuery::on("Ghost", "k", "R", "k");
+        assert!(matches!(s.execute(&q), Err(DbError::UnknownTable(_))));
+    }
+}

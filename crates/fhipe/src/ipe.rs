@@ -57,11 +57,7 @@ impl<E: Engine> Ipe<E> {
     }
 
     /// `IPE.KeyGen(msk, v)` with fresh `α`.
-    pub fn keygen(
-        msk: &IpeMasterKey<E>,
-        v: &[Fr],
-        rng: &mut dyn RandomSource,
-    ) -> IpeSecretKey<E> {
+    pub fn keygen(msk: &IpeMasterKey<E>, v: &[Fr], rng: &mut dyn RandomSource) -> IpeSecretKey<E> {
         assert_eq!(v.len(), msk.dim, "keygen vector dimension");
         let alpha = Fr::random_nonzero(rng);
         let vb = msk.b.row_vec_mul(v);

@@ -171,8 +171,8 @@ impl Matrix {
             if vr.is_zero() {
                 continue;
             }
-            for c in 0..self.n {
-                out[c] += vr * self.at(r, c);
+            for (c, out_c) in out.iter_mut().enumerate() {
+                *out_c += vr * self.at(r, c);
             }
         }
         out
@@ -282,9 +282,9 @@ mod tests {
         let m = Matrix::random(3, &mut r);
         let v: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
         let out = m.row_vec_mul(&v);
-        for c in 0..3 {
+        for (c, out_c) in out.iter().enumerate() {
             let expect: Fr = (0..3).map(|k| v[k] * m.at(k, c)).sum();
-            assert_eq!(out[c], expect);
+            assert_eq!(*out_c, expect);
         }
     }
 

@@ -54,6 +54,16 @@ impl LeakageLedger {
         self.history.len()
     }
 
+    /// Full per-query history in execution order.
+    pub fn history(&self) -> &[QueryLeakage] {
+        &self.history
+    }
+
+    /// The most recently recorded query, if any.
+    pub fn last(&self) -> Option<&QueryLeakage> {
+        self.history.last()
+    }
+
     /// True iff nothing recorded.
     pub fn is_empty(&self) -> bool {
         self.history.is_empty()
@@ -116,7 +126,9 @@ mod tests {
         Node::new(t, r)
     }
 
-    fn pairset(pairs: &[((&str, usize), (&str, usize))]) -> PairSet {
+    type RawPair<'a> = ((&'a str, usize), (&'a str, usize));
+
+    fn pairset(pairs: &[RawPair<'_>]) -> PairSet {
         pairs
             .iter()
             .map(|&((ta, ra), (tb, rb))| (n(ta, ra), n(tb, rb)))

@@ -164,12 +164,9 @@ mod tests {
     #[test]
     fn closure_of_chain_is_clique() {
         // a-b, b-c  ⇒ closure adds a-c.
-        let s: PairSet = [
-            (n("t", 0), n("t", 1)),
-            (n("t", 1), n("t", 2)),
-        ]
-        .into_iter()
-        .collect();
+        let s: PairSet = [(n("t", 0), n("t", 1)), (n("t", 1), n("t", 2))]
+            .into_iter()
+            .collect();
         let c = closure(&s);
         assert_eq!(c.len(), 3);
         assert!(c.contains(&n("t", 0), &n("t", 2)));
@@ -177,12 +174,9 @@ mod tests {
 
     #[test]
     fn closure_keeps_components_separate() {
-        let s: PairSet = [
-            (n("t", 0), n("t", 1)),
-            (n("t", 5), n("t", 6)),
-        ]
-        .into_iter()
-        .collect();
+        let s: PairSet = [(n("t", 0), n("t", 1)), (n("t", 5), n("t", 6))]
+            .into_iter()
+            .collect();
         let c = closure(&s);
         assert_eq!(c.len(), 2);
         assert!(!c.contains(&n("t", 0), &n("t", 5)));
@@ -215,12 +209,9 @@ mod tests {
 
     #[test]
     fn difference_and_subset() {
-        let big: PairSet = [
-            (n("t", 0), n("t", 1)),
-            (n("t", 2), n("t", 3)),
-        ]
-        .into_iter()
-        .collect();
+        let big: PairSet = [(n("t", 0), n("t", 1)), (n("t", 2), n("t", 3))]
+            .into_iter()
+            .collect();
         let small: PairSet = [(n("t", 0), n("t", 1))].into_iter().collect();
         assert!(small.is_subset(&big));
         assert!(!big.is_subset(&small));

@@ -1,5 +1,5 @@
-use eqjoin_pairing::*;
 use eqjoin_pairing::engine::Engine;
+use eqjoin_pairing::*;
 use std::time::Instant;
 fn main() {
     let mut rng = eqjoin_crypto::ChaChaRng::seed_from_u64(1);
@@ -13,17 +13,29 @@ fn main() {
     let q = Bls12::g2_mul_gen(&b);
     println!("g2 table + 1 mul: {:?}", t0.elapsed());
     let t0 = Instant::now();
-    for _ in 0..20 { let _ = Bls12::g1_mul_gen(&a); }
+    for _ in 0..20 {
+        let _ = Bls12::g1_mul_gen(&a);
+    }
     println!("g1_mul_gen: {:?}", t0.elapsed() / 20);
     let t0 = Instant::now();
-    for _ in 0..20 { let _ = Bls12::g2_mul_gen(&b); }
+    for _ in 0..20 {
+        let _ = Bls12::g2_mul_gen(&b);
+    }
     println!("g2_mul_gen: {:?}", t0.elapsed() / 20);
     let t0 = Instant::now();
-    for _ in 0..10 { let _ = Bls12::pair(&p, &q); }
+    for _ in 0..10 {
+        let _ = Bls12::pair(&p, &q);
+    }
     println!("single pairing: {:?}", t0.elapsed() / 10);
-    let ps: Vec<_> = (0..19).map(|i| Bls12::g1_mul_gen(&Fr::from_u64(i + 1))).collect();
-    let qs: Vec<_> = (0..19).map(|i| Bls12::g2_mul_gen(&Fr::from_u64(i + 7))).collect();
+    let ps: Vec<_> = (0..19)
+        .map(|i| Bls12::g1_mul_gen(&Fr::from_u64(i + 1)))
+        .collect();
+    let qs: Vec<_> = (0..19)
+        .map(|i| Bls12::g2_mul_gen(&Fr::from_u64(i + 7)))
+        .collect();
     let t0 = Instant::now();
-    for _ in 0..10 { let _ = Bls12::multi_pair(&ps, &qs); }
+    for _ in 0..10 {
+        let _ = Bls12::multi_pair(&ps, &qs);
+    }
     println!("multi-pairing (19 pairs): {:?}", t0.elapsed() / 10);
 }

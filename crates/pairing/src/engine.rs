@@ -169,8 +169,7 @@ impl Engine for Bls12 {
 
     fn multi_pair(ps: &[G1Affine], qs: &[G2Affine]) -> pr::Gt {
         assert_eq!(ps.len(), qs.len(), "multi_pair length mismatch");
-        let pairs: Vec<(G1Affine, G2Affine)> =
-            ps.iter().copied().zip(qs.iter().copied()).collect();
+        let pairs: Vec<(G1Affine, G2Affine)> = ps.iter().copied().zip(qs.iter().copied()).collect();
         pr::multi_pairing(&pairs)
     }
 
@@ -254,7 +253,10 @@ mod tests {
         let a = Fr::random(&mut rng);
         let b = Fr::random(&mut rng);
         let lhs = Bls12::pair(&Bls12::g1_mul_gen(&a), &Bls12::g2_mul_gen(&b));
-        let e_gen = Bls12::pair(&Bls12::g1_mul_gen(&Fr::one()), &Bls12::g2_mul_gen(&Fr::one()));
+        let e_gen = Bls12::pair(
+            &Bls12::g1_mul_gen(&Fr::one()),
+            &Bls12::g2_mul_gen(&Fr::one()),
+        );
         assert_eq!(lhs, Bls12::gt_pow(&e_gen, &(a * b)));
     }
 

@@ -332,9 +332,6 @@ mod tests {
     #[test]
     fn embeddings_compose() {
         let x = Fp::from_u64(9);
-        assert_eq!(
-            Fp12::from_fp(x) * Fp12::from_fp(x),
-            Fp12::from_fp(x * x)
-        );
+        assert_eq!(Fp12::from_fp(x) * Fp12::from_fp(x), Fp12::from_fp(x * x));
     }
 }

@@ -25,10 +25,7 @@ impl Fp2 {
 
     /// Embed an `Fp` element.
     pub fn from_fp(c0: Fp) -> Self {
-        Fp2 {
-            c0,
-            c1: Fp::zero(),
-        }
+        Fp2 { c0, c1: Fp::zero() }
     }
 
     /// The distinguished non-residue `ξ = 1 + u` used to build `Fp6`.

@@ -235,14 +235,8 @@ mod tests {
         let mut r = rng();
         let a = Fp2::random(&mut r);
         let b = Fp2::random(&mut r);
-        assert_eq!(
-            Fp6::from_fp2(a) * Fp6::from_fp2(b),
-            Fp6::from_fp2(a * b)
-        );
-        assert_eq!(
-            Fp6::from_fp2(a) + Fp6::from_fp2(b),
-            Fp6::from_fp2(a + b)
-        );
+        assert_eq!(Fp6::from_fp2(a) * Fp6::from_fp2(b), Fp6::from_fp2(a * b));
+        assert_eq!(Fp6::from_fp2(a) + Fp6::from_fp2(b), Fp6::from_fp2(a + b));
     }
 
     #[test]

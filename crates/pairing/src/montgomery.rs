@@ -133,14 +133,10 @@ fn reduce_once<const N: usize>(value: [u64; N], carry: u64, p: &[u64; N]) -> [u6
 }
 
 /// Montgomery product `a·b·R⁻¹ mod p` (CIOS).
-pub fn mont_mul<const N: usize>(
-    a: &[u64; N],
-    b: &[u64; N],
-    p: &[u64; N],
-    inv: u64,
-) -> [u64; N] {
+pub fn mont_mul<const N: usize>(a: &[u64; N], b: &[u64; N], p: &[u64; N], inv: u64) -> [u64; N] {
     let mut t = [0u64; N];
     let mut t_n = 0u64; // t[N], carried across outer iterations
+    #[allow(clippy::needless_range_loop)] // textbook CIOS indexing
     for i in 0..N {
         // t += a[i] * b
         let mut carry = 0u64;
@@ -211,11 +207,7 @@ pub fn inv_mod<const N: usize>(a: &[u64; N], p: &[u64; N]) -> Option<[u64; N]> {
     let is_even = |x: &[u64; N]| x[0] & 1 == 0;
     // Halve x, adding p first if x is odd; tracks values mod p.
     let halve_mod = |x: &[u64; N]| -> [u64; N] {
-        let (val, carry) = if is_even(x) {
-            (*x, 0)
-        } else {
-            add_limbs(x, p)
-        };
+        let (val, carry) = if is_even(x) { (*x, 0) } else { add_limbs(x, p) };
         let mut out = [0u64; N];
         let mut high = carry;
         for i in (0..N).rev() {

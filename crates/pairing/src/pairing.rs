@@ -90,10 +90,7 @@ fn untwist_consts() -> &'static (Fp12, Fp12) {
 /// Map a twist point into `E(Fp12): y² = x³ + 4`.
 pub(crate) fn untwist(q: &G2Affine) -> (Fp12, Fp12) {
     let (w2, w3) = untwist_consts();
-    (
-        Fp12::from_fp2(q.x) * *w2,
-        Fp12::from_fp2(q.y) * *w3,
-    )
+    (Fp12::from_fp2(q.x) * *w2, Fp12::from_fp2(q.y) * *w3)
 }
 
 /// Multiply `f` by a sparse line value `a + b·(v·w) + c·(v²·w)`
@@ -353,10 +350,7 @@ mod tests {
     fn untwist_lands_on_e_fp12() {
         let (x, y) = untwist(&g2_gen());
         // y² = x³ + 4 over Fp12.
-        assert_eq!(
-            y.square(),
-            x.square() * x + Fp12::from_fp(Fp::from_u64(4))
-        );
+        assert_eq!(y.square(), x.square() * x + Fp12::from_fp(Fp::from_u64(4)));
     }
 
     #[test]
@@ -367,8 +361,7 @@ mod tests {
         let q2 = g2::generator().double().to_affine();
         let (x1, y1) = untwist(&q);
         let (x2, y2) = untwist(&q2);
-        let lambda = (x1.square().double() + x1.square())
-            * (y1.double()).invert().unwrap();
+        let lambda = (x1.square().double() + x1.square()) * (y1.double()).invert().unwrap();
         let x_dbl = lambda.square() - x1.double();
         let y_dbl = lambda * (x1 - x_dbl) - y1;
         assert_eq!((x_dbl, y_dbl), (x2, y2));
@@ -462,8 +455,7 @@ mod tests {
         let pb = g1::mul_fr(g1::generator(), &b);
         let sum = pa.add(&pb).to_affine();
         let lhs = pairing(&sum, &g2_gen());
-        let rhs = pairing(&pa.to_affine(), &g2_gen())
-            .mul(&pairing(&pb.to_affine(), &g2_gen()));
+        let rhs = pairing(&pa.to_affine(), &g2_gen()).mul(&pairing(&pb.to_affine(), &g2_gen()));
         assert_eq!(lhs, rhs);
     }
 

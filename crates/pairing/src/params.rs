@@ -69,8 +69,16 @@ fn derive() -> Constants {
     let p_big = zp1_sq.mul(&r_big).div_exact_u64(3).sub(&z);
 
     // Structural sanity checks used throughout the tower construction.
-    assert_eq!(p_big.rem(&BigUint::from_u64(4)), BigUint::from_u64(3), "p ≡ 3 mod 4");
-    assert_eq!(p_big.rem(&BigUint::from_u64(6)), BigUint::from_u64(1), "p ≡ 1 mod 6");
+    assert_eq!(
+        p_big.rem(&BigUint::from_u64(4)),
+        BigUint::from_u64(3),
+        "p ≡ 3 mod 4"
+    );
+    assert_eq!(
+        p_big.rem(&BigUint::from_u64(6)),
+        BigUint::from_u64(1),
+        "p ≡ 1 mod 6"
+    );
     assert_eq!(p_big.bit_len(), 381);
     assert_eq!(r_big.bit_len(), 255);
 

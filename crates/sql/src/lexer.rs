@@ -172,7 +172,10 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
                 tokens.push((Token::Ident(input[start..pos].to_owned()), start));
             }
             other => {
-                return Err(SqlError::new(format!("unexpected character {other:?}"), pos));
+                return Err(SqlError::new(
+                    format!("unexpected character {other:?}"),
+                    pos,
+                ));
             }
         }
     }
@@ -184,7 +187,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|(t, _)| t).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     #[test]

@@ -18,6 +18,8 @@
 
 pub mod lexer;
 pub mod parser;
+pub mod planner;
 
 pub use lexer::{tokenize, SqlError, Token};
 pub use parser::{parse, parse_join_query, ColumnRef, ParsedQuery, ResolutionContext};
+pub use planner::SqlFrontend;

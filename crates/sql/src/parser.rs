@@ -229,18 +229,17 @@ impl ParsedQuery {
         let (on_right_table, on_right_col) = resolve_col(&self.on_right)?;
 
         // Orient the ON condition to (left table, right table).
-        let (left_join_column, right_join_column) = if on_left_table == self.left_table
-            && on_right_table == self.right_table
-        {
-            (on_left_col, on_right_col)
-        } else if on_left_table == self.right_table && on_right_table == self.left_table {
-            (on_right_col, on_left_col)
-        } else {
-            return Err(SqlError::new(
-                "ON condition must reference both joined tables",
-                0,
-            ));
-        };
+        let (left_join_column, right_join_column) =
+            if on_left_table == self.left_table && on_right_table == self.right_table {
+                (on_left_col, on_right_col)
+            } else if on_left_table == self.right_table && on_right_table == self.left_table {
+                (on_right_col, on_left_col)
+            } else {
+                return Err(SqlError::new(
+                    "ON condition must reference both joined tables",
+                    0,
+                ));
+            };
 
         let mut query = JoinQuery::on(
             &self.left_table,
@@ -261,10 +260,7 @@ impl ParsedQuery {
 }
 
 /// Parse and resolve in one step.
-pub fn parse_join_query(
-    input: &str,
-    ctx: &ResolutionContext<'_>,
-) -> Result<JoinQuery, SqlError> {
+pub fn parse_join_query(input: &str, ctx: &ResolutionContext<'_>) -> Result<JoinQuery, SqlError> {
     parse(input)?.resolve(ctx)
 }
 
@@ -349,11 +345,8 @@ mod tests {
         let ctx = ResolutionContext {
             tables: [("A", &a_cols), ("B", &b_cols)],
         };
-        let err = parse_join_query(
-            "SELECT * FROM A JOIN B ON A.k = B.k WHERE shared = 1",
-            &ctx,
-        )
-        .unwrap_err();
+        let err = parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE shared = 1", &ctx)
+            .unwrap_err();
         assert!(err.message.contains("ambiguous"));
     }
 
@@ -364,9 +357,8 @@ mod tests {
         let ctx = ResolutionContext {
             tables: [("A", &a_cols), ("B", &b_cols)],
         };
-        let err =
-            parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE ghost = 1", &ctx)
-                .unwrap_err();
+        let err = parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE ghost = 1", &ctx)
+            .unwrap_err();
         assert!(err.message.contains("not found"));
     }
 

@@ -1,0 +1,97 @@
+//! The [`SqlPlanner`] implementation that plugs this crate's parser into
+//! the engine's [`Session`](eqjoin_db::Session).
+
+use crate::parser::{parse, ResolutionContext};
+use eqjoin_db::session::{Catalog, SqlPlanner};
+use eqjoin_db::{DbError, JoinQuery};
+
+/// The SQL front-end as a session planner: parses the supported
+/// statement shape and resolves bare column references against the
+/// session catalog.
+///
+/// ```
+/// use eqjoin_db::session::{Catalog, SqlPlanner};
+/// use eqjoin_sql::SqlFrontend;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("A".into(), vec!["k".into(), "x".into()]);
+/// catalog.insert("B".into(), vec!["k".into(), "y".into()]);
+/// let q = SqlFrontend
+///     .plan("SELECT * FROM A JOIN B ON A.k = B.k WHERE x = 1", &catalog)
+///     .unwrap();
+/// assert_eq!(q.filters[0].table, "A");
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SqlFrontend;
+
+impl SqlPlanner for SqlFrontend {
+    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<JoinQuery, DbError> {
+        let parsed = parse(sql).map_err(|e| DbError::Sql(e.to_string()))?;
+        let left_cols = catalog
+            .get(&parsed.left_table)
+            .ok_or_else(|| DbError::UnknownTable(parsed.left_table.clone()))?;
+        let right_cols = catalog
+            .get(&parsed.right_table)
+            .ok_or_else(|| DbError::UnknownTable(parsed.right_table.clone()))?;
+        let ctx = ResolutionContext {
+            tables: [
+                (parsed.left_table.as_str(), left_cols.as_slice()),
+                (parsed.right_table.as_str(), right_cols.as_slice()),
+            ],
+        };
+        parsed
+            .resolve(&ctx)
+            .map_err(|e| DbError::Sql(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            "Employees".into(),
+            vec![
+                "Record".into(),
+                "Employee".into(),
+                "Role".into(),
+                "Team".into(),
+            ],
+        );
+        c.insert("Teams".into(), vec!["Key".into(), "Name".into()]);
+        c
+    }
+
+    #[test]
+    fn plans_the_papers_query_from_the_catalog() {
+        let q = SqlFrontend
+            .plan(
+                "SELECT * FROM Employees JOIN Teams ON Team = Key \
+                 WHERE Name = 'Web Application' AND Role = 'Tester'",
+                &catalog(),
+            )
+            .unwrap();
+        assert_eq!(q.left_table, "Employees");
+        assert_eq!(q.left_join_column, "Team");
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters[0].table, "Teams");
+    }
+
+    #[test]
+    fn unknown_table_reported_as_db_error() {
+        let err = SqlFrontend
+            .plan("SELECT * FROM Ghost JOIN Teams ON a = Key", &catalog())
+            .unwrap_err();
+        assert_eq!(err, DbError::UnknownTable("Ghost".into()));
+    }
+
+    #[test]
+    fn parse_errors_become_sql_errors() {
+        assert!(matches!(
+            SqlFrontend.plan("SELECT nope", &catalog()),
+            Err(DbError::Sql(_))
+        ));
+    }
+}

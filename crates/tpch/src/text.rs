@@ -5,16 +5,16 @@
 use eqjoin_crypto::RandomSource;
 
 /// TPC-H market segments (exact dbgen values).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// TPC-H order priorities (exact dbgen values).
-pub const PRIORITIES: [&str; 5] = [
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
-];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// TPC-H order status values.
 pub const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
@@ -23,12 +23,31 @@ pub const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
 pub const NATION_COUNT: i64 = 25;
 
 const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto beans",
-    "instructions", "dependencies", "excuses", "platelets",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
 ];
 
 const VERBS: [&str; 10] = [
-    "sleep", "wake", "nag", "haggle", "cajole", "integrate", "detect", "snooze", "doze", "boost",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "cajole",
+    "integrate",
+    "detect",
+    "snooze",
+    "doze",
+    "boost",
 ];
 
 const ADJECTIVES: [&str; 10] = [
@@ -37,7 +56,14 @@ const ADJECTIVES: [&str; 10] = [
 ];
 
 const ADVERBS: [&str; 8] = [
-    "quickly", "slowly", "carefully", "furiously", "blithely", "daringly", "evenly", "finally",
+    "quickly",
+    "slowly",
+    "carefully",
+    "furiously",
+    "blithely",
+    "daringly",
+    "evenly",
+    "finally",
 ];
 
 fn pick<'a>(words: &'a [&'a str], rng: &mut dyn RandomSource) -> &'a str {

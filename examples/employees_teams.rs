@@ -18,7 +18,10 @@ fn main() {
     let (teams, employees) = example_2_1();
     println!("Tables 1 & 2 of the paper:");
     println!("  Teams:     {} rows (Key, Name)", teams.len());
-    println!("  Employees: {} rows (Record, Employee, Role, Team)", employees.len());
+    println!(
+        "  Employees: {} rows (Record, Employee, Role, Team)",
+        employees.len()
+    );
     println!();
 
     let setup = SchemeSetup {
@@ -41,8 +44,8 @@ fn main() {
     ];
 
     println!(
-        "{:<28} {:>4} {:>4} {:>4}  {}",
-        "scheme", "t0", "t1", "t2", "verdict"
+        "{:<28} {:>4} {:>4} {:>4}  verdict",
+        "scheme", "t0", "t1", "t2"
     );
     println!("{}", "-".repeat(76));
     for scheme in schemes.iter_mut() {

@@ -2,6 +2,11 @@
 //! query series under all four schemes and print the cumulative
 //! visible-pair counts next to the paper's transitive-closure bound.
 //!
+//! Secure Join runs through the engine's [`Session`](eqjoin::Session),
+//! whose embedded ledger produces the verdict automatically
+//! (`leakage_report()`); the example cross-checks it against the ledger
+//! it builds by hand for every scheme.
+//!
 //! ```sh
 //! cargo run --release --example multi_query_leakage
 //! ```
@@ -27,8 +32,14 @@ fn main() {
     );
 
     let setup = SchemeSetup {
-        left: ("custkey".into(), vec!["mktsegment".into(), "selectivity".into()]),
-        right: ("custkey".into(), vec!["orderpriority".into(), "selectivity".into()]),
+        left: (
+            "custkey".into(),
+            vec!["mktsegment".into(), "selectivity".into()],
+        ),
+        right: (
+            "custkey".into(),
+            vec!["orderpriority".into(), "selectivity".into()],
+        ),
         t: 3,
     };
 
@@ -43,18 +54,26 @@ fn main() {
             .filter("Customers", "selectivity", vec!["1/25".into()])
             .filter("Orders", "orderpriority", vec!["1-URGENT".into()]),
         JoinQuery::on("Customers", "custkey", "Orders", "custkey")
-            .filter("Customers", "mktsegment", vec!["MACHINERY".into(), "FURNITURE".into()])
+            .filter(
+                "Customers",
+                "mktsegment",
+                vec!["MACHINERY".into(), "FURNITURE".into()],
+            )
             .filter("Orders", "selectivity", vec!["1/12.5".into()]),
         JoinQuery::on("Customers", "custkey", "Orders", "custkey")
             .filter("Customers", "selectivity", vec!["1/50".into()])
-            .filter("Orders", "orderpriority", vec!["5-LOW".into(), "4-NOT SPECIFIED".into()]),
+            .filter(
+                "Orders",
+                "orderpriority",
+                vec!["5-LOW".into(), "4-NOT SPECIFIED".into()],
+            ),
     ];
 
+    let mut secure = SecureJoinScheme::<MockEngine>::new(2, 3, 8);
     let mut schemes: Vec<Box<dyn JoinScheme>> = vec![
         Box::new(DetScheme::new([5; 32])),
         Box::new(CryptDbScheme::new(6)),
         Box::new(HahnScheme::<MockEngine>::new(7)),
-        Box::new(SecureJoinScheme::<MockEngine>::new(2, 3, 8)),
     ];
 
     println!(
@@ -67,41 +86,67 @@ fn main() {
     );
     println!("{}", "-".repeat(30 + 8 * (series.len() + 1)));
 
-    let mut bound_series: Vec<usize> = Vec::new();
     for scheme in schemes.iter_mut() {
-        let t0 = scheme.upload(&customers, &orders, &setup).len();
-        let mut ledger = LeakageLedger::new();
-        let mut row = format!("{:<28} {:>8}", scheme.name(), t0);
-        for (i, query) in series.iter().enumerate() {
-            let out = scheme.run_query(query);
-            ledger.record(QueryLeakage {
-                query_id: i as u64,
-                per_query: out.per_query_leakage,
-                cumulative_visible: scheme.visible_pairs(),
-            });
-            row.push_str(&format!("{:>8}", scheme.visible_pairs().len()));
-        }
-        println!("{row}");
-        if scheme.name().starts_with("secure-join") {
-            bound_series = ledger
-                .growth_series()
-                .iter()
-                .map(|(_, _, bound)| *bound)
-                .collect();
-            assert!(
-                ledger.is_within_closure_bound(),
-                "secure join must stay within the bound"
-            );
-        }
+        run_scheme(scheme.as_mut(), &customers, &orders, &setup, &series);
     }
+
+    // Secure Join last: its row doubles as the bound cross-check.
+    let manual_ledger = run_scheme(&mut secure, &customers, &orders, &setup, &series);
+    let bound_series: Vec<usize> = manual_ledger
+        .growth_series()
+        .iter()
+        .map(|(_, _, bound)| *bound)
+        .collect();
+    assert!(
+        manual_ledger.is_within_closure_bound(),
+        "secure join must stay within the bound"
+    );
+
+    // The session's embedded ledger reproduces the manual bookkeeping.
+    let report = secure.session().leakage_report();
+    assert_eq!(report.queries, manual_ledger.len());
+    assert_eq!(report.visible_pairs, manual_ledger.visible_now().len());
+    assert_eq!(report.closure_bound, manual_ledger.closure_bound().len());
+    assert!(report.within_bound && report.super_additive_excess == 0);
+
     let mut bound_row = format!("{:<28} {:>8}", "closure bound (paper)", 0);
     for b in &bound_series {
         bound_row.push_str(&format!("{b:>8}"));
     }
     println!("{bound_row}");
     println!(
-        "\nSecure Join tracks the transitive-closure bound exactly; Hahn et al. \
+        "\nsession.leakage_report() confirms the manual ledger: {} visible pairs \
+         == closure bound {}, no super-additive excess",
+        report.visible_pairs, report.closure_bound
+    );
+    println!(
+        "Secure Join tracks the transitive-closure bound exactly; Hahn et al. \
          drifts above it as unwrapped rows from different queries accumulate; \
          CryptDB and DET sit at full disclosure from the first query / upload."
     );
+}
+
+/// Run the series under one scheme, print its row, and return the
+/// manually-built ledger.
+fn run_scheme(
+    scheme: &mut dyn JoinScheme,
+    customers: &eqjoin::db::Table,
+    orders: &eqjoin::db::Table,
+    setup: &SchemeSetup,
+    series: &[JoinQuery],
+) -> LeakageLedger {
+    let t0 = scheme.upload(customers, orders, setup).len();
+    let mut ledger = LeakageLedger::new();
+    let mut row = format!("{:<28} {:>8}", scheme.name(), t0);
+    for (i, query) in series.iter().enumerate() {
+        let out = scheme.run_query(query);
+        ledger.record(QueryLeakage {
+            query_id: i as u64,
+            per_query: out.per_query_leakage,
+            cumulative_visible: scheme.visible_pairs(),
+        });
+        row.push_str(&format!("{:>8}", scheme.visible_pairs().len()));
+    }
+    println!("{row}");
+    ledger
 }

@@ -1,100 +1,64 @@
 //! Quickstart: encrypt two tiny tables, run one SQL join over the
-//! encrypted data, decrypt the result.
+//! encrypted data through a [`Session`], print the decrypted result.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use eqjoin::db::{DbClient, DbServer, JoinOptions, Schema, Table, TableConfig, Value};
+use eqjoin::db::{Schema, SessionConfig, Table, TableConfig, Value};
 use eqjoin::pairing::Bls12;
-use eqjoin::sql::{parse_join_query, ResolutionContext};
 
 fn main() {
-    // 1. Plaintext data: a users table and a purchases table.
+    // One session = keys + SQL planning + transport + leakage ledger,
+    // on the real BLS12-381 engine (m = 2 filter columns, IN ≤ 3).
+    let mut session = eqjoin::session::<Bls12>(SessionConfig::new(2, 3).seed(0xec10));
+
     let mut users = Table::new(Schema::new("Users", &["uid", "country", "tier"]));
     users.push_row(vec![Value::Int(1), "DE".into(), "gold".into()]);
     users.push_row(vec![Value::Int(2), "FR".into(), "silver".into()]);
     users.push_row(vec![Value::Int(3), "DE".into(), "gold".into()]);
-
     let mut purchases = Table::new(Schema::new("Purchases", &["pid", "uid", "item"]));
     purchases.push_row(vec![Value::Int(100), Value::Int(1), "laptop".into()]);
     purchases.push_row(vec![Value::Int(101), Value::Int(2), "phone".into()]);
     purchases.push_row(vec![Value::Int(102), Value::Int(3), "desk".into()]);
     purchases.push_row(vec![Value::Int(103), Value::Int(1), "monitor".into()]);
 
-    // 2. The trusted client: one join context with m = 2 filter columns
-    //    and IN clauses of up to t = 3 values, on the real BLS12-381
-    //    pairing engine.
-    let mut client = DbClient::<Bls12>::new(2, 3, 0xec10);
-    let mut server = DbServer::new();
+    let users_cfg = TableConfig {
+        join_column: "uid".into(),
+        filter_columns: vec!["country".into(), "tier".into()],
+    };
+    let purchases_cfg = TableConfig {
+        join_column: "uid".into(),
+        filter_columns: vec!["item".into()],
+    };
+    session
+        .create_table(&users, users_cfg)
+        .expect("encrypt users");
+    session
+        .create_table(&purchases, purchases_cfg)
+        .expect("encrypt purchases");
 
-    server.insert_table(
-        client
-            .encrypt_table(
-                &users,
-                TableConfig {
-                    join_column: "uid".into(),
-                    filter_columns: vec!["country".into(), "tier".into()],
-                },
-            )
-            .expect("encrypt users"),
-    );
-    server.insert_table(
-        client
-            .encrypt_table(
-                &purchases,
-                TableConfig {
-                    join_column: "uid".into(),
-                    filter_columns: vec!["item".into()],
-                },
-            )
-            .expect("encrypt purchases"),
-    );
-    println!("uploaded 2 encrypted tables (probabilistic ciphertexts — nothing leaks at rest)");
-
-    // 3. A SQL join with selection filters.
-    let user_cols = users.schema.columns.clone();
-    let purchase_cols = purchases.schema.columns.clone();
-    let sql = "SELECT * FROM Users JOIN Purchases ON Users.uid = Purchases.uid \
-               WHERE country = 'DE' AND item IN ('laptop', 'desk')";
-    let query = parse_join_query(
-        sql,
-        &ResolutionContext {
-            tables: [("Users", &user_cols), ("Purchases", &purchase_cols)],
-        },
-    )
-    .expect("query parses");
-    println!("query: {sql}");
-
-    // 4. Client issues tokens; server joins without learning anything
-    //    beyond the matching pattern of selected rows.
-    let tokens = client.query_tokens(&query).expect("tokens");
-    let (result, observation) = server
-        .execute_join(&tokens, &JoinOptions::default())
-        .expect("join");
-    println!(
-        "server: decrypted {} rows, matched {} pairs in {:?} (+{:?} matching)",
-        result.stats.rows_decrypted,
-        result.stats.matched_pairs,
-        result.stats.decrypt_time,
-        result.stats.match_time,
-    );
-    println!(
-        "server observed {} equality class(es) — its entire view of the data",
-        observation.equality_classes.len()
-    );
-
-    // 5. Client decrypts the matched payloads.
-    let rows = client.decrypt_result(&query, &result).expect("decrypt");
-    println!("results ({}):", rows.len());
-    for row in &rows {
+    // SQL goes parse → resolve → tokens → encrypted join → decrypt in
+    // one call; the server only ever sees ciphertexts and tokens.
+    let result = session
+        .execute(
+            "SELECT * FROM Users JOIN Purchases ON Users.uid = Purchases.uid \
+             WHERE country = 'DE' AND item IN ('laptop', 'desk')",
+        )
+        .expect("query");
+    for row in &result.rows {
         println!(
-            "  θ = {} | user: country={} tier={} | purchase: item={}",
+            "uid = {} | country={} tier={} | item={}",
             row.theta,
             row.left.get(1),
             row.left.get(2),
             row.right.get(2),
         );
     }
-    assert_eq!(rows.len(), 2, "DE users with laptop/desk purchases");
+    assert_eq!(result.rows.len(), 2, "DE users with laptop/desk purchases");
+    println!(
+        "server decrypted {} rows; leakage within paper bound: {}",
+        result.stats.rows_decrypted,
+        session.leakage_report().within_bound,
+    );
 }

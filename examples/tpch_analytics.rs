@@ -1,6 +1,8 @@
 //! TPC-H analytics over encrypted data: generate `Customers`/`Orders`,
-//! encrypt, and run a small analyst workload of SQL join queries with
-//! selectivity and IN-clause filters, reporting server-side timings.
+//! encrypt them into a [`Session`](eqjoin::Session), and run a small
+//! analyst workload of SQL join queries with selectivity and IN-clause
+//! filters, reporting server-side timings. The workload repeats its
+//! first query at the end, so the session token cache gets one hit.
 //!
 //! Arguments: `[scale_factor] [engine]` where engine ∈ {mock, bls}.
 //!
@@ -9,9 +11,8 @@
 //! cargo run --release --example tpch_analytics -- 0.01 mock
 //! ```
 
-use eqjoin::db::{DbClient, DbServer, JoinOptions, TableConfig};
+use eqjoin::db::{SessionConfig, TableConfig};
 use eqjoin::pairing::{Bls12, Engine, MockEngine};
-use eqjoin::sql::{parse_join_query, ResolutionContext};
 use eqjoin::tpch::{generate_customers, generate_orders, TpchConfig};
 use std::time::Instant;
 
@@ -26,6 +27,10 @@ fn workload() -> Vec<&'static str> {
         // Priority sweep.
         "SELECT * FROM Customers JOIN Orders ON Customers.custkey = Orders.custkey \
          WHERE Customers.selectivity = '1/25' AND orderpriority IN ('1-URGENT', '2-HIGH')",
+        // The dashboard refreshes: query 1 again, served from the token
+        // cache without re-running SJ.TkGen.
+        "SELECT * FROM Customers JOIN Orders ON Customers.custkey = Orders.custkey \
+         WHERE Customers.selectivity = '1/100' AND Orders.selectivity = '1/100'",
     ]
 }
 
@@ -41,65 +46,73 @@ fn run<E: Engine>(scale: f64) {
         t0.elapsed()
     );
 
-    let mut client = DbClient::<E>::new(2, 4, 1);
-    client.enable_prefilter(true); // the configuration the paper measures
-    let mut server = DbServer::new();
+    // The configuration the paper measures: pre-filter on.
+    let mut session = eqjoin::session::<E>(SessionConfig::new(2, 4).seed(1).prefilter(true));
 
     let t0 = Instant::now();
-    server.insert_table(
-        client
-            .encrypt_table(
-                &customers,
-                TableConfig {
-                    join_column: "custkey".into(),
-                    filter_columns: vec!["mktsegment".into(), "selectivity".into()],
-                },
-            )
-            .expect("encrypt customers"),
+    session
+        .create_table(
+            &customers,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt customers");
+    session
+        .create_table(
+            &orders,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+            },
+        )
+        .expect("encrypt orders");
+    println!(
+        "encrypted + uploaded both tables in {:?} (engine: {})",
+        t0.elapsed(),
+        E::NAME
     );
-    server.insert_table(
-        client
-            .encrypt_table(
-                &orders,
-                TableConfig {
-                    join_column: "custkey".into(),
-                    filter_columns: vec!["orderpriority".into(), "selectivity".into()],
-                },
-            )
-            .expect("encrypt orders"),
-    );
-    println!("encrypted + uploaded both tables in {:?} (engine: {})", t0.elapsed(), E::NAME);
     println!();
 
-    let customer_cols = customers.schema.columns.clone();
-    let order_cols = orders.schema.columns.clone();
-    let ctx = ResolutionContext {
-        tables: [("Customers", &customer_cols), ("Orders", &order_cols)],
-    };
-
     for sql in workload() {
-        let query = parse_join_query(sql, &ctx).expect("query parses");
-        let tokens = client.query_tokens(&query).expect("tokens");
-        let (result, _) = server
-            .execute_join(&tokens, &JoinOptions::default())
-            .expect("join");
-        let rows = client.decrypt_result(&query, &result).expect("decrypt");
-        println!("query: {}", sql.split_whitespace().collect::<Vec<_>>().join(" "));
+        let result = session.execute(sql).expect("query");
+        println!(
+            "query: {}",
+            sql.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
         println!(
             "  -> {} joined rows | {} rows decrypted server-side \
-             ({} pre-filtered out) | SJ.Dec {:?} | SJ.Match {:?}",
-            rows.len(),
+             ({} pre-filtered out) | SJ.Dec {:?} | SJ.Match {:?}{}",
+            result.rows.len(),
             result.stats.rows_decrypted,
             result.stats.rows_prefiltered_out,
             result.stats.decrypt_time,
             result.stats.match_time,
+            if result.cache_hit {
+                " | token cache hit"
+            } else {
+                ""
+            },
         );
     }
+
+    let stats = session.stats();
+    println!(
+        "\nsession: {} queries, {} SJ.TkGen calls ({} cache hits), leakage within bound: {}",
+        stats.queries_executed,
+        stats.client.tkgen_calls,
+        stats.token_cache_hits,
+        session.leakage_report().within_bound,
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).map(|s| s.parse().expect("scale factor")).unwrap_or(0.002);
+    let scale: f64 = args
+        .get(1)
+        .map(|s| s.parse().expect("scale factor"))
+        .unwrap_or(0.002);
     let engine = args.get(2).map(String::as_str).unwrap_or("mock");
     match engine {
         "bls" => run::<Bls12>(scale),

@@ -1,11 +1,42 @@
 //! # eqjoin — Equi-Joins over Encrypted Data for Series of Queries
 //!
-//! Facade crate re-exporting the full reproduction of Shafieinejad et al.,
-//! *"Equi-Joins over Encrypted Data for Series of Queries"* (ICDE 2022).
+//! Facade crate re-exporting the full reproduction of Shafieinejad et
+//! al., *"Equi-Joins over Encrypted Data for Series of Queries"*
+//! (ICDE 2022).
 //!
-//! Start with [`db::EncryptedDatabase`] for the end-to-end client/server
-//! workflow, or [`core`] for the raw `SJ.{Setup, Enc, TokenGen, Dec, Match}`
-//! scheme. See `examples/quickstart.rs` for a five-minute tour.
+//! The primary entry point is the [`Session`] API — one object owning
+//! keys, SQL planning, transport and per-query leakage accounting:
+//!
+//! ```text
+//!   session(config)                        backend (ServerApi)
+//!   ┌──────────────────────────┐      ┌───────────────────────────┐
+//!   │ create_table(plain, cfg) ┼──────▶ encrypted tables          │
+//!   │ execute("SELECT * …")    ┼──────▶ SJ.Dec + SJ.Match         │
+//!   │   └ token cache          │◀─────┼ result + observation      │
+//!   │ leakage_report()         │      └───────────────────────────┘
+//!   └──────────────────────────┘
+//! ```
+//!
+//! ```
+//! use eqjoin::db::{Schema, SessionConfig, Table, TableConfig, Value};
+//! use eqjoin::pairing::MockEngine;
+//!
+//! let mut session = eqjoin::session::<MockEngine>(SessionConfig::new(1, 2));
+//! for name in ["L", "R"] {
+//!     let mut t = Table::new(Schema::new(name, &["k", "a"]));
+//!     t.push_row(vec![Value::Int(1), name.into()]);
+//!     let cfg = TableConfig { join_column: "k".into(), filter_columns: vec!["a".into()] };
+//!     session.create_table(&t, cfg).unwrap();
+//! }
+//! let result = session.execute("SELECT * FROM L JOIN R ON L.k = R.k").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! assert!(session.leakage_report().within_bound);
+//! ```
+//!
+//! Underneath: [`db::DbClient`]/[`db::DbServer`] are the documented
+//! low-level layer (manual token shuttling), and [`core`] holds the raw
+//! `SJ.{Setup, Enc, TokenGen, Dec, Match}` scheme. See
+//! `examples/quickstart.rs` for the five-minute tour.
 
 pub use eqjoin_baselines as baselines;
 pub use eqjoin_core as core;
@@ -16,3 +47,11 @@ pub use eqjoin_leakage as leakage;
 pub use eqjoin_pairing as pairing;
 pub use eqjoin_sql as sql;
 pub use eqjoin_tpch as tpch;
+
+pub use eqjoin_db::{Session, SessionConfig};
+
+/// A local-backend [`Session`] with the SQL front-end installed — the
+/// one-call way to run SQL over encrypted tables.
+pub fn session<E: eqjoin_pairing::Engine>(config: SessionConfig) -> Session<E> {
+    Session::local(config).with_planner(Box::new(eqjoin_sql::SqlFrontend))
+}

@@ -11,10 +11,10 @@
 //! | Hahn et al.   | 0  | 1  | 6  |  ← super-additive
 //! | Secure Join   | 0  | 1  | 2  |  ← the paper's bound
 
+use eqjoin::baselines::ground_truth::example_2_1;
 use eqjoin::baselines::{
     CryptDbScheme, DetScheme, HahnScheme, JoinScheme, SchemeSetup, SecureJoinScheme,
 };
-use eqjoin::baselines::ground_truth::example_2_1;
 use eqjoin::db::JoinQuery;
 use eqjoin::leakage::{LeakageLedger, QueryLeakage};
 use eqjoin::pairing::MockEngine;
@@ -126,5 +126,8 @@ fn growth_series_orders_schemes_by_security() {
     let sj_series = sj.growth_series();
     let hahn_series = hahn.growth_series();
     assert!(sj_series[0].1 == hahn_series[0].1, "equal at t1");
-    assert!(sj_series[1].1 < hahn_series[1].1, "SJ strictly better at t2");
+    assert!(
+        sj_series[1].1 < hahn_series[1].1,
+        "SJ strictly better at t2"
+    );
 }

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 /// A compact description of a random test instance.
 #[derive(Debug, Clone)]
 struct Instance {
-    left_rows: Vec<(u8, u8)>,  // (join key, attr) domains kept tiny to force collisions
+    left_rows: Vec<(u8, u8)>, // (join key, attr) domains kept tiny to force collisions
     right_rows: Vec<(u8, u8)>,
     left_filter: Option<Vec<u8>>,
     right_filter: Option<Vec<u8>>,
@@ -28,12 +28,14 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
         proptest::option::of(proptest::collection::vec(0u8..4, 1..3)),
         proptest::option::of(proptest::collection::vec(0u8..4, 1..3)),
     )
-        .prop_map(|(left_rows, right_rows, left_filter, right_filter)| Instance {
-            left_rows,
-            right_rows,
-            left_filter,
-            right_filter,
-        })
+        .prop_map(
+            |(left_rows, right_rows, left_filter, right_filter)| Instance {
+                left_rows,
+                right_rows,
+                left_filter,
+                right_filter,
+            },
+        )
 }
 
 fn build_table(name: &str, rows: &[(u8, u8)]) -> Table {

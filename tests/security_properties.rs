@@ -8,9 +8,7 @@
 //! verified in `eqjoin-fhipe`'s cross-engine tests) so thousands of
 //! trials are cheap.
 
-use eqjoin::core::{
-    embed_attribute, RowEncoding, SecureJoin, SjParams, SjTableSide,
-};
+use eqjoin::core::{embed_attribute, RowEncoding, SecureJoin, SjParams, SjTableSide};
 use eqjoin::crypto::ChaChaRng;
 use eqjoin::pairing::MockEngine;
 
@@ -34,19 +32,17 @@ fn run_trial(trial: &Trial, rng: &mut ChaChaRng, counter: u64) -> bool {
     } else {
         format!("join-{counter}-other")
     };
-    let row_a = RowEncoding::from_bytes(
-        join_a.as_bytes(),
-        &[b"attrA".to_vec(), b"other".to_vec()],
-    );
-    let row_b = RowEncoding::from_bytes(
-        join_b.as_bytes(),
-        &[b"attrB".to_vec(), b"other".to_vec()],
-    );
+    let row_a = RowEncoding::from_bytes(join_a.as_bytes(), &[b"attrA".to_vec(), b"other".to_vec()]);
+    let row_b = RowEncoding::from_bytes(join_b.as_bytes(), &[b"attrB".to_vec(), b"other".to_vec()]);
     let ct_a = Sj::encrypt_row(&msk, &row_a, rng);
     let ct_b = Sj::encrypt_row(&msk, &row_b, rng);
 
     let k1 = Sj::fresh_query_key(rng);
-    let k2 = if trial.same_query { k1 } else { Sj::fresh_query_key(rng) };
+    let k2 = if trial.same_query {
+        k1
+    } else {
+        Sj::fresh_query_key(rng)
+    };
 
     // Filters on attribute 0: hit or miss the row's value.
     let filt = |hit: bool, actual: &[u8]| -> Vec<Option<Vec<eqjoin::pairing::Fr>>> {

@@ -1,25 +1,34 @@
-//! TPC-H workload integration: encrypted `Orders ⋈ Customers` on
-//! `custkey` with selectivity filters, validated against the plaintext
-//! reference join (mock engine at a small scale factor; one BLS12-381
-//! smoke run at a tiny scale).
+//! TPC-H workload integration through the [`Session`](eqjoin::Session)
+//! API: encrypted `Orders ⋈ Customers` on `custkey` with selectivity
+//! filters, validated against the plaintext reference join (mock engine
+//! at a small scale factor; one BLS12-381 smoke run at a tiny scale).
 
 use eqjoin::baselines::ground_truth;
-use eqjoin::db::{DbClient, DbServer, JoinAlgorithm, JoinOptions, JoinQuery, TableConfig};
-use eqjoin::pairing::{Bls12, MockEngine};
+use eqjoin::db::{JoinAlgorithm, JoinQuery, Session, SessionConfig, Table, TableConfig};
+use eqjoin::pairing::{Bls12, Engine, MockEngine};
 use eqjoin::tpch::{generate_customers, generate_orders, TpchConfig};
 
-fn customer_config() -> TableConfig {
-    TableConfig {
-        join_column: "custkey".into(),
-        filter_columns: vec!["mktsegment".into(), "selectivity".into()],
-    }
-}
-
-fn orders_config() -> TableConfig {
-    TableConfig {
-        join_column: "custkey".into(),
-        filter_columns: vec!["orderpriority".into(), "selectivity".into()],
-    }
+fn tpch_session<E: Engine>(config: SessionConfig, customers: &Table, orders: &Table) -> Session<E> {
+    let mut session = Session::<E>::local(config);
+    session
+        .create_table(
+            customers,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+            },
+        )
+        .unwrap();
+    session
+        .create_table(
+            orders,
+            TableConfig {
+                join_column: "custkey".into(),
+                filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+            },
+        )
+        .unwrap();
+    session
 }
 
 #[test]
@@ -27,24 +36,18 @@ fn selectivity_filtered_join_matches_reference_mock() {
     let cfg = TpchConfig::new(0.002, 4242); // 300 customers, 3000 orders
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
-
-    let mut client = DbClient::<MockEngine>::new(2, 4, 99);
-    client.enable_prefilter(true);
-    let mut server = DbServer::new();
-    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
-    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+    let mut session = tpch_session::<MockEngine>(
+        SessionConfig::new(2, 4).seed(99).prefilter(true),
+        &customers,
+        &orders,
+    );
 
     let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
         .filter("Customers", "selectivity", vec!["1/25".into()])
         .filter("Orders", "selectivity", vec!["1/25".into()]);
-    let tokens = client.query_tokens(&query).unwrap();
-    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
+    let result = session.execute(&query).unwrap();
 
-    let mut got: Vec<(usize, usize)> = result
-        .pairs
-        .iter()
-        .map(|p| (p.left_row, p.right_row))
-        .collect();
+    let mut got = result.pairs.clone();
     got.sort_unstable();
     let expected = ground_truth::reference_join(&customers, &orders, &query);
     assert_eq!(got, expected);
@@ -61,11 +64,8 @@ fn in_clause_query_matches_reference_mock() {
     let cfg = TpchConfig::new(0.001, 7);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
-
-    let mut client = DbClient::<MockEngine>::new(2, 4, 13);
-    let mut server = DbServer::new();
-    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
-    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
+    let mut session =
+        tpch_session::<MockEngine>(SessionConfig::new(2, 4).seed(13), &customers, &orders);
 
     // IN over market segments and order priorities.
     let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
@@ -79,13 +79,8 @@ fn in_clause_query_matches_reference_mock() {
             "orderpriority",
             vec!["1-URGENT".into(), "2-HIGH".into(), "5-LOW".into()],
         );
-    let tokens = client.query_tokens(&query).unwrap();
-    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
-    let mut got: Vec<(usize, usize)> = result
-        .pairs
-        .iter()
-        .map(|p| (p.left_row, p.right_row))
-        .collect();
+    let result = session.execute(&query).unwrap();
+    let mut got = result.pairs.clone();
     got.sort_unstable();
     assert_eq!(
         got,
@@ -98,28 +93,25 @@ fn hash_and_nested_loop_agree_on_tpch_mock() {
     let cfg = TpchConfig::new(0.001, 21);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
-    let mut client = DbClient::<MockEngine>::new(2, 4, 31);
-    let mut server = DbServer::new();
-    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
-    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
-    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
-        .filter("Customers", "selectivity", vec!["1/12.5".into()]);
-    let tokens = client.query_tokens(&query).unwrap();
-    let (hash, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
-    let (nested, _) = server
-        .execute_join(
-            &tokens,
-            &JoinOptions {
-                algorithm: JoinAlgorithm::NestedLoop,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-    let as_pairs = |r: &eqjoin::db::EncryptedJoinResult| -> Vec<(usize, usize)> {
-        r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey").filter(
+        "Customers",
+        "selectivity",
+        vec!["1/12.5".into()],
+    );
+
+    let run = |algorithm: JoinAlgorithm| {
+        let mut session = tpch_session::<MockEngine>(
+            SessionConfig::new(2, 4).seed(31).algorithm(algorithm),
+            &customers,
+            &orders,
+        );
+        let result = session.execute(&query).unwrap();
+        (result.pairs, result.stats.comparisons)
     };
-    assert_eq!(as_pairs(&hash), as_pairs(&nested));
-    assert!(nested.stats.comparisons >= hash.stats.comparisons);
+    let (hash_pairs, hash_cmp) = run(JoinAlgorithm::Hash);
+    let (nested_pairs, nested_cmp) = run(JoinAlgorithm::NestedLoop);
+    assert_eq!(hash_pairs, nested_pairs);
+    assert!(nested_cmp >= hash_cmp);
 }
 
 #[test]
@@ -133,26 +125,22 @@ fn tiny_scale_bls12_smoke() {
     assert_eq!(customers.len(), 15);
     assert_eq!(orders.len(), 150);
 
-    let mut client = DbClient::<Bls12>::new(2, 2, 1);
-    client.enable_prefilter(true);
-    let mut server = DbServer::new();
-    server.insert_table(client.encrypt_table(&customers, customer_config()).unwrap());
-    server.insert_table(client.encrypt_table(&orders, orders_config()).unwrap());
-
-    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey")
-        .filter("Orders", "selectivity", vec!["1/12.5".into()]);
-    let tokens = client.query_tokens(&query).unwrap();
-    let (result, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();
-    let mut got: Vec<(usize, usize)> = result
-        .pairs
-        .iter()
-        .map(|p| (p.left_row, p.right_row))
-        .collect();
+    let mut session = tpch_session::<Bls12>(
+        SessionConfig::new(2, 2).seed(1).prefilter(true),
+        &customers,
+        &orders,
+    );
+    let query = JoinQuery::on("Customers", "custkey", "Orders", "custkey").filter(
+        "Orders",
+        "selectivity",
+        vec!["1/12.5".into()],
+    );
+    let result = session.execute(&query).unwrap();
+    let mut got = result.pairs.clone();
     got.sort_unstable();
     assert_eq!(
         got,
         ground_truth::reference_join(&customers, &orders, &query)
     );
-    let rows = client.decrypt_result(&query, &result).unwrap();
-    assert_eq!(rows.len(), got.len());
+    assert_eq!(result.rows.len(), got.len());
 }
