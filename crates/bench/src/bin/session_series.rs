@@ -11,17 +11,56 @@
 //! ```sh
 //! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5
 //! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10
+//! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10 --backend sharded
+//! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10 --backend remote
 //! ```
 //!
-//! Positional arguments: `engine [scale rounds]`.
+//! Positional arguments: `engine [scale rounds]`, plus
+//! `--backend {local,remote,sharded}` (default `local`). The remote
+//! backend spawns a loopback `eqjoind` server in-process and crosses a
+//! real TCP socket; the sharded backend routes the series over 4
+//! in-process shards. Transport counters (round trips, batched
+//! requests, wire bytes) are reported per session.
 //!
 //! [`Session`]: eqjoin_db::Session
 
 use eqjoin_bench::{secs, selectivity_query, SELECTIVITY_LABELS};
-use eqjoin_db::{JoinQuery, Session, SessionConfig, TableConfig};
+use eqjoin_db::{EqjoinServer, JoinQuery, Session, SessionConfig, TableConfig};
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
 use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
 use std::time::Instant;
+
+/// Which transport the sessions run over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Backend {
+    Local,
+    Remote,
+    Sharded,
+}
+
+impl Backend {
+    fn parse(s: &str) -> Self {
+        match s {
+            "local" => Backend::Local,
+            "remote" => Backend::Remote,
+            "sharded" => Backend::Sharded,
+            other => panic!("unknown backend {other:?} (use local, remote or sharded)"),
+        }
+    }
+
+    /// A fresh session over this transport (remote spawns its own
+    /// loopback `eqjoind`; sharded uses 4 in-process shards).
+    fn session<E: Engine>(self, config: SessionConfig) -> Session<E> {
+        match self {
+            Backend::Local => Session::local(config),
+            Backend::Remote => {
+                let (addr, _handle) = EqjoinServer::spawn_local::<E>().expect("spawn eqjoind");
+                Session::remote(config, addr).expect("connect to loopback eqjoind")
+            }
+            Backend::Sharded => Session::sharded(config, 4),
+        }
+    }
+}
 
 /// One dashboard refresh: the four selectivity queries of Figures 3/4.
 fn refresh_queries() -> Vec<JoinQuery> {
@@ -32,12 +71,16 @@ fn refresh_queries() -> Vec<JoinQuery> {
 }
 
 /// Encrypted TPC-H session with the cache toggled as requested.
-fn build_session<E: Engine>(scale: f64, token_cache: bool) -> (Session<E>, (usize, usize)) {
+fn build_session<E: Engine>(
+    scale: f64,
+    token_cache: bool,
+    backend: Backend,
+) -> (Session<E>, (usize, usize)) {
     let cfg = TpchConfig::new(scale, 0x5e55);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
     let rows = (customers.len(), orders.len());
-    let mut session = Session::<E>::local(
+    let mut session = backend.session::<E>(
         SessionConfig::new(2, 3)
             .seed(0x5e55 ^ 0xbe9c)
             .prefilter(true)
@@ -84,16 +127,17 @@ fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> (
     (wall.as_secs_f64(), stats.client.tkgen_calls)
 }
 
-fn series<E: Engine>(scale: f64, rounds: usize) {
-    let (mut uncached, rows) = build_session::<E>(scale, false);
-    let (mut cached, _) = build_session::<E>(scale, true);
+fn series<E: Engine>(scale: f64, rounds: usize, backend: Backend) {
+    let (mut uncached, rows) = build_session::<E>(scale, false, backend);
+    let (mut cached, _) = build_session::<E>(scale, true, backend);
     println!(
-        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}\n",
+        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}, backend = {:?}\n",
         rounds,
         SELECTIVITY_LABELS.len(),
         rows.0,
         rows.1,
         E::NAME,
+        backend,
     );
 
     let (t_off, tkgen_off) = measure("cache off", &mut uncached, rounds);
@@ -107,15 +151,39 @@ fn series<E: Engine>(scale: f64, rounds: usize) {
         tkgen_off / tkgen_on.max(1),
         t_off / t_on.max(1e-9),
     );
+    let transport = cached.stats().transport;
+    println!(
+        "transport (cache-on session): {} round trips for {} requests ({} batched), \
+         {} B sent / {} B received",
+        transport.round_trips,
+        transport.requests,
+        transport.batches,
+        transport.bytes_sent,
+        transport.bytes_received,
+    );
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let engine = args.get(1).map(String::as_str).unwrap_or("mock");
+    // `--backend X` may appear anywhere; everything else is positional.
+    let mut backend = Backend::Local;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--backend" {
+            backend = Backend::parse(&raw.next().expect("--backend needs a value"));
+        } else {
+            args.push(arg);
+        }
+    }
+    let engine = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("mock")
+        .to_owned();
     let f = |i: usize, d: f64| args.get(i).map(|s| s.parse().expect("number")).unwrap_or(d);
-    match engine {
-        "mock" => series::<MockEngine>(f(2, 0.002), (f(3, 10.0) as usize).max(2)),
-        "bls" => series::<Bls12>(f(2, 0.0004), (f(3, 5.0) as usize).max(2)),
+    match engine.as_str() {
+        "mock" => series::<MockEngine>(f(1, 0.002), (f(2, 10.0) as usize).max(2), backend),
+        "bls" => series::<Bls12>(f(1, 0.0004), (f(2, 5.0) as usize).max(2), backend),
         other => panic!("unknown engine {other:?} (use 'mock' or 'bls')"),
     }
 }

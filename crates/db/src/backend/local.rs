@@ -1,0 +1,182 @@
+//! The in-process backend: a [`DbServer`] behind the protocol, with
+//! interior synchronization so one instance can serve many sessions,
+//! connection threads or shards concurrently.
+
+use super::transport::TransportCounters;
+use crate::error::DbError;
+use crate::protocol::{Request, Response, ServerApi};
+use crate::server::DbServer;
+use eqjoin_pairing::Engine;
+use std::sync::{RwLock, RwLockReadGuard};
+
+use super::TransportStats;
+
+/// The in-process [`ServerApi`] implementation.
+///
+/// Table storage sits behind an `RwLock`: uploads take the write lock,
+/// joins share the read lock, so concurrent queries — many sessions
+/// over one `Arc<LocalBackend>`, or the `eqjoind` connection threads —
+/// execute in parallel.
+#[derive(Default)]
+pub struct LocalBackend<E: Engine> {
+    server: RwLock<DbServer<E>>,
+    counters: TransportCounters,
+}
+
+impl<E: Engine> LocalBackend<E> {
+    /// Empty backend.
+    pub fn new() -> Self {
+        LocalBackend {
+            server: RwLock::new(DbServer::new()),
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// Read access to the underlying server (tests and experiments peek
+    /// at stored ciphertexts). Holds the storage read lock for the
+    /// guard's lifetime.
+    pub fn server(&self) -> RwLockReadGuard<'_, DbServer<E>> {
+        self.server.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn handle_one(&self, request: Request<E>) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::InsertTable(table) => {
+                let (name, rows) = (table.name.clone(), table.len());
+                self.server
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert_table(table);
+                Response::TableInserted { table: name, rows }
+            }
+            Request::ExecuteJoin { tokens, options } => {
+                let server = self.server.read().unwrap_or_else(|e| e.into_inner());
+                match server.execute_join(&tokens, &options) {
+                    Ok((result, observation)) => Response::JoinExecuted {
+                        result,
+                        observation,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::Batch(_) => Response::Error(DbError::Protocol("nested request batch".into())),
+        }
+    }
+}
+
+impl<E: Engine> ServerApi<E> for LocalBackend<E> {
+    fn handle(&self, request: Request<E>) -> Response {
+        self.counters.record_request(&request);
+        match request {
+            Request::Batch(requests) => Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|request| self.handle_one(request))
+                    .collect(),
+            ),
+            single => self.handle_one(single),
+        }
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{DbClient, TableConfig};
+    use crate::data::{Schema, Table, Value};
+    use crate::query::JoinQuery;
+    use crate::server::JoinOptions;
+    use eqjoin_pairing::MockEngine;
+    use std::sync::Arc;
+
+    #[test]
+    fn one_backend_serves_concurrent_queries() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 7);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        for i in 0..12 {
+            t.push_row(vec![Value::Int(i % 4), "x".into()]);
+        }
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+        let backend = Arc::new(LocalBackend::<MockEngine>::new());
+        backend.handle(Request::InsertTable(enc));
+        let tokens = client
+            .query_tokens(&JoinQuery::on("T", "k", "T", "k"))
+            .unwrap();
+
+        let mut all_pairs = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let backend = Arc::clone(&backend);
+                    let tokens = tokens.clone();
+                    scope.spawn(move || {
+                        match backend.handle(Request::ExecuteJoin {
+                            tokens,
+                            options: JoinOptions::default(),
+                        }) {
+                            Response::JoinExecuted { result, .. } => result
+                                .pairs
+                                .iter()
+                                .map(|p| (p.left_row, p.right_row))
+                                .collect::<Vec<_>>(),
+                            _ => panic!("join failed"),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                all_pairs.push(h.join().unwrap());
+            }
+        });
+        assert!(all_pairs.windows(2).all(|w| w[0] == w[1]));
+        let stats = backend.transport_stats();
+        assert_eq!(stats.round_trips, 5, "1 insert + 4 joins");
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.bytes_sent, 0, "in-process: no wire");
+    }
+
+    #[test]
+    fn transport_counters_see_batches() {
+        let backend = LocalBackend::<MockEngine>::new();
+        backend.handle(Request::Ping);
+        backend.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::Ping,
+            Request::Ping,
+        ]));
+        let stats = backend.transport_stats();
+        assert_eq!(stats.round_trips, 2);
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn nested_batch_is_a_per_element_error() {
+        let backend = LocalBackend::<MockEngine>::new();
+        let response = backend.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::Batch(vec![Request::Ping]),
+        ]));
+        let Response::Batch(responses) = response else {
+            panic!("expected a batch response");
+        };
+        assert!(matches!(responses[0], Response::Pong));
+        assert!(matches!(
+            responses[1],
+            Response::Error(DbError::Protocol(_))
+        ));
+    }
+}

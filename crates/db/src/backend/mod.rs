@@ -1,0 +1,24 @@
+//! Backend implementations of the [`ServerApi`](crate::protocol::ServerApi)
+//! transport trait, plus the transport-level plumbing they share.
+//!
+//! ```text
+//!   Session ──▶ ServerApi (protocol messages)
+//!                 ├── LocalBackend    in-process DbServer behind RwLock
+//!                 ├── RemoteBackend   length-framed TCP to an eqjoind server
+//!                 └── ShardedBackend  fan-out across N inner backends
+//! ```
+//!
+//! All backends are `Send + Sync` and synchronize internally, so one
+//! instance can serve many sessions or connection threads concurrently;
+//! each also keeps [`TransportStats`] so benches and tests can observe
+//! round trips, batching and bytes on the wire.
+
+mod local;
+mod remote;
+mod sharded;
+mod transport;
+
+pub use local::LocalBackend;
+pub use remote::{EqjoinServer, RemoteBackend};
+pub use sharded::ShardedBackend;
+pub use transport::{read_frame, write_frame, TransportCounters, TransportStats, MAX_FRAME_BYTES};

@@ -1,0 +1,305 @@
+//! The networked transport: [`RemoteBackend`] speaks the wire codec
+//! over TCP to an [`EqjoinServer`] — the engine behind the standalone
+//! `eqjoind` binary, also embeddable in-process for loopback tests.
+//!
+//! One protocol message per length-prefixed frame
+//! ([`write_frame`](super::write_frame) /
+//! [`read_frame`](super::read_frame)), strictly request→response, so a
+//! batched query series costs exactly one TCP round trip.
+//!
+//! Failure taxonomy: anything the *server* reports (unknown table,
+//! oversized `IN` clause, …) comes back as a normal
+//! [`Response::Error`] carrying the original [`DbError`]; anything that
+//! goes wrong *reaching* the server — connect, send, receive, framing,
+//! an undecodable response — surfaces as [`DbError::Transport`]. After
+//! a transport failure the connection is dropped (the stream may be
+//! desynchronized) and every later request fails fast.
+
+use super::transport::{read_frame, write_frame, TransportCounters, TransportStats};
+use crate::error::DbError;
+use crate::protocol::{Request, Response, ServerApi};
+use eqjoin_pairing::Engine;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A [`ServerApi`] over a TCP connection to an `eqjoind` server.
+///
+/// The stream sits behind a `Mutex`: requests from concurrent sessions
+/// sharing one backend serialize onto the connection in order (the
+/// protocol is strictly request→response). Engine-generic at the call
+/// site — the connection itself is just bytes.
+pub struct RemoteBackend {
+    peer: String,
+    stream: Mutex<Option<TcpStream>>,
+    counters: TransportCounters,
+}
+
+impl RemoteBackend {
+    /// Connect to an `eqjoind` server. Connection failure is
+    /// [`DbError::Transport`].
+    pub fn connect<A: ToSocketAddrs + ToString>(addr: A) -> Result<Self, DbError> {
+        let peer = addr.to_string();
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| DbError::Transport(format!("connect to {peer}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(RemoteBackend {
+            peer,
+            stream: Mutex::new(Some(stream)),
+            counters: TransportCounters::default(),
+        })
+    }
+
+    /// The address this backend connected to.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// One request frame out, one response frame back. Drops the
+    /// connection on any exchange failure so later calls fail fast
+    /// instead of reading desynchronized bytes.
+    fn round_trip(&self, payload: &[u8]) -> Result<Response, DbError> {
+        // Pre-send check: an oversized request fails *before* any byte
+        // hits the wire, so the stream stays synchronized and the
+        // connection must survive for later requests.
+        if payload.len() > super::MAX_FRAME_BYTES {
+            return Err(DbError::Transport(format!(
+                "request of {} bytes exceeds the {} byte frame cap (split the batch)",
+                payload.len(),
+                super::MAX_FRAME_BYTES,
+            )));
+        }
+        let mut guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let stream = guard.as_mut().ok_or_else(|| {
+            DbError::Transport(format!(
+                "connection to {} was closed by an earlier transport failure",
+                self.peer
+            ))
+        })?;
+        let exchange = (|| -> io::Result<Vec<u8>> {
+            let sent = write_frame(stream, payload)?;
+            self.counters.add_bytes_sent(sent);
+            let frame = read_frame(stream)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-request",
+                )
+            })?;
+            self.counters.add_bytes_received(frame.len() as u64 + 4);
+            Ok(frame)
+        })();
+        let result = exchange
+            .map_err(|e| DbError::Transport(format!("exchange with {}: {e}", self.peer)))
+            .and_then(|frame| {
+                Response::from_bytes(&frame).map_err(|e| {
+                    DbError::Transport(format!("undecodable response from {}: {e}", self.peer))
+                })
+            });
+        if result.is_err() {
+            *guard = None;
+        }
+        result
+    }
+}
+
+impl<E: Engine> ServerApi<E> for RemoteBackend {
+    fn handle(&self, request: Request<E>) -> Response {
+        match self.round_trip(&request.to_bytes()) {
+            Ok(response) => {
+                // Counted on success only, so `round_trips` means real
+                // completed exchanges — fail-fast calls on a poisoned
+                // connection and pre-send rejections don't inflate the
+                // batching-savings arithmetic (bytes of a half-finished
+                // exchange are still counted as they happen).
+                self.counters.record_request(&request);
+                response
+            }
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+}
+
+/// The accept loop behind the `eqjoind` binary: serves any
+/// [`ServerApi`] backend over TCP, one thread per connection, all
+/// connections sharing the backend through `Arc` — the concurrency the
+/// `handle(&self)` redesign buys.
+pub struct EqjoinServer {
+    listener: TcpListener,
+}
+
+impl EqjoinServer {
+    /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral
+    /// port — ask [`EqjoinServer::local_addr`] what was chosen).
+    pub fn bind<A: ToSocketAddrs + ToString>(addr: A) -> Result<Self, DbError> {
+        let listener = TcpListener::bind(&addr)
+            .map_err(|e| DbError::Transport(format!("bind {}: {e}", addr.to_string())))?;
+        Ok(EqjoinServer { listener })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, DbError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| DbError::Transport(format!("local_addr: {e}")))
+    }
+
+    /// Accept connections forever, spawning one handler thread per
+    /// connection. Returns only if the listener itself fails.
+    pub fn serve<E: Engine>(self, backend: Arc<dyn ServerApi<E>>) -> Result<(), DbError> {
+        for connection in self.listener.incoming() {
+            match connection {
+                Ok(stream) => {
+                    let backend = Arc::clone(&backend);
+                    std::thread::spawn(move || serve_connection::<E>(stream, backend));
+                }
+                Err(e) => {
+                    // Transient accept failures (per-connection resets)
+                    // must not take the server down.
+                    if e.kind() == io::ErrorKind::ConnectionAborted
+                        || e.kind() == io::ErrorKind::ConnectionReset
+                        || e.kind() == io::ErrorKind::Interrupted
+                    {
+                        continue;
+                    }
+                    return Err(DbError::Transport(format!("accept: {e}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a detached background thread and return
+    /// the bound address — the one-liner for loopback tests and
+    /// embedded servers.
+    pub fn spawn<E: Engine>(
+        self,
+        backend: Arc<dyn ServerApi<E>>,
+    ) -> Result<(SocketAddr, JoinHandle<Result<(), DbError>>), DbError> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || self.serve(backend));
+        Ok((addr, handle))
+    }
+
+    /// Spawn a loopback `eqjoind` on an ephemeral port over a fresh
+    /// [`LocalBackend`](super::LocalBackend): bind `127.0.0.1:0`,
+    /// detach the accept loop, return the address to connect to. The
+    /// standard setup for integration tests and benches.
+    pub fn spawn_local<E: Engine>() -> Result<(SocketAddr, JoinHandle<Result<(), DbError>>), DbError>
+    {
+        let backend = Arc::new(super::LocalBackend::<E>::new()) as Arc<dyn ServerApi<E>>;
+        Self::bind("127.0.0.1:0")?.spawn(backend)
+    }
+}
+
+/// Frame loop for one client connection: read a request frame, let the
+/// backend answer it, write the response frame. Undecodable requests
+/// get an error response, and a response too large for one frame
+/// degrades to an in-band transport error telling the client to split
+/// the series — in both cases framing stays intact and the connection
+/// survives. Only a real I/O failure ends the connection.
+fn serve_connection<E: Engine>(mut stream: TcpStream, backend: Arc<dyn ServerApi<E>>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Request::<E>::from_bytes(&frame) {
+            Ok(request) => backend.handle(request),
+            Err(e) => Response::Error(e),
+        };
+        let mut bytes = response.to_bytes();
+        if bytes.len() > super::MAX_FRAME_BYTES {
+            // The joins *were* executed server-side; tell the client
+            // in-band (it will account them as unobserved) rather than
+            // dropping the connection with an opaque EOF.
+            bytes = Response::Error(DbError::Transport(format!(
+                "response of {} bytes exceeds the {} byte frame cap (split the series)",
+                bytes.len(),
+                super::MAX_FRAME_BYTES,
+            )))
+            .to_bytes();
+        }
+        if write_frame(&mut stream, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_pairing::MockEngine;
+
+    #[test]
+    fn ping_over_loopback_tcp() {
+        let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+        let remote = RemoteBackend::connect(addr).unwrap();
+        assert!(matches!(
+            ServerApi::<MockEngine>::handle(&remote, Request::Ping),
+            Response::Pong
+        ));
+        let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.round_trips, 1);
+        assert!(stats.bytes_sent >= 5, "frame header + 1-byte ping");
+        assert!(stats.bytes_received >= 5);
+    }
+
+    #[test]
+    fn oversized_request_fails_without_poisoning_the_connection() {
+        let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+        let remote = RemoteBackend::connect(addr).unwrap();
+        let huge = vec![0u8; crate::backend::MAX_FRAME_BYTES + 1];
+        match remote.round_trip(&huge) {
+            Err(DbError::Transport(msg)) => assert!(msg.contains("frame cap"), "{msg}"),
+            other => panic!("expected the frame-cap transport error, got {other:?}"),
+        }
+        // Nothing was written, so the connection must survive.
+        assert!(matches!(
+            ServerApi::<MockEngine>::handle(&remote, Request::Ping),
+            Response::Pong
+        ));
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_a_transport_error() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        match RemoteBackend::connect(addr) {
+            Err(DbError::Transport(msg)) => assert!(msg.contains("connect")),
+            Err(other) => panic!("expected a transport error, got {other:?}"),
+            Ok(_) => panic!("connecting to a dead port must fail"),
+        }
+    }
+
+    #[test]
+    fn server_dropping_connection_poisons_the_backend() {
+        // A listener that accepts and immediately drops the stream: the
+        // first request fails with a transport error, and the backend
+        // then fails fast without touching the socket again.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = listener.accept().map(drop);
+        });
+        let remote = RemoteBackend::connect(addr).unwrap();
+        for attempt in 0..2 {
+            match ServerApi::<MockEngine>::handle(&remote, Request::Ping) {
+                Response::Error(DbError::Transport(msg)) => {
+                    if attempt > 0 {
+                        assert!(msg.contains("earlier transport failure"), "{msg}");
+                    }
+                }
+                other => panic!("expected a transport error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! [`ShardedBackend`]: one [`ServerApi`] facade over N inner backends,
+//! fanning batched request series out with scoped threads and merging
+//! the responses deterministically.
+//!
+//! # Placement
+//!
+//! The paper's workload is a *series of queries* over tables encrypted
+//! once — read-heavy by construction — so the placement policy is full
+//! replication for storage and hash placement for work:
+//!
+//! * `InsertTable` (and `Ping`) is placed on **every** shard, so any
+//!   shard can execute any join. Uploads fan out concurrently.
+//! * `ExecuteJoin` is placed on **one** shard, chosen by a stable FNV-1a
+//!   hash of the `(left table, right table)` pair — deterministic
+//!   across runs and processes, so a series replays onto the same
+//!   shards every time.
+//! * A `Batch` is split into per-shard sub-batches (original order
+//!   preserved within each shard), executed concurrently with
+//!   `std::thread::scope`, and reassembled into one same-arity
+//!   `Response::Batch` in the original request order.
+//!
+//! Because every shard holds the full table set, a join executes
+//! identically on any shard: results are byte-identical to a single
+//! [`LocalBackend`](super::LocalBackend) while distinct table pairs in
+//! a series run in parallel. Co-partitioning storage across shards
+//! (placing each table once) would need co-location hints at encryption
+//! time — future work the placement map below leaves room for.
+//!
+//! # Deterministic merging
+//!
+//! For a replicated request the surfaced response is the lowest-index
+//! shard's, unless any shard reported an error — then the
+//! lowest-index *error* is surfaced. No merge decision depends on
+//! thread scheduling.
+
+use super::transport::{TransportCounters, TransportStats};
+use crate::error::DbError;
+use crate::protocol::{Request, Response, ServerApi};
+use eqjoin_pairing::Engine;
+
+/// Where one request executes.
+enum Placement {
+    /// Replicated to every shard.
+    All,
+    /// Routed to a single shard.
+    One(usize),
+}
+
+/// A shard-routing [`ServerApi`] over N inner backends (any mix of
+/// local and remote).
+pub struct ShardedBackend<E: Engine> {
+    shards: Vec<Box<dyn ServerApi<E>>>,
+    counters: TransportCounters,
+}
+
+impl<E: Engine> ShardedBackend<E> {
+    /// Build over the given shard backends. Panics on an empty shard
+    /// set — a router with nowhere to route is a construction bug.
+    pub fn new(shards: Vec<Box<dyn ServerApi<E>>>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "ShardedBackend needs at least one shard"
+        );
+        ShardedBackend {
+            shards,
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// `n` in-process [`LocalBackend`](super::LocalBackend) shards
+    /// (`n` is clamped to at least 1).
+    pub fn local(n: usize) -> Self {
+        Self::new(
+            (0..n.max(1))
+                .map(|_| Box::new(super::LocalBackend::<E>::new()) as Box<dyn ServerApi<E>>)
+                .collect(),
+        )
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a join of `(left_table, right_table)` is placed on:
+    /// FNV-1a over both names, stable across runs and processes.
+    pub fn shard_for(&self, left_table: &str, right_table: &str) -> usize {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in left_table
+            .as_bytes()
+            .iter()
+            .chain(std::iter::once(&0u8))
+            .chain(right_table.as_bytes())
+        {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    fn placement(&self, request: &Request<E>) -> Result<Placement, DbError> {
+        match request {
+            Request::Ping | Request::InsertTable(_) => Ok(Placement::All),
+            Request::ExecuteJoin { tokens, .. } => Ok(Placement::One(
+                self.shard_for(&tokens.left.table, &tokens.right.table),
+            )),
+            Request::Batch(_) => Err(DbError::Protocol("nested request batch".into())),
+        }
+    }
+
+    /// Split a batch by placement, fan the per-shard sub-batches out
+    /// concurrently, and reassemble a same-arity response batch.
+    fn handle_batch(&self, requests: Vec<Request<E>>) -> Response {
+        let n_slots = requests.len();
+        let n_shards = self.shards.len();
+        let mut per_shard: Vec<Vec<(usize, Request<E>)>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let mut merged: Vec<Option<Response>> = (0..n_slots).map(|_| None).collect();
+        for (slot, request) in requests.into_iter().enumerate() {
+            match self.placement(&request) {
+                Err(e) => merged[slot] = Some(Response::Error(e)),
+                Ok(Placement::One(shard)) => per_shard[shard].push((slot, request)),
+                Ok(Placement::All) => {
+                    for (shard, bucket) in per_shard.iter_mut().enumerate() {
+                        if shard + 1 == n_shards {
+                            bucket.push((slot, request));
+                            break;
+                        }
+                        bucket.push((slot, request.clone()));
+                    }
+                }
+            }
+        }
+
+        // Fan out: one scoped worker per non-empty shard sub-batch.
+        let mut shard_results: Vec<(usize, Vec<(usize, Response)>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard_id, (shard, items)) in self.shards.iter().zip(per_shard).enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                self.counters.add_round_trips(1);
+                handles.push((
+                    shard_id,
+                    scope.spawn(move || {
+                        let (slots, reqs): (Vec<usize>, Vec<Request<E>>) =
+                            items.into_iter().unzip();
+                        match shard.handle(Request::Batch(reqs)) {
+                            Response::Batch(responses) if responses.len() == slots.len() => {
+                                slots.into_iter().zip(responses).collect::<Vec<_>>()
+                            }
+                            Response::Error(e) => slots
+                                .into_iter()
+                                .map(|slot| (slot, Response::Error(e.clone())))
+                                .collect(),
+                            _ => slots
+                                .into_iter()
+                                .map(|slot| {
+                                    (
+                                        slot,
+                                        Response::Error(DbError::Protocol(
+                                            "shard answered a batch with the wrong response kind"
+                                                .into(),
+                                        )),
+                                    )
+                                })
+                                .collect(),
+                        }
+                    }),
+                ));
+            }
+            for (shard_id, handle) in handles {
+                shard_results.push((shard_id, handle.join().expect("shard worker panicked")));
+            }
+        });
+
+        // Deterministic merge: walk shards in index order; the first
+        // response fills a slot, and a later *error* from a replicated
+        // request overrides an earlier success (lowest-index error
+        // wins because shards are visited in order).
+        shard_results.sort_by_key(|(shard_id, _)| *shard_id);
+        for (_, results) in shard_results {
+            for (slot, response) in results {
+                match &mut merged[slot] {
+                    None => merged[slot] = Some(response),
+                    Some(existing) => {
+                        if !matches!(existing, Response::Error(_))
+                            && matches!(response, Response::Error(_))
+                        {
+                            *existing = response;
+                        }
+                    }
+                }
+            }
+        }
+        Response::Batch(
+            merged
+                .into_iter()
+                .map(|slot| {
+                    slot.unwrap_or_else(|| {
+                        Response::Error(DbError::Protocol("shard never answered".into()))
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
+    fn handle(&self, request: Request<E>) -> Response {
+        self.counters.record_logical(&request);
+        match request {
+            Request::Batch(requests) => self.handle_batch(requests),
+            single => match self.placement(&single) {
+                // Fast path: a routed request goes straight to its
+                // shard — no batch wrapping, no scoped fan-out.
+                Ok(Placement::One(shard)) => {
+                    self.counters.add_round_trips(1);
+                    self.shards[shard].handle(single)
+                }
+                // Replicated requests reuse the batch fan-out/merge.
+                Ok(Placement::All) => match self.handle_batch(vec![single]) {
+                    Response::Batch(mut responses) if responses.len() == 1 => {
+                        responses.pop().expect("len checked")
+                    }
+                    other => other,
+                },
+                Err(e) => Response::Error(e),
+            },
+        }
+    }
+
+    /// Own routing counters (`round_trips` = shard dispatches), with
+    /// wire bytes aggregated from the shards (non-zero when shards are
+    /// remote).
+    fn transport_stats(&self) -> TransportStats {
+        let mut stats = self.counters.snapshot();
+        for shard in &self.shards {
+            let inner = shard.transport_stats();
+            stats.bytes_sent += inner.bytes_sent;
+            stats.bytes_received += inner.bytes_received;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::LocalBackend;
+    use crate::client::{DbClient, TableConfig};
+    use crate::data::{Schema, Table, Value};
+    use crate::query::JoinQuery;
+    use crate::server::JoinOptions;
+    use eqjoin_pairing::MockEngine;
+
+    fn encrypted_pair(
+        client: &mut DbClient<MockEngine>,
+    ) -> (
+        crate::encrypted::EncryptedTable<MockEngine>,
+        crate::encrypted::EncryptedTable<MockEngine>,
+    ) {
+        let mut left = Table::new(Schema::new("L", &["k", "a"]));
+        let mut right = Table::new(Schema::new("R", &["k", "b"]));
+        for i in 0..10 {
+            left.push_row(vec![Value::Int(i % 4), "x".into()]);
+            right.push_row(vec![Value::Int(i % 3), "y".into()]);
+        }
+        let cfg = |col: &str| TableConfig {
+            join_column: "k".into(),
+            filter_columns: vec![col.to_owned()],
+        };
+        (
+            client.encrypt_table(&left, cfg("a")).unwrap(),
+            client.encrypt_table(&right, cfg("b")).unwrap(),
+        )
+    }
+
+    #[test]
+    fn sharded_join_matches_single_backend() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 3);
+        let (enc_l, enc_r) = encrypted_pair(&mut client);
+        let tokens = client
+            .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+            .unwrap();
+
+        let single = LocalBackend::<MockEngine>::new();
+        single.handle(Request::InsertTable(enc_l.clone()));
+        single.handle(Request::InsertTable(enc_r.clone()));
+        let sharded = ShardedBackend::<MockEngine>::local(3);
+        sharded.handle(Request::InsertTable(enc_l));
+        sharded.handle(Request::InsertTable(enc_r));
+
+        let pairs =
+            |backend: &dyn ServerApi<MockEngine>| match backend.handle(Request::ExecuteJoin {
+                tokens: tokens.clone(),
+                options: JoinOptions::default(),
+            }) {
+                Response::JoinExecuted { result, .. } => result
+                    .pairs
+                    .iter()
+                    .map(|p| (p.left_row, p.right_row))
+                    .collect::<Vec<_>>(),
+                other => panic!("join failed: {other:?}"),
+            };
+        assert_eq!(pairs(&single), pairs(&sharded));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_mixes_shards() {
+        let a = ShardedBackend::<MockEngine>::local(4);
+        let b = ShardedBackend::<MockEngine>::local(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for left in ["L", "Customers", "Orders", "Teams", "Employees", "T9"] {
+            for right in ["R", "Orders", "Lineitem", "Employees"] {
+                assert_eq!(a.shard_for(left, right), b.shard_for(left, right));
+                seen.insert(a.shard_for(left, right));
+            }
+        }
+        assert!(seen.len() > 1, "placement must spread across shards");
+    }
+
+    #[test]
+    fn missing_table_error_is_deterministic() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 3);
+        let (enc_l, _) = encrypted_pair(&mut client);
+        let tokens = client
+            .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+            .unwrap();
+        let sharded = ShardedBackend::<MockEngine>::local(3);
+        sharded.handle(Request::InsertTable(enc_l));
+        match sharded.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+        }) {
+            Response::Error(DbError::UnknownTable(t)) => assert_eq!(t, "R"),
+            other => panic!("expected UnknownTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_count_shard_dispatches() {
+        let sharded = ShardedBackend::<MockEngine>::local(3);
+        sharded.handle(Request::Ping); // replicated: 3 dispatches
+        let stats = ServerApi::<MockEngine>::transport_stats(&sharded);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.round_trips, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Transport bookkeeping and the TCP frame format shared by
+//! [`RemoteBackend`](super::RemoteBackend) and the `eqjoind` server.
+//!
+//! A frame is a 4-byte little-endian length followed by exactly that
+//! many payload bytes (one serialized protocol message). The length is
+//! capped at [`MAX_FRAME_BYTES`] so a corrupt or hostile peer cannot
+//! force a huge allocation before the payload codec's own plausibility
+//! checks run.
+
+use crate::protocol::Request;
+use eqjoin_pairing::Engine;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bound on one frame's payload (256 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// Snapshot of a backend's cumulative transport counters.
+///
+/// `round_trips` counts request/response exchanges: TCP frames for
+/// [`RemoteBackend`](super::RemoteBackend), top-level `handle` calls
+/// for [`LocalBackend`](super::LocalBackend), shard dispatches for
+/// [`ShardedBackend`](super::ShardedBackend). `requests` counts leaf
+/// protocol requests carried (batch contents individually), so
+/// `requests − round_trips` is exactly what batching saved. Byte
+/// counters are zero for in-process backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Request/response exchanges performed.
+    pub round_trips: u64,
+    /// Leaf requests carried (batch contents counted individually).
+    pub requests: u64,
+    /// Exchanges that carried a `Request::Batch`.
+    pub batches: u64,
+    /// Bytes sent on the wire, framing included.
+    pub bytes_sent: u64,
+    /// Bytes received from the wire, framing included.
+    pub bytes_received: u64,
+}
+
+/// Interior-mutable counters behind [`TransportStats`] — backends
+/// update them through `&self` from any thread.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    round_trips: AtomicU64,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl TransportCounters {
+    /// Count one dispatched request: a round trip, its leaf-request
+    /// count, and whether it was a batch.
+    pub fn record_request<E: Engine>(&self, request: &Request<E>) {
+        self.add_round_trips(1);
+        self.record_logical(request);
+    }
+
+    /// Count a request's leaf-request count and batch-ness *without* a
+    /// round trip — sharded routing counts its dispatches separately
+    /// via [`TransportCounters::add_round_trips`].
+    pub fn record_logical<E: Engine>(&self, request: &Request<E>) {
+        self.requests
+            .fetch_add(request.request_count(), Ordering::Relaxed);
+        if matches!(request, Request::Batch(_)) {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` extra round trips (sharded fan-out contacts several
+    /// backends per logical request).
+    pub fn add_round_trips(&self, n: u64) {
+        self.round_trips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count bytes written to the wire.
+    pub fn add_bytes_sent(&self, n: u64) {
+        self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count bytes read from the wire.
+    pub fn add_bytes_received(&self, n: u64) {
+        self.bytes_received.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current values as a plain snapshot.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Write one length-prefixed frame. Returns the total bytes written
+/// (payload + 4 framing bytes).
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the frame cap", payload.len()),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(payload.len() as u64 + 4)
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// *before* any frame byte (the peer closed an idle connection); EOF
+/// mid-frame, an oversized length, or any other I/O failure is an
+/// error.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // First byte by hand, to tell "connection closed between frames"
+    // from "frame cut short".
+    loop {
+        match stream.read(&mut len_bytes[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    stream.read_exact(&mut len_bytes[1..])?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the frame cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        let sent_a = write_frame(&mut wire, b"hello").unwrap();
+        let sent_b = write_frame(&mut wire, b"").unwrap();
+        assert_eq!(sent_a, 9);
+        assert_eq!(sent_b, 4);
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        for cut in 1..wire.len() {
+            let mut cursor = io::Cursor::new(&wire[..cut]);
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "truncation at byte {cut} must error, not hang or succeed"
+            );
+        }
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(u32::MAX).to_le_bytes());
+        oversized.push(0);
+        assert!(read_frame(&mut io::Cursor::new(oversized)).is_err());
+    }
+}

@@ -55,6 +55,10 @@ pub enum DbError {
     /// A protocol message could not be decoded, or a backend answered a
     /// request with a response of the wrong kind.
     Protocol(String),
+    /// The transport to a remote backend failed — connecting, framing,
+    /// sending or receiving. Distinguished from every other variant,
+    /// which the *server* reported after receiving the request intact.
+    Transport(String),
     /// SQL text could not be parsed or resolved against the session
     /// catalog.
     Sql(String),
@@ -95,6 +99,7 @@ impl fmt::Display for DbError {
                 "table {table} declares {got} filter columns, the join context supports m = {max}"
             ),
             DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            DbError::Transport(msg) => write!(f, "transport error: {msg}"),
             DbError::Sql(msg) => write!(f, "SQL error: {msg}"),
             DbError::NoSqlPlanner => {
                 write!(

@@ -28,9 +28,13 @@
 //! * [`session`] — [`Session`], [`SessionConfig`], [`PreparedQuery`],
 //!   [`ResultSet`], the per-series token cache and the embedded
 //!   [`LeakageLedger`](eqjoin_leakage::LeakageLedger).
-//! * [`protocol`] — the [`ServerApi`] trait, the [`Request`]/[`Response`]
-//!   message enums and their wire codec, and the in-process
-//!   [`LocalBackend`].
+//! * [`protocol`] — the [`ServerApi`] transport trait and the
+//!   [`Request`]/[`Response`] message enums (including batched series)
+//!   with their wire codec.
+//! * [`backend`] — the transports: in-process [`LocalBackend`],
+//!   networked [`RemoteBackend`] (+ [`EqjoinServer`], the engine behind
+//!   the `eqjoind` binary), shard-routing [`ShardedBackend`], and
+//!   [`TransportStats`].
 //!
 //! The documented low-level layer underneath (useful for experiments
 //! that need to drive each protocol step by hand):
@@ -44,6 +48,7 @@
 //!   selectivity pre-filter (§4.3).
 //! * [`join`] — the matching algorithms on decrypted `D` values.
 
+pub mod backend;
 pub mod client;
 pub mod data;
 pub mod encrypted;
@@ -54,14 +59,17 @@ pub mod query;
 pub mod server;
 pub mod session;
 
+pub use backend::{EqjoinServer, LocalBackend, RemoteBackend, ShardedBackend, TransportStats};
 pub use client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
 pub use data::{Row, Schema, Table, Value};
 pub use encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 pub use error::DbError;
 pub use join::JoinAlgorithm;
-pub use protocol::{LocalBackend, Request, Response, ServerApi};
+pub use protocol::{Request, Response, ServerApi};
 pub use query::{InFilter, JoinQuery};
-pub use server::{DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, ServerStats};
+pub use server::{
+    DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats,
+};
 pub use session::{
     Catalog, LeakageReport, PreparedQuery, QueryInput, ResultSet, Session, SessionConfig,
     SessionStats, SqlPlanner,

@@ -1,35 +1,59 @@
 //! The client↔server message protocol behind [`Session`], and the
-//! [`ServerApi`] abstraction any backend implements.
+//! [`ServerApi`] transport abstraction any backend implements.
 //!
 //! [`Session`]: crate::session::Session
 //!
-//! The session never touches a [`DbServer`] directly; it speaks a small
-//! request/response protocol:
+//! The session never touches a [`DbServer`](crate::server::DbServer)
+//! directly; it speaks a small request/response protocol:
 //!
 //! ```text
 //!   Session ── Request::InsertTable ──────▶ ServerApi
-//!   Session ── Request::ExecuteJoin ──────▶ ServerApi
-//!   Session ◀─ Response::JoinExecuted ──── ServerApi
+//!   Session ── Request::Batch[Execute…] ──▶ ServerApi
+//!   Session ◀─ Response::Batch[Join…] ──── ServerApi
 //! ```
 //!
-//! [`LocalBackend`] implements [`ServerApi`] in-process over today's
-//! [`DbServer`]; a remote backend would serialize the same messages
-//! ([`Request::to_bytes`] / [`Response::from_bytes`] define the wire
-//! format) onto a socket. The wire codec is deliberately dependency-free:
-//! length-prefixed fields, group elements via the engine's canonical
-//! (validated) encodings.
+//! [`ServerApi`] is a real transport trait: `handle` takes `&self` and
+//! implementations synchronize internally, so one backend instance can
+//! serve many sessions, connections or shard workers concurrently. A
+//! whole query series travels as one [`Request::Batch`] — over TCP
+//! ([`RemoteBackend`](crate::backend::RemoteBackend)) that is a single
+//! round trip for the entire series.
+//!
+//! Backends living in [`crate::backend`]:
+//!
+//! * [`LocalBackend`](crate::backend::LocalBackend) — in-process, a
+//!   [`DbServer`](crate::server::DbServer) behind an `RwLock`.
+//! * [`RemoteBackend`](crate::backend::RemoteBackend) — the same
+//!   messages ([`Request::to_bytes`] / [`Response::from_bytes`] define
+//!   the wire format) length-framed over a TCP socket to an `eqjoind`
+//!   server.
+//! * [`ShardedBackend`](crate::backend::ShardedBackend) — fans requests
+//!   out across N inner backends by table placement.
+//!
+//! The wire codec is deliberately dependency-free: length-prefixed
+//! fields, group elements via the engine's canonical (validated)
+//! encodings.
+//!
+//! # Batch semantics
+//!
+//! `handle(Request::Batch(v))` answers with `Response::Batch(w)` where
+//! `w.len() == v.len()` and `w[i]` answers `v[i]`; element failures
+//! surface as `Response::Error` *inside* the batch, never as a
+//! top-level error. Batches do not nest: a `Request::Batch` inside a
+//! batch is rejected by the codec and answered with a protocol error by
+//! every backend.
 
+use crate::backend::TransportStats;
 use crate::encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 use crate::error::DbError;
 use crate::join::JoinAlgorithm;
-use crate::server::{
-    DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats,
-};
+use crate::server::{EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats};
 use eqjoin_core::{SjRowCiphertext, SjTableSide, SjToken};
 use eqjoin_pairing::Engine;
 use std::time::Duration;
 
 /// A client→server message.
+#[derive(Clone)]
 pub enum Request<E: Engine> {
     /// Liveness / version probe.
     Ping,
@@ -42,6 +66,20 @@ pub enum Request<E: Engine> {
         /// Execution options.
         options: JoinOptions,
     },
+    /// A pipelined series of requests, answered by one
+    /// [`Response::Batch`] of the same arity. Must not nest.
+    Batch(Vec<Request<E>>),
+}
+
+impl<E: Engine> Request<E> {
+    /// Number of leaf requests this message carries (batch contents
+    /// counted individually).
+    pub fn request_count(&self) -> u64 {
+        match self {
+            Request::Batch(reqs) => reqs.len() as u64,
+            _ => 1,
+        }
+    }
 }
 
 /// A server→client message.
@@ -49,6 +87,7 @@ pub enum Request<E: Engine> {
 /// No variant carries engine-typed data (matched pairs are returned as
 /// sealed payload bytes), so the response side of the protocol is not
 /// generic over the engine.
+#[derive(Clone, Debug)]
 pub enum Response {
     /// Answer to [`Request::Ping`].
     Pong,
@@ -69,59 +108,32 @@ pub enum Response {
     },
     /// The request failed.
     Error(DbError),
+    /// Answer to [`Request::Batch`], element `i` answering request `i`.
+    Batch(Vec<Response>),
 }
 
 /// A join-database backend: anything that can answer the protocol.
 ///
-/// The in-process implementation is [`LocalBackend`]; the message-enum
-/// shape (rather than one trait method per operation) is what lets a
-/// remote or sharded backend forward requests byte-for-byte.
-pub trait ServerApi<E: Engine> {
-    /// Handle one request. Implementations must map internal failures to
-    /// [`Response::Error`] rather than panicking.
-    fn handle(&mut self, request: Request<E>) -> Response;
-}
+/// This is a *transport* trait: `handle` takes `&self` and
+/// implementations synchronize internally (`RwLock` around storage,
+/// `Mutex` around a socket, …), so a single backend instance can be
+/// shared — behind an `Arc` across server connection threads, or as a
+/// shard inside [`ShardedBackend`](crate::backend::ShardedBackend)
+/// fanning a batch out with scoped threads. The message-enum shape
+/// (rather than one trait method per operation) is what lets a remote
+/// or sharded backend forward requests byte-for-byte.
+pub trait ServerApi<E: Engine>: Send + Sync {
+    /// Handle one request (which may be a [`Request::Batch`]).
+    /// Implementations must map internal failures to
+    /// [`Response::Error`] rather than panicking, and must answer a
+    /// batch with a same-arity [`Response::Batch`].
+    fn handle(&self, request: Request<E>) -> Response;
 
-/// The in-process backend: a [`DbServer`] behind the protocol.
-#[derive(Default)]
-pub struct LocalBackend<E: Engine> {
-    server: DbServer<E>,
-}
-
-impl<E: Engine> LocalBackend<E> {
-    /// Empty backend.
-    pub fn new() -> Self {
-        LocalBackend {
-            server: DbServer::new(),
-        }
-    }
-
-    /// Access the underlying server (tests and experiments peek at
-    /// stored ciphertexts).
-    pub fn server(&self) -> &DbServer<E> {
-        &self.server
-    }
-}
-
-impl<E: Engine> ServerApi<E> for LocalBackend<E> {
-    fn handle(&mut self, request: Request<E>) -> Response {
-        match request {
-            Request::Ping => Response::Pong,
-            Request::InsertTable(table) => {
-                let (name, rows) = (table.name.clone(), table.len());
-                self.server.insert_table(table);
-                Response::TableInserted { table: name, rows }
-            }
-            Request::ExecuteJoin { tokens, options } => {
-                match self.server.execute_join(&tokens, &options) {
-                    Ok((result, observation)) => Response::JoinExecuted {
-                        result,
-                        observation,
-                    },
-                    Err(e) => Response::Error(e),
-                }
-            }
-        }
+    /// Cumulative transport-level counters for this backend. In-process
+    /// backends report zero bytes; networked backends report real frame
+    /// sizes. The default is all-zero for backends that do not count.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
     }
 }
 
@@ -455,6 +467,10 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.str(msg);
         }
         DbError::NoSqlPlanner => w.u8(10),
+        DbError::Transport(msg) => {
+            w.u8(11);
+            w.str(msg);
+        }
     }
 }
 
@@ -488,6 +504,7 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
         8 => DbError::Protocol(r.str()?),
         9 => DbError::Sql(r.str()?),
         10 => DbError::NoSqlPlanner,
+        11 => DbError::Transport(r.str()?),
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -508,11 +525,23 @@ impl<E: Engine> Request<E> {
                 put_options(&mut w, options);
                 w.out
             }
+            Request::Batch(requests) => {
+                let mut w = Writer::new(3);
+                w.u64(requests.len() as u64);
+                for request in requests {
+                    debug_assert!(
+                        !matches!(request, Request::Batch(_)),
+                        "batches must not nest"
+                    );
+                    w.bytes(&request.to_bytes());
+                }
+                w.out
+            }
         }
     }
 
-    /// Parse a wire message (rejects trailing bytes and invalid group
-    /// elements).
+    /// Parse a wire message (rejects trailing bytes, invalid group
+    /// elements, and nested batches).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DbError> {
         let mut r = Reader::new(bytes);
         let req = match r.u8()? {
@@ -522,6 +551,18 @@ impl<E: Engine> Request<E> {
                 tokens: get_query_tokens(&mut r)?,
                 options: get_options(&mut r)?,
             },
+            3 => {
+                let n = r.len("batch requests")?;
+                let mut requests = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sub = Request::from_bytes(r.bytes()?)?;
+                    if matches!(sub, Request::Batch(_)) {
+                        return Err(DbError::Protocol("nested request batch".into()));
+                    }
+                    requests.push(sub);
+                }
+                Request::Batch(requests)
+            }
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -575,10 +616,22 @@ impl Response {
                 put_error(&mut w, e);
                 w.out
             }
+            Response::Batch(responses) => {
+                let mut w = Writer::new(4);
+                w.u64(responses.len() as u64);
+                for response in responses {
+                    debug_assert!(
+                        !matches!(response, Response::Batch(_)),
+                        "batches must not nest"
+                    );
+                    w.bytes(&response.to_bytes());
+                }
+                w.out
+            }
         }
     }
 
-    /// Parse a wire message.
+    /// Parse a wire message (rejects trailing bytes and nested batches).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DbError> {
         let mut r = Reader::new(bytes);
         let resp = match r.u8()? {
@@ -627,6 +680,18 @@ impl Response {
                 }
             }
             3 => Response::Error(get_error(&mut r)?),
+            4 => {
+                let n = r.len("batch responses")?;
+                let mut responses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sub = Response::from_bytes(r.bytes()?)?;
+                    if matches!(sub, Response::Batch(_)) {
+                        return Err(DbError::Protocol("nested response batch".into()));
+                    }
+                    responses.push(sub);
+                }
+                Response::Batch(responses)
+            }
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
         r.finish()?;
@@ -637,6 +702,7 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::LocalBackend;
     use crate::client::DbClient;
     use crate::data::{Schema, Table, Value};
     use crate::query::JoinQuery;
@@ -664,7 +730,7 @@ mod tests {
     #[test]
     fn local_backend_round_trip() {
         let (mut client, enc, q) = sample();
-        let mut backend = LocalBackend::<MockEngine>::new();
+        let backend = LocalBackend::<MockEngine>::new();
         assert!(matches!(backend.handle(Request::Ping), Response::Pong));
         match backend.handle(Request::InsertTable(enc)) {
             Response::TableInserted { table, rows } => {
@@ -686,7 +752,7 @@ mod tests {
     #[test]
     fn backend_errors_are_responses_not_panics() {
         let (mut client, _enc, q) = sample();
-        let mut backend = LocalBackend::<MockEngine>::new();
+        let backend = LocalBackend::<MockEngine>::new();
         let tokens = client.query_tokens(&q).unwrap();
         match backend.handle(Request::ExecuteJoin {
             tokens,
@@ -695,6 +761,107 @@ mod tests {
             Response::Error(DbError::UnknownTable(t)) => assert_eq!(t, "T"),
             _ => panic!("expected UnknownTable error response"),
         }
+    }
+
+    #[test]
+    fn batched_series_matches_one_at_a_time() {
+        let (mut client, enc, q) = sample();
+        let tokens_a = client.query_tokens(&q).unwrap();
+        let tokens_b = client.query_tokens(&q).unwrap();
+
+        let sequential = LocalBackend::<MockEngine>::new();
+        sequential.handle(Request::InsertTable(enc.clone()));
+        let seq_pairs =
+            |tokens: QueryTokens<MockEngine>| match sequential.handle(Request::ExecuteJoin {
+                tokens,
+                options: JoinOptions::default(),
+            }) {
+                Response::JoinExecuted { result, .. } => result
+                    .pairs
+                    .iter()
+                    .map(|p| (p.left_row, p.right_row))
+                    .collect::<Vec<_>>(),
+                _ => panic!("expected JoinExecuted"),
+            };
+        let expected = (seq_pairs(tokens_a.clone()), seq_pairs(tokens_b.clone()));
+
+        let batched = LocalBackend::<MockEngine>::new();
+        let response = batched.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::InsertTable(enc),
+            Request::ExecuteJoin {
+                tokens: tokens_a,
+                options: JoinOptions::default(),
+            },
+            Request::ExecuteJoin {
+                tokens: tokens_b,
+                options: JoinOptions::default(),
+            },
+        ]));
+        let Response::Batch(responses) = response else {
+            panic!("batch must be answered by a batch");
+        };
+        assert_eq!(responses.len(), 4);
+        assert!(matches!(responses[0], Response::Pong));
+        assert!(matches!(responses[1], Response::TableInserted { .. }));
+        let got: Vec<Vec<(usize, usize)>> = responses[2..]
+            .iter()
+            .map(|r| match r {
+                Response::JoinExecuted { result, .. } => result
+                    .pairs
+                    .iter()
+                    .map(|p| (p.left_row, p.right_row))
+                    .collect(),
+                _ => panic!("expected JoinExecuted"),
+            })
+            .collect();
+        assert_eq!((got[0].clone(), got[1].clone()), expected);
+    }
+
+    #[test]
+    fn batch_wire_round_trip_and_nesting_rejected() {
+        let (mut client, enc, q) = sample();
+        let tokens = client.query_tokens(&q).unwrap();
+        let batch = Request::Batch(vec![
+            Request::Ping,
+            Request::InsertTable(enc),
+            Request::ExecuteJoin {
+                tokens,
+                options: JoinOptions::default(),
+            },
+        ]);
+        let bytes = batch.to_bytes();
+        let back = Request::<MockEngine>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes, "byte-identical round trip");
+
+        let resp = Response::Batch(vec![
+            Response::Pong,
+            Response::Error(DbError::EmptyInClause),
+            Response::TableInserted {
+                table: "T".into(),
+                rows: 2,
+            },
+        ]);
+        let resp_bytes = resp.to_bytes();
+        let resp_back = Response::from_bytes(&resp_bytes).unwrap();
+        assert_eq!(resp_back.to_bytes(), resp_bytes);
+
+        // Hand-craft a nested batch (tag 3 wrapping a batch message):
+        // the codec must reject it rather than recurse.
+        let mut w = Writer::new(3);
+        w.u64(1);
+        w.bytes(&Request::<MockEngine>::Batch(vec![Request::Ping]).to_bytes());
+        assert!(matches!(
+            Request::<MockEngine>::from_bytes(&w.out),
+            Err(DbError::Protocol(_))
+        ));
+        let mut w = Writer::new(4);
+        w.u64(1);
+        w.bytes(&Response::Batch(vec![Response::Pong]).to_bytes());
+        assert!(matches!(
+            Response::from_bytes(&w.out),
+            Err(DbError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -724,8 +891,8 @@ mod tests {
             _ => panic!("round trip changed the message kind"),
         }
 
-        let mut direct = LocalBackend::<MockEngine>::new();
-        let mut wired = LocalBackend::<MockEngine>::new();
+        let direct = LocalBackend::<MockEngine>::new();
+        let wired = LocalBackend::<MockEngine>::new();
         match (direct.handle(insert), wired.handle(insert2)) {
             (
                 Response::TableInserted { table: a, rows: ra },
@@ -795,6 +962,7 @@ mod tests {
             DbError::Protocol("p".into()),
             DbError::Sql("s".into()),
             DbError::NoSqlPlanner,
+            DbError::Transport("connection reset".into()),
         ];
         for e in errors {
             let resp = Response::Error(e.clone());

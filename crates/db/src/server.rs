@@ -51,6 +51,7 @@ pub struct ServerStats {
 }
 
 /// One matched pair, carrying the sealed payloads back to the client.
+#[derive(Clone, Debug)]
 pub struct MatchedPair {
     /// Row index in the left table.
     pub left_row: usize,
@@ -63,6 +64,7 @@ pub struct MatchedPair {
 }
 
 /// The server's response to a join query.
+#[derive(Clone, Debug)]
 pub struct EncryptedJoinResult {
     /// Matched pairs with payloads.
     pub pairs: Vec<MatchedPair>,
@@ -72,6 +74,7 @@ pub struct EncryptedJoinResult {
 
 /// What the adversary controlling the server learns from one query: the
 /// equality classes among decrypted rows, labeled `(table name, row)`.
+#[derive(Clone, Debug)]
 pub struct JoinObservation {
     /// Query id (from the token bundle).
     pub query_id: u64,

@@ -8,9 +8,10 @@
 //!        │ prepare (SqlPlanner + catalog)
 //!        ▼
 //!   PreparedQuery ── execute ──▶ token cache ──▶ DbClient::query_tokens
+//!        │        └ execute_all: whole series, one Request::Batch
 //!        │                          │ hit: reuse bundle (skip SJ.TkGen)
 //!        │                          ▼
-//!        │                     ServerApi backend (LocalBackend today)
+//!        │                ServerApi backend (local / remote / sharded)
 //!        │                          │
 //!        ▼                          ▼
 //!   ResultSet ◀── decrypt ──── EncryptedJoinResult + JoinObservation
@@ -35,13 +36,15 @@
 //! Hence: repeated queries skip `SJ.TkGen` entirely (the hot
 //! pairing-group path); distinct queries always draw a fresh `k`.
 
+use crate::backend::{LocalBackend, RemoteBackend, ShardedBackend, TransportStats};
 use crate::client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
 use crate::data::Table;
+use crate::encrypted::QueryTokens;
 use crate::error::DbError;
 use crate::join::JoinAlgorithm;
-use crate::protocol::{LocalBackend, Request, Response, ServerApi};
+use crate::protocol::{Request, Response, ServerApi};
 use crate::query::JoinQuery;
-use crate::server::{JoinOptions, ServerStats};
+use crate::server::{EncryptedJoinResult, JoinObservation, JoinOptions, ServerStats};
 use eqjoin_leakage::{closure, pairs_from_classes, LeakageLedger, Node, PairSet, QueryLeakage};
 use eqjoin_pairing::Engine;
 use std::collections::{BTreeMap, HashMap};
@@ -117,6 +120,7 @@ pub trait SqlPlanner {
 
 /// Anything [`Session::prepare`]/[`Session::execute`] accepts: SQL text,
 /// a logical [`JoinQuery`], or an already-prepared query.
+#[derive(Clone)]
 pub enum QueryInput {
     /// SQL text (requires an installed [`SqlPlanner`]).
     Sql(String),
@@ -239,6 +243,17 @@ pub struct SessionStats {
     pub token_cache_misses: u64,
     /// Client-side crypto counters (includes `SJ.TkGen` calls).
     pub client: ClientStats,
+    /// Joins dispatched to the backend whose outcome is *unknown*: the
+    /// transport failed mid-exchange, so the server may have executed
+    /// and observed them without the session receiving the observation
+    /// to ledger. While this is non-zero, [`Session::leakage_report`]
+    /// is a lower bound, not an exact account.
+    pub queries_unaccounted: u64,
+    /// Backend transport counters: round trips, batched requests and
+    /// bytes on the wire (zero bytes for in-process backends). Benches
+    /// read these to report what [`Session::execute_all`]'s batching
+    /// saves.
+    pub transport: TransportStats,
 }
 
 /// Summary of the session's cumulative leakage (Corollary 5.2.2).
@@ -281,6 +296,24 @@ impl<E: Engine> Session<E> {
         Self::with_backend(config, Box::new(LocalBackend::new()))
     }
 
+    /// Session over a [`RemoteBackend`] connected to an `eqjoind`
+    /// server at `addr`. Connection failure is [`DbError::Transport`].
+    pub fn remote<A: std::net::ToSocketAddrs + ToString>(
+        config: SessionConfig,
+        addr: A,
+    ) -> Result<Self, DbError> {
+        Ok(Self::with_backend(
+            config,
+            Box::new(RemoteBackend::connect(addr)?),
+        ))
+    }
+
+    /// Session over a [`ShardedBackend`] of `shards` in-process shards
+    /// (`shards` is clamped to at least 1).
+    pub fn sharded(config: SessionConfig, shards: usize) -> Self {
+        Self::with_backend(config, Box::new(ShardedBackend::local(shards)))
+    }
+
     /// Session over an arbitrary backend (remote/sharded backends plug
     /// in here).
     pub fn with_backend(config: SessionConfig, backend: Box<dyn ServerApi<E>>) -> Self {
@@ -314,11 +347,19 @@ impl<E: Engine> Session<E> {
         &self.catalog
     }
 
-    /// Session counters (cache behavior, `SJ.TkGen` calls).
+    /// Session counters (cache behavior, `SJ.TkGen` calls, transport
+    /// round trips and bytes).
     pub fn stats(&self) -> SessionStats {
         let mut stats = self.stats;
         stats.client = self.client.stats();
+        stats.transport = self.backend.transport_stats();
         stats
+    }
+
+    /// The backend's cumulative transport counters (also embedded in
+    /// [`Session::stats`]).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.backend.transport_stats()
     }
 
     /// Encrypt a plaintext table under the session keys and upload it to
@@ -359,10 +400,11 @@ impl<E: Engine> Session<E> {
         }
     }
 
-    /// Execute a query end-to-end: tokens (cached on repeats) → backend
-    /// join → decrypt → leakage ledger.
-    pub fn execute(&mut self, input: impl Into<QueryInput>) -> Result<ResultSet, DbError> {
-        let prepared = self.prepare(input)?;
+    /// Fetch the token bundle for a prepared query — from the session
+    /// cache when enabled and warm, freshly generated (and cached)
+    /// otherwise. Returns `(tokens, cache_hit)` and updates the cache
+    /// counters.
+    fn tokens_for(&mut self, prepared: &PreparedQuery) -> Result<(QueryTokens<E>, bool), DbError> {
         let (tokens, cache_hit) = if self.config.token_cache {
             match self.token_cache.get(&prepared.fingerprint) {
                 Some(cached) => (cached.clone(), true),
@@ -381,26 +423,14 @@ impl<E: Engine> Session<E> {
         } else {
             self.stats.token_cache_misses += 1;
         }
+        Ok((tokens, cache_hit))
+    }
 
-        let (result, observation) = match self.backend.handle(Request::ExecuteJoin {
-            tokens,
-            options: self.config.options,
-        }) {
-            Response::JoinExecuted {
-                result,
-                observation,
-            } => (result, observation),
-            Response::Error(e) => return Err(e),
-            _ => {
-                return Err(DbError::Protocol(
-                    "backend answered ExecuteJoin with the wrong response kind".into(),
-                ))
-            }
-        };
-
-        // Leakage accounting first: the server *has* observed this query
-        // regardless of whether the client can open the payloads below,
-        // so the ledger must record it even if decryption then fails.
+    /// Record one executed join in the leakage ledger and return its
+    /// series index. This must happen for every join the server
+    /// executed — the observation exists server-side whatever the
+    /// client manages to do with the result afterwards.
+    fn record_observation(&mut self, observation: &JoinObservation) -> u64 {
         let classes: Vec<Vec<Node>> = observation
             .equality_classes
             .iter()
@@ -420,14 +450,23 @@ impl<E: Engine> Session<E> {
             cumulative_visible: closure(&self.observed_union),
         });
         self.stats.queries_executed += 1;
+        series_index
+    }
 
+    /// Decrypt one executed join into a [`ResultSet`].
+    fn decrypt_into_result_set(
+        &mut self,
+        prepared: &PreparedQuery,
+        result: EncryptedJoinResult,
+        series_index: u64,
+        cache_hit: bool,
+    ) -> Result<ResultSet, DbError> {
         let rows = self.client.decrypt_result(&prepared.query, &result)?;
         let pairs = result
             .pairs
             .iter()
             .map(|p| (p.left_row, p.right_row))
             .collect();
-
         Ok(ResultSet {
             rows,
             pairs,
@@ -435,6 +474,156 @@ impl<E: Engine> Session<E> {
             series_index,
             cache_hit,
         })
+    }
+
+    /// Execute a query end-to-end: tokens (cached on repeats) → backend
+    /// join → decrypt → leakage ledger.
+    pub fn execute(&mut self, input: impl Into<QueryInput>) -> Result<ResultSet, DbError> {
+        let prepared = self.prepare(input)?;
+        let (tokens, cache_hit) = self.tokens_for(&prepared)?;
+
+        let sent_before = self.backend.transport_stats().bytes_sent;
+        let (result, observation) = match self.backend.handle(Request::ExecuteJoin {
+            tokens,
+            options: self.config.options,
+        }) {
+            Response::JoinExecuted {
+                result,
+                observation,
+            } => (result, observation),
+            Response::Error(e) => {
+                // A transport failure *after dispatch* means the server
+                // may have executed the join without us receiving the
+                // observation — flag the ledger as a lower bound. A
+                // failure with no bytes sent (pre-send rejection,
+                // fail-fast on a dead connection) dispatched nothing,
+                // so the ledger stays exact.
+                if matches!(e, DbError::Transport(_))
+                    && self.backend.transport_stats().bytes_sent > sent_before
+                {
+                    self.stats.queries_unaccounted += 1;
+                }
+                return Err(e);
+            }
+            _ => {
+                return Err(DbError::Protocol(
+                    "backend answered ExecuteJoin with the wrong response kind".into(),
+                ))
+            }
+        };
+
+        // Leakage accounting first: the server *has* observed this query
+        // regardless of whether the client can open the payloads below,
+        // so the ledger must record it even if decryption then fails.
+        let series_index = self.record_observation(&observation);
+        self.decrypt_into_result_set(&prepared, result, series_index, cache_hit)
+    }
+
+    /// Execute a whole prepared series in **one round trip**: every
+    /// query's token bundle is resolved up front (cache consulted per
+    /// query — a repeat later in the slice reuses the tokens its first
+    /// occurrence just generated), the series ships as a single
+    /// [`Request::Batch`], and the backend answers with one same-arity
+    /// [`Response::Batch`]. Over a
+    /// [`RemoteBackend`](crate::backend::RemoteBackend) that is exactly
+    /// one TCP round trip for K queries.
+    ///
+    /// Results come back in input order. If any query fails, the first
+    /// failure (in series order) is returned — but every join the
+    /// server *did* execute is recorded in the leakage ledger first,
+    /// exactly as [`Session::execute`] records a join whose decryption
+    /// then fails. The one unknowable case is a transport failure
+    /// after dispatch: no observation comes back to record, so the
+    /// affected joins are counted in
+    /// [`SessionStats::queries_unaccounted`] instead.
+    pub fn execute_all(&mut self, inputs: &[QueryInput]) -> Result<Vec<ResultSet>, DbError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut prepared = Vec::with_capacity(inputs.len());
+        let mut cache_hits = Vec::with_capacity(inputs.len());
+        let mut requests = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let p = self.prepare(input.clone())?;
+            let (tokens, cache_hit) = self.tokens_for(&p)?;
+            requests.push(Request::ExecuteJoin {
+                tokens,
+                options: self.config.options,
+            });
+            prepared.push(p);
+            cache_hits.push(cache_hit);
+        }
+
+        let sent_before = self.backend.transport_stats().bytes_sent;
+        let responses = match self.backend.handle(Request::Batch(requests)) {
+            Response::Batch(responses) => responses,
+            Response::Error(e) => {
+                // If the batch reached the wire, a transport failure
+                // leaves every join's server-side outcome unknown; if
+                // nothing was sent, nothing was dispatched.
+                if matches!(e, DbError::Transport(_))
+                    && self.backend.transport_stats().bytes_sent > sent_before
+                {
+                    self.stats.queries_unaccounted += inputs.len() as u64;
+                }
+                return Err(e);
+            }
+            _ => {
+                return Err(DbError::Protocol(
+                    "backend answered Batch with the wrong response kind".into(),
+                ))
+            }
+        };
+        if responses.len() != inputs.len() {
+            return Err(DbError::Protocol(format!(
+                "batch arity mismatch: {} requests, {} responses",
+                inputs.len(),
+                responses.len()
+            )));
+        }
+
+        // Pass 1 — leakage: the server observed *every* executed join
+        // in the batch, so record them all before any error or decrypt
+        // failure can cut the processing short.
+        let dispatched = self.backend.transport_stats().bytes_sent > sent_before;
+        let mut executed = Vec::with_capacity(responses.len());
+        for response in responses {
+            match response {
+                Response::JoinExecuted {
+                    result,
+                    observation,
+                } => {
+                    let series_index = self.record_observation(&observation);
+                    executed.push(Ok((result, series_index)));
+                }
+                Response::Error(e) => {
+                    // Per-element transport errors reach here when a
+                    // remote *shard* failed mid-batch, or a response
+                    // outgrew the frame cap after the joins ran.
+                    if matches!(e, DbError::Transport(_)) && dispatched {
+                        self.stats.queries_unaccounted += 1;
+                    }
+                    executed.push(Err(e));
+                }
+                _ => executed.push(Err(DbError::Protocol(
+                    "backend answered ExecuteJoin with the wrong response kind".into(),
+                ))),
+            }
+        }
+
+        // Pass 2 — decrypt in series order; the first failure wins.
+        let mut results = Vec::with_capacity(executed.len());
+        for ((outcome, prepared), cache_hit) in executed.into_iter().zip(&prepared).zip(cache_hits)
+        {
+            let (result, series_index) = outcome?;
+            results.push(self.decrypt_into_result_set(
+                prepared,
+                result,
+                series_index,
+                cache_hit,
+            )?);
+        }
+        Ok(results)
     }
 
     /// The embedded per-query ledger (full history and growth series).
@@ -449,6 +638,11 @@ impl<E: Engine> Session<E> {
     }
 
     /// The Corollary 5.2.2 verdict for the series executed so far.
+    ///
+    /// Exact while every dispatched join's observation came back; if
+    /// [`SessionStats::queries_unaccounted`] is non-zero (a transport
+    /// failure after dispatch), the report is a lower bound on what
+    /// the server observed.
     pub fn leakage_report(&self) -> LeakageReport {
         LeakageReport {
             queries: self.ledger.len(),
@@ -607,7 +801,7 @@ mod tests {
         // smallest example of plugging a custom ServerApi into Session.
         struct CorruptingBackend(LocalBackend<MockEngine>);
         impl ServerApi<MockEngine> for CorruptingBackend {
-            fn handle(&mut self, request: Request<MockEngine>) -> Response {
+            fn handle(&self, request: Request<MockEngine>) -> Response {
                 let mut response = self.0.handle(request);
                 if let Response::JoinExecuted { result, .. } = &mut response {
                     for pair in &mut result.pairs {
@@ -690,5 +884,196 @@ mod tests {
         let mut s = session();
         let q = JoinQuery::on("Ghost", "k", "R", "k");
         assert!(matches!(s.execute(&q), Err(DbError::UnknownTable(_))));
+    }
+
+    fn series_inputs() -> Vec<QueryInput> {
+        vec![
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k")),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k").filter(
+                "L",
+                "color",
+                vec!["red".into()],
+            )),
+            // A repeat of the first query: must hit the cache entry the
+            // first element of this very batch created.
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k")),
+        ]
+    }
+
+    #[test]
+    fn execute_all_matches_sequential_execute() {
+        let mut batched = session();
+        let mut sequential = session();
+        let results = batched.execute_all(&series_inputs()).unwrap();
+        let mut expected = Vec::new();
+        for input in series_inputs() {
+            expected.push(sequential.execute(input).unwrap());
+        }
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(&expected) {
+            assert_eq!(got.rows, want.rows);
+            assert_eq!(got.pairs, want.pairs);
+            assert_eq!(got.series_index, want.series_index);
+            assert_eq!(got.cache_hit, want.cache_hit);
+        }
+        assert!(results[2].cache_hit, "repeat inside the batch hits");
+        assert_eq!(batched.leakage_report(), sequential.leakage_report());
+        assert_eq!(
+            batched.stats().client.tkgen_calls,
+            sequential.stats().client.tkgen_calls
+        );
+    }
+
+    #[test]
+    fn execute_all_is_one_backend_round_trip() {
+        let mut s = session();
+        let before = s.transport_stats();
+        s.execute_all(&series_inputs()).unwrap();
+        let after = s.transport_stats();
+        assert_eq!(after.round_trips - before.round_trips, 1);
+        assert_eq!(after.batches - before.batches, 1);
+        assert_eq!(after.requests - before.requests, 3);
+    }
+
+    #[test]
+    fn execute_all_empty_series_skips_the_backend() {
+        let mut s = session();
+        let before = s.transport_stats();
+        assert!(s.execute_all(&[]).unwrap().is_empty());
+        assert_eq!(s.transport_stats(), before);
+    }
+
+    #[test]
+    fn transport_failures_after_dispatch_are_counted_as_unaccounted() {
+        // A backend whose connection dies after the request bytes go
+        // out (bytes_sent grows, then a transport error): the session
+        // cannot ledger what it never received, but it must flag that
+        // the report is now a lower bound. If instead *nothing* was
+        // sent (fail-fast on a dead connection), the ledger stays
+        // exact and the flag must stay at zero.
+        struct FlakyTransport {
+            counters: crate::backend::TransportCounters,
+            dispatches: std::sync::atomic::AtomicBool,
+        }
+        impl ServerApi<MockEngine> for FlakyTransport {
+            fn handle(&self, request: Request<MockEngine>) -> Response {
+                match request {
+                    Request::InsertTable(t) => Response::TableInserted {
+                        table: t.name.clone(),
+                        rows: t.len(),
+                    },
+                    _ => {
+                        if self.dispatches.load(std::sync::atomic::Ordering::SeqCst) {
+                            // The request reached the wire before the
+                            // connection died.
+                            self.counters.add_bytes_sent(64);
+                        }
+                        Response::Error(DbError::Transport("connection reset".into()))
+                    }
+                }
+            }
+            fn transport_stats(&self) -> crate::backend::TransportStats {
+                self.counters.snapshot()
+            }
+        }
+
+        let mut s = Session::<MockEngine>::with_backend(
+            SessionConfig::new(1, 3).seed(99),
+            Box::new(FlakyTransport {
+                counters: crate::backend::TransportCounters::default(),
+                dispatches: std::sync::atomic::AtomicBool::new(true),
+            }),
+        );
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        let q = JoinQuery::on("L", "k", "R", "k");
+        assert!(matches!(s.execute(&q), Err(DbError::Transport(_))));
+        assert_eq!(s.stats().queries_unaccounted, 1);
+        let inputs = vec![QueryInput::from(&q), QueryInput::from(&q)];
+        assert!(matches!(s.execute_all(&inputs), Err(DbError::Transport(_))));
+        assert_eq!(s.stats().queries_unaccounted, 3, "1 single + 2 batched");
+        assert_eq!(
+            s.leakage_report().queries,
+            0,
+            "nothing ledgered — lower bound"
+        );
+
+        // Same failures with zero bytes dispatched (fail-fast path):
+        // the server provably executed nothing, so nothing becomes
+        // unaccounted.
+        let mut dead = Session::<MockEngine>::with_backend(
+            SessionConfig::new(1, 3).seed(99),
+            Box::new(FlakyTransport {
+                counters: crate::backend::TransportCounters::default(),
+                dispatches: std::sync::atomic::AtomicBool::new(false),
+            }),
+        );
+        let (left, right) = tables();
+        dead.create_table(&left, cfg("L")).unwrap();
+        dead.create_table(&right, cfg("R")).unwrap();
+        assert!(matches!(dead.execute(&q), Err(DbError::Transport(_))));
+        assert!(matches!(
+            dead.execute_all(&inputs),
+            Err(DbError::Transport(_))
+        ));
+        assert_eq!(dead.stats().queries_unaccounted, 0);
+    }
+
+    #[test]
+    fn execute_all_records_leakage_for_executed_joins_despite_an_error() {
+        // A backend that executes every join except the second one in
+        // the series, which it rejects — the client must still record
+        // the joins the server *did* observe.
+        struct FailSecondJoin(LocalBackend<MockEngine>, std::sync::atomic::AtomicUsize);
+        impl ServerApi<MockEngine> for FailSecondJoin {
+            fn handle(&self, request: Request<MockEngine>) -> Response {
+                match request {
+                    Request::Batch(requests) => {
+                        Response::Batch(requests.into_iter().map(|r| self.handle(r)).collect())
+                    }
+                    Request::ExecuteJoin { .. } => {
+                        let n = self.1.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if n == 1 {
+                            Response::Error(DbError::PayloadCorrupted)
+                        } else {
+                            self.0.handle(request)
+                        }
+                    }
+                    other => self.0.handle(other),
+                }
+            }
+        }
+
+        let mut s = Session::<MockEngine>::with_backend(
+            SessionConfig::new(1, 3).seed(99),
+            Box::new(FailSecondJoin(
+                LocalBackend::new(),
+                std::sync::atomic::AtomicUsize::new(0),
+            )),
+        );
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        let inputs = vec![
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k")),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k").filter(
+                "L",
+                "color",
+                vec!["red".into()],
+            )),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k").filter(
+                "L",
+                "color",
+                vec!["blue".into()],
+            )),
+        ];
+        assert!(matches!(
+            s.execute_all(&inputs),
+            Err(DbError::PayloadCorrupted)
+        ));
+        // Queries 0 and 2 executed server-side; both must be in the
+        // ledger even though the series as a whole failed.
+        assert_eq!(s.leakage_report().queries, 2);
     }
 }

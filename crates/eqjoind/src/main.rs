@@ -1,0 +1,113 @@
+//! `eqjoind` — the standalone encrypted equi-join server.
+//!
+//! Serves the `eqjoin` wire protocol (length-framed request/response
+//! messages) over TCP: one thread per client connection, all
+//! connections sharing one backend. Clients connect with
+//! `eqjoin::session_remote` (or `RemoteBackend` directly) and upload
+//! encrypted tables, then run join series — the server only ever sees
+//! ciphertexts, tokens, and the equality pattern the paper proves is
+//! the unavoidable leakage.
+//!
+//! ```sh
+//! eqjoind                                  # BLS12-381 on 127.0.0.1:4747
+//! eqjoind --listen 0.0.0.0:4747 --shards 4 # sharded execution pool
+//! eqjoind --engine mock                    # mock engine (tests/benches)
+//! ```
+//!
+//! The engine must match the clients' — the wire codec validates group
+//! elements under the engine it is given, so a mock client cannot talk
+//! to a BLS server.
+
+use eqjoin_db::{EqjoinServer, LocalBackend, ServerApi, ShardedBackend};
+use eqjoin_pairing::{Bls12, Engine, MockEngine};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    listen: String,
+    engine: String,
+    shards: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--shards N]\n\
+         \n\
+         --listen ADDR   bind address (default 127.0.0.1:4747; port 0 picks one)\n\
+         --engine NAME   pairing engine, must match clients (default bls)\n\
+         --shards N      execute joins over N internal shards (default 1)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: "127.0.0.1:4747".to_owned(),
+        engine: "bls".to_owned(),
+        shards: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_for(name));
+        match flag.as_str() {
+            "--listen" => options.listen = value("--listen"),
+            "--engine" => options.engine = value("--engine"),
+            "--shards" => {
+                options.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--shards"))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn usage_for(flag: &str) -> ! {
+    eprintln!("eqjoind: {flag} needs a value");
+    usage()
+}
+
+fn run<E: Engine>(options: &Options) -> ExitCode {
+    let backend: Arc<dyn ServerApi<E>> = if options.shards > 1 {
+        Arc::new(ShardedBackend::<E>::local(options.shards))
+    } else {
+        Arc::new(LocalBackend::<E>::new())
+    };
+    let server = match EqjoinServer::bind(options.listen.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("eqjoind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "eqjoind: listening on {addr} (engine {}, {} shard{})",
+            E::NAME,
+            options.shards,
+            if options.shards == 1 { "" } else { "s" },
+        ),
+        Err(e) => eprintln!("eqjoind: {e}"),
+    }
+    match server.serve(backend) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("eqjoind: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    match options.engine.as_str() {
+        "bls" => run::<Bls12>(&options),
+        "mock" => run::<MockEngine>(&options),
+        other => {
+            eprintln!("eqjoind: unknown engine {other:?} (use 'bls' or 'mock')");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -55,3 +55,32 @@ pub use eqjoin_db::{Session, SessionConfig};
 pub fn session<E: eqjoin_pairing::Engine>(config: SessionConfig) -> Session<E> {
     Session::local(config).with_planner(Box::new(eqjoin_sql::SqlFrontend))
 }
+
+/// A [`Session`] over a TCP connection to an `eqjoind` server (run one
+/// with `cargo run --release -p eqjoind`), SQL front-end installed.
+/// The engine type must match the server's `--engine` flag — the wire
+/// codec validates group elements under the engine it is given.
+///
+/// Connection failure is
+/// [`db::DbError::Transport`](eqjoin_db::DbError::Transport), which
+/// also marks any later loss of the connection — errors the *server*
+/// reports keep their original variants.
+pub fn session_remote<E: eqjoin_pairing::Engine>(
+    config: SessionConfig,
+    addr: &str,
+) -> Result<Session<E>, eqjoin_db::DbError> {
+    Ok(Session::remote(config, addr)?.with_planner(Box::new(eqjoin_sql::SqlFrontend)))
+}
+
+/// A [`Session`] over a [`ShardedBackend`](eqjoin_db::ShardedBackend)
+/// of `shards` in-process shards, SQL front-end installed. Tables are
+/// replicated to every shard; each join in a
+/// [`Session::execute_all`](eqjoin_db::Session::execute_all) series
+/// runs on the shard its table pair hashes to, concurrently with the
+/// rest of the batch.
+pub fn session_sharded<E: eqjoin_pairing::Engine>(
+    config: SessionConfig,
+    shards: usize,
+) -> Session<E> {
+    Session::sharded(config, shards).with_planner(Box::new(eqjoin_sql::SqlFrontend))
+}

@@ -1,0 +1,250 @@
+//! Property tests for the protocol wire codec: randomly generated
+//! `Request`/`Response` values round-trip **byte-identically**, and
+//! truncated or corrupted frames are rejected with an error — never a
+//! panic, never a huge allocation.
+
+use eqjoin::core::{SjRowCiphertext, SjTableSide, SjToken};
+use eqjoin::db::{
+    DbError, EncryptedJoinResult, EncryptedRow, EncryptedTable, JoinAlgorithm, JoinObservation,
+    JoinOptions, MatchedPair, QueryTokens, Request, Response, ServerStats, SideTokens,
+};
+use eqjoin::pairing::{Engine, Fr, MockEngine};
+use proptest::prelude::*;
+use std::time::Duration;
+
+type Req = Request<MockEngine>;
+
+fn g1(x: u64) -> <MockEngine as Engine>::G1 {
+    MockEngine::g1_mul_gen(&Fr::from_u64(x))
+}
+
+fn g2(x: u64) -> <MockEngine as Engine>::G2 {
+    MockEngine::g2_mul_gen(&Fr::from_u64(x))
+}
+
+/// Deterministic 16-byte prefilter tag from a seed.
+fn tag(x: u64) -> [u8; 16] {
+    let mut t = [0u8; 16];
+    t[..8].copy_from_slice(&x.to_le_bytes());
+    t[8..].copy_from_slice(&x.wrapping_mul(31).to_le_bytes());
+    t
+}
+
+/// An encrypted table whose shape (rows, ciphertext width, payload
+/// length, tag presence) is driven entirely by the generated integers.
+fn table(name_id: u64, rows: &[(u64, u64, u64)], tagged: bool) -> EncryptedTable<MockEngine> {
+    EncryptedTable {
+        name: format!("T{name_id}"),
+        join_column: "k".into(),
+        filter_columns: vec!["a".into(), format!("col{name_id}")],
+        rows: rows
+            .iter()
+            .map(|&(seed, width, payload_len)| EncryptedRow {
+                cipher: SjRowCiphertext::from_elements(
+                    (0..=width % 5).map(|i| g2(seed.wrapping_add(i))).collect(),
+                ),
+                payload: (0..payload_len % 32).map(|i| (seed ^ i) as u8).collect(),
+                tags: tagged.then(|| vec![tag(seed), tag(seed ^ 1)]),
+            })
+            .collect(),
+    }
+}
+
+fn side(table_id: u64, side: SjTableSide, seeds: &[u64]) -> SideTokens<MockEngine> {
+    SideTokens {
+        table: format!("T{table_id}"),
+        token: SjToken::from_elements(side, seeds.iter().map(|&s| g1(s)).collect()),
+        prefilter: seeds
+            .iter()
+            .take(2)
+            .enumerate()
+            .map(|(col, &s)| (col, vec![tag(s), tag(s + 7)]))
+            .collect(),
+    }
+}
+
+fn exec_request(query_id: u64, seeds: &[u64], threads: u64) -> Req {
+    Request::ExecuteJoin {
+        tokens: QueryTokens {
+            query_id,
+            left: side(query_id, SjTableSide::A, seeds),
+            right: side(query_id + 1, SjTableSide::B, seeds),
+        },
+        options: JoinOptions {
+            algorithm: if query_id.is_multiple_of(2) {
+                JoinAlgorithm::Hash
+            } else {
+                JoinAlgorithm::NestedLoop
+            },
+            use_prefilter: query_id.is_multiple_of(3),
+            threads: threads as usize,
+        },
+    }
+}
+
+fn join_response(pairs: &[(u64, u64, u64)], classes: &[(u64, u64)]) -> Response {
+    Response::JoinExecuted {
+        result: EncryptedJoinResult {
+            pairs: pairs
+                .iter()
+                .map(|&(l, r, p)| MatchedPair {
+                    left_row: l as usize,
+                    right_row: r as usize,
+                    left_payload: (0..p % 16).map(|i| (l ^ i) as u8).collect(),
+                    right_payload: (0..(p / 16) % 16).map(|i| (r ^ i) as u8).collect(),
+                })
+                .collect(),
+            stats: ServerStats {
+                rows_decrypted: pairs.len(),
+                rows_prefiltered_out: classes.len(),
+                comparisons: pairs.len() as u64 * 3,
+                matched_pairs: pairs.len(),
+                decrypt_time: Duration::from_nanos(pairs.len() as u64 * 11),
+                match_time: Duration::from_nanos(classes.len() as u64 * 13),
+            },
+        },
+        observation: JoinObservation {
+            query_id: pairs.len() as u64,
+            equality_classes: classes
+                .iter()
+                .map(|&(t, n)| {
+                    (0..2 + n % 3)
+                        .map(|i| (format!("T{t}"), (n + i) as usize))
+                        .collect()
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Byte-identity round trip through the codec, in both directions.
+fn assert_request_round_trips(request: &Req) {
+    let bytes = request.to_bytes();
+    let back = Req::from_bytes(&bytes).expect("valid message must decode");
+    assert_eq!(
+        back.to_bytes(),
+        bytes,
+        "decode→re-encode must be byte-identical"
+    );
+}
+
+fn assert_response_round_trips(response: &Response) {
+    let bytes = response.to_bytes();
+    let back = Response::from_bytes(&bytes).expect("valid message must decode");
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+/// Every strict prefix must fail to decode (no message is a prefix of
+/// another), and decoding must neither panic nor over-allocate.
+fn assert_prefixes_rejected(bytes: &[u8], check: fn(&[u8]) -> bool) {
+    // Exhaustive below 64 cuts, then sampled — keeps big tables cheap.
+    let step = (bytes.len() / 64).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(
+            check(&bytes[..cut]),
+            "strict prefix of {cut}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+fn request_rejected(bytes: &[u8]) -> bool {
+    Req::from_bytes(bytes).is_err()
+}
+
+fn response_rejected(bytes: &[u8]) -> bool {
+    Response::from_bytes(bytes).is_err()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn insert_table_requests_round_trip_and_reject_truncation(
+        name_id in 0u64..4,
+        rows in proptest::collection::vec((0u64..1_000_000, 0u64..6, 0u64..40), 0..12),
+        tagged in 0u64..2,
+    ) {
+        let request = Request::InsertTable(table(name_id, &rows, tagged == 1));
+        assert_request_round_trips(&request);
+        let bytes = request.to_bytes();
+        assert_prefixes_rejected(&bytes, request_rejected);
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        prop_assert!(Req::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn execute_join_requests_round_trip_and_reject_truncation(
+        query_id in 0u64..1_000,
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..8),
+        threads in 0u64..9,
+    ) {
+        let request = exec_request(query_id, &seeds, threads);
+        assert_request_round_trips(&request);
+        assert_prefixes_rejected(&request.to_bytes(), request_rejected);
+    }
+
+    #[test]
+    fn batched_series_round_trip_and_reject_truncation(
+        query_ids in proptest::collection::vec(0u64..100, 0..5),
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..4),
+    ) {
+        let mut requests: Vec<Req> = vec![Request::Ping];
+        for &q in &query_ids {
+            requests.push(exec_request(q, &seeds, q % 4));
+        }
+        let batch = Request::Batch(requests);
+        assert_request_round_trips(&batch);
+        assert_prefixes_rejected(&batch.to_bytes(), request_rejected);
+    }
+
+    #[test]
+    fn join_responses_round_trip_and_reject_truncation(
+        pairs in proptest::collection::vec((0u64..500, 0u64..500, 0u64..256), 0..12),
+        classes in proptest::collection::vec((0u64..4, 0u64..50), 0..6),
+    ) {
+        let response = join_response(&pairs, &classes);
+        assert_response_round_trips(&response);
+        assert_prefixes_rejected(&response.to_bytes(), response_rejected);
+
+        // And inside a batch, mixed with the other response kinds.
+        let batch = Response::Batch(vec![
+            Response::Pong,
+            response,
+            Response::TableInserted { table: "T".into(), rows: pairs.len() },
+            Response::Error(DbError::InClauseTooLarge { got: pairs.len(), max: 2 }),
+        ]);
+        assert_response_round_trips(&batch);
+        assert_prefixes_rejected(&batch.to_bytes(), response_rejected);
+    }
+
+    #[test]
+    fn oversized_length_fields_error_without_allocating(
+        tag_byte in 0u64..5,
+        len in (1u64 << 32)..(1u64 << 62),
+    ) {
+        // A message whose first length field claims up to 2^62 bytes:
+        // the plausibility check must reject it before any allocation.
+        let mut bytes = vec![tag_byte as u8];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        prop_assert!(Req::from_bytes(&bytes).is_err());
+        prop_assert!(Response::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn random_byte_flips_never_panic(
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..4),
+        flip_pos in 0u64..10_000,
+        flip_mask in 1u64..256,
+    ) {
+        let request = exec_request(7, &seeds, 2);
+        let mut bytes = request.to_bytes();
+        let pos = (flip_pos as usize) % bytes.len();
+        bytes[pos] ^= flip_mask as u8;
+        // Outcome may be Ok (the flip hit a payload byte) or Err; the
+        // only forbidden outcomes are panics and runaway allocation.
+        let _ = Req::from_bytes(&bytes);
+    }
+}

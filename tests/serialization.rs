@@ -103,7 +103,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
     let mut client = DbClient::<E>::new(1, 2, seed);
     let enc = client.encrypt_table(&t, cfg()).unwrap();
     let tokens = client.query_tokens(&query).unwrap();
-    let mut direct = LocalBackend::<E>::new();
+    let direct = LocalBackend::<E>::new();
     direct.handle(Request::InsertTable(enc));
     let direct_result = match direct.handle(Request::ExecuteJoin {
         tokens: tokens.clone(),
@@ -118,7 +118,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
     let mut client2 = DbClient::<E>::new(1, 2, seed);
     let enc2 = client2.encrypt_table(&t, cfg()).unwrap();
     let tokens2 = client2.query_tokens(&query).unwrap();
-    let mut wired = LocalBackend::<E>::new();
+    let wired = LocalBackend::<E>::new();
     let insert_bytes = Request::InsertTable(enc2).to_bytes();
     let insert = Request::<E>::from_bytes(&insert_bytes).unwrap();
     let resp_bytes = wired.handle(insert).to_bytes();
