@@ -84,8 +84,11 @@ fn bench_parallel_decrypt(c: &mut Criterion) {
     let query = selectivity_query("1/12.5", 1);
     let tokens = bench.client.query_tokens(&query).expect("tokens");
     for threads in [1usize, 4] {
+        // Fixed tokens across iterations: keep the decrypt cache out
+        // so the thread sweep times real SJ.Dec work.
         let opts = JoinOptions {
             threads,
+            decrypt_cache: false,
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {

@@ -18,7 +18,13 @@ fn bench_fig4(c: &mut Criterion) {
         for s in ["1/100", "1/12.5"] {
             let query = selectivity_query(s, t);
             let tokens = bench.client.query_tokens(&query).expect("tokens");
-            let opts = JoinOptions::default();
+            // Fixed tokens across iterations: the decrypt cache would
+            // otherwise serve every sample after the first — this
+            // figure measures fresh SJ.Dec work.
+            let opts = JoinOptions {
+                decrypt_cache: false,
+                ..Default::default()
+            };
             let id = BenchmarkId::new(format!("s={s}"), t);
             group.bench_with_input(id, &t, |b, _| {
                 b.iter(|| bench.server.execute_join(&tokens, &opts).expect("join"));

@@ -3,9 +3,10 @@
 //! multiplication and inversion, tower arithmetic, group operations and
 //! the pairing itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eqjoin_crypto::ChaChaRng;
 use eqjoin_pairing::{g1, g2, Bls12, Engine, Field, Fp, Fp12, Fr};
+use std::time::Instant;
 
 fn bench_fields(c: &mut Criterion) {
     let mut group = c.benchmark_group("field_ops");
@@ -37,8 +38,16 @@ fn bench_groups_and_pairing(c: &mut Criterion) {
     let q = g2::mul_fr(g2::generator(), &s);
     group.bench_function("g1_double", |b| b.iter(|| p.double()));
     group.bench_function("g1_add", |b| b.iter(|| p.add(&p.double())));
-    group.bench_function("g1_scalar_mul", |b| b.iter(|| g1::mul_fr(&p, &s)));
-    group.bench_function("g2_scalar_mul", |b| b.iter(|| g2::mul_fr(&q, &s)));
+    group.bench_function("g1_scalar_mul_wnaf", |b| b.iter(|| g1::mul_fr(&p, &s)));
+    group.bench_function("g2_scalar_mul_wnaf", |b| b.iter(|| g2::mul_fr(&q, &s)));
+    group.bench_function("g1_scalar_mul_double_and_add", |b| {
+        b.iter(|| p.mul_limbs(&s.to_canonical_limbs()))
+    });
+    group.bench_function("g2_scalar_mul_double_and_add", |b| {
+        b.iter(|| q.mul_limbs(&s.to_canonical_limbs()))
+    });
+    group.bench_function("g1_mul_gen_comb", |b| b.iter(|| Bls12::g1_mul_gen(&s)));
+    group.bench_function("g2_mul_gen_comb", |b| b.iter(|| Bls12::g2_mul_gen(&s)));
     let pa = p.to_affine();
     let qa = q.to_affine();
     group.bench_function("pairing", |b| b.iter(|| eqjoin_pairing::pairing(&pa, &qa)));
@@ -46,6 +55,45 @@ fn bench_groups_and_pairing(c: &mut Criterion) {
     group.bench_function("gt_pow", |b| b.iter(|| gt.pow(&s)));
     group.bench_function("gt_hash_key_bytes", |b| b.iter(|| Bls12::gt_bytes(&gt)));
     group.finish();
+}
+
+/// Acceptance gate, not just a report: the fixed-base comb path must
+/// beat the naive double-and-add ladder by at least 4× on `G1` (it is
+/// ~10–20× in practice — zero doublings and ≤ 64 mixed additions per
+/// exponentiation vs 256 doublings + ~128 additions).
+fn bench_fixed_base_speedup(_c: &mut Criterion) {
+    let mut rng = ChaChaRng::seed_from_u64(0x15);
+    let scalars: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+    let iters = 6;
+    // Warm the OnceLock table so its one-time build is not timed, and
+    // let the CPU settle on both paths before measuring.
+    black_box(Bls12::g1_mul_gen(&scalars[0]));
+    black_box(g1::generator().mul_limbs(&scalars[0].to_canonical_limbs()));
+
+    // Alternate *blocks* of each path (burst execution is how SJ.Enc /
+    // SJ.TokenGen actually run — whole vectors at a time) and keep the
+    // fastest block per path, which is robust to scheduler noise.
+    let mut comb = std::time::Duration::MAX;
+    let mut ladder = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        for s in &scalars {
+            black_box(Bls12::g1_mul_gen(s));
+        }
+        comb = comb.min(t.elapsed());
+        let t = Instant::now();
+        for s in &scalars {
+            black_box(g1::generator().mul_limbs(&s.to_canonical_limbs()));
+        }
+        ladder = ladder.min(t.elapsed());
+    }
+    let speedup = ladder.as_secs_f64() / comb.as_secs_f64().max(1e-12);
+    println!("\ng1 fixed-base comb vs double-and-add: {speedup:.1}x faster");
+    assert!(
+        speedup >= 4.0,
+        "fixed-base g1_mul_gen must be ≥ 4× faster than double-and-add \
+         (measured {speedup:.2}x)"
+    );
 }
 
 fn bench_symmetric(c: &mut Criterion) {
@@ -68,6 +116,7 @@ criterion_group!(
     benches,
     bench_fields,
     bench_groups_and_pairing,
+    bench_fixed_base_speedup,
     bench_symmetric
 );
 criterion_main!(benches);

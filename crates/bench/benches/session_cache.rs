@@ -1,12 +1,15 @@
-//! Criterion bench for the session token cache: executing a repeated
-//! query with the cache on vs off, BLS12-381. The cached path skips both
-//! `SJ.TkGen` calls (the client's pairing-group work), so the difference
-//! isolates the client-side token cost of a repeat query.
+//! Criterion bench for the repeated-series caches: executing a repeated
+//! query with the caches on vs off, BLS12-381. The cached path skips
+//! both `SJ.TkGen` calls client-side **and** — because byte-identical
+//! tokens hit the server's decrypt cache — every per-row `SJ.Dec`
+//! pairing server-side. The second claim is *asserted* via the
+//! `decrypt_cache_hits` counter and the pairing op counter, not
+//! inferred from timing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eqjoin_bench::{selectivity_query, setup_tpch_session};
+use eqjoin_bench::{selectivity_query, setup_tpch_session_with};
 use eqjoin_db::{Session, SessionConfig, TableConfig};
-use eqjoin_pairing::Bls12;
+use eqjoin_pairing::{ops, Bls12};
 use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
 
 fn bench_session_cache(c: &mut Criterion) {
@@ -15,9 +18,26 @@ fn bench_session_cache(c: &mut Criterion) {
 
     let query = selectivity_query("1/12.5", 3);
 
-    // Cache on: first execution warms the cache, samples hit it.
-    let mut cached = setup_tpch_session::<Bls12>(0.0002, 3, 9);
+    // Cache on: first execution warms both caches, samples hit them.
+    let mut cached = setup_tpch_session_with::<Bls12>(0.0002, 3, 9, |config| config);
     cached.session.execute(&query).expect("warmup");
+
+    // Acceptance gate: the second execution of the identical prepared
+    // query must skip 100% of SJ.Dec pairings — all rows come from the
+    // decrypt cache and the process-wide pairing counter stands still.
+    let pairings_before = ops::snapshot().pairings;
+    let repeat = cached.session.execute(&query).expect("repeat");
+    assert!(repeat.cache_hit, "token cache must serve the repeat");
+    assert_eq!(
+        repeat.stats.decrypt_cache_hits as usize, repeat.stats.rows_decrypted,
+        "repeat execution must skip 100% of SJ.Dec"
+    );
+    assert_eq!(
+        ops::snapshot().pairings,
+        pairings_before,
+        "no pairing may run for a fully cached repeat"
+    );
+
     group.bench_function("cache_on", |b| {
         b.iter(|| cached.session.execute(&query).expect("join"))
     });
@@ -28,7 +48,8 @@ fn bench_session_cache(c: &mut Criterion) {
         SessionConfig::new(2, 3)
             .seed(9 ^ 0xbe9c)
             .prefilter(true)
-            .token_cache(false),
+            .token_cache(false)
+            .decrypt_cache(false),
     );
     uncached
         .create_table(

@@ -1,33 +1,36 @@
-//! **Session series benchmark**: the token-cache payoff for a repeated
-//! query series (a dashboard refreshing the same filtered joins) — the
+//! **Session series benchmark**: the cache payoff for a repeated query
+//! series (a dashboard refreshing the same filtered joins) — the
 //! workload the paper's "series of queries" setting is about.
 //!
 //! Runs the same series twice through the [`Session`] API, token cache
-//! on vs off, and reports wall time and `SJ.TkGen` counts. On the
-//! BLS12-381 engine `SJ.TkGen` is a per-side `m(t+1)+3`-element `G1`
-//! fixed-base batch — the hot client path the cache removes on every
-//! repeat.
+//! on vs off, and reports wall time, `SJ.TkGen` counts, **server
+//! decrypt-cache hits** and exact crypto operation counts
+//! ([`eqjoin_pairing::ops`]). With the token cache on, every repeated
+//! round hands the server byte-identical tokens, so the server's
+//! decrypt cache must serve *all* of its rows — asserted, not just
+//! printed (CI runs this binary as the cache smoke gate).
+//!
+//! Besides the human-readable report, the run writes a
+//! machine-readable **`BENCH_session.json`** (override with `--json
+//! PATH`) with per-phase wall times, op counts and cache hit rates —
+//! the bench-trajectory artifact tracked from PR 3 on.
 //!
 //! ```sh
 //! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5
 //! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10
 //! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10 --backend sharded
-//! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10 --backend remote
+//! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5 --threads 4
 //! ```
 //!
 //! Positional arguments: `engine [scale rounds]`, plus
-//! `--backend {local,remote,sharded}` (default `local`). The remote
-//! backend spawns a loopback `eqjoind` server in-process and crosses a
-//! real TCP socket; the sharded backend routes the series over 4
-//! in-process shards. Transport counters (round trips, batched
-//! requests, wire bytes) are reported per session.
+//! `--backend {local,remote,sharded}` (default `local`), `--threads N`
+//! (decrypt workers; 0 = auto, one per core) and `--json PATH`.
 //!
 //! [`Session`]: eqjoin_db::Session
 
 use eqjoin_bench::{secs, selectivity_query, SELECTIVITY_LABELS};
 use eqjoin_db::{EqjoinServer, JoinQuery, Session, SessionConfig, TableConfig};
-use eqjoin_pairing::{Bls12, Engine, MockEngine};
-use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
+use eqjoin_pairing::{ops, Bls12, Engine, MockEngine, OpCounts};
 use std::time::Instant;
 
 /// Which transport the sessions run over.
@@ -45,6 +48,14 @@ impl Backend {
             "remote" => Backend::Remote,
             "sharded" => Backend::Sharded,
             other => panic!("unknown backend {other:?} (use local, remote or sharded)"),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Local => "local",
+            Backend::Remote => "remote",
+            Backend::Sharded => "sharded",
         }
     }
 
@@ -75,7 +86,9 @@ fn build_session<E: Engine>(
     scale: f64,
     token_cache: bool,
     backend: Backend,
+    threads: usize,
 ) -> (Session<E>, (usize, usize)) {
+    use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
     let cfg = TpchConfig::new(scale, 0x5e55);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
@@ -84,7 +97,8 @@ fn build_session<E: Engine>(
         SessionConfig::new(2, 3)
             .seed(0x5e55 ^ 0xbe9c)
             .prefilter(true)
-            .token_cache(token_cache),
+            .token_cache(token_cache)
+            .threads(threads),
     );
     session
         .create_table(
@@ -107,49 +121,131 @@ fn build_session<E: Engine>(
     (session, rows)
 }
 
-/// Run the series and report; returns (wall seconds, SJ.TkGen calls).
-fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> (f64, u64) {
+/// What one measured series produced.
+struct Measurement {
+    wall_s: f64,
+    tkgen_calls: u64,
+    token_cache_hits: u64,
+    token_cache_misses: u64,
+    decrypt_cache_hits: u64,
+    rows_decrypted: u64,
+    first_round_rows: u64,
+    ops: OpCounts,
+}
+
+/// Run the series and report one line; returns the full measurement.
+fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> Measurement {
+    let ops_before = ops::snapshot();
+    let mut rows_decrypted = 0u64;
+    let mut first_round_rows = 0u64;
     let t0 = Instant::now();
-    for _ in 0..rounds {
+    for round in 0..rounds {
         for query in refresh_queries() {
-            session.execute(&query).expect("join");
+            let result = session.execute(&query).expect("join");
+            rows_decrypted += result.stats.rows_decrypted as u64;
+            if round == 0 {
+                first_round_rows += result.stats.rows_decrypted as u64;
+            }
         }
     }
     let wall = t0.elapsed();
     let stats = session.stats();
     println!(
-        "{label:<10} wall {:>8} s | SJ.TkGen calls {:>4} | cache hits {:>4} | within bound: {}",
+        "{label:<10} wall {:>8} s | SJ.TkGen calls {:>4} | token-cache hits {:>4} | \
+         decrypt-cache hits {:>6} | within bound: {}",
         secs(wall),
         stats.client.tkgen_calls,
         stats.token_cache_hits,
+        stats.decrypt_cache_hits,
         session.leakage_report().within_bound,
     );
-    (wall.as_secs_f64(), stats.client.tkgen_calls)
+    Measurement {
+        wall_s: wall.as_secs_f64(),
+        tkgen_calls: stats.client.tkgen_calls,
+        token_cache_hits: stats.token_cache_hits,
+        token_cache_misses: stats.token_cache_misses,
+        decrypt_cache_hits: stats.decrypt_cache_hits,
+        rows_decrypted,
+        first_round_rows,
+        ops: ops::snapshot().since(&ops_before),
+    }
 }
 
-fn series<E: Engine>(scale: f64, rounds: usize, backend: Backend) {
-    let (mut uncached, rows) = build_session::<E>(scale, false, backend);
-    let (mut cached, _) = build_session::<E>(scale, true, backend);
+fn ops_json(ops: &OpCounts) -> String {
+    format!(
+        "{{\"fixed_base_muls\": {}, \"variable_base_muls\": {}, \"pairings\": {}, \
+         \"miller_pairs\": {}, \"gt_pows\": {}}}",
+        ops.fixed_base_muls, ops.variable_base_muls, ops.pairings, ops.miller_pairs, ops.gt_pows
+    )
+}
+
+struct RunConfig {
+    scale: f64,
+    rounds: usize,
+    backend: Backend,
+    threads: usize,
+    json_path: String,
+}
+
+fn series<E: Engine>(cfg: &RunConfig) {
+    let t_setup = Instant::now();
+    let (mut uncached, rows) = build_session::<E>(cfg.scale, false, cfg.backend, cfg.threads);
+    let (mut cached, _) = build_session::<E>(cfg.scale, true, cfg.backend, cfg.threads);
+    let setup_s = t_setup.elapsed().as_secs_f64();
     println!(
-        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}, backend = {:?}\n",
-        rounds,
+        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}, \
+         backend = {:?}, threads = {}\n",
+        cfg.rounds,
         SELECTIVITY_LABELS.len(),
         rows.0,
         rows.1,
         E::NAME,
-        backend,
+        cfg.backend,
+        if cfg.threads == 0 {
+            "auto".to_owned()
+        } else {
+            cfg.threads.to_string()
+        },
     );
 
-    let (t_off, tkgen_off) = measure("cache off", &mut uncached, rounds);
-    let (t_on, tkgen_on) = measure("cache on", &mut cached, rounds);
+    let off = measure("cache off", &mut uncached, cfg.rounds);
+    let on = measure("cache on", &mut cached, cfg.rounds);
     assert!(
-        tkgen_on < tkgen_off,
-        "cache must issue strictly fewer SJ.TkGen calls"
+        on.tkgen_calls < off.tkgen_calls,
+        "token cache must issue strictly fewer SJ.TkGen calls"
+    );
+    // The decrypt-cache gate (CI smoke): with the token cache on, every
+    // repeated round hands the server byte-identical tokens, so the
+    // server cache must serve *all* rows after round one. Without the
+    // token cache the fresh per-query keys make every fingerprint new —
+    // zero hits, by design, not by accident.
+    if cfg.rounds >= 2 {
+        assert_eq!(
+            on.decrypt_cache_hits,
+            on.rows_decrypted - on.first_round_rows,
+            "every repeated round must be served from the server decrypt cache"
+        );
+        assert!(on.decrypt_cache_hits > 0, "cache-hit smoke gate");
+    }
+    assert_eq!(
+        off.decrypt_cache_hits, 0,
+        "fresh per-query keys must never hit the decrypt cache"
+    );
+    let hit_rate = on.decrypt_cache_hits as f64 / (on.rows_decrypted.max(1)) as f64;
+    println!(
+        "\nSJ.TkGen calls: {} -> {} ({}x fewer); wall time {:.2}x; \
+         decrypt-cache hit rate {:.1}% ({} of {} rows)",
+        off.tkgen_calls,
+        on.tkgen_calls,
+        off.tkgen_calls / on.tkgen_calls.max(1),
+        off.wall_s / on.wall_s.max(1e-9),
+        100.0 * hit_rate,
+        on.decrypt_cache_hits,
+        on.rows_decrypted,
     );
     println!(
-        "\nSJ.TkGen calls: {tkgen_off} -> {tkgen_on} ({}x fewer); wall time {:.2}x",
-        tkgen_off / tkgen_on.max(1),
-        t_off / t_on.max(1e-9),
+        "crypto ops (cache on):  {:?}\ncrypto ops (cache off): {:?}",
+        on.ops, off.ops
     );
     let transport = cached.stats().transport;
     println!(
@@ -161,18 +257,72 @@ fn series<E: Engine>(scale: f64, rounds: usize, backend: Backend) {
         transport.bytes_sent,
         transport.bytes_received,
     );
+
+    let json = format!(
+        "{{\n  \"bench\": \"session_series\",\n  \"engine\": \"{}\",\n  \"backend\": \"{}\",\n  \
+         \"rounds\": {},\n  \"queries_per_round\": {},\n  \"rows\": {{\"customers\": {}, \
+         \"orders\": {}}},\n  \"threads\": {},\n  \"phases\": {{\"setup_s\": {:.6}, \
+         \"series_token_cache_off_s\": {:.6}, \"series_token_cache_on_s\": {:.6}}},\n  \
+         \"tkgen_calls\": {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \
+         \"token_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"decrypt_cache\": {{\"hits\": {}, \
+         \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"crypto_ops\": \
+         {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \"transport\": \
+         {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
+         \"bytes_received\": {}}},\n  \"wall_speedup_cache_on\": {:.6}\n}}\n",
+        E::NAME,
+        cfg.backend.name(),
+        cfg.rounds,
+        SELECTIVITY_LABELS.len(),
+        rows.0,
+        rows.1,
+        cfg.threads,
+        setup_s,
+        off.wall_s,
+        on.wall_s,
+        off.tkgen_calls,
+        on.tkgen_calls,
+        on.token_cache_hits,
+        on.token_cache_misses,
+        on.decrypt_cache_hits,
+        on.rows_decrypted,
+        hit_rate,
+        ops_json(&off.ops),
+        ops_json(&on.ops),
+        transport.round_trips,
+        transport.requests,
+        transport.batches,
+        transport.bytes_sent,
+        transport.bytes_received,
+        off.wall_s / on.wall_s.max(1e-9),
+    );
+    match std::fs::write(&cfg.json_path, &json) {
+        Ok(()) => println!("wrote {}", cfg.json_path),
+        Err(e) => eprintln!("session_series: cannot write {}: {e}", cfg.json_path),
+    }
 }
 
 fn main() {
-    // `--backend X` may appear anywhere; everything else is positional.
+    // `--backend X`, `--threads N` and `--json PATH` may appear
+    // anywhere; everything else is positional.
     let mut backend = Backend::Local;
+    let mut threads = 0usize;
+    let mut json_path = "BENCH_session.json".to_owned();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
-        if arg == "--backend" {
-            backend = Backend::parse(&raw.next().expect("--backend needs a value"));
-        } else {
-            args.push(arg);
+        match arg.as_str() {
+            "--backend" => {
+                backend = Backend::parse(&raw.next().expect("--backend needs a value"));
+            }
+            "--threads" => {
+                threads = raw
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            "--json" => json_path = raw.next().expect("--json needs a value"),
+            _ => args.push(arg),
         }
     }
     let engine = args
@@ -181,9 +331,16 @@ fn main() {
         .unwrap_or("mock")
         .to_owned();
     let f = |i: usize, d: f64| args.get(i).map(|s| s.parse().expect("number")).unwrap_or(d);
+    let cfg = |scale: f64, rounds: f64| RunConfig {
+        scale: f(1, scale),
+        rounds: (f(2, rounds) as usize).max(2),
+        backend,
+        threads,
+        json_path: json_path.clone(),
+    };
     match engine.as_str() {
-        "mock" => series::<MockEngine>(f(1, 0.002), (f(2, 10.0) as usize).max(2), backend),
-        "bls" => series::<Bls12>(f(1, 0.0004), (f(2, 5.0) as usize).max(2), backend),
+        "mock" => series::<MockEngine>(&cfg(0.002, 10.0)),
+        "bls" => series::<Bls12>(&cfg(0.0004, 5.0)),
         other => panic!("unknown engine {other:?} (use 'mock' or 'bls')"),
     }
 }

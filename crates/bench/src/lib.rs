@@ -140,14 +140,29 @@ pub struct TpchSession<E: Engine> {
 }
 
 /// Build an encrypted `Customers`/`Orders` session: same tables and
-/// parameters as [`setup_tpch`], pre-filter on, token cache on.
+/// parameters as [`setup_tpch`], pre-filter on, token cache on — and
+/// the **decrypt cache off**, because the figure binaries time the
+/// same query repeatedly and must measure fresh `SJ.Dec` work every
+/// run. Use [`setup_tpch_session_with`] to opt back in.
 pub fn setup_tpch_session<E: Engine>(scale: f64, t: usize, seed: u64) -> TpchSession<E> {
+    setup_tpch_session_with(scale, t, seed, |config| config.decrypt_cache(false))
+}
+
+/// [`setup_tpch_session`] with a configuration hook (e.g. the cache
+/// benches re-enable the decrypt cache the figure harness turns off).
+pub fn setup_tpch_session_with<E: Engine>(
+    scale: f64,
+    t: usize,
+    seed: u64,
+    configure: impl FnOnce(SessionConfig) -> SessionConfig,
+) -> TpchSession<E> {
     let cfg = TpchConfig::new(scale, seed);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
     let rows = (customers.len(), orders.len());
-    let mut session =
-        Session::<E>::local(SessionConfig::new(2, t).seed(seed ^ 0xbe9c).prefilter(true));
+    let mut session = Session::<E>::local(configure(
+        SessionConfig::new(2, t).seed(seed ^ 0xbe9c).prefilter(true),
+    ));
     session
         .create_table(
             &customers,

@@ -32,6 +32,18 @@ impl<E: Engine> LocalBackend<E> {
         }
     }
 
+    /// Empty backend whose server resolves auto thread requests
+    /// (`JoinOptions::threads == 0`) to `threads` workers instead of
+    /// the machine's available parallelism (`eqjoind --threads`).
+    pub fn with_default_threads(threads: Option<usize>) -> Self {
+        let mut server = DbServer::new();
+        server.set_default_threads(threads);
+        LocalBackend {
+            server: RwLock::new(server),
+            counters: TransportCounters::default(),
+        }
+    }
+
     /// Read access to the underlying server (tests and experiments peek
     /// at stored ciphertexts). Holds the storage read lock for the
     /// guard's lifetime.

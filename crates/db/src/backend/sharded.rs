@@ -70,9 +70,19 @@ impl<E: Engine> ShardedBackend<E> {
     /// `n` in-process [`LocalBackend`](super::LocalBackend) shards
     /// (`n` is clamped to at least 1).
     pub fn local(n: usize) -> Self {
+        Self::local_with_threads(n, None)
+    }
+
+    /// Like [`ShardedBackend::local`], with every shard resolving auto
+    /// thread requests to `threads` workers (`eqjoind --shards N
+    /// --threads T`).
+    pub fn local_with_threads(n: usize, threads: Option<usize>) -> Self {
         Self::new(
             (0..n.max(1))
-                .map(|_| Box::new(super::LocalBackend::<E>::new()) as Box<dyn ServerApi<E>>)
+                .map(|_| {
+                    Box::new(super::LocalBackend::<E>::with_default_threads(threads))
+                        as Box<dyn ServerApi<E>>
+                })
                 .collect(),
         )
     }

@@ -326,6 +326,7 @@ fn put_options(w: &mut Writer, options: &JoinOptions) {
     });
     w.u8(options.use_prefilter as u8);
     w.u64(options.threads as u64);
+    w.u8(options.decrypt_cache as u8);
 }
 
 fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
@@ -336,10 +337,12 @@ fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
     };
     let use_prefilter = r.u8()? != 0;
     let threads = r.u64()? as usize;
+    let decrypt_cache = r.u8()? != 0;
     Ok(JoinOptions {
         algorithm,
         use_prefilter,
         threads,
+        decrypt_cache,
     })
 }
 
@@ -600,6 +603,7 @@ impl Response {
                 w.u64(s.matched_pairs as u64);
                 w.u64(s.decrypt_time.as_nanos() as u64);
                 w.u64(s.match_time.as_nanos() as u64);
+                w.u64(s.decrypt_cache_hits);
                 w.u64(observation.query_id);
                 w.u64(observation.equality_classes.len() as u64);
                 for class in &observation.equality_classes {
@@ -658,6 +662,7 @@ impl Response {
                     matched_pairs: r.u64()? as usize,
                     decrypt_time: Duration::from_nanos(r.u64()?),
                     match_time: Duration::from_nanos(r.u64()?),
+                    decrypt_cache_hits: r.u64()?,
                 };
                 let query_id = r.u64()?;
                 let n_classes = r.len("equality classes")?;
@@ -878,6 +883,7 @@ mod tests {
                 algorithm: JoinAlgorithm::NestedLoop,
                 use_prefilter: false,
                 threads: 3,
+                decrypt_cache: true,
             },
         };
         let insert2 = Request::<MockEngine>::from_bytes(&insert.to_bytes()).unwrap();

@@ -2,13 +2,30 @@
 //! queries with `SJ.Dec` + `SJ.Match`, and reports the equality pattern
 //! it (unavoidably) observes — the instrumentation the leakage
 //! experiments consume.
+//!
+//! # The series-aware decrypt cache
+//!
+//! `SJ.Dec` is one pairing per row — by far the server's hottest path.
+//! In the paper's *series* setting the same prepared query recurs
+//! (dashboards, retried reports), and the session's token cache then
+//! hands the server a **byte-identical** token bundle. Since
+//! `D_r = e(Tk, C_r)` is a pure function of the token and the stored
+//! ciphertext, the server memoizes the per-side decrypt output keyed by
+//! `(table, token fingerprint, table version)`: a repeat skips the
+//! pairing phase entirely (visible as [`ServerStats::decrypt_cache_hits`]
+//! and a zero pairing-counter delta). Inserting or re-encrypting a table
+//! bumps its version and purges its entries; the cache is capped and
+//! evicts FIFO. This caches only values the server would recompute from
+//! what it already stores — it observes nothing new, so the leakage
+//! accounting is unchanged.
 
 use crate::encrypted::{EncryptedTable, QueryTokens, SideTokens};
 use crate::error::DbError;
 use crate::join::{hash_join, nested_loop_join, JoinAlgorithm, MatchOutcome};
-use eqjoin_core::{SecureJoin, SjToken};
+use eqjoin_core::{SecureJoin, SjTableSide, SjToken};
 use eqjoin_pairing::Engine;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Join execution options.
@@ -18,9 +35,14 @@ pub struct JoinOptions {
     pub algorithm: JoinAlgorithm,
     /// Honor pre-filter tags if the ciphertexts carry them.
     pub use_prefilter: bool,
-    /// Worker threads for the decryption phase (1 = sequential; the
-    /// paper's setup is single-threaded, §6.5 discusses parallelism).
+    /// Worker threads for the decryption phase. `0` (the default) means
+    /// auto: one worker per available core, or the server's configured
+    /// default ([`DbServer::set_default_threads`]). The paper's §6.5
+    /// measures exactly this parallelism.
     pub threads: usize,
+    /// Serve repeated byte-identical tokens from the server's decrypt
+    /// cache (on by default; see the module docs).
+    pub decrypt_cache: bool,
 }
 
 impl Default for JoinOptions {
@@ -28,7 +50,8 @@ impl Default for JoinOptions {
         JoinOptions {
             algorithm: JoinAlgorithm::Hash,
             use_prefilter: true,
-            threads: 1,
+            threads: 0,
+            decrypt_cache: true,
         }
     }
 }
@@ -48,6 +71,10 @@ pub struct ServerStats {
     pub decrypt_time: Duration,
     /// Wall time of the `SJ.Match` phase.
     pub match_time: Duration,
+    /// Rows whose `SJ.Dec` output was served from the server's decrypt
+    /// cache (each hit skips one pairing). On a full repeat of a
+    /// cached query this equals `rows_decrypted`.
+    pub decrypt_cache_hits: u64,
 }
 
 /// One matched pair, carrying the sealed payloads back to the client.
@@ -82,9 +109,71 @@ pub struct JoinObservation {
     pub equality_classes: Vec<Vec<(String, usize)>>,
 }
 
+/// Maximum number of `(table, token)` entries the decrypt cache holds
+/// before FIFO eviction. Each entry is one side of one query — a series
+/// cycling through far more distinct queries than this is not a cache
+/// workload.
+const DECRYPT_CACHE_CAP: usize = 64;
+
+/// One memoized `SJ.Dec` side: the post-prefilter candidate rows and
+/// their match keys, valid for one table version.
+struct DecryptEntry {
+    table: String,
+    version: u64,
+    total_rows: usize,
+    rows: Arc<Vec<(usize, Vec<u8>)>>,
+}
+
+/// FIFO-capped memo of decrypt sides keyed by token fingerprint.
+#[derive(Default)]
+struct DecryptCache {
+    entries: HashMap<[u8; 32], DecryptEntry>,
+    order: VecDeque<[u8; 32]>,
+}
+
+impl DecryptCache {
+    fn get(&self, key: &[u8; 32], table: &str, version: u64) -> Option<&DecryptEntry> {
+        self.entries
+            .get(key)
+            .filter(|e| e.table == table && e.version == version)
+    }
+
+    fn insert(&mut self, key: [u8; 32], entry: DecryptEntry) {
+        if self.entries.insert(key, entry).is_none() {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > DECRYPT_CACHE_CAP {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drop every entry of `table` (called when the table is replaced).
+    fn purge_table(&mut self, table: &str) {
+        self.entries.retain(|_, e| e.table != table);
+        let entries = &self.entries;
+        self.order.retain(|k| entries.contains_key(k));
+    }
+}
+
+/// A stored table together with its monotonically increasing version
+/// (bumped on every upload under the same name — the decrypt cache's
+/// invalidation handle).
+struct StoredTable<E: Engine> {
+    table: EncryptedTable<E>,
+    version: u64,
+}
+
 /// The semi-honest DBMS server.
 pub struct DbServer<E: Engine> {
-    tables: HashMap<String, EncryptedTable<E>>,
+    tables: HashMap<String, StoredTable<E>>,
+    next_version: u64,
+    decrypt_cache: Mutex<DecryptCache>,
+    default_threads: Option<usize>,
 }
 
 impl<E: Engine> Default for DbServer<E> {
@@ -98,17 +187,53 @@ impl<E: Engine> DbServer<E> {
     pub fn new() -> Self {
         DbServer {
             tables: HashMap::new(),
+            next_version: 0,
+            decrypt_cache: Mutex::new(DecryptCache::default()),
+            default_threads: None,
         }
     }
 
-    /// Upload an encrypted table.
+    /// Upload an encrypted table. Re-uploading under an existing name
+    /// replaces the table, bumps its version and invalidates its
+    /// decrypt-cache entries.
     pub fn insert_table(&mut self, table: EncryptedTable<E>) {
-        self.tables.insert(table.name.clone(), table);
+        self.next_version += 1;
+        self.decrypt_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .purge_table(&table.name);
+        self.tables.insert(
+            table.name.clone(),
+            StoredTable {
+                table,
+                version: self.next_version,
+            },
+        );
     }
 
     /// Access a stored table.
     pub fn table(&self, name: &str) -> Option<&EncryptedTable<E>> {
-        self.tables.get(name)
+        self.tables.get(name).map(|stored| &stored.table)
+    }
+
+    /// Fix the worker count used when a request asks for auto threads
+    /// (`JoinOptions::threads == 0`). `None` (the default) resolves
+    /// auto to the machine's available parallelism.
+    pub fn set_default_threads(&mut self, threads: Option<usize>) {
+        self.default_threads = threads.filter(|&t| t > 0);
+    }
+
+    /// Resolve a request's thread count: explicit > server default >
+    /// available cores.
+    fn resolve_threads(&self, requested: usize) -> usize {
+        if requested > 0 {
+            return requested;
+        }
+        self.default_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 
     /// Execute a join query: per-row `SJ.Dec` on both sides (optionally
@@ -120,20 +245,22 @@ impl<E: Engine> DbServer<E> {
         tokens: &QueryTokens<E>,
         opts: &JoinOptions,
     ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
-        let left_table = self
+        let left_stored = self
             .tables
             .get(&tokens.left.table)
             .ok_or_else(|| DbError::UnknownTable(tokens.left.table.clone()))?;
-        let right_table = self
+        let right_stored = self
             .tables
             .get(&tokens.right.table)
             .ok_or_else(|| DbError::UnknownTable(tokens.right.table.clone()))?;
+        let left_table = &left_stored.table;
+        let right_table = &right_stored.table;
 
         let mut stats = ServerStats::default();
 
         let t0 = Instant::now();
-        let left_d = decrypt_side(left_table, &tokens.left, opts, &mut stats);
-        let right_d = decrypt_side(right_table, &tokens.right, opts, &mut stats);
+        let left_d = self.decrypt_side(left_stored, &tokens.left, opts, &mut stats);
+        let right_d = self.decrypt_side(right_stored, &tokens.right, opts, &mut stats);
         stats.decrypt_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -179,49 +306,112 @@ impl<E: Engine> DbServer<E> {
 
         Ok((EncryptedJoinResult { pairs, stats }, observation))
     }
+
+    /// Decrypt one side: `(row index, D bytes)` for every candidate row
+    /// that survives the pre-filter — served from the decrypt cache
+    /// when this exact token already ran against this table version.
+    fn decrypt_side(
+        &self,
+        stored: &StoredTable<E>,
+        side: &SideTokens<E>,
+        opts: &JoinOptions,
+        stats: &mut ServerStats,
+    ) -> Arc<Vec<(usize, Vec<u8>)>> {
+        let table = &stored.table;
+        let key = opts
+            .decrypt_cache
+            .then(|| side_fingerprint::<E>(side, opts.use_prefilter));
+        if let Some(key) = &key {
+            let cache = self.decrypt_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = cache.get(key, &table.name, stored.version) {
+                stats.rows_decrypted += entry.rows.len();
+                stats.rows_prefiltered_out += entry.total_rows - entry.rows.len();
+                stats.decrypt_cache_hits += entry.rows.len() as u64;
+                return Arc::clone(&entry.rows);
+            }
+        }
+
+        // Pre-filter: a row survives if, for every constrained column,
+        // its tag is in the allowed set.
+        let candidates: Vec<usize> = table
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                if !opts.use_prefilter || side.prefilter.is_empty() {
+                    return true;
+                }
+                match &row.tags {
+                    None => true, // table carries no tags; cannot pre-filter
+                    Some(tags) => side
+                        .prefilter
+                        .iter()
+                        .all(|(col, allowed)| allowed.contains(&tags[*col])),
+                }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        stats.rows_prefiltered_out += table.rows.len() - candidates.len();
+        stats.rows_decrypted += candidates.len();
+
+        let threads = self.resolve_threads(opts.threads);
+        let decrypt_one = |&idx: &usize| -> (usize, Vec<u8>) {
+            let d = SecureJoin::<E>::decrypt(&side.token, &table.rows[idx].cipher);
+            (idx, SecureJoin::<E>::match_key(&d))
+        };
+        let rows: Arc<Vec<(usize, Vec<u8>)>> = if threads <= 1 || candidates.len() < 2 {
+            Arc::new(candidates.iter().map(decrypt_one).collect())
+        } else {
+            Arc::new(parallel_decrypt(&candidates, &side.token, table, threads))
+        };
+
+        if let Some(key) = key {
+            self.decrypt_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    key,
+                    DecryptEntry {
+                        table: table.name.clone(),
+                        version: stored.version,
+                        total_rows: table.rows.len(),
+                        rows: Arc::clone(&rows),
+                    },
+                );
+        }
+        rows
+    }
 }
 
-/// Decrypt one side: returns `(row index, D bytes)` for every candidate
-/// row that survives the pre-filter.
-fn decrypt_side<E: Engine>(
-    table: &EncryptedTable<E>,
-    side: &SideTokens<E>,
-    opts: &JoinOptions,
-    stats: &mut ServerStats,
-) -> Vec<(usize, Vec<u8>)> {
-    // Pre-filter: a row survives if, for every constrained column, its
-    // tag is in the allowed set.
-    let candidates: Vec<usize> = table
-        .rows
-        .iter()
-        .enumerate()
-        .filter(|(_, row)| {
-            if !opts.use_prefilter || side.prefilter.is_empty() {
-                return true;
-            }
-            match &row.tags {
-                None => true, // table carries no tags; cannot pre-filter
-                Some(tags) => side
-                    .prefilter
-                    .iter()
-                    .all(|(col, allowed)| allowed.contains(&tags[*col])),
-            }
-        })
-        .map(|(i, _)| i)
-        .collect();
-    stats.rows_prefiltered_out += table.rows.len() - candidates.len();
-    stats.rows_decrypted += candidates.len();
-
-    let decrypt_one = |&idx: &usize| -> (usize, Vec<u8>) {
-        let d = SecureJoin::<E>::decrypt(&side.token, &table.rows[idx].cipher);
-        (idx, SecureJoin::<E>::match_key(&d))
-    };
-
-    if opts.threads <= 1 || candidates.len() < 2 {
-        candidates.iter().map(decrypt_one).collect()
-    } else {
-        parallel_decrypt(&candidates, &side.token, table, opts.threads)
+/// Collision-resistant fingerprint of one side's decrypt inputs: the
+/// token elements (byte serialization), the target table, the
+/// pre-filter constraint sets and whether the pre-filter applies.
+/// Byte-identical fingerprints decrypt to byte-identical outputs, which
+/// is what makes the memoization sound.
+fn side_fingerprint<E: Engine>(side: &SideTokens<E>, use_prefilter: bool) -> [u8; 32] {
+    let mut h = eqjoin_crypto::Sha256::new();
+    h.update(b"eqjoin-decrypt-cache-v1\0");
+    h.update(&(side.table.len() as u64).to_le_bytes());
+    h.update(side.table.as_bytes());
+    h.update(&[
+        use_prefilter as u8,
+        matches!(side.token.side(), SjTableSide::A) as u8,
+    ]);
+    h.update(&(side.token.elements().len() as u64).to_le_bytes());
+    for element in side.token.elements() {
+        let bytes = E::g1_bytes(element);
+        h.update(&(bytes.len() as u64).to_le_bytes());
+        h.update(&bytes);
     }
+    h.update(&(side.prefilter.len() as u64).to_le_bytes());
+    for (col, allowed) in &side.prefilter {
+        h.update(&(*col as u64).to_le_bytes());
+        h.update(&(allowed.len() as u64).to_le_bytes());
+        for tag in allowed {
+            h.update(tag);
+        }
+    }
+    h.finalize()
 }
 
 /// Chunked parallel decryption with std scoped threads.
@@ -432,6 +622,105 @@ mod tests {
         assert_eq!(nofilter.stats.rows_decrypted, 20);
         // Same matches either way.
         assert_eq!(result.stats.matched_pairs, nofilter.stats.matched_pairs);
+    }
+
+    #[test]
+    fn decrypt_cache_serves_full_repeats() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let opts = JoinOptions::default();
+        let (first, first_obs) = server.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(first.stats.decrypt_cache_hits, 0, "cold cache");
+        // Byte-identical tokens: the repeat must skip every SJ.Dec.
+        let (second, second_obs) = server.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(
+            second.stats.decrypt_cache_hits as usize, second.stats.rows_decrypted,
+            "100% of rows served from the cache"
+        );
+        assert_eq!(second.stats.rows_decrypted, first.stats.rows_decrypted);
+        assert_eq!(
+            second.stats.rows_prefiltered_out,
+            first.stats.rows_prefiltered_out
+        );
+        let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+            r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+        };
+        assert_eq!(key(&first), key(&second));
+        assert_eq!(first_obs.equality_classes, second_obs.equality_classes);
+        // Fresh tokens for the same query (new k) must miss.
+        let fresh = client.query_tokens(&query).unwrap();
+        let (third, _) = server.execute_join(&fresh, &opts).unwrap();
+        assert_eq!(third.stats.decrypt_cache_hits, 0);
+    }
+
+    #[test]
+    fn decrypt_cache_disabled_never_hits() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let opts = JoinOptions {
+            decrypt_cache: false,
+            ..Default::default()
+        };
+        let (a, _) = server.execute_join(&tokens, &opts).unwrap();
+        let (b, _) = server.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(a.stats.decrypt_cache_hits, 0);
+        assert_eq!(b.stats.decrypt_cache_hits, 0);
+        // And a cache-off run after a cache-on warmup returns the same
+        // bytes.
+        let (warm, _) = server
+            .execute_join(&tokens, &JoinOptions::default())
+            .unwrap();
+        let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+            r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+        };
+        assert_eq!(key(&a), key(&warm));
+    }
+
+    #[test]
+    fn table_update_invalidates_decrypt_cache() {
+        let (mut client, mut server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let opts = JoinOptions::default();
+        server.execute_join(&tokens, &opts).unwrap();
+        let (hit, _) = server.execute_join(&tokens, &opts).unwrap();
+        assert!(hit.stats.decrypt_cache_hits > 0, "warm before the update");
+
+        // Re-upload L (same rows re-encrypted): its entries must drop
+        // while R's survive — the next run decrypts L fresh but still
+        // serves R from the cache.
+        let mut left = Table::new(Schema::new("L", &["key", "color", "size"]));
+        left.push_row(vec![Value::Int(1), "red".into(), "s".into()]);
+        left.push_row(vec![Value::Int(2), "blue".into(), "m".into()]);
+        left.push_row(vec![Value::Int(3), "red".into(), "l".into()]);
+        let cfg = TableConfig {
+            join_column: "key".into(),
+            filter_columns: vec!["color".into(), "size".into()],
+        };
+        let reencrypted = client.encrypt_table(&left, cfg).unwrap();
+        server.insert_table(reencrypted);
+
+        let (after, _) = server.execute_join(&tokens, &opts).unwrap();
+        let r_rows = 3;
+        assert_eq!(
+            after.stats.decrypt_cache_hits, r_rows,
+            "only R's side may hit after L was replaced"
+        );
+    }
+
+    #[test]
+    fn decrypt_cache_eviction_keeps_the_cache_bounded() {
+        let (mut client, server, query) = setup();
+        let opts = JoinOptions::default();
+        // Far more distinct token bundles than the cap; every run is
+        // fresh so nothing hits, and the cache must not grow past CAP.
+        for _ in 0..(super::DECRYPT_CACHE_CAP / 2 + 4) {
+            let tokens = client.query_tokens(&query).unwrap();
+            let (res, _) = server.execute_join(&tokens, &opts).unwrap();
+            assert_eq!(res.stats.decrypt_cache_hits, 0);
+        }
+        let cache = server.decrypt_cache.lock().unwrap();
+        assert!(cache.entries.len() <= super::DECRYPT_CACHE_CAP);
+        assert_eq!(cache.entries.len(), cache.order.len());
     }
 
     #[test]

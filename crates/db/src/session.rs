@@ -92,13 +92,23 @@ impl SessionConfig {
         self
     }
 
+    /// Enable/disable the server's decrypt cache for this session's
+    /// joins (on by default). With both caches on, a repeated prepared
+    /// query skips `SJ.TkGen` client-side *and* every `SJ.Dec` pairing
+    /// server-side.
+    pub fn decrypt_cache(mut self, enabled: bool) -> Self {
+        self.options.decrypt_cache = enabled;
+        self
+    }
+
     /// Select the server-side matching algorithm.
     pub fn algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
         self.options.algorithm = algorithm;
         self
     }
 
-    /// Worker threads for the server's decryption phase.
+    /// Worker threads for the server's decryption phase (`0` = auto,
+    /// the default: one per available core on the executing server).
     pub fn threads(mut self, threads: usize) -> Self {
         self.options.threads = threads;
         self
@@ -241,6 +251,11 @@ pub struct SessionStats {
     pub token_cache_hits: u64,
     /// Token bundles generated fresh.
     pub token_cache_misses: u64,
+    /// Cumulative rows the *server* served from its decrypt cache over
+    /// this session's joins (each skipped one `SJ.Dec` pairing). Works
+    /// across all backends — the counter rides in every
+    /// [`ServerStats`] coming back over the wire.
+    pub decrypt_cache_hits: u64,
     /// Client-side crypto counters (includes `SJ.TkGen` calls).
     pub client: ClientStats,
     /// Joins dispatched to the backend whose outcome is *unknown*: the
@@ -515,6 +530,7 @@ impl<E: Engine> Session<E> {
         // Leakage accounting first: the server *has* observed this query
         // regardless of whether the client can open the payloads below,
         // so the ledger must record it even if decryption then fails.
+        self.stats.decrypt_cache_hits += result.stats.decrypt_cache_hits;
         let series_index = self.record_observation(&observation);
         self.decrypt_into_result_set(&prepared, result, series_index, cache_hit)
     }
@@ -593,6 +609,7 @@ impl<E: Engine> Session<E> {
                     result,
                     observation,
                 } => {
+                    self.stats.decrypt_cache_hits += result.stats.decrypt_cache_hits;
                     let series_index = self.record_observation(&observation);
                     executed.push(Ok((result, series_index)));
                 }
@@ -868,6 +885,61 @@ mod tests {
         s.execute(&q).unwrap();
         assert_eq!(s.stats().client.tkgen_calls, 4);
         assert_eq!(s.stats().token_cache_hits, 0);
+    }
+
+    #[test]
+    fn repeated_prepared_query_skips_all_server_decrypts() {
+        let mut s = session();
+        let q = s.prepare(JoinQuery::on("L", "k", "R", "k")).unwrap();
+        let inputs = vec![QueryInput::from(&q), QueryInput::from(&q)];
+        let results = s.execute_all(&inputs).unwrap();
+        assert_eq!(results[0].stats.decrypt_cache_hits, 0, "cold first run");
+        assert_eq!(
+            results[1].stats.decrypt_cache_hits as usize, results[1].stats.rows_decrypted,
+            "the repeat must serve every row from the server cache"
+        );
+        assert_eq!(results[0].rows, results[1].rows);
+        assert_eq!(
+            s.stats().decrypt_cache_hits,
+            results[1].stats.decrypt_cache_hits,
+            "session accumulates the per-query counters"
+        );
+        // With the decrypt cache off the repeat recomputes everything.
+        let mut off =
+            Session::<MockEngine>::local(SessionConfig::new(1, 3).seed(99).decrypt_cache(false));
+        let (left, right) = tables();
+        off.create_table(&left, cfg("L")).unwrap();
+        off.create_table(&right, cfg("R")).unwrap();
+        let q2 = off.prepare(JoinQuery::on("L", "k", "R", "k")).unwrap();
+        let off_results = off
+            .execute_all(&[QueryInput::from(&q2), QueryInput::from(&q2)])
+            .unwrap();
+        assert_eq!(off.stats().decrypt_cache_hits, 0);
+        // Cache on vs off: identical rows, pairs and leakage.
+        for (a, b) in results.iter().zip(&off_results) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.pairs, b.pairs);
+        }
+        assert_eq!(s.leakage_report(), off.leakage_report());
+    }
+
+    #[test]
+    fn recreating_a_table_invalidates_the_server_decrypt_cache() {
+        let mut s = session();
+        let q = JoinQuery::on("L", "k", "R", "k");
+        s.execute(&q).unwrap();
+        let warm = s.execute(&q).unwrap();
+        assert!(warm.stats.decrypt_cache_hits > 0);
+        // Re-create L: the token cache still serves the old bundle, but
+        // the server must re-decrypt L (only R's 2 rows may hit).
+        let (left, _) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        let after = s.execute(&q).unwrap();
+        assert!(after.cache_hit, "token cache unaffected by the upload");
+        assert_eq!(
+            after.stats.decrypt_cache_hits, 2,
+            "L entries invalidated; only R served from cache"
+        );
     }
 
     #[test]

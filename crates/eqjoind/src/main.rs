@@ -27,15 +27,18 @@ struct Options {
     listen: String,
     engine: String,
     shards: usize,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--shards N]\n\
+        "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--shards N] [--threads T]\n\
          \n\
          --listen ADDR   bind address (default 127.0.0.1:4747; port 0 picks one)\n\
          --engine NAME   pairing engine, must match clients (default bls)\n\
-         --shards N      execute joins over N internal shards (default 1)"
+         --shards N      execute joins over N internal shards (default 1)\n\
+         --threads T     decrypt workers per shard when a request asks for\n\
+                         auto threads (default: one per available core)"
     );
     std::process::exit(2)
 }
@@ -45,6 +48,7 @@ fn parse_options() -> Options {
         listen: "127.0.0.1:4747".to_owned(),
         engine: "bls".to_owned(),
         shards: 1,
+        threads: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,6 +60,11 @@ fn parse_options() -> Options {
                 options.shards = value("--shards")
                     .parse()
                     .unwrap_or_else(|_| usage_for("--shards"))
+            }
+            "--threads" => {
+                options.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--threads"))
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -70,10 +79,14 @@ fn usage_for(flag: &str) -> ! {
 }
 
 fn run<E: Engine>(options: &Options) -> ExitCode {
+    let threads = (options.threads > 0).then_some(options.threads);
     let backend: Arc<dyn ServerApi<E>> = if options.shards > 1 {
-        Arc::new(ShardedBackend::<E>::local(options.shards))
+        Arc::new(ShardedBackend::<E>::local_with_threads(
+            options.shards,
+            threads,
+        ))
     } else {
-        Arc::new(LocalBackend::<E>::new())
+        Arc::new(LocalBackend::<E>::with_default_threads(threads))
     };
     let server = match EqjoinServer::bind(options.listen.as_str()) {
         Ok(server) => server,

@@ -201,6 +201,44 @@ impl<C: CurveParams> Projective<C> {
         }
     }
 
+    /// Mixed addition with an affine point (`Z2 = 1`; EFD
+    /// `madd-2007-bl`). Saves ~4 field multiplications over the general
+    /// [`Projective::add`] — the workhorse of table-based scalar
+    /// multiplication, where every table entry is pre-normalized.
+    pub fn add_affine(&self, other: &Affine<C>) -> Self {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return other.to_projective();
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x * z1z1;
+        let s2 = other.y * self.z * z1z1;
+        if self.x == u2 {
+            return if self.y == s2 {
+                self.double()
+            } else {
+                Self::identity()
+            };
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
+    }
+
     /// Negation.
     pub fn neg(&self) -> Self {
         Projective {
@@ -218,6 +256,11 @@ impl<C: CurveParams> Projective<C> {
 
     /// Scalar multiplication by a little-endian limb-slice scalar
     /// (double-and-add, MSB first).
+    ///
+    /// This is the slow textbook ladder, kept as the correctness
+    /// oracle and benchmark baseline for the optimized paths in
+    /// [`crate::scalar_mul`] (wNAF and fixed-base comb tables); hot
+    /// code should call [`crate::scalar_mul::mul_wnaf`] instead.
     pub fn mul_limbs(&self, scalar: &[u64]) -> Self {
         let mut acc = Self::identity();
         for &limb in scalar.iter().rev() {
@@ -353,6 +396,20 @@ mod tests {
         };
         assert_eq!(p, scaled);
         assert!(scaled.is_on_curve());
+    }
+
+    #[test]
+    fn add_affine_matches_general_add() {
+        let p = base_point().mul_limbs(&[1234]);
+        let q = base_point().mul_limbs(&[987]);
+        let qa = q.to_affine();
+        assert_eq!(p.add_affine(&qa), p.add(&q));
+        // Branches: identity on either side, doubling, inverse pair.
+        let id = Projective::<TestCurve>::identity();
+        assert_eq!(id.add_affine(&qa), q);
+        assert_eq!(p.add_affine(&Affine::identity()), p);
+        assert_eq!(q.add_affine(&qa), q.double());
+        assert!(q.add_affine(&qa.neg()).is_identity());
     }
 
     #[test]

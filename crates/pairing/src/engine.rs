@@ -8,11 +8,11 @@
 //! opaquely: only generator exponentiations, pairings and `GT` equality
 //! are required (plus general adds/muls used by the baseline schemes).
 
-use crate::curve::{CurveParams, Projective};
 use crate::fr::Fr;
 use crate::g1::{self, G1Affine};
 use crate::g2::{self, G2Affine};
 use crate::pairing as pr;
+use crate::scalar_mul::FixedBaseTable;
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::OnceLock;
@@ -73,41 +73,6 @@ pub trait Engine: 'static + Clone + Copy + Debug + Send + Sync {
     fn g2_bytes(p: &Self::G2) -> Vec<u8>;
     /// Deserialize a `G2` element (validated).
     fn g2_from_bytes(bytes: &[u8]) -> Option<Self::G2>;
-}
-
-/// Fixed-base exponentiation table: 4-bit windows over a 256-bit scalar.
-struct FixedBaseTable<C: CurveParams> {
-    /// `windows[w][j] = j · 16^w · G` for `j` in `0..16`.
-    windows: Vec<[Projective<C>; 16]>,
-}
-
-impl<C: CurveParams> FixedBaseTable<C> {
-    fn build(base: &Projective<C>) -> Self {
-        let mut windows = Vec::with_capacity(64);
-        let mut window_base = *base;
-        for _ in 0..64 {
-            let mut row = [Projective::<C>::identity(); 16];
-            for j in 1..16 {
-                row[j] = row[j - 1].add(&window_base);
-            }
-            window_base = row[15].add(&window_base); // 16 · window_base
-            windows.push(row);
-        }
-        FixedBaseTable { windows }
-    }
-
-    fn mul(&self, s: &Fr) -> Projective<C> {
-        let limbs = s.to_canonical_limbs();
-        let mut acc = Projective::<C>::identity();
-        for w in 0..64 {
-            let limb = limbs[w / 16];
-            let nibble = ((limb >> (4 * (w % 16))) & 0xf) as usize;
-            if nibble != 0 {
-                acc = acc.add(&self.windows[w][nibble]);
-            }
-        }
-        acc
-    }
 }
 
 fn g1_table() -> &'static FixedBaseTable<crate::g1::G1Params> {

@@ -8,6 +8,7 @@ use crate::curve::{Affine, CurveParams, Projective};
 use crate::fp::Fp;
 use crate::fr::Fr;
 use crate::params;
+use crate::scalar_mul::mul_wnaf;
 
 use std::sync::OnceLock;
 
@@ -38,10 +39,10 @@ pub fn generator() -> &'static G1Projective {
         let mut x = Fp::one();
         loop {
             if let Some(point) = point_with_x(x) {
-                let cleared = point.to_projective().mul_limbs(&c.g1_cofactor);
+                let cleared = mul_wnaf(&point.to_projective(), &c.g1_cofactor);
                 if !cleared.is_identity() {
                     assert!(
-                        cleared.mul_limbs(&c.r_limbs).is_identity(),
+                        mul_wnaf(&cleared, &c.r_limbs).is_identity(),
                         "cofactor-cleared point must have order r"
                     );
                     return cleared;
@@ -71,14 +72,14 @@ fn canonical_y(y: Fp) -> Fp {
     }
 }
 
-/// Multiply a point by a scalar-field element.
+/// Multiply a point by a scalar-field element (wNAF).
 pub fn mul_fr(point: &G1Projective, s: &Fr) -> G1Projective {
-    point.mul_limbs(&s.to_canonical_limbs())
+    mul_wnaf(point, &s.to_canonical_limbs())
 }
 
-/// Check membership in the order-`r` subgroup.
+/// Check membership in the order-`r` subgroup (`r·P = O`, via wNAF).
 pub fn in_subgroup(point: &G1Projective) -> bool {
-    point.mul_limbs(&params::consts().r_limbs).is_identity()
+    mul_wnaf(point, &params::consts().r_limbs).is_identity()
 }
 
 /// Hash arbitrary bytes to a subgroup point (try-and-increment over the
@@ -97,9 +98,9 @@ pub fn hash_to_g1(domain: &[u8], msg: &[u8]) -> G1Projective {
         limbs6[..4].copy_from_slice(&limbs4);
         let x = Fp::from_canonical_limbs(limbs6).expect("r < p");
         if let Some(point) = point_with_x(x) {
-            let cleared = point
-                .to_projective()
-                .mul_limbs(&params::consts().g1_cofactor);
+            // Cofactor clearing through the wNAF path: the naive ladder
+            // here used to dominate every try-and-increment attempt.
+            let cleared = mul_wnaf(&point.to_projective(), &params::consts().g1_cofactor);
             if !cleared.is_identity() {
                 return cleared;
             }

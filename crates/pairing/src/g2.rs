@@ -10,6 +10,7 @@ use crate::fp::Fp;
 use crate::fp2::Fp2;
 use crate::fr::Fr;
 use crate::params;
+use crate::scalar_mul::mul_wnaf;
 use crate::traits::Field;
 use std::sync::OnceLock;
 
@@ -44,10 +45,10 @@ pub fn generator() -> &'static G2Projective {
             // don't accidentally start in a proper subfield).
             let x = Fp2::new(Fp::from_u64(n), Fp::one());
             if let Some(point) = point_with_x(x) {
-                let cleared = point.to_projective().mul_limbs(&c.g2_cofactor);
+                let cleared = mul_wnaf(&point.to_projective(), &c.g2_cofactor);
                 if !cleared.is_identity() {
                     assert!(
-                        cleared.mul_limbs(&c.r_limbs).is_identity(),
+                        mul_wnaf(&cleared, &c.r_limbs).is_identity(),
                         "cofactor-cleared twist point must have order r"
                     );
                     return cleared;
@@ -76,14 +77,14 @@ fn canonical_y(y: Fp2) -> Fp2 {
     }
 }
 
-/// Multiply a point by a scalar-field element.
+/// Multiply a point by a scalar-field element (wNAF).
 pub fn mul_fr(point: &G2Projective, s: &Fr) -> G2Projective {
-    point.mul_limbs(&s.to_canonical_limbs())
+    mul_wnaf(point, &s.to_canonical_limbs())
 }
 
-/// Check membership in the order-`r` subgroup.
+/// Check membership in the order-`r` subgroup (`r·P = O`, via wNAF).
 pub fn in_subgroup(point: &G2Projective) -> bool {
-    point.mul_limbs(&params::consts().r_limbs).is_identity()
+    mul_wnaf(point, &params::consts().r_limbs).is_identity()
 }
 
 /// Serialize an affine point (uncompressed; all-zero = identity).

@@ -20,6 +20,11 @@
 //!   with **batched inversions across a multi-pairing** so the product of
 //!   pairings in `SJ.Dec` shares one inversion per Miller step and a single
 //!   final exponentiation.
+//! * **Fast scalar multiplication** ([`scalar_mul`]): width-5 wNAF for
+//!   variable bases and affine fixed-base comb tables for the
+//!   generators (built once, then ≤ 64 mixed additions per
+//!   exponentiation); [`ops`] counts every hot-path operation so the
+//!   benchmark trajectory can audit "skipped work" claims exactly.
 //! * **[`mock`] engine**: a transparent-exponent stand-in with the same
 //!   [`engine::Engine`] API, used by fast protocol tests and by the
 //!   full-scale shape experiments (see DESIGN.md §4).
@@ -39,8 +44,10 @@ pub mod g1;
 pub mod g2;
 pub mod mock;
 pub mod montgomery;
+pub mod ops;
 pub mod pairing;
 pub mod params;
+pub mod scalar_mul;
 pub mod traits;
 
 pub use engine::{Bls12, Engine};
@@ -52,5 +59,6 @@ pub use fr::Fr;
 pub use g1::{G1Affine, G1Projective};
 pub use g2::{G2Affine, G2Projective};
 pub use mock::MockEngine;
+pub use ops::OpCounts;
 pub use pairing::{multi_pairing, pairing, Gt};
 pub use traits::Field;

@@ -1,0 +1,109 @@
+//! Process-wide operation counters for the cryptographic hot paths.
+//!
+//! The bench trajectory (`BENCH_session.json`, written by the
+//! `session_series` binary) reports *operation counts*, not just wall
+//! times: how many fixed-base exponentiations, variable-base scalar
+//! multiplications, pairings, Miller-loop pairs and `GT`
+//! exponentiations a workload performed. Counts are exact and
+//! machine-independent, so a cache that claims to skip the pairing
+//! phase can be audited by counter deltas rather than timing noise.
+//!
+//! Counters are relaxed atomics — the increments are nanoseconds next
+//! to the multi-microsecond operations they count — and cumulative per
+//! process; callers measure deltas via [`snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FIXED_BASE_MULS: AtomicU64 = AtomicU64::new(0);
+static VARIABLE_BASE_MULS: AtomicU64 = AtomicU64::new(0);
+static PAIRINGS: AtomicU64 = AtomicU64::new(0);
+static MILLER_PAIRS: AtomicU64 = AtomicU64::new(0);
+static GT_POWS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the cumulative operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Fixed-base generator exponentiations (comb-table `g1`/`g2`).
+    pub fixed_base_muls: u64,
+    /// Variable-base scalar multiplications (wNAF).
+    pub variable_base_muls: u64,
+    /// Pairing evaluations (each = one Miller loop + one final
+    /// exponentiation; a multi-pairing counts once).
+    pub pairings: u64,
+    /// Point pairs fed through Miller loops (a multi-pairing over `n`
+    /// pairs adds `n`).
+    pub miller_pairs: u64,
+    /// `GT` exponentiations.
+    pub gt_pows: u64,
+}
+
+impl OpCounts {
+    /// Component-wise `self - earlier` (saturating), for measuring a
+    /// workload between two snapshots.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            fixed_base_muls: self.fixed_base_muls.saturating_sub(earlier.fixed_base_muls),
+            variable_base_muls: self
+                .variable_base_muls
+                .saturating_sub(earlier.variable_base_muls),
+            pairings: self.pairings.saturating_sub(earlier.pairings),
+            miller_pairs: self.miller_pairs.saturating_sub(earlier.miller_pairs),
+            gt_pows: self.gt_pows.saturating_sub(earlier.gt_pows),
+        }
+    }
+}
+
+/// Read the cumulative counters.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        fixed_base_muls: FIXED_BASE_MULS.load(Ordering::Relaxed),
+        variable_base_muls: VARIABLE_BASE_MULS.load(Ordering::Relaxed),
+        pairings: PAIRINGS.load(Ordering::Relaxed),
+        miller_pairs: MILLER_PAIRS.load(Ordering::Relaxed),
+        gt_pows: GT_POWS.load(Ordering::Relaxed),
+    }
+}
+
+#[inline]
+pub(crate) fn count_fixed_base_mul() {
+    FIXED_BASE_MULS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_variable_base_mul() {
+    VARIABLE_BASE_MULS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_pairing(pairs: u64) {
+    PAIRINGS.fetch_add(1, Ordering::Relaxed);
+    MILLER_PAIRS.fetch_add(pairs, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_gt_pow() {
+    GT_POWS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_track_increments() {
+        let before = snapshot();
+        count_fixed_base_mul();
+        count_variable_base_mul();
+        count_pairing(3);
+        count_gt_pow();
+        let delta = snapshot().since(&before);
+        // Other tests run concurrently and also bump the globals, so
+        // assert lower bounds only.
+        assert!(delta.fixed_base_muls >= 1);
+        assert!(delta.variable_base_muls >= 1);
+        assert!(delta.pairings >= 1);
+        assert!(delta.miller_pairs >= 3);
+        assert!(delta.gt_pows >= 1);
+        assert_eq!(OpCounts::default().since(&snapshot()), OpCounts::default());
+    }
+}

@@ -71,6 +71,10 @@ fn config(token_cache: bool) -> SessionConfig {
         .token_cache(token_cache)
 }
 
+fn config_decrypt(decrypt_cache: bool) -> SessionConfig {
+    config(true).decrypt_cache(decrypt_cache)
+}
+
 /// Byte-exact encoding of a result series (rows and matched pairs).
 fn encode(results: &[ResultSet]) -> Vec<Vec<u8>> {
     results
@@ -153,6 +157,69 @@ fn all_three_backends_agree_and_remote_batches_into_one_round_trip() {
     // In-process backends count no wire bytes.
     assert_eq!(local.transport_stats().bytes_sent, 0);
     assert_eq!(sharded.transport_stats().bytes_sent, 0);
+}
+
+/// Acceptance: the server decrypt cache changes *nothing* observable —
+/// local/remote/sharded return byte-identical result sets and identical
+/// leakage reports with the cache on and off — while the repeated query
+/// (query 3 = query 0) is served 100% from the cache wherever the
+/// server actually lives, counted through the wire-format stats.
+#[test]
+fn decrypt_cache_is_invisible_in_results_and_counted_across_backends() {
+    let (baseline, baseline_report) = {
+        let mut session = Session::local(config_decrypt(false));
+        let encoded = run_series(&mut session);
+        (encoded, session.leakage_report())
+    };
+    let make = |decrypt_cache: bool| -> Vec<Session<MockEngine>> {
+        let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+        vec![
+            Session::local(config_decrypt(decrypt_cache)),
+            Session::remote(config_decrypt(decrypt_cache), addr).unwrap(),
+            Session::sharded(config_decrypt(decrypt_cache), 3),
+        ]
+    };
+    for decrypt_cache in [true, false] {
+        for mut session in make(decrypt_cache) {
+            populate(&mut session);
+            let inputs: Vec<QueryInput> = series().iter().map(QueryInput::from).collect();
+            let results = session.execute_all(&inputs).unwrap();
+
+            // The repeat (query 3) must be a full decrypt-cache hit iff
+            // the cache is on; everything else always misses (fresh k).
+            let repeat = &results[3];
+            if decrypt_cache {
+                assert_eq!(
+                    repeat.stats.decrypt_cache_hits as usize, repeat.stats.rows_decrypted,
+                    "repeat must skip 100% of SJ.Dec"
+                );
+                assert_eq!(
+                    session.stats().decrypt_cache_hits,
+                    repeat.stats.decrypt_cache_hits,
+                    "session total counts exactly the repeat's rows"
+                );
+            } else {
+                assert_eq!(session.stats().decrypt_cache_hits, 0);
+            }
+            for (i, result) in results.iter().enumerate() {
+                if i != 3 {
+                    assert_eq!(result.stats.decrypt_cache_hits, 0, "query {i}");
+                }
+            }
+
+            assert_eq!(
+                encode(&results),
+                baseline,
+                "decrypt_cache = {decrypt_cache}: results must be byte-identical"
+            );
+            assert_eq!(
+                session.leakage_report(),
+                baseline_report,
+                "decrypt_cache = {decrypt_cache}: leakage must be identical"
+            );
+            assert!(session.leakage_report().within_bound);
+        }
+    }
 }
 
 #[test]

@@ -78,6 +78,7 @@ fn exec_request(query_id: u64, seeds: &[u64], threads: u64) -> Req {
             },
             use_prefilter: query_id.is_multiple_of(3),
             threads: threads as usize,
+            decrypt_cache: query_id.is_multiple_of(5),
         },
     }
 }
@@ -101,6 +102,7 @@ fn join_response(pairs: &[(u64, u64, u64)], classes: &[(u64, u64)]) -> Response 
                 matched_pairs: pairs.len(),
                 decrypt_time: Duration::from_nanos(pairs.len() as u64 * 11),
                 match_time: Duration::from_nanos(classes.len() as u64 * 13),
+                decrypt_cache_hits: pairs.len() as u64 * 7,
             },
         },
         observation: JoinObservation {

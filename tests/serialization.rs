@@ -97,6 +97,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
         algorithm: JoinAlgorithm::Hash,
         use_prefilter: true,
         threads: 2,
+        decrypt_cache: true,
     };
 
     // In-process reference execution.
