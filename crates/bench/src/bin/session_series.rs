@@ -12,26 +12,71 @@
 //!
 //! Besides the human-readable report, the run writes a
 //! machine-readable **`BENCH_session.json`** (override with `--json
-//! PATH`) with per-phase wall times, op counts and cache hit rates —
-//! the bench-trajectory artifact tracked from PR 3 on.
+//! PATH`) with per-phase wall times, op counts, cache hit rates and
+//! per-stage op counts — the bench-trajectory artifact tracked from
+//! PR 3 on. From PR 4 the tracked artifact is the chain trajectory:
+//! refresh it with `bls 0.0004 5 --plan multiway`; other runs should
+//! pass `--json` (the binary warns before overwriting the tracked
+//! file with a different plan mode).
 //!
 //! ```sh
 //! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5
 //! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10
 //! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 10 --backend sharded
 //! cargo run --release -p eqjoin-bench --bin session_series -- bls 0.0004 5 --threads 4
+//! cargo run --release -p eqjoin-bench --bin session_series -- mock 0.002 5 --plan multiway
 //! ```
 //!
 //! Positional arguments: `engine [scale rounds]`, plus
 //! `--backend {local,remote,sharded}` (default `local`), `--threads N`
-//! (decrypt workers; 0 = auto, one per core) and `--json PATH`.
+//! (decrypt workers; 0 = auto, one per core), `--plan
+//! {pairwise,multiway}` (multiway runs 3-table
+//! `Orders ⋈ Customers ⋈ Profiles` chains with a projection — the JSON
+//! then carries per-stage op counts) and `--json PATH`.
 //!
 //! [`Session`]: eqjoin_db::Session
 
 use eqjoin_bench::{secs, selectivity_query, SELECTIVITY_LABELS};
-use eqjoin_db::{EqjoinServer, JoinQuery, Session, SessionConfig, TableConfig};
+use eqjoin_db::{
+    EqjoinServer, QueryInput, QueryPlan, Schema, ServerStats, Session, SessionConfig, Table,
+    TableConfig, Value,
+};
 use eqjoin_pairing::{ops, Bls12, Engine, MockEngine, OpCounts};
 use std::time::Instant;
+
+/// Which workload shape each round executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlanMode {
+    /// The PR-3 workload: four 2-table selectivity queries per round.
+    Pairwise,
+    /// Four 3-table `Orders ⋈ Customers ⋈ Profiles` chains with a
+    /// projection per round — each lowering to two pairwise stages.
+    Multiway,
+}
+
+impl PlanMode {
+    fn parse(s: &str) -> Self {
+        match s {
+            "pairwise" => PlanMode::Pairwise,
+            "multiway" => PlanMode::Multiway,
+            other => panic!("unknown plan mode {other:?} (use pairwise or multiway)"),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            PlanMode::Pairwise => "pairwise",
+            PlanMode::Multiway => "multiway",
+        }
+    }
+
+    fn stages(self) -> usize {
+        match self {
+            PlanMode::Pairwise => 1,
+            PlanMode::Multiway => 2,
+        }
+    }
+}
 
 /// Which transport the sessions run over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,12 +118,45 @@ impl Backend {
     }
 }
 
-/// One dashboard refresh: the four selectivity queries of Figures 3/4.
-fn refresh_queries() -> Vec<JoinQuery> {
+/// One dashboard refresh: four queries, one per selectivity label —
+/// either the Figures 3/4 pairwise joins or their 3-table chain
+/// extension (same filters, plus the `Profiles` link and a
+/// 3-column projection).
+fn refresh_inputs(mode: PlanMode) -> Vec<QueryInput> {
     SELECTIVITY_LABELS
         .iter()
-        .map(|s| selectivity_query(s, 3))
+        .map(|s| match mode {
+            PlanMode::Pairwise => QueryInput::from(selectivity_query(s, 3)),
+            PlanMode::Multiway => {
+                let pairwise = selectivity_query(s, 3);
+                let mut plan = QueryPlan::scan("Customers")
+                    .join_on("Customers", "custkey", "Orders", "custkey")
+                    .join_on("Customers", "custkey", "Profiles", "custkey")
+                    .project(&[
+                        ("Customers", "name"),
+                        ("Orders", "orderpriority"),
+                        ("Profiles", "region"),
+                    ]);
+                for f in &pairwise.filters {
+                    plan = plan.filter(&f.table, &f.column, f.values.clone());
+                }
+                QueryInput::from(plan)
+            }
+        })
         .collect()
+}
+
+/// One `Profiles` row per customer (the chain's third table).
+fn generate_profiles(customers: usize) -> Table {
+    let regions = ["emea", "apac", "amer"];
+    let mut t = Table::new(Schema::new("Profiles", &["custkey", "region"]));
+    for i in 0..customers {
+        t.push_row(vec![
+            Value::Int((i + 1) as i64),
+            regions[i % regions.len()].into(),
+        ]);
+    }
+    t
 }
 
 /// Encrypted TPC-H session with the cache toggled as requested.
@@ -87,6 +165,7 @@ fn build_session<E: Engine>(
     token_cache: bool,
     backend: Backend,
     threads: usize,
+    plan: PlanMode,
 ) -> (Session<E>, (usize, usize)) {
     use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
     let cfg = TpchConfig::new(scale, 0x5e55);
@@ -118,6 +197,17 @@ fn build_session<E: Engine>(
             },
         )
         .expect("encrypt orders");
+    if plan == PlanMode::Multiway {
+        session
+            .create_table(
+                &generate_profiles(rows.0),
+                TableConfig {
+                    join_column: "custkey".into(),
+                    filter_columns: vec!["region".into()],
+                },
+            )
+            .expect("encrypt profiles");
+    }
     (session, rows)
 }
 
@@ -130,21 +220,33 @@ struct Measurement {
     decrypt_cache_hits: u64,
     rows_decrypted: u64,
     first_round_rows: u64,
+    /// Server stats summed per pairwise stage index across the series.
+    stage_totals: Vec<ServerStats>,
     ops: OpCounts,
 }
 
 /// Run the series and report one line; returns the full measurement.
-fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> Measurement {
+fn measure<E: Engine>(
+    label: &str,
+    session: &mut Session<E>,
+    rounds: usize,
+    mode: PlanMode,
+) -> Measurement {
     let ops_before = ops::snapshot();
     let mut rows_decrypted = 0u64;
     let mut first_round_rows = 0u64;
+    let mut stage_totals = vec![ServerStats::default(); mode.stages()];
     let t0 = Instant::now();
     for round in 0..rounds {
-        for query in refresh_queries() {
-            let result = session.execute(&query).expect("join");
+        for input in refresh_inputs(mode) {
+            let result = session.execute(input).expect("join");
             rows_decrypted += result.stats.rows_decrypted as u64;
             if round == 0 {
                 first_round_rows += result.stats.rows_decrypted as u64;
+            }
+            assert_eq!(result.stage_stats.len(), mode.stages());
+            for (agg, s) in stage_totals.iter_mut().zip(&result.stage_stats) {
+                agg.merge(s);
             }
         }
     }
@@ -167,6 +269,7 @@ fn measure<E: Engine>(label: &str, session: &mut Session<E>, rounds: usize) -> M
         decrypt_cache_hits: stats.decrypt_cache_hits,
         rows_decrypted,
         first_round_rows,
+        stage_totals,
         ops: ops::snapshot().since(&ops_before),
     }
 }
@@ -184,19 +287,22 @@ struct RunConfig {
     rounds: usize,
     backend: Backend,
     threads: usize,
+    plan: PlanMode,
     json_path: String,
 }
 
 fn series<E: Engine>(cfg: &RunConfig) {
     let t_setup = Instant::now();
-    let (mut uncached, rows) = build_session::<E>(cfg.scale, false, cfg.backend, cfg.threads);
-    let (mut cached, _) = build_session::<E>(cfg.scale, true, cfg.backend, cfg.threads);
+    let (mut uncached, rows) =
+        build_session::<E>(cfg.scale, false, cfg.backend, cfg.threads, cfg.plan);
+    let (mut cached, _) = build_session::<E>(cfg.scale, true, cfg.backend, cfg.threads, cfg.plan);
     let setup_s = t_setup.elapsed().as_secs_f64();
     println!(
-        "session series — {} rounds × {} queries, {} customers + {} orders, engine = {}, \
+        "session series — {} rounds × {} {} queries, {} customers + {} orders, engine = {}, \
          backend = {:?}, threads = {}\n",
         cfg.rounds,
         SELECTIVITY_LABELS.len(),
+        cfg.plan.name(),
         rows.0,
         rows.1,
         E::NAME,
@@ -208,8 +314,8 @@ fn series<E: Engine>(cfg: &RunConfig) {
         },
     );
 
-    let off = measure("cache off", &mut uncached, cfg.rounds);
-    let on = measure("cache on", &mut cached, cfg.rounds);
+    let off = measure("cache off", &mut uncached, cfg.rounds, cfg.plan);
+    let on = measure("cache on", &mut cached, cfg.rounds, cfg.plan);
     assert!(
         on.tkgen_calls < off.tkgen_calls,
         "token cache must issue strictly fewer SJ.TkGen calls"
@@ -258,19 +364,44 @@ fn series<E: Engine>(cfg: &RunConfig) {
         transport.bytes_received,
     );
 
+    // Per-stage op counts (cache-on arm): what each pairwise stage of
+    // the workload cost across the whole series — the chain trajectory
+    // signal for multiway runs.
+    let stages_json: String = on
+        .stage_totals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "{{\"stage\": {i}, \"rows_decrypted\": {}, \"rows_prefiltered_out\": {}, \
+                 \"comparisons\": {}, \"matched_pairs\": {}, \"decrypt_cache_hits\": {}, \
+                 \"decrypt_s\": {:.6}, \"match_s\": {:.6}}}",
+                s.rows_decrypted,
+                s.rows_prefiltered_out,
+                s.comparisons,
+                s.matched_pairs,
+                s.decrypt_cache_hits,
+                s.decrypt_time.as_secs_f64(),
+                s.match_time.as_secs_f64(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"bench\": \"session_series\",\n  \"engine\": \"{}\",\n  \"backend\": \"{}\",\n  \
+         \"plan\": \"{}\",\n  \
          \"rounds\": {},\n  \"queries_per_round\": {},\n  \"rows\": {{\"customers\": {}, \
          \"orders\": {}}},\n  \"threads\": {},\n  \"phases\": {{\"setup_s\": {:.6}, \
          \"series_token_cache_off_s\": {:.6}, \"series_token_cache_on_s\": {:.6}}},\n  \
          \"tkgen_calls\": {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \
          \"token_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"decrypt_cache\": {{\"hits\": {}, \
-         \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"crypto_ops\": \
+         \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"stages\": [{}],\n  \"crypto_ops\": \
          {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \"transport\": \
          {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
          \"bytes_received\": {}}},\n  \"wall_speedup_cache_on\": {:.6}\n}}\n",
         E::NAME,
         cfg.backend.name(),
+        cfg.plan.name(),
         cfg.rounds,
         SELECTIVITY_LABELS.len(),
         rows.0,
@@ -286,6 +417,7 @@ fn series<E: Engine>(cfg: &RunConfig) {
         on.decrypt_cache_hits,
         on.rows_decrypted,
         hit_rate,
+        stages_json,
         ops_json(&off.ops),
         ops_json(&on.ops),
         transport.round_trips,
@@ -295,6 +427,15 @@ fn series<E: Engine>(cfg: &RunConfig) {
         transport.bytes_received,
         off.wall_s / on.wall_s.max(1e-9),
     );
+    if cfg.json_path == "BENCH_session.json" && cfg.plan != PlanMode::Multiway {
+        eprintln!(
+            "note: overwriting the tracked BENCH_session.json (a --plan multiway \
+             trajectory since PR 4) with a {} run — pass --json PATH to write \
+             elsewhere, or refresh the tracked artifact with `bls 0.0004 5 --plan \
+             multiway`",
+            cfg.plan.name(),
+        );
+    }
     match std::fs::write(&cfg.json_path, &json) {
         Ok(()) => println!("wrote {}", cfg.json_path),
         Err(e) => eprintln!("session_series: cannot write {}: {e}", cfg.json_path),
@@ -302,10 +443,11 @@ fn series<E: Engine>(cfg: &RunConfig) {
 }
 
 fn main() {
-    // `--backend X`, `--threads N` and `--json PATH` may appear
-    // anywhere; everything else is positional.
+    // `--backend X`, `--threads N`, `--plan P` and `--json PATH` may
+    // appear anywhere; everything else is positional.
     let mut backend = Backend::Local;
     let mut threads = 0usize;
+    let mut plan = PlanMode::Pairwise;
     let mut json_path = "BENCH_session.json".to_owned();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -320,6 +462,9 @@ fn main() {
                     .expect("--threads needs a value")
                     .parse()
                     .expect("--threads needs a number");
+            }
+            "--plan" => {
+                plan = PlanMode::parse(&raw.next().expect("--plan needs a value"));
             }
             "--json" => json_path = raw.next().expect("--json needs a value"),
             _ => args.push(arg),
@@ -336,6 +481,7 @@ fn main() {
         rounds: (f(2, rounds) as usize).max(2),
         backend,
         threads,
+        plan,
         json_path: json_path.clone(),
     };
     match engine.as_str() {

@@ -23,6 +23,13 @@ impl SizeRange for Range<usize> {
     }
 }
 
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
 /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
 pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
     VecStrategy { element, size }

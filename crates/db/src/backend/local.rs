@@ -62,9 +62,13 @@ impl<E: Engine> LocalBackend<E> {
                     .insert_table(table);
                 Response::TableInserted { table: name, rows }
             }
-            Request::ExecuteJoin { tokens, options } => {
+            Request::ExecuteJoin {
+                tokens,
+                options,
+                projection,
+            } => {
                 let server = self.server.read().unwrap_or_else(|e| e.into_inner());
-                match server.execute_join(&tokens, &options) {
+                match server.execute_join_projected(&tokens, &options, &projection) {
                     Ok((result, observation)) => Response::JoinExecuted {
                         result,
                         observation,
@@ -138,6 +142,7 @@ mod tests {
                         match backend.handle(Request::ExecuteJoin {
                             tokens,
                             options: JoinOptions::default(),
+                            projection: Default::default(),
                         }) {
                             Response::JoinExecuted { result, .. } => result
                                 .pairs

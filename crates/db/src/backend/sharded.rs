@@ -308,6 +308,7 @@ mod tests {
             |backend: &dyn ServerApi<MockEngine>| match backend.handle(Request::ExecuteJoin {
                 tokens: tokens.clone(),
                 options: JoinOptions::default(),
+                projection: Default::default(),
             }) {
                 Response::JoinExecuted { result, .. } => result
                     .pairs
@@ -345,6 +346,7 @@ mod tests {
         match sharded.handle(Request::ExecuteJoin {
             tokens,
             options: JoinOptions::default(),
+            projection: Default::default(),
         }) {
             Response::Error(DbError::UnknownTable(t)) => assert_eq!(t, "R"),
             other => panic!("expected UnknownTable, got {other:?}"),

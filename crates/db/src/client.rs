@@ -82,6 +82,13 @@ pub struct ClientStats {
     pub tkgen_calls: u64,
     /// Number of rows encrypted via `SJ.Enc`.
     pub rows_encrypted: u64,
+    /// Sealed column payloads opened (one AEAD open per decrypted
+    /// column value).
+    pub column_decrypts: u64,
+    /// Column decrypts a projection *avoided*: columns of matched rows
+    /// the client never opened (and, with server-side payload
+    /// projection, never even received).
+    pub column_decrypts_skipped: u64,
 }
 
 /// The trusted client of the outsourced-database model (§2).
@@ -208,8 +215,20 @@ impl<E: Engine> DbClient<E> {
             }
             let encoding = RowEncoding::from_bytes(&join_bytes, &attr_bytes);
             let cipher = SecureJoin::<E>::encrypt_row(&self.msk, &encoding, &mut self.rng);
-            let ad = format!("{}#{}", schema.name, ridx);
-            let payload = self.aead.seal(&mut self.rng, ad.as_bytes(), &row.encode());
+            // One sealed blob per column: the associated data binds
+            // table, row and column index, so payloads can neither be
+            // swapped between rows nor between columns — and the client
+            // can open exactly the columns a projection selects.
+            let payloads = row
+                .0
+                .iter()
+                .enumerate()
+                .map(|(cidx, value)| {
+                    let ad = payload_ad(&schema.name, ridx, cidx);
+                    self.aead
+                        .seal(&mut self.rng, ad.as_bytes(), &value.canonical_bytes())
+                })
+                .collect();
             let tags = self.prefilter_enabled.then(|| {
                 filter_idx
                     .iter()
@@ -219,7 +238,7 @@ impl<E: Engine> DbClient<E> {
             });
             rows.push(EncryptedRow {
                 cipher,
-                payload,
+                payloads,
                 tags,
             });
             self.stats.rows_encrypted += 1;
@@ -238,6 +257,17 @@ impl<E: Engine> DbClient<E> {
     /// Build the two tokens (sharing one fresh query key `k`) for a join
     /// query.
     pub fn query_tokens(&mut self, query: &JoinQuery) -> Result<QueryTokens<E>, DbError> {
+        // Every filter must be bound to one of the two joined tables —
+        // a typo'd table name used to be skipped silently, leaving that
+        // side of the join unfiltered.
+        for f in &query.filters {
+            if f.table != query.left_table && f.table != query.right_table {
+                return Err(DbError::FilterTableNotInQuery {
+                    table: f.table.clone(),
+                    column: f.column.clone(),
+                });
+            }
+        }
         let key = SecureJoin::<E>::fresh_query_key(&mut self.rng);
         let query_id = self.next_query_id;
         self.next_query_id += 1;
@@ -333,9 +363,13 @@ impl<E: Engine> DbClient<E> {
         })
     }
 
-    /// Decrypt the server's matched row pairs into joined plaintext rows.
+    /// Decrypt the server's matched row pairs into joined plaintext
+    /// rows. This is the low-level whole-row path — it expects full
+    /// (unprojected) payload vectors; sessions executing a projected
+    /// [`QueryPlan`](crate::plan::QueryPlan) use [`DbClient::open_value`]
+    /// per selected column instead.
     pub fn decrypt_result(
-        &self,
+        &mut self,
         query: &JoinQuery,
         result: &crate::server::EncryptedJoinResult,
     ) -> Result<Vec<JoinedRow>, DbError> {
@@ -345,8 +379,8 @@ impl<E: Engine> DbClient<E> {
             .ok_or_else(|| DbError::UnknownTable(query.left_table.clone()))?;
         let mut out = Vec::with_capacity(result.pairs.len());
         for pair in &result.pairs {
-            let left = self.open_row(&query.left_table, pair.left_row, &pair.left_payload)?;
-            let right = self.open_row(&query.right_table, pair.right_row, &pair.right_payload)?;
+            let left = self.open_row(&query.left_table, pair.left_row, &pair.left_payloads)?;
+            let right = self.open_row(&query.right_table, pair.right_row, &pair.right_payloads)?;
             // θ is the (equal) join value, recovered from the left row.
             let theta = left.get(join_idx).clone();
             out.push(JoinedRow { theta, left, right });
@@ -354,14 +388,50 @@ impl<E: Engine> DbClient<E> {
         Ok(out)
     }
 
-    fn open_row(&self, table: &str, row_idx: usize, payload: &[u8]) -> Result<Row, DbError> {
-        let ad = format!("{table}#{row_idx}");
+    /// Open one sealed column payload of `table`'s row `row_idx`. The
+    /// associated data binds `(table, row, column)`, so a swapped or
+    /// tampered blob fails authentication.
+    pub fn open_value(
+        &mut self,
+        table: &str,
+        row_idx: usize,
+        column_idx: usize,
+        payload: &[u8],
+    ) -> Result<Value, DbError> {
+        let ad = payload_ad(table, row_idx, column_idx);
         let plain = self
             .aead
             .open(ad.as_bytes(), payload)
             .map_err(|_| DbError::PayloadCorrupted)?;
-        Row::decode(&plain).ok_or(DbError::PayloadCorrupted)
+        self.stats.column_decrypts += 1;
+        Value::from_canonical_bytes(&plain).ok_or(DbError::PayloadCorrupted)
     }
+
+    /// Record `n` column decrypts a projection skipped (bookkeeping for
+    /// [`ClientStats::column_decrypts_skipped`]).
+    pub fn note_skipped_column_decrypts(&mut self, n: u64) {
+        self.stats.column_decrypts_skipped += n;
+    }
+
+    fn open_row(
+        &mut self,
+        table: &str,
+        row_idx: usize,
+        payloads: &[Vec<u8>],
+    ) -> Result<Row, DbError> {
+        let values = payloads
+            .iter()
+            .enumerate()
+            .map(|(cidx, payload)| self.open_value(table, row_idx, cidx, payload))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Row(values))
+    }
+}
+
+/// Associated-data string binding a sealed payload to its
+/// `(table, row, column)` slot.
+fn payload_ad(table: &str, row_idx: usize, column_idx: usize) -> String {
+    format!("{table}#{row_idx}#{column_idx}")
 }
 
 #[cfg(test)]

@@ -43,6 +43,20 @@ impl Value {
         out
     }
 
+    /// Inverse of [`Value::canonical_bytes`] — the canonical encoding is
+    /// self-delimiting given the blob length, so a single value can be
+    /// sealed and recovered on its own (the per-column payload path).
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Option<Value> {
+        let (tag, rest) = bytes.split_first()?;
+        Some(match tag {
+            0x01 => Value::Int(i64::from_le_bytes(rest.try_into().ok()?)),
+            0x02 => Value::Str(String::from_utf8(rest.to_vec()).ok()?),
+            0x03 => Value::Decimal(i64::from_le_bytes(rest.try_into().ok()?)),
+            0x04 => Value::Date(i32::from_le_bytes(rest.try_into().ok()?)),
+            _ => return None,
+        })
+    }
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         let body = self.canonical_bytes();
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -238,6 +252,23 @@ mod tests {
             Value::Str(String::new()),
         ]);
         assert_eq!(Row::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn canonical_bytes_round_trip_single_values() {
+        for v in [
+            Value::Int(-42),
+            Value::Str("hello".into()),
+            Value::Str(String::new()),
+            Value::Decimal(123456),
+            Value::Date(19000),
+        ] {
+            assert_eq!(Value::from_canonical_bytes(&v.canonical_bytes()), Some(v));
+        }
+        assert_eq!(Value::from_canonical_bytes(&[]), None);
+        assert_eq!(Value::from_canonical_bytes(&[0x09, 1, 2]), None);
+        // Truncated Int body.
+        assert_eq!(Value::from_canonical_bytes(&[0x01, 1, 2]), None);
     }
 
     #[test]

@@ -8,8 +8,11 @@ use eqjoin_pairing::Engine;
 pub struct EncryptedRow<E: Engine> {
     /// The Secure Join ciphertext vector `C_r = g2^{w_r·B*}`.
     pub cipher: SjRowCiphertext<E>,
-    /// AEAD-sealed row payload (the client decrypts this after a match).
-    pub payload: Vec<u8>,
+    /// AEAD-sealed row payload, one blob **per column** (associated
+    /// data binds table, row index and column index). Sealing columns
+    /// individually is what makes projections real: the client opens
+    /// only the selected columns and the server ships only those blobs.
+    pub payloads: Vec<Vec<u8>>,
     /// Optional pre-filter tags, one per filter column
     /// (`PRF(k_col, value)`, 16 bytes). Present only if the client
     /// enabled the selectivity pre-filter for this table.
@@ -51,7 +54,7 @@ impl<E: Engine> EncryptedTable<E> {
                     .iter()
                     .map(|e| E::g2_bytes(e).len())
                     .sum::<usize>()
-                    + r.payload.len()
+                    + r.payloads.iter().map(Vec::len).sum::<usize>()
                     + r.tags.as_ref().map_or(0, |t| t.len() * 16)
             })
             .sum()

@@ -41,6 +41,26 @@ pub enum DbError {
     },
     /// An `IN` clause with no values selects nothing.
     EmptyInClause,
+    /// A filter names a table that is not part of the query. (Without
+    /// this check a typo'd table name would silently leave that side of
+    /// the join unfiltered.)
+    FilterTableNotInQuery {
+        /// The table the filter names.
+        table: String,
+        /// The filter column.
+        column: String,
+    },
+    /// The projection lists the same output column twice.
+    DuplicateProjectionColumn {
+        /// Table of the duplicated column.
+        table: String,
+        /// The duplicated column.
+        column: String,
+    },
+    /// A [`QueryPlan`](crate::plan::QueryPlan) is structurally invalid
+    /// (e.g. a join edge references a table that is not yet part of the
+    /// plan, or a projection sits below a join).
+    InvalidPlan(String),
     /// Payload authentication failed during result decryption.
     PayloadCorrupted,
     /// A table declares more filter columns than the `m` fixed at setup.
@@ -93,6 +113,14 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::EmptyInClause => write!(f, "IN clause must contain at least one value"),
+            DbError::FilterTableNotInQuery { table, column } => write!(
+                f,
+                "filter on {table}.{column} names a table that is not part of the query"
+            ),
+            DbError::DuplicateProjectionColumn { table, column } => {
+                write!(f, "column {table}.{column} appears twice in the projection")
+            }
+            DbError::InvalidPlan(msg) => write!(f, "invalid query plan: {msg}"),
             DbError::PayloadCorrupted => write!(f, "row payload failed authentication"),
             DbError::TooManyFilterColumns { table, got, max } => write!(
                 f,

@@ -1,52 +1,70 @@
 //! The encrypted DBMS engine the paper evaluates, organized around a
-//! [`Session`] for *series* of queries — the object the paper's leakage
-//! result (Corollary 5.2.2) is actually about.
+//! [`Session`] for *series* of select-project-join queries — the
+//! object the paper's leakage result (Corollary 5.2.2) is actually
+//! about.
 //!
 //! ```text
 //!                 Session<E>  (trusted side)
 //!   ┌────────────────────────────────────────────────┐
-//!   │ catalog ── SqlPlanner ──▶ PreparedQuery        │
+//!   │ catalog ─ SqlPlanner ▶ QueryPlan ─ lower ──▶   │
+//!   │                     PreparedQuery (stages)     │
 //!   │                              │                 │
-//!   │ DbClient (keys) ◀── token cache (per series)   │
+//!   │ DbClient (keys) ◀── token cache (per stage)    │
 //!   │    │ encrypt_table  │ query_tokens on miss     │
 //!   │    ▼                ▼                          │
-//!   │ LeakageLedger   Request::{InsertTable,         │
-//!   │ (report)                  ExecuteJoin}         │
-//!   └───────────────────────┬────────────────────────┘
+//!   │ LeakageLedger   Request::Batch of pairwise     │
+//!   │ (per stage)       ExecuteJoins (+ projection)  │
+//!   │ stitch + per-column decrypt ◀──────┐           │
+//!   └───────────────────────┬────────────┼───────────┘
 //!                           │  ServerApi (protocol)
 //!                           ▼
 //!              LocalBackend / remote backend
 //!   ┌────────────────────────────────────────────────┐
 //!   │ DbServer: SJ.Dec per row (pre-filter, threads) │
 //!   │           SJ.Match via hash / nested-loop join │
-//!   │           → EncryptedJoinResult + observation  │
+//!   │           → EncryptedJoinResult (projected     │
+//!   │             payload columns) + observation     │
 //!   └────────────────────────────────────────────────┘
 //! ```
 //!
-//! Most callers only need the session layer:
+//! Most callers only need the plan and session layers:
 //!
+//! * [`plan`] — the [`QueryPlan`] IR: logical
+//!   `Scan → Filter → Join → Project` trees, validated against the
+//!   session [`Catalog`] and lowered to pairwise join stages (multi-way
+//!   chains execute as pipelined pairwise joins; projections select
+//!   which sealed columns ship and decrypt).
 //! * [`session`] — [`Session`], [`SessionConfig`], [`PreparedQuery`],
-//!   [`ResultSet`], the per-series token cache and the embedded
-//!   [`LeakageLedger`](eqjoin_leakage::LeakageLedger).
+//!   [`ResultSet`], the per-stage token cache and the embedded
+//!   [`LeakageLedger`](eqjoin_leakage::LeakageLedger) (one entry per
+//!   executed stage; see the session docs for why a chain adds nothing
+//!   beyond the closure bound).
 //! * [`protocol`] — the [`ServerApi`] transport trait and the
-//!   [`Request`]/[`Response`] message enums (including batched series)
-//!   with their wire codec.
+//!   [`Request`]/[`Response`] message enums (including batched series
+//!   and payload projections) with their wire codec.
 //! * [`backend`] — the transports: in-process [`LocalBackend`],
 //!   networked [`RemoteBackend`] (+ [`EqjoinServer`], the engine behind
 //!   the `eqjoind` binary), shard-routing [`ShardedBackend`], and
-//!   [`TransportStats`].
+//!   [`TransportStats`]. Backends only ever see pairwise
+//!   `ExecuteJoin`s — plans reach them as ordinary batches.
 //!
 //! The documented low-level layer underneath (useful for experiments
 //! that need to drive each protocol step by hand):
 //!
 //! * [`data`] — the plaintext relational model (`Value`, `Row`, `Table`).
-//! * [`query`] — logical equi-join queries with `IN`-clause filters.
-//! * [`client`] — key management, table encryption, token generation,
-//!   result decryption ([`DbClient`], configured via [`ClientConfig`]).
+//! * [`query`] — two-table equi-join queries with `IN`-clause filters
+//!   (the pairwise special case; [`QueryPlan::pairwise`] embeds one).
+//! * [`client`] — key management, per-column table encryption, token
+//!   generation, result decryption ([`DbClient`], configured via
+//!   [`ClientConfig`]; [`ClientStats`] counts the column decrypts a
+//!   projection performs and skips).
 //! * [`server`] — storage, per-row `SJ.Dec`, `O(n)` hash join /
-//!   `O(n²)` nested-loop join, optional parallelism, and the optional
-//!   selectivity pre-filter (§4.3).
-//! * [`join`] — the matching algorithms on decrypted `D` values.
+//!   `O(n²)` nested-loop join, optional parallelism, the optional
+//!   selectivity pre-filter (§4.3), and payload projection
+//!   ([`PayloadProjection`]).
+//! * [`join`] — the matching algorithms on decrypted `D` values, plus
+//!   [`stitch_stages`](join::stitch_stages), which composes pairwise
+//!   stage results into chain tuples.
 
 pub mod backend;
 pub mod client;
@@ -54,6 +72,7 @@ pub mod data;
 pub mod encrypted;
 pub mod error;
 pub mod join;
+pub mod plan;
 pub mod protocol;
 pub mod query;
 pub mod server;
@@ -65,10 +84,12 @@ pub use data::{Row, Schema, Table, Value};
 pub use encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 pub use error::DbError;
 pub use join::JoinAlgorithm;
+pub use plan::{ColumnId, LoweredPlan, OutputColumn, PlanNode, QueryPlan, Stage};
 pub use protocol::{Request, Response, ServerApi};
 pub use query::{InFilter, JoinQuery};
 pub use server::{
-    DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats,
+    DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, PayloadProjection,
+    ServerStats,
 };
 pub use session::{
     Catalog, LeakageReport, PreparedQuery, QueryInput, ResultSet, Session, SessionConfig,

@@ -47,7 +47,9 @@ use crate::backend::TransportStats;
 use crate::encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 use crate::error::DbError;
 use crate::join::JoinAlgorithm;
-use crate::server::{EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, ServerStats};
+use crate::server::{
+    EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, PayloadProjection, ServerStats,
+};
 use eqjoin_core::{SjRowCiphertext, SjTableSide, SjToken};
 use eqjoin_pairing::Engine;
 use std::time::Duration;
@@ -65,6 +67,9 @@ pub enum Request<E: Engine> {
         tokens: QueryTokens<E>,
         /// Execution options.
         options: JoinOptions,
+        /// Which sealed payload columns each side should ship back
+        /// (projection pushdown; the default asks for everything).
+        projection: PayloadProjection,
     },
     /// A pipelined series of requests, answered by one
     /// [`Response::Batch`] of the same arity. Must not nest.
@@ -346,6 +351,57 @@ fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
     })
 }
 
+fn put_column_list(w: &mut Writer, cols: &Option<Vec<usize>>) {
+    match cols {
+        None => w.u8(0),
+        Some(cols) => {
+            w.u8(1);
+            w.u64(cols.len() as u64);
+            for &c in cols {
+                w.u64(c as u64);
+            }
+        }
+    }
+}
+
+fn get_column_list(r: &mut Reader<'_>) -> Result<Option<Vec<usize>>, DbError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n = r.len("projection columns")?;
+            (0..n)
+                .map(|_| Ok(r.u64()? as usize))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+        other => Err(DbError::Protocol(format!("bad projection marker {other}"))),
+    }
+}
+
+fn put_projection(w: &mut Writer, projection: &PayloadProjection) {
+    put_column_list(w, &projection.left);
+    put_column_list(w, &projection.right);
+}
+
+fn get_projection(r: &mut Reader<'_>) -> Result<PayloadProjection, DbError> {
+    Ok(PayloadProjection {
+        left: get_column_list(r)?,
+        right: get_column_list(r)?,
+    })
+}
+
+fn put_payloads(w: &mut Writer, payloads: &[Vec<u8>]) {
+    w.u64(payloads.len() as u64);
+    for p in payloads {
+        w.bytes(p);
+    }
+}
+
+fn get_payloads(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, DbError> {
+    let n = r.len("column payloads")?;
+    (0..n).map(|_| Ok(r.bytes()?.to_vec())).collect()
+}
+
 fn put_table<E: Engine>(w: &mut Writer, table: &EncryptedTable<E>) {
     w.str(&table.name);
     w.str(&table.join_column);
@@ -359,7 +415,7 @@ fn put_table<E: Engine>(w: &mut Writer, table: &EncryptedTable<E>) {
         for e in row.cipher.elements() {
             put_g2::<E>(w, e);
         }
-        w.bytes(&row.payload);
+        put_payloads(w, &row.payloads);
         match &row.tags {
             None => w.u8(0),
             Some(tags) => {
@@ -385,7 +441,7 @@ fn get_table<E: Engine>(r: &mut Reader<'_>) -> Result<EncryptedTable<E>, DbError
         let elements = (0..n_elems)
             .map(|_| get_g2::<E>(r))
             .collect::<Result<_, _>>()?;
-        let payload = r.bytes()?.to_vec();
+        let payloads = get_payloads(r)?;
         let tags = match r.u8()? {
             0 => None,
             1 => {
@@ -408,7 +464,7 @@ fn get_table<E: Engine>(r: &mut Reader<'_>) -> Result<EncryptedTable<E>, DbError
         };
         rows.push(EncryptedRow {
             cipher: SjRowCiphertext::from_elements(elements),
-            payload,
+            payloads,
             tags,
         });
     }
@@ -474,6 +530,20 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.u8(11);
             w.str(msg);
         }
+        DbError::FilterTableNotInQuery { table, column } => {
+            w.u8(12);
+            w.str(table);
+            w.str(column);
+        }
+        DbError::DuplicateProjectionColumn { table, column } => {
+            w.u8(13);
+            w.str(table);
+            w.str(column);
+        }
+        DbError::InvalidPlan(msg) => {
+            w.u8(14);
+            w.str(msg);
+        }
     }
 }
 
@@ -508,6 +578,15 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
         9 => DbError::Sql(r.str()?),
         10 => DbError::NoSqlPlanner,
         11 => DbError::Transport(r.str()?),
+        12 => DbError::FilterTableNotInQuery {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        13 => DbError::DuplicateProjectionColumn {
+            table: r.str()?,
+            column: r.str()?,
+        },
+        14 => DbError::InvalidPlan(r.str()?),
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -522,10 +601,15 @@ impl<E: Engine> Request<E> {
                 put_table(&mut w, table);
                 w.out
             }
-            Request::ExecuteJoin { tokens, options } => {
+            Request::ExecuteJoin {
+                tokens,
+                options,
+                projection,
+            } => {
                 let mut w = Writer::new(2);
                 put_query_tokens(&mut w, tokens);
                 put_options(&mut w, options);
+                put_projection(&mut w, projection);
                 w.out
             }
             Request::Batch(requests) => {
@@ -553,6 +637,7 @@ impl<E: Engine> Request<E> {
             2 => Request::ExecuteJoin {
                 tokens: get_query_tokens(&mut r)?,
                 options: get_options(&mut r)?,
+                projection: get_projection(&mut r)?,
             },
             3 => {
                 let n = r.len("batch requests")?;
@@ -593,8 +678,8 @@ impl Response {
                 for p in &result.pairs {
                     w.u64(p.left_row as u64);
                     w.u64(p.right_row as u64);
-                    w.bytes(&p.left_payload);
-                    w.bytes(&p.right_payload);
+                    put_payloads(&mut w, &p.left_payloads);
+                    put_payloads(&mut w, &p.right_payloads);
                 }
                 let s = &result.stats;
                 w.u64(s.rows_decrypted as u64);
@@ -651,8 +736,8 @@ impl Response {
                     pairs.push(MatchedPair {
                         left_row: r.u64()? as usize,
                         right_row: r.u64()? as usize,
-                        left_payload: r.bytes()?.to_vec(),
-                        right_payload: r.bytes()?.to_vec(),
+                        left_payloads: get_payloads(&mut r)?,
+                        right_payloads: get_payloads(&mut r)?,
                     });
                 }
                 let stats = ServerStats {
@@ -748,6 +833,7 @@ mod tests {
         match backend.handle(Request::ExecuteJoin {
             tokens,
             options: JoinOptions::default(),
+            projection: Default::default(),
         }) {
             Response::JoinExecuted { result, .. } => assert_eq!(result.pairs.len(), 1),
             _ => panic!("expected JoinExecuted"),
@@ -762,6 +848,7 @@ mod tests {
         match backend.handle(Request::ExecuteJoin {
             tokens,
             options: JoinOptions::default(),
+            projection: Default::default(),
         }) {
             Response::Error(DbError::UnknownTable(t)) => assert_eq!(t, "T"),
             _ => panic!("expected UnknownTable error response"),
@@ -780,6 +867,7 @@ mod tests {
             |tokens: QueryTokens<MockEngine>| match sequential.handle(Request::ExecuteJoin {
                 tokens,
                 options: JoinOptions::default(),
+                projection: Default::default(),
             }) {
                 Response::JoinExecuted { result, .. } => result
                     .pairs
@@ -797,10 +885,12 @@ mod tests {
             Request::ExecuteJoin {
                 tokens: tokens_a,
                 options: JoinOptions::default(),
+                projection: Default::default(),
             },
             Request::ExecuteJoin {
                 tokens: tokens_b,
                 options: JoinOptions::default(),
+                projection: Default::default(),
             },
         ]));
         let Response::Batch(responses) = response else {
@@ -833,6 +923,7 @@ mod tests {
             Request::ExecuteJoin {
                 tokens,
                 options: JoinOptions::default(),
+                projection: Default::default(),
             },
         ]);
         let bytes = batch.to_bytes();
@@ -885,6 +976,7 @@ mod tests {
                 threads: 3,
                 decrypt_cache: true,
             },
+            projection: Default::default(),
         };
         let insert2 = Request::<MockEngine>::from_bytes(&insert.to_bytes()).unwrap();
         let exec2 = Request::<MockEngine>::from_bytes(&exec.to_bytes()).unwrap();

@@ -1,9 +1,15 @@
-//! Logical equi-join queries — the shape the paper supports:
+//! Logical two-table equi-join queries — the shape the paper's scheme
+//! executes natively:
 //!
 //! ```sql
 //! SELECT * FROM T_A JOIN T_B ON A0 = B0
 //! WHERE A1 IN (φ…) AND B3 IN (ψ…)
 //! ```
+//!
+//! A [`JoinQuery`] is the pairwise special case of the session's
+//! [`QueryPlan`](crate::plan::QueryPlan) IR
+//! ([`QueryPlan::pairwise`](crate::plan::QueryPlan::pairwise) embeds
+//! one); multi-way chains and projections live in [`crate::plan`].
 
 use crate::data::Value;
 

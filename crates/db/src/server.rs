@@ -77,6 +77,37 @@ pub struct ServerStats {
     pub decrypt_cache_hits: u64,
 }
 
+impl ServerStats {
+    /// Accumulate another execution's counters into this one (counts
+    /// add, durations add) — the single place that knows every field,
+    /// so per-plan and per-stage aggregations cannot silently drop a
+    /// counter added later.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.rows_decrypted += other.rows_decrypted;
+        self.rows_prefiltered_out += other.rows_prefiltered_out;
+        self.comparisons += other.comparisons;
+        self.matched_pairs += other.matched_pairs;
+        self.decrypt_time += other.decrypt_time;
+        self.match_time += other.match_time;
+        self.decrypt_cache_hits += other.decrypt_cache_hits;
+    }
+}
+
+/// Which sealed payload columns each side of a join should ship back —
+/// the server half of projection pushdown. `None` means every column
+/// (`SELECT *`); an explicit list means exactly those schema indices,
+/// in the given order (an empty list ships no payloads at all, which a
+/// chain uses for tables whose payloads another stage already
+/// provides). The projection only selects among *stored blobs*; it
+/// never changes which rows are decrypted, matched or observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PayloadProjection {
+    /// Wanted payload columns of the left table.
+    pub left: Option<Vec<usize>>,
+    /// Wanted payload columns of the right table.
+    pub right: Option<Vec<usize>>,
+}
+
 /// One matched pair, carrying the sealed payloads back to the client.
 #[derive(Clone, Debug)]
 pub struct MatchedPair {
@@ -84,10 +115,12 @@ pub struct MatchedPair {
     pub left_row: usize,
     /// Row index in the right table.
     pub right_row: usize,
-    /// Sealed payload of the left row.
-    pub left_payload: Vec<u8>,
-    /// Sealed payload of the right row.
-    pub right_payload: Vec<u8>,
+    /// Sealed per-column payloads of the left row (all columns, or the
+    /// subset the request's [`PayloadProjection`] asked for, in the
+    /// requested order).
+    pub left_payloads: Vec<Vec<u8>>,
+    /// Sealed per-column payloads of the right row.
+    pub right_payloads: Vec<Vec<u8>>,
 }
 
 /// The server's response to a join query.
@@ -236,14 +269,26 @@ impl<E: Engine> DbServer<E> {
         })
     }
 
-    /// Execute a join query: per-row `SJ.Dec` on both sides (optionally
-    /// pre-filtered and parallel), then `SJ.Match` via the selected
-    /// algorithm. Returns the encrypted result and the leakage
-    /// observation.
+    /// Execute a join query with full payloads — shorthand for
+    /// [`DbServer::execute_join_projected`] with no projection.
     pub fn execute_join(
         &self,
         tokens: &QueryTokens<E>,
         opts: &JoinOptions,
+    ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
+        self.execute_join_projected(tokens, opts, &PayloadProjection::default())
+    }
+
+    /// Execute a join query: per-row `SJ.Dec` on both sides (optionally
+    /// pre-filtered and parallel), then `SJ.Match` via the selected
+    /// algorithm. Returns the encrypted result — matched pairs carrying
+    /// only the payload columns `projection` asks for — and the leakage
+    /// observation.
+    pub fn execute_join_projected(
+        &self,
+        tokens: &QueryTokens<E>,
+        opts: &JoinOptions,
+        projection: &PayloadProjection,
     ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
         let left_stored = self
             .tables
@@ -275,13 +320,21 @@ impl<E: Engine> DbServer<E> {
         let pairs = outcome
             .pairs
             .iter()
-            .map(|&(l, r)| MatchedPair {
-                left_row: l,
-                right_row: r,
-                left_payload: left_table.rows[l].payload.clone(),
-                right_payload: right_table.rows[r].payload.clone(),
+            .map(|&(l, r)| {
+                Ok(MatchedPair {
+                    left_row: l,
+                    right_row: r,
+                    left_payloads: project_payloads(
+                        &left_table.rows[l].payloads,
+                        projection.left.as_deref(),
+                    )?,
+                    right_payloads: project_payloads(
+                        &right_table.rows[r].payloads,
+                        projection.right.as_deref(),
+                    )?,
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, DbError>>()?;
 
         let observation = JoinObservation {
             query_id: tokens.query_id,
@@ -380,6 +433,28 @@ impl<E: Engine> DbServer<E> {
                 );
         }
         rows
+    }
+}
+
+/// Select the requested payload columns of one stored row (`None` =
+/// all). An out-of-range index is a malformed request.
+fn project_payloads(
+    payloads: &[Vec<u8>],
+    wanted: Option<&[usize]>,
+) -> Result<Vec<Vec<u8>>, DbError> {
+    match wanted {
+        None => Ok(payloads.to_vec()),
+        Some(indices) => indices
+            .iter()
+            .map(|&i| {
+                payloads.get(i).cloned().ok_or_else(|| {
+                    DbError::Protocol(format!(
+                        "payload projection index {i} out of range ({} columns stored)",
+                        payloads.len()
+                    ))
+                })
+            })
+            .collect(),
     }
 }
 

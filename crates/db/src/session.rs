@@ -1,50 +1,69 @@
 //! The [`Session`] facade: one object owning keys, planning, transport
-//! and per-query leakage accounting for a **series** of join queries —
-//! the paper's actual subject (Corollary 5.2.2 bounds leakage over a
+//! and per-query leakage accounting for a **series** of queries — the
+//! paper's actual subject (Corollary 5.2.2 bounds leakage over a
 //! series, not a single query).
 //!
 //! ```text
-//!   "SELECT * FROM A JOIN B ON … WHERE x IN (…)"
-//!        │ prepare (SqlPlanner + catalog)
+//!   "SELECT c.name, o.total FROM c JOIN o ON … JOIN s ON … WHERE …"
+//!        │ prepare (SqlPlanner → QueryPlan → lower(catalog))
 //!        ▼
-//!   PreparedQuery ── execute ──▶ token cache ──▶ DbClient::query_tokens
-//!        │        └ execute_all: whole series, one Request::Batch
-//!        │                          │ hit: reuse bundle (skip SJ.TkGen)
+//!   PreparedQuery ─ execute ─▶ per-stage token cache ─▶ query_tokens
+//!        │   (pairwise stages)      │ hit: reuse stage bundle
 //!        │                          ▼
 //!        │                ServerApi backend (local / remote / sharded)
-//!        │                          │
+//!        │                — a chain ships as one Request::Batch of
+//!        │                  pairwise ExecuteJoins, one round trip —
+//!        ▼                          │
+//!   ResultSet ◀─ stitch + project ──┘ (per-column decrypt)
+//!        │            each stage's JoinObservation
 //!        ▼                          ▼
-//!   ResultSet ◀── decrypt ──── EncryptedJoinResult + JoinObservation
-//!                                   │
-//!                                   ▼
-//!                             LeakageLedger (leakage_report())
+//!   rows/tuples               LeakageLedger (leakage_report())
 //! ```
 //!
-//! # Token caching and the fresh-`k` rule
+//! # Plans, stages and the token cache
 //!
-//! The cache is keyed by the **whole query** (both sides, canonical
-//! filter order). That granularity is forced by the scheme: the two
-//! [`SjToken`](eqjoin_core::SjToken)s of one query share a fresh key
-//! `k`, and it is exactly the freshness of `k` *across distinct queries*
-//! that makes a series leak no more than the transitive closure of the
-//! per-query leakages (Corollary 5.2.2). Re-using a cached side token
-//! inside a *different* query would force that query's other side onto
-//! the old `k` and make result rows comparable across the two queries —
+//! The session's unit of execution is a [`QueryPlan`] — a logical
+//! select-project-join tree lowered to a pipeline of **pairwise join
+//! stages** (see [`crate::plan`]). A two-table [`JoinQuery`] is simply
+//! a one-stage plan ([`QueryPlan::pairwise`]).
+//!
+//! The token cache is keyed by the **canonical pairwise stage** (both
+//! sides, canonical filter sets). That granularity is forced by the
+//! scheme: the two [`SjToken`](eqjoin_core::SjToken)s of one stage
+//! share a fresh key `k`, and it is exactly the freshness of `k`
+//! *across distinct stages* that keeps a series inside the closure
+//! bound of Corollary 5.2.2. Re-using a cached side token inside a
+//! *different* stage would make result rows comparable across the two —
 //! super-additive leakage the paper's design rules out. Re-issuing the
-//! *same* query under its old `k` reveals nothing new: the equality
-//! pattern it exposes is the one the first execution already revealed.
-//! Hence: repeated queries skip `SJ.TkGen` entirely (the hot
-//! pairing-group path); distinct queries always draw a fresh `k`.
+//! *same* canonical stage under its old `k` reveals nothing new. Hence:
+//! repeated stages skip `SJ.TkGen` entirely, and because the key is the
+//! stage (not the whole plan), **overlapping chains share tokens** — a
+//! series running `A⋈B⋈C` and later `A⋈B⋈D` pays for the `A⋈B`
+//! bundle once.
+//!
+//! # What a multi-way chain adds to the leakage report
+//!
+//! Each pairwise stage is a query of its own in the ledger: a 3-table
+//! chain records two [`QueryLeakage`] entries. The server additionally
+//! learns which stages belong to one chain (they arrive in one batch) —
+//! but that link adds no *pair* leakage beyond the transitive closure
+//! the ledger already accounts for: the middle table's rows appear in
+//! both stages' equality classes, so the closure over the union already
+//! connects them. [`Session::leakage_report`] therefore stays the
+//! paper's bound, now over `Σ stages` instead of `Σ queries`.
 
 use crate::backend::{LocalBackend, RemoteBackend, ShardedBackend, TransportStats};
-use crate::client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
-use crate::data::Table;
+use crate::client::{ClientConfig, ClientStats, DbClient, TableConfig};
+use crate::data::{Row, Table, Value};
 use crate::encrypted::QueryTokens;
 use crate::error::DbError;
-use crate::join::JoinAlgorithm;
+use crate::join::{stitch_stages, JoinAlgorithm, StageLink};
+use crate::plan::{ColumnId, LoweredPlan, QueryPlan};
 use crate::protocol::{Request, Response, ServerApi};
 use crate::query::JoinQuery;
-use crate::server::{EncryptedJoinResult, JoinObservation, JoinOptions, ServerStats};
+use crate::server::{
+    EncryptedJoinResult, JoinObservation, JoinOptions, PayloadProjection, ServerStats,
+};
 use eqjoin_leakage::{closure, pairs_from_classes, LeakageLedger, Node, PairSet, QueryLeakage};
 use eqjoin_pairing::Engine;
 use std::collections::{BTreeMap, HashMap};
@@ -57,8 +76,8 @@ pub struct SessionConfig {
     pub client: ClientConfig,
     /// Server-side execution options sent with every join.
     pub options: JoinOptions,
-    /// Cache token bundles per canonical query (on by default; see the
-    /// module docs for why the cache key is the whole query).
+    /// Cache token bundles per canonical pairwise stage (on by default;
+    /// see the module docs for why the cache key is the stage).
     pub token_cache: bool,
 }
 
@@ -116,25 +135,28 @@ impl SessionConfig {
 }
 
 /// Table name → ordered column names, as registered via
-/// [`Session::create_table`]. SQL planners resolve bare column
-/// references against this.
+/// [`Session::create_table`]. SQL planners and plan lowering resolve
+/// column references against this.
 pub type Catalog = BTreeMap<String, Vec<String>>;
 
 /// A pluggable SQL front-end. Implemented by `eqjoin-sql`'s
 /// `SqlFrontend`; the `eqjoin` facade crate installs it automatically.
 pub trait SqlPlanner {
     /// Parse `sql` and resolve it against `catalog` into a logical
-    /// [`JoinQuery`].
-    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<JoinQuery, DbError>;
+    /// [`QueryPlan`].
+    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<QueryPlan, DbError>;
 }
 
-/// Anything [`Session::prepare`]/[`Session::execute`] accepts: SQL text,
-/// a logical [`JoinQuery`], or an already-prepared query.
+/// Anything [`Session::prepare`]/[`Session::execute`] accepts: SQL
+/// text, a logical [`QueryPlan`], a two-table [`JoinQuery`], or an
+/// already-prepared query.
 #[derive(Clone)]
 pub enum QueryInput {
     /// SQL text (requires an installed [`SqlPlanner`]).
     Sql(String),
-    /// A logical query, bypassing the SQL front-end.
+    /// A logical plan, bypassing the SQL front-end.
+    Plan(QueryPlan),
+    /// A two-table query (shorthand for [`QueryPlan::pairwise`]).
     Query(JoinQuery),
     /// A previously prepared query.
     Prepared(PreparedQuery),
@@ -149,6 +171,18 @@ impl From<&str> for QueryInput {
 impl From<String> for QueryInput {
     fn from(sql: String) -> Self {
         QueryInput::Sql(sql)
+    }
+}
+
+impl From<QueryPlan> for QueryInput {
+    fn from(plan: QueryPlan) -> Self {
+        QueryInput::Plan(plan)
+    }
+}
+
+impl From<&QueryPlan> for QueryInput {
+    fn from(plan: &QueryPlan) -> Self {
+        QueryInput::Plan(plan.clone())
     }
 }
 
@@ -176,31 +210,48 @@ impl From<&PreparedQuery> for QueryInput {
     }
 }
 
-/// A planned query with its canonical cache key.
+/// A planned query: the logical plan, its lowering (tables, pairwise
+/// stages, resolved projection) and the per-stage cache keys.
 #[derive(Clone, Debug)]
 pub struct PreparedQuery {
-    query: JoinQuery,
+    plan: QueryPlan,
+    lowered: LoweredPlan,
+    stage_fingerprints: Vec<Vec<u8>>,
     fingerprint: Vec<u8>,
 }
 
 impl PreparedQuery {
-    /// The resolved logical query.
-    pub fn query(&self) -> &JoinQuery {
-        &self.query
+    /// The logical plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
     }
 
-    /// Canonical cache key: identical for semantically identical queries
-    /// (filter order and duplicate `IN` values do not matter).
+    /// The validated lowering: tables in join order, pairwise stages,
+    /// resolved projection.
+    pub fn lowered(&self) -> &LoweredPlan {
+        &self.lowered
+    }
+
+    /// Canonical cache key of the whole plan: identical for
+    /// semantically identical plans (filter order and duplicate `IN`
+    /// values do not matter). The token cache uses the finer
+    /// [`PreparedQuery::stage_fingerprints`].
     pub fn fingerprint(&self) -> &[u8] {
         &self.fingerprint
     }
+
+    /// Canonical cache key per pairwise stage — what the session token
+    /// cache is keyed on, so overlapping chains share stage tokens.
+    pub fn stage_fingerprints(&self) -> &[Vec<u8>] {
+        &self.stage_fingerprints
+    }
 }
 
-/// Canonical byte encoding of a query: table/column names
-/// length-prefixed, followed by the query's *effective* IN sets
+/// Canonical byte encoding of a pairwise stage: table/column names
+/// length-prefixed, followed by the stage's *effective* IN sets
 /// ([`JoinQuery::canonical_filter_sets`] — deduplicated, same-column
 /// filters intersected, sorted). Token generation consumes exactly the
-/// same canonical sets, so two queries with the same fingerprint are
+/// same canonical sets, so two stages with the same fingerprint are
 /// guaranteed to execute identically — sharing one token bundle between
 /// them is safe.
 fn fingerprint(query: &JoinQuery) -> Vec<u8> {
@@ -225,38 +276,50 @@ fn fingerprint(query: &JoinQuery) -> Vec<u8> {
     out
 }
 
-/// Decrypted result of one executed query.
+/// Decrypted result of one executed plan.
 #[derive(Debug)]
 pub struct ResultSet {
-    /// The joined plaintext rows.
-    pub rows: Vec<JoinedRow>,
-    /// Matched `(left row, right row)` server-side indices, aligned with
-    /// `rows` (experiments compare these against the plaintext reference
-    /// join).
+    /// Output column headers (qualified), in projection order.
+    pub columns: Vec<ColumnId>,
+    /// The projected plaintext rows, aligned with `columns`.
+    pub rows: Vec<Row>,
+    /// Matched server-side row indices per output row: `tuples[i][p]`
+    /// is the row of table position `p` (join order) behind `rows[i]`.
+    pub tuples: Vec<Vec<usize>>,
+    /// Legacy pairwise view: `(first table row, last table row)` per
+    /// output row (for a two-table plan, exactly the matched pairs).
     pub pairs: Vec<(usize, usize)>,
-    /// Server-side execution statistics for this query.
+    /// Server-side execution statistics, summed over the plan's stages.
     pub stats: ServerStats,
-    /// Position of this execution in the session's series (0-based).
+    /// Per-stage server statistics (one entry per pairwise stage).
+    pub stage_stats: Vec<ServerStats>,
+    /// Ledger index of the plan's first stage (stages occupy
+    /// `series_index .. series_index + stage_stats.len()`).
     pub series_index: u64,
-    /// Whether the token bundle came from the session cache.
+    /// Whether *every* stage's token bundle came from the session
+    /// cache.
     pub cache_hit: bool,
+    /// Per-stage token-cache outcome.
+    pub stage_cache_hits: Vec<bool>,
 }
 
 /// Session-level counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Queries executed through this session.
+    /// Pairwise joins executed through this session (a multi-way chain
+    /// counts one per stage).
     pub queries_executed: u64,
-    /// Token bundles served from the cache.
+    /// Stage token bundles served from the cache.
     pub token_cache_hits: u64,
-    /// Token bundles generated fresh.
+    /// Stage token bundles generated fresh.
     pub token_cache_misses: u64,
     /// Cumulative rows the *server* served from its decrypt cache over
     /// this session's joins (each skipped one `SJ.Dec` pairing). Works
     /// across all backends — the counter rides in every
     /// [`ServerStats`] coming back over the wire.
     pub decrypt_cache_hits: u64,
-    /// Client-side crypto counters (includes `SJ.TkGen` calls).
+    /// Client-side crypto counters (includes `SJ.TkGen` calls and the
+    /// per-column decrypt/skip counters projections drive).
     pub client: ClientStats,
     /// Joins dispatched to the backend whose outcome is *unknown*: the
     /// transport failed mid-exchange, so the server may have executed
@@ -266,15 +329,15 @@ pub struct SessionStats {
     pub queries_unaccounted: u64,
     /// Backend transport counters: round trips, batched requests and
     /// bytes on the wire (zero bytes for in-process backends). Benches
-    /// read these to report what [`Session::execute_all`]'s batching
-    /// saves.
+    /// read these to report what batching saves.
     pub transport: TransportStats,
 }
 
 /// Summary of the session's cumulative leakage (Corollary 5.2.2).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeakageReport {
-    /// Number of recorded queries.
+    /// Number of recorded pairwise joins (chain stages count
+    /// individually).
     pub queries: usize,
     /// Pairs currently visible to the adversarial server.
     pub visible_pairs: usize,
@@ -287,22 +350,30 @@ pub struct LeakageReport {
     pub super_additive_excess: usize,
 }
 
-/// One encrypted-database session over a series of join queries.
+/// One encrypted-database session over a series of queries.
 ///
 /// Owns the trusted [`DbClient`] (keys never leave it) and a
-/// [`ServerApi`] backend, and threads every query through prepare →
-/// tokens (cached) → backend join → decrypt → leakage ledger. See the
-/// [module docs](self) for the full pipeline.
+/// [`ServerApi`] backend, and threads every plan through prepare →
+/// per-stage tokens (cached) → backend joins → stitch → per-column
+/// decrypt → leakage ledger. See the [module docs](self) for the full
+/// pipeline.
 pub struct Session<E: Engine> {
     client: DbClient<E>,
     backend: Box<dyn ServerApi<E>>,
     config: SessionConfig,
     catalog: Catalog,
     planner: Option<Box<dyn SqlPlanner>>,
-    token_cache: HashMap<Vec<u8>, crate::encrypted::QueryTokens<E>>,
+    token_cache: HashMap<Vec<u8>, QueryTokens<E>>,
     ledger: LeakageLedger,
     observed_union: PairSet,
     stats: SessionStats,
+}
+
+/// One resolved stage, ready to dispatch.
+struct StageDispatch<E: Engine> {
+    tokens: QueryTokens<E>,
+    projection: PayloadProjection,
+    cache_hit: bool,
 }
 
 impl<E: Engine> Session<E> {
@@ -346,7 +417,7 @@ impl<E: Engine> Session<E> {
     }
 
     /// Install a SQL front-end (builder style). Without one, only
-    /// [`JoinQuery`] inputs are accepted.
+    /// [`QueryPlan`]/[`JoinQuery`] inputs are accepted.
     pub fn with_planner(mut self, planner: Box<dyn SqlPlanner>) -> Self {
         self.planner = Some(planner);
         self
@@ -394,44 +465,66 @@ impl<E: Engine> Session<E> {
         }
     }
 
-    /// Plan a query: SQL text goes through the installed [`SqlPlanner`]
-    /// and the session catalog; [`JoinQuery`] inputs are fingerprinted
-    /// directly.
+    /// Plan a query: SQL text goes through the installed [`SqlPlanner`],
+    /// then the resulting [`QueryPlan`] (or a directly supplied one) is
+    /// validated against the session catalog and lowered to pairwise
+    /// stages.
     pub fn prepare(&mut self, input: impl Into<QueryInput>) -> Result<PreparedQuery, DbError> {
-        match input.into() {
-            QueryInput::Prepared(prepared) => Ok(prepared),
-            QueryInput::Query(query) => Ok(PreparedQuery {
-                fingerprint: fingerprint(&query),
-                query,
-            }),
+        let plan = match input.into() {
+            QueryInput::Prepared(prepared) => return Ok(prepared),
+            QueryInput::Plan(plan) => plan,
+            QueryInput::Query(query) => QueryPlan::pairwise(&query),
             QueryInput::Sql(sql) => {
                 let planner = self.planner.as_ref().ok_or(DbError::NoSqlPlanner)?;
-                let query = planner.plan(&sql, &self.catalog)?;
-                Ok(PreparedQuery {
-                    fingerprint: fingerprint(&query),
-                    query,
-                })
+                planner.plan(&sql, &self.catalog)?
             }
+        };
+        let lowered = plan.lower(&self.catalog)?;
+        let stage_fingerprints: Vec<Vec<u8>> = lowered
+            .stages
+            .iter()
+            .map(|stage| fingerprint(&stage.query))
+            .collect();
+        // Whole-plan fingerprint: the stages plus the projection.
+        let mut fp = Vec::new();
+        for sf in &stage_fingerprints {
+            fp.extend_from_slice(&(sf.len() as u32).to_le_bytes());
+            fp.extend_from_slice(sf);
         }
+        fp.push(lowered.select_star as u8);
+        for col in &lowered.projection {
+            fp.extend_from_slice(&(col.position as u32).to_le_bytes());
+            fp.extend_from_slice(&(col.column_index as u32).to_le_bytes());
+        }
+        Ok(PreparedQuery {
+            plan,
+            lowered,
+            stage_fingerprints,
+            fingerprint: fp,
+        })
     }
 
-    /// Fetch the token bundle for a prepared query — from the session
+    /// Fetch the token bundle for one pairwise stage — from the session
     /// cache when enabled and warm, freshly generated (and cached)
     /// otherwise. Returns `(tokens, cache_hit)` and updates the cache
     /// counters.
-    fn tokens_for(&mut self, prepared: &PreparedQuery) -> Result<(QueryTokens<E>, bool), DbError> {
+    fn tokens_for(
+        &mut self,
+        stage_fingerprint: &[u8],
+        query: &JoinQuery,
+    ) -> Result<(QueryTokens<E>, bool), DbError> {
         let (tokens, cache_hit) = if self.config.token_cache {
-            match self.token_cache.get(&prepared.fingerprint) {
+            match self.token_cache.get(stage_fingerprint) {
                 Some(cached) => (cached.clone(), true),
                 None => {
-                    let fresh = self.client.query_tokens(&prepared.query)?;
+                    let fresh = self.client.query_tokens(query)?;
                     self.token_cache
-                        .insert(prepared.fingerprint.clone(), fresh.clone());
+                        .insert(stage_fingerprint.to_vec(), fresh.clone());
                     (fresh, false)
                 }
             }
         } else {
-            (self.client.query_tokens(&prepared.query)?, false)
+            (self.client.query_tokens(query)?, false)
         };
         if cache_hit {
             self.stats.token_cache_hits += 1;
@@ -439,6 +532,42 @@ impl<E: Engine> Session<E> {
             self.stats.token_cache_misses += 1;
         }
         Ok((tokens, cache_hit))
+    }
+
+    /// The payload columns stage `stage_idx` must ship, given the
+    /// plan's projection: the stage that *introduces* a table provides
+    /// its payloads; an anchor table's payloads were already provided
+    /// by an earlier stage, so the request asks for none of them.
+    fn stage_projection(lowered: &LoweredPlan, stage_idx: usize) -> PayloadProjection {
+        let stage = &lowered.stages[stage_idx];
+        let provides_left = stage_idx == 0;
+        PayloadProjection {
+            left: if provides_left {
+                lowered.wanted_columns(stage.left_position)
+            } else {
+                Some(Vec::new())
+            },
+            right: lowered.wanted_columns(stage.right_position),
+        }
+    }
+
+    /// Resolve all stages of `prepared` into dispatchable requests
+    /// (token cache consulted per stage).
+    fn dispatch_stages(
+        &mut self,
+        prepared: &PreparedQuery,
+    ) -> Result<Vec<StageDispatch<E>>, DbError> {
+        let mut out = Vec::with_capacity(prepared.lowered.stages.len());
+        for (i, stage) in prepared.lowered.stages.iter().enumerate() {
+            let (tokens, cache_hit) =
+                self.tokens_for(&prepared.stage_fingerprints[i], &stage.query)?;
+            out.push(StageDispatch {
+                tokens,
+                projection: Self::stage_projection(&prepared.lowered, i),
+                cache_hit,
+            });
+        }
+        Ok(out)
     }
 
     /// Record one executed join in the leakage ledger and return its
@@ -468,141 +597,224 @@ impl<E: Engine> Session<E> {
         series_index
     }
 
-    /// Decrypt one executed join into a [`ResultSet`].
-    fn decrypt_into_result_set(
+    /// Stitch one plan's executed stages and decrypt the projected
+    /// columns into a [`ResultSet`].
+    fn assemble_result_set(
         &mut self,
         prepared: &PreparedQuery,
-        result: EncryptedJoinResult,
+        stage_results: Vec<EncryptedJoinResult>,
         series_index: u64,
-        cache_hit: bool,
+        stage_cache_hits: Vec<bool>,
     ) -> Result<ResultSet, DbError> {
-        let rows = self.client.decrypt_result(&prepared.query, &result)?;
-        let pairs = result
-            .pairs
-            .iter()
-            .map(|p| (p.left_row, p.right_row))
-            .collect();
-        Ok(ResultSet {
-            rows,
-            pairs,
-            stats: result.stats,
-            series_index,
-            cache_hit,
-        })
-    }
+        let lowered = &prepared.lowered;
 
-    /// Execute a query end-to-end: tokens (cached on repeats) → backend
-    /// join → decrypt → leakage ledger.
-    pub fn execute(&mut self, input: impl Into<QueryInput>) -> Result<ResultSet, DbError> {
-        let prepared = self.prepare(input)?;
-        let (tokens, cache_hit) = self.tokens_for(&prepared)?;
-
-        let sent_before = self.backend.transport_stats().bytes_sent;
-        let (result, observation) = match self.backend.handle(Request::ExecuteJoin {
-            tokens,
-            options: self.config.options,
-        }) {
-            Response::JoinExecuted {
-                result,
-                observation,
-            } => (result, observation),
-            Response::Error(e) => {
-                // A transport failure *after dispatch* means the server
-                // may have executed the join without us receiving the
-                // observation — flag the ledger as a lower bound. A
-                // failure with no bytes sent (pre-send rejection,
-                // fail-fast on a dead connection) dispatched nothing,
-                // so the ledger stays exact.
-                if matches!(e, DbError::Transport(_))
-                    && self.backend.transport_stats().bytes_sent > sent_before
-                {
-                    self.stats.queries_unaccounted += 1;
+        // Payload lookup: (table position, server row) → sealed column
+        // payloads, taken from the stage that introduced the position.
+        let mut payloads: HashMap<(usize, usize), &Vec<Vec<u8>>> = HashMap::new();
+        let mut links = Vec::with_capacity(stage_results.len());
+        for (i, result) in stage_results.iter().enumerate() {
+            let stage = &lowered.stages[i];
+            let mut pairs = Vec::with_capacity(result.pairs.len());
+            for pair in &result.pairs {
+                if i == 0 {
+                    payloads
+                        .entry((stage.left_position, pair.left_row))
+                        .or_insert(&pair.left_payloads);
                 }
-                return Err(e);
+                payloads
+                    .entry((stage.right_position, pair.right_row))
+                    .or_insert(&pair.right_payloads);
+                pairs.push((pair.left_row, pair.right_row));
             }
-            _ => {
-                return Err(DbError::Protocol(
-                    "backend answered ExecuteJoin with the wrong response kind".into(),
-                ))
+            links.push(StageLink {
+                left_position: stage.left_position,
+                right_position: stage.right_position,
+                pairs,
+            });
+        }
+        let tuples = stitch_stages(&links);
+
+        // Per-position decode maps: projected column → index within the
+        // shipped payload subset.
+        let positions = lowered.tables.len();
+        let wanted: Vec<Option<Vec<usize>>> =
+            (0..positions).map(|p| lowered.wanted_columns(p)).collect();
+        let payload_slot = |position: usize, column_index: usize| -> Option<usize> {
+            match &wanted[position] {
+                None => Some(column_index),
+                Some(cols) => cols.binary_search(&column_index).ok(),
             }
         };
 
-        // Leakage accounting first: the server *has* observed this query
-        // regardless of whether the client can open the payloads below,
-        // so the ledger must record it even if decryption then fails.
-        self.stats.decrypt_cache_hits += result.stats.decrypt_cache_hits;
-        let series_index = self.record_observation(&observation);
-        self.decrypt_into_result_set(&prepared, result, series_index, cache_hit)
+        // Decrypt each projected value once per (position, row, column)
+        // — cross products reuse the opened value — and account the
+        // columns the projection never touched as skipped.
+        let mut opened: HashMap<(usize, usize, usize), Value> = HashMap::new();
+        let mut seen_rows: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        let mut rows = Vec::with_capacity(tuples.len());
+        for tuple in &tuples {
+            let mut values = Vec::with_capacity(lowered.projection.len());
+            for col in &lowered.projection {
+                let row_idx = tuple[col.position];
+                let key = (col.position, row_idx, col.column_index);
+                let value = match opened.get(&key) {
+                    Some(v) => v.clone(),
+                    None => {
+                        let blobs = payloads.get(&(col.position, row_idx)).ok_or_else(|| {
+                            DbError::Protocol(
+                                "stitched tuple references a row the server sent no \
+                                 payloads for"
+                                    .into(),
+                            )
+                        })?;
+                        let slot = payload_slot(col.position, col.column_index)
+                            .ok_or(DbError::PayloadCorrupted)?;
+                        let blob = blobs.get(slot).ok_or(DbError::PayloadCorrupted)?;
+                        let v = self.client.open_value(
+                            &lowered.tables[col.position],
+                            row_idx,
+                            col.column_index,
+                            blob,
+                        )?;
+                        opened.insert(key, v.clone());
+                        v
+                    }
+                };
+                values.push(value);
+            }
+            for (position, &row_idx) in tuple.iter().enumerate() {
+                if let Some(cols) = &wanted[position] {
+                    if seen_rows.insert((position, row_idx)) {
+                        let total = self.catalog[&lowered.tables[position]].len();
+                        self.client
+                            .note_skipped_column_decrypts((total - cols.len()) as u64);
+                    }
+                }
+            }
+            rows.push(Row(values));
+        }
+
+        let pairs = tuples
+            .iter()
+            .map(|t| (t[0], *t.last().expect("tuples are non-empty")))
+            .collect();
+        let mut stats = ServerStats::default();
+        for s in &stage_results {
+            stats.merge(&s.stats);
+        }
+        Ok(ResultSet {
+            columns: lowered.projection.iter().map(|c| c.id.clone()).collect(),
+            rows,
+            tuples,
+            pairs,
+            stats,
+            stage_stats: stage_results.into_iter().map(|r| r.stats).collect(),
+            series_index,
+            cache_hit: stage_cache_hits.iter().all(|&h| h),
+            stage_cache_hits,
+        })
+    }
+
+    /// Execute a query end-to-end: per-stage tokens (cached on repeats)
+    /// → backend joins (a chain ships as **one** batched round trip) →
+    /// stitch → per-column decrypt → leakage ledger.
+    pub fn execute(&mut self, input: impl Into<QueryInput>) -> Result<ResultSet, DbError> {
+        let prepared = self.prepare(input)?;
+        let mut results = self.run_series(vec![prepared])?;
+        Ok(results.pop().expect("one plan in, one result out"))
     }
 
     /// Execute a whole prepared series in **one round trip**: every
-    /// query's token bundle is resolved up front (cache consulted per
-    /// query — a repeat later in the slice reuses the tokens its first
+    /// stage of every plan is resolved up front (cache consulted per
+    /// stage — a repeat later in the slice reuses the tokens its first
     /// occurrence just generated), the series ships as a single
-    /// [`Request::Batch`], and the backend answers with one same-arity
-    /// [`Response::Batch`]. Over a
+    /// [`Request::Batch`] of pairwise joins, and the backend answers
+    /// with one same-arity [`Response::Batch`]. Over a
     /// [`RemoteBackend`](crate::backend::RemoteBackend) that is exactly
-    /// one TCP round trip for K queries.
+    /// one TCP round trip for the entire series.
     ///
     /// Results come back in input order. If any query fails, the first
     /// failure (in series order) is returned — but every join the
-    /// server *did* execute is recorded in the leakage ledger first,
-    /// exactly as [`Session::execute`] records a join whose decryption
-    /// then fails. The one unknowable case is a transport failure
-    /// after dispatch: no observation comes back to record, so the
-    /// affected joins are counted in
-    /// [`SessionStats::queries_unaccounted`] instead.
+    /// server *did* execute is recorded in the leakage ledger first.
+    /// The one unknowable case is a transport failure after dispatch:
+    /// no observation comes back to record, so the affected joins are
+    /// counted in [`SessionStats::queries_unaccounted`] instead.
     pub fn execute_all(&mut self, inputs: &[QueryInput]) -> Result<Vec<ResultSet>, DbError> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let mut prepared = Vec::with_capacity(inputs.len());
-        let mut cache_hits = Vec::with_capacity(inputs.len());
-        let mut requests = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            let p = self.prepare(input.clone())?;
-            let (tokens, cache_hit) = self.tokens_for(&p)?;
-            requests.push(Request::ExecuteJoin {
-                tokens,
-                options: self.config.options,
-            });
-            prepared.push(p);
-            cache_hits.push(cache_hit);
+        let prepared = inputs
+            .iter()
+            .map(|input| self.prepare(input.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run_series(prepared)
+    }
+
+    /// The shared execution core: dispatch every stage of every plan
+    /// (one plain request for a single pairwise stage, one batch
+    /// otherwise), ledger every observation that came back, then
+    /// stitch + decrypt per plan.
+    fn run_series(&mut self, prepared: Vec<PreparedQuery>) -> Result<Vec<ResultSet>, DbError> {
+        let mut stage_counts = Vec::with_capacity(prepared.len());
+        let mut cache_hits = Vec::new();
+        let mut requests = Vec::new();
+        for p in &prepared {
+            let dispatches = self.dispatch_stages(p)?;
+            stage_counts.push(dispatches.len());
+            for d in dispatches {
+                cache_hits.push(d.cache_hit);
+                requests.push(Request::ExecuteJoin {
+                    tokens: d.tokens,
+                    options: self.config.options,
+                    projection: d.projection,
+                });
+            }
         }
+        let total_stages = requests.len();
 
         let sent_before = self.backend.transport_stats().bytes_sent;
-        let responses = match self.backend.handle(Request::Batch(requests)) {
-            Response::Batch(responses) => responses,
-            Response::Error(e) => {
-                // If the batch reached the wire, a transport failure
-                // leaves every join's server-side outcome unknown; if
-                // nothing was sent, nothing was dispatched.
-                if matches!(e, DbError::Transport(_))
-                    && self.backend.transport_stats().bytes_sent > sent_before
-                {
-                    self.stats.queries_unaccounted += inputs.len() as u64;
+        let responses: Vec<Response> = if total_stages == 1 {
+            let response = self
+                .backend
+                .handle(requests.pop().expect("exactly one request"));
+            vec![response]
+        } else {
+            match self.backend.handle(Request::Batch(requests)) {
+                Response::Batch(responses) => {
+                    if responses.len() != total_stages {
+                        return Err(DbError::Protocol(format!(
+                            "batch arity mismatch: {total_stages} requests, {} responses",
+                            responses.len()
+                        )));
+                    }
+                    responses
                 }
-                return Err(e);
-            }
-            _ => {
-                return Err(DbError::Protocol(
-                    "backend answered Batch with the wrong response kind".into(),
-                ))
+                Response::Error(e) => {
+                    // If the batch reached the wire, a transport failure
+                    // leaves every join's server-side outcome unknown;
+                    // if nothing was sent, nothing was dispatched.
+                    if matches!(e, DbError::Transport(_))
+                        && self.backend.transport_stats().bytes_sent > sent_before
+                    {
+                        self.stats.queries_unaccounted += total_stages as u64;
+                    }
+                    return Err(e);
+                }
+                _ => {
+                    return Err(DbError::Protocol(
+                        "backend answered Batch with the wrong response kind".into(),
+                    ))
+                }
             }
         };
-        if responses.len() != inputs.len() {
-            return Err(DbError::Protocol(format!(
-                "batch arity mismatch: {} requests, {} responses",
-                inputs.len(),
-                responses.len()
-            )));
-        }
 
         // Pass 1 — leakage: the server observed *every* executed join
-        // in the batch, so record them all before any error or decrypt
+        // in the series, so record them all before any error or decrypt
         // failure can cut the processing short.
         let dispatched = self.backend.transport_stats().bytes_sent > sent_before;
-        let mut executed = Vec::with_capacity(responses.len());
+        let mut executed: Vec<Result<(EncryptedJoinResult, u64), DbError>> =
+            Vec::with_capacity(responses.len());
         for response in responses {
             match response {
                 Response::JoinExecuted {
@@ -614,9 +826,10 @@ impl<E: Engine> Session<E> {
                     executed.push(Ok((result, series_index)));
                 }
                 Response::Error(e) => {
-                    // Per-element transport errors reach here when a
-                    // remote *shard* failed mid-batch, or a response
-                    // outgrew the frame cap after the joins ran.
+                    // Per-element transport errors reach here when the
+                    // connection died mid-exchange, a remote *shard*
+                    // failed mid-batch, or a response outgrew the frame
+                    // cap after the joins ran.
                     if matches!(e, DbError::Transport(_)) && dispatched {
                         self.stats.queries_unaccounted += 1;
                     }
@@ -628,16 +841,26 @@ impl<E: Engine> Session<E> {
             }
         }
 
-        // Pass 2 — decrypt in series order; the first failure wins.
-        let mut results = Vec::with_capacity(executed.len());
-        for ((outcome, prepared), cache_hit) in executed.into_iter().zip(&prepared).zip(cache_hits)
-        {
-            let (result, series_index) = outcome?;
-            results.push(self.decrypt_into_result_set(
-                prepared,
-                result,
-                series_index,
-                cache_hit,
+        // Pass 2 — stitch and decrypt per plan, in series order; the
+        // first failure wins.
+        let mut executed = executed.into_iter();
+        let mut cache_hits = cache_hits.into_iter();
+        let mut results = Vec::with_capacity(prepared.len());
+        for (p, &n_stages) in prepared.iter().zip(&stage_counts) {
+            let mut stage_results = Vec::with_capacity(n_stages);
+            let mut stage_cache_hits = Vec::with_capacity(n_stages);
+            let mut first_series_index = None;
+            for _ in 0..n_stages {
+                let (result, series_index) = executed.next().expect("stage arity checked")?;
+                first_series_index.get_or_insert(series_index);
+                stage_results.push(result);
+                stage_cache_hits.push(cache_hits.next().expect("stage arity checked"));
+            }
+            results.push(self.assemble_result_set(
+                p,
+                stage_results,
+                first_series_index.expect("plans have at least one stage"),
+                stage_cache_hits,
             )?);
         }
         Ok(results)
@@ -688,10 +911,23 @@ mod tests {
         (left, right)
     }
 
+    fn third_table() -> Table {
+        let mut t = Table::new(Schema::new("S", &["k", "tag"]));
+        t.push_row(vec![Value::Int(1), "a".into()]);
+        t.push_row(vec![Value::Int(1), "b".into()]);
+        t.push_row(vec![Value::Int(2), "c".into()]);
+        t
+    }
+
     fn cfg(name: &str) -> TableConfig {
         TableConfig {
             join_column: "k".into(),
-            filter_columns: vec![if name == "L" { "color" } else { "shape" }.to_owned()],
+            filter_columns: vec![match name {
+                "L" => "color",
+                "R" => "shape",
+                _ => "tag",
+            }
+            .to_owned()],
         }
     }
 
@@ -703,6 +939,18 @@ mod tests {
         s
     }
 
+    fn session3() -> Session<MockEngine> {
+        let mut s = session();
+        s.create_table(&third_table(), cfg("S")).unwrap();
+        s
+    }
+
+    fn chain() -> QueryPlan {
+        QueryPlan::scan("L")
+            .join_on("L", "k", "R", "k")
+            .join_on("R", "k", "S", "k")
+    }
+
     #[test]
     fn create_execute_and_ledger() {
         let mut s = session();
@@ -712,10 +960,115 @@ mod tests {
         assert_eq!(result.rows.len(), 2, "both k=1 rows of L match R row 0");
         assert!(!result.cache_hit);
         assert_eq!(result.series_index, 0);
+        // SELECT *: all columns of both tables, in join order.
+        assert_eq!(
+            result.columns,
+            vec![
+                ColumnId::new("L", "k"),
+                ColumnId::new("L", "color"),
+                ColumnId::new("R", "k"),
+                ColumnId::new("R", "shape"),
+            ]
+        );
+        assert_eq!(result.rows[0].0.len(), 4);
+        assert_eq!(result.pairs, vec![(0, 0), (2, 0)]);
+        assert_eq!(result.tuples, vec![vec![0, 0], vec![2, 0]]);
         let report = s.leakage_report();
         assert_eq!(report.queries, 1);
         assert!(report.within_bound);
         assert_eq!(report.super_additive_excess, 0);
+    }
+
+    #[test]
+    fn chain_executes_as_pipelined_pairwise_stages() {
+        let mut s = session3();
+        let result = s.execute(chain()).unwrap();
+        // k=1: L rows {0,2} × R row 0 × S rows {0,1} = 4 tuples.
+        assert_eq!(result.stage_stats.len(), 2);
+        assert_eq!(
+            result.tuples,
+            vec![vec![0, 0, 0], vec![0, 0, 1], vec![2, 0, 0], vec![2, 0, 1]]
+        );
+        assert_eq!(result.rows.len(), 4);
+        assert_eq!(result.rows[0].0.len(), 6, "SELECT *: 2 + 2 + 2 columns");
+        assert_eq!(result.pairs, vec![(0, 0), (0, 1), (2, 0), (2, 1)]);
+        // Both stages are ledgered individually.
+        let report = s.leakage_report();
+        assert_eq!(report.queries, 2);
+        assert!(report.within_bound);
+        assert_eq!(s.stats().queries_executed, 2);
+        // One round trip for the whole chain.
+        assert_eq!(s.transport_stats().round_trips, 4, "3 uploads + 1 chain");
+    }
+
+    #[test]
+    fn projection_decrypts_only_selected_columns() {
+        let mut star = session3();
+        let all = star.execute(chain()).unwrap();
+        let star_opens = star.stats().client.column_decrypts;
+        assert_eq!(star.stats().client.column_decrypts_skipped, 0);
+
+        let mut s = session3();
+        let plan = chain().project(&[("S", "tag"), ("L", "color")]);
+        let result = s.execute(&plan).unwrap();
+        assert_eq!(
+            result.columns,
+            vec![ColumnId::new("S", "tag"), ColumnId::new("L", "color")]
+        );
+        assert_eq!(result.tuples, all.tuples, "projection changes no matches");
+        assert_eq!(
+            result.rows[0],
+            Row(vec!["a".into(), "red".into()]),
+            "projection order respected"
+        );
+        // Opened: unique (L row, color) ∈ {0,2} → 2, (S row, tag) ∈ {0,1} → 2.
+        let stats = s.stats().client;
+        assert_eq!(stats.column_decrypts, 4);
+        assert!(stats.column_decrypts < star_opens);
+        // Skipped: L rows 0,2 skip 1 column each; R row 0 skips 2; S rows
+        // 0,1 skip 1 each = 6.
+        assert_eq!(stats.column_decrypts_skipped, 6);
+    }
+
+    #[test]
+    fn overlapping_chains_share_stage_tokens() {
+        let mut s = session3();
+        s.execute(chain()).unwrap();
+        assert_eq!(s.stats().token_cache_misses, 2);
+        // A different plan sharing the L⋈R stage: only the new stage
+        // generates tokens.
+        let overlapping = QueryPlan::scan("L").join_on("L", "k", "R", "k");
+        let r = s.execute(&overlapping).unwrap();
+        assert!(r.cache_hit, "the shared stage must come from the cache");
+        assert_eq!(s.stats().token_cache_hits, 1);
+        assert_eq!(s.stats().token_cache_misses, 2);
+        // Re-running the whole chain hits on every stage.
+        let again = s.execute(chain()).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.stage_cache_hits, vec![true, true]);
+        assert_eq!(s.stats().token_cache_hits, 3);
+    }
+
+    #[test]
+    fn filter_naming_foreign_table_is_rejected() {
+        let mut s = session();
+        // Typo'd table: must error, not silently drop the filter.
+        let q = JoinQuery::on("L", "k", "R", "k").filter("Lx", "color", vec!["red".into()]);
+        assert_eq!(
+            s.execute(&q).unwrap_err(),
+            DbError::FilterTableNotInQuery {
+                table: "Lx".into(),
+                column: "color".into(),
+            }
+        );
+        // Same guard on the low-level client path.
+        let mut client = DbClient::<MockEngine>::with_config(ClientConfig::new(1, 3).seed(1));
+        let (left, _) = tables();
+        client.encrypt_table(&left, cfg("L")).unwrap();
+        assert!(matches!(
+            client.query_tokens(&q),
+            Err(DbError::FilterTableNotInQuery { .. })
+        ));
     }
 
     #[test]
@@ -822,7 +1175,8 @@ mod tests {
                 let mut response = self.0.handle(request);
                 if let Response::JoinExecuted { result, .. } = &mut response {
                     for pair in &mut result.pairs {
-                        if let Some(b) = pair.left_payload.first_mut() {
+                        if let Some(b) = pair.left_payloads.first_mut().and_then(|p| p.first_mut())
+                        {
                             *b ^= 0xff;
                         }
                     }
@@ -856,6 +1210,15 @@ mod tests {
         assert_eq!(fingerprint(&a), fingerprint(&b));
         let c = JoinQuery::on("L", "k", "R", "k").filter("L", "color", vec!["red".into()]);
         assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn plan_fingerprint_distinguishes_projections() {
+        let mut s = session3();
+        let star = s.prepare(chain()).unwrap();
+        let projected = s.prepare(chain().project(&[("L", "color")])).unwrap();
+        assert_eq!(star.stage_fingerprints(), projected.stage_fingerprints());
+        assert_ne!(star.fingerprint(), projected.fingerprint());
     }
 
     #[test]
@@ -952,7 +1315,7 @@ mod tests {
     }
 
     #[test]
-    fn executing_against_missing_table_propagates_backend_error() {
+    fn executing_against_missing_table_is_rejected_at_prepare_time() {
         let mut s = session();
         let q = JoinQuery::on("Ghost", "k", "R", "k");
         assert!(matches!(s.execute(&q), Err(DbError::UnknownTable(_))));
@@ -1147,5 +1510,30 @@ mod tests {
         // Queries 0 and 2 executed server-side; both must be in the
         // ledger even though the series as a whole failed.
         assert_eq!(s.leakage_report().queries, 2);
+    }
+
+    #[test]
+    fn chain_in_execute_all_mixes_with_pairwise_queries() {
+        let mut s = session3();
+        let inputs = vec![
+            QueryInput::from(chain()),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k")),
+            QueryInput::from(chain().project(&[("S", "tag")])),
+        ];
+        let before = s.transport_stats();
+        let results = s.execute_all(&inputs).unwrap();
+        let after = s.transport_stats();
+        assert_eq!(after.round_trips - before.round_trips, 1);
+        assert_eq!(after.requests - before.requests, 5, "2 + 1 + 2 stages");
+        assert_eq!(results.len(), 3);
+        // The pairwise query and the projected chain both reuse stage
+        // tokens the first chain generated in this very batch.
+        assert!(results[1].cache_hit);
+        assert!(results[2].cache_hit);
+        assert_eq!(results[2].tuples, results[0].tuples);
+        assert_eq!(
+            results[0].series_index + u64::try_from(results[0].stage_stats.len()).unwrap(),
+            results[1].series_index
+        );
     }
 }

@@ -1,25 +1,30 @@
-//! A small SQL front-end for the query shape the paper supports:
+//! A small SQL front-end for the engine's select-project-join class:
 //!
 //! ```sql
 //! SELECT * FROM Employees JOIN Teams ON Team = Key
 //! WHERE Name = 'Web Application' AND Role = 'Tester'
 //!
-//! SELECT * FROM T_A JOIN T_B ON T_A.a0 = T_B.b0
-//! WHERE T_A.a1 IN (1, 2, 3) AND T_B.b1 IN ('x', 'y')
+//! SELECT customer.name, supplier.name FROM customer
+//!   JOIN nation ON customer.nationkey = nation.nationkey
+//!   INNER JOIN supplier ON nation.nationkey = supplier.nationkey
+//!   WHERE nation.name IN ('FRANCE', 'GERMANY')
 //! ```
 //!
-//! Column references may be qualified (`Table.col`) or bare; bare
-//! references are resolved against the two joined tables' filter columns
-//! at planning time (the paper's example queries use bare names).
-//! `col = v` is sugar for `col IN (v)`. The output is the engine's
-//! [`JoinQuery`].
+//! The `SELECT` list may be `*` or an explicit column list (duplicates
+//! rejected); any number of `[INNER] JOIN … ON …` clauses chain tables
+//! left to right. Column references may be qualified (`Table.col`) or
+//! bare; bare references are resolved against the joined tables'
+//! schemas at planning time (the paper's example queries use bare
+//! names), with ambiguous names rejected. `col = v` is sugar for
+//! `col IN (v)`. The output is the engine's [`QueryPlan`], which the
+//! session lowers to pipelined pairwise join stages.
 //!
-//! [`JoinQuery`]: eqjoin_db::JoinQuery
+//! [`QueryPlan`]: eqjoin_db::QueryPlan
 
 pub mod lexer;
 pub mod parser;
 pub mod planner;
 
 pub use lexer::{tokenize, SqlError, Token};
-pub use parser::{parse, parse_join_query, ColumnRef, ParsedQuery, ResolutionContext};
+pub use parser::{parse, parse_query_plan, ColumnRef, ParsedQuery, ResolutionContext, SelectList};
 pub use planner::SqlFrontend;

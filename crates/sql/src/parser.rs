@@ -1,9 +1,20 @@
-//! Recursive-descent parser producing a [`ParsedQuery`], and the planner
-//! that resolves bare column references into the engine's
-//! [`JoinQuery`].
+//! Recursive-descent parser producing a [`ParsedQuery`], and the
+//! resolver that turns it into the engine's [`QueryPlan`].
+//!
+//! Supported statement shape (select-project-join over any number of
+//! joined tables):
+//!
+//! ```sql
+//! SELECT customer.name, total   -- or SELECT *
+//! FROM customer JOIN orders ON customer.custkey = orders.custkey
+//!               INNER JOIN nation ON ...
+//! WHERE col IN (v, …) AND t.col = v [;]
+//! ```
+//!
+//! (No table aliases — tables are always referenced by name.)
 
 use crate::lexer::{tokenize, SqlError, Token};
-use eqjoin_db::{InFilter, JoinQuery, Value};
+use eqjoin_db::{QueryPlan, Value};
 
 /// A possibly-qualified column reference.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,17 +25,33 @@ pub struct ColumnRef {
     pub column: String,
 }
 
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// The `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectList {
+    /// `SELECT *` — every column of every joined table.
+    Star,
+    /// An explicit projection.
+    Columns(Vec<ColumnRef>),
+}
+
 /// A parsed (not yet resolved) query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedQuery {
-    /// Left (first) table in `FROM a JOIN b`.
-    pub left_table: String,
-    /// Right (second) table.
-    pub right_table: String,
-    /// Left side of the `ON x = y` condition.
-    pub on_left: ColumnRef,
-    /// Right side of the `ON` condition.
-    pub on_right: ColumnRef,
+    /// The projection.
+    pub select: SelectList,
+    /// Joined tables in `FROM … JOIN …` order.
+    pub tables: Vec<String>,
+    /// `ON` conditions: `joins[i]` attaches `tables[i + 1]`.
+    pub joins: Vec<(ColumnRef, ColumnRef)>,
     /// WHERE conjuncts: `(column, values)`; `=` is a 1-element `IN`.
     pub predicates: Vec<(ColumnRef, Vec<Value>)>,
 }
@@ -123,22 +150,48 @@ impl Parser {
 
 /// Parse the supported statement shape:
 ///
-/// `SELECT * FROM a JOIN b ON x = y [WHERE col IN (v, …) [AND …]] [;]`
+/// `SELECT (* | col, …) FROM a [INNER] JOIN b ON x = y ([INNER] JOIN c
+/// ON x = y)* [WHERE col IN (v, …) [AND …]] [;]`
 pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
     let mut p = Parser {
         tokens: tokenize(input)?,
         pos: 0,
     };
     p.expect_keyword("SELECT")?;
-    p.expect(&Token::Star)?;
+    let select = if p.peek() == Some(&Token::Star) {
+        p.next();
+        SelectList::Star
+    } else {
+        let mut columns = vec![p.column_ref()?];
+        while p.peek() == Some(&Token::Comma) {
+            p.next();
+            columns.push(p.column_ref()?);
+        }
+        SelectList::Columns(columns)
+    };
     p.expect_keyword("FROM")?;
-    let left_table = p.ident()?;
-    p.expect_keyword("JOIN")?;
-    let right_table = p.ident()?;
-    p.expect_keyword("ON")?;
-    let on_left = p.column_ref()?;
-    p.expect(&Token::Equals)?;
-    let on_right = p.column_ref()?;
+    let mut tables = vec![p.ident()?];
+    let mut joins = Vec::new();
+    loop {
+        // `INNER JOIN` is a synonym for `JOIN`.
+        if p.keyword_is("INNER") {
+            p.next();
+            p.expect_keyword("JOIN")?;
+        } else if p.keyword_is("JOIN") {
+            p.next();
+        } else {
+            break;
+        }
+        tables.push(p.ident()?);
+        p.expect_keyword("ON")?;
+        let on_left = p.column_ref()?;
+        p.expect(&Token::Equals)?;
+        let on_right = p.column_ref()?;
+        joins.push((on_left, on_right));
+    }
+    if joins.is_empty() {
+        return Err(SqlError::new("expected at least one JOIN clause", p.here()));
+    }
 
     let mut predicates = Vec::new();
     if p.keyword_is("WHERE") {
@@ -183,25 +236,27 @@ pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
         ));
     }
     Ok(ParsedQuery {
-        left_table,
-        right_table,
-        on_left,
-        on_right,
+        select,
+        tables,
+        joins,
         predicates,
     })
 }
 
-/// Resolution context: which columns belong to which table (needed for
-/// bare column references, as in the paper's example queries).
+/// Resolution context: which columns belong to which joined table
+/// (needed for bare column references, as in the paper's example
+/// queries).
 pub struct ResolutionContext<'a> {
-    /// `(table name, its column names)` for the two joined tables.
-    pub tables: [(&'a str, &'a [String]); 2],
+    /// `(table name, its column names)` for every joined table, in
+    /// `FROM` order.
+    pub tables: Vec<(&'a str, &'a [String])>,
 }
 
 impl ParsedQuery {
-    /// Resolve into the engine's [`JoinQuery`], attributing bare columns
-    /// to whichever joined table has them (erroring on ambiguity).
-    pub fn resolve(&self, ctx: &ResolutionContext<'_>) -> Result<JoinQuery, SqlError> {
+    /// Resolve into the engine's [`QueryPlan`], attributing bare
+    /// columns to whichever joined table has them (erroring on
+    /// ambiguity) and rejecting duplicate projection columns.
+    pub fn resolve(&self, ctx: &ResolutionContext<'_>) -> Result<QueryPlan, SqlError> {
         let resolve_col = |col: &ColumnRef| -> Result<(String, String), SqlError> {
             if let Some(table) = &col.table {
                 return Ok((table.clone(), col.column.clone()));
@@ -225,51 +280,85 @@ impl ParsedQuery {
             }
         };
 
-        let (on_left_table, on_left_col) = resolve_col(&self.on_left)?;
-        let (on_right_table, on_right_col) = resolve_col(&self.on_right)?;
-
-        // Orient the ON condition to (left table, right table).
-        let (left_join_column, right_join_column) =
-            if on_left_table == self.left_table && on_right_table == self.right_table {
-                (on_left_col, on_right_col)
-            } else if on_left_table == self.right_table && on_right_table == self.left_table {
-                (on_right_col, on_left_col)
+        let mut plan = QueryPlan::scan(&self.tables[0]);
+        for (i, (on_left, on_right)) in self.joins.iter().enumerate() {
+            let new_table = &self.tables[i + 1];
+            let (lt, lc) = resolve_col(on_left)?;
+            let (rt, rc) = resolve_col(on_right)?;
+            // Orient the condition so the right side names the table
+            // this JOIN clause introduces.
+            let ((lt, lc), (rt, rc)) = if rt == *new_table {
+                ((lt, lc), (rt, rc))
+            } else if lt == *new_table {
+                ((rt, rc), (lt, lc))
             } else {
                 return Err(SqlError::new(
-                    "ON condition must reference both joined tables",
+                    format!(
+                        "ON condition {on_left} = {on_right} must reference the joined \
+                         table {new_table:?}"
+                    ),
                     0,
                 ));
             };
+            if !self.tables[..=i].contains(&lt) {
+                return Err(SqlError::new(
+                    format!("ON condition references {lt:?}, which is not joined yet"),
+                    0,
+                ));
+            }
+            plan = plan.join_on(&lt, &lc, &rt, &rc);
+        }
 
-        let mut query = JoinQuery::on(
-            &self.left_table,
-            &left_join_column,
-            &self.right_table,
-            &right_join_column,
-        );
         for (col, values) in &self.predicates {
             let (table, column) = resolve_col(col)?;
-            query.filters.push(InFilter {
-                table,
-                column,
-                values: values.clone(),
-            });
+            plan = plan.filter(&table, &column, values.clone());
         }
-        Ok(query)
+
+        if let SelectList::Columns(columns) = &self.select {
+            let mut resolved: Vec<(String, String)> = Vec::with_capacity(columns.len());
+            for col in columns {
+                let (table, column) = resolve_col(col)?;
+                if resolved.contains(&(table.clone(), column.clone())) {
+                    return Err(SqlError::new(
+                        format!("duplicate column {table}.{column} in select list"),
+                        0,
+                    ));
+                }
+                resolved.push((table, column));
+            }
+            let refs: Vec<(&str, &str)> = resolved
+                .iter()
+                .map(|(t, c)| (t.as_str(), c.as_str()))
+                .collect();
+            plan = plan.project(&refs);
+        }
+        Ok(plan)
     }
 }
 
 /// Parse and resolve in one step.
-pub fn parse_join_query(input: &str, ctx: &ResolutionContext<'_>) -> Result<JoinQuery, SqlError> {
+pub fn parse_query_plan(input: &str, ctx: &ResolutionContext<'_>) -> Result<QueryPlan, SqlError> {
     parse(input)?.resolve(ctx)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eqjoin_db::Catalog;
 
     fn cols(names: &[&str]) -> Vec<String> {
         names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn lower(plan: &QueryPlan, tables: &[(&str, &[&str])]) -> eqjoin_db::LoweredPlan {
+        let mut catalog = Catalog::new();
+        for (name, columns) in tables {
+            catalog.insert(
+                (*name).to_owned(),
+                columns.iter().map(|c| (*c).to_owned()).collect(),
+            );
+        }
+        plan.lower(&catalog).unwrap()
     }
 
     #[test]
@@ -279,9 +368,9 @@ mod tests {
              WHERE Name = 'Web Application' AND Role = 'Tester'",
         )
         .unwrap();
-        assert_eq!(q.left_table, "Employees");
-        assert_eq!(q.right_table, "Teams");
-        assert_eq!(q.on_left.column, "Team");
+        assert_eq!(q.select, SelectList::Star);
+        assert_eq!(q.tables, vec!["Employees", "Teams"]);
+        assert_eq!(q.joins[0].0.column, "Team");
         assert_eq!(q.predicates.len(), 2);
         assert_eq!(
             q.predicates[0].1,
@@ -294,18 +383,27 @@ mod tests {
         let emp_cols = cols(&["Record", "Employee", "Role", "Team"]);
         let team_cols = cols(&["Key", "Name"]);
         let ctx = ResolutionContext {
-            tables: [("Employees", &emp_cols), ("Teams", &team_cols)],
+            tables: vec![("Employees", &emp_cols), ("Teams", &team_cols)],
         };
-        let q = parse_join_query(
+        let plan = parse_query_plan(
             "SELECT * FROM Employees JOIN Teams ON Team = Key \
              WHERE Name = 'Web Application' AND Role = 'Tester'",
             &ctx,
         )
         .unwrap();
-        assert_eq!(q.left_join_column, "Team");
-        assert_eq!(q.right_join_column, "Key");
-        assert_eq!(q.filters[0].table, "Teams");
-        assert_eq!(q.filters[1].table, "Employees");
+        let lowered = lower(
+            &plan,
+            &[
+                ("Employees", &["Record", "Employee", "Role", "Team"]),
+                ("Teams", &["Key", "Name"]),
+            ],
+        );
+        let stage = &lowered.stages[0].query;
+        assert_eq!(stage.left_join_column, "Team");
+        assert_eq!(stage.right_join_column, "Key");
+        assert_eq!(stage.filters.len(), 2);
+        assert_eq!(stage.filters[0].table, "Teams");
+        assert_eq!(stage.filters[1].table, "Employees");
     }
 
     #[test]
@@ -313,16 +411,79 @@ mod tests {
         let a_cols = cols(&["k", "x"]);
         let b_cols = cols(&["k", "y"]);
         let ctx = ResolutionContext {
-            tables: [("A", &a_cols), ("B", &b_cols)],
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
         };
-        let q = parse_join_query(
+        let plan = parse_query_plan(
             "SELECT * FROM A JOIN B ON A.k = B.k WHERE A.x IN (1, 2, 3) AND B.y IN ('u');",
             &ctx,
         )
         .unwrap();
-        assert_eq!(q.filters[0].values.len(), 3);
-        assert_eq!(q.filters[0].values[2], Value::Int(3));
-        assert_eq!(q.filters[1].values, vec![Value::Str("u".into())]);
+        let lowered = lower(&plan, &[("A", &["k", "x"]), ("B", &["k", "y"])]);
+        let stage = &lowered.stages[0].query;
+        assert_eq!(stage.filters[0].values.len(), 3);
+        assert_eq!(stage.filters[0].values[2], Value::Int(3));
+        assert_eq!(stage.filters[1].values, vec![Value::Str("u".into())]);
+    }
+
+    #[test]
+    fn multi_table_chain_with_inner_join_and_projection() {
+        let a_cols = cols(&["k", "x"]);
+        let b_cols = cols(&["k", "j", "y"]);
+        let c_cols = cols(&["j", "z"]);
+        let ctx = ResolutionContext {
+            tables: vec![("A", &a_cols), ("B", &b_cols), ("C", &c_cols)],
+        };
+        let plan = parse_query_plan(
+            "SELECT A.x, z FROM A JOIN B ON A.k = B.k \
+             INNER JOIN C ON B.j = C.j WHERE y = 1",
+            &ctx,
+        )
+        .unwrap();
+        let lowered = lower(
+            &plan,
+            &[
+                ("A", &["k", "x"]),
+                ("B", &["k", "j", "y"]),
+                ("C", &["j", "z"]),
+            ],
+        );
+        assert_eq!(lowered.tables, vec!["A", "B", "C"]);
+        assert_eq!(lowered.stages.len(), 2);
+        assert_eq!(lowered.stages[1].query.left_table, "B");
+        assert_eq!(lowered.stages[1].query.left_join_column, "j");
+        assert!(!lowered.select_star);
+        assert_eq!(lowered.projection.len(), 2);
+        assert_eq!(lowered.projection[0].id.table, "A");
+        assert_eq!(lowered.projection[1].id.table, "C");
+        // The bare `y = 1` filter resolved to B and rides both stages.
+        assert_eq!(lowered.stages[0].query.filters.len(), 1);
+        assert_eq!(lowered.stages[1].query.filters.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_projection_column_rejected_with_precise_error() {
+        let a_cols = cols(&["k", "x"]);
+        let b_cols = cols(&["k", "y"]);
+        let ctx = ResolutionContext {
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
+        };
+        let err = parse_query_plan("SELECT x, A.x FROM A JOIN B ON A.k = B.k", &ctx).unwrap_err();
+        assert!(
+            err.message.contains("duplicate column A.x in select list"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn ambiguous_projection_column_rejected() {
+        let a_cols = cols(&["k", "shared"]);
+        let b_cols = cols(&["k", "shared"]);
+        let ctx = ResolutionContext {
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
+        };
+        let err = parse_query_plan("SELECT shared FROM A JOIN B ON A.k = B.k", &ctx).unwrap_err();
+        assert!(err.message.contains("ambiguous"), "{}", err.message);
     }
 
     #[test]
@@ -331,11 +492,12 @@ mod tests {
         let a_cols = cols(&["ka", "x"]);
         let b_cols = cols(&["kb", "y"]);
         let ctx = ResolutionContext {
-            tables: [("A", &a_cols), ("B", &b_cols)],
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
         };
-        let q = parse_join_query("SELECT * FROM A JOIN B ON kb = ka", &ctx).unwrap();
-        assert_eq!(q.left_join_column, "ka");
-        assert_eq!(q.right_join_column, "kb");
+        let plan = parse_query_plan("SELECT * FROM A JOIN B ON kb = ka", &ctx).unwrap();
+        let lowered = lower(&plan, &[("A", &["ka", "x"]), ("B", &["kb", "y"])]);
+        assert_eq!(lowered.stages[0].query.left_join_column, "ka");
+        assert_eq!(lowered.stages[0].query.right_join_column, "kb");
     }
 
     #[test]
@@ -343,9 +505,9 @@ mod tests {
         let a_cols = cols(&["k", "shared"]);
         let b_cols = cols(&["k", "shared"]);
         let ctx = ResolutionContext {
-            tables: [("A", &a_cols), ("B", &b_cols)],
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
         };
-        let err = parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE shared = 1", &ctx)
+        let err = parse_query_plan("SELECT * FROM A JOIN B ON A.k = B.k WHERE shared = 1", &ctx)
             .unwrap_err();
         assert!(err.message.contains("ambiguous"));
     }
@@ -355,20 +517,38 @@ mod tests {
         let a_cols = cols(&["k"]);
         let b_cols = cols(&["k"]);
         let ctx = ResolutionContext {
-            tables: [("A", &a_cols), ("B", &b_cols)],
+            tables: vec![("A", &a_cols), ("B", &b_cols)],
         };
-        let err = parse_join_query("SELECT * FROM A JOIN B ON A.k = B.k WHERE ghost = 1", &ctx)
+        let err = parse_query_plan("SELECT * FROM A JOIN B ON A.k = B.k WHERE ghost = 1", &ctx)
             .unwrap_err();
         assert!(err.message.contains("not found"));
     }
 
     #[test]
+    fn on_condition_must_reference_the_new_table() {
+        let a_cols = cols(&["k"]);
+        let b_cols = cols(&["k"]);
+        let c_cols = cols(&["k"]);
+        let ctx = ResolutionContext {
+            tables: vec![("A", &a_cols), ("B", &b_cols), ("C", &c_cols)],
+        };
+        let err = parse_query_plan(
+            "SELECT * FROM A JOIN B ON A.k = B.k JOIN C ON A.k = B.k",
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("must reference the joined table"));
+    }
+
+    #[test]
     fn syntax_errors() {
         assert!(parse("SELECT * FROM A").is_err());
-        assert!(parse("SELECT col FROM A JOIN B ON a = b").is_err());
+        assert!(parse("SELECT FROM A JOIN B ON a = b").is_err());
         assert!(parse("SELECT * FROM A JOIN B ON a = b WHERE x IN ()").is_err());
         assert!(parse("SELECT * FROM A JOIN B ON a = b trailing").is_err());
         assert!(parse("SELECT * FROM A JOIN B ON a = b WHERE x > 1").is_err());
+        assert!(parse("SELECT * FROM A INNER B ON a = b").is_err());
+        assert!(parse("SELECT *, x FROM A JOIN B ON a = b").is_err());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 
 use crate::parser::{parse, ResolutionContext};
 use eqjoin_db::session::{Catalog, SqlPlanner};
-use eqjoin_db::{DbError, JoinQuery};
+use eqjoin_db::{DbError, QueryPlan};
 
 /// The SQL front-end as a session planner: parses the supported
-/// statement shape and resolves bare column references against the
-/// session catalog.
+/// select-project-join shape (any number of `[INNER] JOIN … ON …`
+/// clauses, explicit column lists or `*`) and resolves bare column
+/// references against the session catalog into a [`QueryPlan`].
 ///
 /// ```
 /// use eqjoin_db::session::{Catalog, SqlPlanner};
@@ -15,30 +16,34 @@ use eqjoin_db::{DbError, JoinQuery};
 ///
 /// let mut catalog = Catalog::new();
 /// catalog.insert("A".into(), vec!["k".into(), "x".into()]);
-/// catalog.insert("B".into(), vec!["k".into(), "y".into()]);
-/// let q = SqlFrontend
-///     .plan("SELECT * FROM A JOIN B ON A.k = B.k WHERE x = 1", &catalog)
+/// catalog.insert("B".into(), vec!["k".into(), "j".into()]);
+/// catalog.insert("C".into(), vec!["j".into(), "z".into()]);
+/// let plan = SqlFrontend
+///     .plan(
+///         "SELECT A.x, z FROM A JOIN B ON A.k = B.k INNER JOIN C ON B.j = C.j \
+///          WHERE x = 1",
+///         &catalog,
+///     )
 ///     .unwrap();
-/// assert_eq!(q.filters[0].table, "A");
+/// let lowered = plan.lower(&catalog).unwrap();
+/// assert_eq!(lowered.tables, vec!["A", "B", "C"]);
+/// assert_eq!(lowered.stages.len(), 2);
+/// assert_eq!(lowered.projection.len(), 2);
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SqlFrontend;
 
 impl SqlPlanner for SqlFrontend {
-    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<JoinQuery, DbError> {
+    fn plan(&self, sql: &str, catalog: &Catalog) -> Result<QueryPlan, DbError> {
         let parsed = parse(sql).map_err(|e| DbError::Sql(e.to_string()))?;
-        let left_cols = catalog
-            .get(&parsed.left_table)
-            .ok_or_else(|| DbError::UnknownTable(parsed.left_table.clone()))?;
-        let right_cols = catalog
-            .get(&parsed.right_table)
-            .ok_or_else(|| DbError::UnknownTable(parsed.right_table.clone()))?;
-        let ctx = ResolutionContext {
-            tables: [
-                (parsed.left_table.as_str(), left_cols.as_slice()),
-                (parsed.right_table.as_str(), right_cols.as_slice()),
-            ],
-        };
+        let mut tables = Vec::with_capacity(parsed.tables.len());
+        for table in &parsed.tables {
+            let cols = catalog
+                .get(table)
+                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            tables.push((table.as_str(), cols.as_slice()));
+        }
+        let ctx = ResolutionContext { tables };
         parsed
             .resolve(&ctx)
             .map_err(|e| DbError::Sql(e.to_string()))
@@ -61,22 +66,42 @@ mod tests {
             ],
         );
         c.insert("Teams".into(), vec!["Key".into(), "Name".into()]);
+        c.insert("Offices".into(), vec!["Key".into(), "City".into()]);
         c
     }
 
     #[test]
     fn plans_the_papers_query_from_the_catalog() {
-        let q = SqlFrontend
+        let plan = SqlFrontend
             .plan(
                 "SELECT * FROM Employees JOIN Teams ON Team = Key \
                  WHERE Name = 'Web Application' AND Role = 'Tester'",
                 &catalog(),
             )
             .unwrap();
-        assert_eq!(q.left_table, "Employees");
-        assert_eq!(q.left_join_column, "Team");
-        assert_eq!(q.filters.len(), 2);
-        assert_eq!(q.filters[0].table, "Teams");
+        let lowered = plan.lower(&catalog()).unwrap();
+        assert_eq!(lowered.tables, vec!["Employees", "Teams"]);
+        let stage = &lowered.stages[0].query;
+        assert_eq!(stage.left_table, "Employees");
+        assert_eq!(stage.left_join_column, "Team");
+        assert_eq!(stage.filters.len(), 2);
+        assert_eq!(stage.filters[0].table, "Teams");
+    }
+
+    #[test]
+    fn plans_a_three_table_chain_with_projection() {
+        let plan = SqlFrontend
+            .plan(
+                "SELECT Employee, City FROM Employees JOIN Teams ON Team = Teams.Key \
+                 INNER JOIN Offices ON Teams.Key = Offices.Key",
+                &catalog(),
+            )
+            .unwrap();
+        let lowered = plan.lower(&catalog()).unwrap();
+        assert_eq!(lowered.tables, vec!["Employees", "Teams", "Offices"]);
+        assert_eq!(lowered.stages.len(), 2);
+        assert_eq!(lowered.projection.len(), 2);
+        assert_eq!(lowered.projection[1].id.table, "Offices");
     }
 
     #[test]

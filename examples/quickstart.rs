@@ -38,27 +38,31 @@ fn main() {
         .create_table(&purchases, purchases_cfg)
         .expect("encrypt purchases");
 
-    // SQL goes parse → resolve → tokens → encrypted join → decrypt in
-    // one call; the server only ever sees ciphertexts and tokens.
+    // SQL goes parse → plan → tokens → encrypted join → stitch →
+    // per-column decrypt in one call; the server only ever sees
+    // ciphertexts and tokens. The explicit column list means the client
+    // opens *only* those columns of each matched row.
     let result = session
         .execute(
-            "SELECT * FROM Users JOIN Purchases ON Users.uid = Purchases.uid \
+            "SELECT Users.uid, tier, item FROM Users JOIN Purchases \
+             ON Users.uid = Purchases.uid \
              WHERE country = 'DE' AND item IN ('laptop', 'desk')",
         )
         .expect("query");
+    let header: Vec<String> = result.columns.iter().map(|c| c.to_string()).collect();
+    println!("{}", header.join(" | "));
     for row in &result.rows {
-        println!(
-            "uid = {} | country={} tier={} | item={}",
-            row.theta,
-            row.left.get(1),
-            row.left.get(2),
-            row.right.get(2),
-        );
+        let cells: Vec<String> = row.0.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
     }
     assert_eq!(result.rows.len(), 2, "DE users with laptop/desk purchases");
+    let stats = session.stats();
     println!(
-        "server decrypted {} rows; leakage within paper bound: {}",
+        "server decrypted {} rows; client opened {} column values ({} skipped \
+         thanks to the projection); leakage within paper bound: {}",
         result.stats.rows_decrypted,
+        stats.client.column_decrypts,
+        stats.client.column_decrypts_skipped,
         session.leakage_report().within_bound,
     );
 }

@@ -5,15 +5,19 @@
 //! (ICDE 2022).
 //!
 //! The primary entry point is the [`Session`] API — one object owning
-//! keys, SQL planning, transport and per-query leakage accounting:
+//! keys, query planning ([`db::QueryPlan`]: select-project-join trees,
+//! lowered to pairwise join stages), transport and per-stage leakage
+//! accounting:
 //!
 //! ```text
 //!   session(config)                        backend (ServerApi)
 //!   ┌──────────────────────────┐      ┌───────────────────────────┐
 //!   │ create_table(plain, cfg) ┼──────▶ encrypted tables          │
-//!   │ execute("SELECT * …")    ┼──────▶ SJ.Dec + SJ.Match         │
-//!   │   └ token cache          │◀─────┼ result + observation      │
-//!   │ leakage_report()         │      └───────────────────────────┘
+//!   │ execute("SELECT c, …     ┼──────▶ SJ.Dec + SJ.Match per     │
+//!   │   FROM a JOIN b … JOIN c │      │ pairwise stage, projected │
+//!   │   …") └ stage token cache│◀─────┼ payloads + observation    │
+//!   │ stitch + column decrypt  │      └───────────────────────────┘
+//!   │ leakage_report()         │
 //!   └──────────────────────────┘
 //! ```
 //!

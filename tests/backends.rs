@@ -82,8 +82,7 @@ fn encode(results: &[ResultSet]) -> Vec<Vec<u8>> {
         .map(|result| {
             let mut bytes = Vec::new();
             for row in &result.rows {
-                bytes.extend_from_slice(&row.left.encode());
-                bytes.extend_from_slice(&row.right.encode());
+                bytes.extend_from_slice(&row.encode());
             }
             for &(l, r) in &result.pairs {
                 bytes.extend_from_slice(&(l as u64).to_le_bytes());
@@ -281,4 +280,124 @@ fn sequential_execute_agrees_with_execute_all_over_sharded() {
     }
     assert_eq!(batched_encoded, encode(&sequential_results));
     assert_eq!(batched.leakage_report(), sequential.leakage_report());
+}
+
+/// Acceptance (ISSUE 4): a 3-table chain with projection executes on
+/// all three backends with identical `ResultSet`s and `LeakageReport`s,
+/// decrypts only the projected columns (asserted via the `ClientStats`
+/// column-decrypt counters), and a repeated chain in one series hits
+/// the token cache on every pairwise stage.
+#[test]
+fn three_table_chain_with_projection_agrees_across_backends() {
+    use eqjoin::db::QueryPlan;
+
+    fn third_table() -> Table {
+        use eqjoin::db::Schema;
+        let mut t = Table::new(Schema::new("S", &["k", "tag", "note"]));
+        for i in 0..30i64 {
+            t.push_row(vec![
+                Value::Int(i % 6),
+                ["x", "y", "z"][(i % 3) as usize].into(),
+                Value::Int(i),
+            ]);
+        }
+        t
+    }
+
+    fn populate3(session: &mut Session<MockEngine>) {
+        populate(session);
+        session
+            .create_table(
+                &third_table(),
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["tag".into(), "note".into()],
+                },
+            )
+            .unwrap();
+    }
+
+    // L ⋈ R ⋈ S through k, filtered on R, projecting one column per
+    // outer table and nothing of the middle one.
+    let plan = QueryPlan::scan("L")
+        .join_on("L", "k", "R", "k")
+        .join_on("R", "k", "S", "k")
+        .filter("R", "grade", vec!["a".into()])
+        .project(&[("L", "color"), ("S", "tag")]);
+
+    let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+    let mut sessions = vec![
+        ("local", Session::local(config(true))),
+        ("remote", Session::remote(config(true), addr).unwrap()),
+        ("sharded", Session::sharded(config(true), 3)),
+    ];
+
+    let mut encodings = Vec::new();
+    let mut reports = Vec::new();
+    for (name, session) in &mut sessions {
+        populate3(session);
+
+        let first = session.execute(&plan).unwrap();
+        assert_eq!(first.stage_stats.len(), 2, "{name}: two pairwise stages");
+        assert_eq!(first.stage_cache_hits, vec![false, false]);
+        assert!(!first.rows.is_empty(), "{name}: chain matches exist");
+        assert_eq!(first.columns.len(), 2);
+        for row in &first.rows {
+            assert_eq!(row.0.len(), 2, "{name}: projected width");
+        }
+
+        // Only the projected columns were opened: L.color and S.tag,
+        // once per distinct matched row — never R's or the unselected
+        // L/S columns.
+        let stats = session.stats().client;
+        let distinct_l: std::collections::BTreeSet<usize> =
+            first.tuples.iter().map(|t| t[0]).collect();
+        let distinct_s: std::collections::BTreeSet<usize> =
+            first.tuples.iter().map(|t| t[2]).collect();
+        assert_eq!(
+            stats.column_decrypts,
+            (distinct_l.len() + distinct_s.len()) as u64,
+            "{name}: one open per projected column per distinct row"
+        );
+        let distinct_r: std::collections::BTreeSet<usize> =
+            first.tuples.iter().map(|t| t[1]).collect();
+        // Skipped: 2 of 3 L columns, all 3 R columns, 2 of 3 S columns.
+        assert_eq!(
+            stats.column_decrypts_skipped,
+            (2 * distinct_l.len() + 3 * distinct_r.len() + 2 * distinct_s.len()) as u64,
+            "{name}: projection accounts every skipped column"
+        );
+
+        // The repeated chain hits the token cache on *every* stage.
+        let again = session.execute(&plan).unwrap();
+        assert!(again.cache_hit, "{name}: repeat is a full cache hit");
+        assert_eq!(again.stage_cache_hits, vec![true, true]);
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(again.tuples, first.tuples);
+        assert_eq!(
+            session.stats().client.tkgen_calls,
+            4,
+            "{name}: 2 sides × 2 stages, generated once"
+        );
+
+        let mut bytes = Vec::new();
+        for result in [&first, &again] {
+            for tuple in &result.tuples {
+                for &i in tuple {
+                    bytes.extend_from_slice(&(i as u64).to_le_bytes());
+                }
+            }
+            for row in &result.rows {
+                bytes.extend_from_slice(&row.encode());
+            }
+        }
+        encodings.push(bytes);
+        reports.push(session.leakage_report());
+    }
+    assert_eq!(encodings[0], encodings[1], "local vs remote");
+    assert_eq!(encodings[0], encodings[2], "local vs sharded");
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+    assert!(reports[0].within_bound);
+    assert_eq!(reports[0].queries, 4, "2 chains × 2 stages each");
 }

@@ -47,13 +47,15 @@ fn paper_query_end_to_end_bls12() {
         .unwrap();
 
     // Table 3: | 2 | Kaily | Tester | 1 | Web Application |
+    // SELECT * lays out Employees' columns then Teams' columns.
     assert_eq!(result.rows.len(), 1);
     let row = &result.rows[0];
-    assert_eq!(row.theta, Value::Int(1));
-    assert_eq!(row.left.get(0), &Value::Int(2)); // Record
-    assert_eq!(row.left.get(1), &Value::Str("Kaily".into()));
-    assert_eq!(row.left.get(2), &Value::Str("Tester".into()));
-    assert_eq!(row.right.get(1), &Value::Str("Web Application".into()));
+    assert_eq!(row.get(0), &Value::Int(2)); // Record
+    assert_eq!(row.get(1), &Value::Str("Kaily".into()));
+    assert_eq!(row.get(2), &Value::Str("Tester".into()));
+    assert_eq!(row.get(3), &Value::Int(1), "θ via Employees.Team");
+    assert_eq!(row.get(4), &Value::Int(1), "θ via Teams.Key");
+    assert_eq!(row.get(5), &Value::Str("Web Application".into()));
 }
 
 #[test]
@@ -68,8 +70,8 @@ fn second_paper_query_end_to_end_bls12() {
 
     // Table 4: | 3 | John | Programmer | 2 | Database |
     assert_eq!(result.rows.len(), 1);
-    assert_eq!(result.rows[0].left.get(1), &Value::Str("John".into()));
-    assert_eq!(result.rows[0].theta, Value::Int(2));
+    assert_eq!(result.rows[0].get(1), &Value::Str("John".into()));
+    assert_eq!(result.rows[0].get(4), &Value::Int(2), "θ via Teams.Key");
 }
 
 #[test]
@@ -127,7 +129,7 @@ fn many_to_many_join_mock() {
     // Matches: 3·2 + 3·2 = 12.
     assert_eq!(result.rows.len(), 12);
     for row in &result.rows {
-        assert_eq!(row.left.get(0), row.right.get(0), "join condition holds");
+        assert_eq!(row.get(0), row.get(2), "join condition holds");
     }
 }
 

@@ -6,7 +6,8 @@
 use eqjoin::core::{SjRowCiphertext, SjTableSide, SjToken};
 use eqjoin::db::{
     DbError, EncryptedJoinResult, EncryptedRow, EncryptedTable, JoinAlgorithm, JoinObservation,
-    JoinOptions, MatchedPair, QueryTokens, Request, Response, ServerStats, SideTokens,
+    JoinOptions, MatchedPair, PayloadProjection, QueryTokens, Request, Response, ServerStats,
+    SideTokens,
 };
 use eqjoin::pairing::{Engine, Fr, MockEngine};
 use proptest::prelude::*;
@@ -43,7 +44,13 @@ fn table(name_id: u64, rows: &[(u64, u64, u64)], tagged: bool) -> EncryptedTable
                 cipher: SjRowCiphertext::from_elements(
                     (0..=width % 5).map(|i| g2(seed.wrapping_add(i))).collect(),
                 ),
-                payload: (0..payload_len % 32).map(|i| (seed ^ i) as u8).collect(),
+                payloads: (0..payload_len % 4)
+                    .map(|c| {
+                        (0..(payload_len + c) % 16)
+                            .map(|i| (seed ^ c ^ i) as u8)
+                            .collect()
+                    })
+                    .collect(),
                 tags: tagged.then(|| vec![tag(seed), tag(seed ^ 1)]),
             })
             .collect(),
@@ -80,6 +87,14 @@ fn exec_request(query_id: u64, seeds: &[u64], threads: u64) -> Req {
             threads: threads as usize,
             decrypt_cache: query_id.is_multiple_of(5),
         },
+        projection: PayloadProjection {
+            left: query_id
+                .is_multiple_of(3)
+                .then(|| (0..query_id % 4).map(|i| i as usize).collect()),
+            right: query_id
+                .is_multiple_of(2)
+                .then(|| vec![query_id as usize % 7]),
+        },
     }
 }
 
@@ -91,8 +106,12 @@ fn join_response(pairs: &[(u64, u64, u64)], classes: &[(u64, u64)]) -> Response 
                 .map(|&(l, r, p)| MatchedPair {
                     left_row: l as usize,
                     right_row: r as usize,
-                    left_payload: (0..p % 16).map(|i| (l ^ i) as u8).collect(),
-                    right_payload: (0..(p / 16) % 16).map(|i| (r ^ i) as u8).collect(),
+                    left_payloads: (0..p % 3)
+                        .map(|c| (0..(p + c) % 16).map(|i| (l ^ c ^ i) as u8).collect())
+                        .collect(),
+                    right_payloads: (0..(p / 16) % 3)
+                        .map(|c| (0..(p / 16 + c) % 16).map(|i| (r ^ c ^ i) as u8).collect())
+                        .collect(),
                 })
                 .collect(),
             stats: ServerStats {

@@ -75,8 +75,8 @@ fn paper_series_over_tcp_matches_local_bls12() {
     let result = remote.execute(PAPER_SERIES[0]).unwrap();
     assert!(result.cache_hit);
     assert_eq!(result.rows.len(), 1);
-    assert_eq!(result.rows[0].left.get(1), &Value::Str("Kaily".into()));
-    assert_eq!(result.rows[0].theta, Value::Int(1));
+    assert_eq!(result.rows[0].get(1), &Value::Str("Kaily".into()));
+    assert_eq!(result.rows[0].get(4), &Value::Int(1), "θ via Teams.Key");
     assert_eq!(
         local.stats().client.tkgen_calls,
         remote.stats().client.tkgen_calls,

@@ -109,6 +109,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
     let direct_result = match direct.handle(Request::ExecuteJoin {
         tokens: tokens.clone(),
         options,
+        projection: Default::default(),
     }) {
         Response::JoinExecuted { result, .. } => result,
         _ => panic!("direct join failed"),
@@ -133,6 +134,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
     let exec_bytes = Request::ExecuteJoin {
         tokens: tokens2,
         options,
+        projection: Default::default(),
     }
     .to_bytes();
     let exec = Request::<E>::from_bytes(&exec_bytes).unwrap();
@@ -192,6 +194,7 @@ fn query_tokens_reject_tampered_group_elements() {
     let good = Request::ExecuteJoin {
         tokens,
         options: JoinOptions::default(),
+        projection: Default::default(),
     }
     .to_bytes();
     assert!(Request::<Bls12>::from_bytes(&good).is_ok());
