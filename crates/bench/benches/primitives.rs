@@ -96,6 +96,59 @@ fn bench_fixed_base_speedup(_c: &mut Criterion) {
     );
 }
 
+/// Acceptance gate for the Granger–Scott cyclotomic squaring: `Gt::pow`
+/// (wNAF over cyclotomic squarings) must beat plain square-and-multiply
+/// (`pow_slice`, generic `Fp12` squarings) — and the `ops` counters
+/// must prove the cyclotomic path is actually engaged (a squaring-count
+/// delta on the fast path, none on the generic one).
+fn bench_cyclotomic_squaring_speedup(_c: &mut Criterion) {
+    use eqjoin_pairing::ops;
+    let mut rng = ChaChaRng::seed_from_u64(0x16);
+    let gt = eqjoin_pairing::pairing(&g1::generator().to_affine(), &g2::generator().to_affine());
+    let scalars: Vec<Fr> = (0..6).map(|_| Fr::random(&mut rng)).collect();
+
+    // Counter audit: the fast path squares cyclotomically, the generic
+    // exponentiation never does.
+    let before = ops::snapshot();
+    black_box(gt.pow(&scalars[0]));
+    let fast_delta = ops::snapshot().since(&before);
+    assert!(
+        fast_delta.cyclotomic_squares >= 200,
+        "Gt::pow must run on cyclotomic squarings (saw {})",
+        fast_delta.cyclotomic_squares
+    );
+    let before = ops::snapshot();
+    black_box(gt.as_fp12().pow_slice(&scalars[0].to_canonical_limbs()));
+    let generic_delta = ops::snapshot().since(&before);
+    assert_eq!(
+        generic_delta.cyclotomic_squares, 0,
+        "pow_slice is the generic-squaring baseline"
+    );
+
+    // Timing gate: fastest-block-of-each, robust to scheduler noise.
+    let mut fast = std::time::Duration::MAX;
+    let mut generic = std::time::Duration::MAX;
+    for _ in 0..6 {
+        let t = Instant::now();
+        for s in &scalars {
+            black_box(gt.pow(s));
+        }
+        fast = fast.min(t.elapsed());
+        let t = Instant::now();
+        for s in &scalars {
+            black_box(gt.as_fp12().pow_slice(&s.to_canonical_limbs()));
+        }
+        generic = generic.min(t.elapsed());
+    }
+    let speedup = generic.as_secs_f64() / fast.as_secs_f64().max(1e-12);
+    println!("\ngt_pow cyclotomic vs generic square-and-multiply: {speedup:.2}x faster");
+    assert!(
+        speedup >= 1.2,
+        "cyclotomic Gt::pow must be ≥ 1.2× faster than generic square-and-multiply \
+         (measured {speedup:.2}x)"
+    );
+}
+
 fn bench_symmetric(c: &mut Criterion) {
     let mut group = c.benchmark_group("symmetric");
     group.sample_size(20);
@@ -117,6 +170,7 @@ criterion_group!(
     bench_fields,
     bench_groups_and_pairing,
     bench_fixed_base_speedup,
+    bench_cyclotomic_squaring_speedup,
     bench_symmetric
 );
 criterion_main!(benches);

@@ -36,10 +36,10 @@
 //!
 //! [`Session`]: eqjoin_db::Session
 
-use eqjoin_bench::{secs, selectivity_query, SELECTIVITY_LABELS};
+use eqjoin_bench::{secs, selectivity_query, setup_tpch, SELECTIVITY_LABELS};
 use eqjoin_db::{
-    EqjoinServer, QueryInput, QueryPlan, Schema, ServerStats, Session, SessionConfig, Table,
-    TableConfig, Value,
+    DbServer, EncryptedStore, EqjoinServer, JoinOptions, QueryInput, QueryPlan, Schema,
+    ServerStats, Session, SessionConfig, Table, TableConfig, Value,
 };
 use eqjoin_pairing::{ops, Bls12, Engine, MockEngine, OpCounts};
 use std::time::Instant;
@@ -277,9 +277,75 @@ fn measure<E: Engine>(
 fn ops_json(ops: &OpCounts) -> String {
     format!(
         "{{\"fixed_base_muls\": {}, \"variable_base_muls\": {}, \"pairings\": {}, \
-         \"miller_pairs\": {}, \"gt_pows\": {}}}",
-        ops.fixed_base_muls, ops.variable_base_muls, ops.pairings, ops.miller_pairs, ops.gt_pows
+         \"miller_pairs\": {}, \"prepared_miller_pairs\": {}, \"g2_prepares\": {}, \
+         \"gt_pows\": {}, \"cyclotomic_squares\": {}}}",
+        ops.fixed_base_muls,
+        ops.variable_base_muls,
+        ops.pairings,
+        ops.miller_pairs,
+        ops.prepared_miller_pairs,
+        ops.g2_prepares,
+        ops.gt_pows,
+        ops.cyclotomic_squares,
     )
+}
+
+/// The cold-vs-warm-restart phase: one selectivity query run cold,
+/// warm, and warm **after a snapshot restart** (save → drop → load),
+/// with exact pairing deltas. The restart replay is asserted to run
+/// zero pairings — the store's whole point.
+struct RestartMeasurement {
+    cold_s: f64,
+    warm_s: f64,
+    warm_restart_s: f64,
+    pairings_cold: u64,
+    pairings_warm_restart: u64,
+}
+
+fn measure_restart<E: Engine>(scale: f64) -> RestartMeasurement {
+    let mut bench = setup_tpch::<E>(scale, 3, 0x7e57);
+    let query = selectivity_query("1/25", 3);
+    let tokens = bench.client.query_tokens(&query).expect("tokens");
+    let opts = JoinOptions::default();
+
+    let ops0 = ops::snapshot();
+    let t = Instant::now();
+    bench.server.execute_join(&tokens, &opts).expect("cold run");
+    let cold_s = t.elapsed().as_secs_f64();
+    let pairings_cold = ops::snapshot().since(&ops0).pairings;
+
+    let t = Instant::now();
+    bench.server.execute_join(&tokens, &opts).expect("warm run");
+    let warm_s = t.elapsed().as_secs_f64();
+
+    // "Kill" the server: snapshot, drop, restore, replay.
+    let snapshot = bench.server.store().snapshot_bytes();
+    drop(bench.server);
+    let restored =
+        DbServer::with_store(EncryptedStore::<E>::from_snapshot_bytes(&snapshot).expect("reload"));
+    let ops1 = ops::snapshot();
+    let t = Instant::now();
+    let (replay, _) = restored
+        .execute_join(&tokens, &opts)
+        .expect("warm-restart run");
+    let warm_restart_s = t.elapsed().as_secs_f64();
+    let delta = ops::snapshot().since(&ops1);
+    assert_eq!(
+        delta.pairings, 0,
+        "a restart from snapshot must replay the repeated stage with zero pairings"
+    );
+    assert_eq!(delta.miller_pairs, 0);
+    assert_eq!(
+        replay.stats.decrypt_cache_hits as usize,
+        replay.stats.rows_decrypted
+    );
+    RestartMeasurement {
+        cold_s,
+        warm_s,
+        warm_restart_s,
+        pairings_cold,
+        pairings_warm_restart: delta.pairings,
+    }
 }
 
 struct RunConfig {
@@ -364,6 +430,19 @@ fn series<E: Engine>(cfg: &RunConfig) {
         transport.bytes_received,
     );
 
+    // Cold vs warm vs warm-after-restart: the snapshot persistence
+    // phase (asserts the restarted replay runs zero pairings).
+    let restart = measure_restart::<E>(cfg.scale);
+    println!(
+        "restart phase: cold {:.4} s ({} pairings) | warm {:.4} s | warm after \
+         snapshot restart {:.4} s ({} pairings)",
+        restart.cold_s,
+        restart.pairings_cold,
+        restart.warm_s,
+        restart.warm_restart_s,
+        restart.pairings_warm_restart,
+    );
+
     // Per-stage op counts (cache-on arm): what each pairwise stage of
     // the workload cost across the whole series — the chain trajectory
     // signal for multiway runs.
@@ -398,7 +477,9 @@ fn series<E: Engine>(cfg: &RunConfig) {
          \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"stages\": [{}],\n  \"crypto_ops\": \
          {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \"transport\": \
          {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
-         \"bytes_received\": {}}},\n  \"wall_speedup_cache_on\": {:.6}\n}}\n",
+         \"bytes_received\": {}}},\n  \"restart\": {{\"cold_s\": {:.6}, \"warm_s\": {:.6}, \
+         \"warm_restart_s\": {:.6}, \"pairings_cold\": {}, \"pairings_warm_restart\": {}}},\n  \
+         \"wall_speedup_cache_on\": {:.6}\n}}\n",
         E::NAME,
         cfg.backend.name(),
         cfg.plan.name(),
@@ -425,6 +506,11 @@ fn series<E: Engine>(cfg: &RunConfig) {
         transport.batches,
         transport.bytes_sent,
         transport.bytes_received,
+        restart.cold_s,
+        restart.warm_s,
+        restart.warm_restart_s,
+        restart.pairings_cold,
+        restart.pairings_warm_restart,
         off.wall_s / on.wall_s.max(1e-9),
     );
     if cfg.json_path == "BENCH_session.json" && cfg.plan != PlanMode::Multiway {

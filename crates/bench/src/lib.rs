@@ -48,28 +48,32 @@ pub fn setup_tpch<E: Engine>(scale: f64, t: usize, seed: u64) -> TpchBench<E> {
     let mut client =
         DbClient::<E>::with_config(ClientConfig::new(2, t).seed(seed ^ 0xbe9c).prefilter(true));
     let mut server = DbServer::new();
-    server.insert_table(
-        client
-            .encrypt_table(
-                &customers,
-                TableConfig {
-                    join_column: "custkey".into(),
-                    filter_columns: vec!["mktsegment".into(), "selectivity".into()],
-                },
-            )
-            .expect("encrypt customers"),
-    );
-    server.insert_table(
-        client
-            .encrypt_table(
-                &orders,
-                TableConfig {
-                    join_column: "custkey".into(),
-                    filter_columns: vec!["orderpriority".into(), "selectivity".into()],
-                },
-            )
-            .expect("encrypt orders"),
-    );
+    server
+        .insert_table(
+            client
+                .encrypt_table(
+                    &customers,
+                    TableConfig {
+                        join_column: "custkey".into(),
+                        filter_columns: vec!["mktsegment".into(), "selectivity".into()],
+                    },
+                )
+                .expect("encrypt customers"),
+        )
+        .expect("store customers");
+    server
+        .insert_table(
+            client
+                .encrypt_table(
+                    &orders,
+                    TableConfig {
+                        join_column: "custkey".into(),
+                        filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+                    },
+                )
+                .expect("encrypt orders"),
+        )
+        .expect("store orders");
     TpchBench {
         client,
         server,

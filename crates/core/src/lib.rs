@@ -34,5 +34,6 @@ pub mod scheme;
 pub use encode::{embed_attribute, embed_join_value, RowEncoding};
 pub use poly::SelectionPolynomial;
 pub use scheme::{
-    SecureJoin, SjMasterKey, SjParams, SjQueryKey, SjRowCiphertext, SjTableSide, SjToken,
+    SecureJoin, SjMasterKey, SjParams, SjPreparedCiphertext, SjQueryKey, SjRowCiphertext,
+    SjTableSide, SjToken,
 };

@@ -18,7 +18,8 @@ use crate::encode::RowEncoding;
 use crate::poly::SelectionPolynomial;
 use eqjoin_crypto::RandomSource;
 use eqjoin_fhipe::modified::{
-    ModifiedIpe, ModifiedIpeCiphertext, ModifiedIpeMasterKey, ModifiedIpeToken,
+    ModifiedIpe, ModifiedIpeCiphertext, ModifiedIpeMasterKey, ModifiedIpePreparedCiphertext,
+    ModifiedIpeToken,
 };
 use eqjoin_pairing::{Engine, Fr};
 
@@ -73,6 +74,17 @@ pub struct SjQueryKey(pub(crate) Fr);
 #[derive(Clone, Debug)]
 pub struct SjRowCiphertext<E: Engine> {
     inner: ModifiedIpeCiphertext<E>,
+}
+
+/// An encrypted row with **prepared pairing state**: every `G2` element
+/// carries its precomputed Miller-loop line coefficients
+/// ([`Engine::G2Prepared`]), so each `SJ.Dec` against it skips the
+/// per-step slope derivations. Servers store rows in this form — the
+/// preparation is paid once at upload and amortized over the whole
+/// query series.
+#[derive(Clone, Debug)]
+pub struct SjPreparedCiphertext<E: Engine> {
+    inner: ModifiedIpePreparedCiphertext<E>,
 }
 
 /// A join-query token for one table side: `Tk = g1^{v·B}`.
@@ -169,6 +181,31 @@ impl<E: Engine> SecureJoin<E> {
         ModifiedIpe::<E>::decrypt(&token.inner, &ct.inner)
     }
 
+    /// Precompute a row ciphertext's pairing state (once, at upload).
+    pub fn prepare_row(ct: &SjRowCiphertext<E>) -> SjPreparedCiphertext<E> {
+        SjPreparedCiphertext {
+            inner: ModifiedIpe::<E>::prepare(&ct.inner),
+        }
+    }
+
+    /// `SJ.Dec` against a prepared row — bit-identical output to
+    /// [`SecureJoin::decrypt`] on the originating ciphertext.
+    pub fn decrypt_prepared(token: &SjToken<E>, ct: &SjPreparedCiphertext<E>) -> E::Gt {
+        ModifiedIpe::<E>::decrypt_prepared(&token.inner, &ct.inner)
+    }
+
+    /// `SJ.Dec` of one token against a whole phase of prepared rows,
+    /// batching cross-row work (on BLS, the final exponentiation's
+    /// easy-part inversions collapse into one via Montgomery's trick).
+    /// Output order matches `rows`.
+    pub fn decrypt_prepared_many(
+        token: &SjToken<E>,
+        rows: &[&SjPreparedCiphertext<E>],
+    ) -> Vec<E::Gt> {
+        let inner: Vec<&ModifiedIpePreparedCiphertext<E>> = rows.iter().map(|r| &r.inner).collect();
+        ModifiedIpe::<E>::decrypt_prepared_batch(&token.inner, &inner)
+    }
+
     /// `SJ.Match(D_A, D_B)` — rows join iff their decrypted values are
     /// equal.
     pub fn matches(da: &E::Gt, db: &E::Gt) -> bool {
@@ -219,6 +256,20 @@ impl<E: Engine> SjRowCiphertext<E> {
     pub fn from_elements(elements: Vec<E::G2>) -> Self {
         SjRowCiphertext {
             inner: ModifiedIpeCiphertext { elements },
+        }
+    }
+}
+
+impl<E: Engine> SjPreparedCiphertext<E> {
+    /// The prepared elements (snapshot persistence).
+    pub fn elements(&self) -> &[E::G2Prepared] {
+        &self.inner.elements
+    }
+
+    /// Rebuild from persisted prepared elements.
+    pub fn from_elements(elements: Vec<E::G2Prepared>) -> Self {
+        SjPreparedCiphertext {
+            inner: ModifiedIpePreparedCiphertext { elements },
         }
     }
 }

@@ -1,12 +1,16 @@
 //! The in-process backend: a [`DbServer`] behind the protocol, with
 //! interior synchronization so one instance can serve many sessions,
-//! connection threads or shards concurrently.
+//! connection threads or shards concurrently — optionally **persistent**:
+//! give it a snapshot path and every state change (table uploads,
+//! incremental row updates, fresh decrypt-cache entries) is flushed to
+//! disk, so a restarted server resumes the series warm.
 
 use super::transport::TransportCounters;
 use crate::error::DbError;
 use crate::protocol::{Request, Response, ServerApi};
 use crate::server::DbServer;
 use eqjoin_pairing::Engine;
+use std::path::PathBuf;
 use std::sync::{RwLock, RwLockReadGuard};
 
 use super::TransportStats;
@@ -21,6 +25,9 @@ use super::TransportStats;
 pub struct LocalBackend<E: Engine> {
     server: RwLock<DbServer<E>>,
     counters: TransportCounters,
+    /// Snapshot path; when set, the store is flushed after any request
+    /// that dirtied it.
+    persist: Option<PathBuf>,
 }
 
 impl<E: Engine> LocalBackend<E> {
@@ -29,6 +36,7 @@ impl<E: Engine> LocalBackend<E> {
         LocalBackend {
             server: RwLock::new(DbServer::new()),
             counters: TransportCounters::default(),
+            persist: None,
         }
     }
 
@@ -36,12 +44,50 @@ impl<E: Engine> LocalBackend<E> {
     /// (`JoinOptions::threads == 0`) to `threads` workers instead of
     /// the machine's available parallelism (`eqjoind --threads`).
     pub fn with_default_threads(threads: Option<usize>) -> Self {
+        Self::with_config(threads, None)
+    }
+
+    /// Empty backend with both server defaults configured: decrypt
+    /// workers and decrypt-cache capacity (`eqjoind --threads
+    /// --decrypt-cache-cap`).
+    pub fn with_config(threads: Option<usize>, cache_cap: Option<usize>) -> Self {
         let mut server = DbServer::new();
         server.set_default_threads(threads);
+        if let Some(cap) = cache_cap {
+            server.set_decrypt_cache_cap(cap);
+        }
         LocalBackend {
             server: RwLock::new(server),
             counters: TransportCounters::default(),
+            persist: None,
         }
+    }
+
+    /// Persistent backend (`eqjoind --data-dir`): loads the snapshot at
+    /// `path` if one exists (rejecting corrupt/mismatched snapshots
+    /// with a clean error) and re-saves the store whenever tables,
+    /// rows or the decrypt cache change. `threads` and `cache_cap`
+    /// configure the restored server like the plain constructors do.
+    pub fn with_persistence(
+        path: impl Into<PathBuf>,
+        threads: Option<usize>,
+        cache_cap: Option<usize>,
+    ) -> Result<Self, DbError> {
+        let path = path.into();
+        let mut server = if path.exists() {
+            DbServer::load(&path)?
+        } else {
+            DbServer::new()
+        };
+        server.set_default_threads(threads);
+        if let Some(cap) = cache_cap {
+            server.set_decrypt_cache_cap(cap);
+        }
+        Ok(LocalBackend {
+            server: RwLock::new(server),
+            counters: TransportCounters::default(),
+            persist: Some(path),
+        })
     }
 
     /// Read access to the underlying server (tests and experiments peek
@@ -51,16 +97,76 @@ impl<E: Engine> LocalBackend<E> {
         self.server.read().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Flush the store to the snapshot path if it changed since the
+    /// last flush. A failed write re-arms the dirty flag so the next
+    /// request retries instead of silently dropping state.
+    fn persist_if_dirty(&self) -> Result<(), DbError> {
+        let Some(path) = &self.persist else {
+            return Ok(());
+        };
+        let server = self.server.read().unwrap_or_else(|e| e.into_inner());
+        if !server.store().take_dirty() {
+            return Ok(());
+        }
+        server.save(path).inspect_err(|e| {
+            server.store().mark_dirty_again();
+            eprintln!("eqjoin: snapshot flush failed: {e}");
+        })
+    }
+
+    /// Does this request mutate durable state? A flush failure after a
+    /// mutation must not be swallowed — the client would believe an
+    /// update survived a restart that would in fact lose it.
+    fn is_mutation(request: &Request<E>) -> bool {
+        match request {
+            Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. } => {
+                true
+            }
+            Request::Batch(requests) => requests.iter().any(Self::is_mutation),
+            Request::Ping | Request::ExecuteJoin { .. } => false,
+        }
+    }
+
     fn handle_one(&self, request: Request<E>) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::InsertTable(table) => {
                 let (name, rows) = (table.name.clone(), table.len());
-                self.server
+                match self
+                    .server
                     .write()
                     .unwrap_or_else(|e| e.into_inner())
-                    .insert_table(table);
-                Response::TableInserted { table: name, rows }
+                    .insert_table(table)
+                {
+                    Ok(()) => Response::TableInserted { table: name, rows },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::InsertRows {
+                table,
+                start_row,
+                rows,
+            } => {
+                match self
+                    .server
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert_rows(&table, start_row, rows)
+                {
+                    Ok(rows) => Response::RowsInserted { table, rows },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::DeleteRows { table, rows } => {
+                match self
+                    .server
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .delete_rows(&table, &rows)
+                {
+                    Ok(rows) => Response::RowsDeleted { table, rows },
+                    Err(e) => Response::Error(e),
+                }
             }
             Request::ExecuteJoin {
                 tokens,
@@ -84,7 +190,8 @@ impl<E: Engine> LocalBackend<E> {
 impl<E: Engine> ServerApi<E> for LocalBackend<E> {
     fn handle(&self, request: Request<E>) -> Response {
         self.counters.record_request(&request);
-        match request {
+        let mutation = self.persist.is_some() && Self::is_mutation(&request);
+        let response = match request {
             Request::Batch(requests) => Response::Batch(
                 requests
                     .into_iter()
@@ -92,6 +199,16 @@ impl<E: Engine> ServerApi<E> for LocalBackend<E> {
                     .collect(),
             ),
             single => self.handle_one(single),
+        };
+        match self.persist_if_dirty() {
+            Ok(()) => response,
+            // A mutation whose snapshot flush failed must not be acked:
+            // the in-memory state applied, but the durability the
+            // client asked for (--data-dir) did not. Queries keep their
+            // results — only cache warmth was at stake, and the dirty
+            // flag stays armed for the next attempt.
+            Err(e) if mutation => Response::Error(e),
+            Err(_) => response,
         }
     }
 
@@ -163,6 +280,52 @@ mod tests {
         assert_eq!(stats.round_trips, 5, "1 insert + 4 joins");
         assert_eq!(stats.requests, 5);
         assert_eq!(stats.bytes_sent, 0, "in-process: no wire");
+    }
+
+    #[test]
+    fn failed_snapshot_flush_fails_mutations_but_not_queries() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 9);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        t.push_row(vec![Value::Int(1), "x".into()]);
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+        let tokens = client
+            .query_tokens(&JoinQuery::on("T", "k", "T", "k"))
+            .unwrap();
+
+        // Snapshot path inside a directory that does not exist: every
+        // flush fails. A mutation must come back as a Snapshot error
+        // (the ack would promise durability --data-dir cannot deliver)
+        // …
+        let dir = std::env::temp_dir().join(format!("eqjoin-noflush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = LocalBackend::<MockEngine>::with_persistence(
+            dir.join("missing").join("store.snap"),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(matches!(
+            backend.handle(Request::InsertTable(enc)),
+            Response::Error(DbError::Snapshot(_))
+        ));
+        // …while a query keeps its result: only cache warmth was at
+        // stake (the table itself applied in memory above).
+        assert!(matches!(
+            backend.handle(Request::ExecuteJoin {
+                tokens,
+                options: JoinOptions::default(),
+                projection: Default::default(),
+            }),
+            Response::JoinExecuted { .. }
+        ));
     }
 
     #[test]

@@ -77,14 +77,40 @@ impl<E: Engine> ShardedBackend<E> {
     /// thread requests to `threads` workers (`eqjoind --shards N
     /// --threads T`).
     pub fn local_with_threads(n: usize, threads: Option<usize>) -> Self {
+        Self::local_with_config(n, threads, None)
+    }
+
+    /// In-process shards with full server defaults: decrypt workers and
+    /// decrypt-cache capacity per shard.
+    pub fn local_with_config(n: usize, threads: Option<usize>, cache_cap: Option<usize>) -> Self {
         Self::new(
             (0..n.max(1))
                 .map(|_| {
-                    Box::new(super::LocalBackend::<E>::with_default_threads(threads))
+                    Box::new(super::LocalBackend::<E>::with_config(threads, cache_cap))
                         as Box<dyn ServerApi<E>>
                 })
                 .collect(),
         )
+    }
+
+    /// Persistent shards (`eqjoind --shards N --data-dir DIR`): shard
+    /// `i` snapshots to `DIR/shard-i.snap`, loading it back on
+    /// construction so the whole pool restarts warm.
+    pub fn local_persistent(
+        n: usize,
+        threads: Option<usize>,
+        data_dir: &std::path::Path,
+        cache_cap: Option<usize>,
+    ) -> Result<Self, DbError> {
+        let shards = (0..n.max(1))
+            .map(|i| {
+                let path = data_dir.join(format!("shard-{i}.snap"));
+                Ok(Box::new(super::LocalBackend::<E>::with_persistence(
+                    path, threads, cache_cap,
+                )?) as Box<dyn ServerApi<E>>)
+            })
+            .collect::<Result<Vec<_>, DbError>>()?;
+        Ok(Self::new(shards))
     }
 
     /// Number of shards.
@@ -112,7 +138,13 @@ impl<E: Engine> ShardedBackend<E> {
 
     fn placement(&self, request: &Request<E>) -> Result<Placement, DbError> {
         match request {
-            Request::Ping | Request::InsertTable(_) => Ok(Placement::All),
+            // Storage mutations are replicated: every shard holds the
+            // full table set (incremental row updates included), so any
+            // shard can execute any join.
+            Request::Ping
+            | Request::InsertTable(_)
+            | Request::InsertRows { .. }
+            | Request::DeleteRows { .. } => Ok(Placement::All),
             Request::ExecuteJoin { tokens, .. } => Ok(Placement::One(
                 self.shard_for(&tokens.left.table, &tokens.right.table),
             )),

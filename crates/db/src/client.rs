@@ -91,6 +91,19 @@ pub struct ClientStats {
     pub column_decrypts_skipped: u64,
 }
 
+/// Everything the client remembers about one encrypted table: the
+/// encryption config, the plaintext schema (needed to encrypt later
+/// `INSERT`s consistently) and the next row id — row ids are
+/// client-assigned and bind the sealed payloads, so only the client
+/// may mint them.
+#[derive(Clone, Debug)]
+struct TableState {
+    config: TableConfig,
+    schema: crate::data::Schema,
+    join_idx: usize,
+    next_row: u64,
+}
+
 /// The trusted client of the outsourced-database model (§2).
 pub struct DbClient<E: Engine> {
     params: SjParams,
@@ -99,8 +112,7 @@ pub struct DbClient<E: Engine> {
     prefilter_root: Prf,
     prefilter_enabled: bool,
     rng: ChaChaRng,
-    tables: HashMap<String, TableConfig>,
-    join_col_indices: HashMap<String, usize>,
+    tables: HashMap<String, TableState>,
     next_query_id: u64,
     embed_cache: HashMap<Vec<u8>, Fr>,
     stats: ClientStats,
@@ -136,7 +148,6 @@ impl<E: Engine> DbClient<E> {
             prefilter_enabled: config.prefilter,
             rng,
             tables: HashMap::new(),
-            join_col_indices: HashMap::new(),
             next_query_id: 0,
             embed_cache: HashMap::new(),
             stats: ClientStats::default(),
@@ -195,20 +206,104 @@ impl<E: Engine> DbClient<E> {
             })
             .collect::<Result<_, _>>()?;
 
-        let table_prf = self.prefilter_root.derive(schema.name.as_bytes());
+        let plain_rows: Vec<Vec<Value>> = table.rows.iter().map(|r| r.0.clone()).collect();
+        let rows =
+            self.encrypt_row_batch(&schema.name, &config, join_idx, &filter_idx, 0, &plain_rows);
+
+        self.tables.insert(
+            schema.name.clone(),
+            TableState {
+                config: config.clone(),
+                schema: schema.clone(),
+                join_idx,
+                next_row: table.len() as u64,
+            },
+        );
+        Ok(EncryptedTable {
+            name: schema.name.clone(),
+            join_column: config.join_column,
+            filter_columns: config.filter_columns,
+            rows,
+        })
+    }
+
+    /// Encrypt new rows for an already-encrypted table (the client half
+    /// of an incremental `INSERT`): the same config, keys and pre-filter
+    /// PRFs as the original upload, with row ids continuing where the
+    /// table left off. Returns `(start_row, rows)` ready for a
+    /// [`Request::InsertRows`](crate::protocol::Request::InsertRows).
+    pub fn encrypt_rows(
+        &mut self,
+        table: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<(u64, Vec<EncryptedRow<E>>), DbError> {
+        let state = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?
+            .clone();
+        for row in rows {
+            if row.len() != state.schema.columns.len() {
+                return Err(DbError::Protocol(format!(
+                    "inserted row has {} values, table {table} has {} columns",
+                    row.len(),
+                    state.schema.columns.len()
+                )));
+            }
+        }
+        let filter_idx: Vec<usize> = state
+            .config
+            .filter_columns
+            .iter()
+            .map(|c| {
+                state
+                    .schema
+                    .column_index(c)
+                    .expect("validated at encrypt_table time")
+            })
+            .collect();
+        let start_row = state.next_row;
+        let encrypted = self.encrypt_row_batch(
+            table,
+            &state.config,
+            state.join_idx,
+            &filter_idx,
+            start_row,
+            rows,
+        );
+        self.tables
+            .get_mut(table)
+            .expect("state looked up above")
+            .next_row = start_row + rows.len() as u64;
+        Ok((start_row, encrypted))
+    }
+
+    /// `SJ.Enc` + payload sealing for a slice of plaintext rows whose
+    /// ids start at `start_row`.
+    fn encrypt_row_batch(
+        &mut self,
+        table: &str,
+        config: &TableConfig,
+        join_idx: usize,
+        filter_idx: &[usize],
+        start_row: u64,
+        rows: &[Vec<Value>],
+    ) -> Vec<EncryptedRow<E>> {
+        let table_prf = self.prefilter_root.derive(table.as_bytes());
         let column_prfs: Vec<Prf> = config
             .filter_columns
             .iter()
             .map(|c| table_prf.derive(c.as_bytes()))
             .collect();
 
-        let mut rows = Vec::with_capacity(table.len());
-        for (ridx, row) in table.rows.iter().enumerate() {
-            let join_bytes = row.get(join_idx).canonical_bytes();
+        let mut out = Vec::with_capacity(rows.len());
+        for (offset, row) in rows.iter().enumerate() {
+            let ridx = start_row as usize + offset;
+            let join_bytes = row[join_idx].canonical_bytes();
             // Filter attribute bytes, padded to m with the pad constant.
             let mut attr_bytes: Vec<Vec<u8>> = filter_idx
                 .iter()
-                .map(|&i| row.get(i).canonical_bytes())
+                .map(|&i| row[i].canonical_bytes())
                 .collect();
             while attr_bytes.len() < self.params.m {
                 attr_bytes.push(PAD_ATTRIBUTE.to_vec());
@@ -216,15 +311,14 @@ impl<E: Engine> DbClient<E> {
             let encoding = RowEncoding::from_bytes(&join_bytes, &attr_bytes);
             let cipher = SecureJoin::<E>::encrypt_row(&self.msk, &encoding, &mut self.rng);
             // One sealed blob per column: the associated data binds
-            // table, row and column index, so payloads can neither be
+            // table, row id and column index, so payloads can neither be
             // swapped between rows nor between columns — and the client
             // can open exactly the columns a projection selects.
             let payloads = row
-                .0
                 .iter()
                 .enumerate()
                 .map(|(cidx, value)| {
-                    let ad = payload_ad(&schema.name, ridx, cidx);
+                    let ad = payload_ad(table, ridx, cidx);
                     self.aead
                         .seal(&mut self.rng, ad.as_bytes(), &value.canonical_bytes())
                 })
@@ -233,25 +327,17 @@ impl<E: Engine> DbClient<E> {
                 filter_idx
                     .iter()
                     .zip(&column_prfs)
-                    .map(|(&i, prf)| prf.tag16(&row.get(i).canonical_bytes()))
+                    .map(|(&i, prf)| prf.tag16(&row[i].canonical_bytes()))
                     .collect()
             });
-            rows.push(EncryptedRow {
+            out.push(EncryptedRow {
                 cipher,
                 payloads,
                 tags,
             });
             self.stats.rows_encrypted += 1;
         }
-
-        self.tables.insert(schema.name.clone(), config.clone());
-        self.join_col_indices.insert(schema.name.clone(), join_idx);
-        Ok(EncryptedTable {
-            name: schema.name.clone(),
-            join_column: config.join_column,
-            filter_columns: config.filter_columns,
-            rows,
-        })
+        out
     }
 
     /// Build the two tokens (sharing one fresh query key `k`) for a join
@@ -295,6 +381,7 @@ impl<E: Engine> DbClient<E> {
             .tables
             .get(table)
             .ok_or_else(|| DbError::UnknownTable(table.clone()))?
+            .config
             .clone();
         if *join_col != config.join_column {
             return Err(DbError::JoinColumnMismatch {
@@ -373,10 +460,11 @@ impl<E: Engine> DbClient<E> {
         query: &JoinQuery,
         result: &crate::server::EncryptedJoinResult,
     ) -> Result<Vec<JoinedRow>, DbError> {
-        let join_idx = *self
-            .join_col_indices
+        let join_idx = self
+            .tables
             .get(&query.left_table)
-            .ok_or_else(|| DbError::UnknownTable(query.left_table.clone()))?;
+            .ok_or_else(|| DbError::UnknownTable(query.left_table.clone()))?
+            .join_idx;
         let mut out = Vec::with_capacity(result.pairs.len());
         for pair in &result.pairs {
             let left = self.open_row(&query.left_table, pair.left_row, &pair.left_payloads)?;

@@ -41,6 +41,21 @@ pub enum DbError {
     },
     /// An `IN` clause with no values selects nothing.
     EmptyInClause,
+    /// An incremental update referenced a row id the table does not
+    /// hold (`DELETE` of an unknown/already-deleted row, or an `INSERT`
+    /// whose ids collide with stored rows).
+    UnknownRow {
+        /// Table name.
+        table: String,
+        /// The offending row id.
+        row: u64,
+    },
+    /// A store snapshot could not be written, or an on-disk snapshot
+    /// was rejected at load time (I/O failure, bad magic, unsupported
+    /// format version, engine mismatch, truncation, or checksum
+    /// mismatch). Loading never panics on corrupt input — it returns
+    /// this.
+    Snapshot(String),
     /// A filter names a table that is not part of the query. (Without
     /// this check a typo'd table name would silently leave that side of
     /// the join unfiltered.)
@@ -113,6 +128,10 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::EmptyInClause => write!(f, "IN clause must contain at least one value"),
+            DbError::UnknownRow { table, row } => {
+                write!(f, "table {table} holds no row with id {row}")
+            }
+            DbError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             DbError::FilterTableNotInQuery { table, column } => write!(
                 f,
                 "filter on {table}.{column} names a table that is not part of the query"

@@ -58,10 +58,15 @@
 //!   generation, result decryption ([`DbClient`], configured via
 //!   [`ClientConfig`]; [`ClientStats`] counts the column decrypts a
 //!   projection performs and skips).
-//! * [`server`] — storage, per-row `SJ.Dec`, `O(n)` hash join /
-//!   `O(n²)` nested-loop join, optional parallelism, the optional
-//!   selectivity pre-filter (§4.3), and payload projection
-//!   ([`PayloadProjection`]).
+//! * [`store`] — the storage core ([`EncryptedStore`]):
+//!   column-oriented, row-versioned tables with **prepared pairing
+//!   state** per ciphertext, a row-granular LRU decrypt cache,
+//!   incremental `InsertRows`/`DeleteRows`, and checksummed snapshot
+//!   persistence (warm restarts).
+//! * [`server`] — the query executor over the store: per-row `SJ.Dec`,
+//!   `O(n)` hash join / `O(n²)` nested-loop join, optional
+//!   parallelism, the optional selectivity pre-filter (§4.3), and
+//!   payload projection ([`PayloadProjection`]).
 //! * [`join`] — the matching algorithms on decrypted `D` values, plus
 //!   [`stitch_stages`](join::stitch_stages), which composes pairwise
 //!   stage results into chain tuples.
@@ -77,6 +82,7 @@ pub mod protocol;
 pub mod query;
 pub mod server;
 pub mod session;
+pub mod store;
 
 pub use backend::{EqjoinServer, LocalBackend, RemoteBackend, ShardedBackend, TransportStats};
 pub use client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
@@ -93,5 +99,6 @@ pub use server::{
 };
 pub use session::{
     Catalog, LeakageReport, PreparedQuery, QueryInput, ResultSet, Session, SessionConfig,
-    SessionStats, SqlPlanner,
+    SessionStats, SqlOutcome, SqlPlanner, SqlStatement,
 };
+pub use store::{EncryptedStore, TableStore, DEFAULT_DECRYPT_CACHE_CAP};

@@ -71,6 +71,28 @@ pub enum Request<E: Engine> {
         /// (projection pushdown; the default asks for everything).
         projection: PayloadProjection,
     },
+    /// Append encrypted rows to an existing table **without** resetting
+    /// its stored state: untouched rows keep their decrypt-cache
+    /// entries and prepared pairing state, so a warm series stays warm
+    /// across the update. `start_row` is the client-assigned id of the
+    /// first new row (ids bind the sealed payloads, so the client — who
+    /// encrypted them — dictates the numbering).
+    InsertRows {
+        /// Target table (must exist).
+        table: String,
+        /// Row id of `rows[0]`; `rows[i]` gets `start_row + i`.
+        start_row: u64,
+        /// The new encrypted rows.
+        rows: Vec<EncryptedRow<E>>,
+    },
+    /// Delete rows by id. Like [`Request::InsertRows`], only the
+    /// touched rows' cached state is invalidated.
+    DeleteRows {
+        /// Target table (must exist).
+        table: String,
+        /// Row ids to delete (each must exist).
+        rows: Vec<u64>,
+    },
     /// A pipelined series of requests, answered by one
     /// [`Response::Batch`] of the same arity. Must not nest.
     Batch(Vec<Request<E>>),
@@ -111,6 +133,20 @@ pub enum Response {
         /// The server's leakage observation for this query.
         observation: JoinObservation,
     },
+    /// Rows appended ([`Request::InsertRows`]).
+    RowsInserted {
+        /// Table name.
+        table: String,
+        /// Number of rows appended.
+        rows: usize,
+    },
+    /// Rows deleted ([`Request::DeleteRows`]).
+    RowsDeleted {
+        /// Table name.
+        table: String,
+        /// Number of rows deleted.
+        rows: usize,
+    },
     /// The request failed.
     Error(DbError),
     /// Answer to [`Request::Batch`], element `i` answering request `i`.
@@ -146,42 +182,49 @@ pub trait ServerApi<E: Engine>: Send + Sync {
 // Wire codec
 // ---------------------------------------------------------------------
 
-/// Byte-writer half of the wire codec.
-struct Writer {
-    out: Vec<u8>,
+/// Byte-writer half of the wire codec (shared with the snapshot codec
+/// in [`crate::store`]).
+pub(crate) struct Writer {
+    pub(crate) out: Vec<u8>,
 }
 
 impl Writer {
-    fn new(tag: u8) -> Self {
+    pub(crate) fn new(tag: u8) -> Self {
         Writer { out: vec![tag] }
     }
 
-    fn u8(&mut self, v: u8) {
+    /// An empty writer with no message tag (snapshot bodies).
+    pub(crate) fn raw() -> Self {
+        Writer { out: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.u64(b.len() as u64);
         self.out.extend_from_slice(b);
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
     }
 }
 
-/// Byte-reader half of the wire codec.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Byte-reader half of the wire codec (shared with the snapshot codec
+/// in [`crate::store`]).
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
@@ -189,13 +232,13 @@ impl<'a> Reader<'a> {
         Err(DbError::Protocol(format!("truncated or invalid {what}")))
     }
 
-    fn u8(&mut self) -> Result<u8, DbError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DbError> {
         let v = self.buf.get(self.pos).copied();
         self.pos += 1;
         v.map_or_else(|| Self::err("u8"), Ok)
     }
 
-    fn u64(&mut self) -> Result<u64, DbError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DbError> {
         let end = self.pos + 8;
         let slice = self.buf.get(self.pos..end);
         self.pos = end;
@@ -205,7 +248,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn len(&mut self, what: &str) -> Result<usize, DbError> {
+    pub(crate) fn len(&mut self, what: &str) -> Result<usize, DbError> {
         let n = self.u64()? as usize;
         // A length can never exceed the bytes remaining; reject early so
         // corrupt lengths cannot trigger huge allocations.
@@ -215,7 +258,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn bytes(&mut self) -> Result<&'a [u8], DbError> {
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], DbError> {
         let n = self.len("byte string")?;
         let end = self.pos + n;
         let slice = &self.buf[self.pos..end];
@@ -223,12 +266,12 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn str(&mut self) -> Result<String, DbError> {
+    pub(crate) fn str(&mut self) -> Result<String, DbError> {
         String::from_utf8(self.bytes()?.to_vec())
             .map_err(|_| DbError::Protocol("non-UTF-8 string".into()))
     }
 
-    fn finish(self) -> Result<(), DbError> {
+    pub(crate) fn finish(self) -> Result<(), DbError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -332,6 +375,7 @@ fn put_options(w: &mut Writer, options: &JoinOptions) {
     w.u8(options.use_prefilter as u8);
     w.u64(options.threads as u64);
     w.u8(options.decrypt_cache as u8);
+    w.u64(options.decrypt_cache_cap as u64);
 }
 
 fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
@@ -343,11 +387,13 @@ fn get_options(r: &mut Reader<'_>) -> Result<JoinOptions, DbError> {
     let use_prefilter = r.u8()? != 0;
     let threads = r.u64()? as usize;
     let decrypt_cache = r.u8()? != 0;
+    let decrypt_cache_cap = r.u64()? as usize;
     Ok(JoinOptions {
         algorithm,
         use_prefilter,
         threads,
         decrypt_cache,
+        decrypt_cache_cap,
     })
 }
 
@@ -402,6 +448,57 @@ fn get_payloads(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, DbError> {
     (0..n).map(|_| Ok(r.bytes()?.to_vec())).collect()
 }
 
+pub(crate) fn put_row<E: Engine>(w: &mut Writer, row: &EncryptedRow<E>) {
+    w.u64(row.cipher.elements().len() as u64);
+    for e in row.cipher.elements() {
+        put_g2::<E>(w, e);
+    }
+    put_payloads(w, &row.payloads);
+    match &row.tags {
+        None => w.u8(0),
+        Some(tags) => {
+            w.u8(1);
+            w.u64(tags.len() as u64);
+            for tag in tags {
+                w.out.extend_from_slice(tag);
+            }
+        }
+    }
+}
+
+pub(crate) fn get_row<E: Engine>(r: &mut Reader<'_>) -> Result<EncryptedRow<E>, DbError> {
+    let n_elems = r.len("ciphertext elements")?;
+    let elements = (0..n_elems)
+        .map(|_| get_g2::<E>(r))
+        .collect::<Result<_, _>>()?;
+    let payloads = get_payloads(r)?;
+    let tags = match r.u8()? {
+        0 => None,
+        1 => {
+            let n_tags = r.len("row tags")?;
+            let mut tags = Vec::with_capacity(n_tags);
+            for _ in 0..n_tags {
+                let end = r.pos + 16;
+                let slice = r
+                    .buf
+                    .get(r.pos..end)
+                    .ok_or_else(|| DbError::Protocol("truncated tag".into()))?;
+                let mut tag = [0u8; 16];
+                tag.copy_from_slice(slice);
+                r.pos = end;
+                tags.push(tag);
+            }
+            Some(tags)
+        }
+        other => return Err(DbError::Protocol(format!("bad tags marker {other}"))),
+    };
+    Ok(EncryptedRow {
+        cipher: SjRowCiphertext::from_elements(elements),
+        payloads,
+        tags,
+    })
+}
+
 fn put_table<E: Engine>(w: &mut Writer, table: &EncryptedTable<E>) {
     w.str(&table.name);
     w.str(&table.join_column);
@@ -411,21 +508,7 @@ fn put_table<E: Engine>(w: &mut Writer, table: &EncryptedTable<E>) {
     }
     w.u64(table.rows.len() as u64);
     for row in &table.rows {
-        w.u64(row.cipher.elements().len() as u64);
-        for e in row.cipher.elements() {
-            put_g2::<E>(w, e);
-        }
-        put_payloads(w, &row.payloads);
-        match &row.tags {
-            None => w.u8(0),
-            Some(tags) => {
-                w.u8(1);
-                w.u64(tags.len() as u64);
-                for tag in tags {
-                    w.out.extend_from_slice(tag);
-                }
-            }
-        }
+        put_row(w, row);
     }
 }
 
@@ -437,36 +520,7 @@ fn get_table<E: Engine>(r: &mut Reader<'_>) -> Result<EncryptedTable<E>, DbError
     let n_rows = r.len("rows")?;
     let mut rows = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
-        let n_elems = r.len("ciphertext elements")?;
-        let elements = (0..n_elems)
-            .map(|_| get_g2::<E>(r))
-            .collect::<Result<_, _>>()?;
-        let payloads = get_payloads(r)?;
-        let tags = match r.u8()? {
-            0 => None,
-            1 => {
-                let n_tags = r.len("row tags")?;
-                let mut tags = Vec::with_capacity(n_tags);
-                for _ in 0..n_tags {
-                    let end = r.pos + 16;
-                    let slice = r
-                        .buf
-                        .get(r.pos..end)
-                        .ok_or_else(|| DbError::Protocol("truncated tag".into()))?;
-                    let mut tag = [0u8; 16];
-                    tag.copy_from_slice(slice);
-                    r.pos = end;
-                    tags.push(tag);
-                }
-                Some(tags)
-            }
-            other => return Err(DbError::Protocol(format!("bad tags marker {other}"))),
-        };
-        rows.push(EncryptedRow {
-            cipher: SjRowCiphertext::from_elements(elements),
-            payloads,
-            tags,
-        });
+        rows.push(get_row(r)?);
     }
     Ok(EncryptedTable {
         name,
@@ -544,6 +598,15 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.u8(14);
             w.str(msg);
         }
+        DbError::UnknownRow { table, row } => {
+            w.u8(15);
+            w.str(table);
+            w.u64(*row);
+        }
+        DbError::Snapshot(msg) => {
+            w.u8(16);
+            w.str(msg);
+        }
     }
 }
 
@@ -587,6 +650,11 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
             column: r.str()?,
         },
         14 => DbError::InvalidPlan(r.str()?),
+        15 => DbError::UnknownRow {
+            table: r.str()?,
+            row: r.u64()?,
+        },
+        16 => DbError::Snapshot(r.str()?),
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -624,6 +692,29 @@ impl<E: Engine> Request<E> {
                 }
                 w.out
             }
+            Request::InsertRows {
+                table,
+                start_row,
+                rows,
+            } => {
+                let mut w = Writer::new(4);
+                w.str(table);
+                w.u64(*start_row);
+                w.u64(rows.len() as u64);
+                for row in rows {
+                    put_row(&mut w, row);
+                }
+                w.out
+            }
+            Request::DeleteRows { table, rows } => {
+                let mut w = Writer::new(5);
+                w.str(table);
+                w.u64(rows.len() as u64);
+                for row in rows {
+                    w.u64(*row);
+                }
+                w.out
+            }
         }
     }
 
@@ -650,6 +741,26 @@ impl<E: Engine> Request<E> {
                     requests.push(sub);
                 }
                 Request::Batch(requests)
+            }
+            4 => {
+                let table = r.str()?;
+                let start_row = r.u64()?;
+                let n_rows = r.len("inserted rows")?;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    rows.push(get_row(&mut r)?);
+                }
+                Request::InsertRows {
+                    table,
+                    start_row,
+                    rows,
+                }
+            }
+            5 => {
+                let table = r.str()?;
+                let n_rows = r.len("deleted row ids")?;
+                let rows = (0..n_rows).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                Request::DeleteRows { table, rows }
             }
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
@@ -717,6 +828,18 @@ impl Response {
                 }
                 w.out
             }
+            Response::RowsInserted { table, rows } => {
+                let mut w = Writer::new(5);
+                w.str(table);
+                w.u64(*rows as u64);
+                w.out
+            }
+            Response::RowsDeleted { table, rows } => {
+                let mut w = Writer::new(6);
+                w.str(table);
+                w.u64(*rows as u64);
+                w.out
+            }
         }
     }
 
@@ -782,6 +905,14 @@ impl Response {
                 }
                 Response::Batch(responses)
             }
+            5 => Response::RowsInserted {
+                table: r.str()?,
+                rows: r.u64()? as usize,
+            },
+            6 => Response::RowsDeleted {
+                table: r.str()?,
+                rows: r.u64()? as usize,
+            },
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
         r.finish()?;
@@ -975,6 +1106,7 @@ mod tests {
                 use_prefilter: false,
                 threads: 3,
                 decrypt_cache: true,
+                decrypt_cache_cap: 16,
             },
             projection: Default::default(),
         };

@@ -1,7 +1,12 @@
-//! The semi-honest server: stores encrypted tables, executes join
-//! queries with `SJ.Dec` + `SJ.Match`, and reports the equality pattern
-//! it (unavoidably) observes — the instrumentation the leakage
+//! The semi-honest server: executes join queries with `SJ.Dec` +
+//! `SJ.Match` over an [`EncryptedStore`] and reports the equality
+//! pattern it (unavoidably) observes — the instrumentation the leakage
 //! experiments consume.
+//!
+//! Storage, prepared pairing state, the row-granular decrypt cache and
+//! snapshot persistence all live in [`crate::store`]; this module is
+//! the query executor on top: thread resolution, the match phase,
+//! payload projection and leakage observation.
 //!
 //! # The series-aware decrypt cache
 //!
@@ -10,22 +15,22 @@
 //! (dashboards, retried reports), and the session's token cache then
 //! hands the server a **byte-identical** token bundle. Since
 //! `D_r = e(Tk, C_r)` is a pure function of the token and the stored
-//! ciphertext, the server memoizes the per-side decrypt output keyed by
-//! `(table, token fingerprint, table version)`: a repeat skips the
+//! ciphertext, the store memoizes the per-row decrypt output keyed by
+//! `(token fingerprint, row id, row version)`: a repeat skips the
 //! pairing phase entirely (visible as [`ServerStats::decrypt_cache_hits`]
-//! and a zero pairing-counter delta). Inserting or re-encrypting a table
-//! bumps its version and purges its entries; the cache is capped and
-//! evicts FIFO. This caches only values the server would recompute from
-//! what it already stores — it observes nothing new, so the leakage
-//! accounting is unchanged.
+//! and a zero pairing-counter delta), and an incremental
+//! [`DbServer::insert_rows`] re-decrypts only the new rows. The cache
+//! is LRU-capped ([`JoinOptions::decrypt_cache_cap`] /
+//! [`DbServer::set_decrypt_cache_cap`]). It caches only values the
+//! server would recompute from what it already stores — it observes
+//! nothing new, so the leakage accounting is unchanged.
 
-use crate::encrypted::{EncryptedTable, QueryTokens, SideTokens};
+use crate::encrypted::{EncryptedTable, QueryTokens};
 use crate::error::DbError;
 use crate::join::{hash_join, nested_loop_join, JoinAlgorithm, MatchOutcome};
-use eqjoin_core::{SecureJoin, SjTableSide, SjToken};
+use crate::store::EncryptedStore;
 use eqjoin_pairing::Engine;
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Join execution options.
@@ -43,6 +48,11 @@ pub struct JoinOptions {
     /// Serve repeated byte-identical tokens from the server's decrypt
     /// cache (on by default; see the module docs).
     pub decrypt_cache: bool,
+    /// Decrypt-cache capacity in entries (query sides). `0` (the
+    /// default) defers to the server's configured cap
+    /// ([`DbServer::set_decrypt_cache_cap`] / `eqjoind
+    /// --decrypt-cache-cap`).
+    pub decrypt_cache_cap: usize,
 }
 
 impl Default for JoinOptions {
@@ -52,6 +62,7 @@ impl Default for JoinOptions {
             use_prefilter: true,
             threads: 0,
             decrypt_cache: true,
+            decrypt_cache_cap: 0,
         }
     }
 }
@@ -73,7 +84,8 @@ pub struct ServerStats {
     pub match_time: Duration,
     /// Rows whose `SJ.Dec` output was served from the server's decrypt
     /// cache (each hit skips one pairing). On a full repeat of a
-    /// cached query this equals `rows_decrypted`.
+    /// cached query this equals `rows_decrypted`; after an incremental
+    /// insert it covers exactly the untouched rows.
     pub decrypt_cache_hits: u64,
 }
 
@@ -109,11 +121,14 @@ pub struct PayloadProjection {
 }
 
 /// One matched pair, carrying the sealed payloads back to the client.
+/// Row indices are the **stable row ids** assigned at encryption time
+/// (they survive deletions of other rows — the sealed payloads' AEAD
+/// associated data binds them).
 #[derive(Clone, Debug)]
 pub struct MatchedPair {
-    /// Row index in the left table.
+    /// Row id in the left table.
     pub left_row: usize,
-    /// Row index in the right table.
+    /// Row id in the right table.
     pub right_row: usize,
     /// Sealed per-column payloads of the left row (all columns, or the
     /// subset the request's [`PayloadProjection`] asked for, in the
@@ -138,74 +153,14 @@ pub struct EncryptedJoinResult {
 pub struct JoinObservation {
     /// Query id (from the token bundle).
     pub query_id: u64,
-    /// Observed equality classes (≥ 2 members) as `(table, row index)`.
+    /// Observed equality classes (≥ 2 members) as `(table, row id)`.
     pub equality_classes: Vec<Vec<(String, usize)>>,
 }
 
-/// Maximum number of `(table, token)` entries the decrypt cache holds
-/// before FIFO eviction. Each entry is one side of one query — a series
-/// cycling through far more distinct queries than this is not a cache
-/// workload.
-const DECRYPT_CACHE_CAP: usize = 64;
-
-/// One memoized `SJ.Dec` side: the post-prefilter candidate rows and
-/// their match keys, valid for one table version.
-struct DecryptEntry {
-    table: String,
-    version: u64,
-    total_rows: usize,
-    rows: Arc<Vec<(usize, Vec<u8>)>>,
-}
-
-/// FIFO-capped memo of decrypt sides keyed by token fingerprint.
-#[derive(Default)]
-struct DecryptCache {
-    entries: HashMap<[u8; 32], DecryptEntry>,
-    order: VecDeque<[u8; 32]>,
-}
-
-impl DecryptCache {
-    fn get(&self, key: &[u8; 32], table: &str, version: u64) -> Option<&DecryptEntry> {
-        self.entries
-            .get(key)
-            .filter(|e| e.table == table && e.version == version)
-    }
-
-    fn insert(&mut self, key: [u8; 32], entry: DecryptEntry) {
-        if self.entries.insert(key, entry).is_none() {
-            self.order.push_back(key);
-        }
-        while self.entries.len() > DECRYPT_CACHE_CAP {
-            match self.order.pop_front() {
-                Some(oldest) => {
-                    self.entries.remove(&oldest);
-                }
-                None => break,
-            }
-        }
-    }
-
-    /// Drop every entry of `table` (called when the table is replaced).
-    fn purge_table(&mut self, table: &str) {
-        self.entries.retain(|_, e| e.table != table);
-        let entries = &self.entries;
-        self.order.retain(|k| entries.contains_key(k));
-    }
-}
-
-/// A stored table together with its monotonically increasing version
-/// (bumped on every upload under the same name — the decrypt cache's
-/// invalidation handle).
-struct StoredTable<E: Engine> {
-    table: EncryptedTable<E>,
-    version: u64,
-}
-
-/// The semi-honest DBMS server.
+/// The semi-honest DBMS server: an [`EncryptedStore`] plus the query
+/// executor.
 pub struct DbServer<E: Engine> {
-    tables: HashMap<String, StoredTable<E>>,
-    next_version: u64,
-    decrypt_cache: Mutex<DecryptCache>,
+    store: EncryptedStore<E>,
     default_threads: Option<usize>,
 }
 
@@ -219,34 +174,59 @@ impl<E: Engine> DbServer<E> {
     /// Empty server.
     pub fn new() -> Self {
         DbServer {
-            tables: HashMap::new(),
-            next_version: 0,
-            decrypt_cache: Mutex::new(DecryptCache::default()),
+            store: EncryptedStore::new(),
             default_threads: None,
         }
     }
 
-    /// Upload an encrypted table. Re-uploading under an existing name
-    /// replaces the table, bumps its version and invalidates its
-    /// decrypt-cache entries.
-    pub fn insert_table(&mut self, table: EncryptedTable<E>) {
-        self.next_version += 1;
-        self.decrypt_cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .purge_table(&table.name);
-        self.tables.insert(
-            table.name.clone(),
-            StoredTable {
-                table,
-                version: self.next_version,
-            },
-        );
+    /// Server over an existing store (e.g. one loaded from a snapshot).
+    pub fn with_store(store: EncryptedStore<E>) -> Self {
+        DbServer {
+            store,
+            default_threads: None,
+        }
     }
 
-    /// Access a stored table.
-    pub fn table(&self, name: &str) -> Option<&EncryptedTable<E>> {
-        self.tables.get(name).map(|stored| &stored.table)
+    /// Restore a server from a snapshot written by [`DbServer::save`].
+    pub fn load(path: &Path) -> Result<Self, DbError> {
+        Ok(Self::with_store(EncryptedStore::load(path)?))
+    }
+
+    /// Persist the full server state — tables, prepared pairing state
+    /// and the decrypt cache — so a restarted server resumes warm.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        self.store.save(path)
+    }
+
+    /// The underlying store (tests and persistent backends inspect it).
+    pub fn store(&self) -> &EncryptedStore<E> {
+        &self.store
+    }
+
+    /// Upload an encrypted table. Re-uploading under an existing name
+    /// replaces the table, re-versions every row and thereby
+    /// invalidates its decrypt-cache entries.
+    pub fn insert_table(&mut self, table: EncryptedTable<E>) -> Result<(), DbError> {
+        self.store.insert_table(table)
+    }
+
+    /// Append encrypted rows to a stored table. Untouched rows keep
+    /// their versions — their decrypt-cache entries and prepared state
+    /// stay warm; only the new rows are prepared and (on the next
+    /// query) decrypted.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        start_row: u64,
+        rows: Vec<crate::encrypted::EncryptedRow<E>>,
+    ) -> Result<usize, DbError> {
+        self.store.insert_rows(table, start_row, rows)
+    }
+
+    /// Delete stored rows by id (row-granular cache invalidation; see
+    /// [`EncryptedStore::delete_rows`]).
+    pub fn delete_rows(&mut self, table: &str, rows: &[u64]) -> Result<usize, DbError> {
+        self.store.delete_rows(table, rows)
     }
 
     /// Fix the worker count used when a request asks for auto threads
@@ -254,6 +234,12 @@ impl<E: Engine> DbServer<E> {
     /// auto to the machine's available parallelism.
     pub fn set_default_threads(&mut self, threads: Option<usize>) {
         self.default_threads = threads.filter(|&t| t > 0);
+    }
+
+    /// Set the decrypt-cache capacity used when a request does not pin
+    /// one (`JoinOptions::decrypt_cache_cap == 0`).
+    pub fn set_decrypt_cache_cap(&mut self, cap: usize) {
+        self.store.set_decrypt_cache_cap(cap);
     }
 
     /// Resolve a request's thread count: explicit > server default >
@@ -280,32 +266,35 @@ impl<E: Engine> DbServer<E> {
     }
 
     /// Execute a join query: per-row `SJ.Dec` on both sides (optionally
-    /// pre-filtered and parallel), then `SJ.Match` via the selected
-    /// algorithm. Returns the encrypted result — matched pairs carrying
-    /// only the payload columns `projection` asks for — and the leakage
-    /// observation.
+    /// pre-filtered and parallel, served from the decrypt cache where
+    /// warm), then `SJ.Match` via the selected algorithm. Returns the
+    /// encrypted result — matched pairs carrying only the payload
+    /// columns `projection` asks for — and the leakage observation.
     pub fn execute_join_projected(
         &self,
         tokens: &QueryTokens<E>,
         opts: &JoinOptions,
         projection: &PayloadProjection,
     ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
-        let left_stored = self
-            .tables
-            .get(&tokens.left.table)
+        let left_table = self
+            .store
+            .table(&tokens.left.table)
             .ok_or_else(|| DbError::UnknownTable(tokens.left.table.clone()))?;
-        let right_stored = self
-            .tables
-            .get(&tokens.right.table)
+        let right_table = self
+            .store
+            .table(&tokens.right.table)
             .ok_or_else(|| DbError::UnknownTable(tokens.right.table.clone()))?;
-        let left_table = &left_stored.table;
-        let right_table = &right_stored.table;
 
         let mut stats = ServerStats::default();
+        let threads = self.resolve_threads(opts.threads);
 
         let t0 = Instant::now();
-        let left_d = self.decrypt_side(left_stored, &tokens.left, opts, &mut stats);
-        let right_d = self.decrypt_side(right_stored, &tokens.right, opts, &mut stats);
+        let left_d = self
+            .store
+            .decrypt_side(&tokens.left, opts, threads, &mut stats)?;
+        let right_d = self
+            .store
+            .decrypt_side(&tokens.right, opts, threads, &mut stats)?;
         stats.decrypt_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -321,17 +310,24 @@ impl<E: Engine> DbServer<E> {
             .pairs
             .iter()
             .map(|&(l, r)| {
+                let left_pos = left_table.ids().binary_search(&(l as u64)).map_err(|_| {
+                    DbError::UnknownRow {
+                        table: tokens.left.table.clone(),
+                        row: l as u64,
+                    }
+                })?;
+                let right_pos = right_table.ids().binary_search(&(r as u64)).map_err(|_| {
+                    DbError::UnknownRow {
+                        table: tokens.right.table.clone(),
+                        row: r as u64,
+                    }
+                })?;
                 Ok(MatchedPair {
                     left_row: l,
                     right_row: r,
-                    left_payloads: project_payloads(
-                        &left_table.rows[l].payloads,
-                        projection.left.as_deref(),
-                    )?,
-                    right_payloads: project_payloads(
-                        &right_table.rows[r].payloads,
-                        projection.right.as_deref(),
-                    )?,
+                    left_payloads: left_table.payloads_of(left_pos, projection.left.as_deref())?,
+                    right_payloads: right_table
+                        .payloads_of(right_pos, projection.right.as_deref())?,
                 })
             })
             .collect::<Result<Vec<_>, DbError>>()?;
@@ -359,165 +355,6 @@ impl<E: Engine> DbServer<E> {
 
         Ok((EncryptedJoinResult { pairs, stats }, observation))
     }
-
-    /// Decrypt one side: `(row index, D bytes)` for every candidate row
-    /// that survives the pre-filter — served from the decrypt cache
-    /// when this exact token already ran against this table version.
-    fn decrypt_side(
-        &self,
-        stored: &StoredTable<E>,
-        side: &SideTokens<E>,
-        opts: &JoinOptions,
-        stats: &mut ServerStats,
-    ) -> Arc<Vec<(usize, Vec<u8>)>> {
-        let table = &stored.table;
-        let key = opts
-            .decrypt_cache
-            .then(|| side_fingerprint::<E>(side, opts.use_prefilter));
-        if let Some(key) = &key {
-            let cache = self.decrypt_cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(entry) = cache.get(key, &table.name, stored.version) {
-                stats.rows_decrypted += entry.rows.len();
-                stats.rows_prefiltered_out += entry.total_rows - entry.rows.len();
-                stats.decrypt_cache_hits += entry.rows.len() as u64;
-                return Arc::clone(&entry.rows);
-            }
-        }
-
-        // Pre-filter: a row survives if, for every constrained column,
-        // its tag is in the allowed set.
-        let candidates: Vec<usize> = table
-            .rows
-            .iter()
-            .enumerate()
-            .filter(|(_, row)| {
-                if !opts.use_prefilter || side.prefilter.is_empty() {
-                    return true;
-                }
-                match &row.tags {
-                    None => true, // table carries no tags; cannot pre-filter
-                    Some(tags) => side
-                        .prefilter
-                        .iter()
-                        .all(|(col, allowed)| allowed.contains(&tags[*col])),
-                }
-            })
-            .map(|(i, _)| i)
-            .collect();
-        stats.rows_prefiltered_out += table.rows.len() - candidates.len();
-        stats.rows_decrypted += candidates.len();
-
-        let threads = self.resolve_threads(opts.threads);
-        let decrypt_one = |&idx: &usize| -> (usize, Vec<u8>) {
-            let d = SecureJoin::<E>::decrypt(&side.token, &table.rows[idx].cipher);
-            (idx, SecureJoin::<E>::match_key(&d))
-        };
-        let rows: Arc<Vec<(usize, Vec<u8>)>> = if threads <= 1 || candidates.len() < 2 {
-            Arc::new(candidates.iter().map(decrypt_one).collect())
-        } else {
-            Arc::new(parallel_decrypt(&candidates, &side.token, table, threads))
-        };
-
-        if let Some(key) = key {
-            self.decrypt_cache
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(
-                    key,
-                    DecryptEntry {
-                        table: table.name.clone(),
-                        version: stored.version,
-                        total_rows: table.rows.len(),
-                        rows: Arc::clone(&rows),
-                    },
-                );
-        }
-        rows
-    }
-}
-
-/// Select the requested payload columns of one stored row (`None` =
-/// all). An out-of-range index is a malformed request.
-fn project_payloads(
-    payloads: &[Vec<u8>],
-    wanted: Option<&[usize]>,
-) -> Result<Vec<Vec<u8>>, DbError> {
-    match wanted {
-        None => Ok(payloads.to_vec()),
-        Some(indices) => indices
-            .iter()
-            .map(|&i| {
-                payloads.get(i).cloned().ok_or_else(|| {
-                    DbError::Protocol(format!(
-                        "payload projection index {i} out of range ({} columns stored)",
-                        payloads.len()
-                    ))
-                })
-            })
-            .collect(),
-    }
-}
-
-/// Collision-resistant fingerprint of one side's decrypt inputs: the
-/// token elements (byte serialization), the target table, the
-/// pre-filter constraint sets and whether the pre-filter applies.
-/// Byte-identical fingerprints decrypt to byte-identical outputs, which
-/// is what makes the memoization sound.
-fn side_fingerprint<E: Engine>(side: &SideTokens<E>, use_prefilter: bool) -> [u8; 32] {
-    let mut h = eqjoin_crypto::Sha256::new();
-    h.update(b"eqjoin-decrypt-cache-v1\0");
-    h.update(&(side.table.len() as u64).to_le_bytes());
-    h.update(side.table.as_bytes());
-    h.update(&[
-        use_prefilter as u8,
-        matches!(side.token.side(), SjTableSide::A) as u8,
-    ]);
-    h.update(&(side.token.elements().len() as u64).to_le_bytes());
-    for element in side.token.elements() {
-        let bytes = E::g1_bytes(element);
-        h.update(&(bytes.len() as u64).to_le_bytes());
-        h.update(&bytes);
-    }
-    h.update(&(side.prefilter.len() as u64).to_le_bytes());
-    for (col, allowed) in &side.prefilter {
-        h.update(&(*col as u64).to_le_bytes());
-        h.update(&(allowed.len() as u64).to_le_bytes());
-        for tag in allowed {
-            h.update(tag);
-        }
-    }
-    h.finalize()
-}
-
-/// Chunked parallel decryption with std scoped threads.
-fn parallel_decrypt<E: Engine>(
-    candidates: &[usize],
-    token: &SjToken<E>,
-    table: &EncryptedTable<E>,
-    threads: usize,
-) -> Vec<(usize, Vec<u8>)> {
-    let chunk_size = candidates.len().div_ceil(threads);
-    let mut results: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&idx| {
-                            let d = SecureJoin::<E>::decrypt(token, &table.rows[idx].cipher);
-                            (idx, SecureJoin::<E>::match_key(&d))
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("decrypt worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -550,8 +387,8 @@ mod tests {
         let enc_r = client
             .encrypt_table(&right, cfg(["shape", "weight"]))
             .unwrap();
-        server.insert_table(enc_l);
-        server.insert_table(enc_r);
+        server.insert_table(enc_l).unwrap();
+        server.insert_table(enc_r).unwrap();
 
         let query = JoinQuery::on("L", "key", "R", "key");
         (client, server, query)
@@ -638,7 +475,13 @@ mod tests {
         let (mut client, server, query) = setup();
         let tokens = client.query_tokens(&query).unwrap();
         let (seq, _) = server
-            .execute_join(&tokens, &JoinOptions::default())
+            .execute_join(
+                &tokens,
+                &JoinOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let (par, _) = server
             .execute_join(
@@ -675,7 +518,7 @@ mod tests {
                 },
             )
             .unwrap();
-        server.insert_table(enc);
+        server.insert_table(enc).unwrap();
         let query = JoinQuery::on("T", "k", "T", "k").filter("T", "attr", vec!["hit".into()]);
         let tokens = client.query_tokens(&query).unwrap();
         let (result, _) = server
@@ -760,9 +603,9 @@ mod tests {
         let (hit, _) = server.execute_join(&tokens, &opts).unwrap();
         assert!(hit.stats.decrypt_cache_hits > 0, "warm before the update");
 
-        // Re-upload L (same rows re-encrypted): its entries must drop
-        // while R's survive — the next run decrypts L fresh but still
-        // serves R from the cache.
+        // Re-upload L (same rows re-encrypted): its rows are
+        // re-versioned, so its cached match keys die while R's survive
+        // — the next run decrypts L fresh but still serves R warm.
         let mut left = Table::new(Schema::new("L", &["key", "color", "size"]));
         left.push_row(vec![Value::Int(1), "red".into(), "s".into()]);
         left.push_row(vec![Value::Int(2), "blue".into(), "m".into()]);
@@ -772,7 +615,7 @@ mod tests {
             filter_columns: vec!["color".into(), "size".into()],
         };
         let reencrypted = client.encrypt_table(&left, cfg).unwrap();
-        server.insert_table(reencrypted);
+        server.insert_table(reencrypted).unwrap();
 
         let (after, _) = server.execute_join(&tokens, &opts).unwrap();
         let r_rows = 3;
@@ -783,19 +626,108 @@ mod tests {
     }
 
     #[test]
-    fn decrypt_cache_eviction_keeps_the_cache_bounded() {
-        let (mut client, server, query) = setup();
+    fn insert_rows_keeps_untouched_rows_warm() {
+        let (mut client, mut server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
         let opts = JoinOptions::default();
-        // Far more distinct token bundles than the cap; every run is
-        // fresh so nothing hits, and the cache must not grow past CAP.
-        for _ in 0..(super::DECRYPT_CACHE_CAP / 2 + 4) {
-            let tokens = client.query_tokens(&query).unwrap();
-            let (res, _) = server.execute_join(&tokens, &opts).unwrap();
+        server.execute_join(&tokens, &opts).unwrap();
+
+        // Append one row to L: ids/versions of the stored rows are
+        // untouched, so the repeat re-decrypts exactly the new row.
+        let (start, rows) = client
+            .encrypt_rows("L", &[vec![Value::Int(1), "green".into(), "xl".into()]])
+            .unwrap();
+        assert_eq!(start, 3, "ids continue after the encrypted table");
+        assert_eq!(server.insert_rows("L", start, rows).unwrap(), 1);
+
+        let (after, _) = server.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(after.stats.rows_decrypted, 7);
+        assert_eq!(
+            after.stats.decrypt_cache_hits, 6,
+            "all six pre-existing rows stay warm; only the insert is fresh"
+        );
+        // The new row (key 1, id 3) joins R rows 0 and 1 under the old
+        // token.
+        let pairs: Vec<(usize, usize)> = after
+            .pairs
+            .iter()
+            .map(|p| (p.left_row, p.right_row))
+            .collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn delete_rows_is_row_granular() {
+        let (mut client, mut server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let opts = JoinOptions::default();
+        server.execute_join(&tokens, &opts).unwrap();
+
+        // Delete L row 0 (the only L row matching R): the repeat stays
+        // fully warm for every surviving row and loses the pair.
+        assert_eq!(server.delete_rows("L", &[0]).unwrap(), 1);
+        let (after, _) = server.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(after.stats.rows_decrypted, 5);
+        assert_eq!(
+            after.stats.decrypt_cache_hits, 5,
+            "no surviving row may be re-decrypted"
+        );
+        assert!(after.pairs.is_empty());
+
+        // Deleting an unknown id is a clean error.
+        assert_eq!(
+            server.delete_rows("L", &[0]).unwrap_err(),
+            DbError::UnknownRow {
+                table: "L".into(),
+                row: 0
+            }
+        );
+        // Inserting over a live id is rejected too.
+        let (_, rows) = client
+            .encrypt_rows("L", &[vec![Value::Int(9), "red".into(), "s".into()]])
+            .unwrap();
+        assert!(matches!(
+            server.insert_rows("L", 1, rows),
+            Err(DbError::UnknownRow { .. })
+        ));
+    }
+
+    #[test]
+    fn lru_keeps_hot_entries_through_a_cold_flood() {
+        let (mut client, mut server, query) = setup();
+        server.set_decrypt_cache_cap(4);
+        let opts = JoinOptions::default();
+        let hot = client.query_tokens(&query).unwrap();
+        server.execute_join(&hot, &opts).unwrap();
+
+        // Flood with fresh-token queries (each inserts 2 cold entries),
+        // touching the hot entry between every wave. FIFO would evict
+        // the oldest — i.e. the hot pair; LRU must keep it.
+        for _ in 0..6 {
+            let cold = client.query_tokens(&query).unwrap();
+            let (res, _) = server.execute_join(&cold, &opts).unwrap();
             assert_eq!(res.stats.decrypt_cache_hits, 0);
+            let (warm, _) = server.execute_join(&hot, &opts).unwrap();
+            assert_eq!(
+                warm.stats.decrypt_cache_hits as usize, warm.stats.rows_decrypted,
+                "the hot entry must survive every cold wave"
+            );
+            assert!(server.store().decrypt_cache_len() <= 4);
         }
-        let cache = server.decrypt_cache.lock().unwrap();
-        assert!(cache.entries.len() <= super::DECRYPT_CACHE_CAP);
-        assert_eq!(cache.entries.len(), cache.order.len());
+    }
+
+    #[test]
+    fn per_request_cache_cap_overrides_server_default() {
+        let (mut client, server, query) = setup();
+        let opts = JoinOptions {
+            decrypt_cache_cap: 2,
+            ..Default::default()
+        };
+        for _ in 0..5 {
+            let tokens = client.query_tokens(&query).unwrap();
+            server.execute_join(&tokens, &opts).unwrap();
+            assert!(server.store().decrypt_cache_len() <= 2);
+        }
     }
 
     #[test]
@@ -807,5 +739,28 @@ mod tests {
             empty.execute_join(&tokens, &JoinOptions::default()),
             Err(DbError::UnknownTable(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_results_and_cache() {
+        let (mut client, server, query) = setup();
+        let tokens = client.query_tokens(&query).unwrap();
+        let opts = JoinOptions::default();
+        let (first, _) = server.execute_join(&tokens, &opts).unwrap();
+
+        // "Restart": serialize, drop, reload — the repeat must be a
+        // full cache hit on the reloaded server.
+        let bytes = server.store().snapshot_bytes();
+        drop(server);
+        let reloaded = DbServer::with_store(EncryptedStore::from_snapshot_bytes(&bytes).unwrap());
+        let (again, _) = reloaded.execute_join(&tokens, &opts).unwrap();
+        assert_eq!(
+            again.stats.decrypt_cache_hits as usize, again.stats.rows_decrypted,
+            "a restored snapshot must serve the repeat entirely from cache"
+        );
+        let key = |r: &EncryptedJoinResult| -> Vec<(usize, usize)> {
+            r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+        };
+        assert_eq!(key(&first), key(&again));
     }
 }

@@ -120,6 +120,14 @@ impl SessionConfig {
         self
     }
 
+    /// Pin the server decrypt-cache capacity (entries) for this
+    /// session's joins; `0` (the default) defers to the server's
+    /// configured cap (`eqjoind --decrypt-cache-cap`).
+    pub fn decrypt_cache_cap(mut self, cap: usize) -> Self {
+        self.options.decrypt_cache_cap = cap;
+        self
+    }
+
     /// Select the server-side matching algorithm.
     pub fn algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
         self.options.algorithm = algorithm;
@@ -139,12 +147,54 @@ impl SessionConfig {
 /// column references against this.
 pub type Catalog = BTreeMap<String, Vec<String>>;
 
+/// A resolved SQL statement: a query plan, or one of the incremental
+/// update statements ([`Session::run_sql`] dispatches on this).
+#[derive(Clone, Debug)]
+pub enum SqlStatement {
+    /// `SELECT … FROM … JOIN …` — executes as a [`QueryPlan`].
+    Select(QueryPlan),
+    /// `INSERT INTO t VALUES (…), (…)` — plaintext rows the session
+    /// encrypts and appends incrementally.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM t WHERE rowid IN (…)` — stable row ids to delete.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row ids.
+        rows: Vec<u64>,
+    },
+}
+
+/// What one SQL statement produced.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A `SELECT`'s decrypted result set (boxed: result sets dwarf the
+    /// update counters).
+    Rows(Box<ResultSet>),
+    /// Number of rows an `INSERT INTO` appended.
+    Inserted(usize),
+    /// Number of rows a `DELETE FROM` removed.
+    Deleted(usize),
+}
+
 /// A pluggable SQL front-end. Implemented by `eqjoin-sql`'s
 /// `SqlFrontend`; the `eqjoin` facade crate installs it automatically.
 pub trait SqlPlanner {
     /// Parse `sql` and resolve it against `catalog` into a logical
     /// [`QueryPlan`].
     fn plan(&self, sql: &str, catalog: &Catalog) -> Result<QueryPlan, DbError>;
+
+    /// Parse a full statement (`SELECT`/`INSERT INTO`/`DELETE FROM`).
+    /// The default treats everything as a `SELECT`, so planners written
+    /// before incremental updates keep working unchanged.
+    fn statement(&self, sql: &str, catalog: &Catalog) -> Result<SqlStatement, DbError> {
+        self.plan(sql, catalog).map(SqlStatement::Select)
+    }
 }
 
 /// Anything [`Session::prepare`]/[`Session::execute`] accepts: SQL
@@ -462,6 +512,61 @@ impl<E: Engine> Session<E> {
             _ => Err(DbError::Protocol(
                 "backend answered InsertTable with the wrong response kind".into(),
             )),
+        }
+    }
+
+    /// Encrypt plaintext rows (schema column order) and append them to
+    /// an existing table **incrementally**: stored rows — and their
+    /// decrypt-cache entries server-side — are untouched, so a warm
+    /// series stays warm and only the new rows cost anything. Returns
+    /// the number of rows appended.
+    pub fn insert_rows(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<usize, DbError> {
+        let (start_row, encrypted) = self.client.encrypt_rows(table, rows)?;
+        match self.backend.handle(Request::InsertRows {
+            table: table.to_owned(),
+            start_row,
+            rows: encrypted,
+        }) {
+            Response::RowsInserted { rows, .. } => Ok(rows),
+            Response::Error(e) => Err(e),
+            _ => Err(DbError::Protocol(
+                "backend answered InsertRows with the wrong response kind".into(),
+            )),
+        }
+    }
+
+    /// Delete rows by their stable ids (the row indices result sets
+    /// report). Row-granular: only the deleted rows' cached decrypt
+    /// state is dropped server-side.
+    pub fn delete_rows(&mut self, table: &str, rows: &[u64]) -> Result<usize, DbError> {
+        match self.backend.handle(Request::DeleteRows {
+            table: table.to_owned(),
+            rows: rows.to_vec(),
+        }) {
+            Response::RowsDeleted { rows, .. } => Ok(rows),
+            Response::Error(e) => Err(e),
+            _ => Err(DbError::Protocol(
+                "backend answered DeleteRows with the wrong response kind".into(),
+            )),
+        }
+    }
+
+    /// Run one SQL statement: `SELECT` executes like
+    /// [`Session::execute`]; `INSERT INTO`/`DELETE FROM` apply
+    /// incremental updates. Requires an installed [`SqlPlanner`] that
+    /// understands statements (the bundled `eqjoin-sql` front-end does).
+    pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome, DbError> {
+        let planner = self.planner.as_ref().ok_or(DbError::NoSqlPlanner)?;
+        match planner.statement(sql, &self.catalog)? {
+            SqlStatement::Select(plan) => self
+                .execute(plan)
+                .map(|result| SqlOutcome::Rows(Box::new(result))),
+            SqlStatement::Insert { table, rows } => {
+                self.insert_rows(&table, &rows).map(SqlOutcome::Inserted)
+            }
+            SqlStatement::Delete { table, rows } => {
+                self.delete_rows(&table, &rows).map(SqlOutcome::Deleted)
+            }
         }
     }
 

@@ -1,0 +1,995 @@
+//! [`EncryptedStore`] — the server's storage core: column-oriented,
+//! row-versioned encrypted tables carrying **prepared pairing state**,
+//! a row-granular LRU decrypt cache, and a checksummed snapshot format
+//! that lets a restarted server resume a query series *warm*.
+//!
+//! # Why a store, not a `HashMap`
+//!
+//! The paper's subject is a **series** of queries against tables
+//! encrypted once. Three kinds of state are worth keeping between
+//! queries — and, with [`EncryptedStore::save`]/[`EncryptedStore::load`],
+//! between server processes:
+//!
+//! 1. **Prepared pairing state.** Each stored ciphertext element keeps
+//!    its precomputed Miller-loop line coefficients
+//!    ([`Engine::G2Prepared`]); every `SJ.Dec` then skips the per-step
+//!    slope inversions. Preparation happens once per row, at insert.
+//! 2. **The decrypt cache**, memoizing `SJ.Dec` output per
+//!    `(token fingerprint, row)`. Entries are keyed down to the *row
+//!    version*, so incremental updates invalidate exactly the touched
+//!    rows: after `InsertRows` a repeated query re-decrypts only the
+//!    new rows, after `DeleteRows` nothing at all, and untouched
+//!    tables stay fully warm. Eviction is true LRU with a configurable
+//!    cap.
+//! 3. **The tables themselves**, stored column-oriented: per-row
+//!    ciphertexts/prepared state next to per-*column* sealed payload
+//!    and pre-filter tag vectors, so the pre-filter scans only the
+//!    constrained columns and a payload projection ships straight from
+//!    the selected column vectors.
+//!
+//! # Rows, ids and versions
+//!
+//! Rows are identified by a **stable id** assigned by the client at
+//! encryption time (the AEAD associated data of the sealed payloads
+//! binds it, so the server cannot renumber). Every inserted row also
+//! gets a store-wide monotonically increasing **version**; replacing a
+//! table re-versions every row. A cache entry remembers `(id, version)`
+//! per memoized row and a lookup accepts only exact matches — this is
+//! the entire invalidation story, no epochs or purge walks required.
+//!
+//! # Snapshot format
+//!
+//! `save` writes `magic ‖ format version ‖ engine name ‖ body length ‖
+//! SHA-256(body) ‖ body`, everything inside length-prefixed. `load`
+//! rejects wrong magic, unsupported versions, engine mismatches,
+//! truncation and any body corruption (checksum) with a clean
+//! [`DbError::Snapshot`] — never a panic. What a snapshot persists is
+//! exactly what the server already held in memory: ciphertexts,
+//! prepared state and memoized `SJ.Dec` outputs. It leaks nothing
+//! beyond the ciphertexts themselves.
+
+use crate::encrypted::{EncryptedRow, EncryptedTable, SideTokens};
+use crate::error::DbError;
+use crate::protocol::{Reader, Writer};
+use crate::server::{JoinOptions, ServerStats};
+use eqjoin_core::{SecureJoin, SjPreparedCiphertext, SjRowCiphertext, SjTableSide};
+use eqjoin_pairing::Engine;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Default decrypt-cache capacity (entries = query sides), used when
+/// neither the store nor the request configures one.
+pub const DEFAULT_DECRYPT_CACHE_CAP: usize = 64;
+
+/// Snapshot magic bytes.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"EQJSNAP\x01";
+/// Snapshot format version this build writes and accepts.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// One stored table, column-oriented.
+pub struct TableStore<E: Engine> {
+    name: String,
+    join_column: String,
+    filter_columns: Vec<String>,
+    /// Stable client-assigned row ids, ascending.
+    ids: Vec<u64>,
+    /// Store-wide row versions (the decrypt cache's invalidation
+    /// handle), parallel to `ids`.
+    versions: Vec<u64>,
+    /// Per-row `SJ.Enc` ciphertexts.
+    ciphers: Vec<SjRowCiphertext<E>>,
+    /// Per-row prepared pairing state (same order).
+    prepared: Vec<SjPreparedCiphertext<E>>,
+    /// Sealed payloads, **column-major**: `payload_columns[c][r]`.
+    payload_columns: Vec<Vec<Vec<u8>>>,
+    /// Pre-filter tags, column-major per *filter* column (present iff
+    /// the client enabled the pre-filter for this table).
+    tag_columns: Option<Vec<Vec<[u8; 16]>>>,
+}
+
+impl<E: Engine> TableStore<E> {
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The join column fixed at encryption time.
+    pub fn join_column(&self) -> &str {
+        &self.join_column
+    }
+
+    /// Filter columns in encryption order.
+    pub fn filter_columns(&self) -> &[String] {
+        &self.filter_columns
+    }
+
+    /// Number of sealed payload columns.
+    pub fn payload_column_count(&self) -> usize {
+        self.payload_columns.len()
+    }
+
+    /// Stable row ids, ascending.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Position of a row id (ids are kept sorted).
+    fn position_of(&self, id: u64) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Storage positions surviving the pre-filter — a column-oriented
+    /// scan: only the constrained tag columns are touched.
+    fn candidate_positions(
+        &self,
+        prefilter: &[(usize, Vec<[u8; 16]>)],
+        use_prefilter: bool,
+    ) -> Vec<usize> {
+        let tag_columns = match (&self.tag_columns, use_prefilter, prefilter.is_empty()) {
+            (Some(cols), true, false) => cols,
+            _ => return (0..self.len()).collect(),
+        };
+        let mut alive = vec![true; self.len()];
+        for (col, allowed) in prefilter {
+            // A constraint on a column this table carries no tags for
+            // cannot pre-filter; it stays a full scan (the cryptographic
+            // filter still applies during SJ.Dec).
+            if let Some(tags) = tag_columns.get(*col) {
+                for (keep, tag) in alive.iter_mut().zip(tags) {
+                    if *keep && !allowed.contains(tag) {
+                        *keep = false;
+                    }
+                }
+            }
+        }
+        alive
+            .iter()
+            .enumerate()
+            .filter(|(_, keep)| **keep)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The requested payload columns of one row (`None` = all), read
+    /// straight out of the column vectors.
+    pub fn payloads_of(
+        &self,
+        pos: usize,
+        wanted: Option<&[usize]>,
+    ) -> Result<Vec<Vec<u8>>, DbError> {
+        match wanted {
+            None => Ok(self
+                .payload_columns
+                .iter()
+                .map(|col| col[pos].clone())
+                .collect()),
+            Some(indices) => indices
+                .iter()
+                .map(|&c| {
+                    self.payload_columns
+                        .get(c)
+                        .map(|col| col[pos].clone())
+                        .ok_or_else(|| {
+                            DbError::Protocol(format!(
+                                "payload projection index {c} out of range ({} columns stored)",
+                                self.payload_columns.len()
+                            ))
+                        })
+                })
+                .collect(),
+        }
+    }
+
+    /// Append rows (arity-checked against the stored layout).
+    fn push_rows(
+        &mut self,
+        start_row: u64,
+        rows: Vec<EncryptedRow<E>>,
+        versions: impl Iterator<Item = u64>,
+    ) -> Result<usize, DbError> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        if let Some(&last) = self.ids.last() {
+            if start_row <= last {
+                return Err(DbError::UnknownRow {
+                    table: self.name.clone(),
+                    row: start_row,
+                });
+            }
+        }
+        if self.ciphers.is_empty() {
+            // An empty table has no layout yet; adopt the first row's.
+            self.payload_columns = vec![Vec::new(); rows[0].payloads.len()];
+            self.tag_columns = rows[0].tags.as_ref().map(|t| vec![Vec::new(); t.len()]);
+        }
+        let n_cols = self.payload_columns.len();
+        let n_elems = self.ciphers.first().map(|c| c.elements().len());
+        let n_tag_cols = self.tag_columns.as_ref().map(Vec::len);
+        for row in &rows {
+            if row.payloads.len() != n_cols {
+                return Err(DbError::Protocol(format!(
+                    "inserted row has {} payload columns, table {} stores {}",
+                    row.payloads.len(),
+                    self.name,
+                    n_cols
+                )));
+            }
+            if let Some(n) = n_elems {
+                if row.cipher.elements().len() != n {
+                    return Err(DbError::Protocol(format!(
+                        "inserted row has {} ciphertext elements, table {} stores {}",
+                        row.cipher.elements().len(),
+                        self.name,
+                        n
+                    )));
+                }
+            }
+            if row.tags.as_ref().map(Vec::len) != n_tag_cols {
+                return Err(DbError::Protocol(format!(
+                    "inserted row's pre-filter tags do not match table {}'s layout",
+                    self.name
+                )));
+            }
+        }
+
+        let inserted = rows.len();
+        // Preparation is the one-time cost the whole refactor exists to
+        // amortize: batch it across every element of every new row.
+        let elements: Vec<E::G2> = rows
+            .iter()
+            .flat_map(|row| row.cipher.elements().iter().cloned())
+            .collect();
+        let mut prepared_elements = E::g2_prepare_batch(&elements).into_iter();
+        for (i, (row, version)) in rows.into_iter().zip(versions).enumerate() {
+            self.ids.push(start_row + i as u64);
+            self.versions.push(version);
+            let n = row.cipher.elements().len();
+            self.prepared.push(SjPreparedCiphertext::from_elements(
+                prepared_elements.by_ref().take(n).collect(),
+            ));
+            self.ciphers.push(row.cipher);
+            for (col, payload) in self.payload_columns.iter_mut().zip(row.payloads) {
+                col.push(payload);
+            }
+            if let (Some(cols), Some(tags)) = (&mut self.tag_columns, row.tags) {
+                for (col, tag) in cols.iter_mut().zip(tags) {
+                    col.push(tag);
+                }
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Remove rows by id; every id must exist.
+    fn remove_rows(&mut self, ids: &[u64]) -> Result<usize, DbError> {
+        let mut positions = Vec::with_capacity(ids.len());
+        for &id in ids {
+            positions.push(self.position_of(id).ok_or_else(|| DbError::UnknownRow {
+                table: self.name.clone(),
+                row: id,
+            })?);
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        let mut keep = vec![true; self.len()];
+        for &pos in &positions {
+            keep[pos] = false;
+        }
+        retain_by_mask(&mut self.ids, &keep);
+        retain_by_mask(&mut self.versions, &keep);
+        retain_by_mask(&mut self.ciphers, &keep);
+        retain_by_mask(&mut self.prepared, &keep);
+        for col in &mut self.payload_columns {
+            retain_by_mask(col, &keep);
+        }
+        if let Some(cols) = &mut self.tag_columns {
+            for col in cols {
+                retain_by_mask(col, &keep);
+            }
+        }
+        Ok(positions.len())
+    }
+}
+
+/// `vec.retain` driven by a precomputed per-position mask.
+fn retain_by_mask<T>(vec: &mut Vec<T>, keep: &[bool]) {
+    let mut pos = 0;
+    vec.retain(|_| {
+        let k = keep[pos];
+        pos += 1;
+        k
+    });
+}
+
+/// One memoized `SJ.Dec` side: per-row match keys, each valid for the
+/// exact row version it was computed against.
+struct CacheEntry {
+    table: String,
+    /// `row id → (row version, match key)`.
+    rows: HashMap<u64, (u64, Vec<u8>)>,
+    /// LRU recency stamp.
+    last_used: u64,
+}
+
+/// True-LRU memo of decrypt sides keyed by token fingerprint.
+#[derive(Default)]
+struct DecryptCache {
+    entries: HashMap<[u8; 32], CacheEntry>,
+    tick: u64,
+}
+
+impl DecryptCache {
+    fn touch(&mut self, key: &[u8; 32]) -> Option<&mut CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry)
+    }
+
+    fn insert(&mut self, key: [u8; 32], entry: CacheEntry, cap: usize) {
+        self.entries.insert(key, entry);
+        while self.entries.len() > cap.max(1) {
+            // True LRU: evict the least recently used entry.
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            self.entries.remove(&oldest);
+        }
+    }
+
+    fn purge_table(&mut self, table: &str) {
+        self.entries.retain(|_, e| e.table != table);
+    }
+}
+
+/// The server's storage core. See the [module docs](self).
+pub struct EncryptedStore<E: Engine> {
+    tables: HashMap<String, TableStore<E>>,
+    cache: Mutex<DecryptCache>,
+    cache_cap: usize,
+    next_version: u64,
+    /// Set on any state change worth persisting (mutations *and* fresh
+    /// cache entries); [`EncryptedStore::take_dirty`] claims it.
+    dirty: AtomicBool,
+}
+
+impl<E: Engine> Default for EncryptedStore<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Engine> EncryptedStore<E> {
+    /// Empty store with the default decrypt-cache cap.
+    pub fn new() -> Self {
+        EncryptedStore {
+            tables: HashMap::new(),
+            cache: Mutex::new(DecryptCache::default()),
+            cache_cap: DEFAULT_DECRYPT_CACHE_CAP,
+            next_version: 0,
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Set the decrypt-cache capacity used when a request does not pin
+    /// one (`eqjoind --decrypt-cache-cap`). Clamped to at least 1.
+    pub fn set_decrypt_cache_cap(&mut self, cap: usize) {
+        self.cache_cap = cap.max(1);
+    }
+
+    /// The configured default decrypt-cache capacity.
+    pub fn decrypt_cache_cap(&self) -> usize {
+        self.cache_cap
+    }
+
+    /// Number of live decrypt-cache entries.
+    pub fn decrypt_cache_len(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Stored table names (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Access one stored table.
+    pub fn table(&self, name: &str) -> Option<&TableStore<E>> {
+        self.tables.get(name)
+    }
+
+    fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Claim the dirty flag (used by persistent backends to decide when
+    /// to rewrite the snapshot).
+    pub fn take_dirty(&self) -> bool {
+        self.dirty.swap(false, Ordering::Relaxed)
+    }
+
+    /// Re-arm the dirty flag — a persistent backend failed to flush and
+    /// wants the next request to retry.
+    pub fn mark_dirty_again(&self) {
+        self.mark_dirty();
+    }
+
+    fn next_versions(&mut self, n: usize) -> std::ops::Range<u64> {
+        let start = self.next_version;
+        self.next_version += n as u64;
+        start..self.next_version
+    }
+
+    /// Store a whole encrypted table (replacing any table of the same
+    /// name). Every row is re-versioned, so stale cache entries die by
+    /// version mismatch; the old table's entries are also dropped
+    /// eagerly to free memory. Rows get ids `0..n`. Ragged tables
+    /// (rows disagreeing on column arity) are rejected.
+    pub fn insert_table(&mut self, table: EncryptedTable<E>) -> Result<(), DbError> {
+        let n_rows = table.rows.len();
+        let n_cols = table.rows.first().map_or(0, |r| r.payloads.len());
+        let tagged = table.rows.first().is_some_and(|r| r.tags.is_some());
+        let n_tag_cols = if tagged {
+            table.filter_columns.len()
+        } else {
+            0
+        };
+        for row in &table.rows {
+            let row_tags = row.tags.as_ref().map_or(0, Vec::len);
+            if row.payloads.len() != n_cols
+                || row.tags.is_some() != tagged
+                || row_tags != if tagged { n_tag_cols } else { 0 }
+            {
+                return Err(DbError::Protocol(format!(
+                    "ragged table {:?}: rows disagree on column layout",
+                    table.name
+                )));
+            }
+        }
+
+        let mut store = TableStore {
+            name: table.name.clone(),
+            join_column: table.join_column,
+            filter_columns: table.filter_columns,
+            ids: Vec::with_capacity(n_rows),
+            versions: Vec::with_capacity(n_rows),
+            ciphers: Vec::with_capacity(n_rows),
+            prepared: Vec::with_capacity(n_rows),
+            payload_columns: vec![Vec::with_capacity(n_rows); n_cols],
+            tag_columns: tagged.then(|| vec![Vec::with_capacity(n_rows); n_tag_cols]),
+        };
+        let versions = self.next_versions(n_rows);
+        store.push_rows(0, table.rows, versions)?;
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .purge_table(&store.name);
+        self.tables.insert(store.name.clone(), store);
+        self.mark_dirty();
+        Ok(())
+    }
+
+    /// Append encrypted rows to an existing table. Stored rows keep
+    /// their versions — and therefore their decrypt-cache entries and
+    /// prepared state; only the new rows cost anything.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        start_row: u64,
+        rows: Vec<EncryptedRow<E>>,
+    ) -> Result<usize, DbError> {
+        let versions = self.next_versions(rows.len());
+        let stored = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+        let inserted = stored.push_rows(start_row, rows, versions)?;
+        self.mark_dirty();
+        Ok(inserted)
+    }
+
+    /// Delete rows by id. Cache entries for other rows stay valid (a
+    /// lookup simply no longer proposes the deleted ids); the dropped
+    /// match keys are pruned from the entries to free memory.
+    pub fn delete_rows(&mut self, table: &str, ids: &[u64]) -> Result<usize, DbError> {
+        let stored = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+        let deleted = stored.remove_rows(ids)?;
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in cache.entries.values_mut() {
+            if entry.table == table {
+                for id in ids {
+                    entry.rows.remove(id);
+                }
+            }
+        }
+        drop(cache);
+        self.mark_dirty();
+        Ok(deleted)
+    }
+
+    /// Decrypt one side of a join: `(row id, match key)` for every
+    /// candidate row surviving the pre-filter. Rows whose exact version
+    /// was already decrypted under this token are served from the
+    /// cache; the rest run `SJ.Dec` on the prepared ciphertexts, in
+    /// parallel chunks with the final exponentiation batched per chunk.
+    pub fn decrypt_side(
+        &self,
+        side: &SideTokens<E>,
+        opts: &JoinOptions,
+        threads: usize,
+        stats: &mut ServerStats,
+    ) -> Result<Vec<(usize, Vec<u8>)>, DbError> {
+        let table = self
+            .tables
+            .get(&side.table)
+            .ok_or_else(|| DbError::UnknownTable(side.table.clone()))?;
+        let candidates = table.candidate_positions(&side.prefilter, opts.use_prefilter);
+        stats.rows_prefiltered_out += table.len() - candidates.len();
+        stats.rows_decrypted += candidates.len();
+
+        let key = opts
+            .decrypt_cache
+            .then(|| side_fingerprint::<E>(side, opts.use_prefilter));
+
+        // Phase 1 — serve what the cache already knows (exact row
+        // version match), collect the misses.
+        let mut out: Vec<(usize, Option<Vec<u8>>)> = Vec::with_capacity(candidates.len());
+        let mut misses: Vec<usize> = Vec::new();
+        if let Some(key) = &key {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = cache.touch(key).filter(|e| e.table == side.table);
+            for &pos in &candidates {
+                let id = table.ids[pos];
+                let version = table.versions[pos];
+                match entry
+                    .as_ref()
+                    .and_then(|e| e.rows.get(&id))
+                    .filter(|(v, _)| *v == version)
+                {
+                    Some((_, match_key)) => {
+                        stats.decrypt_cache_hits += 1;
+                        out.push((id as usize, Some(match_key.clone())));
+                    }
+                    None => {
+                        misses.push(pos);
+                        out.push((id as usize, None));
+                    }
+                }
+            }
+        } else {
+            misses.extend(&candidates);
+            out.extend(
+                candidates
+                    .iter()
+                    .map(|&pos| (table.ids[pos] as usize, None)),
+            );
+        }
+
+        // Phase 2 — decrypt the misses against the prepared rows.
+        let fresh = decrypt_positions(table, &side.token, &misses, threads);
+
+        // Phase 3 — merge and refresh the cache entry with the side's
+        // current candidate set.
+        let mut fresh_iter = fresh.into_iter();
+        for slot in &mut out {
+            if slot.1.is_none() {
+                slot.1 = Some(fresh_iter.next().expect("one key per miss"));
+            }
+        }
+        let out: Vec<(usize, Vec<u8>)> = out
+            .into_iter()
+            .map(|(id, key)| (id, key.expect("all slots filled")))
+            .collect();
+
+        // A fully-warm side changes nothing: the entry already holds
+        // every (id, version, key) this pass produced, and `touch`
+        // refreshed its LRU stamp. Rebuilding it — and above all
+        // marking the store dirty — would make every warm repeat of a
+        // persistent server rewrite the whole snapshot to disk, the
+        // exact steady state the cache exists to make cheap. Only a
+        // pass with fresh decrypts updates the entry and the flag.
+        if let (Some(key), false) = (key, misses.is_empty()) {
+            let rows: HashMap<u64, (u64, Vec<u8>)> = candidates
+                .iter()
+                .zip(&out)
+                .map(|(&pos, (_, match_key))| {
+                    (table.ids[pos], (table.versions[pos], match_key.clone()))
+                })
+                .collect();
+            let cap = if opts.decrypt_cache_cap > 0 {
+                opts.decrypt_cache_cap
+            } else {
+                self.cache_cap
+            };
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.tick += 1;
+            let entry = CacheEntry {
+                table: side.table.clone(),
+                rows,
+                last_used: cache.tick,
+            };
+            cache.insert(key, entry, cap);
+            drop(cache);
+            self.mark_dirty();
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot persistence
+    // -----------------------------------------------------------------
+
+    /// Serialize the full store — tables, prepared pairing state and
+    /// the decrypt cache — into the snapshot wire format.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut body = Writer::raw();
+        body.u64(self.next_version);
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        body.u64(names.len() as u64);
+        for name in names {
+            let t = &self.tables[name];
+            body.str(&t.name);
+            body.str(&t.join_column);
+            body.u64(t.filter_columns.len() as u64);
+            for c in &t.filter_columns {
+                body.str(c);
+            }
+            body.u64(t.len() as u64);
+            for &id in &t.ids {
+                body.u64(id);
+            }
+            for &version in &t.versions {
+                body.u64(version);
+            }
+            for cipher in &t.ciphers {
+                body.u64(cipher.elements().len() as u64);
+                for e in cipher.elements() {
+                    body.bytes(&E::g2_bytes(e));
+                }
+            }
+            for prepared in &t.prepared {
+                body.u64(prepared.elements().len() as u64);
+                for e in prepared.elements() {
+                    body.bytes(&E::g2_prepared_bytes(e));
+                }
+            }
+            body.u64(t.payload_columns.len() as u64);
+            for col in &t.payload_columns {
+                for blob in col {
+                    body.bytes(blob);
+                }
+            }
+            match &t.tag_columns {
+                None => body.u8(0),
+                Some(cols) => {
+                    body.u8(1);
+                    body.u64(cols.len() as u64);
+                    for col in cols {
+                        for tag in col {
+                            body.out.extend_from_slice(tag);
+                        }
+                    }
+                }
+            }
+        }
+
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        body.u64(cache.tick);
+        let mut keys: Vec<&[u8; 32]> = cache.entries.keys().collect();
+        keys.sort();
+        body.u64(keys.len() as u64);
+        for key in keys {
+            let entry = &cache.entries[key];
+            body.out.extend_from_slice(key);
+            body.str(&entry.table);
+            body.u64(entry.last_used);
+            let mut ids: Vec<&u64> = entry.rows.keys().collect();
+            ids.sort();
+            body.u64(ids.len() as u64);
+            for id in ids {
+                let (version, match_key) = &entry.rows[id];
+                body.u64(*id);
+                body.u64(*version);
+                body.bytes(match_key);
+            }
+        }
+        drop(cache);
+        let body = body.out;
+
+        let mut out = Writer::raw();
+        out.out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.str(E::NAME);
+        out.u64(body.len() as u64);
+        out.out.extend_from_slice(&eqjoin_crypto::sha256(&body));
+        out.out.extend_from_slice(&body);
+        out.out
+    }
+
+    /// Parse [`EncryptedStore::snapshot_bytes`] output. Every rejection
+    /// is a clean [`DbError::Snapshot`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, DbError> {
+        let snap = |msg: &str| DbError::Snapshot(msg.to_owned());
+        let mut r = Reader::new(bytes);
+        let magic = bytes.get(..8).ok_or_else(|| snap("truncated header"))?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(snap("bad magic (not an eqjoin store snapshot)"));
+        }
+        r.pos = 8;
+        let version_bytes = bytes.get(8..12).ok_or_else(|| snap("truncated header"))?;
+        let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(DbError::Snapshot(format!(
+                "unsupported snapshot format version {version} (this build reads \
+                 {SNAPSHOT_VERSION})"
+            )));
+        }
+        r.pos = 12;
+        let engine = r.str().map_err(|_| snap("truncated engine name"))?;
+        if engine != E::NAME {
+            return Err(DbError::Snapshot(format!(
+                "snapshot was written by engine {engine:?}, this server runs {:?}",
+                E::NAME
+            )));
+        }
+        let body_len = r.u64().map_err(|_| snap("truncated body length"))? as usize;
+        let checksum: [u8; 32] = bytes
+            .get(r.pos..r.pos + 32)
+            .ok_or_else(|| snap("truncated checksum"))?
+            .try_into()
+            .expect("32 bytes");
+        r.pos += 32;
+        let body = bytes
+            .get(r.pos..)
+            .filter(|b| b.len() == body_len)
+            .ok_or_else(|| snap("body length mismatch (truncated or padded snapshot)"))?;
+        if eqjoin_crypto::sha256(body) != checksum {
+            return Err(snap("checksum mismatch (corrupt snapshot)"));
+        }
+
+        let mut r = Reader::new(body);
+        let store = Self::parse_body(&mut r)
+            .map_err(|e| DbError::Snapshot(format!("malformed snapshot body: {e}")))?;
+        r.finish()
+            .map_err(|_| snap("trailing bytes after snapshot body"))?;
+        Ok(store)
+    }
+
+    fn parse_body(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let next_version = r.u64()?;
+        let n_tables = r.len("tables")?;
+        let mut tables = HashMap::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = r.str()?;
+            let join_column = r.str()?;
+            let n_filter = r.len("filter columns")?;
+            let filter_columns = (0..n_filter).map(|_| r.str()).collect::<Result<_, _>>()?;
+            let n_rows = r.len("rows")?;
+            let ids: Vec<u64> = (0..n_rows).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            if !ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(DbError::Protocol("row ids not strictly ascending".into()));
+            }
+            let versions: Vec<u64> = (0..n_rows).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            let mut ciphers = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let n_elems = r.len("ciphertext elements")?;
+                let elements = (0..n_elems)
+                    .map(|_| {
+                        E::g2_from_bytes(r.bytes()?)
+                            .ok_or_else(|| DbError::Protocol("invalid G2 element".into()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                ciphers.push(SjRowCiphertext::from_elements(elements));
+            }
+            let mut prepared = Vec::with_capacity(n_rows);
+            for cipher in ciphers.iter().take(n_rows) {
+                let n_elems = r.len("prepared elements")?;
+                if n_elems != cipher.elements().len() {
+                    return Err(DbError::Protocol(
+                        "prepared state does not match ciphertext arity".into(),
+                    ));
+                }
+                let elements = (0..n_elems)
+                    .map(|_| {
+                        E::g2_prepared_from_bytes(r.bytes()?)
+                            .ok_or_else(|| DbError::Protocol("invalid prepared element".into()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                prepared.push(SjPreparedCiphertext::from_elements(elements));
+            }
+            let n_cols = r.len("payload columns")?;
+            let mut payload_columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let col = (0..n_rows)
+                    .map(|_| Ok(r.bytes()?.to_vec()))
+                    .collect::<Result<_, DbError>>()?;
+                payload_columns.push(col);
+            }
+            let tag_columns = match r.u8()? {
+                0 => None,
+                1 => {
+                    let n_tag_cols = r.len("tag columns")?;
+                    let mut cols = Vec::with_capacity(n_tag_cols);
+                    for _ in 0..n_tag_cols {
+                        let mut col = Vec::with_capacity(n_rows);
+                        for _ in 0..n_rows {
+                            let end = r.pos + 16;
+                            let slice = r
+                                .buf
+                                .get(r.pos..end)
+                                .ok_or_else(|| DbError::Protocol("truncated tag".into()))?;
+                            let mut tag = [0u8; 16];
+                            tag.copy_from_slice(slice);
+                            r.pos = end;
+                            col.push(tag);
+                        }
+                        cols.push(col);
+                    }
+                    Some(cols)
+                }
+                other => return Err(DbError::Protocol(format!("bad tags marker {other}"))),
+            };
+            tables.insert(
+                name.clone(),
+                TableStore {
+                    name,
+                    join_column,
+                    filter_columns,
+                    ids,
+                    versions,
+                    ciphers,
+                    prepared,
+                    payload_columns,
+                    tag_columns,
+                },
+            );
+        }
+
+        let mut cache = DecryptCache {
+            entries: HashMap::new(),
+            tick: r.u64()?,
+        };
+        let n_entries = r.len("cache entries")?;
+        for _ in 0..n_entries {
+            let end = r.pos + 32;
+            let key: [u8; 32] = r
+                .buf
+                .get(r.pos..end)
+                .ok_or_else(|| DbError::Protocol("truncated cache key".into()))?
+                .try_into()
+                .expect("32 bytes");
+            r.pos = end;
+            let table = r.str()?;
+            let last_used = r.u64()?;
+            let n_rows = r.len("cache rows")?;
+            let mut rows = HashMap::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let id = r.u64()?;
+                let version = r.u64()?;
+                rows.insert(id, (version, r.bytes()?.to_vec()));
+            }
+            cache.entries.insert(
+                key,
+                CacheEntry {
+                    table,
+                    rows,
+                    last_used,
+                },
+            );
+        }
+
+        Ok(EncryptedStore {
+            tables,
+            cache: Mutex::new(cache),
+            cache_cap: DEFAULT_DECRYPT_CACHE_CAP,
+            next_version,
+            dirty: AtomicBool::new(false),
+        })
+    }
+
+    /// Write the snapshot atomically (`path.tmp` + rename).
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let bytes = self.snapshot_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| DbError::Snapshot(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| DbError::Snapshot(format!("rename to {}: {e}", path.display())))
+    }
+
+    /// Load a snapshot written by [`EncryptedStore::save`].
+    pub fn load(path: &Path) -> Result<Self, DbError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| DbError::Snapshot(format!("read {}: {e}", path.display())))?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+}
+
+/// Decrypt the given storage positions with the prepared rows —
+/// chunked across scoped threads, each chunk sharing one batched final
+/// exponentiation via [`SecureJoin::decrypt_prepared_many`].
+fn decrypt_positions<E: Engine>(
+    table: &TableStore<E>,
+    token: &eqjoin_core::SjToken<E>,
+    positions: &[usize],
+    threads: usize,
+) -> Vec<Vec<u8>> {
+    let decrypt_chunk = |chunk: &[usize]| -> Vec<Vec<u8>> {
+        let rows: Vec<&SjPreparedCiphertext<E>> =
+            chunk.iter().map(|&pos| &table.prepared[pos]).collect();
+        SecureJoin::<E>::decrypt_prepared_many(token, &rows)
+            .iter()
+            .map(SecureJoin::<E>::match_key)
+            .collect()
+    };
+    if threads <= 1 || positions.len() < 2 {
+        return decrypt_chunk(positions);
+    }
+    let chunk_size = positions.len().div_ceil(threads);
+    let mut results: Vec<Vec<Vec<u8>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = positions
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || decrypt_chunk(chunk)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("decrypt worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Collision-resistant fingerprint of one side's decrypt inputs: the
+/// token elements (byte serialization), the target table, the
+/// pre-filter constraint sets and whether the pre-filter applies.
+/// Byte-identical fingerprints decrypt to byte-identical outputs, which
+/// is what makes the memoization sound.
+pub(crate) fn side_fingerprint<E: Engine>(side: &SideTokens<E>, use_prefilter: bool) -> [u8; 32] {
+    let mut h = eqjoin_crypto::Sha256::new();
+    h.update(b"eqjoin-decrypt-cache-v1\0");
+    h.update(&(side.table.len() as u64).to_le_bytes());
+    h.update(side.table.as_bytes());
+    h.update(&[
+        use_prefilter as u8,
+        matches!(side.token.side(), SjTableSide::A) as u8,
+    ]);
+    h.update(&(side.token.elements().len() as u64).to_le_bytes());
+    for element in side.token.elements() {
+        let bytes = E::g1_bytes(element);
+        h.update(&(bytes.len() as u64).to_le_bytes());
+        h.update(&bytes);
+    }
+    h.update(&(side.prefilter.len() as u64).to_le_bytes());
+    for (col, allowed) in &side.prefilter {
+        h.update(&(*col as u64).to_le_bytes());
+        h.update(&(allowed.len() as u64).to_le_bytes());
+        for tag in allowed {
+            h.update(tag);
+        }
+    }
+    h.finalize()
+}

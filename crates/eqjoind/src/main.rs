@@ -12,11 +12,19 @@
 //! eqjoind                                  # BLS12-381 on 127.0.0.1:4747
 //! eqjoind --listen 0.0.0.0:4747 --shards 4 # sharded execution pool
 //! eqjoind --engine mock                    # mock engine (tests/benches)
+//! eqjoind --data-dir /var/lib/eqjoin       # persistent: restart warm
 //! ```
+//!
+//! With `--data-dir`, the server snapshots its full store — encrypted
+//! tables, their prepared pairing state, and the decrypt cache — after
+//! every state change, and loads the snapshot back on startup: a query
+//! series that outlives the process resumes with zero fresh Miller
+//! loops for repeated joins.
 //!
 //! The engine must match the clients' — the wire codec validates group
 //! elements under the engine it is given, so a mock client cannot talk
-//! to a BLS server.
+//! to a BLS server (and a snapshot written under one engine is rejected
+//! by the other).
 
 use eqjoin_db::{EqjoinServer, LocalBackend, ServerApi, ShardedBackend};
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
@@ -28,17 +36,24 @@ struct Options {
     engine: String,
     shards: usize,
     threads: usize,
+    data_dir: Option<String>,
+    decrypt_cache_cap: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--shards N] [--threads T]\n\
+         \x20              [--data-dir DIR] [--decrypt-cache-cap N]\n\
          \n\
-         --listen ADDR   bind address (default 127.0.0.1:4747; port 0 picks one)\n\
-         --engine NAME   pairing engine, must match clients (default bls)\n\
-         --shards N      execute joins over N internal shards (default 1)\n\
-         --threads T     decrypt workers per shard when a request asks for\n\
-                         auto threads (default: one per available core)"
+         --listen ADDR           bind address (default 127.0.0.1:4747; port 0 picks one)\n\
+         --engine NAME           pairing engine, must match clients (default bls)\n\
+         --shards N              execute joins over N internal shards (default 1)\n\
+         --threads T             decrypt workers per shard when a request asks for\n\
+         \x20                       auto threads (default: one per available core)\n\
+         --data-dir DIR          persist the store (tables + prepared pairing state +\n\
+         \x20                       decrypt cache) under DIR and restart warm from it\n\
+         --decrypt-cache-cap N   decrypt-cache entries kept per shard (default 64,\n\
+         \x20                       LRU eviction; requests may pin their own cap)"
     );
     std::process::exit(2)
 }
@@ -49,6 +64,8 @@ fn parse_options() -> Options {
         engine: "bls".to_owned(),
         shards: 1,
         threads: 0,
+        data_dir: None,
+        decrypt_cache_cap: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -66,6 +83,14 @@ fn parse_options() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage_for("--threads"))
             }
+            "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--decrypt-cache-cap" => {
+                options.decrypt_cache_cap = Some(
+                    value("--decrypt-cache-cap")
+                        .parse()
+                        .unwrap_or_else(|_| usage_for("--decrypt-cache-cap")),
+                )
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -80,13 +105,46 @@ fn usage_for(flag: &str) -> ! {
 
 fn run<E: Engine>(options: &Options) -> ExitCode {
     let threads = (options.threads > 0).then_some(options.threads);
-    let backend: Arc<dyn ServerApi<E>> = if options.shards > 1 {
-        Arc::new(ShardedBackend::<E>::local_with_threads(
+    let backend: Arc<dyn ServerApi<E>> = match &options.data_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("eqjoind: create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let built = if options.shards > 1 {
+                ShardedBackend::<E>::local_persistent(
+                    options.shards,
+                    threads,
+                    dir,
+                    options.decrypt_cache_cap,
+                )
+                .map(|b| Arc::new(b) as Arc<dyn ServerApi<E>>)
+            } else {
+                LocalBackend::<E>::with_persistence(
+                    dir.join("store.snap"),
+                    threads,
+                    options.decrypt_cache_cap,
+                )
+                .map(|b| Arc::new(b) as Arc<dyn ServerApi<E>>)
+            };
+            match built {
+                Ok(backend) => backend,
+                Err(e) => {
+                    eprintln!("eqjoind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None if options.shards > 1 => Arc::new(ShardedBackend::<E>::local_with_config(
             options.shards,
             threads,
-        ))
-    } else {
-        Arc::new(LocalBackend::<E>::with_default_threads(threads))
+            options.decrypt_cache_cap,
+        )),
+        None => Arc::new(LocalBackend::<E>::with_config(
+            threads,
+            options.decrypt_cache_cap,
+        )),
     };
     let server = match EqjoinServer::bind(options.listen.as_str()) {
         Ok(server) => server,
@@ -97,10 +155,14 @@ fn run<E: Engine>(options: &Options) -> ExitCode {
     };
     match server.local_addr() {
         Ok(addr) => eprintln!(
-            "eqjoind: listening on {addr} (engine {}, {} shard{})",
+            "eqjoind: listening on {addr} (engine {}, {} shard{}{})",
             E::NAME,
             options.shards,
             if options.shards == 1 { "" } else { "s" },
+            match &options.data_dir {
+                Some(dir) => format!(", persistent in {dir}"),
+                None => String::new(),
+            },
         ),
         Err(e) => eprintln!("eqjoind: {e}"),
     }

@@ -1,0 +1,167 @@
+//! Warm-restart gate: run a query series against a **real** `eqjoind`
+//! process started with `--data-dir`, kill the process, start a fresh
+//! one on the same directory, and replay the series. The restarted
+//! server must serve every repeated row from its restored decrypt
+//! cache — zero fresh `SJ.Dec` (hence zero fresh Miller loops) — and
+//! return byte-identical results.
+
+use eqjoin_db::{
+    DbClient, JoinOptions, JoinQuery, Request, Response, Schema, ServerApi, Table, TableConfig,
+    Value,
+};
+use eqjoin_pairing::MockEngine;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// A spawned `eqjoind` that is killed on drop (so a failing assert
+/// cannot leak the process).
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start `eqjoind --engine mock --listen 127.0.0.1:0 --data-dir
+    /// {dir}` and parse the chosen ephemeral port from its banner.
+    fn spawn(data_dir: &std::path::Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_eqjoind"))
+            .args([
+                "--engine",
+                "mock",
+                "--listen",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().expect("utf-8 temp path"),
+            ])
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn eqjoind");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let banner = loop {
+            match lines.next() {
+                Some(Ok(line)) if line.contains("listening on") => break line,
+                Some(Ok(_)) => continue,
+                other => panic!("eqjoind exited before its banner: {other:?}"),
+            }
+        };
+        // "eqjoind: listening on 127.0.0.1:PORT (engine mock, …)"
+        let addr = banner
+            .split_whitespace()
+            .find(|w| w.starts_with("127.0.0.1:"))
+            .expect("banner carries the bound address")
+            .to_owned();
+        // Drain the rest of stderr on a detached thread so the daemon
+        // never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn join_response_bytes(response: &Response) -> (Vec<u8>, usize, u64) {
+    match response {
+        Response::JoinExecuted { result, .. } => {
+            let mut bytes = Vec::new();
+            for pair in &result.pairs {
+                bytes.extend_from_slice(&(pair.left_row as u64).to_le_bytes());
+                bytes.extend_from_slice(&(pair.right_row as u64).to_le_bytes());
+                for payload in pair.left_payloads.iter().chain(&pair.right_payloads) {
+                    bytes.extend_from_slice(payload);
+                }
+            }
+            (
+                bytes,
+                result.stats.rows_decrypted,
+                result.stats.decrypt_cache_hits,
+            )
+        }
+        other => panic!("expected JoinExecuted, got {other:?}"),
+    }
+}
+
+#[test]
+fn killed_and_restarted_eqjoind_resumes_the_series_warm() {
+    let data_dir = std::env::temp_dir().join(format!(
+        "eqjoin-warm-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    let mut client = DbClient::<MockEngine>::new(1, 2, 0xa11ce);
+    let mut left = Table::new(Schema::new("L", &["k", "a"]));
+    let mut right = Table::new(Schema::new("R", &["k", "b"]));
+    for i in 0..12i64 {
+        left.push_row(vec![Value::Int(i % 4), Value::Str(format!("l{i}"))]);
+        right.push_row(vec![Value::Int(i % 3), Value::Str(format!("r{i}"))]);
+    }
+    let cfg = |col: &str| TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec![col.to_owned()],
+    };
+    let enc_l = client.encrypt_table(&left, cfg("a")).unwrap();
+    let enc_r = client.encrypt_table(&right, cfg("b")).unwrap();
+    let tokens = client
+        .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+        .unwrap();
+    let exec = || Request::<MockEngine>::ExecuteJoin {
+        tokens: tokens.clone(),
+        options: JoinOptions::default(),
+        projection: Default::default(),
+    };
+
+    // ---- first server process: upload, run the query twice ----
+    let daemon = Daemon::spawn(&data_dir);
+    let warm_bytes;
+    {
+        let backend = eqjoin_db::RemoteBackend::connect(daemon.addr.as_str()).unwrap();
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_l)),
+            Response::TableInserted { .. }
+        ));
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_r)),
+            Response::TableInserted { .. }
+        ));
+        let (_, rows, hits) = join_response_bytes(&api.handle(exec()));
+        assert_eq!(rows, 24);
+        assert_eq!(hits, 0, "first run is cold");
+        let (bytes, rows, hits) = join_response_bytes(&api.handle(exec()));
+        assert_eq!(hits as usize, rows, "second run is fully warm");
+        warm_bytes = bytes;
+    }
+
+    // ---- kill the process, restart on the same data dir ----
+    daemon.kill();
+    let daemon = Daemon::spawn(&data_dir);
+    {
+        let backend = eqjoin_db::RemoteBackend::connect(daemon.addr.as_str()).unwrap();
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        let (bytes, rows, hits) = join_response_bytes(&api.handle(exec()));
+        assert_eq!(
+            hits as usize, rows,
+            "restarted server must run ZERO fresh SJ.Dec (no fresh Miller loops) \
+             for the repeated join"
+        );
+        assert_eq!(
+            bytes, warm_bytes,
+            "results byte-identical across the restart"
+        );
+    }
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -22,4 +22,7 @@ pub mod modified;
 
 pub use ipe::{Ipe, IpeCiphertext, IpeMasterKey, IpeSecretKey};
 pub use linalg::Matrix;
-pub use modified::{ModifiedIpe, ModifiedIpeCiphertext, ModifiedIpeMasterKey, ModifiedIpeToken};
+pub use modified::{
+    ModifiedIpe, ModifiedIpeCiphertext, ModifiedIpeMasterKey, ModifiedIpePreparedCiphertext,
+    ModifiedIpeToken,
+};

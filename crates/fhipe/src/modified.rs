@@ -42,6 +42,17 @@ pub struct ModifiedIpeCiphertext<E: Engine> {
     pub elements: Vec<E::G2>,
 }
 
+/// A ciphertext with per-element **prepared pairing state**
+/// ([`Engine::G2Prepared`]): the Miller-loop line coefficients are
+/// precomputed once, so every later decryption against any token skips
+/// the per-step slope derivations. This is what a server stores for a
+/// *series* of queries.
+#[derive(Clone, Debug)]
+pub struct ModifiedIpePreparedCiphertext<E: Engine> {
+    /// Prepared ciphertext components (same order as the raw elements).
+    pub elements: Vec<E::G2Prepared>,
+}
+
 /// The modified scheme, generic over the bilinear engine.
 pub struct ModifiedIpe<E: Engine>(std::marker::PhantomData<E>);
 
@@ -99,6 +110,34 @@ impl<E: Engine> ModifiedIpe<E> {
     /// Decrypt: `D = ∏ᵢ e(Tkᵢ, Cᵢ) = e(g1,g2)^{det(B)·⟨ν,ω⟩}`.
     pub fn decrypt(tk: &ModifiedIpeToken<E>, ct: &ModifiedIpeCiphertext<E>) -> E::Gt {
         E::multi_pair(&tk.elements, &ct.elements)
+    }
+
+    /// Precompute a ciphertext's pairing state (done once, at upload).
+    pub fn prepare(ct: &ModifiedIpeCiphertext<E>) -> ModifiedIpePreparedCiphertext<E> {
+        ModifiedIpePreparedCiphertext {
+            elements: E::g2_prepare_batch(&ct.elements),
+        }
+    }
+
+    /// Decrypt against a prepared ciphertext — identical output to
+    /// [`ModifiedIpe::decrypt`] on the originating ciphertext.
+    pub fn decrypt_prepared(
+        tk: &ModifiedIpeToken<E>,
+        ct: &ModifiedIpePreparedCiphertext<E>,
+    ) -> E::Gt {
+        E::multi_pair_prepared(&tk.elements, &ct.elements)
+    }
+
+    /// Decrypt one token against many prepared ciphertexts, letting the
+    /// engine batch cross-row work (BLS batches the final
+    /// exponentiation's easy-part inversions). Output order matches
+    /// `cts`.
+    pub fn decrypt_prepared_batch(
+        tk: &ModifiedIpeToken<E>,
+        cts: &[&ModifiedIpePreparedCiphertext<E>],
+    ) -> Vec<E::Gt> {
+        let rows: Vec<&[E::G2Prepared]> = cts.iter().map(|ct| ct.elements.as_slice()).collect();
+        E::multi_pair_prepared_batch(&tk.elements, &rows)
     }
 }
 
@@ -196,6 +235,37 @@ mod tests {
             assert_eq!(mock_match, same);
             assert_eq!(bls_match, same);
         }
+    }
+
+    #[test]
+    fn prepared_decryption_matches_raw_on_both_engines() {
+        fn check<E: Engine>(seed: u64) {
+            let mut r = ChaChaRng::seed_from_u64(seed);
+            let msk = ModifiedIpe::<E>::setup(3, &mut r);
+            let nu = rand_vec(3, &mut r);
+            let tk = ModifiedIpe::<E>::token(&msk, &nu, &mut r);
+            let cts: Vec<_> = (0..4)
+                .map(|_| {
+                    let omega = rand_vec(3, &mut r);
+                    ModifiedIpe::<E>::encrypt(&msk, &omega, &mut r)
+                })
+                .collect();
+            let prepared: Vec<_> = cts.iter().map(ModifiedIpe::<E>::prepare).collect();
+            for (ct, prep) in cts.iter().zip(&prepared) {
+                assert_eq!(
+                    ModifiedIpe::<E>::decrypt(&tk, ct),
+                    ModifiedIpe::<E>::decrypt_prepared(&tk, prep)
+                );
+            }
+            let refs: Vec<_> = prepared.iter().collect();
+            let batch = ModifiedIpe::<E>::decrypt_prepared_batch(&tk, &refs);
+            for (ct, d) in cts.iter().zip(&batch) {
+                assert_eq!(ModifiedIpe::<E>::decrypt(&tk, ct), *d);
+            }
+            assert!(ModifiedIpe::<E>::decrypt_prepared_batch(&tk, &[]).is_empty());
+        }
+        check::<MockEngine>(0x77);
+        check::<Bls12>(0x78);
     }
 
     #[test]

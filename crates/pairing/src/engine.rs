@@ -49,10 +49,43 @@ pub trait Engine: 'static + Clone + Copy + Debug + Send + Sync {
     /// Scalar multiplication with an arbitrary base in `G2`.
     fn g2_mul(p: &Self::G2, s: &Fr) -> Self::G2;
 
+    /// A `G2` element with its Miller-loop line state precomputed
+    /// ([`crate::pairing::G2Prepared`] for the real curve) — pairings
+    /// against it skip the per-step slope derivations entirely. Stored
+    /// ciphertexts are kept in this form so a *series* of queries pays
+    /// the line computation once per ciphertext, not once per pairing.
+    type G2Prepared: Clone + Debug + Send + Sync;
+
     /// The bilinear map `e(p, q)`.
     fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt;
     /// `∏ᵢ e(pᵢ, qᵢ)` (slices must have equal length).
     fn multi_pair(ps: &[Self::G1], qs: &[Self::G2]) -> Self::Gt;
+
+    /// Precompute the Miller-loop line state of one `G2` element.
+    fn g2_prepare(q: &Self::G2) -> Self::G2Prepared;
+    /// Batch form of [`Engine::g2_prepare`]; engines may share the
+    /// per-step slope inversions across the whole batch.
+    fn g2_prepare_batch(qs: &[Self::G2]) -> Vec<Self::G2Prepared> {
+        qs.iter().map(Self::g2_prepare).collect()
+    }
+    /// `∏ᵢ e(pᵢ, qᵢ)` against prepared elements — must agree exactly
+    /// with [`Engine::multi_pair`] on the originating points.
+    fn multi_pair_prepared(ps: &[Self::G1], qs: &[Self::G2Prepared]) -> Self::Gt;
+    /// One multi-pairing per row, sharing work *across* rows where the
+    /// engine can (BLS batches the final exponentiation's easy-part
+    /// inversions with Montgomery's trick). Output order matches
+    /// `rows`. This is the shape of a decrypt phase: one token against
+    /// many stored ciphertexts.
+    fn multi_pair_prepared_batch(ps: &[Self::G1], rows: &[&[Self::G2Prepared]]) -> Vec<Self::Gt> {
+        rows.iter()
+            .map(|row| Self::multi_pair_prepared(ps, row))
+            .collect()
+    }
+    /// Serialize a prepared element (snapshot persistence).
+    fn g2_prepared_bytes(q: &Self::G2Prepared) -> Vec<u8>;
+    /// Deserialize a prepared element (length- and canonicality-checked;
+    /// integrity beyond that is the snapshot checksum's job).
+    fn g2_prepared_from_bytes(bytes: &[u8]) -> Option<Self::G2Prepared>;
 
     /// Identity of `GT`.
     fn gt_one() -> Self::Gt;
@@ -93,6 +126,7 @@ impl Engine for Bls12 {
     type G1 = G1Affine;
     type G2 = G2Affine;
     type Gt = pr::Gt;
+    type G2Prepared = pr::G2Prepared;
 
     const NAME: &'static str = "bls12-381";
 
@@ -136,6 +170,43 @@ impl Engine for Bls12 {
         assert_eq!(ps.len(), qs.len(), "multi_pair length mismatch");
         let pairs: Vec<(G1Affine, G2Affine)> = ps.iter().copied().zip(qs.iter().copied()).collect();
         pr::multi_pairing(&pairs)
+    }
+
+    fn g2_prepare(q: &G2Affine) -> pr::G2Prepared {
+        pr::G2Prepared::from_affine(q)
+    }
+
+    fn g2_prepare_batch(qs: &[G2Affine]) -> Vec<pr::G2Prepared> {
+        pr::G2Prepared::prepare_batch(qs)
+    }
+
+    fn multi_pair_prepared(ps: &[G1Affine], qs: &[pr::G2Prepared]) -> pr::Gt {
+        assert_eq!(ps.len(), qs.len(), "multi_pair_prepared length mismatch");
+        let pairs: Vec<(G1Affine, &pr::G2Prepared)> = ps.iter().copied().zip(qs.iter()).collect();
+        pr::final_exponentiation(&pr::multi_miller_loop_prepared(&pairs))
+    }
+
+    fn multi_pair_prepared_batch(ps: &[G1Affine], rows: &[&[pr::G2Prepared]]) -> Vec<pr::Gt> {
+        // One prepared Miller loop per row, then a single batched final
+        // exponentiation across the whole phase.
+        let millers: Vec<_> = rows
+            .iter()
+            .map(|qs| {
+                assert_eq!(ps.len(), qs.len(), "multi_pair_prepared length mismatch");
+                let pairs: Vec<(G1Affine, &pr::G2Prepared)> =
+                    ps.iter().copied().zip(qs.iter()).collect();
+                pr::multi_miller_loop_prepared(&pairs)
+            })
+            .collect();
+        pr::final_exponentiation_batch(&millers)
+    }
+
+    fn g2_prepared_bytes(q: &pr::G2Prepared) -> Vec<u8> {
+        q.to_bytes()
+    }
+
+    fn g2_prepared_from_bytes(bytes: &[u8]) -> Option<pr::G2Prepared> {
+        pr::G2Prepared::from_bytes(bytes)
     }
 
     fn gt_one() -> pr::Gt {

@@ -60,5 +60,8 @@ pub use g1::{G1Affine, G1Projective};
 pub use g2::{G2Affine, G2Projective};
 pub use mock::MockEngine;
 pub use ops::OpCounts;
-pub use pairing::{multi_pairing, pairing, Gt};
+pub use pairing::{
+    final_exponentiation, final_exponentiation_batch, multi_miller_loop,
+    multi_miller_loop_prepared, multi_pairing, pairing, G2Prepared, Gt,
+};
 pub use traits::Field;

@@ -34,6 +34,9 @@ impl Engine for MockEngine {
     type G1 = MockG1;
     type G2 = MockG2;
     type Gt = MockGt;
+    // Nothing to precompute when exponents are transparent — the
+    // "prepared" form is the element itself.
+    type G2Prepared = MockG2;
 
     const NAME: &'static str = "mock";
 
@@ -76,6 +79,22 @@ impl Engine for MockEngine {
     fn multi_pair(ps: &[MockG1], qs: &[MockG2]) -> MockGt {
         assert_eq!(ps.len(), qs.len(), "multi_pair length mismatch");
         MockGt(ps.iter().zip(qs).map(|(p, q)| p.0 * q.0).sum())
+    }
+
+    fn g2_prepare(q: &MockG2) -> MockG2 {
+        *q
+    }
+
+    fn multi_pair_prepared(ps: &[MockG1], qs: &[MockG2]) -> MockGt {
+        Self::multi_pair(ps, qs)
+    }
+
+    fn g2_prepared_bytes(q: &MockG2) -> Vec<u8> {
+        Self::g2_bytes(q)
+    }
+
+    fn g2_prepared_from_bytes(bytes: &[u8]) -> Option<MockG2> {
+        Self::g2_from_bytes(bytes)
     }
 
     fn gt_one() -> MockGt {

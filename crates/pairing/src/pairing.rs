@@ -82,20 +82,22 @@ impl Gt {
 
 /// wNAF exponentiation valid on the cyclotomic subgroup, where the
 /// inverse of an element is its conjugate (so negative digits cost
-/// nothing extra). Width 4: odd powers `f, f³, f⁵, f⁷` precomputed.
+/// nothing extra) and squaring is the Granger–Scott cyclotomic squaring
+/// (roughly half a generic `Fp12` squaring). Width 4: odd powers
+/// `f, f³, f⁵, f⁷` precomputed.
 fn cyclotomic_pow_wnaf(base: &Fp12, exp: &[u64]) -> Fp12 {
     let digits = crate::scalar_mul::wnaf_digits(exp, 4);
     if digits.is_empty() {
         return Fp12::one();
     }
-    let base_sq = base.square();
+    let base_sq = base.cyclotomic_square();
     let mut table = [*base; 4];
     for i in 1..4 {
         table[i] = table[i - 1] * base_sq;
     }
     let mut acc = Fp12::one();
     for &d in digits.iter().rev() {
-        acc = acc.square();
+        acc = acc.cyclotomic_square();
         if d > 0 {
             acc *= table[d as usize / 2];
         } else if d < 0 {
@@ -240,6 +242,225 @@ pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
     f
 }
 
+/// Precomputed Miller-loop line state for one `G2` point: the slope
+/// `λ'` and intercept term `λ'·x_• − y_•` of every doubling/addition
+/// line, in loop order. These are exactly the `P`-independent parts of
+/// the twist-coordinate line
+///
+/// ```text
+///   ξ·y_P  +  (λ'·x'_• − y'_•)·w³  −  (λ'·x_P)·w⁵
+/// ```
+///
+/// so a pairing against a prepared point costs **no slope inversions
+/// and no point arithmetic** — only table reads and sparse `Fp12` line
+/// multiplications. A stored ciphertext is prepared once (at upload)
+/// and then reused by every query of the series, which is the paper's
+/// reuse pattern exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct G2Prepared {
+    /// `(λ', λ'·x_• − y_•)` per Miller step (63 doublings interleaved
+    /// with 5 additions for the BLS12-381 loop parameter).
+    coeffs: Vec<(Fp2, Fp2)>,
+    /// The point was the identity; it contributes `1` to the product.
+    infinity: bool,
+}
+
+/// Number of line coefficients a non-identity [`G2Prepared`] carries:
+/// one per doubling step plus one per addition step of the Miller loop.
+fn prepared_coeff_count() -> usize {
+    let bits = 64 - BLS_X.leading_zeros() as usize;
+    (bits - 1) + (BLS_X.count_ones() as usize - 1)
+}
+
+impl G2Prepared {
+    /// Prepare one point ([`G2Prepared::prepare_batch`] with arity 1).
+    pub fn from_affine(q: &G2Affine) -> Self {
+        Self::prepare_batch(&[*q]).pop().expect("one in, one out")
+    }
+
+    /// Prepare a batch of points, sharing one slope inversion per
+    /// Miller step across the whole batch (Montgomery's trick) — the
+    /// shape of a table upload, where every ciphertext element of every
+    /// row is prepared at once.
+    pub fn prepare_batch(qs: &[G2Affine]) -> Vec<G2Prepared> {
+        struct Walk {
+            xq: Fp2,
+            yq: Fp2,
+            xt: Fp2,
+            yt: Fp2,
+            slot: usize,
+        }
+        let mut walks: Vec<Walk> = qs
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.infinity)
+            .map(|(slot, q)| Walk {
+                xq: q.x,
+                yq: q.y,
+                xt: q.x,
+                yt: q.y,
+                slot,
+            })
+            .collect();
+        crate::ops::count_g2_prepares(walks.len() as u64);
+        let mut out: Vec<G2Prepared> = qs
+            .iter()
+            .map(|q| G2Prepared {
+                coeffs: Vec::with_capacity(if q.infinity {
+                    0
+                } else {
+                    prepared_coeff_count()
+                }),
+                infinity: q.infinity,
+            })
+            .collect();
+        if walks.is_empty() {
+            return out;
+        }
+
+        let bits = 64 - BLS_X.leading_zeros() as usize;
+        let mut denoms: Vec<Fp2> = Vec::with_capacity(walks.len());
+        for i in (0..bits - 1).rev() {
+            // Doubling: λ' = 3x_T²/(2y_T), batched inversion.
+            denoms.clear();
+            denoms.extend(walks.iter().map(|w| w.yt.double()));
+            batch_invert(&mut denoms);
+            for (w, inv) in walks.iter_mut().zip(&denoms) {
+                let xt_sq = w.xt.square();
+                let lambda = (xt_sq.double() + xt_sq) * *inv;
+                out[w.slot].coeffs.push((lambda, lambda * w.xt - w.yt));
+                let x3 = lambda.square() - w.xt.double();
+                let y3 = lambda * (w.xt - x3) - w.yt;
+                w.xt = x3;
+                w.yt = y3;
+            }
+            if (BLS_X >> i) & 1 == 1 {
+                // Addition: λ' = (y_T - y_Q)/(x_T - x_Q); nonzero
+                // denominators for order-r points (see the loop above).
+                denoms.clear();
+                denoms.extend(walks.iter().map(|w| w.xt - w.xq));
+                batch_invert(&mut denoms);
+                for (w, inv) in walks.iter_mut().zip(&denoms) {
+                    let lambda = (w.yt - w.yq) * *inv;
+                    out[w.slot].coeffs.push((lambda, lambda * w.xq - w.yq));
+                    let x3 = lambda.square() - w.xt - w.xq;
+                    let y3 = lambda * (w.xt - x3) - w.yt;
+                    w.xt = x3;
+                    w.yt = y3;
+                }
+            }
+        }
+        out
+    }
+
+    /// True iff this is the prepared identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Serialize for snapshot persistence: a 1-byte identity marker
+    /// followed by the line coefficients as canonical `Fp` limbs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        if self.infinity {
+            return vec![1];
+        }
+        let mut out = Vec::with_capacity(1 + self.coeffs.len() * 4 * Fp::BYTES);
+        out.push(0);
+        for (lambda, b) in &self.coeffs {
+            for fp in [lambda.c0, lambda.c1, b.c0, b.c1] {
+                out.extend_from_slice(&fp.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse [`G2Prepared::to_bytes`] output. Enforces the exact
+    /// coefficient count and canonical (`< p`) limb encodings; it does
+    /// *not* re-verify that the lines belong to a curve point — the
+    /// snapshot layer guards integrity with a checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        match bytes.split_first()? {
+            (1, []) => Some(G2Prepared {
+                coeffs: Vec::new(),
+                infinity: true,
+            }),
+            (0, rest) => {
+                let n = prepared_coeff_count();
+                if rest.len() != n * 4 * Fp::BYTES {
+                    return None;
+                }
+                let mut fps = rest
+                    .chunks_exact(Fp::BYTES)
+                    .map(|chunk| Fp::from_bytes(chunk.try_into().expect("exact chunk")));
+                let mut coeffs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lambda = Fp2::new(fps.next()??, fps.next()??);
+                    let b = Fp2::new(fps.next()??, fps.next()??);
+                    coeffs.push((lambda, b));
+                }
+                Some(G2Prepared {
+                    coeffs,
+                    infinity: false,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The shared Miller loop over **prepared** `G2` points: identical
+/// output to [`multi_miller_loop`] (asserted bit-for-bit by tests), but
+/// every line's slope comes from the [`G2Prepared`] table — no
+/// inversions, no squarings, no point updates. This is the hot path of
+/// `SJ.Dec` over stored ciphertexts.
+pub fn multi_miller_loop_prepared(pairs: &[(G1Affine, &G2Prepared)]) -> Fp12 {
+    struct Eval<'a> {
+        xp: Fp,
+        yp_xi: Fp2,
+        coeffs: &'a [(Fp2, Fp2)],
+    }
+    let states: Vec<Eval<'_>> = pairs
+        .iter()
+        .filter(|(p, q)| !p.infinity && !q.infinity)
+        .map(|(p, q)| {
+            debug_assert_eq!(q.coeffs.len(), prepared_coeff_count());
+            Eval {
+                xp: p.x,
+                yp_xi: Fp2::xi().scale(p.y),
+                coeffs: &q.coeffs,
+            }
+        })
+        .collect();
+    crate::ops::count_prepared_pairing(states.len() as u64);
+    if states.is_empty() {
+        return Fp12::one();
+    }
+
+    let mut f = Fp12::one();
+    let bits = 64 - BLS_X.leading_zeros() as usize;
+    let mut step = 0usize;
+    for i in (0..bits - 1).rev() {
+        f = f.square();
+        for s in &states {
+            let (lambda, b) = s.coeffs[step];
+            f = mul_by_line(&f, s.yp_xi, b, -lambda.scale(s.xp));
+        }
+        step += 1;
+        if (BLS_X >> i) & 1 == 1 {
+            for s in &states {
+                let (lambda, b) = s.coeffs[step];
+                f = mul_by_line(&f, s.yp_xi, b, -lambda.scale(s.xp));
+            }
+            step += 1;
+        }
+    }
+
+    if BLS_X_IS_NEGATIVE {
+        f = f.conjugate();
+    }
+    f
+}
+
 struct PairState {
     xp: Fp12,
     yp: Fp12,
@@ -321,9 +542,18 @@ pub fn multi_miller_loop_generic(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
 }
 
 /// Exponentiation by `|z|` followed by the sign fix-up, valid for elements
-/// of the cyclotomic subgroup (where inversion is conjugation).
+/// of the cyclotomic subgroup (where inversion is conjugation and
+/// squaring is the Granger–Scott cyclotomic squaring — `|z|` has only 6
+/// set bits, so this is essentially 63 cyclotomic squarings).
 fn exp_by_z(m: &Fp12) -> Fp12 {
-    let pow = m.pow_slice(&[BLS_X]);
+    let bits = 64 - BLS_X.leading_zeros();
+    let mut pow = *m;
+    for i in (0..bits - 1).rev() {
+        pow = pow.cyclotomic_square();
+        if (BLS_X >> i) & 1 == 1 {
+            pow *= *m;
+        }
+    }
     if BLS_X_IS_NEGATIVE {
         pow.conjugate()
     } else {
@@ -331,26 +561,49 @@ fn exp_by_z(m: &Fp12) -> Fp12 {
     }
 }
 
-/// The final exponentiation `f^((p¹²-1)/r)` (up to a harmless cube).
-pub fn final_exponentiation(f: &Fp12) -> Gt {
-    // Easy part: f^((p⁶-1)(p²+1)).
-    let t = f.conjugate() * f.invert().expect("Miller value nonzero");
-    let m = t.frobenius2() * t;
-
-    // Hard part (Hayashida et al.): m^((z-1)²(z+p)(z²+p²-1) + 3).
-    // All arithmetic below stays in the cyclotomic subgroup, where the
+/// The hard part of the final exponentiation (Hayashida et al.):
+/// `m^((z-1)²(z+p)(z²+p²-1) + 3)` for `m` in the cyclotomic subgroup.
+fn final_exponentiation_hard(m: &Fp12) -> Fp12 {
+    // All arithmetic stays in the cyclotomic subgroup, where the
     // inverse is the conjugate.
     let cyc_inv = |x: &Fp12| x.conjugate();
 
     // a = m^(z-1), twice → m^((z-1)²).
-    let a = exp_by_z(&m) * cyc_inv(&m);
+    let a = exp_by_z(m) * cyc_inv(m);
     let a = exp_by_z(&a) * cyc_inv(&a);
     // b = a^(z+p).
     let b = exp_by_z(&a) * a.frobenius();
     // c = b^(z²+p²-1).
     let c = exp_by_z(&exp_by_z(&b)) * b.frobenius2() * cyc_inv(&b);
     // result = c · m³.
-    Gt(c * m.square() * m)
+    c * m.cyclotomic_square() * *m
+}
+
+/// The final exponentiation `f^((p¹²-1)/r)` (up to a harmless cube).
+pub fn final_exponentiation(f: &Fp12) -> Gt {
+    // Easy part: f^((p⁶-1)(p²+1)).
+    let t = f.conjugate() * f.invert().expect("Miller value nonzero");
+    let m = t.frobenius2() * t;
+    Gt(final_exponentiation_hard(&m))
+}
+
+/// Final exponentiation of a whole decrypt phase at once: the easy
+/// part's per-element inversion is batched with Montgomery's trick
+/// (one field inversion for `n` Miller values — the same trick the
+/// Miller loop already plays on slope denominators), then the hard part
+/// runs per element. Output order matches input order;
+/// `final_exponentiation_batch(&[f])[0] == final_exponentiation(&f)`.
+pub fn final_exponentiation_batch(fs: &[Fp12]) -> Vec<Gt> {
+    let mut inverses = fs.to_vec();
+    batch_invert(&mut inverses);
+    fs.iter()
+        .zip(&inverses)
+        .map(|(f, f_inv)| {
+            let t = f.conjugate() * *f_inv;
+            let m = t.frobenius2() * t;
+            Gt(final_exponentiation_hard(&m))
+        })
+        .collect()
 }
 
 /// The optimal ate pairing of a single point pair.
@@ -423,6 +676,86 @@ mod tests {
             final_exponentiation(&multi_miller_loop(&pairs[..1])),
             final_exponentiation(&multi_miller_loop_generic(&pairs[..1]))
         );
+    }
+
+    #[test]
+    fn prepared_loop_matches_unprepared_bit_for_bit() {
+        let mut rng = ChaChaRng::seed_from_u64(58);
+        let pairs: Vec<(G1Affine, G2Affine)> = (0..4)
+            .map(|_| {
+                let a = Fr::random(&mut rng);
+                let b = Fr::random(&mut rng);
+                (
+                    g1::mul_fr(g1::generator(), &a).to_affine(),
+                    g2::mul_fr(g2::generator(), &b).to_affine(),
+                )
+            })
+            .collect();
+        let prepared: Vec<G2Prepared> =
+            G2Prepared::prepare_batch(&pairs.iter().map(|(_, q)| *q).collect::<Vec<_>>());
+        let with_prep: Vec<(G1Affine, &G2Prepared)> = pairs
+            .iter()
+            .zip(&prepared)
+            .map(|((p, _), q)| (*p, q))
+            .collect();
+        // The raw Miller values must agree exactly — the prepared loop
+        // replays the very same lines.
+        assert_eq!(
+            multi_miller_loop_prepared(&with_prep),
+            multi_miller_loop(&pairs)
+        );
+        assert_eq!(
+            multi_miller_loop_prepared(&with_prep[..1]),
+            multi_miller_loop(&pairs[..1])
+        );
+        // Batch preparation equals one-at-a-time preparation.
+        for ((_, q), prep) in pairs.iter().zip(&prepared) {
+            assert_eq!(G2Prepared::from_affine(q), *prep);
+        }
+    }
+
+    #[test]
+    fn prepared_identity_and_serialization() {
+        let id = G2Prepared::from_affine(&G2Affine::identity());
+        assert!(id.is_identity());
+        assert_eq!(multi_miller_loop_prepared(&[(g1_gen(), &id)]), Fp12::one());
+        assert_eq!(G2Prepared::from_bytes(&id.to_bytes()).unwrap(), id);
+
+        let q = G2Prepared::from_affine(&g2_gen());
+        let bytes = q.to_bytes();
+        assert_eq!(G2Prepared::from_bytes(&bytes).unwrap(), q);
+        // Truncation and trailing garbage are rejected.
+        assert!(G2Prepared::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(G2Prepared::from_bytes(&longer).is_none());
+        // Non-canonical limbs (≥ p) are rejected.
+        let mut bad = bytes;
+        for b in bad[1..49].iter_mut() {
+            *b = 0xff;
+        }
+        assert!(G2Prepared::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn batched_final_exponentiation_matches_scalar() {
+        let mut rng = ChaChaRng::seed_from_u64(59);
+        let fs: Vec<Fp12> = (0..5)
+            .map(|_| {
+                let a = Fr::random(&mut rng);
+                let b = Fr::random(&mut rng);
+                multi_miller_loop(&[(
+                    g1::mul_fr(g1::generator(), &a).to_affine(),
+                    g2::mul_fr(g2::generator(), &b).to_affine(),
+                )])
+            })
+            .collect();
+        let batch = final_exponentiation_batch(&fs);
+        assert_eq!(batch.len(), fs.len());
+        for (f, gt) in fs.iter().zip(&batch) {
+            assert_eq!(final_exponentiation(f), *gt);
+        }
+        assert!(final_exponentiation_batch(&[]).is_empty());
     }
 
     #[test]

@@ -26,5 +26,8 @@ pub mod parser;
 pub mod planner;
 
 pub use lexer::{tokenize, SqlError, Token};
-pub use parser::{parse, parse_query_plan, ColumnRef, ParsedQuery, ResolutionContext, SelectList};
+pub use parser::{
+    parse, parse_query_plan, parse_statement, ColumnRef, ParsedQuery, ParsedStatement,
+    ResolutionContext, SelectList,
+};
 pub use planner::SqlFrontend;

@@ -146,6 +146,144 @@ impl Parser {
     fn keyword_is(&self, kw: &str) -> bool {
         matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
     }
+
+    /// Consume an optional trailing `;` and reject anything after it.
+    fn finish_statement(&mut self) -> Result<(), SqlError> {
+        if self.peek() == Some(&Token::Semicolon) {
+            self.next();
+        }
+        if let Some(tok) = self.peek() {
+            return Err(SqlError::new(
+                format!("unexpected trailing token {tok:?}"),
+                self.here(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A parsed SQL statement: a select-project-join query, or one of the
+/// incremental update statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedStatement {
+    /// `SELECT … FROM … JOIN …`.
+    Select(ParsedQuery),
+    /// `INSERT INTO t VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows, in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM t WHERE rowid = n` / `… WHERE rowid IN (n, …)`.
+    /// `rowid` is the stable row id result sets report (the engine
+    /// cannot evaluate arbitrary predicates server-side without running
+    /// a query — deletion is by id, the SQLite idiom).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row ids to delete.
+        rows: Vec<u64>,
+    },
+}
+
+/// Parse a full statement: `SELECT …`, `INSERT INTO …` or
+/// `DELETE FROM …`.
+pub fn parse_statement(input: &str) -> Result<ParsedStatement, SqlError> {
+    let tokens = tokenize(input)?;
+    match tokens.first() {
+        Some((Token::Ident(w), _)) if w.eq_ignore_ascii_case("INSERT") => {
+            parse_insert(Parser { tokens, pos: 0 })
+        }
+        Some((Token::Ident(w), _)) if w.eq_ignore_ascii_case("DELETE") => {
+            parse_delete(Parser { tokens, pos: 0 })
+        }
+        _ => parse(input).map(ParsedStatement::Select),
+    }
+}
+
+/// `INSERT INTO t VALUES (v, …) [, (v, …)]* [;]`
+fn parse_insert(mut p: Parser) -> Result<ParsedStatement, SqlError> {
+    p.expect_keyword("INSERT")?;
+    p.expect_keyword("INTO")?;
+    let table = p.ident()?;
+    p.expect_keyword("VALUES")?;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    loop {
+        p.expect(&Token::LParen)?;
+        let mut row = vec![p.literal()?];
+        while p.peek() == Some(&Token::Comma) {
+            p.next();
+            row.push(p.literal()?);
+        }
+        p.expect(&Token::RParen)?;
+        if !rows.is_empty() && row.len() != rows[0].len() {
+            return Err(SqlError::new(
+                format!(
+                    "VALUES rows disagree on arity ({} vs {})",
+                    row.len(),
+                    rows[0].len()
+                ),
+                p.here(),
+            ));
+        }
+        rows.push(row);
+        if p.peek() == Some(&Token::Comma) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+    p.finish_statement()?;
+    Ok(ParsedStatement::Insert { table, rows })
+}
+
+/// `DELETE FROM t WHERE rowid (= n | IN (n, …)) [;]`
+fn parse_delete(mut p: Parser) -> Result<ParsedStatement, SqlError> {
+    p.expect_keyword("DELETE")?;
+    p.expect_keyword("FROM")?;
+    let table = p.ident()?;
+    p.expect_keyword("WHERE")?;
+    let at = p.here();
+    let col = p.ident()?;
+    if !col.eq_ignore_ascii_case("rowid") {
+        return Err(SqlError::new(
+            format!("DELETE supports only the rowid pseudo-column, found {col:?}"),
+            at,
+        ));
+    }
+    let mut rows: Vec<u64> = Vec::new();
+    let rowid = |p: &mut Parser| -> Result<u64, SqlError> {
+        let at = p.here();
+        match p.next() {
+            Some(Token::IntLit(v)) if v >= 0 => Ok(v as u64),
+            other => Err(SqlError::new(
+                format!("expected a non-negative rowid, found {other:?}"),
+                at,
+            )),
+        }
+    };
+    let at = p.here();
+    match p.next() {
+        Some(Token::Equals) => rows.push(rowid(&mut p)?),
+        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("IN") => {
+            p.expect(&Token::LParen)?;
+            rows.push(rowid(&mut p)?);
+            while p.peek() == Some(&Token::Comma) {
+                p.next();
+                rows.push(rowid(&mut p)?);
+            }
+            p.expect(&Token::RParen)?;
+        }
+        other => {
+            return Err(SqlError::new(
+                format!("expected '=' or IN after rowid, found {other:?}"),
+                at,
+            ))
+        }
+    }
+    p.finish_statement()?;
+    Ok(ParsedStatement::Delete { table, rows })
 }
 
 /// Parse the supported statement shape:
@@ -549,6 +687,57 @@ mod tests {
         assert!(parse("SELECT * FROM A JOIN B ON a = b WHERE x > 1").is_err());
         assert!(parse("SELECT * FROM A INNER B ON a = b").is_err());
         assert!(parse("SELECT *, x FROM A JOIN B ON a = b").is_err());
+    }
+
+    #[test]
+    fn insert_into_parses_multi_row_values() {
+        let stmt = parse_statement(
+            "INSERT INTO Employees VALUES (7, 'gil', 'Tester', 2), (8, 'ana', 'Dev', 1);",
+        )
+        .unwrap();
+        match stmt {
+            ParsedStatement::Insert { table, rows } => {
+                assert_eq!(table, "Employees");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Value::Int(7));
+                assert_eq!(rows[1][1], Value::Str("ana".into()));
+            }
+            other => panic!("expected Insert, got {other:?}"),
+        }
+        // A SELECT still routes through the query parser.
+        assert!(matches!(
+            parse_statement("SELECT * FROM A JOIN B ON a = b").unwrap(),
+            ParsedStatement::Select(_)
+        ));
+    }
+
+    #[test]
+    fn delete_from_parses_rowid_forms() {
+        match parse_statement("DELETE FROM T WHERE rowid = 3").unwrap() {
+            ParsedStatement::Delete { table, rows } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows, vec![3]);
+            }
+            other => panic!("expected Delete, got {other:?}"),
+        }
+        match parse_statement("DELETE FROM T WHERE ROWID IN (1, 4, 9);").unwrap() {
+            ParsedStatement::Delete { rows, .. } => assert_eq!(rows, vec![1, 4, 9]),
+            other => panic!("expected Delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_statements_rejected() {
+        // Ragged VALUES arity.
+        assert!(parse_statement("INSERT INTO T VALUES (1, 2), (3)").is_err());
+        // Missing VALUES / empty row.
+        assert!(parse_statement("INSERT INTO T (1)").is_err());
+        assert!(parse_statement("INSERT INTO T VALUES ()").is_err());
+        // DELETE by anything but rowid, negative ids, trailing junk.
+        assert!(parse_statement("DELETE FROM T WHERE name = 'x'").is_err());
+        assert!(parse_statement("DELETE FROM T WHERE rowid = -1").is_err());
+        assert!(parse_statement("DELETE FROM T WHERE rowid IN (1) junk").is_err());
+        assert!(parse_statement("DELETE FROM T").is_err());
     }
 
     #[test]

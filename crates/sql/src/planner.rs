@@ -1,8 +1,8 @@
 //! The [`SqlPlanner`] implementation that plugs this crate's parser into
 //! the engine's [`Session`](eqjoin_db::Session).
 
-use crate::parser::{parse, ResolutionContext};
-use eqjoin_db::session::{Catalog, SqlPlanner};
+use crate::parser::{parse, parse_statement, ParsedStatement, ResolutionContext};
+use eqjoin_db::session::{Catalog, SqlPlanner, SqlStatement};
 use eqjoin_db::{DbError, QueryPlan};
 
 /// The SQL front-end as a session planner: parses the supported
@@ -47,6 +47,35 @@ impl SqlPlanner for SqlFrontend {
         parsed
             .resolve(&ctx)
             .map_err(|e| DbError::Sql(e.to_string()))
+    }
+
+    fn statement(&self, sql: &str, catalog: &Catalog) -> Result<SqlStatement, DbError> {
+        match parse_statement(sql).map_err(|e| DbError::Sql(e.to_string()))? {
+            // Re-plan SELECTs through `plan` so catalog resolution and
+            // error reporting stay on the one code path.
+            ParsedStatement::Select(_) => self.plan(sql, catalog).map(SqlStatement::Select),
+            ParsedStatement::Insert { table, rows } => {
+                let cols = catalog
+                    .get(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                for row in &rows {
+                    if row.len() != cols.len() {
+                        return Err(DbError::Sql(format!(
+                            "INSERT INTO {table}: row has {} values, table has {} columns",
+                            row.len(),
+                            cols.len()
+                        )));
+                    }
+                }
+                Ok(SqlStatement::Insert { table, rows })
+            }
+            ParsedStatement::Delete { table, rows } => {
+                if !catalog.contains_key(&table) {
+                    return Err(DbError::UnknownTable(table));
+                }
+                Ok(SqlStatement::Delete { table, rows })
+            }
+        }
     }
 }
 
@@ -110,6 +139,60 @@ mod tests {
             .plan("SELECT * FROM Ghost JOIN Teams ON a = Key", &catalog())
             .unwrap_err();
         assert_eq!(err, DbError::UnknownTable("Ghost".into()));
+    }
+
+    #[test]
+    fn statements_resolve_against_the_catalog() {
+        let insert = SqlFrontend
+            .statement(
+                "INSERT INTO Teams VALUES (9, 'Platform'), (10, 'QA')",
+                &catalog(),
+            )
+            .unwrap();
+        match insert {
+            SqlStatement::Insert { table, rows } => {
+                assert_eq!(table, "Teams");
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("expected Insert, got {other:?}"),
+        }
+        match SqlFrontend
+            .statement("DELETE FROM Teams WHERE rowid IN (0, 1)", &catalog())
+            .unwrap()
+        {
+            SqlStatement::Delete { table, rows } => {
+                assert_eq!(table, "Teams");
+                assert_eq!(rows, vec![0, 1]);
+            }
+            other => panic!("expected Delete, got {other:?}"),
+        }
+        // SELECT statements flow through the plan path.
+        assert!(matches!(
+            SqlFrontend
+                .statement(
+                    "SELECT * FROM Employees JOIN Teams ON Team = Key",
+                    &catalog()
+                )
+                .unwrap(),
+            SqlStatement::Select(_)
+        ));
+        // Catalog violations are rejected before anything executes.
+        assert_eq!(
+            SqlFrontend
+                .statement("INSERT INTO Ghost VALUES (1)", &catalog())
+                .unwrap_err(),
+            DbError::UnknownTable("Ghost".into())
+        );
+        assert!(matches!(
+            SqlFrontend.statement("INSERT INTO Teams VALUES (1)", &catalog()),
+            Err(DbError::Sql(_))
+        ));
+        assert_eq!(
+            SqlFrontend
+                .statement("DELETE FROM Ghost WHERE rowid = 0", &catalog())
+                .unwrap_err(),
+            DbError::UnknownTable("Ghost".into())
+        );
     }
 
     #[test]

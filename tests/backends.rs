@@ -11,6 +11,10 @@ use eqjoin::db::{
 };
 use eqjoin::pairing::MockEngine;
 
+/// Serializes the tests that measure BLS12-381 op-counter deltas (the
+/// counters are process-wide; concurrent BLS work would pollute them).
+static BLS_OPS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn tables() -> (Table, Table) {
     use eqjoin::db::Schema;
     let mut left = Table::new(Schema::new("L", &["k", "color", "size"]));
@@ -280,6 +284,257 @@ fn sequential_execute_agrees_with_execute_all_over_sharded() {
     }
     assert_eq!(batched_encoded, encode(&sequential_results));
     assert_eq!(batched.leakage_report(), sequential.leakage_report());
+}
+
+/// The three backend kinds under test, freshly constructed.
+fn all_backends(token_cache: bool) -> Vec<(&'static str, Session<MockEngine>)> {
+    let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+    vec![
+        ("local", Session::local(config(token_cache))),
+        (
+            "remote",
+            Session::remote(config(token_cache), addr).unwrap(),
+        ),
+        ("sharded", Session::sharded(config(token_cache), 3)),
+    ]
+}
+
+fn run_inputs(session: &mut Session<MockEngine>) -> Vec<ResultSet> {
+    let inputs: Vec<QueryInput> = series().iter().map(QueryInput::from).collect();
+    session.execute_all(&inputs).unwrap()
+}
+
+/// Acceptance (ISSUE 5): incremental `InsertRows` produces results
+/// byte-identical to a from-scratch rebuild on every backend, while the
+/// hit counters prove that rows stored before the insert — and the
+/// whole untouched other table — stay warm in the decrypt cache.
+#[test]
+fn incremental_inserts_match_full_rebuild_across_backends() {
+    let (left_full, right) = tables();
+    // First 25 rows up front, the remaining 15 arrive as an INSERT.
+    let mut left_initial = Table::new(left_full.schema.clone());
+    for row in &left_full.rows[..25] {
+        left_initial.push_row(row.0.clone());
+    }
+    let tail: Vec<Vec<Value>> = left_full.rows[25..].iter().map(|r| r.0.clone()).collect();
+    let l_cfg = || TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec!["color".into(), "size".into()],
+    };
+    let r_cfg = || TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec!["grade".into(), "zone".into()],
+    };
+
+    for ((name, mut incremental), (_, mut rebuilt)) in
+        all_backends(true).into_iter().zip(all_backends(true))
+    {
+        // Incremental: partial upload → warm the series → insert the
+        // tail → rerun the series.
+        incremental.create_table(&left_initial, l_cfg()).unwrap();
+        incremental.create_table(&right, r_cfg()).unwrap();
+        run_inputs(&mut incremental);
+        assert_eq!(incremental.insert_rows("L", &tail).unwrap(), 15, "{name}");
+        let after = run_inputs(&mut incremental);
+
+        // Rebuild: the final table uploaded whole, series run once.
+        rebuilt.create_table(&left_full, l_cfg()).unwrap();
+        rebuilt.create_table(&right, r_cfg()).unwrap();
+        let fresh = run_inputs(&mut rebuilt);
+
+        assert_eq!(
+            encode(&after),
+            encode(&fresh),
+            "{name}: incremental insert must be byte-identical to a rebuild"
+        );
+        // Row-granular invalidation: every query of the rerun decrypts
+        // L(40) + R(40) rows but only the 15 inserted L rows are fresh
+        // — the 25 original L rows and all of R stay warm. Query 3
+        // repeats query 0 within the batch, so by then even the new
+        // rows are cached.
+        for (i, result) in after.iter().enumerate() {
+            assert_eq!(result.stats.rows_decrypted, 80, "{name} query {i}");
+            let expected_hits = if i == 3 { 80 } else { 65 };
+            assert_eq!(
+                result.stats.decrypt_cache_hits, expected_hits,
+                "{name} query {i}: 25 old L rows + 40 untouched R rows warm"
+            );
+        }
+    }
+}
+
+/// Acceptance (ISSUE 5): incremental `DeleteRows` agrees with a
+/// re-encrypted rebuild of the surviving rows (plaintext results — the
+/// rebuild renumbers rows, ids legitimately differ), every surviving
+/// row staying warm.
+#[test]
+fn incremental_deletes_match_full_rebuild_across_backends() {
+    let (left_full, right) = tables();
+    let deleted: Vec<u64> = vec![0, 7, 19, 33];
+    let mut left_survivors = Table::new(left_full.schema.clone());
+    for (i, row) in left_full.rows.iter().enumerate() {
+        if !deleted.contains(&(i as u64)) {
+            left_survivors.push_row(row.0.clone());
+        }
+    }
+    let l_cfg = || TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec!["color".into(), "size".into()],
+    };
+    let r_cfg = || TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec!["grade".into(), "zone".into()],
+    };
+
+    let rows_only = |results: &[ResultSet]| -> Vec<Vec<Vec<u8>>> {
+        results
+            .iter()
+            .map(|r| r.rows.iter().map(|row| row.encode()).collect())
+            .collect()
+    };
+
+    for ((name, mut incremental), (_, mut rebuilt)) in
+        all_backends(true).into_iter().zip(all_backends(true))
+    {
+        incremental.create_table(&left_full, l_cfg()).unwrap();
+        incremental.create_table(&right, r_cfg()).unwrap();
+        run_inputs(&mut incremental);
+        assert_eq!(incremental.delete_rows("L", &deleted).unwrap(), 4, "{name}");
+        let after = run_inputs(&mut incremental);
+
+        rebuilt.create_table(&left_survivors, l_cfg()).unwrap();
+        rebuilt.create_table(&right, r_cfg()).unwrap();
+        let fresh = run_inputs(&mut rebuilt);
+
+        assert_eq!(
+            rows_only(&after),
+            rows_only(&fresh),
+            "{name}: deletion must agree with a rebuild of the survivors"
+        );
+        // Nothing that survived may be re-decrypted: 36 L + 40 R rows,
+        // all warm.
+        for (i, result) in after.iter().enumerate() {
+            assert_eq!(result.stats.rows_decrypted, 76, "{name} query {i}");
+            assert_eq!(result.stats.decrypt_cache_hits, 76, "{name} query {i}");
+        }
+        // Deleting an unknown id errors cleanly on every backend.
+        assert!(matches!(
+            incremental.delete_rows("L", &[0]),
+            Err(eqjoin::db::DbError::UnknownRow { .. })
+        ));
+    }
+}
+
+/// Acceptance (ISSUE 5): a server restarted from a snapshot replays a
+/// repeated stage with **zero** fresh pairings/Miller loops — asserted
+/// by the process-wide op counters, not timing.
+#[test]
+fn restart_with_snapshot_runs_zero_fresh_miller_loops() {
+    use eqjoin::db::{DbClient, DbServer, EncryptedStore, JoinOptions};
+    use eqjoin::pairing::{ops, Bls12};
+
+    let _guard = BLS_OPS_LOCK.lock().unwrap();
+    let mut client = DbClient::<Bls12>::new(1, 1, 42);
+    let mut server = DbServer::new();
+    let mut left = Table::new(eqjoin::db::Schema::new("L", &["k", "a"]));
+    let mut right = Table::new(eqjoin::db::Schema::new("R", &["k", "b"]));
+    for i in 0..3i64 {
+        left.push_row(vec![Value::Int(i % 2), "x".into()]);
+        right.push_row(vec![Value::Int(i % 2), "y".into()]);
+    }
+    let cfg = |c: &str| TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec![c.to_owned()],
+    };
+    server
+        .insert_table(client.encrypt_table(&left, cfg("a")).unwrap())
+        .unwrap();
+    server
+        .insert_table(client.encrypt_table(&right, cfg("b")).unwrap())
+        .unwrap();
+    let tokens = client
+        .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+        .unwrap();
+    let opts = JoinOptions::default();
+    let (cold, _) = server.execute_join(&tokens, &opts).unwrap();
+    assert!(cold.stats.rows_decrypted > 0);
+
+    // "Kill" the server: serialize the store, drop the process state,
+    // restore — then replay the same stage and audit the counters.
+    let snapshot = server.store().snapshot_bytes();
+    drop(server);
+    let restored =
+        DbServer::with_store(EncryptedStore::<Bls12>::from_snapshot_bytes(&snapshot).unwrap());
+
+    let before = ops::snapshot();
+    let (warm, _) = restored.execute_join(&tokens, &opts).unwrap();
+    let delta = ops::snapshot().since(&before);
+    assert_eq!(delta.pairings, 0, "zero fresh pairings after restart");
+    assert_eq!(
+        delta.miller_pairs, 0,
+        "zero fresh Miller loops after restart"
+    );
+    assert_eq!(delta.prepared_miller_pairs, 0);
+    assert_eq!(
+        warm.stats.decrypt_cache_hits as usize,
+        warm.stats.rows_decrypted
+    );
+    let pairs = |r: &eqjoin::db::EncryptedJoinResult| -> Vec<(usize, usize)> {
+        r.pairs.iter().map(|p| (p.left_row, p.right_row)).collect()
+    };
+    assert_eq!(pairs(&cold), pairs(&warm), "byte-identical match set");
+}
+
+/// Acceptance (ISSUE 5): the prepared Miller loop agrees with the
+/// unprepared oracle on random points — the prepared path the store
+/// serves `SJ.Dec` from is bit-compatible with the reference loop.
+mod prepared_oracle {
+    use super::BLS_OPS_LOCK;
+    use eqjoin::pairing::{
+        final_exponentiation, multi_miller_loop, multi_miller_loop_prepared, Bls12, Engine, Fr,
+        G2Prepared,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prepared_miller_loop_agrees_with_unprepared_oracle(
+            scalars in proptest::collection::vec((1u64..1_000_000, 1u64..1_000_000), 1..4),
+        ) {
+            let _guard = BLS_OPS_LOCK.lock().unwrap();
+            let pairs: Vec<_> = scalars
+                .iter()
+                .map(|&(a, b)| {
+                    (
+                        Bls12::g1_mul_gen(&Fr::from_u64(a)),
+                        Bls12::g2_mul_gen(&Fr::from_u64(b)),
+                    )
+                })
+                .collect();
+            let prepared: Vec<G2Prepared> =
+                pairs.iter().map(|(_, q)| G2Prepared::from_affine(q)).collect();
+            let with_prep: Vec<_> = pairs
+                .iter()
+                .zip(&prepared)
+                .map(|((p, _), q)| (*p, q))
+                .collect();
+            // Raw Miller values agree bit-for-bit, hence so do the
+            // pairings.
+            prop_assert_eq!(
+                multi_miller_loop_prepared(&with_prep),
+                multi_miller_loop(&pairs)
+            );
+            prop_assert_eq!(
+                final_exponentiation(&multi_miller_loop_prepared(&with_prep)),
+                Bls12::multi_pair_prepared(
+                    &pairs.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                    &prepared
+                )
+            );
+        }
+    }
 }
 
 /// Acceptance (ISSUE 4): a 3-table chain with projection executes on

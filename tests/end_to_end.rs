@@ -158,28 +158,32 @@ fn low_level_client_server_path_still_works_bls12() {
     let (teams, employees) = example_2_1();
     let mut client = DbClient::<Bls12>::new(3, 2, 424242);
     let mut server = DbServer::new();
-    server.insert_table(
-        client
-            .encrypt_table(
-                &teams,
-                TableConfig {
-                    join_column: "Key".into(),
-                    filter_columns: vec!["Name".into()],
-                },
-            )
-            .unwrap(),
-    );
-    server.insert_table(
-        client
-            .encrypt_table(
-                &employees,
-                TableConfig {
-                    join_column: "Team".into(),
-                    filter_columns: vec!["Record".into(), "Employee".into(), "Role".into()],
-                },
-            )
-            .unwrap(),
-    );
+    server
+        .insert_table(
+            client
+                .encrypt_table(
+                    &teams,
+                    TableConfig {
+                        join_column: "Key".into(),
+                        filter_columns: vec!["Name".into()],
+                    },
+                )
+                .unwrap(),
+        )
+        .unwrap();
+    server
+        .insert_table(
+            client
+                .encrypt_table(
+                    &employees,
+                    TableConfig {
+                        join_column: "Team".into(),
+                        filter_columns: vec!["Record".into(), "Employee".into(), "Role".into()],
+                    },
+                )
+                .unwrap(),
+        )
+        .unwrap();
     let query = JoinQuery::on("Employees", "Team", "Teams", "Key")
         .filter("Teams", "Name", vec!["Web Application".into()])
         .filter("Employees", "Role", vec!["Tester".into()]);

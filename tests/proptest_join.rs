@@ -78,8 +78,8 @@ proptest! {
         let mut client = DbClient::<MockEngine>::new(1, 3, seed);
         let mut server = DbServer::new();
         let cfg = || TableConfig { join_column: "k".into(), filter_columns: vec!["attr".into()] };
-        server.insert_table(client.encrypt_table(&left, cfg()).unwrap());
-        server.insert_table(client.encrypt_table(&right, cfg()).unwrap());
+        server.insert_table(client.encrypt_table(&left, cfg()).unwrap()).unwrap();
+        server.insert_table(client.encrypt_table(&right, cfg()).unwrap()).unwrap();
 
         let tokens = client.query_tokens(&query).unwrap();
         let (result, observation) = server
@@ -121,8 +121,8 @@ proptest! {
         let mut client = DbClient::<MockEngine>::new(1, 3, seed ^ 0xa5a5);
         let mut server = DbServer::new();
         let cfg = || TableConfig { join_column: "k".into(), filter_columns: vec!["attr".into()] };
-        server.insert_table(client.encrypt_table(&left, cfg()).unwrap());
-        server.insert_table(client.encrypt_table(&right, cfg()).unwrap());
+        server.insert_table(client.encrypt_table(&left, cfg()).unwrap()).unwrap();
+        server.insert_table(client.encrypt_table(&right, cfg()).unwrap()).unwrap();
         let tokens = client.query_tokens(&query).unwrap();
 
         let (hash, _) = server.execute_join(&tokens, &JoinOptions::default()).unwrap();

@@ -86,6 +86,7 @@ fn exec_request(query_id: u64, seeds: &[u64], threads: u64) -> Req {
             use_prefilter: query_id.is_multiple_of(3),
             threads: threads as usize,
             decrypt_cache: query_id.is_multiple_of(5),
+            decrypt_cache_cap: (query_id % 128) as usize,
         },
         projection: PayloadProjection {
             left: query_id
@@ -197,6 +198,40 @@ proptest! {
     }
 
     #[test]
+    fn incremental_update_requests_round_trip_and_reject_truncation(
+        name_id in 0u64..4,
+        start_row in 0u64..1_000_000,
+        rows in proptest::collection::vec((0u64..1_000_000, 0u64..6, 0u64..40), 0..8),
+        tagged in 0u64..2,
+        delete_ids in proptest::collection::vec(0u64..1_000_000, 0..10),
+    ) {
+        let insert = Request::InsertRows {
+            table: format!("T{name_id}"),
+            start_row,
+            rows: table(name_id, &rows, tagged == 1).rows,
+        };
+        assert_request_round_trips(&insert);
+        assert_prefixes_rejected(&insert.to_bytes(), request_rejected);
+
+        let delete = Req::DeleteRows {
+            table: format!("T{name_id}"),
+            rows: delete_ids,
+        };
+        assert_request_round_trips(&delete);
+        assert_prefixes_rejected(&delete.to_bytes(), request_rejected);
+
+        // Their responses, alone and inside a batch.
+        let batch = Response::Batch(vec![
+            Response::RowsInserted { table: format!("T{name_id}"), rows: rows.len() },
+            Response::RowsDeleted { table: format!("T{name_id}"), rows: start_row as usize % 9 },
+            Response::Error(DbError::UnknownRow { table: format!("T{name_id}"), row: start_row }),
+            Response::Error(DbError::Snapshot("checksum mismatch".into())),
+        ]);
+        assert_response_round_trips(&batch);
+        assert_prefixes_rejected(&batch.to_bytes(), response_rejected);
+    }
+
+    #[test]
     fn execute_join_requests_round_trip_and_reject_truncation(
         query_id in 0u64..1_000,
         seeds in proptest::collection::vec(0u64..1_000_000, 1..8),
@@ -243,7 +278,7 @@ proptest! {
 
     #[test]
     fn oversized_length_fields_error_without_allocating(
-        tag_byte in 0u64..5,
+        tag_byte in 0u64..7,
         len in (1u64 << 32)..(1u64 << 62),
     ) {
         // A message whose first length field claims up to 2^62 bytes:

@@ -98,6 +98,7 @@ fn protocol_messages_roundtrip<E: Engine>(seed: u64) {
         use_prefilter: true,
         threads: 2,
         decrypt_cache: true,
+        decrypt_cache_cap: 0,
     };
 
     // In-process reference execution.
