@@ -32,7 +32,11 @@
 //! (decrypt workers; 0 = auto, one per core), `--plan
 //! {pairwise,multiway}` (multiway runs 3-table
 //! `Orders ⋈ Customers ⋈ Profiles` chains with a projection — the JSON
-//! then carries per-stage op counts) and `--json PATH`.
+//! then carries per-stage op counts), `--sessions N` (run an extra
+//! phase with N concurrent tenant sessions against one shared server,
+//! thread-per-connection vs the epoll reactor, reporting
+//! queries/second for each in the JSON's `concurrent` section) and
+//! `--json PATH`.
 //!
 //! [`Session`]: eqjoin_db::Session
 
@@ -110,7 +114,10 @@ impl Backend {
         match self {
             Backend::Local => Session::local(config),
             Backend::Remote => {
-                let (addr, _handle) = EqjoinServer::spawn_local::<E>().expect("spawn eqjoind");
+                let (addr, handle) = EqjoinServer::spawn_local::<E>().expect("spawn eqjoind");
+                // The session outlives this scope; leak the server on
+                // purpose so its accept loop keeps running.
+                handle.detach();
                 Session::remote(config, addr).expect("connect to loopback eqjoind")
             }
             Backend::Sharded => Session::sharded(config, 4),
@@ -159,26 +166,27 @@ fn generate_profiles(customers: usize) -> Table {
     t
 }
 
-/// Encrypted TPC-H session with the cache toggled as requested.
-fn build_session<E: Engine>(
+/// The standard session config for this bench's workload.
+fn session_config(token_cache: bool, threads: usize) -> SessionConfig {
+    SessionConfig::new(2, 3)
+        .seed(0x5e55 ^ 0xbe9c)
+        .prefilter(true)
+        .token_cache(token_cache)
+        .threads(threads)
+}
+
+/// Generate and upload the TPC-H workload tables into `session`;
+/// returns (customers, orders) row counts.
+fn upload_tables<E: Engine>(
+    session: &mut Session<E>,
     scale: f64,
-    token_cache: bool,
-    backend: Backend,
-    threads: usize,
     plan: PlanMode,
-) -> (Session<E>, (usize, usize)) {
+) -> (usize, usize) {
     use eqjoin_tpch::{generate_customers, generate_orders, TpchConfig};
     let cfg = TpchConfig::new(scale, 0x5e55);
     let customers = generate_customers(&cfg);
     let orders = generate_orders(&cfg);
     let rows = (customers.len(), orders.len());
-    let mut session = backend.session::<E>(
-        SessionConfig::new(2, 3)
-            .seed(0x5e55 ^ 0xbe9c)
-            .prefilter(true)
-            .token_cache(token_cache)
-            .threads(threads),
-    );
     session
         .create_table(
             &customers,
@@ -208,6 +216,19 @@ fn build_session<E: Engine>(
             )
             .expect("encrypt profiles");
     }
+    rows
+}
+
+/// Encrypted TPC-H session with the cache toggled as requested.
+fn build_session<E: Engine>(
+    scale: f64,
+    token_cache: bool,
+    backend: Backend,
+    threads: usize,
+    plan: PlanMode,
+) -> (Session<E>, (usize, usize)) {
+    let mut session = backend.session::<E>(session_config(token_cache, threads));
+    let rows = upload_tables(&mut session, scale, plan);
     (session, rows)
 }
 
@@ -348,12 +369,103 @@ fn measure_restart<E: Engine>(scale: f64) -> RestartMeasurement {
     }
 }
 
+/// One connection layer's side of the N-concurrent-sessions phase.
+struct LayerThroughput {
+    wall_s: f64,
+    queries: u64,
+    qps: f64,
+}
+
+/// Drive N concurrent tenant sessions against one shared server at
+/// `addr`: every session uploads its own tables (untimed), then all
+/// sessions release from a barrier together and run the full series.
+/// The measured wall clock covers only the query phase.
+fn drive_sessions<E: Engine>(cfg: &RunConfig, addr: std::net::SocketAddr) -> LayerThroughput {
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(cfg.sessions + 1));
+    let mut clients = Vec::new();
+    for i in 0..cfg.sessions {
+        let barrier = std::sync::Arc::clone(&barrier);
+        let (scale, rounds, threads, plan) = (cfg.scale, cfg.rounds, cfg.threads, cfg.plan);
+        clients.push(std::thread::spawn(move || {
+            let mut session = Session::<E>::remote(session_config(true, threads), addr)
+                .expect("connect concurrent session")
+                .with_tenant(format!("s{i}"))
+                .expect("valid tenant name");
+            upload_tables(&mut session, scale, plan);
+            barrier.wait();
+            let mut queries = 0u64;
+            for _ in 0..rounds {
+                for input in refresh_inputs(plan) {
+                    session.execute(input).expect("concurrent join");
+                    queries += 1;
+                }
+            }
+            queries
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let queries: u64 = clients
+        .into_iter()
+        .map(|c| c.join().expect("concurrent client"))
+        .sum();
+    let wall_s = t0.elapsed().as_secs_f64();
+    LayerThroughput {
+        wall_s,
+        queries,
+        qps: queries as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// The N-concurrent-sessions phase: the SAME multi-tenant workload
+/// against the thread-per-connection baseline and the epoll reactor,
+/// one shared server per layer, reporting queries/second for each.
+struct ConcurrentMeasurement {
+    threaded: LayerThroughput,
+    epoll: LayerThroughput,
+}
+
+fn measure_concurrent<E: Engine>(cfg: &RunConfig) -> ConcurrentMeasurement {
+    use eqjoin_db::{RemoteBackend, Request, Response, ServerApi};
+    use eqjoind_net::{NetConfig, NetServer, TenantRegistry};
+    use std::sync::Arc;
+
+    // Thread-per-connection baseline over a tenant registry.
+    let registry = Arc::new(TenantRegistry::<E>::new(None, None, None));
+    let (addr, handle) = EqjoinServer::bind("127.0.0.1:0")
+        .expect("bind threaded server")
+        .spawn(registry as Arc<dyn ServerApi<E>>)
+        .expect("spawn threaded server");
+    let threaded = drive_sessions::<E>(cfg, addr);
+    handle.stop().expect("stop threaded server");
+
+    // Epoll reactor + worker pool over its own registry.
+    let registry = Arc::new(TenantRegistry::<E>::new(None, None, None));
+    let server = NetServer::bind("127.0.0.1:0").expect("bind epoll server");
+    let addr = server.local_addr().expect("epoll addr");
+    let backend = registry as Arc<dyn ServerApi<E>>;
+    let reactor = std::thread::spawn(move || server.serve(backend, NetConfig::default()));
+    let epoll = drive_sessions::<E>(cfg, addr);
+    let drainer = RemoteBackend::connect(addr).expect("connect drainer");
+    assert!(matches!(
+        ServerApi::<E>::handle(&drainer, Request::Drain),
+        Response::Pong
+    ));
+    drop(drainer);
+    reactor.join().expect("reactor thread").expect("drain");
+
+    // CI smoke gate: both layers must actually move queries.
+    assert!(threaded.qps > 0.0 && epoll.qps > 0.0, "qps smoke gate");
+    ConcurrentMeasurement { threaded, epoll }
+}
+
 struct RunConfig {
     scale: f64,
     rounds: usize,
     backend: Backend,
     threads: usize,
     plan: PlanMode,
+    sessions: usize,
     json_path: String,
 }
 
@@ -443,6 +555,38 @@ fn series<E: Engine>(cfg: &RunConfig) {
         restart.pairings_warm_restart,
     );
 
+    // N concurrent tenant sessions, threaded vs epoll, on one shared
+    // server per layer (--sessions N; skipped when N = 0).
+    let concurrent_json = if cfg.sessions > 0 {
+        let concurrent = measure_concurrent::<E>(cfg);
+        println!(
+            "concurrent phase ({} sessions): threaded {:.1} q/s ({} queries in {:.3} s) | \
+             epoll {:.1} q/s ({} queries in {:.3} s)",
+            cfg.sessions,
+            concurrent.threaded.qps,
+            concurrent.threaded.queries,
+            concurrent.threaded.wall_s,
+            concurrent.epoll.qps,
+            concurrent.epoll.queries,
+            concurrent.epoll.wall_s,
+        );
+        let layer = |l: &LayerThroughput| {
+            format!(
+                "{{\"wall_s\": {:.6}, \"queries\": {}, \"qps\": {:.3}}}",
+                l.wall_s, l.queries, l.qps
+            )
+        };
+        format!(
+            "{{\"sessions\": {}, \"rounds\": {}, \"threaded\": {}, \"epoll\": {}}}",
+            cfg.sessions,
+            cfg.rounds,
+            layer(&concurrent.threaded),
+            layer(&concurrent.epoll),
+        )
+    } else {
+        "null".to_owned()
+    };
+
     // Per-stage op counts (cache-on arm): what each pairwise stage of
     // the workload cost across the whole series — the chain trajectory
     // signal for multiway runs.
@@ -479,6 +623,7 @@ fn series<E: Engine>(cfg: &RunConfig) {
          {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
          \"bytes_received\": {}}},\n  \"restart\": {{\"cold_s\": {:.6}, \"warm_s\": {:.6}, \
          \"warm_restart_s\": {:.6}, \"pairings_cold\": {}, \"pairings_warm_restart\": {}}},\n  \
+         \"concurrent\": {},\n  \
          \"wall_speedup_cache_on\": {:.6}\n}}\n",
         E::NAME,
         cfg.backend.name(),
@@ -511,6 +656,7 @@ fn series<E: Engine>(cfg: &RunConfig) {
         restart.warm_restart_s,
         restart.pairings_cold,
         restart.pairings_warm_restart,
+        concurrent_json,
         off.wall_s / on.wall_s.max(1e-9),
     );
     if cfg.json_path == "BENCH_session.json" && cfg.plan != PlanMode::Multiway {
@@ -529,11 +675,12 @@ fn series<E: Engine>(cfg: &RunConfig) {
 }
 
 fn main() {
-    // `--backend X`, `--threads N`, `--plan P` and `--json PATH` may
-    // appear anywhere; everything else is positional.
+    // `--backend X`, `--threads N`, `--plan P`, `--sessions N` and
+    // `--json PATH` may appear anywhere; everything else is positional.
     let mut backend = Backend::Local;
     let mut threads = 0usize;
     let mut plan = PlanMode::Pairwise;
+    let mut sessions = 0usize;
     let mut json_path = "BENCH_session.json".to_owned();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -552,6 +699,13 @@ fn main() {
             "--plan" => {
                 plan = PlanMode::parse(&raw.next().expect("--plan needs a value"));
             }
+            "--sessions" => {
+                sessions = raw
+                    .next()
+                    .expect("--sessions needs a value")
+                    .parse()
+                    .expect("--sessions needs a number");
+            }
             "--json" => json_path = raw.next().expect("--json needs a value"),
             _ => args.push(arg),
         }
@@ -568,6 +722,7 @@ fn main() {
         backend,
         threads,
         plan,
+        sessions,
         json_path: json_path.clone(),
     };
     match engine.as_str() {

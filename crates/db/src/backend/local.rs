@@ -114,15 +114,25 @@ impl<E: Engine> LocalBackend<E> {
         })
     }
 
+    /// Force a snapshot flush if the store is dirty (the drain path —
+    /// persistence normally happens after every dirtying request).
+    pub fn flush(&self) -> Result<(), DbError> {
+        self.persist_if_dirty()
+    }
+
     /// Does this request mutate durable state? A flush failure after a
     /// mutation must not be swallowed — the client would believe an
-    /// update survived a restart that would in fact lose it.
+    /// update survived a restart that would in fact lose it. `Drain`
+    /// is in the set because its whole point is "flush now": a drain
+    /// whose flush failed must not be acknowledged.
     fn is_mutation(request: &Request<E>) -> bool {
         match request {
-            Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. } => {
-                true
-            }
+            Request::InsertTable(_)
+            | Request::InsertRows { .. }
+            | Request::DeleteRows { .. }
+            | Request::Drain => true,
             Request::Batch(requests) => requests.iter().any(Self::is_mutation),
+            Request::WithTenant { inner, .. } => Self::is_mutation(inner),
             Request::Ping | Request::ExecuteJoin { .. } => false,
         }
     }
@@ -182,6 +192,18 @@ impl<E: Engine> LocalBackend<E> {
                     Err(e) => Response::Error(e),
                 }
             }
+            // A drain reaching the backend directly: durable state is
+            // flushed after every dirtying request already, so there is
+            // nothing left to write — acknowledge. (The connection
+            // layers own the stop-accepting/finish-in-flight part.)
+            Request::Drain => Response::Pong,
+            // This backend has exactly one namespace. Serving a tenant
+            // envelope here would silently merge tenants' stores, so
+            // refuse loudly — multi-tenant serving goes through the
+            // tenant registry in `eqjoind-net`.
+            Request::WithTenant { .. } => Response::Error(DbError::Protocol(
+                "backend has no tenant support (route through a tenant registry)".into(),
+            )),
             Request::Batch(_) => Response::Error(DbError::Protocol("nested request batch".into())),
         }
     }

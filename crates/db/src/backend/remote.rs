@@ -13,7 +13,10 @@
 //! goes wrong *reaching* the server — connect, send, receive, framing,
 //! an undecodable response — surfaces as [`DbError::Transport`]. After
 //! a transport failure the connection is dropped (the stream may be
-//! desynchronized) and every later request fails fast.
+//! desynchronized): the failed request is **never** silently retried,
+//! but the *next* request makes a single bounded reconnect attempt
+//! before failing, so a transient server restart does not kill the
+//! backend forever.
 
 use super::transport::{read_frame, write_frame, TransportCounters, TransportStats};
 use crate::error::DbError;
@@ -21,8 +24,10 @@ use crate::protocol::{Request, Response, ServerApi};
 use eqjoin_pairing::Engine;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A [`ServerApi`] over a TCP connection to an `eqjoind` server.
 ///
@@ -57,8 +62,11 @@ impl RemoteBackend {
     }
 
     /// One request frame out, one response frame back. Drops the
-    /// connection on any exchange failure so later calls fail fast
-    /// instead of reading desynchronized bytes.
+    /// connection on any exchange failure so later calls never read
+    /// desynchronized bytes; a *later* call finding the connection gone
+    /// makes exactly one reconnect attempt (fresh stream, the failed
+    /// request itself is never replayed — its outcome on the server is
+    /// unknown).
     fn round_trip(&self, payload: &[u8]) -> Result<Response, DbError> {
         // Pre-send check: an oversized request fails *before* any byte
         // hits the wire, so the stream stays synchronized and the
@@ -71,12 +79,21 @@ impl RemoteBackend {
             )));
         }
         let mut guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        let stream = guard.as_mut().ok_or_else(|| {
-            DbError::Transport(format!(
-                "connection to {} was closed by an earlier transport failure",
-                self.peer
-            ))
-        })?;
+        if guard.is_none() {
+            // Single bounded reconnect attempt for this request; on
+            // failure the backend stays disconnected and the *next*
+            // request gets its own single attempt.
+            let fresh = TcpStream::connect(self.peer.as_str()).map_err(|e| {
+                DbError::Transport(format!(
+                    "reconnect to {} after an earlier transport failure: {e}",
+                    self.peer
+                ))
+            })?;
+            let _ = fresh.set_nodelay(true);
+            self.counters.add_reconnects(1);
+            *guard = Some(fresh);
+        }
+        let stream = guard.as_mut().expect("reconnected above");
         let exchange = (|| -> io::Result<Vec<u8>> {
             let sent = write_frame(stream, payload)?;
             self.counters.add_bytes_sent(sent);
@@ -149,21 +166,52 @@ impl EqjoinServer {
     }
 
     /// Accept connections forever, spawning one handler thread per
-    /// connection. Returns only if the listener itself fails.
+    /// connection. Returns only if the listener itself fails
+    /// persistently (transient failures retry with capped exponential
+    /// backoff — a bad FD state must not spin a core).
     pub fn serve<E: Engine>(self, backend: Arc<dyn ServerApi<E>>) -> Result<(), DbError> {
+        self.serve_until(backend, &AtomicBool::new(false))
+    }
+
+    /// [`EqjoinServer::serve`], stopping cleanly (joinable, listener
+    /// closed) once `shutdown` is set. The flag is checked before each
+    /// accepted connection; [`ServerHandle::stop`] sets it and dials
+    /// the listener once to unblock a pending `accept`.
+    fn serve_until<E: Engine>(
+        self,
+        backend: Arc<dyn ServerApi<E>>,
+        shutdown: &AtomicBool,
+    ) -> Result<(), DbError> {
+        // Capped exponential backoff for transient accept failures:
+        // 1 ms doubling to 256 ms, reset by any successful accept.
+        const BACKOFF_START: Duration = Duration::from_millis(1);
+        const BACKOFF_CAP: Duration = Duration::from_millis(256);
+        let mut backoff = BACKOFF_START;
         for connection in self.listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                return Ok(());
+            }
             match connection {
                 Ok(stream) => {
+                    backoff = BACKOFF_START;
                     let backend = Arc::clone(&backend);
                     std::thread::spawn(move || serve_connection::<E>(stream, backend));
                 }
                 Err(e) => {
-                    // Transient accept failures (per-connection resets)
-                    // must not take the server down.
-                    if e.kind() == io::ErrorKind::ConnectionAborted
-                        || e.kind() == io::ErrorKind::ConnectionReset
-                        || e.kind() == io::ErrorKind::Interrupted
-                    {
+                    // Transient accept failures (per-connection resets,
+                    // FD exhaustion) must not take the server down —
+                    // but retrying instantly on an error that repeats
+                    // would busy-spin, so sleep before the next accept.
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::Interrupted
+                            | io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                    ) {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
                         continue;
                     }
                     return Err(DbError::Transport(format!("accept: {e}")));
@@ -173,26 +221,91 @@ impl EqjoinServer {
         Ok(())
     }
 
-    /// Run the accept loop on a detached background thread and return
-    /// the bound address — the one-liner for loopback tests and
-    /// embedded servers.
+    /// Run the accept loop on a background thread and return the bound
+    /// address plus a [`ServerHandle`] that stops the loop and joins
+    /// the thread — the one-liner for loopback tests and embedded
+    /// servers, without leaking a detached thread and its listener.
     pub fn spawn<E: Engine>(
         self,
         backend: Arc<dyn ServerApi<E>>,
-    ) -> Result<(SocketAddr, JoinHandle<Result<(), DbError>>), DbError> {
+    ) -> Result<(SocketAddr, ServerHandle), DbError> {
         let addr = self.local_addr()?;
-        let handle = std::thread::spawn(move || self.serve(backend));
-        Ok((addr, handle))
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || self.serve_until(backend, &flag));
+        Ok((
+            addr,
+            ServerHandle {
+                addr,
+                shutdown,
+                thread: Some(thread),
+            },
+        ))
     }
 
     /// Spawn a loopback `eqjoind` on an ephemeral port over a fresh
     /// [`LocalBackend`](super::LocalBackend): bind `127.0.0.1:0`,
-    /// detach the accept loop, return the address to connect to. The
-    /// standard setup for integration tests and benches.
-    pub fn spawn_local<E: Engine>() -> Result<(SocketAddr, JoinHandle<Result<(), DbError>>), DbError>
-    {
+    /// start the accept loop, return the address to connect to. The
+    /// standard setup for integration tests and benches; dropping the
+    /// handle stops the server.
+    pub fn spawn_local<E: Engine>() -> Result<(SocketAddr, ServerHandle), DbError> {
         let backend = Arc::new(super::LocalBackend::<E>::new()) as Arc<dyn ServerApi<E>>;
         Self::bind("127.0.0.1:0")?.spawn(backend)
+    }
+}
+
+/// Shutdown handle for a spawned [`EqjoinServer`] accept loop:
+/// [`ServerHandle::stop`] (or drop) stops accepting and joins the
+/// thread, so tests and embedders do not rely on process teardown to
+/// reclaim the listener. Connections already being served run to
+/// completion on their own threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<Result<(), DbError>>>,
+}
+
+impl ServerHandle {
+    /// The address the accept loop is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread, returning the loop's
+    /// exit result.
+    pub fn stop(mut self) -> Result<(), DbError> {
+        self.shutdown_and_join()
+            .unwrap_or_else(|| Err(DbError::Transport("accept loop panicked".into())))
+    }
+
+    /// Let the accept loop run detached for the rest of the process
+    /// (the pre-handle behavior): the thread is deliberately leaked and
+    /// nothing stops it. For long-lived benches and examples whose
+    /// server must outlive every scope; tests should hold the handle
+    /// and let it stop the server instead.
+    pub fn detach(mut self) {
+        self.thread = None;
+    }
+
+    fn shutdown_and_join(&mut self) -> Option<Result<(), DbError>> {
+        let thread = self.thread.take()?;
+        self.shutdown.store(true, Ordering::Release);
+        // A pending blocking accept only observes the flag on its next
+        // wakeup; dial the listener once to force that wakeup. The
+        // handler thread this spawns (if the race admits one) sees an
+        // immediately-closed stream and exits.
+        let _ = TcpStream::connect(self.addr).map(drop);
+        Some(
+            thread
+                .join()
+                .unwrap_or_else(|_| Err(DbError::Transport("accept loop panicked".into()))),
+        )
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_and_join();
     }
 }
 
@@ -277,6 +390,52 @@ mod tests {
             Err(DbError::Transport(msg)) => assert!(msg.contains("connect")),
             Err(other) => panic!("expected a transport error, got {other:?}"),
             Ok(_) => panic!("connecting to a dead port must fail"),
+        }
+    }
+
+    #[test]
+    fn one_bounded_reconnect_recovers_after_a_dropped_connection() {
+        // A listener that drops its first accepted connection, then
+        // serves normally: request 1 fails with a transport error (and
+        // is NOT silently replayed), request 2 triggers the single
+        // bounded reconnect and succeeds on the fresh stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first);
+            let (second, _) = listener.accept().unwrap();
+            let backend =
+                Arc::new(super::super::LocalBackend::<MockEngine>::new()) as Arc<dyn ServerApi<_>>;
+            serve_connection::<MockEngine>(second, backend);
+        });
+        let remote = RemoteBackend::connect(addr).unwrap();
+        match ServerApi::<MockEngine>::handle(&remote, Request::Ping) {
+            Response::Error(DbError::Transport(_)) => {}
+            other => panic!("expected a transport error on the dropped stream, got {other:?}"),
+        }
+        assert!(matches!(
+            ServerApi::<MockEngine>::handle(&remote, Request::Ping),
+            Response::Pong
+        ));
+        let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.reconnects, 1, "exactly one reconnect attempt");
+        assert_eq!(stats.round_trips, 1, "only the successful exchange counts");
+        drop(remote);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stop_joins_the_accept_loop() {
+        let (addr, handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+        assert_eq!(handle.addr(), addr);
+        handle.stop().unwrap();
+        // The listener is gone: a fresh connect must fail (connection
+        // refused), not hang on a leaked accept loop.
+        match RemoteBackend::connect(addr) {
+            Err(DbError::Transport(_)) => {}
+            Ok(_) => panic!("listener must be closed after stop()"),
+            Err(other) => panic!("expected a transport error, got {other:?}"),
         }
     }
 

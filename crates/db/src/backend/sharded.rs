@@ -144,9 +144,15 @@ impl<E: Engine> ShardedBackend<E> {
             Request::Ping
             | Request::InsertTable(_)
             | Request::InsertRows { .. }
-            | Request::DeleteRows { .. } => Ok(Placement::All),
+            | Request::DeleteRows { .. }
+            // A drain must reach every shard so each flushes its own
+            // durable state.
+            | Request::Drain => Ok(Placement::All),
             Request::ExecuteJoin { tokens, .. } => Ok(Placement::One(
                 self.shard_for(&tokens.left.table, &tokens.right.table),
+            )),
+            Request::WithTenant { .. } => Err(DbError::Protocol(
+                "backend has no tenant support (route through a tenant registry)".into(),
             )),
             Request::Batch(_) => Err(DbError::Protocol("nested request batch".into())),
         }
@@ -256,6 +262,22 @@ impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
         self.counters.record_logical(&request);
         match request {
             Request::Batch(requests) => self.handle_batch(requests),
+            // Drain fans out unwrapped (a drain may not ride inside a
+            // batch on the wire): every shard flushes; the first error
+            // in shard order wins, otherwise the drain is acknowledged.
+            Request::Drain => {
+                let mut failure = None;
+                for shard in &self.shards {
+                    self.counters.add_round_trips(1);
+                    if let Response::Error(e) = shard.handle(Request::Drain) {
+                        failure.get_or_insert(e);
+                    }
+                }
+                match failure {
+                    Some(e) => Response::Error(e),
+                    None => Response::Pong,
+                }
+            }
             single => match self.placement(&single) {
                 // Fast path: a routed request goes straight to its
                 // shard — no batch wrapping, no scoped fan-out.

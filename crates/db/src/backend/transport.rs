@@ -36,6 +36,9 @@ pub struct TransportStats {
     pub bytes_sent: u64,
     /// Bytes received from the wire, framing included.
     pub bytes_received: u64,
+    /// Successful reconnects after a transport failure (networked
+    /// backends make one bounded attempt on the next request).
+    pub reconnects: u64,
 }
 
 /// Interior-mutable counters behind [`TransportStats`] — backends
@@ -47,6 +50,7 @@ pub struct TransportCounters {
     batches: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl TransportCounters {
@@ -84,6 +88,11 @@ impl TransportCounters {
         self.bytes_received.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count successful reconnects after a transport failure.
+    pub fn add_reconnects(&self, n: u64) {
+        self.reconnects.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current values as a plain snapshot.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -92,6 +101,7 @@ impl TransportCounters {
             batches: self.batches.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
         }
     }
 }

@@ -87,6 +87,23 @@ pub enum DbError {
         /// Maximum supported (`m`).
         max: usize,
     },
+    /// The server refused to admit the request because a load-shedding
+    /// cap was reached — either the global job queue is full or the
+    /// named tenant already has its maximum number of decrypt jobs in
+    /// flight. The request was **not** executed; retrying after
+    /// in-flight work drains is safe. Admission control rejects new
+    /// work instead of queueing unboundedly, so in-flight responses
+    /// are never dropped under overload.
+    Overloaded {
+        /// The tenant whose in-flight cap was hit, or `None` when the
+        /// global queue-depth cap tripped.
+        tenant: Option<String>,
+        /// Jobs in flight (admitted and not yet completed) when the
+        /// request was rejected.
+        in_flight: usize,
+        /// The configured cap that was reached.
+        cap: usize,
+    },
     /// A protocol message could not be decoded, or a backend answered a
     /// request with a response of the wrong kind.
     Protocol(String),
@@ -145,6 +162,20 @@ impl fmt::Display for DbError {
                 f,
                 "table {table} declares {got} filter columns, the join context supports m = {max}"
             ),
+            DbError::Overloaded {
+                tenant,
+                in_flight,
+                cap,
+            } => match tenant {
+                Some(t) => write!(
+                    f,
+                    "tenant {t:?} is overloaded: {in_flight} decrypt jobs in flight (cap {cap})"
+                ),
+                None => write!(
+                    f,
+                    "server is overloaded: {in_flight} jobs queued (queue depth cap {cap})"
+                ),
+            },
             DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DbError::Transport(msg) => write!(f, "transport error: {msg}"),
             DbError::Sql(msg) => write!(f, "SQL error: {msg}"),

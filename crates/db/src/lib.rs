@@ -84,14 +84,18 @@ pub mod server;
 pub mod session;
 pub mod store;
 
-pub use backend::{EqjoinServer, LocalBackend, RemoteBackend, ShardedBackend, TransportStats};
+pub use backend::{
+    EqjoinServer, LocalBackend, RemoteBackend, ServerHandle, ShardedBackend, TransportStats,
+};
 pub use client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
 pub use data::{Row, Schema, Table, Value};
 pub use encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 pub use error::DbError;
 pub use join::JoinAlgorithm;
 pub use plan::{ColumnId, LoweredPlan, OutputColumn, PlanNode, QueryPlan, Stage};
-pub use protocol::{Request, Response, ServerApi};
+pub use protocol::{
+    peek_envelope, valid_tenant_name, Request, RequestEnvelope, Response, ServerApi,
+};
 pub use query::{InFilter, JoinQuery};
 pub use server::{
     DbServer, EncryptedJoinResult, JoinObservation, JoinOptions, MatchedPair, PayloadProjection,

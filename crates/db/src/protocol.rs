@@ -94,18 +94,103 @@ pub enum Request<E: Engine> {
         rows: Vec<u64>,
     },
     /// A pipelined series of requests, answered by one
-    /// [`Response::Batch`] of the same arity. Must not nest.
+    /// [`Response::Batch`] of the same arity. Must not nest, and must
+    /// not contain [`Request::WithTenant`] or [`Request::Drain`] — a
+    /// tenant envelope wraps the whole batch, not its elements.
     Batch(Vec<Request<E>>),
+    /// A tenant envelope: execute `inner` against the named tenant's
+    /// isolated namespace (its own store, snapshot directory and
+    /// server-side stats). `inner` may be a [`Request::Batch`] (a whole
+    /// series for one tenant in one round trip) but not another
+    /// envelope or a drain. Backends without tenant support answer with
+    /// a protocol error rather than silently collapsing namespaces.
+    WithTenant {
+        /// The tenant name (`[A-Za-z0-9_-]{1,64}` — it becomes a
+        /// snapshot subdirectory, so the codec rejects anything that
+        /// could traverse paths).
+        tenant: String,
+        /// The wrapped request.
+        inner: Box<Request<E>>,
+    },
+    /// Ask the server to drain: flush durable state and — on servers
+    /// with a connection layer that supports it — stop accepting new
+    /// connections, finish in-flight work, then exit. In-process
+    /// backends flush and answer [`Response::Pong`].
+    Drain,
 }
 
 impl<E: Engine> Request<E> {
     /// Number of leaf requests this message carries (batch contents
-    /// counted individually).
+    /// counted individually, tenant envelopes transparently).
     pub fn request_count(&self) -> u64 {
         match self {
             Request::Batch(reqs) => reqs.len() as u64,
+            Request::WithTenant { inner, .. } => inner.request_count(),
             _ => 1,
         }
+    }
+
+    /// The tenant a [`Request::WithTenant`] envelope names, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::WithTenant { tenant, .. } => Some(tenant),
+            _ => None,
+        }
+    }
+}
+
+/// Is `name` a well-formed tenant name? Tenant names become snapshot
+/// subdirectories, so only `[A-Za-z0-9_-]`, nonempty, at most 64 bytes
+/// — no separators, no dots, no traversal.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// What a cheap peek at a request frame's envelope found — see
+/// [`peek_envelope`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestEnvelope {
+    /// The frame is a [`Request::Drain`].
+    Drain,
+    /// The frame is a [`Request::WithTenant`] naming this tenant.
+    Tenant(String),
+    /// Any other (or malformed) frame — tenantless.
+    Plain,
+}
+
+/// Engine-independent peek at a request frame's envelope: the tag byte
+/// and, for a tenant envelope, the name — WITHOUT decoding the body
+/// (which validates group elements, the expensive part). Connection
+/// layers use this for admission control and drain detection before
+/// handing the frame to a worker; a malformed frame peeks as
+/// [`RequestEnvelope::Plain`] and fails properly in the full decode.
+pub fn peek_envelope(payload: &[u8]) -> RequestEnvelope {
+    match payload.first() {
+        Some(7) => RequestEnvelope::Drain,
+        Some(6) => {
+            // Tag, then the codec's string encoding: u64 LE length +
+            // UTF-8 bytes.
+            let Some(len_bytes) = payload.get(1..9) else {
+                return RequestEnvelope::Plain;
+            };
+            let len = u64::from_le_bytes(len_bytes.try_into().unwrap());
+            if len > 64 {
+                // Longer than any valid tenant name: don't even slice.
+                return RequestEnvelope::Plain;
+            }
+            match payload.get(9..9 + len as usize) {
+                Some(name_bytes) => match std::str::from_utf8(name_bytes) {
+                    Ok(name) if valid_tenant_name(name) => RequestEnvelope::Tenant(name.to_owned()),
+                    _ => RequestEnvelope::Plain,
+                },
+                None => RequestEnvelope::Plain,
+            }
+        }
+        _ => RequestEnvelope::Plain,
     }
 }
 
@@ -607,6 +692,22 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.u8(16);
             w.str(msg);
         }
+        DbError::Overloaded {
+            tenant,
+            in_flight,
+            cap,
+        } => {
+            w.u8(17);
+            match tenant {
+                None => w.u8(0),
+                Some(t) => {
+                    w.u8(1);
+                    w.str(t);
+                }
+            }
+            w.u64(*in_flight as u64);
+            w.u64(*cap as u64);
+        }
     }
 }
 
@@ -655,6 +756,17 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
             row: r.u64()?,
         },
         16 => DbError::Snapshot(r.str()?),
+        17 => DbError::Overloaded {
+            tenant: match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                other => {
+                    return Err(DbError::Protocol(format!("bad tenant marker {other}")));
+                }
+            },
+            in_flight: r.u64()? as usize,
+            cap: r.u64()? as usize,
+        },
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -715,6 +827,17 @@ impl<E: Engine> Request<E> {
                 }
                 w.out
             }
+            Request::WithTenant { tenant, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Request::WithTenant { .. } | Request::Drain),
+                    "tenant envelopes must not nest or wrap a drain"
+                );
+                let mut w = Writer::new(6);
+                w.str(tenant);
+                w.bytes(&inner.to_bytes());
+                w.out
+            }
+            Request::Drain => Writer::new(7).out,
         }
     }
 
@@ -735,8 +858,20 @@ impl<E: Engine> Request<E> {
                 let mut requests = Vec::with_capacity(n);
                 for _ in 0..n {
                     let sub = Request::from_bytes(r.bytes()?)?;
-                    if matches!(sub, Request::Batch(_)) {
-                        return Err(DbError::Protocol("nested request batch".into()));
+                    match sub {
+                        Request::Batch(_) => {
+                            return Err(DbError::Protocol("nested request batch".into()))
+                        }
+                        Request::WithTenant { .. } => {
+                            return Err(DbError::Protocol(
+                                "tenant envelope inside a batch (wrap the whole batch instead)"
+                                    .into(),
+                            ))
+                        }
+                        Request::Drain => {
+                            return Err(DbError::Protocol("drain inside a batch".into()))
+                        }
+                        _ => {}
                     }
                     requests.push(sub);
                 }
@@ -762,6 +897,25 @@ impl<E: Engine> Request<E> {
                 let rows = (0..n_rows).map(|_| r.u64()).collect::<Result<_, _>>()?;
                 Request::DeleteRows { table, rows }
             }
+            6 => {
+                let tenant = r.str()?;
+                if !valid_tenant_name(&tenant) {
+                    return Err(DbError::Protocol(format!(
+                        "invalid tenant name {tenant:?} (want [A-Za-z0-9_-]{{1,64}})"
+                    )));
+                }
+                let inner = Request::from_bytes(r.bytes()?)?;
+                if matches!(inner, Request::WithTenant { .. } | Request::Drain) {
+                    return Err(DbError::Protocol(
+                        "tenant envelope wrapping another envelope or a drain".into(),
+                    ));
+                }
+                Request::WithTenant {
+                    tenant,
+                    inner: Box::new(inner),
+                }
+            }
+            7 => Request::Drain,
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         r.finish()?;

@@ -411,6 +411,11 @@ pub struct Session<E: Engine> {
     client: DbClient<E>,
     backend: Box<dyn ServerApi<E>>,
     config: SessionConfig,
+    /// When set, every request ships inside a
+    /// [`Request::WithTenant`] envelope naming this tenant — the
+    /// session then lives entirely in that tenant's isolated namespace
+    /// on a multi-tenant server.
+    tenant: Option<String>,
     catalog: Catalog,
     planner: Option<Box<dyn SqlPlanner>>,
     token_cache: HashMap<Vec<u8>, QueryTokens<E>>,
@@ -457,6 +462,7 @@ impl<E: Engine> Session<E> {
             client: DbClient::with_config(config.client),
             backend,
             config,
+            tenant: None,
             catalog: Catalog::new(),
             planner: None,
             token_cache: HashMap::new(),
@@ -471,6 +477,42 @@ impl<E: Engine> Session<E> {
     pub fn with_planner(mut self, planner: Box<dyn SqlPlanner>) -> Self {
         self.planner = Some(planner);
         self
+    }
+
+    /// Scope this session to a tenant namespace (builder style): every
+    /// request — uploads, joins, incremental updates — ships inside a
+    /// [`Request::WithTenant`] envelope, so on a multi-tenant server
+    /// the session sees only its own store, decrypt cache and stats.
+    /// Rejects names that are not `[A-Za-z0-9_-]{1,64}` (tenant names
+    /// become snapshot subdirectories server-side).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Result<Self, DbError> {
+        let tenant = tenant.into();
+        if !crate::protocol::valid_tenant_name(&tenant) {
+            return Err(DbError::Protocol(format!(
+                "invalid tenant name {tenant:?} (want [A-Za-z0-9_-]{{1,64}})"
+            )));
+        }
+        self.tenant = Some(tenant);
+        Ok(self)
+    }
+
+    /// The tenant namespace this session is scoped to, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Send one request, wrapped in the session's tenant envelope when
+    /// one is configured. Every backend call goes through here so a
+    /// tenant-scoped session cannot accidentally leak a bare request
+    /// into the default namespace.
+    fn dispatch(&self, request: Request<E>) -> Response {
+        match &self.tenant {
+            Some(tenant) => self.backend.handle(Request::WithTenant {
+                tenant: tenant.clone(),
+                inner: Box::new(request),
+            }),
+            None => self.backend.handle(request),
+        }
     }
 
     /// The session configuration.
@@ -502,7 +544,7 @@ impl<E: Engine> Session<E> {
     /// the backend.
     pub fn create_table(&mut self, table: &Table, config: TableConfig) -> Result<(), DbError> {
         let encrypted = self.client.encrypt_table(table, config)?;
-        match self.backend.handle(Request::InsertTable(encrypted)) {
+        match self.dispatch(Request::InsertTable(encrypted)) {
             Response::TableInserted { .. } => {
                 self.catalog
                     .insert(table.schema.name.clone(), table.schema.columns.clone());
@@ -522,7 +564,7 @@ impl<E: Engine> Session<E> {
     /// the number of rows appended.
     pub fn insert_rows(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<usize, DbError> {
         let (start_row, encrypted) = self.client.encrypt_rows(table, rows)?;
-        match self.backend.handle(Request::InsertRows {
+        match self.dispatch(Request::InsertRows {
             table: table.to_owned(),
             start_row,
             rows: encrypted,
@@ -539,7 +581,7 @@ impl<E: Engine> Session<E> {
     /// report). Row-granular: only the deleted rows' cached decrypt
     /// state is dropped server-side.
     pub fn delete_rows(&mut self, table: &str, rows: &[u64]) -> Result<usize, DbError> {
-        match self.backend.handle(Request::DeleteRows {
+        match self.dispatch(Request::DeleteRows {
             table: table.to_owned(),
             rows: rows.to_vec(),
         }) {
@@ -880,12 +922,10 @@ impl<E: Engine> Session<E> {
 
         let sent_before = self.backend.transport_stats().bytes_sent;
         let responses: Vec<Response> = if total_stages == 1 {
-            let response = self
-                .backend
-                .handle(requests.pop().expect("exactly one request"));
+            let response = self.dispatch(requests.pop().expect("exactly one request"));
             vec![response]
         } else {
-            match self.backend.handle(Request::Batch(requests)) {
+            match self.dispatch(Request::Batch(requests)) {
                 Response::Batch(responses) => {
                     if responses.len() != total_stages {
                         return Err(DbError::Protocol(format!(

@@ -1,0 +1,156 @@
+//! Admission control for the reactor: a global queue-depth cap plus a
+//! per-tenant in-flight cap, checked when a request frame arrives —
+//! *before* the expensive decode — so an overloaded server refuses
+//! work cheaply instead of queueing it without bound.
+//!
+//! A rejected frame costs its client one [`DbError::Overloaded`]
+//! response; it never costs another tenant anything, and it never
+//! displaces a request that was already admitted (the connection layer
+//! queues the rejection in arrival order behind admitted work).
+
+use eqjoin_db::DbError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared admission state: counts of admitted-but-unfinished jobs,
+/// globally and per tenant (tenantless requests share one bucket).
+#[derive(Debug)]
+pub struct Admission {
+    queue_depth: usize,
+    max_inflight: usize,
+    global: AtomicUsize,
+    per_tenant: Mutex<HashMap<Option<String>, usize>>,
+}
+
+impl Admission {
+    /// Caps: `queue_depth` admitted jobs across the whole server,
+    /// `max_inflight` per tenant. Zero means unlimited for either.
+    pub fn new(queue_depth: usize, max_inflight: usize) -> Arc<Self> {
+        Arc::new(Admission {
+            queue_depth,
+            max_inflight,
+            global: AtomicUsize::new(0),
+            per_tenant: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Admit one job for `tenant`, or explain the refusal. The ticket
+    /// releases both counts when dropped — hold it for the job's whole
+    /// life (queue wait + decode + execute), not just the execution.
+    pub fn try_admit(self: &Arc<Self>, tenant: Option<&str>) -> Result<AdmitTicket, DbError> {
+        let global = self.global.fetch_add(1, Ordering::AcqRel);
+        if self.queue_depth > 0 && global >= self.queue_depth {
+            self.global.fetch_sub(1, Ordering::AcqRel);
+            return Err(DbError::Overloaded {
+                tenant: None,
+                in_flight: global,
+                cap: self.queue_depth,
+            });
+        }
+        {
+            let mut per_tenant = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
+            let count = per_tenant.entry(tenant.map(str::to_owned)).or_insert(0);
+            if self.max_inflight > 0 && *count >= self.max_inflight {
+                let in_flight = *count;
+                drop(per_tenant);
+                self.global.fetch_sub(1, Ordering::AcqRel);
+                return Err(DbError::Overloaded {
+                    tenant: tenant.map(str::to_owned),
+                    in_flight,
+                    cap: self.max_inflight,
+                });
+            }
+            *count += 1;
+        }
+        Ok(AdmitTicket {
+            admission: Arc::clone(self),
+            tenant: tenant.map(str::to_owned),
+        })
+    }
+
+    /// Admitted-but-unfinished jobs right now, server-wide.
+    pub fn in_flight(&self) -> usize {
+        self.global.load(Ordering::Acquire)
+    }
+}
+
+/// RAII token for one admitted job; dropping it releases the global
+/// and per-tenant counts.
+#[derive(Debug)]
+pub struct AdmitTicket {
+    admission: Arc<Admission>,
+    tenant: Option<String>,
+}
+
+impl Drop for AdmitTicket {
+    fn drop(&mut self) {
+        self.admission.global.fetch_sub(1, Ordering::AcqRel);
+        let mut per_tenant = self
+            .admission
+            .per_tenant
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = per_tenant.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                per_tenant.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tenant_cap_isolates_tenants() {
+        let admission = Admission::new(0, 2);
+        let _a1 = admission.try_admit(Some("a")).unwrap();
+        let _a2 = admission.try_admit(Some("a")).unwrap();
+        match admission.try_admit(Some("a")) {
+            Err(DbError::Overloaded {
+                tenant: Some(t),
+                in_flight: 2,
+                cap: 2,
+            }) => assert_eq!(t, "a"),
+            other => panic!("expected tenant-a overload, got {other:?}"),
+        }
+        // Tenant b is unaffected by a's saturation.
+        let _b1 = admission.try_admit(Some("b")).unwrap();
+        // And the tenantless bucket is its own tenant.
+        let _n1 = admission.try_admit(None).unwrap();
+        let _n2 = admission.try_admit(None).unwrap();
+        assert!(admission.try_admit(None).is_err());
+    }
+
+    #[test]
+    fn global_queue_depth_caps_everything() {
+        let admission = Admission::new(3, 0);
+        let tickets: Vec<_> = (0..3)
+            .map(|i| admission.try_admit(Some(&format!("t{i}"))).unwrap())
+            .collect();
+        match admission.try_admit(Some("t9")) {
+            Err(DbError::Overloaded {
+                tenant: None,
+                in_flight: 3,
+                cap: 3,
+            }) => {}
+            other => panic!("expected global overload, got {other:?}"),
+        }
+        drop(tickets);
+        assert_eq!(admission.in_flight(), 0);
+        assert!(admission.try_admit(Some("t9")).is_ok());
+    }
+
+    #[test]
+    fn tickets_release_on_drop() {
+        let admission = Admission::new(1, 1);
+        for _ in 0..10 {
+            let ticket = admission.try_admit(Some("t")).unwrap();
+            drop(ticket);
+        }
+        assert_eq!(admission.in_flight(), 0);
+    }
+}

@@ -1,0 +1,612 @@
+//! The event-driven connection layer: one epoll reactor thread owning
+//! every socket, plus a fixed worker pool executing decoded requests.
+//!
+//! ```text
+//!              epoll reactor (one thread)
+//!   ┌──────────────────────────────────────────────────┐
+//!   │ listener ──▶ nonblocking accept                  │
+//!   │ sockets  ──▶ read → frame → peek envelope        │
+//!   │              │ admission (global + per-tenant)   │
+//!   │              ▼                                   │
+//!   │         per-conn pending queue (jobs + rejects)  │
+//!   │              │ one job in flight per connection  │
+//!   │              ▼                        ▲          │
+//!   │         job queue ──▶ workers ──▶ completions    │
+//!   │         (Mutex+Condvar) (N threads)  (eventfd)   │
+//!   │ signalfd(SIGTERM) ──▶ drain                      │
+//!   └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! Division of labor: the reactor only moves bytes and *peeks* at each
+//! frame's envelope (tag byte + tenant name — O(1)); the expensive
+//! part of a request — `Request::from_bytes`, which validates every
+//! group element, and the Miller-loop crypto of the join itself — runs
+//! on a worker, so a slow decrypt never blocks accept/read/write for
+//! other connections.
+//!
+//! Ordering: the protocol is strictly request→response per connection.
+//! The reactor keeps that guarantee under concurrency by running at
+//! most ONE job per connection at a time and queueing everything else
+//! — including admission *rejections* — in arrival order on the
+//! connection's pending queue. An overloaded server therefore answers
+//! `DbError::Overloaded` in sequence without reordering or dropping
+//! the responses of requests admitted earlier.
+//!
+//! Drain (SIGTERM or a `Request::Drain` frame): stop accepting (the
+//! listener closes immediately), stop reading request bytes, finish
+//! every admitted job, flush responses, flush snapshots, exit.
+
+use crate::admission::{Admission, AdmitTicket};
+use crate::sys;
+use eqjoin_db::backend::MAX_FRAME_BYTES;
+use eqjoin_db::{peek_envelope, DbError, Request, RequestEnvelope, Response, ServerApi};
+use eqjoin_pairing::Engine;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Tuning knobs for [`NetServer::serve`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Worker threads executing requests (0 = one per available core).
+    pub workers: usize,
+    /// Per-tenant cap on admitted-but-unfinished jobs (0 = unlimited).
+    pub max_inflight: usize,
+    /// Global cap on admitted-but-unfinished jobs (0 = unlimited).
+    pub queue_depth: usize,
+    /// Install a signalfd and drain on SIGTERM. Leave off when several
+    /// servers share a process (tests): a signalfd steals the signal
+    /// from every other consumer.
+    pub handle_sigterm: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 0,
+            max_inflight: 64,
+            queue_depth: 256,
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// The epoll-based server. [`NetServer::serve`] runs the reactor on
+/// the calling thread until a drain completes.
+pub struct NetServer {
+    listener: TcpListener,
+}
+
+/// Epoll token values: fixed ids for the three long-lived fds,
+/// connections from [`FIRST_CONN`] up.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_SIGNAL: u64 = 2;
+const FIRST_CONN: u64 = 3;
+
+/// One admitted unit of work, executed on a worker.
+struct Job {
+    conn: u64,
+    payload: Vec<u8>,
+    /// `None` only for drain frames, which bypass admission (a drain
+    /// must get through precisely when the server is saturated).
+    ticket: Option<AdmitTicket>,
+}
+
+/// A worker's finished response, picked up by the reactor on the next
+/// eventfd wakeup.
+struct Completion {
+    conn: u64,
+    bytes: Vec<u8>,
+    drain: bool,
+}
+
+/// Blocking MPMC job queue: `Mutex<VecDeque>` + `Condvar` (the crate
+/// is dependency-free by design, so no channel library).
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.0.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Next job, blocking; `None` once shut down AND empty (admitted
+    /// work still completes during a drain).
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// An entry in a connection's ordered pending queue.
+enum Pending {
+    /// An admitted frame waiting for its turn on a worker.
+    Job(Vec<u8>, Option<AdmitTicket>),
+    /// A pre-serialized response (admission rejection): written in
+    /// arrival order, no worker involved.
+    Reply(Vec<u8>),
+}
+
+/// Per-connection state owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    pending: VecDeque<Pending>,
+    in_flight: bool,
+    /// EOF seen from the peer: close once all queued work is answered.
+    peer_closed: bool,
+    /// Unrecoverable framing error: close once the error reply flushes.
+    kill_after_flush: bool,
+    /// Last interest mask registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            in_flight: false,
+            peer_closed: false,
+            kill_after_flush: false,
+            interest: 0,
+        }
+    }
+
+    fn write_pending(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// All queued work answered and flushed?
+    fn quiescent(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && !self.write_pending()
+    }
+
+    /// Append one length-framed response to the write buffer.
+    fn queue_frame(&mut self, bytes: &[u8]) {
+        self.write_buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.write_buf.extend_from_slice(bytes);
+    }
+}
+
+impl NetServer {
+    /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral
+    /// port).
+    pub fn bind<A: ToSocketAddrs + ToString>(addr: A) -> Result<Self, DbError> {
+        let listener = TcpListener::bind(&addr)
+            .map_err(|e| DbError::Transport(format!("bind {}: {e}", addr.to_string())))?;
+        Ok(NetServer { listener })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, DbError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| DbError::Transport(format!("local_addr: {e}")))
+    }
+
+    /// Run the reactor on the calling thread until a drain (SIGTERM if
+    /// enabled, or a client's `Request::Drain`) completes: listener
+    /// closed, admitted jobs finished, responses flushed, snapshots
+    /// flushed (`backend.handle(Request::Drain)`), workers joined.
+    pub fn serve<E: Engine>(
+        self,
+        backend: Arc<dyn ServerApi<E>>,
+        config: NetConfig,
+    ) -> Result<(), DbError> {
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        };
+        let admission = Admission::new(config.queue_depth, config.max_inflight);
+        let queue = JobQueue::new();
+        let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+
+        let transport = |e: io::Error, what: &str| DbError::Transport(format!("{what}: {e}"));
+        let wake_fd = sys::eventfd().map_err(|e| transport(e, "eventfd"))?;
+        let signal_fd = if config.handle_sigterm {
+            sys::block_sigterm().map_err(|e| transport(e, "sigprocmask"))?;
+            Some(sys::sigterm_fd().map_err(|e| transport(e, "signalfd"))?)
+        } else {
+            None
+        };
+
+        let result = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let backend = Arc::clone(&backend);
+                let queue = &queue;
+                let completions = &completions;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let (bytes, drain) = execute::<E>(backend.as_ref(), &job.payload);
+                        drop(job.ticket);
+                        completions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(Completion {
+                                conn: job.conn,
+                                bytes,
+                                drain,
+                            });
+                        let _ = sys::write(wake_fd, &1u64.to_ne_bytes());
+                    }
+                });
+            }
+            let result = event_loop(
+                self.listener,
+                wake_fd,
+                signal_fd,
+                &admission,
+                &queue,
+                &completions,
+            );
+            // Unblock the workers whether the loop drained or failed.
+            queue.shutdown();
+            result
+        });
+        sys::close(wake_fd);
+        if let Some(fd) = signal_fd {
+            sys::close(fd);
+        }
+        result?;
+        // Final snapshot flush — idempotent if a client drain already
+        // flushed through the worker path.
+        match backend.handle(Request::Drain) {
+            Response::Error(e) => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Decode and execute one frame on a worker; returns the serialized
+/// response and whether the frame was a drain request.
+fn execute<E: Engine>(backend: &dyn ServerApi<E>, payload: &[u8]) -> (Vec<u8>, bool) {
+    let (response, drain) = match Request::<E>::from_bytes(payload) {
+        Ok(request) => {
+            let drain = matches!(request, Request::Drain);
+            (backend.handle(request), drain)
+        }
+        Err(e) => (Response::Error(e), false),
+    };
+    let mut bytes = response.to_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        // Same in-band degrade as the threaded server: the work WAS
+        // done; tell the client to split the series.
+        bytes = Response::Error(DbError::Transport(format!(
+            "response of {} bytes exceeds the {} byte frame cap (split the series)",
+            bytes.len(),
+            MAX_FRAME_BYTES,
+        )))
+        .to_bytes();
+    }
+    (bytes, drain)
+}
+
+/// The reactor proper. Returns after a drain completes or on a fatal
+/// epoll/listener error.
+fn event_loop(
+    listener: TcpListener,
+    wake_fd: i32,
+    signal_fd: Option<i32>,
+    admission: &Arc<Admission>,
+    queue: &JobQueue,
+    completions: &Mutex<Vec<Completion>>,
+) -> Result<(), DbError> {
+    let transport = |e: io::Error, what: &str| DbError::Transport(format!("{what}: {e}"));
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| transport(e, "listener nonblocking"))?;
+    let epfd = sys::epoll_create1().map_err(|e| transport(e, "epoll_create1"))?;
+    let add = |fd: i32, token: u64, events: u32| {
+        sys::epoll_ctl(
+            epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(&sys::EpollEvent {
+                events,
+                data: token,
+            }),
+        )
+    };
+    add(listener.as_raw_fd(), TOKEN_LISTENER, sys::EPOLLIN)
+        .map_err(|e| transport(e, "register listener"))?;
+    add(wake_fd, TOKEN_WAKE, sys::EPOLLIN).map_err(|e| transport(e, "register eventfd"))?;
+    if let Some(fd) = signal_fd {
+        add(fd, TOKEN_SIGNAL, sys::EPOLLIN).map_err(|e| transport(e, "register signalfd"))?;
+    }
+
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut draining = false;
+    let mut events = [sys::EpollEvent::default(); 64];
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    let result = loop {
+        let n = match sys::epoll_wait(epfd, &mut events, -1) {
+            Ok(n) => n,
+            Err(e) => break Err(transport(e, "epoll_wait")),
+        };
+        let mut drain_now = false;
+        for event in &events[..n] {
+            // Copy out of the packed struct before use.
+            let (token, ready) = ({ event.data }, { event.events });
+            match token {
+                TOKEN_LISTENER => {
+                    let Some(l) = &listener else { continue };
+                    loop {
+                        match l.accept() {
+                            Ok((stream, _)) => {
+                                if draining {
+                                    continue; // accepted in a race; drop.
+                                }
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                let token = next_token;
+                                next_token += 1;
+                                let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                                if add(stream.as_raw_fd(), token, interest).is_err() {
+                                    continue;
+                                }
+                                let mut conn = Conn::new(stream);
+                                conn.interest = interest;
+                                conns.insert(token, conn);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            // Transient per-connection failure; the
+                            // next epoll wakeup retries.
+                            Err(_) => break,
+                        }
+                    }
+                }
+                TOKEN_WAKE => {
+                    let mut counter = [0u8; 8];
+                    while sys::read(wake_fd, &mut counter).is_ok() {}
+                    let finished: Vec<Completion> = completions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .drain(..)
+                        .collect();
+                    for done in finished {
+                        drain_now |= done.drain;
+                        let Some(conn) = conns.get_mut(&done.conn) else {
+                            continue; // connection died mid-request
+                        };
+                        conn.in_flight = false;
+                        conn.queue_frame(&done.bytes);
+                        service_conn(epfd, done.conn, conn, queue, draining);
+                        maybe_close(epfd, &mut conns, done.conn, draining);
+                    }
+                }
+                TOKEN_SIGNAL => {
+                    let Some(fd) = signal_fd else { continue };
+                    // One signalfd_siginfo per delivered signal.
+                    let mut info = [0u8; 128];
+                    while sys::read(fd, &mut info).is_ok() {}
+                    drain_now = true;
+                }
+                token => {
+                    if !conns.contains_key(&token) {
+                        continue;
+                    }
+                    if ready & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                        close_conn(epfd, &mut conns, token);
+                        continue;
+                    }
+                    if ready & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 && !draining {
+                        let conn = conns.get_mut(&token).expect("checked above");
+                        if !read_frames(conn, admission, &mut scratch) {
+                            close_conn(epfd, &mut conns, token);
+                            continue;
+                        }
+                    }
+                    if let Some(conn) = conns.get_mut(&token) {
+                        service_conn(epfd, token, conn, queue, draining);
+                    }
+                    maybe_close(epfd, &mut conns, token, draining);
+                }
+            }
+        }
+        if drain_now && !draining {
+            draining = true;
+            // Close the listener NOW: new connections are refused the
+            // moment the drain starts.
+            if let Some(l) = listener.take() {
+                let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, l.as_raw_fd(), None);
+            }
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                if let Some(conn) = conns.get_mut(&token) {
+                    // Stop reading; finish what was admitted.
+                    conn.peer_closed = true;
+                    service_conn(epfd, token, conn, queue, draining);
+                }
+                maybe_close(epfd, &mut conns, token, draining);
+            }
+        }
+        if draining && conns.is_empty() {
+            break Ok(());
+        }
+    };
+    for (_, conn) in conns.drain() {
+        let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), None);
+    }
+    sys::close(epfd);
+    result
+}
+
+/// Pull bytes off the socket, slice complete frames, run admission on
+/// each and queue the outcome. Returns `false` if the connection is
+/// dead (reset / unrecoverable).
+fn read_frames(conn: &mut Conn, admission: &Arc<Admission>, scratch: &mut [u8]) -> bool {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    let mut pos = 0;
+    while !conn.kill_after_flush {
+        let Some(header) = conn.read_buf.get(pos..pos + 4) else {
+            break;
+        };
+        let len = u32::from_le_bytes(header.try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BYTES {
+            // The stream cannot be resynchronized after a bogus
+            // length: answer in-band, then close once flushed.
+            conn.pending.push_back(Pending::Reply(
+                Response::Error(DbError::Transport(format!(
+                    "frame length {len} exceeds the frame cap"
+                )))
+                .to_bytes(),
+            ));
+            conn.kill_after_flush = true;
+            break;
+        }
+        let Some(payload) = conn.read_buf.get(pos + 4..pos + 4 + len) else {
+            break; // incomplete frame; wait for more bytes
+        };
+        let payload = payload.to_vec();
+        pos += 4 + len;
+        match peek_envelope(&payload) {
+            // Drains bypass admission: the whole point is to get
+            // through when the server is saturated.
+            RequestEnvelope::Drain => conn.pending.push_back(Pending::Job(payload, None)),
+            envelope => {
+                let tenant = match &envelope {
+                    RequestEnvelope::Tenant(name) => Some(name.as_str()),
+                    _ => None,
+                };
+                match admission.try_admit(tenant) {
+                    Ok(ticket) => conn.pending.push_back(Pending::Job(payload, Some(ticket))),
+                    Err(overloaded) => conn
+                        .pending
+                        .push_back(Pending::Reply(Response::Error(overloaded).to_bytes())),
+                }
+            }
+        }
+    }
+    conn.read_buf.drain(..pos);
+    true
+}
+
+/// Dispatch the connection's next pending item(s), flush writes,
+/// refresh epoll interest.
+fn service_conn(epfd: i32, token: u64, conn: &mut Conn, queue: &JobQueue, draining: bool) {
+    while !conn.in_flight {
+        match conn.pending.pop_front() {
+            Some(Pending::Job(payload, ticket)) => {
+                conn.in_flight = true;
+                queue.push(Job {
+                    conn: token,
+                    payload,
+                    ticket,
+                });
+            }
+            Some(Pending::Reply(bytes)) => conn.queue_frame(&bytes),
+            None => break,
+        }
+    }
+    while conn.write_pending() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => break,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Peer is gone; drop what we couldn't deliver.
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                conn.peer_closed = true;
+                break;
+            }
+        }
+    }
+    if !conn.write_pending() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+    let mut interest = 0;
+    if !draining && !conn.peer_closed && !conn.kill_after_flush {
+        interest |= sys::EPOLLIN | sys::EPOLLRDHUP;
+    }
+    if conn.write_pending() {
+        interest |= sys::EPOLLOUT;
+    }
+    if interest != conn.interest {
+        conn.interest = interest;
+        let _ = sys::epoll_ctl(
+            epfd,
+            sys::EPOLL_CTL_MOD,
+            conn.stream.as_raw_fd(),
+            Some(&sys::EpollEvent {
+                events: interest,
+                data: token,
+            }),
+        );
+    }
+}
+
+/// Close the connection if it has nothing left to do and its peer is
+/// gone (or the server is draining / the stream is poisoned).
+fn maybe_close(epfd: i32, conns: &mut HashMap<u64, Conn>, token: u64, draining: bool) {
+    let Some(conn) = conns.get(&token) else {
+        return;
+    };
+    let done_for_good = conn.peer_closed || conn.kill_after_flush || draining;
+    if done_for_good && conn.quiescent() {
+        close_conn(epfd, conns, token);
+    }
+}
+
+fn close_conn(epfd: i32, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), None);
+        // `conn.stream` drops here, closing the socket. Pending
+        // tickets drop with it, releasing their admission slots.
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-tenant namespaces: a [`TenantRegistry`] routes
+//! [`Request::WithTenant`] envelopes to isolated per-tenant backends.
+//!
+//! Isolation is the point, and it is total by construction: each
+//! tenant gets its **own** [`LocalBackend`] — own
+//! [`EncryptedStore`](eqjoin_db::EncryptedStore) (so decrypt-cache
+//! entries can never be shared across tenants: a cache hit proves the
+//! same tenant decrypted that row before), own snapshot file under
+//! `<data-dir>/tenants/<name>/store.snap`, and own server-side
+//! transport/execution counters. Leakage accounting stays per-tenant
+//! on the *client* side too — each tenant's sessions carry their own
+//! ledger — so one tenant's query pattern never influences another's
+//! leakage report.
+//!
+//! Tenantless requests go to a default backend whose snapshot lives at
+//! `<data-dir>/store.snap`, exactly where the single-tenant server
+//! kept it — a warm restart predating tenants keeps working.
+//!
+//! The registry is itself a [`ServerApi`], so BOTH connection layers
+//! (thread-per-connection and epoll) get multi-tenancy for free.
+
+use eqjoin_db::TransportStats;
+use eqjoin_db::{valid_tenant_name, DbError, LocalBackend, Request, Response, ServerApi};
+use eqjoin_pairing::Engine;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// Routes requests to per-tenant [`LocalBackend`]s, creating them on
+/// first use (or only for an allow-listed set of names).
+pub struct TenantRegistry<E: Engine> {
+    default: LocalBackend<E>,
+    tenants: RwLock<HashMap<String, Arc<LocalBackend<E>>>>,
+    /// `Some` restricts tenants to this set; `None` creates on demand.
+    allowed: Option<Vec<String>>,
+    data_dir: Option<PathBuf>,
+    threads: Option<usize>,
+    cache_cap: Option<usize>,
+}
+
+impl<E: Engine> TenantRegistry<E> {
+    /// In-memory registry (no persistence). `allowed` restricts the
+    /// tenant namespace; `None` admits any well-formed name.
+    pub fn new(
+        threads: Option<usize>,
+        cache_cap: Option<usize>,
+        allowed: Option<Vec<String>>,
+    ) -> Self {
+        TenantRegistry {
+            default: LocalBackend::with_config(threads, cache_cap),
+            tenants: RwLock::new(HashMap::new()),
+            allowed,
+            data_dir: None,
+            threads,
+            cache_cap,
+        }
+    }
+
+    /// Persistent registry: the default namespace snapshots to
+    /// `data_dir/store.snap` (the pre-tenant layout, so old data dirs
+    /// restart warm), tenant `t` to `data_dir/tenants/t/store.snap`.
+    /// Existing snapshots are loaded eagerly for the default namespace
+    /// and lazily (on first request) for tenants.
+    pub fn with_persistence(
+        data_dir: PathBuf,
+        threads: Option<usize>,
+        cache_cap: Option<usize>,
+        allowed: Option<Vec<String>>,
+    ) -> Result<Self, DbError> {
+        std::fs::create_dir_all(&data_dir)
+            .map_err(|e| DbError::Snapshot(format!("create {}: {e}", data_dir.display())))?;
+        let default =
+            LocalBackend::with_persistence(data_dir.join("store.snap"), threads, cache_cap)?;
+        Ok(TenantRegistry {
+            default,
+            tenants: RwLock::new(HashMap::new()),
+            allowed,
+            data_dir: Some(data_dir),
+            threads,
+            cache_cap,
+        })
+    }
+
+    /// The backend serving `tenant`, created on first use.
+    fn tenant_backend(&self, tenant: &str) -> Result<Arc<LocalBackend<E>>, DbError> {
+        if let Some(backend) = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+        {
+            return Ok(Arc::clone(backend));
+        }
+        // The wire codec already validated the name, but local callers
+        // can reach this too — and the name becomes a directory.
+        if !valid_tenant_name(tenant) {
+            return Err(DbError::Protocol(format!("invalid tenant name {tenant:?}")));
+        }
+        if let Some(allowed) = &self.allowed {
+            if !allowed.iter().any(|a| a == tenant) {
+                return Err(DbError::Protocol(format!(
+                    "unknown tenant {tenant:?} (server allows: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        let mut tenants = self.tenants.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(backend) = tenants.get(tenant) {
+            return Ok(Arc::clone(backend));
+        }
+        let backend = match &self.data_dir {
+            Some(dir) => {
+                let tenant_dir = dir.join("tenants").join(tenant);
+                std::fs::create_dir_all(&tenant_dir).map_err(|e| {
+                    DbError::Snapshot(format!("create {}: {e}", tenant_dir.display()))
+                })?;
+                LocalBackend::with_persistence(
+                    tenant_dir.join("store.snap"),
+                    self.threads,
+                    self.cache_cap,
+                )?
+            }
+            None => LocalBackend::with_config(self.threads, self.cache_cap),
+        };
+        let backend = Arc::new(backend);
+        tenants.insert(tenant.to_owned(), Arc::clone(&backend));
+        Ok(backend)
+    }
+
+    /// Tenants that have been materialized, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// One tenant's server-side transport counters (`None` for the
+    /// default namespace; `Some(name)` must be materialized).
+    pub fn tenant_stats(&self, tenant: Option<&str>) -> Option<TransportStats> {
+        match tenant {
+            None => Some(ServerApi::<E>::transport_stats(&self.default)),
+            Some(name) => self
+                .tenants
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(name)
+                .map(|b| ServerApi::<E>::transport_stats(b.as_ref())),
+        }
+    }
+
+    /// Flush every namespace's snapshot (the drain path). The first
+    /// failure wins; the rest still get their flush attempt.
+    pub fn flush_all(&self) -> Result<(), DbError> {
+        let mut first_err = self.default.flush().err();
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        for backend in tenants.values() {
+            if let Err(e) = backend.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<E: Engine> ServerApi<E> for TenantRegistry<E> {
+    fn handle(&self, request: Request<E>) -> Response {
+        match request {
+            Request::WithTenant { tenant, inner } => match self.tenant_backend(&tenant) {
+                Ok(backend) => backend.handle(*inner),
+                Err(e) => Response::Error(e),
+            },
+            // Drain flushes EVERY namespace, not just the default one.
+            Request::Drain => match self.flush_all() {
+                Ok(()) => Response::Pong,
+                Err(e) => Response::Error(e),
+            },
+            other => self.default.handle(other),
+        }
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        // Aggregate view: the default namespace plus every tenant.
+        let mut total = ServerApi::<E>::transport_stats(&self.default);
+        let tenants = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        for backend in tenants.values() {
+            let s = ServerApi::<E>::transport_stats(backend.as_ref());
+            total.round_trips += s.round_trips;
+            total.requests += s.requests;
+            total.batches += s.batches;
+            total.bytes_sent += s.bytes_sent;
+            total.bytes_received += s.bytes_received;
+            total.reconnects += s.reconnects;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqjoin_pairing::MockEngine;
+
+    fn ping() -> Request<MockEngine> {
+        Request::Ping
+    }
+
+    #[test]
+    fn tenants_materialize_on_demand_and_are_isolated() {
+        let registry = TenantRegistry::<MockEngine>::new(None, None, None);
+        assert!(registry.tenant_names().is_empty());
+        let r = registry.handle(Request::WithTenant {
+            tenant: "acme".into(),
+            inner: Box::new(ping()),
+        });
+        assert!(matches!(r, Response::Pong));
+        assert_eq!(registry.tenant_names(), vec!["acme".to_owned()]);
+        // Per-tenant stats are separate: acme served one request, the
+        // default namespace none.
+        assert_eq!(registry.tenant_stats(Some("acme")).unwrap().round_trips, 1);
+        assert_eq!(registry.tenant_stats(None).unwrap().round_trips, 0);
+        assert!(registry.tenant_stats(Some("ghost")).is_none());
+    }
+
+    #[test]
+    fn allow_list_rejects_unknown_tenants() {
+        let registry =
+            TenantRegistry::<MockEngine>::new(None, None, Some(vec!["a".into(), "b".into()]));
+        let ok = registry.handle(Request::WithTenant {
+            tenant: "a".into(),
+            inner: Box::new(ping()),
+        });
+        assert!(matches!(ok, Response::Pong));
+        let rejected = registry.handle(Request::WithTenant {
+            tenant: "mallory".into(),
+            inner: Box::new(ping()),
+        });
+        match rejected {
+            Response::Error(DbError::Protocol(msg)) => assert!(msg.contains("unknown tenant")),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        assert_eq!(registry.tenant_names(), vec!["a".to_owned()]);
+    }
+
+    #[test]
+    fn drain_acknowledges_and_default_namespace_serves_plain_requests() {
+        let registry = TenantRegistry::<MockEngine>::new(None, None, None);
+        assert!(matches!(registry.handle(ping()), Response::Pong));
+        assert!(matches!(registry.handle(Request::Drain), Response::Pong));
+        assert_eq!(registry.tenant_stats(None).unwrap().round_trips, 1);
+    }
+
+    #[test]
+    fn persistent_registry_keeps_tenant_snapshots_apart() {
+        let dir =
+            std::env::temp_dir().join(format!("eqjoind-net-tenant-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let registry =
+                TenantRegistry::<MockEngine>::with_persistence(dir.clone(), None, None, None)
+                    .unwrap();
+            for tenant in ["alpha", "beta"] {
+                let r = registry.handle(Request::WithTenant {
+                    tenant: tenant.into(),
+                    inner: Box::new(ping()),
+                });
+                assert!(matches!(r, Response::Pong));
+            }
+            registry.flush_all().unwrap();
+            // Ping dirties nothing, so no snapshot files yet — but the
+            // per-tenant directories exist and are distinct.
+            assert!(dir.join("tenants/alpha").is_dir());
+            assert!(dir.join("tenants/beta").is_dir());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

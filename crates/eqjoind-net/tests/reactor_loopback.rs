@@ -1,0 +1,320 @@
+//! End-to-end reactor tests: a real [`NetServer`] on an ephemeral
+//! port, real TCP clients — sessions for the query-series paths, raw
+//! frames for the admission-control paths (which need pipelined
+//! requests no well-behaved client sends).
+
+use eqjoin_db::data::Schema;
+use eqjoin_db::{
+    DbError, RemoteBackend, Request, Response, ServerApi, Session, SessionConfig, Table,
+    TableConfig, Value,
+};
+use eqjoin_pairing::MockEngine;
+use eqjoind_net::{NetConfig, NetServer, TenantRegistry};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A session with the SQL front-end installed (what `eqjoin::session*`
+/// does in the facade crate).
+fn with_sql(session: Session<MockEngine>) -> Session<MockEngine> {
+    session.with_planner(Box::new(eqjoin_sql::SqlFrontend))
+}
+
+type Served = (
+    SocketAddr,
+    Arc<TenantRegistry<MockEngine>>,
+    JoinHandle<Result<(), DbError>>,
+);
+
+/// An epoll server over a fresh in-memory tenant registry, reactor on
+/// its own thread. Drain it (`drain`) before joining the handle.
+fn spawn_epoll(config: NetConfig) -> Served {
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let registry = Arc::new(TenantRegistry::<MockEngine>::new(None, None, None));
+    let backend = Arc::clone(&registry) as Arc<dyn ServerApi<MockEngine>>;
+    let thread = std::thread::spawn(move || server.serve(backend, config));
+    (addr, registry, thread)
+}
+
+/// Ask the server to drain and wait for the reactor to exit.
+fn drain(addr: SocketAddr, thread: JoinHandle<Result<(), DbError>>) {
+    let client = RemoteBackend::connect(addr).unwrap();
+    match ServerApi::<MockEngine>::handle(&client, Request::Drain) {
+        Response::Pong => {}
+        other => panic!("expected drain ack, got {other:?}"),
+    }
+    thread.join().unwrap().unwrap();
+}
+
+/// Two joinable tables: `L(k, name)` and `R(fk, val)` with a few
+/// matches.
+fn tables() -> (Table, Table) {
+    let mut l = Table::new(Schema::new("L", &["k", "name"]));
+    let mut r = Table::new(Schema::new("R", &["fk", "val"]));
+    for i in 0..6i64 {
+        l.push_row(vec![Value::Int(i % 3), format!("n{i}").into()]);
+        r.push_row(vec![Value::Int(i % 3), format!("v{i}").into()]);
+    }
+    (l, r)
+}
+
+fn populate(session: &mut Session<MockEngine>) {
+    let (l, r) = tables();
+    session
+        .create_table(
+            &l,
+            TableConfig {
+                join_column: "k".into(),
+                filter_columns: vec!["name".into()],
+            },
+        )
+        .unwrap();
+    session
+        .create_table(
+            &r,
+            TableConfig {
+                join_column: "fk".into(),
+                filter_columns: vec!["val".into()],
+            },
+        )
+        .unwrap();
+}
+
+const QUERY: &str = "SELECT * FROM R JOIN L ON fk = k WHERE name = 'n1'";
+
+#[test]
+fn session_series_over_epoll_matches_local() {
+    let (addr, _registry, thread) = spawn_epoll(NetConfig::default());
+    let config = SessionConfig::new(1, 2).seed(99);
+    let mut local = with_sql(Session::<MockEngine>::local(config));
+    let mut remote = with_sql(Session::<MockEngine>::remote(config, addr).unwrap());
+    populate(&mut local);
+    populate(&mut remote);
+    for _ in 0..2 {
+        let l = local.execute(QUERY).unwrap();
+        let r = remote.execute(QUERY).unwrap();
+        assert_eq!(l.rows, r.rows, "rows must match across the reactor");
+        assert_eq!(l.pairs, r.pairs);
+        assert_eq!(l.cache_hit, r.cache_hit);
+    }
+    assert_eq!(local.leakage_report(), remote.leakage_report());
+    drop(remote);
+    drain(addr, thread);
+}
+
+#[test]
+fn tenants_are_isolated_and_match_single_tenant_runs() {
+    let (addr, registry, thread) = spawn_epoll(NetConfig::default());
+    let config = SessionConfig::new(1, 2).seed(4242);
+
+    // Reference: a single-tenant local run of the same series.
+    let mut reference = with_sql(Session::<MockEngine>::local(config));
+    populate(&mut reference);
+    let expected_first = reference.execute(QUERY).unwrap();
+    let expected_repeat = reference.execute(QUERY).unwrap();
+
+    let mut alpha = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+        .with_tenant("alpha")
+        .unwrap();
+    let mut beta = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+        .with_tenant("beta")
+        .unwrap();
+    populate(&mut alpha);
+    populate(&mut beta);
+
+    // Alpha runs the query twice: the repeat is warm (its own decrypt
+    // cache).
+    let a1 = alpha.execute(QUERY).unwrap();
+    let a2 = alpha.execute(QUERY).unwrap();
+    assert_eq!(
+        a1.rows, expected_first.rows,
+        "byte-identical to single-tenant"
+    );
+    assert_eq!(a2.rows, expected_repeat.rows);
+
+    // Beta's FIRST run of the very same query (same seed → identical
+    // ciphertexts) must be COLD: a decrypt-cache hit here would mean
+    // tenants share a store — cross-tenant leakage.
+    let before = beta.stats().decrypt_cache_hits;
+    let b1 = beta.execute(QUERY).unwrap();
+    assert_eq!(b1.rows, expected_first.rows);
+    assert_eq!(
+        beta.stats().decrypt_cache_hits,
+        before,
+        "zero cross-tenant decrypt-cache hits"
+    );
+
+    // Leakage ledgers are per-tenant sessions and identical series →
+    // identical reports, each matching the single-tenant reference.
+    assert_eq!(alpha.leakage_report(), reference.leakage_report());
+
+    // Server-side: both tenants materialized, counters isolated, and
+    // the default namespace saw none of it.
+    assert_eq!(
+        registry.tenant_names(),
+        vec!["alpha".to_owned(), "beta".to_owned()]
+    );
+    let alpha_trips = registry.tenant_stats(Some("alpha")).unwrap().round_trips;
+    let beta_trips = registry.tenant_stats(Some("beta")).unwrap().round_trips;
+    assert!(alpha_trips > beta_trips, "alpha ran one more query");
+    assert_eq!(registry.tenant_stats(None).unwrap().round_trips, 0);
+
+    drop((alpha, beta));
+    drain(addr, thread);
+}
+
+#[test]
+fn cross_tenant_tables_are_invisible() {
+    let (addr, _registry, thread) = spawn_epoll(NetConfig::default());
+    let config = SessionConfig::new(1, 2).seed(7);
+    let mut alpha = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+        .with_tenant("alpha")
+        .unwrap();
+    populate(&mut alpha);
+    // A different tenant asking for alpha's tables: the store simply
+    // does not contain them.
+    let mut intruder = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+        .with_tenant("intruder")
+        .unwrap();
+    // Registering the catalog client-side works (it is local state);
+    // the server-side execute must fail with an unknown table.
+    populate(&mut intruder);
+    // Fresh session, same tenant name as nobody: querying without
+    // uploading hits an empty per-tenant store.
+    let mut ghost = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+        .with_tenant("ghost")
+        .unwrap();
+    let (l, _) = tables();
+    let err = ghost
+        .create_table(
+            &l,
+            TableConfig {
+                join_column: "k".into(),
+                filter_columns: vec!["name".into()],
+            },
+        )
+        .map(drop)
+        .err();
+    assert!(err.is_none(), "ghost's own namespace is empty and writable");
+    drop((alpha, intruder, ghost));
+    drain(addr, thread);
+}
+
+/// Serialize a request for the raw-frame tests.
+fn frame(request: &Request<MockEngine>) -> Vec<u8> {
+    let payload = request.to_bytes();
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = eqjoin_db::backend::read_frame(stream).unwrap().unwrap();
+    Response::from_bytes(&payload).unwrap()
+}
+
+#[test]
+fn overload_rejects_in_order_without_dropping_admitted_responses() {
+    // Global queue depth of ONE: a burst of 5 pipelined pings in a
+    // single TCP segment admits exactly the first and rejects the
+    // other four — and all five responses come back, in order.
+    let (addr, _registry, thread) = spawn_epoll(NetConfig {
+        workers: 2,
+        max_inflight: 0,
+        queue_depth: 1,
+        handle_sigterm: false,
+    });
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..5 {
+        burst.extend_from_slice(&frame(&Request::Ping));
+    }
+    stream.write_all(&burst).unwrap();
+
+    match read_response(&mut stream) {
+        Response::Pong => {}
+        other => panic!("the admitted request must still be answered, got {other:?}"),
+    }
+    for i in 1..5 {
+        match read_response(&mut stream) {
+            Response::Error(DbError::Overloaded {
+                tenant: None,
+                cap: 1,
+                ..
+            }) => {}
+            other => panic!("burst request {i}: expected global overload, got {other:?}"),
+        }
+    }
+    // The connection survives overload: once the burst settles, a new
+    // request is admitted again.
+    stream.write_all(&frame(&Request::Ping)).unwrap();
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+    drop(stream);
+    drain(addr, thread);
+}
+
+#[test]
+fn per_tenant_admission_does_not_starve_other_tenants() {
+    // Per-tenant cap of ONE, no global cap: a burst holding three
+    // frames for tenant `a` and one for tenant `b` admits a's first,
+    // rejects a's other two NAMING the tenant, and still admits b's.
+    let (addr, _registry, thread) = spawn_epoll(NetConfig {
+        workers: 2,
+        max_inflight: 1,
+        queue_depth: 0,
+        handle_sigterm: false,
+    });
+    let for_tenant = |tenant: &str| Request::WithTenant {
+        tenant: tenant.into(),
+        inner: Box::new(Request::<MockEngine>::Ping),
+    };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut burst = Vec::new();
+    for request in [
+        for_tenant("a"),
+        for_tenant("a"),
+        for_tenant("a"),
+        for_tenant("b"),
+    ] {
+        burst.extend_from_slice(&frame(&request));
+    }
+    stream.write_all(&burst).unwrap();
+
+    assert!(matches!(read_response(&mut stream), Response::Pong));
+    for i in 0..2 {
+        match read_response(&mut stream) {
+            Response::Error(DbError::Overloaded {
+                tenant: Some(t),
+                in_flight: 1,
+                cap: 1,
+            }) => assert_eq!(t, "a", "rejection {i} names the saturated tenant"),
+            other => panic!("expected tenant-a overload, got {other:?}"),
+        }
+    }
+    assert!(
+        matches!(read_response(&mut stream), Response::Pong),
+        "tenant b must not starve behind a's saturation"
+    );
+    drop(stream);
+    drain(addr, thread);
+}
+
+#[test]
+fn drain_finishes_inflight_work_before_exiting() {
+    let (addr, _registry, thread) = spawn_epoll(NetConfig::default());
+    // One connection uploads state and queries; a second one drains.
+    let config = SessionConfig::new(1, 2).seed(1);
+    let mut session = with_sql(Session::<MockEngine>::remote(config, addr).unwrap());
+    populate(&mut session);
+    let result = session.execute(QUERY).unwrap();
+    assert!(!result.rows.is_empty());
+    drop(session);
+    drain(addr, thread);
+    // After the drain the listener is gone.
+    assert!(TcpStream::connect(addr).is_err());
+}

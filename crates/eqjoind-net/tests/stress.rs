@@ -1,0 +1,162 @@
+//! Differential stress gate across the two connection layers: the
+//! SAME N-thread × M-session multi-tenant workload runs against the
+//! thread-per-connection baseline and the epoll reactor, and must
+//! produce byte-identical result sets, identical leakage reports, and
+//! zero cross-tenant decrypt-cache hits on both.
+
+use eqjoin_db::data::Schema;
+use eqjoin_db::{
+    DbError, EqjoinServer, RemoteBackend, Request, Response, ServerApi, Session, SessionConfig,
+    Table, TableConfig, Value,
+};
+use eqjoin_pairing::MockEngine;
+use eqjoind_net::{NetConfig, NetServer, TenantRegistry};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const SESSIONS: usize = 2;
+const QUERY: &str = "SELECT * FROM R JOIN L ON fk = k WHERE name = 'n1'";
+
+fn with_sql(session: Session<MockEngine>) -> Session<MockEngine> {
+    session.with_planner(Box::new(eqjoin_sql::SqlFrontend))
+}
+
+fn populate(session: &mut Session<MockEngine>) {
+    let mut l = Table::new(Schema::new("L", &["k", "name"]));
+    let mut r = Table::new(Schema::new("R", &["fk", "val"]));
+    for i in 0..6i64 {
+        l.push_row(vec![Value::Int(i % 3), format!("n{i}").into()]);
+        r.push_row(vec![Value::Int(i % 3), format!("v{i}").into()]);
+    }
+    session
+        .create_table(
+            &l,
+            TableConfig {
+                join_column: "k".into(),
+                filter_columns: vec!["name".into()],
+            },
+        )
+        .unwrap();
+    session
+        .create_table(
+            &r,
+            TableConfig {
+                join_column: "fk".into(),
+                filter_columns: vec!["val".into()],
+            },
+        )
+        .unwrap();
+}
+
+/// One session's observable outcome, rendered for comparison across
+/// connection layers.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    tenant: String,
+    rows_first: String,
+    rows_repeat: String,
+    leakage: String,
+}
+
+/// N concurrent threads × M sequential sessions each, every session in
+/// its own tenant namespace. All tenants run the SAME series from the
+/// SAME seed (identical ciphertexts server-side), so any shared state
+/// between namespaces would surface as a warm first run.
+fn workload(addr: SocketAddr) -> Vec<Outcome> {
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        handles.push(std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for s in 0..SESSIONS {
+                let tenant = format!("t{t}s{s}");
+                let config = SessionConfig::new(1, 2).seed(0x5eed);
+                let mut session = with_sql(Session::<MockEngine>::remote(config, addr).unwrap())
+                    .with_tenant(&tenant)
+                    .unwrap();
+                populate(&mut session);
+                let first = session.execute(QUERY).unwrap();
+                assert_eq!(
+                    session.stats().decrypt_cache_hits,
+                    0,
+                    "{tenant}: first run must be COLD — a server decrypt-cache hit \
+                     here means another tenant's identical ciphertexts primed this \
+                     namespace"
+                );
+                let repeat = session.execute(QUERY).unwrap();
+                assert!(
+                    session.stats().decrypt_cache_hits > 0,
+                    "{tenant}: repeat run warms in-namespace"
+                );
+                assert!(!first.cache_hit && repeat.cache_hit);
+                assert_eq!(first.rows, repeat.rows);
+                outcomes.push(Outcome {
+                    tenant,
+                    rows_first: format!("{:?}", first.rows),
+                    rows_repeat: format!("{:?}", repeat.rows),
+                    leakage: format!("{:?}", session.leakage_report()),
+                });
+            }
+            outcomes
+        }));
+    }
+    let mut outcomes: Vec<Outcome> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("workload thread"))
+        .collect();
+    outcomes.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    outcomes
+}
+
+#[test]
+fn threaded_and_epoll_layers_agree_under_concurrent_multi_tenant_load() {
+    // Thread-per-connection baseline over a tenant registry.
+    let threaded_registry = Arc::new(TenantRegistry::<MockEngine>::new(None, None, None));
+    let (threaded_addr, threaded_handle) = EqjoinServer::bind("127.0.0.1:0")
+        .unwrap()
+        .spawn(Arc::clone(&threaded_registry) as Arc<dyn ServerApi<MockEngine>>)
+        .unwrap();
+
+    // Epoll reactor over an identically configured registry.
+    let epoll_registry = Arc::new(TenantRegistry::<MockEngine>::new(None, None, None));
+    let epoll_server = NetServer::bind("127.0.0.1:0").unwrap();
+    let epoll_addr = epoll_server.local_addr().unwrap();
+    let epoll_backend = Arc::clone(&epoll_registry) as Arc<dyn ServerApi<MockEngine>>;
+    let epoll_thread =
+        std::thread::spawn(move || epoll_server.serve(epoll_backend, NetConfig::default()));
+
+    let threaded = workload(threaded_addr);
+    let epoll = workload(epoll_addr);
+
+    assert_eq!(threaded.len(), THREADS * SESSIONS);
+    assert_eq!(
+        threaded, epoll,
+        "the two connection layers must be observationally identical: \
+         same rows, same leakage, per tenant"
+    );
+    // Both layers materialized the same namespaces, server-side too.
+    assert_eq!(
+        threaded_registry.tenant_names(),
+        epoll_registry.tenant_names()
+    );
+    for tenant in threaded_registry.tenant_names() {
+        let t = threaded_registry.tenant_stats(Some(&tenant)).unwrap();
+        let e = epoll_registry.tenant_stats(Some(&tenant)).unwrap();
+        assert_eq!(
+            t.round_trips, e.round_trips,
+            "{tenant}: same per-tenant request count on both layers"
+        );
+    }
+
+    threaded_handle.stop().unwrap();
+    let drainer = RemoteBackend::connect(epoll_addr).unwrap();
+    match ServerApi::<MockEngine>::handle(&drainer, Request::Drain) {
+        Response::Pong => {}
+        other => panic!("expected drain ack, got {other:?}"),
+    }
+    drop(drainer);
+    match epoll_thread.join().unwrap() {
+        Ok(()) | Err(DbError::Transport(_)) => {}
+        Err(e) => panic!("reactor exited with {e}"),
+    }
+}

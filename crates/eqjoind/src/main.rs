@@ -1,58 +1,91 @@
 //! `eqjoind` — the standalone encrypted equi-join server.
 //!
 //! Serves the `eqjoin` wire protocol (length-framed request/response
-//! messages) over TCP: one thread per client connection, all
-//! connections sharing one backend. Clients connect with
-//! `eqjoin::session_remote` (or `RemoteBackend` directly) and upload
-//! encrypted tables, then run join series — the server only ever sees
-//! ciphertexts, tokens, and the equality pattern the paper proves is
-//! the unavoidable leakage.
+//! messages) over TCP. Clients connect with `eqjoin::session_remote`
+//! (or `RemoteBackend` directly) and upload encrypted tables, then run
+//! join series — the server only ever sees ciphertexts, tokens, and
+//! the equality pattern the paper proves is the unavoidable leakage.
+//!
+//! Two connection layers (`--net`):
+//!
+//! * `threads` (default) — one thread per client connection; the
+//!   simple baseline.
+//! * `epoll` — an event-driven reactor plus a fixed worker pool
+//!   (`eqjoind-net`): non-blocking I/O for every socket, per-tenant
+//!   admission control with typed overload errors, and graceful drain
+//!   on SIGTERM (stop accepting, finish in-flight requests, flush
+//!   snapshots, exit 0).
 //!
 //! ```sh
 //! eqjoind                                  # BLS12-381 on 127.0.0.1:4747
 //! eqjoind --listen 0.0.0.0:4747 --shards 4 # sharded execution pool
 //! eqjoind --engine mock                    # mock engine (tests/benches)
 //! eqjoind --data-dir /var/lib/eqjoin       # persistent: restart warm
+//! eqjoind --net epoll --workers 8          # event-driven reactor
+//! eqjoind --net epoll --tenants a,b        # allow-listed tenants
 //! ```
 //!
 //! With `--data-dir`, the server snapshots its full store — encrypted
 //! tables, their prepared pairing state, and the decrypt cache — after
 //! every state change, and loads the snapshot back on startup: a query
 //! series that outlives the process resumes with zero fresh Miller
-//! loops for repeated joins.
+//! loops for repeated joins. Tenant namespaces snapshot separately
+//! under `DIR/tenants/<name>/`.
 //!
 //! The engine must match the clients' — the wire codec validates group
 //! elements under the engine it is given, so a mock client cannot talk
 //! to a BLS server (and a snapshot written under one engine is rejected
 //! by the other).
 
-use eqjoin_db::{EqjoinServer, LocalBackend, ServerApi, ShardedBackend};
+use eqjoin_db::{EqjoinServer, ServerApi, ShardedBackend};
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
+use eqjoind_net::{NetConfig, NetServer, TenantRegistry};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 struct Options {
     listen: String,
     engine: String,
+    net: String,
     shards: usize,
     threads: usize,
+    workers: usize,
+    max_inflight: usize,
+    queue_depth: usize,
+    tenants: Option<Vec<String>>,
     data_dir: Option<String>,
     decrypt_cache_cap: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--shards N] [--threads T]\n\
-         \x20              [--data-dir DIR] [--decrypt-cache-cap N]\n\
+        "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--net threads|epoll]\n\
+         \x20              [--shards N] [--threads T] [--workers W] [--max-inflight N]\n\
+         \x20              [--queue-depth N] [--tenants A,B,..] [--data-dir DIR]\n\
+         \x20              [--decrypt-cache-cap N]\n\
          \n\
          --listen ADDR           bind address (default 127.0.0.1:4747; port 0 picks one)\n\
          --engine NAME           pairing engine, must match clients (default bls)\n\
-         --shards N              execute joins over N internal shards (default 1)\n\
+         --net LAYER             connection layer: 'threads' (one thread per client,\n\
+         \x20                       the baseline) or 'epoll' (event-driven reactor +\n\
+         \x20                       worker pool, admission control, SIGTERM drain)\n\
+         --shards N              execute joins over N internal shards (default 1;\n\
+         \x20                       threads layer only)\n\
          --threads T             decrypt workers per shard when a request asks for\n\
          \x20                       auto threads (default: one per available core)\n\
+         --workers W             epoll layer: request-executing worker threads\n\
+         \x20                       (default: one per available core)\n\
+         --max-inflight N        epoll layer: per-tenant cap on admitted requests\n\
+         \x20                       (0 = unlimited; default 64); beyond it requests\n\
+         \x20                       are refused with a typed 'overloaded' error\n\
+         --queue-depth N         epoll layer: global cap on admitted requests\n\
+         \x20                       (0 = unlimited; default 256)\n\
+         --tenants A,B,..        allow-list of tenant namespaces (default: any\n\
+         \x20                       well-formed tenant name materializes on first use)\n\
          --data-dir DIR          persist the store (tables + prepared pairing state +\n\
-         \x20                       decrypt cache) under DIR and restart warm from it\n\
-         --decrypt-cache-cap N   decrypt-cache entries kept per shard (default 64,\n\
+         \x20                       decrypt cache) under DIR and restart warm from it;\n\
+         \x20                       tenants snapshot under DIR/tenants/<name>/\n\
+         --decrypt-cache-cap N   decrypt-cache entries kept per store (default 64,\n\
          \x20                       LRU eviction; requests may pin their own cap)"
     );
     std::process::exit(2)
@@ -62,8 +95,13 @@ fn parse_options() -> Options {
     let mut options = Options {
         listen: "127.0.0.1:4747".to_owned(),
         engine: "bls".to_owned(),
+        net: "threads".to_owned(),
         shards: 1,
         threads: 0,
+        workers: 0,
+        max_inflight: 64,
+        queue_depth: 256,
+        tenants: None,
         data_dir: None,
         decrypt_cache_cap: None,
     };
@@ -73,6 +111,7 @@ fn parse_options() -> Options {
         match flag.as_str() {
             "--listen" => options.listen = value("--listen"),
             "--engine" => options.engine = value("--engine"),
+            "--net" => options.net = value("--net"),
             "--shards" => {
                 options.shards = value("--shards")
                     .parse()
@@ -82,6 +121,30 @@ fn parse_options() -> Options {
                 options.threads = value("--threads")
                     .parse()
                     .unwrap_or_else(|_| usage_for("--threads"))
+            }
+            "--workers" => {
+                options.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--workers"))
+            }
+            "--max-inflight" => {
+                options.max_inflight = value("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--max-inflight"))
+            }
+            "--queue-depth" => {
+                options.queue_depth = value("--queue-depth")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--queue-depth"))
+            }
+            "--tenants" => {
+                options.tenants = Some(
+                    value("--tenants")
+                        .split(',')
+                        .filter(|t| !t.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
+                )
             }
             "--data-dir" => options.data_dir = Some(value("--data-dir")),
             "--decrypt-cache-cap" => {
@@ -103,16 +166,102 @@ fn usage_for(flag: &str) -> ! {
     usage()
 }
 
-fn run<E: Engine>(options: &Options) -> ExitCode {
+/// The multi-tenant backend both connection layers serve: per-tenant
+/// isolated stores (persistent under `data_dir/tenants/<name>/` when
+/// `--data-dir` is set), tenantless requests in the default namespace
+/// at the pre-tenant snapshot path.
+fn tenant_registry<E: Engine>(options: &Options) -> Result<TenantRegistry<E>, eqjoin_db::DbError> {
     let threads = (options.threads > 0).then_some(options.threads);
-    let backend: Arc<dyn ServerApi<E>> = match &options.data_dir {
-        Some(dir) => {
-            let dir = std::path::Path::new(dir);
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("eqjoind: create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-            let built = if options.shards > 1 {
+    match &options.data_dir {
+        Some(dir) => TenantRegistry::with_persistence(
+            std::path::PathBuf::from(dir),
+            threads,
+            options.decrypt_cache_cap,
+            options.tenants.clone(),
+        ),
+        None => Ok(TenantRegistry::new(
+            threads,
+            options.decrypt_cache_cap,
+            options.tenants.clone(),
+        )),
+    }
+}
+
+fn banner(addr: std::net::SocketAddr, engine: &str, options: &Options) {
+    eprintln!(
+        "eqjoind: listening on {addr} (engine {engine}, net {}, {} shard{}{}{})",
+        options.net,
+        options.shards,
+        if options.shards == 1 { "" } else { "s" },
+        match &options.data_dir {
+            Some(dir) => format!(", persistent in {dir}"),
+            None => String::new(),
+        },
+        match &options.tenants {
+            Some(tenants) => format!(", tenants {}", tenants.join(",")),
+            None => String::new(),
+        },
+    );
+}
+
+fn run_epoll<E: Engine>(options: &Options) -> ExitCode {
+    if options.shards > 1 {
+        eprintln!("eqjoind: --net epoll does not support --shards (use --workers)");
+        return ExitCode::FAILURE;
+    }
+    let backend = match tenant_registry::<E>(options) {
+        Ok(registry) => Arc::new(registry) as Arc<dyn ServerApi<E>>,
+        Err(e) => {
+            eprintln!("eqjoind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match NetServer::bind(options.listen.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("eqjoind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => banner(addr, E::NAME, options),
+        Err(e) => eprintln!("eqjoind: {e}"),
+    }
+    let config = NetConfig {
+        workers: options.workers,
+        max_inflight: options.max_inflight,
+        queue_depth: options.queue_depth,
+        handle_sigterm: true,
+    };
+    match server.serve(backend, config) {
+        Ok(()) => {
+            eprintln!("eqjoind: drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("eqjoind: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_threads<E: Engine>(options: &Options) -> ExitCode {
+    let threads = (options.threads > 0).then_some(options.threads);
+    // Sharded execution keeps the plain sharded backend (no tenant
+    // routing); the single-store path serves through the tenant
+    // registry, so tenant envelopes work on BOTH connection layers.
+    let backend: Arc<dyn ServerApi<E>> = if options.shards > 1 {
+        if options.tenants.is_some() {
+            eprintln!("eqjoind: --tenants is not supported with --shards > 1");
+            return ExitCode::FAILURE;
+        }
+        let built = match &options.data_dir {
+            Some(dir) => {
+                let dir = std::path::Path::new(dir);
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("eqjoind: create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
                 ShardedBackend::<E>::local_persistent(
                     options.shards,
                     threads,
@@ -120,31 +269,28 @@ fn run<E: Engine>(options: &Options) -> ExitCode {
                     options.decrypt_cache_cap,
                 )
                 .map(|b| Arc::new(b) as Arc<dyn ServerApi<E>>)
-            } else {
-                LocalBackend::<E>::with_persistence(
-                    dir.join("store.snap"),
-                    threads,
-                    options.decrypt_cache_cap,
-                )
-                .map(|b| Arc::new(b) as Arc<dyn ServerApi<E>>)
-            };
-            match built {
-                Ok(backend) => backend,
-                Err(e) => {
-                    eprintln!("eqjoind: {e}");
-                    return ExitCode::FAILURE;
-                }
+            }
+            None => Ok(Arc::new(ShardedBackend::<E>::local_with_config(
+                options.shards,
+                threads,
+                options.decrypt_cache_cap,
+            )) as Arc<dyn ServerApi<E>>),
+        };
+        match built {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("eqjoind: {e}");
+                return ExitCode::FAILURE;
             }
         }
-        None if options.shards > 1 => Arc::new(ShardedBackend::<E>::local_with_config(
-            options.shards,
-            threads,
-            options.decrypt_cache_cap,
-        )),
-        None => Arc::new(LocalBackend::<E>::with_config(
-            threads,
-            options.decrypt_cache_cap,
-        )),
+    } else {
+        match tenant_registry::<E>(options) {
+            Ok(registry) => Arc::new(registry) as Arc<dyn ServerApi<E>>,
+            Err(e) => {
+                eprintln!("eqjoind: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
     let server = match EqjoinServer::bind(options.listen.as_str()) {
         Ok(server) => server,
@@ -154,22 +300,24 @@ fn run<E: Engine>(options: &Options) -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => eprintln!(
-            "eqjoind: listening on {addr} (engine {}, {} shard{}{})",
-            E::NAME,
-            options.shards,
-            if options.shards == 1 { "" } else { "s" },
-            match &options.data_dir {
-                Some(dir) => format!(", persistent in {dir}"),
-                None => String::new(),
-            },
-        ),
+        Ok(addr) => banner(addr, E::NAME, options),
         Err(e) => eprintln!("eqjoind: {e}"),
     }
     match server.serve(backend) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("eqjoind: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run<E: Engine>(options: &Options) -> ExitCode {
+    match options.net.as_str() {
+        "threads" => run_threads::<E>(options),
+        "epoll" => run_epoll::<E>(options),
+        other => {
+            eprintln!("eqjoind: unknown connection layer {other:?} (use 'threads' or 'epoll')");
             ExitCode::FAILURE
         }
     }

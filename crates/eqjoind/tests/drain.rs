@@ -1,0 +1,149 @@
+//! Graceful-drain gate for the epoll connection layer, against a
+//! **real** `eqjoind --net epoll` process:
+//!
+//! * SIGTERM mid-series → the server finishes what it admitted,
+//!   flushes its snapshot, and exits 0; a warm restart on the same
+//!   data dir replays the series with zero fresh `SJ.Dec` and
+//!   byte-identical results.
+//! * A client `Drain` request pipelined behind other work → every
+//!   earlier request is still answered, in order, before the ack and
+//!   the exit.
+
+mod harness;
+
+use eqjoin_db::{
+    DbClient, JoinOptions, JoinQuery, Request, Response, Schema, ServerApi, Table, TableConfig,
+    Value,
+};
+use eqjoin_pairing::MockEngine;
+use harness::{join_response_bytes, scratch_data_dir, Daemon};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const EPOLL: &[&str] = &["--net", "epoll"];
+
+/// Client-side state for a small join series: encrypted tables plus a
+/// closure producing the (cacheable) execute request.
+struct Series {
+    enc_l: eqjoin_db::EncryptedTable<MockEngine>,
+    enc_r: eqjoin_db::EncryptedTable<MockEngine>,
+    tokens: eqjoin_db::QueryTokens<MockEngine>,
+}
+
+fn series() -> Series {
+    let mut client = DbClient::<MockEngine>::new(1, 2, 0xd2a1);
+    let mut left = Table::new(Schema::new("L", &["k", "a"]));
+    let mut right = Table::new(Schema::new("R", &["k", "b"]));
+    for i in 0..12i64 {
+        left.push_row(vec![Value::Int(i % 4), Value::Str(format!("l{i}"))]);
+        right.push_row(vec![Value::Int(i % 3), Value::Str(format!("r{i}"))]);
+    }
+    let cfg = |col: &str| TableConfig {
+        join_column: "k".into(),
+        filter_columns: vec![col.to_owned()],
+    };
+    Series {
+        enc_l: client.encrypt_table(&left, cfg("a")).unwrap(),
+        enc_r: client.encrypt_table(&right, cfg("b")).unwrap(),
+        tokens: client
+            .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+            .unwrap(),
+    }
+}
+
+fn exec(series: &Series) -> Request<MockEngine> {
+    Request::ExecuteJoin {
+        tokens: series.tokens.clone(),
+        options: JoinOptions::default(),
+        projection: Default::default(),
+    }
+}
+
+#[test]
+fn sigterm_drains_flushes_and_restarts_warm() {
+    let data_dir = scratch_data_dir("drain-sigterm");
+    let series = series();
+
+    // ---- first process: upload, warm the cache, SIGTERM ----
+    let daemon = Daemon::spawn_with(&data_dir, EPOLL);
+    let warm_bytes;
+    {
+        let backend = eqjoin_db::RemoteBackend::connect(daemon.addr.as_str()).unwrap();
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        assert!(matches!(
+            api.handle(Request::InsertTable(series.enc_l.clone())),
+            Response::TableInserted { .. }
+        ));
+        assert!(matches!(
+            api.handle(Request::InsertTable(series.enc_r.clone())),
+            Response::TableInserted { .. }
+        ));
+        let (_, rows, hits) = join_response_bytes(&api.handle(exec(&series)));
+        assert_eq!(rows, 24);
+        assert_eq!(hits, 0, "first run is cold");
+        let (bytes, rows, hits) = join_response_bytes(&api.handle(exec(&series)));
+        assert_eq!(hits as usize, rows, "second run is fully warm");
+        warm_bytes = bytes;
+    }
+    let status = daemon.terminate_and_wait(Duration::from_secs(30));
+    assert!(
+        status.success(),
+        "SIGTERM must drain cleanly (exit 0), got {status:?}"
+    );
+
+    // ---- warm restart on the drained data dir ----
+    let daemon = Daemon::spawn_with(&data_dir, EPOLL);
+    {
+        let backend = eqjoin_db::RemoteBackend::connect(daemon.addr.as_str()).unwrap();
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        let (bytes, rows, hits) = join_response_bytes(&api.handle(exec(&series)));
+        assert_eq!(
+            hits as usize, rows,
+            "the drained snapshot must restore the decrypt cache: zero fresh SJ.Dec"
+        );
+        assert_eq!(bytes, warm_bytes, "results byte-identical across the drain");
+    }
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+fn frame(request: &Request<MockEngine>) -> Vec<u8> {
+    let payload = request.to_bytes();
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+#[test]
+fn drain_request_answers_pipelined_work_before_exiting() {
+    let data_dir = scratch_data_dir("drain-request");
+    let daemon = Daemon::spawn_with(&data_dir, EPOLL);
+
+    // One TCP segment carrying three pings and then the drain: the
+    // reactor must answer all three before acking the drain, and only
+    // then exit.
+    let mut stream = TcpStream::connect(daemon.addr.as_str()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..3 {
+        burst.extend_from_slice(&frame(&Request::Ping));
+    }
+    burst.extend_from_slice(&frame(&Request::Drain));
+    stream.write_all(&burst).unwrap();
+
+    for i in 0..4 {
+        let payload = eqjoin_db::backend::read_frame(&mut stream)
+            .unwrap()
+            .unwrap_or_else(|| panic!("connection closed before response {i}"));
+        match Response::from_bytes(&payload).unwrap() {
+            Response::Pong => {}
+            other => panic!("response {i}: expected Pong, got {other:?}"),
+        }
+    }
+    drop(stream);
+    let status = daemon.wait_exit(Duration::from_secs(30));
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

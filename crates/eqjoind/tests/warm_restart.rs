@@ -5,101 +5,17 @@
 //! cache — zero fresh `SJ.Dec` (hence zero fresh Miller loops) — and
 //! return byte-identical results.
 
+mod harness;
+
 use eqjoin_db::{
-    DbClient, JoinOptions, JoinQuery, Request, Response, Schema, ServerApi, Table, TableConfig,
-    Value,
+    DbClient, JoinOptions, JoinQuery, Request, Schema, ServerApi, Table, TableConfig, Value,
 };
 use eqjoin_pairing::MockEngine;
-use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, Stdio};
-
-/// A spawned `eqjoind` that is killed on drop (so a failing assert
-/// cannot leak the process).
-struct Daemon {
-    child: Child,
-    addr: String,
-}
-
-impl Daemon {
-    /// Start `eqjoind --engine mock --listen 127.0.0.1:0 --data-dir
-    /// {dir}` and parse the chosen ephemeral port from its banner.
-    fn spawn(data_dir: &std::path::Path) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_eqjoind"))
-            .args([
-                "--engine",
-                "mock",
-                "--listen",
-                "127.0.0.1:0",
-                "--data-dir",
-                data_dir.to_str().expect("utf-8 temp path"),
-            ])
-            .stderr(Stdio::piped())
-            .spawn()
-            .expect("spawn eqjoind");
-        let stderr = child.stderr.take().expect("piped stderr");
-        let mut lines = BufReader::new(stderr).lines();
-        let banner = loop {
-            match lines.next() {
-                Some(Ok(line)) if line.contains("listening on") => break line,
-                Some(Ok(_)) => continue,
-                other => panic!("eqjoind exited before its banner: {other:?}"),
-            }
-        };
-        // "eqjoind: listening on 127.0.0.1:PORT (engine mock, …)"
-        let addr = banner
-            .split_whitespace()
-            .find(|w| w.starts_with("127.0.0.1:"))
-            .expect("banner carries the bound address")
-            .to_owned();
-        // Drain the rest of stderr on a detached thread so the daemon
-        // never blocks on a full pipe.
-        std::thread::spawn(move || for _ in lines {});
-        Daemon { child, addr }
-    }
-
-    fn kill(mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-impl Drop for Daemon {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-fn join_response_bytes(response: &Response) -> (Vec<u8>, usize, u64) {
-    match response {
-        Response::JoinExecuted { result, .. } => {
-            let mut bytes = Vec::new();
-            for pair in &result.pairs {
-                bytes.extend_from_slice(&(pair.left_row as u64).to_le_bytes());
-                bytes.extend_from_slice(&(pair.right_row as u64).to_le_bytes());
-                for payload in pair.left_payloads.iter().chain(&pair.right_payloads) {
-                    bytes.extend_from_slice(payload);
-                }
-            }
-            (
-                bytes,
-                result.stats.rows_decrypted,
-                result.stats.decrypt_cache_hits,
-            )
-        }
-        other => panic!("expected JoinExecuted, got {other:?}"),
-    }
-}
+use harness::{join_response_bytes, scratch_data_dir, Daemon};
 
 #[test]
 fn killed_and_restarted_eqjoind_resumes_the_series_warm() {
-    let data_dir = std::env::temp_dir().join(format!(
-        "eqjoin-warm-restart-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&data_dir);
-    std::fs::create_dir_all(&data_dir).unwrap();
+    let data_dir = scratch_data_dir("warm-restart");
 
     let mut client = DbClient::<MockEngine>::new(1, 2, 0xa11ce);
     let mut left = Table::new(Schema::new("L", &["k", "a"]));
@@ -131,11 +47,11 @@ fn killed_and_restarted_eqjoind_resumes_the_series_warm() {
         let api: &dyn ServerApi<MockEngine> = &backend;
         assert!(matches!(
             api.handle(Request::InsertTable(enc_l)),
-            Response::TableInserted { .. }
+            eqjoin_db::Response::TableInserted { .. }
         ));
         assert!(matches!(
             api.handle(Request::InsertTable(enc_r)),
-            Response::TableInserted { .. }
+            eqjoin_db::Response::TableInserted { .. }
         ));
         let (_, rows, hits) = join_response_bytes(&api.handle(exec()));
         assert_eq!(rows, 24);

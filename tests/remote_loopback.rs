@@ -4,14 +4,17 @@
 //! front-end, the token cache, the wire codec, a real TCP socket and
 //! back — and assert the results match the in-process path exactly.
 
-use eqjoin::db::{DbError, EqjoinServer, QueryInput, Session, SessionConfig, TableConfig, Value};
+use eqjoin::db::{
+    DbError, EqjoinServer, QueryInput, ServerHandle, Session, SessionConfig, TableConfig, Value,
+};
 use eqjoin::pairing::{Bls12, Engine, MockEngine};
 use std::net::SocketAddr;
 
-/// In-process `eqjoind`: the same serve loop the binary runs.
-fn spawn_server<E: Engine>() -> SocketAddr {
-    let (addr, _handle) = EqjoinServer::spawn_local::<E>().unwrap();
-    addr
+/// In-process `eqjoind`: the same serve loop the binary runs. The
+/// handle keeps the server alive for the test and stops it (joining
+/// the accept thread) on drop — no leaked listener.
+fn spawn_server<E: Engine>() -> (SocketAddr, ServerHandle) {
+    EqjoinServer::spawn_local::<E>().unwrap()
 }
 
 /// The `end_to_end.rs` setup: the paper's Teams/Employees tables
@@ -53,7 +56,7 @@ const PAPER_SERIES: [&str; 3] = [
 fn paper_series_over_tcp_matches_local_bls12() {
     let config = SessionConfig::new(3, 2).seed(424242);
     let mut local = eqjoin::session::<Bls12>(config);
-    let addr = spawn_server::<Bls12>();
+    let (addr, _server) = spawn_server::<Bls12>();
     let mut remote = eqjoin::session_remote::<Bls12>(config, &addr.to_string()).unwrap();
 
     populate_paper_tables(&mut local);
@@ -95,7 +98,7 @@ fn paper_series_over_tcp_matches_local_bls12() {
 #[test]
 fn batched_series_over_tcp_is_one_round_trip_bls12() {
     let config = SessionConfig::new(3, 2).seed(77);
-    let addr = spawn_server::<Bls12>();
+    let (addr, _server) = spawn_server::<Bls12>();
     let mut remote = eqjoin::session_remote::<Bls12>(config, &addr.to_string()).unwrap();
     let mut local = eqjoin::session::<Bls12>(config);
     populate_paper_tables(&mut remote);
@@ -121,7 +124,7 @@ fn engine_mismatch_is_rejected_not_misdecoded() {
     // A mock-engine client against a BLS server: mock G1/G2 encodings
     // fail BLS validation, so the server answers with a protocol error
     // instead of executing garbage.
-    let addr = spawn_server::<Bls12>();
+    let (addr, _server) = spawn_server::<Bls12>();
     let mut session =
         eqjoin::session_remote::<MockEngine>(SessionConfig::new(1, 2), &addr.to_string()).unwrap();
     use eqjoin::db::{Schema, Table};
