@@ -1,0 +1,440 @@
+//! A small hand-written Rust lexer — just enough syntax awareness for
+//! the audit passes: it distinguishes code from comments, string/char
+//! literals and lifetimes, so a pass never matches an identifier inside
+//! a doc comment or a `"panic!"` appearing in an error message, and the
+//! waiver scanner can read `// audit-allow(...)` comments with reliable
+//! line numbers.
+//!
+//! Not a full lexer: tokens keep their text and line, and multi-char
+//! operators are emitted as single-character punctuation (`>>` is two
+//! `>` tokens), which is exactly what brace/bracket matching and
+//! identifier scanning need. Raw strings (`r#"…"#`), byte strings,
+//! nested block comments and lifetime-vs-char-literal disambiguation
+//! are handled.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// One punctuation character.
+    Punct,
+    /// String/char/numeric literal (text preserved).
+    Lit,
+    /// A lifetime (`'a`, `'static`), including the quote.
+    Lifetime,
+}
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The token text as it appears in the source.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block), with its starting line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (equals `line` for
+    /// line comments).
+    pub end_line: u32,
+}
+
+/// A lexed source file: significant tokens plus the comment stream.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src`. Unterminated constructs (string/comment running to EOF)
+/// are tolerated: the audit must never panic on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines in b[start..end] and advance `line`.
+    let bump = |line: &mut u32, slice: &[u8]| {
+        *line += slice.iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (end, text) = scan_string(src, i);
+                let start_line = line;
+                bump(&mut line, &b[i..end]);
+                out.toks.push(Tok {
+                    text,
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+                i = end;
+            }
+            b'r' | b'b' if raw_or_byte_literal_at(b, i) => {
+                let start_line = line;
+                let end = scan_raw_or_byte(b, i);
+                bump(&mut line, &b[i..end]);
+                out.toks.push(Tok {
+                    text: src[i..end].to_string(),
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a backslash or a closing
+                // quote two ahead means a char literal.
+                let is_char = matches!(
+                    (b.get(i + 1), b.get(i + 2)),
+                    (Some(b'\\'), _) | (Some(_), Some(b'\''))
+                );
+                if is_char {
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&b'\\') {
+                        j += 2; // escape + escaped char
+                                // Multi-char escapes (\x7f, \u{..}) run to the
+                                // closing quote.
+                        while j < b.len() && b[j] != b'\'' {
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    let end = (j + 1).min(b.len());
+                    out.toks.push(Tok {
+                        text: src[i..end].to_string(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        text: src[i..j].to_string(),
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(j.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        j += 1; // decimal point, not a range
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    text: src[i..i + 1].to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `r`/`b` at `i` start a raw string, byte string or byte char
+/// (rather than a plain identifier)?
+fn raw_or_byte_literal_at(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        match b.get(j) {
+            Some(b'\'') | Some(b'"') => return true,
+            Some(b'r') => j += 1,
+            _ => return false,
+        }
+    } else {
+        j += 1; // past 'r'
+    }
+    // After `r` / `br`: zero or more '#' then '"'.
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Scan a raw string (`r#"…"#`), byte string (`b"…"`) or byte char
+/// (`b'…'`) starting at `i`; returns the end index.
+fn scan_raw_or_byte(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        raw = true;
+        j += 1;
+    }
+    if !raw {
+        // b"…" or b'…': same escape rules as plain strings/chars.
+        let quote = b[j];
+        j += 1;
+        while j < b.len() {
+            if b[j] == b'\\' {
+                j += 2;
+            } else if b[j] == quote {
+                return j + 1;
+            } else {
+                j += 1;
+            }
+        }
+        return b.len();
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// Scan a plain `"…"` string starting at `i`; returns (end, text).
+fn scan_string(src: &str, i: usize) -> (usize, String) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, src[i..j + 1].to_string()),
+            _ => j += 1,
+        }
+    }
+    (b.len(), src[i..].to_string())
+}
+
+/// Index of the matching closer for the opener at `open` (one of
+/// `(`/`[`/`{`). Returns `toks.len()` if unbalanced — callers treat
+/// that as "rest of file", never panic.
+pub fn matching(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        _ => return toks.len(),
+    };
+    let mut depth = 0isize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_separated() {
+        let src = r##"
+// a comment with unwrap() inside
+fn f<'a>(x: &'a str) -> char {
+    let s = "quoted .unwrap() text";
+    let r = r#"raw "nested" body"#;
+    let c = '\n';
+    let lt: &'static str = s;
+    /* block /* nested */ comment */
+    let _ = (r, lt);
+    'x'
+}
+"##;
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        // No identifier token "unwrap" — both occurrences live in a
+        // comment and a string literal.
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unwrap")));
+        // Lifetimes are lexed as lifetimes, not char literals.
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        // Char literals are literals.
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == "'x'"));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == r"'\n'"));
+        // The raw string is one literal containing the inner quotes.
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text.contains("nested")));
+    }
+
+    #[test]
+    fn matching_brackets() {
+        let lexed = lex("fn f() { a[b[c]]; (d) }");
+        let open_brace = lexed.toks.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = matching(&lexed.toks, open_brace);
+        assert!(lexed.toks[close].is_punct('}'));
+        assert_eq!(close, lexed.toks.len() - 1);
+        let first_bracket = lexed.toks.iter().position(|t| t.is_punct('[')).unwrap();
+        let close = matching(&lexed.toks, first_bracket);
+        assert!(lexed.toks[close].is_punct(']'));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn byte_literals_do_not_start_identifiers() {
+        let lexed = lex("let x = b'a'; let bytes = b\"hi\"; let raw = br#\"q\"#; let borrow = r;");
+        assert!(lexed.toks.iter().any(|t| t.is_ident("bytes")));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("borrow")));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("r")));
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lit && t.text.starts_with('b'))
+                .count(),
+            3,
+            "b'a', b\"hi\" and br#\"q\"# are all byte literals"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The `audit` CLI.
+//!
+//! ```text
+//! cargo run -p audit            # human summary, exit 1 on failure
+//! cargo run -p audit -- --json  # machine-readable report (stdout)
+//! ```
+//!
+//! The JSON output is byte-for-byte what CI diffs against the committed
+//! `audit_report.json`.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: audit [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("audit: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match audit::run_audit(Path::new(".")) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.json());
+                // Humans watching CI still get the failure detail.
+                if !report.passed() {
+                    eprint!("{}", report.human());
+                }
+            } else {
+                print!("{}", report.human());
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

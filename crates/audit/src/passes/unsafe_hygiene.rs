@@ -1,0 +1,161 @@
+//! **unsafe-hygiene** — `unsafe` is quarantined and documented.
+//!
+//! Two checks:
+//!
+//! 1. Every `unsafe` keyword (block or fn) must have an adjacent
+//!    `// SAFETY:` comment — on the same line, in the contiguous
+//!    comment block directly above, or (for `unsafe` blocks inside a
+//!    documented wrapper) on the enclosing function when that function
+//!    itself carries a `SAFETY:` comment. The doc requirement makes
+//!    the invariant the code relies on reviewable at the call site.
+//! 2. Every crate in the workspace except `eqjoind-net` (which owns
+//!    the raw-syscall shim) and the offline `compat` stand-ins must
+//!    carry `#![forbid(unsafe_code)]` in its crate root, so new
+//!    `unsafe` cannot creep in anywhere else — the compiler enforces
+//!    what the audit asserts.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::walker::Workspace;
+
+const PASS: &str = "unsafe-hygiene";
+
+/// Crates exempt from `#![forbid(unsafe_code)]`.
+pub const UNSAFE_CRATES: [&str; 1] = ["eqjoind-net"];
+
+/// Per-file check: every `unsafe` token needs a `SAFETY:` comment.
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in file.code_toks() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if has_safety_comment(file, t.line) {
+            continue;
+        }
+        // An `unsafe` block inside a fn whose own header carries the
+        // SAFETY comment (one contract documented once).
+        if let Some(f) = file.enclosing_fn(i) {
+            if has_safety_comment(file, f.line) {
+                continue;
+            }
+        }
+        let line = t.line;
+        out.push(Finding {
+            pass: PASS,
+            file: file.rel_path.clone(),
+            line,
+            message: "`unsafe` without an adjacent `// SAFETY:` comment".into(),
+            waived: file.waiver_for(PASS, line, i),
+            warn_only: false,
+        });
+    }
+}
+
+/// Is there a comment containing `SAFETY:` on `line` or in the
+/// contiguous comment block directly above it?
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let mut block_top = line;
+    loop {
+        let above = file.lexed.comments.iter().find(|c| {
+            c.end_line + 1 == block_top || (c.line <= block_top && block_top <= c.end_line)
+        });
+        match above {
+            Some(c) => {
+                if c.text.contains("SAFETY:") {
+                    return true;
+                }
+                if c.line >= block_top {
+                    return false;
+                }
+                block_top = c.line;
+            }
+            None => {
+                // Same-line trailing comment?
+                return file
+                    .lexed
+                    .comments
+                    .iter()
+                    .any(|c| c.line == line && c.text.contains("SAFETY:"));
+            }
+        }
+    }
+}
+
+/// Workspace-level check: crate roots must forbid unsafe code.
+pub fn check_forbid(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if UNSAFE_CRATES.contains(&krate.name.as_str()) || krate.is_compat {
+            continue;
+        }
+        for root_rel in &krate.root_files {
+            match std::fs::read_to_string(ws.root.join(root_rel)) {
+                Ok(src) => {
+                    if !src.contains("#![forbid(unsafe_code)]") {
+                        out.push(Finding {
+                            pass: PASS,
+                            file: root_rel.clone(),
+                            line: 1,
+                            message: format!(
+                                "crate `{}` is missing `#![forbid(unsafe_code)]` in its crate root",
+                                krate.name
+                            ),
+                            waived: None,
+                            warn_only: false,
+                        });
+                    }
+                }
+                Err(e) => out.push(Finding {
+                    pass: PASS,
+                    file: root_rel.clone(),
+                    line: 1,
+                    message: format!("crate root unreadable: {e}"),
+                    waived: None,
+                    warn_only: false,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source("x.rs", PathBuf::from("x.rs"), src);
+        let mut out = Vec::new();
+        run(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let f = findings(
+            "fn f() {\n    // SAFETY: fd is owned and live for the call\n    unsafe { sys(fd) };\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let f = findings("fn f() { unsafe { sys(fd) } /* SAFETY: same line */ ; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = findings("fn f() { unsafe { sys(fd) }; }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn fn_level_safety_comment_covers_inner_blocks() {
+        let f = findings(
+            "// SAFETY: all pointers derive from live references\nfn f() { unsafe { a() }; unsafe { b() }; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn comment_block_with_gap_does_not_count() {
+        let f = findings("// SAFETY: stale, far away\n\nfn g() {}\n\nfn f() { unsafe { a() }; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

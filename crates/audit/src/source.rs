@@ -1,0 +1,381 @@
+//! Per-file analysis model on top of the lexer: test-code masking,
+//! function spans (for function-level waivers and the taint pass), and
+//! waiver resolution.
+//!
+//! # Waivers
+//!
+//! A finding is waived by a comment of the form
+//!
+//! ```text
+//! // audit-allow(<lint>): <rationale>
+//! ```
+//!
+//! placed (a) on the finding's own line, (b) in the contiguous comment
+//! block directly above it, or (c) in the comment block directly above
+//! the enclosing `fn` — a function-level waiver covering every finding
+//! of that lint inside the function (used where an entire algorithm is
+//! intentionally variable-time, e.g. wNAF recoding).
+//!
+//! The rationale is **mandatory**: a waiver with an empty reason is
+//! itself reported as a finding, as is a waiver that matches nothing
+//! (stale waivers rot the audit).
+
+use crate::lexer::{lex, matching, Comment, Lexed, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// One parsed waiver comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The lint name inside `audit-allow(...)`.
+    pub lint: String,
+    /// The rationale after the colon (trimmed; may be empty, which the
+    /// waiver-hygiene check reports).
+    pub reason: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Set when some finding consumed this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Span of one `fn` item: the `fn` keyword's line and the token range
+/// of its body (inclusive braces).
+#[derive(Clone, Copy, Debug)]
+pub struct FnSpan {
+    /// Index of the `fn` token.
+    pub fn_tok: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body `{`.
+    pub body_open: usize,
+    /// Token index of the body `}`.
+    pub body_close: usize,
+}
+
+/// A lexed, analyzed source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root (slash-separated).
+    pub rel_path: String,
+    /// Absolute path.
+    pub abs_path: PathBuf,
+    /// Full lex of the file.
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` belongs to test-only code
+    /// (`#[cfg(test)]` / `#[test]` items) that the passes skip.
+    pub test_mask: Vec<bool>,
+    /// Parsed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// Spans of every `fn` item (test code included; passes filter).
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Read and analyze one file. I/O errors surface as `Err` so the
+    /// driver can report them as audit failures rather than panicking.
+    pub fn load(root: &Path, rel_path: &str) -> Result<SourceFile, String> {
+        let abs_path = root.join(rel_path);
+        let src = std::fs::read_to_string(&abs_path)
+            .map_err(|e| format!("{rel_path}: read failed: {e}"))?;
+        Ok(Self::from_source(rel_path, abs_path, &src))
+    }
+
+    /// Analyze already-read source (tests use this directly).
+    pub fn from_source(rel_path: &str, abs_path: PathBuf, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = test_mask(&lexed.toks);
+        let waivers = parse_waivers(&lexed.comments);
+        let fns = fn_spans(&lexed.toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            abs_path,
+            lexed,
+            test_mask,
+            waivers,
+            fns,
+        }
+    }
+
+    /// The tokens of non-test code, as (index, token) pairs.
+    pub fn code_toks(&self) -> impl Iterator<Item = (usize, &Tok)> {
+        self.lexed
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.test_mask[*i])
+    }
+
+    /// The innermost `fn` span containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open <= i && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.body_open)
+    }
+
+    /// Does a waiver for `lint` cover a finding at `line` (token index
+    /// `tok_idx`)? Marks the waiver used. Returns the rationale.
+    pub fn waiver_for(&self, lint: &str, line: u32, tok_idx: usize) -> Option<String> {
+        // Same line, or the contiguous comment block directly above.
+        if let Some(w) = self.waiver_at(lint, line) {
+            return Some(w);
+        }
+        // Function-level: comment block directly above the enclosing fn
+        // (or above its first attribute/visibility line — we accept a
+        // small gap of attribute lines between the comment and `fn`).
+        if let Some(f) = self.enclosing_fn(tok_idx) {
+            for gap in 0..=3u32 {
+                if let Some(w) = self.waiver_at(lint, f.line.saturating_sub(gap)) {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// A waiver for `lint` on `line` itself or in the contiguous
+    /// comment block ending on the line directly above `line`.
+    fn waiver_at(&self, lint: &str, line: u32) -> Option<String> {
+        let mut best: Option<&Waiver> = None;
+        for w in &self.waivers {
+            if w.lint != lint {
+                continue;
+            }
+            if w.line == line || self.comment_block_reaches(w.line, line) {
+                best = Some(w);
+                break;
+            }
+        }
+        let w = best?;
+        w.used.set(true);
+        Some(w.reason.clone())
+    }
+
+    /// Is there an unbroken run of comment lines from `from` (a comment
+    /// line) down to `to - 1`?
+    fn comment_block_reaches(&self, from: u32, to: u32) -> bool {
+        if from >= to {
+            return false;
+        }
+        let mut covered = vec![false; (to - from) as usize];
+        for c in &self.lexed.comments {
+            for l in c.line..=c.end_line {
+                if l >= from && l < to {
+                    covered[(l - from) as usize] = true;
+                }
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+}
+
+/// Parse `audit-allow(<lint>): <reason>` out of a comment. The marker
+/// may sit anywhere in the comment (so it can trail a `// SAFETY:` or
+/// share a line-comment with prose).
+fn parse_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments describe waivers (this module does!) but never
+        // grant them — a waiver is a plain `//` or `/* */` comment.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p))
+        {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("audit-allow(") {
+            let after = &rest[at + "audit-allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let lint = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            let reason = tail
+                .strip_prefix(':')
+                .map(|r| {
+                    // Reason runs to the end of the comment line.
+                    r.split('\n').next().unwrap_or("").trim()
+                })
+                .unwrap_or("")
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            // Line of the marker within a multi-line block comment.
+            let line = c.line + rest[..at].chars().filter(|&ch| ch == '\n').count() as u32;
+            out.push(Waiver {
+                lint,
+                reason,
+                line,
+                used: std::cell::Cell::new(false),
+            });
+            rest = tail;
+        }
+    }
+    out
+}
+
+/// Mark every token belonging to a `#[cfg(test)]` or `#[test]` item.
+/// The item following the attribute is skipped up to its closing `}`
+/// (or `;` for non-brace items).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching(toks, i + 1);
+            let attr = &toks[i + 1..close.min(toks.len())];
+            let is_test_attr = attr.iter().any(|t| t.is_ident("test"))
+                && attr
+                    .iter()
+                    .all(|t| t.kind != TokKind::Ident || t.text != "not");
+            if is_test_attr {
+                // Skip further attributes, then the item itself.
+                let mut j = close + 1;
+                while j < toks.len() && toks[j].is_punct('#') {
+                    let c = matching(toks, j + 1);
+                    j = c + 1;
+                }
+                let mut k = j;
+                let end = loop {
+                    if k >= toks.len() {
+                        break toks.len().saturating_sub(1);
+                    }
+                    if toks[k].is_punct('{') {
+                        break matching(toks, k);
+                    }
+                    if toks[k].is_punct(';') {
+                        break k;
+                    }
+                    k += 1;
+                };
+                for m in mask.iter_mut().take((end + 1).min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Find every `fn` item's span. Trait-method *declarations* (ending in
+/// `;` before any `{`) have no body and are skipped.
+fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        // Walk to the body `{`, skipping the parameter list and any
+        // where-clause; stop at `;` (declaration) or `{`.
+        let mut j = i + 1;
+        let mut depth = 0isize;
+        let body_open = loop {
+            let Some(tok) = toks.get(j) else { break None };
+            if tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && tok.is_punct('{') {
+                break Some(j);
+            } else if depth == 0 && tok.is_punct(';') {
+                break None;
+            }
+            j += 1;
+        };
+        if let Some(open) = body_open {
+            out.push(FnSpan {
+                fn_tok: i,
+                line: t.line,
+                body_open: open,
+                body_close: matching(toks, open),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::from_source("x.rs", PathBuf::from("x.rs"), src)
+    }
+
+    #[test]
+    fn test_items_are_masked() {
+        let f = sf(r#"
+fn live() { a.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { b.unwrap(); }
+}
+
+#[test]
+fn a_test() { c.unwrap(); }
+
+fn also_live() {}
+"#);
+        let live: Vec<&str> = f
+            .code_toks()
+            .filter(|(_, t)| t.kind == TokKind::Ident)
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(live.contains(&"live"));
+        assert!(live.contains(&"also_live"));
+        assert!(live.contains(&"unwrap"), "live unwrap stays");
+        assert!(!live.contains(&"helper"));
+        assert!(!live.contains(&"a_test"));
+        assert_eq!(live.iter().filter(|&&t| t == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = sf("#[cfg(not(test))]\nfn live() { x.unwrap(); }");
+        assert!(f.code_toks().any(|(_, t)| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn waivers_parse_and_resolve() {
+        let f = sf(r#"
+fn f(x: Option<u32>) -> u32 {
+    // audit-allow(panic-freedom): checked two lines up
+    x.unwrap()
+}
+
+// audit-allow(ct-discipline): whole fn is variable-time on purpose
+fn g(secret: u32) -> u32 {
+    if secret > 0 { 1 } else { 0 }
+}
+"#);
+        assert_eq!(f.waivers.len(), 2);
+        let unwrap_line = f
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        let line = f.lexed.toks[unwrap_line].line;
+        assert!(f.waiver_for("panic-freedom", line, unwrap_line).is_some());
+        assert!(f.waiver_for("wrong-lint", line, unwrap_line).is_none());
+
+        let if_idx = f.lexed.toks.iter().position(|t| t.is_ident("if")).unwrap();
+        let if_line = f.lexed.toks[if_idx].line;
+        assert!(
+            f.waiver_for("ct-discipline", if_line, if_idx).is_some(),
+            "fn-level waiver covers findings inside the body"
+        );
+        assert!(f.waivers.iter().all(|w| w.used.get()));
+    }
+
+    #[test]
+    fn fn_spans_skip_declarations() {
+        let f = sf("trait T { fn decl(&self); fn with_body(&self) { body(); } }");
+        assert_eq!(f.fns.len(), 1);
+        let span = f.fns[0];
+        assert!(f.lexed.toks[span.body_open].is_punct('{'));
+    }
+}

@@ -20,6 +20,8 @@
 //! leakage `σ(qᵢ)` and the all-pairs sets that calibrate every scheme's
 //! ledger.
 
+#![forbid(unsafe_code)]
+
 pub mod cryptdb;
 pub mod det;
 pub mod ground_truth;

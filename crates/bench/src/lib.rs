@@ -11,6 +11,8 @@
 //!   that sweeps the paper's full parameter grid and prints the same
 //!   series the paper plots, optionally writing CSV.
 
+#![forbid(unsafe_code)]
+
 use eqjoin_db::{
     ClientConfig, DbClient, DbServer, JoinOptions, JoinQuery, Session, SessionConfig, TableConfig,
     Value,

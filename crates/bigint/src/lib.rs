@@ -12,6 +12,8 @@
 //! This code runs only at parameter-derivation time (once per process), so
 //! clarity is preferred over speed.
 
+#![forbid(unsafe_code)]
+
 pub mod limb;
 pub mod uint;
 

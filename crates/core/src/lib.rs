@@ -27,6 +27,8 @@
 //!   A hash join on the canonical `D` bytes gives the paper's `O(n)`
 //!   expected-time matching.
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
 pub mod poly;
 pub mod scheme;

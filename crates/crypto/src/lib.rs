@@ -21,6 +21,8 @@
 //! * [`prf`] — a keyed PRF and key-derivation helpers used by the
 //!   pre-filter tags and the baseline schemes.
 
+#![forbid(unsafe_code)]
+
 pub mod aead;
 pub mod chacha20;
 pub mod hmac;

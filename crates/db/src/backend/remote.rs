@@ -93,7 +93,14 @@ impl RemoteBackend {
             self.counters.add_reconnects(1);
             *guard = Some(fresh);
         }
-        let stream = guard.as_mut().expect("reconnected above");
+        let Some(stream) = guard.as_mut() else {
+            // Unreachable: the branch above either filled the slot or
+            // returned. Typed anyway — never panic in the request path.
+            return Err(DbError::Transport(format!(
+                "no connection to {} after reconnect",
+                self.peer
+            )));
+        };
         let exchange = (|| -> io::Result<Vec<u8>> {
             let sent = write_frame(stream, payload)?;
             self.counters.add_bytes_sent(sent);

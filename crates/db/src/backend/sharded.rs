@@ -168,7 +168,9 @@ impl<E: Engine> ShardedBackend<E> {
         let mut merged: Vec<Option<Response>> = (0..n_slots).map(|_| None).collect();
         for (slot, request) in requests.into_iter().enumerate() {
             match self.placement(&request) {
+                // audit-allow(panic-freedom): `slot` comes from enumerate() over the vec that sized `merged`
                 Err(e) => merged[slot] = Some(Response::Error(e)),
+                // audit-allow(panic-freedom): placement() yields indices modulo self.shards.len(), which sized `per_shard`
                 Ok(Placement::One(shard)) => per_shard[shard].push((slot, request)),
                 Ok(Placement::All) => {
                     for (shard, bucket) in per_shard.iter_mut().enumerate() {
@@ -221,7 +223,12 @@ impl<E: Engine> ShardedBackend<E> {
                 ));
             }
             for (shard_id, handle) in handles {
-                shard_results.push((shard_id, handle.join().expect("shard worker panicked")));
+                // A worker that panicked produced no results; its slots
+                // stay unfilled and surface below as typed
+                // "shard never answered" errors instead of poisoning
+                // the whole server.
+                let results = handle.join().unwrap_or_else(|_| Vec::new());
+                shard_results.push((shard_id, results));
             }
         });
 
@@ -232,7 +239,9 @@ impl<E: Engine> ShardedBackend<E> {
         shard_results.sort_by_key(|(shard_id, _)| *shard_id);
         for (_, results) in shard_results {
             for (slot, response) in results {
+                // audit-allow(panic-freedom): worker slots are the enumerate() indices that sized `merged`
                 match &mut merged[slot] {
+                    // audit-allow(panic-freedom): same in-bounds slot as the scrutinee one line up
                     None => merged[slot] = Some(response),
                     Some(existing) => {
                         if !matches!(existing, Response::Error(_))
@@ -283,12 +292,17 @@ impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
                 // shard — no batch wrapping, no scoped fan-out.
                 Ok(Placement::One(shard)) => {
                     self.counters.add_round_trips(1);
+                    // audit-allow(panic-freedom): placement() yields indices modulo self.shards.len()
                     self.shards[shard].handle(single)
                 }
                 // Replicated requests reuse the batch fan-out/merge.
                 Ok(Placement::All) => match self.handle_batch(vec![single]) {
-                    Response::Batch(mut responses) if responses.len() == 1 => {
-                        responses.pop().expect("len checked")
+                    Response::Batch(responses) if responses.len() == 1 => {
+                        responses.into_iter().next().unwrap_or_else(|| {
+                            Response::Error(DbError::Protocol(
+                                "sharded fan-out lost a response".into(),
+                            ))
+                        })
                     }
                     other => other,
                 },

@@ -130,6 +130,7 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     // First byte by hand, to tell "connection closed between frames"
     // from "frame cut short".
     loop {
+        // audit-allow(panic-freedom): constant range on a fixed [u8; 4]
         match stream.read(&mut len_bytes[..1]) {
             Ok(0) => return Ok(None),
             Ok(_) => break,
@@ -137,6 +138,7 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
+    // audit-allow(panic-freedom): constant range on a fixed [u8; 4]
     stream.read_exact(&mut len_bytes[1..])?;
     let len = u32::from_le_bytes(len_bytes) as usize;
     if len > MAX_FRAME_BYTES {

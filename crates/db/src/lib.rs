@@ -71,6 +71,8 @@
 //!   [`stitch_stages`](join::stitch_stages), which composes pairwise
 //!   stage results into chain tuples.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod client;
 pub mod data;

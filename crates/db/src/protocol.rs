@@ -174,10 +174,11 @@ pub fn peek_envelope(payload: &[u8]) -> RequestEnvelope {
         Some(6) => {
             // Tag, then the codec's string encoding: u64 LE length +
             // UTF-8 bytes.
-            let Some(len_bytes) = payload.get(1..9) else {
+            let Some(len_bytes) = payload.get(1..9).and_then(|s| <[u8; 8]>::try_from(s).ok())
+            else {
                 return RequestEnvelope::Plain;
             };
-            let len = u64::from_le_bytes(len_bytes.try_into().unwrap());
+            let len = u64::from_le_bytes(len_bytes);
             if len > 64 {
                 // Longer than any valid tenant name: don't even slice.
                 return RequestEnvelope::Plain;
@@ -327,8 +328,8 @@ impl<'a> Reader<'a> {
         let end = self.pos + 8;
         let slice = self.buf.get(self.pos..end);
         self.pos = end;
-        match slice {
-            Some(s) => Ok(u64::from_le_bytes(s.try_into().unwrap())),
+        match slice.and_then(|s| <[u8; 8]>::try_from(s).ok()) {
+            Some(a) => Ok(u64::from_le_bytes(a)),
             None => Self::err("u64"),
         }
     }
@@ -346,9 +347,9 @@ impl<'a> Reader<'a> {
     pub(crate) fn bytes(&mut self) -> Result<&'a [u8], DbError> {
         let n = self.len("byte string")?;
         let end = self.pos + n;
-        let slice = &self.buf[self.pos..end];
+        let slice = self.buf.get(self.pos..end);
         self.pos = end;
-        Ok(slice)
+        slice.map_or_else(|| Self::err("byte string"), Ok)
     }
 
     pub(crate) fn str(&mut self) -> Result<String, DbError> {
@@ -1319,6 +1320,39 @@ mod tests {
     }
 
     #[test]
+    fn update_and_envelope_requests_round_trip() {
+        let del = Request::<MockEngine>::DeleteRows {
+            table: "orders".into(),
+            rows: vec![1, 5, 9],
+        };
+        match Request::<MockEngine>::from_bytes(&del.to_bytes()).unwrap() {
+            Request::DeleteRows { table, rows } => {
+                assert_eq!(table, "orders");
+                assert_eq!(rows, vec![1, 5, 9]);
+            }
+            _ => panic!("round trip changed the message kind"),
+        }
+
+        let wrapped = Request::<MockEngine>::WithTenant {
+            tenant: "acme".into(),
+            inner: Box::new(Request::Ping),
+        };
+        match Request::<MockEngine>::from_bytes(&wrapped.to_bytes()).unwrap() {
+            Request::WithTenant { tenant, inner } => {
+                assert_eq!(tenant, "acme");
+                assert!(matches!(*inner, Request::Ping));
+            }
+            _ => panic!("round trip changed the message kind"),
+        }
+
+        let drain = Request::<MockEngine>::Drain;
+        assert!(matches!(
+            Request::<MockEngine>::from_bytes(&drain.to_bytes()).unwrap(),
+            Request::Drain
+        ));
+    }
+
+    #[test]
     fn error_responses_round_trip_structurally() {
         let errors = vec![
             DbError::UnknownTable("X".into()),
@@ -1347,6 +1381,26 @@ mod tests {
             DbError::Sql("s".into()),
             DbError::NoSqlPlanner,
             DbError::Transport("connection reset".into()),
+            DbError::Snapshot("checksum mismatch".into()),
+            DbError::FilterTableNotInQuery {
+                table: "T".into(),
+                column: "c".into(),
+            },
+            DbError::DuplicateProjectionColumn {
+                table: "T".into(),
+                column: "c".into(),
+            },
+            DbError::InvalidPlan("projection below join".into()),
+            DbError::Overloaded {
+                tenant: Some("acme".into()),
+                in_flight: 8,
+                cap: 8,
+            },
+            DbError::Overloaded {
+                tenant: None,
+                in_flight: 64,
+                cap: 64,
+            },
         ];
         for e in errors {
             let resp = Response::Error(e.clone());

@@ -169,24 +169,26 @@ impl<E: Engine> TableStore<E> {
         pos: usize,
         wanted: Option<&[usize]>,
     ) -> Result<Vec<Vec<u8>>, DbError> {
+        let row_at = |col: &Vec<Vec<u8>>| {
+            col.get(pos).cloned().ok_or_else(|| {
+                DbError::Protocol(format!(
+                    "row position {pos} out of range ({} rows stored)",
+                    col.len()
+                ))
+            })
+        };
         match wanted {
-            None => Ok(self
-                .payload_columns
-                .iter()
-                .map(|col| col[pos].clone())
-                .collect()),
+            None => self.payload_columns.iter().map(row_at).collect(),
             Some(indices) => indices
                 .iter()
                 .map(|&c| {
-                    self.payload_columns
-                        .get(c)
-                        .map(|col| col[pos].clone())
-                        .ok_or_else(|| {
-                            DbError::Protocol(format!(
-                                "payload projection index {c} out of range ({} columns stored)",
-                                self.payload_columns.len()
-                            ))
-                        })
+                    let col = self.payload_columns.get(c).ok_or_else(|| {
+                        DbError::Protocol(format!(
+                            "payload projection index {c} out of range ({} columns stored)",
+                            self.payload_columns.len()
+                        ))
+                    })?;
+                    row_at(col)
                 })
                 .collect(),
         }
@@ -211,9 +213,12 @@ impl<E: Engine> TableStore<E> {
             }
         }
         if self.ciphers.is_empty() {
-            // An empty table has no layout yet; adopt the first row's.
-            self.payload_columns = vec![Vec::new(); rows[0].payloads.len()];
-            self.tag_columns = rows[0].tags.as_ref().map(|t| vec![Vec::new(); t.len()]);
+            // An empty table has no layout yet; adopt the first row's
+            // (`rows` is non-empty — checked at entry).
+            if let Some(first) = rows.first() {
+                self.payload_columns = vec![Vec::new(); first.payloads.len()];
+                self.tag_columns = first.tags.as_ref().map(|t| vec![Vec::new(); t.len()]);
+            }
         }
         let n_cols = self.payload_columns.len();
         let n_elems = self.ciphers.first().map(|c| c.elements().len());
@@ -286,6 +291,7 @@ impl<E: Engine> TableStore<E> {
         positions.dedup();
         let mut keep = vec![true; self.len()];
         for &pos in &positions {
+            // audit-allow(panic-freedom): position_of() only returns positions < self.len(), which sized `keep`
             keep[pos] = false;
         }
         retain_by_mask(&mut self.ids, &keep);
@@ -308,6 +314,7 @@ impl<E: Engine> TableStore<E> {
 fn retain_by_mask<T>(vec: &mut Vec<T>, keep: &[bool]) {
     let mut pos = 0;
     vec.retain(|_| {
+        // audit-allow(panic-freedom): every caller passes a mask of exactly vec.len() entries
         let k = keep[pos];
         pos += 1;
         k
@@ -344,12 +351,14 @@ impl DecryptCache {
         self.entries.insert(key, entry);
         while self.entries.len() > cap.max(1) {
             // True LRU: evict the least recently used entry.
-            let oldest = self
+            let Some(oldest) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
-                .expect("non-empty cache");
+            else {
+                break; // unreachable: the loop guard keeps the map non-empty
+            };
             self.entries.remove(&oldest);
         }
     }
@@ -562,7 +571,9 @@ impl<E: Engine> EncryptedStore<E> {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             let entry = cache.touch(key).filter(|e| e.table == side.table);
             for &pos in &candidates {
+                // audit-allow(panic-freedom): `pos` comes from candidate_positions(), bounded by table.len() which sizes `ids`
                 let id = table.ids[pos];
+                // audit-allow(panic-freedom): same bound as `id` above; `versions` is parallel to `ids`
                 let version = table.versions[pos];
                 match entry
                     .as_ref()
@@ -584,6 +595,7 @@ impl<E: Engine> EncryptedStore<E> {
             out.extend(
                 candidates
                     .iter()
+                    // audit-allow(panic-freedom): candidate positions are bounded by table.len() which sizes `ids`
                     .map(|&pos| (table.ids[pos] as usize, None)),
             );
         }
@@ -596,13 +608,22 @@ impl<E: Engine> EncryptedStore<E> {
         let mut fresh_iter = fresh.into_iter();
         for slot in &mut out {
             if slot.1.is_none() {
-                slot.1 = Some(fresh_iter.next().expect("one key per miss"));
+                let Some(fresh_key) = fresh_iter.next() else {
+                    return Err(DbError::Protocol(
+                        "decrypt pass returned fewer keys than cache misses".into(),
+                    ));
+                };
+                slot.1 = Some(fresh_key);
             }
         }
         let out: Vec<(usize, Vec<u8>)> = out
             .into_iter()
-            .map(|(id, key)| (id, key.expect("all slots filled")))
-            .collect();
+            .map(|(id, key)| {
+                key.map(|k| (id, k)).ok_or_else(|| {
+                    DbError::Protocol("decrypt slot left unfilled after merge".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
 
         // A fully-warm side changes nothing: the entry already holds
         // every (id, version, key) this pass produced, and `touch`
@@ -616,6 +637,7 @@ impl<E: Engine> EncryptedStore<E> {
                 .iter()
                 .zip(&out)
                 .map(|(&pos, (_, match_key))| {
+                    // audit-allow(panic-freedom): candidate positions are bounded by table.len()
                     (table.ids[pos], (table.versions[pos], match_key.clone()))
                 })
                 .collect();
@@ -651,6 +673,7 @@ impl<E: Engine> EncryptedStore<E> {
         names.sort();
         body.u64(names.len() as u64);
         for name in names {
+            // audit-allow(panic-freedom): `names` are this map's own keys
             let t = &self.tables[name];
             body.str(&t.name);
             body.str(&t.join_column);
@@ -703,6 +726,7 @@ impl<E: Engine> EncryptedStore<E> {
         keys.sort();
         body.u64(keys.len() as u64);
         for key in keys {
+            // audit-allow(panic-freedom): `keys` are this map's own keys
             let entry = &cache.entries[key];
             body.out.extend_from_slice(key);
             body.str(&entry.table);
@@ -711,6 +735,7 @@ impl<E: Engine> EncryptedStore<E> {
             ids.sort();
             body.u64(ids.len() as u64);
             for id in ids {
+                // audit-allow(panic-freedom): `ids` are this map's own keys
                 let (version, match_key) = &entry.rows[id];
                 body.u64(*id);
                 body.u64(*version);
@@ -741,6 +766,7 @@ impl<E: Engine> EncryptedStore<E> {
         }
         r.pos = 8;
         let version_bytes = bytes.get(8..12).ok_or_else(|| snap("truncated header"))?;
+        // audit-allow(panic-freedom): get(8..12) yields exactly 4 bytes
         let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
         if version != SNAPSHOT_VERSION {
             return Err(DbError::Snapshot(format!(
@@ -761,6 +787,7 @@ impl<E: Engine> EncryptedStore<E> {
             .get(r.pos..r.pos + 32)
             .ok_or_else(|| snap("truncated checksum"))?
             .try_into()
+            // audit-allow(panic-freedom): the get() above yields exactly 32 bytes
             .expect("32 bytes");
         r.pos += 32;
         let body = bytes
@@ -790,6 +817,7 @@ impl<E: Engine> EncryptedStore<E> {
             let filter_columns = (0..n_filter).map(|_| r.str()).collect::<Result<_, _>>()?;
             let n_rows = r.len("rows")?;
             let ids: Vec<u64> = (0..n_rows).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            // audit-allow(panic-freedom): windows(2) yields exactly-2-element slices
             if !ids.windows(2).all(|w| w[0] < w[1]) {
                 return Err(DbError::Protocol("row ids not strictly ascending".into()));
             }
@@ -881,6 +909,7 @@ impl<E: Engine> EncryptedStore<E> {
                 .get(r.pos..end)
                 .ok_or_else(|| DbError::Protocol("truncated cache key".into()))?
                 .try_into()
+                // audit-allow(panic-freedom): the get() above yields exactly 32 bytes
                 .expect("32 bytes");
             r.pos = end;
             let table = r.str()?;
@@ -939,8 +968,11 @@ fn decrypt_positions<E: Engine>(
     threads: usize,
 ) -> Vec<Vec<u8>> {
     let decrypt_chunk = |chunk: &[usize]| -> Vec<Vec<u8>> {
-        let rows: Vec<&SjPreparedCiphertext<E>> =
-            chunk.iter().map(|&pos| &table.prepared[pos]).collect();
+        let rows: Vec<&SjPreparedCiphertext<E>> = chunk
+            .iter()
+            // audit-allow(panic-freedom): callers pass candidate positions bounded by table.len()
+            .map(|&pos| &table.prepared[pos])
+            .collect();
         SecureJoin::<E>::decrypt_prepared_many(token, &rows)
             .iter()
             .map(SecureJoin::<E>::match_key)
@@ -957,7 +989,9 @@ fn decrypt_positions<E: Engine>(
             .map(|chunk| scope.spawn(move || decrypt_chunk(chunk)))
             .collect();
         for h in handles {
-            results.push(h.join().expect("decrypt worker panicked"));
+            // A panicked worker contributes no keys; the arity check at
+            // the merge site surfaces that as a typed protocol error.
+            results.push(h.join().unwrap_or_else(|_| Vec::new()));
         }
     });
     results.into_iter().flatten().collect()

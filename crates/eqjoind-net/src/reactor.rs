@@ -363,6 +363,7 @@ fn event_loop(
             Err(e) => break Err(transport(e, "epoll_wait")),
         };
         let mut drain_now = false;
+        // audit-allow(panic-freedom): epoll_wait returns at most events.len() ready slots
         for event in &events[..n] {
             // Copy out of the packed struct before use.
             let (token, ready) = ({ event.data }, { event.events });
@@ -432,7 +433,9 @@ fn event_loop(
                         continue;
                     }
                     if ready & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 && !draining {
-                        let conn = conns.get_mut(&token).expect("checked above");
+                        let Some(conn) = conns.get_mut(&token) else {
+                            continue;
+                        };
                         if !read_frames(conn, admission, &mut scratch) {
                             close_conn(epfd, &mut conns, token);
                             continue;
@@ -473,6 +476,49 @@ fn event_loop(
     result
 }
 
+/// Outcome of examining a read buffer at `pos` for one length-framed
+/// message. Extracted from the reactor's read loop so the frame
+/// decoder can be driven directly by tests (including property tests
+/// feeding truncated and corrupted buffers) without a socket.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameStep<'a> {
+    /// A complete frame: its payload and the position of the next one.
+    Frame { payload: &'a [u8], next: usize },
+    /// Not enough bytes for a header or a full payload yet.
+    Incomplete,
+    /// The length field exceeds [`MAX_FRAME_BYTES`]; the stream cannot
+    /// be resynchronized past it.
+    Oversized(usize),
+}
+
+/// Slice the next u32-length-framed message out of `buf` at `pos`.
+///
+/// Never panics for any `buf`/`pos` combination: an out-of-range `pos`
+/// is simply an incomplete frame.
+pub fn next_frame(buf: &[u8], pos: usize) -> FrameStep<'_> {
+    let Some(header) = pos.checked_add(4).and_then(|end| buf.get(pos..end)) else {
+        return FrameStep::Incomplete;
+    };
+    let Ok(header) = <[u8; 4]>::try_from(header) else {
+        return FrameStep::Incomplete;
+    };
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return FrameStep::Oversized(len);
+    }
+    let Some(payload) = pos
+        .checked_add(4)
+        .and_then(|start| start.checked_add(len).map(|end| (start, end)))
+        .and_then(|(start, end)| buf.get(start..end))
+    else {
+        return FrameStep::Incomplete;
+    };
+    FrameStep::Frame {
+        payload,
+        next: pos + 4 + len,
+    }
+}
+
 /// Pull bytes off the socket, slice complete frames, run admission on
 /// each and queue the outcome. Returns `false` if the connection is
 /// dead (reset / unrecoverable).
@@ -483,6 +529,7 @@ fn read_frames(conn: &mut Conn, admission: &Arc<Admission>, scratch: &mut [u8]) 
                 conn.peer_closed = true;
                 break;
             }
+            // audit-allow(panic-freedom): read() returns at most scratch.len() bytes
             Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -491,27 +538,26 @@ fn read_frames(conn: &mut Conn, admission: &Arc<Admission>, scratch: &mut [u8]) 
     }
     let mut pos = 0;
     while !conn.kill_after_flush {
-        let Some(header) = conn.read_buf.get(pos..pos + 4) else {
-            break;
+        let payload = match next_frame(&conn.read_buf, pos) {
+            FrameStep::Incomplete => break,
+            FrameStep::Oversized(len) => {
+                // The stream cannot be resynchronized after a bogus
+                // length: answer in-band, then close once flushed.
+                conn.pending.push_back(Pending::Reply(
+                    Response::Error(DbError::Transport(format!(
+                        "frame length {len} exceeds the frame cap"
+                    )))
+                    .to_bytes(),
+                ));
+                conn.kill_after_flush = true;
+                break;
+            }
+            FrameStep::Frame { payload, next } => {
+                let bytes = payload.to_vec();
+                pos = next;
+                bytes
+            }
         };
-        let len = u32::from_le_bytes(header.try_into().unwrap()) as usize;
-        if len > MAX_FRAME_BYTES {
-            // The stream cannot be resynchronized after a bogus
-            // length: answer in-band, then close once flushed.
-            conn.pending.push_back(Pending::Reply(
-                Response::Error(DbError::Transport(format!(
-                    "frame length {len} exceeds the frame cap"
-                )))
-                .to_bytes(),
-            ));
-            conn.kill_after_flush = true;
-            break;
-        }
-        let Some(payload) = conn.read_buf.get(pos + 4..pos + 4 + len) else {
-            break; // incomplete frame; wait for more bytes
-        };
-        let payload = payload.to_vec();
-        pos += 4 + len;
         match peek_envelope(&payload) {
             // Drains bypass admission: the whole point is to get
             // through when the server is saturated.
@@ -552,6 +598,7 @@ fn service_conn(epfd: i32, token: u64, conn: &mut Conn, queue: &JobQueue, draini
         }
     }
     while conn.write_pending() {
+        // audit-allow(panic-freedom): write_pending() guarantees write_pos <= write_buf.len()
         match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => break,
             Ok(n) => conn.write_pos += n,

@@ -62,6 +62,11 @@ mod imp {
     /// x86-64 syscall: number in `rax`, args in `rdi rsi rdx r10`,
     /// result in `rax` (negative errno on failure). `rcx`/`r11` are
     /// clobbered by the instruction itself.
+    ///
+    /// SAFETY: callers must pass a valid syscall number and arguments
+    /// meeting that syscall's contract — any pointer argument must be
+    /// valid for the access the kernel performs, with a length argument
+    /// matching the pointee.
     unsafe fn syscall4(nr: isize, a1: isize, a2: isize, a3: isize, a4: isize) -> isize {
         let ret: isize;
         std::arch::asm!(
@@ -87,12 +92,17 @@ mod imp {
     }
 
     pub fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: no pointer arguments; EPOLL_CLOEXEC is the only flag
+        // epoll_create1 accepts.
         check(unsafe { syscall4(nr::EPOLL_CREATE1, EPOLL_CLOEXEC as isize, 0, 0, 0) })
             .map(|fd| fd as i32)
     }
 
     pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: Option<&EpollEvent>) -> io::Result<()> {
         let ptr = event.map_or(std::ptr::null(), |e| e as *const EpollEvent);
+        // SAFETY: `ptr` is null (allowed for EPOLL_CTL_DEL) or derives
+        // from a live `&EpollEvent` whose `#[repr(C, packed)]` layout
+        // matches what the kernel reads; it is only read during the call.
         check(unsafe {
             syscall4(
                 nr::EPOLL_CTL,
@@ -107,6 +117,9 @@ mod imp {
 
     pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         loop {
+            // SAFETY: the buffer pointer/length come from a live
+            // `&mut [EpollEvent]`; the kernel writes at most
+            // `events.len()` records of the matching packed layout.
             let ret = unsafe {
                 syscall4(
                     nr::EPOLL_WAIT,
@@ -125,6 +138,7 @@ mod imp {
     }
 
     pub fn eventfd() -> io::Result<i32> {
+        // SAFETY: no pointer arguments; initial count 0 plus flag bits.
         check(unsafe {
             syscall4(
                 nr::EVENTFD2,
@@ -142,6 +156,9 @@ mod imp {
     /// only ever delivered through the signalfd.
     pub fn block_sigterm() -> io::Result<()> {
         let mask: u64 = SIGTERM_MASK;
+        // SAFETY: `&mask` points at a live u64 (the kernel sigset size
+        // passed as arg 4 is 8 bytes, matching); the old-mask output
+        // pointer is null, which the kernel permits.
         check(unsafe {
             syscall4(
                 nr::RT_SIGPROCMASK,
@@ -158,6 +175,8 @@ mod imp {
     /// (the signal must already be blocked — [`block_sigterm`]).
     pub fn sigterm_fd() -> io::Result<i32> {
         let mask: u64 = SIGTERM_MASK;
+        // SAFETY: `&mask` points at a live u64, read-only, with the
+        // matching size 8 passed as arg 3; fd -1 asks for a new fd.
         check(unsafe {
             syscall4(
                 nr::SIGNALFD4,
@@ -171,6 +190,8 @@ mod imp {
     }
 
     pub fn read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: pointer and length come from one live `&mut [u8]`;
+        // the kernel writes at most `buf.len()` bytes into it.
         check(unsafe {
             syscall4(
                 nr::READ,
@@ -184,6 +205,8 @@ mod imp {
     }
 
     pub fn write(fd: i32, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: pointer and length come from one live `&[u8]`, which
+        // the kernel only reads.
         check(unsafe {
             syscall4(
                 nr::WRITE,
@@ -197,6 +220,8 @@ mod imp {
     }
 
     pub fn close(fd: i32) {
+        // SAFETY: no pointer arguments; closing an invalid fd just
+        // returns EBADF, which is deliberately ignored.
         let _ = unsafe { syscall4(nr::CLOSE, fd as isize, 0, 0, 0) };
     }
 }

@@ -37,6 +37,8 @@
 //! to a BLS server (and a snapshot written under one engine is rejected
 //! by the other).
 
+#![forbid(unsafe_code)]
+
 use eqjoin_db::{EqjoinServer, ServerApi, ShardedBackend};
 use eqjoin_pairing::{Bls12, Engine, MockEngine};
 use eqjoind_net::{NetConfig, NetServer, TenantRegistry};

@@ -85,6 +85,7 @@ impl<E: Engine> Ipe<E> {
     /// `IPE.Decrypt(pp, sk, ct)`: compute `D1 = e(K1, C1)`,
     /// `D2 = ∏ e(K2ᵢ, C2ᵢ)` and search `z ∈ {0, …, s_max}` with
     /// `D1^z = D2`. Returns `None` if the inner product is outside `S`.
+    // audit-allow(ct-discipline): the search loop's trip count reveals only z, the value decrypt returns to the caller
     pub fn decrypt(sk: &IpeSecretKey<E>, ct: &IpeCiphertext<E>, s_max: u64) -> Option<u64> {
         let d1 = E::pair(&sk.k1, &ct.c1);
         let d2 = E::multi_pair(&sk.k2, &ct.c2);

@@ -16,6 +16,8 @@
 //!
 //! [`Engine`]: eqjoin_pairing::Engine
 
+#![forbid(unsafe_code)]
+
 pub mod ipe;
 pub mod linalg;
 pub mod modified;

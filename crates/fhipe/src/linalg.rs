@@ -168,9 +168,8 @@ impl Matrix {
         assert_eq!(v.len(), self.n, "vector/matrix dimension mismatch");
         let mut out = vec![Fr::zero(); self.n];
         for (r, &vr) in v.iter().enumerate() {
-            if vr.is_zero() {
-                continue;
-            }
+            // No sparsity shortcut: `v` is key material, and skipping
+            // zero entries would leak its zero pattern through timing.
             for (c, out_c) in out.iter_mut().enumerate() {
                 *out_c += vr * self.at(r, c);
             }

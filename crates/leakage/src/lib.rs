@@ -15,6 +15,8 @@
 //!   leakages (no super-additive leakage), and how much *extra* leakage
 //!   did a scheme reveal beyond it.
 
+#![forbid(unsafe_code)]
+
 pub mod ledger;
 pub mod pairs;
 pub mod union_find;

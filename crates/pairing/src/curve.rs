@@ -261,6 +261,7 @@ impl<C: CurveParams> Projective<C> {
     /// oracle and benchmark baseline for the optimized paths in
     /// [`crate::scalar_mul`] (wNAF and fixed-base comb tables); hot
     /// code should call [`crate::scalar_mul::mul_wnaf`] instead.
+    // audit-allow(ct-discipline): textbook double-and-add, kept only as the correctness oracle and benchmark baseline for scalar_mul
     pub fn mul_limbs(&self, scalar: &[u64]) -> Self {
         let mut acc = Self::identity();
         for &limb in scalar.iter().rev() {

@@ -33,6 +33,8 @@
 //! paper's security model is leakage at the query level, not side
 //! channels), and `unsafe` is not used.
 
+#![forbid(unsafe_code)]
+
 pub mod curve;
 pub mod engine;
 pub mod fp;

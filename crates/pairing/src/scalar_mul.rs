@@ -35,6 +35,7 @@ pub const WNAF_WINDOW: u32 = 5;
 /// `value = Σ d_i · 2^i`, each digit zero or odd with
 /// `|d_i| < 2^(w-1)`; at most one of any `w` consecutive digits is
 /// nonzero. `w` must be in `2..=7` so digits fit an `i8`.
+// audit-allow(ct-discipline): wNAF recoding is variable-time in the scalar's digit pattern by construction; scalar-mul timing channels are documented out of scope (README "Static analysis & audits")
 pub fn wnaf_digits(scalar: &[u64], w: u32) -> Vec<i8> {
     assert!((2..=7).contains(&w), "window width must be in 2..=7");
     let mut k: Vec<u64> = scalar.to_vec();
@@ -138,6 +139,7 @@ pub fn batch_normalize<C: CurveParams>(points: &[Projective<C>]) -> Vec<Affine<C
 /// for a 256-bit scalar, vs the ladder's 256 + ~128 general additions.
 ///
 /// Accepts any little-endian limb slice (cofactors included).
+// audit-allow(ct-discipline): digit-indexed table walk of the standard variable-time wNAF loop; same documented scope as wnaf_digits
 pub fn mul_wnaf<C: CurveParams>(point: &Projective<C>, scalar: &[u64]) -> Projective<C> {
     ops::count_variable_base_mul();
     if point.is_identity() {
@@ -214,6 +216,7 @@ impl<C: CurveParams> FixedBaseTable<C> {
 
     /// `s · G` by table lookups: one mixed addition per nonzero byte of
     /// the canonical scalar.
+    // audit-allow(ct-discipline): byte-indexed comb lookup is variable-time in the scalar bytes; same documented scope as wnaf_digits
     pub fn mul(&self, s: &Fr) -> Projective<C> {
         ops::count_fixed_base_mul();
         let limbs = s.to_canonical_limbs();

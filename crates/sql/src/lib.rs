@@ -21,6 +21,8 @@
 //!
 //! [`QueryPlan`]: eqjoin_db::QueryPlan
 
+#![forbid(unsafe_code)]
+
 pub mod lexer;
 pub mod parser;
 pub mod planner;

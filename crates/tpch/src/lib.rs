@@ -14,6 +14,8 @@
 //! counts and value domains — with deterministic seeded randomness
 //! (DESIGN.md §4 records the substitution).
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod selectivity;
 pub mod text;

@@ -42,6 +42,8 @@
 //! `SJ.{Setup, Enc, TokenGen, Dec, Match}` scheme. See
 //! `examples/quickstart.rs` for the five-minute tour.
 
+#![forbid(unsafe_code)]
+
 pub use eqjoin_baselines as baselines;
 pub use eqjoin_core as core;
 pub use eqjoin_crypto as crypto;

@@ -1,0 +1,25 @@
+//! Gate: the static-analysis audit (`cargo run -p audit`) must pass,
+//! and the committed `audit_report.json` must be in sync with what the
+//! tree actually contains (regenerate with
+//! `cargo run -p audit -- --json > audit_report.json`).
+
+use std::path::Path;
+
+#[test]
+fn audit_passes_and_committed_report_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit::run_audit(root).expect("audit runs");
+    let human = report.human();
+    assert!(
+        report.passed(),
+        "the static-analysis audit found unwaived findings:\n{human}"
+    );
+    let committed = std::fs::read_to_string(root.join("audit_report.json"))
+        .expect("audit_report.json is committed at the workspace root");
+    assert_eq!(
+        committed,
+        report.json(),
+        "audit_report.json is stale — regenerate with \
+         `cargo run -p audit -- --json > audit_report.json`"
+    );
+}

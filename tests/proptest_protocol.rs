@@ -4,12 +4,14 @@
 //! panic, never a huge allocation.
 
 use eqjoin::core::{SjRowCiphertext, SjTableSide, SjToken};
+use eqjoin::db::{peek_envelope, RequestEnvelope};
 use eqjoin::db::{
     DbError, EncryptedJoinResult, EncryptedRow, EncryptedTable, JoinAlgorithm, JoinObservation,
     JoinOptions, MatchedPair, PayloadProjection, QueryTokens, Request, Response, ServerStats,
     SideTokens,
 };
 use eqjoin::pairing::{Engine, Fr, MockEngine};
+use eqjoind_net::reactor::{next_frame, FrameStep};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -302,5 +304,124 @@ proptest! {
         // Outcome may be Ok (the flip hit a payload byte) or Err; the
         // only forbidden outcomes are panics and runaway allocation.
         let _ = Req::from_bytes(&bytes);
+    }
+}
+
+/// Walk `buf` with [`next_frame`] from `pos` 0, collecting payloads
+/// until the decoder stops. Returns the payloads and the stopping step.
+fn walk_frames(buf: &[u8]) -> (Vec<Vec<u8>>, FrameStep<'_>) {
+    let mut pos = 0;
+    let mut payloads = Vec::new();
+    loop {
+        match next_frame(buf, pos) {
+            FrameStep::Frame { payload, next } => {
+                payloads.push(payload.to_vec());
+                pos = next;
+            }
+            step => return (payloads, step),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- the envelope peek the reactor runs on every arriving frame ----
+
+    #[test]
+    fn peek_envelope_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Any byte soup yields *an* envelope without panicking.
+        let _ = peek_envelope(&bytes);
+    }
+
+    #[test]
+    fn peek_envelope_agrees_with_the_codec_and_survives_corruption(
+        tenant_id in 0u64..1000,
+        flip_bit in 0usize..8,
+        flip_at in 0usize..64,
+        cut in 0usize..64,
+    ) {
+        let tenant = format!("t{tenant_id}");
+        let wrapped = Req::WithTenant {
+            tenant: tenant.clone(),
+            inner: Box::new(Request::Ping),
+        };
+        let bytes = wrapped.to_bytes();
+
+        // On the intact encoding, the O(1) peek and the full decode agree.
+        prop_assert_eq!(peek_envelope(&bytes), RequestEnvelope::Tenant(tenant));
+        prop_assert_eq!(peek_envelope(&Req::Drain.to_bytes()), RequestEnvelope::Drain);
+        prop_assert_eq!(peek_envelope(&Req::Ping.to_bytes()), RequestEnvelope::Plain);
+
+        // Truncated at any point: still classified, never a panic.
+        let _ = peek_envelope(&bytes[..cut.min(bytes.len())]);
+
+        // One flipped bit: still classified, never a panic.
+        let mut corrupt = bytes.clone();
+        let at = flip_at % corrupt.len();
+        corrupt[at] ^= 1 << flip_bit;
+        let _ = peek_envelope(&corrupt);
+    }
+
+    // ---- the reactor's frame decoder ----
+
+    #[test]
+    fn frame_decoder_recovers_every_frame_and_rejects_corruption(
+        payload_lens in proptest::collection::vec(0usize..200, 1..8),
+        extra in 0usize..5,
+        flip_at in 0usize..1024,
+    ) {
+        // Assemble valid length-framed messages back to back.
+        let mut buf = Vec::new();
+        let mut expected = Vec::new();
+        for (i, &len) in payload_lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..len).map(|b| (b ^ i) as u8).collect();
+            buf.extend_from_slice(&(len as u32).to_le_bytes());
+            buf.extend_from_slice(&payload);
+            expected.push(payload);
+        }
+
+        // The decoder slices every frame back out, byte-identically,
+        // and then reports Incomplete on the empty tail.
+        let (payloads, stop) = walk_frames(&buf);
+        prop_assert_eq!(&payloads, &expected);
+        prop_assert_eq!(stop, FrameStep::Incomplete);
+
+        // A trailing partial header is Incomplete, not an error.
+        let mut partial = buf.clone();
+        partial.extend_from_slice(&vec![7u8; extra.min(3)]);
+        let (payloads, stop) = walk_frames(&partial);
+        prop_assert_eq!(&payloads, &expected);
+        prop_assert_eq!(stop, FrameStep::Incomplete);
+
+        // Any truncation yields a prefix of the frames, never a panic.
+        let cut = flip_at % (buf.len() + 1);
+        let (prefix, _) = walk_frames(&buf[..cut]);
+        prop_assert!(prefix.len() <= expected.len());
+        prop_assert!(prefix.iter().zip(&expected).all(|(a, b)| a == b));
+
+        // Flip one bit anywhere: the decoder still terminates cleanly
+        // (frames after the flip may differ or become incomplete).
+        let mut corrupt = buf.clone();
+        let at = flip_at % corrupt.len();
+        corrupt[at] ^= 0x80;
+        let _ = walk_frames(&corrupt);
+    }
+
+    #[test]
+    fn frame_decoder_flags_oversized_lengths(
+        over in 1u64..1_000_000,
+        junk in proptest::collection::vec(0u8..=255, 0..16),
+    ) {
+        use eqjoin::db::backend::MAX_FRAME_BYTES;
+        let len = (MAX_FRAME_BYTES as u64 + over).min(u32::MAX as u64) as u32;
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&junk);
+        prop_assert_eq!(next_frame(&buf, 0), FrameStep::Oversized(len as usize));
+        // An out-of-range position is just an incomplete frame.
+        prop_assert_eq!(next_frame(&buf, buf.len() + 100), FrameStep::Incomplete);
+        prop_assert_eq!(next_frame(&buf, usize::MAX - 1), FrameStep::Incomplete);
     }
 }
