@@ -467,6 +467,94 @@ struct RunConfig {
     plan: PlanMode,
     sessions: usize,
     json_path: String,
+    /// Guard mode: compare this run's deterministic counters against a
+    /// tracked baseline JSON instead of writing one; exit non-zero on
+    /// any drift. Wall-clock keys are checked loosely (warn only).
+    check_against: Option<String>,
+}
+
+/// The top-level JSON keys whose lines must match the baseline
+/// byte-for-byte: pure work counters (crypto ops, cache hits, wire
+/// accounting) plus the workload-shape keys that make the comparison
+/// apples-to-apples. Timing keys are deliberately absent.
+const GUARDED_KEYS: &[&str] = &[
+    "engine",
+    "backend",
+    "plan",
+    "rounds",
+    "queries_per_round",
+    "rows",
+    "threads",
+    "tkgen_calls",
+    "token_cache",
+    "decrypt_cache",
+    "crypto_ops",
+    "transport",
+];
+
+/// Slice the single line carrying `key` out of the emitted JSON (the
+/// emitter writes one top-level key per line).
+fn json_line<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    json.lines()
+        .map(str::trim)
+        .find(|line| line.starts_with(&needle))
+        .map(|line| line.trim_end_matches(','))
+}
+
+/// Pull `"series_token_cache_on_s": 1.23` style numbers off the phases
+/// line for the loose wall-clock check.
+fn phase_seconds(json: &str, key: &str) -> Option<f64> {
+    let line = json_line(json, "phases")?;
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare the current run against the tracked baseline. Counters must
+/// match exactly; wall time only warns unless it blew up past 10x (a
+/// hang, not noise). Returns `false` on drift.
+fn check_against_baseline(current: &str, baseline: &str, path: &str) -> bool {
+    let mut clean = true;
+    for key in GUARDED_KEYS {
+        let now = json_line(current, key);
+        let then = json_line(baseline, key);
+        if now != then {
+            eprintln!(
+                "session_series: drift in \"{key}\" vs {path}\n  baseline: {}\n  current:  {}",
+                then.unwrap_or("<missing>"),
+                now.unwrap_or("<missing>"),
+            );
+            clean = false;
+        }
+    }
+    for phase in ["series_token_cache_off_s", "series_token_cache_on_s"] {
+        if let (Some(now), Some(then)) = (
+            phase_seconds(current, phase),
+            phase_seconds(baseline, phase),
+        ) {
+            if now > then * 10.0 {
+                eprintln!(
+                    "session_series: {phase} blew past 10x the baseline ({now:.3}s vs {then:.3}s)"
+                );
+                clean = false;
+            } else if now > then * 3.0 {
+                eprintln!(
+                    "session_series: note: {phase} is {:.1}x the baseline ({now:.3}s vs {then:.3}s) \
+                     — wall time is machine-dependent, counters above are the gate",
+                    now / then,
+                );
+            }
+        }
+    }
+    if clean {
+        println!("session_series: counters match {path} exactly; no drift");
+    }
+    clean
 }
 
 fn series<E: Engine>(cfg: &RunConfig) {
@@ -668,6 +756,19 @@ fn series<E: Engine>(cfg: &RunConfig) {
             cfg.plan.name(),
         );
     }
+    if let Some(baseline_path) = &cfg.check_against {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("session_series: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !check_against_baseline(&json, &baseline, baseline_path) {
+            std::process::exit(1);
+        }
+        return;
+    }
     match std::fs::write(&cfg.json_path, &json) {
         Ok(()) => println!("wrote {}", cfg.json_path),
         Err(e) => eprintln!("session_series: cannot write {}: {e}", cfg.json_path),
@@ -682,6 +783,7 @@ fn main() {
     let mut plan = PlanMode::Pairwise;
     let mut sessions = 0usize;
     let mut json_path = "BENCH_session.json".to_owned();
+    let mut check_against: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -707,6 +809,9 @@ fn main() {
                     .expect("--sessions needs a number");
             }
             "--json" => json_path = raw.next().expect("--json needs a value"),
+            "--check-against" => {
+                check_against = Some(raw.next().expect("--check-against needs a path"));
+            }
             _ => args.push(arg),
         }
     }
@@ -724,6 +829,7 @@ fn main() {
         plan,
         sessions,
         json_path: json_path.clone(),
+        check_against: check_against.clone(),
     };
     match engine.as_str() {
         "mock" => series::<MockEngine>(&cfg(0.002, 10.0)),

@@ -10,10 +10,115 @@ use crate::error::DbError;
 use crate::protocol::{Request, Response, ServerApi};
 use crate::server::DbServer;
 use eqjoin_pairing::Engine;
+use std::io::Write;
 use std::path::PathBuf;
-use std::sync::{RwLock, RwLockReadGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use super::TransportStats;
+
+/// Append-only journal of mutation intents sitting next to the
+/// snapshot (`store.snap` → `store.journal`): every mutation request is
+/// appended (length-prefixed, checksummed, fsynced) *before* it is
+/// applied in memory, and the journal is truncated once a snapshot
+/// flush has made its effects durable. A `kill -9` between those two
+/// points leaves the intent on disk; startup replays complete entries
+/// idempotently (an entry already covered by the snapshot replays as a
+/// no-op), so the restarted store is consistent with everything that
+/// was ever acknowledged — and a torn final entry (the crash happened
+/// mid-append, so its request was never acknowledged) is discarded
+/// cleanly.
+struct Journal {
+    path: PathBuf,
+    /// Serializes appends: concurrent writers each want their
+    /// length-prefix + payload + fsync to hit the file contiguously.
+    lock: Mutex<()>,
+}
+
+impl Journal {
+    fn new(snapshot_path: &std::path::Path) -> Self {
+        Journal {
+            path: snapshot_path.with_extension("journal"),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// Append one intent record: `len ‖ fnv1a(bytes) ‖ bytes`, fsynced
+    /// before returning so an acknowledged mutation's intent survives
+    /// any crash after this call.
+    fn append(&self, bytes: &[u8]) -> Result<(), DbError> {
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut record = Vec::with_capacity(bytes.len() + 8);
+        record.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        record.extend_from_slice(bytes);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| DbError::Snapshot(format!("open journal {}: {e}", self.path.display())))?;
+        file.write_all(&record).map_err(|e| {
+            DbError::Snapshot(format!("append journal {}: {e}", self.path.display()))
+        })?;
+        file.sync_all()
+            .map_err(|e| DbError::Snapshot(format!("fsync journal {}: {e}", self.path.display())))
+    }
+
+    /// All complete, checksum-valid entries, in append order. Stops at
+    /// the first torn or corrupt record: everything after it was
+    /// written later and never acknowledged.
+    fn entries(&self) -> Vec<Vec<u8>> {
+        let Ok(bytes) = std::fs::read(&self.path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        loop {
+            let header = bytes
+                .get(at..at + 4)
+                .and_then(|s| <[u8; 4]>::try_from(s).ok());
+            let Some(len_bytes) = header else { break };
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            let sum = bytes
+                .get(at + 4..at + 8)
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .map(u32::from_le_bytes);
+            let body = at
+                .checked_add(8)
+                .and_then(|start| start.checked_add(len).map(|end| (start, end)))
+                .and_then(|(start, end)| bytes.get(start..end));
+            match (sum, body) {
+                (Some(sum), Some(body)) if fnv1a(body) == sum => {
+                    out.push(body.to_vec());
+                    at += 8 + len;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Drop the journal after its entries are covered by a durable
+    /// snapshot. Best-effort: a leftover journal only costs an
+    /// idempotent (no-op) replay on the next start.
+    fn truncate(&self) {
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.path.exists() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// FNV-1a, the checksum guarding journal records against torn writes
+/// (corruption detection, not authentication — the snapshot itself
+/// carries the SHA-256).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// The in-process [`ServerApi`] implementation.
 ///
@@ -28,6 +133,9 @@ pub struct LocalBackend<E: Engine> {
     /// Snapshot path; when set, the store is flushed after any request
     /// that dirtied it.
     persist: Option<PathBuf>,
+    /// Mutation-intent journal (persistent backends only): written
+    /// before a mutation applies, truncated after a snapshot flush.
+    journal: Option<Journal>,
 }
 
 impl<E: Engine> LocalBackend<E> {
@@ -37,6 +145,7 @@ impl<E: Engine> LocalBackend<E> {
             server: RwLock::new(DbServer::new()),
             counters: TransportCounters::default(),
             persist: None,
+            journal: None,
         }
     }
 
@@ -60,6 +169,7 @@ impl<E: Engine> LocalBackend<E> {
             server: RwLock::new(server),
             counters: TransportCounters::default(),
             persist: None,
+            journal: None,
         }
     }
 
@@ -74,6 +184,10 @@ impl<E: Engine> LocalBackend<E> {
         cache_cap: Option<usize>,
     ) -> Result<Self, DbError> {
         let path = path.into();
+        // A crash between serialization and rename leaves `path.tmp`
+        // behind; sweep it even when no snapshot exists yet (load()
+        // sweeps on its own path, but only when it runs).
+        crate::store::sweep_stale_tmp(&path);
         let mut server = if path.exists() {
             DbServer::load(&path)?
         } else {
@@ -83,11 +197,66 @@ impl<E: Engine> LocalBackend<E> {
         if let Some(cap) = cache_cap {
             server.set_decrypt_cache_cap(cap);
         }
-        Ok(LocalBackend {
+        let journal = Journal::new(&path);
+        let replayed = Self::replay_journal(&mut server, &journal);
+        let backend = LocalBackend {
             server: RwLock::new(server),
             counters: TransportCounters::default(),
             persist: Some(path),
-        })
+            journal: Some(journal),
+        };
+        if replayed {
+            // Fold the replayed intents into a fresh durable snapshot
+            // right away, so the journal can be dropped and a second
+            // crash does not depend on replaying twice.
+            backend.persist_if_dirty()?;
+        }
+        Ok(backend)
+    }
+
+    /// Replay journaled mutation intents into a freshly-loaded server.
+    /// Idempotent by construction: an intent the snapshot already
+    /// covers fails with [`DbError::UnknownRow`] (row ids collide on
+    /// insert, are gone on delete) or re-applies an identical
+    /// `InsertTable` — both leave the store exactly where the snapshot
+    /// put it. Returns whether any entry was applied or skipped (i.e.
+    /// the journal existed and should be folded into a snapshot).
+    fn replay_journal(server: &mut DbServer<E>, journal: &Journal) -> bool {
+        let entries = journal.entries();
+        let had_entries = !entries.is_empty();
+        for bytes in entries {
+            let request = match Request::<E>::from_bytes(&bytes) {
+                Ok(request) => request,
+                Err(e) => {
+                    // Checksum-valid but undecodable: a format drift,
+                    // not a torn write. The intent was acknowledged at
+                    // most as far as the snapshot covers it; skip.
+                    eprintln!("eqjoin: skipping undecodable journal entry: {e}");
+                    continue;
+                }
+            };
+            let outcome = match request {
+                Request::InsertTable(table) => server.insert_table(table),
+                Request::InsertRows {
+                    table,
+                    start_row,
+                    rows,
+                } => server.insert_rows(&table, start_row, rows).map(|_| ()),
+                Request::DeleteRows { table, rows } => {
+                    server.delete_rows(&table, &rows).map(|_| ())
+                }
+                // Only the three mutations above are ever journaled.
+                _ => Ok(()),
+            };
+            match outcome {
+                Ok(()) => {}
+                // Already covered by the snapshot (the crash hit after
+                // the flush but before the journal truncate).
+                Err(DbError::UnknownRow { .. }) => {}
+                Err(e) => eprintln!("eqjoin: journal replay skipped an entry: {e}"),
+            }
+        }
+        had_entries
     }
 
     /// Read access to the underlying server (tests and experiments peek
@@ -108,10 +277,33 @@ impl<E: Engine> LocalBackend<E> {
         if !server.store().take_dirty() {
             return Ok(());
         }
-        server.save(path).inspect_err(|e| {
-            server.store().mark_dirty_again();
-            eprintln!("eqjoin: snapshot flush failed: {e}");
-        })
+        let flushed = match eqjoin_failpoint::failpoint!("local::flush") {
+            None => server.save(path),
+            Some(eqjoin_failpoint::Action::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                server.save(path)
+            }
+            Some(eqjoin_failpoint::Action::Abort) => std::process::abort(),
+            Some(_) => Err(DbError::Snapshot(
+                "failpoint local::flush: injected error".into(),
+            )),
+        };
+        match flushed {
+            Ok(()) => {
+                // The snapshot now covers every applied intent: the
+                // journal is dead weight (and must not replay over a
+                // *newer* snapshot than the one it was written against).
+                if let Some(journal) = &self.journal {
+                    journal.truncate();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                server.store().mark_dirty_again();
+                eprintln!("eqjoin: snapshot flush failed: {e}");
+                Err(e)
+            }
+        }
     }
 
     /// Force a snapshot flush if the store is dirty (the drain path —
@@ -137,7 +329,37 @@ impl<E: Engine> LocalBackend<E> {
         }
     }
 
+    /// Journal a mutation's intent before applying it. A failed append
+    /// fails the mutation up front — acknowledging a mutation whose
+    /// intent is not durable would break the crash-replay guarantee.
+    fn journal_intent(&self, request: &Request<E>) -> Result<(), DbError> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        if !matches!(
+            request,
+            Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. }
+        ) {
+            return Ok(());
+        }
+        journal.append(&request.to_bytes())?;
+        match eqjoin_failpoint::failpoint!("local::journal::after_append") {
+            None => Ok(()),
+            Some(eqjoin_failpoint::Action::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(eqjoin_failpoint::Action::Abort) => std::process::abort(),
+            Some(_) => Err(DbError::Snapshot(
+                "failpoint local::journal::after_append: injected error".into(),
+            )),
+        }
+    }
+
     fn handle_one(&self, request: Request<E>) -> Response {
+        if let Err(e) = self.journal_intent(&request) {
+            return Response::Error(e);
+        }
         match request {
             Request::Ping => Response::Pong,
             Request::InsertTable(table) => {
@@ -322,18 +544,21 @@ mod tests {
             .query_tokens(&JoinQuery::on("T", "k", "T", "k"))
             .unwrap();
 
-        // Snapshot path inside a directory that does not exist: every
-        // flush fails. A mutation must come back as a Snapshot error
-        // (the ack would promise durability --data-dir cannot deliver)
-        // …
+        // Snapshot path that is an existing non-empty *directory*: the
+        // journal (store.journal) and the staging file (store.tmp)
+        // write fine, but the final rename over the directory fails —
+        // so every flush fails while intents still journal. A mutation
+        // must come back as a Snapshot error (the ack would promise
+        // durability --data-dir cannot deliver) …
         let dir = std::env::temp_dir().join(format!("eqjoin-noflush-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let backend = LocalBackend::<MockEngine>::with_persistence(
-            dir.join("missing").join("store.snap"),
-            None,
-            None,
-        )
-        .unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("store.snap");
+        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None).unwrap();
+        // Occupy the snapshot path with a non-empty directory *after*
+        // construction: the rename at the end of every save now fails.
+        std::fs::create_dir_all(&snap).unwrap();
+        std::fs::write(snap.join("occupied"), b"x").unwrap();
         assert!(matches!(
             backend.handle(Request::InsertTable(enc)),
             Response::Error(DbError::Snapshot(_))
@@ -348,6 +573,69 @@ mod tests {
             }),
             Response::JoinExecuted { .. }
         ));
+    }
+
+    #[test]
+    fn journaled_intents_replay_after_a_crash() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 11);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        for i in 0..6 {
+            t.push_row(vec![Value::Int(i % 2), "x".into()]);
+        }
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+        let tokens = client
+            .query_tokens(&JoinQuery::on("T", "k", "T", "k"))
+            .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("eqjoin-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("store.snap");
+
+        // Simulate a server killed between journaling an InsertTable
+        // intent and flushing the snapshot: the journal holds the
+        // intent (plus a torn half-record from the moment of death),
+        // and no snapshot exists.
+        {
+            let journal = Journal::new(&snap);
+            journal
+                .append(&Request::<MockEngine>::InsertTable(enc).to_bytes())
+                .unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&journal.path)
+                .unwrap();
+            f.write_all(&[42, 0, 0, 0, 7, 7]).unwrap(); // torn tail
+        }
+
+        // Restart: the intent replays, the torn tail is discarded, and
+        // the replayed state is folded into a fresh snapshot with the
+        // journal truncated.
+        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None).unwrap();
+        assert!(snap.exists(), "replayed state must be snapshotted");
+        assert!(
+            !snap.with_extension("journal").exists(),
+            "journal must be truncated once the snapshot covers it"
+        );
+        match backend.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+            projection: Default::default(),
+        }) {
+            Response::JoinExecuted { result, .. } => {
+                assert!(!result.pairs.is_empty(), "replayed table must join")
+            }
+            other => panic!("join over replayed table failed: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,6 +19,6 @@ mod sharded;
 mod transport;
 
 pub use local::LocalBackend;
-pub use remote::{EqjoinServer, RemoteBackend, ServerHandle};
+pub use remote::{EqjoinServer, RemoteBackend, RemoteConfig, RetryPolicy, ServerHandle};
 pub use sharded::ShardedBackend;
 pub use transport::{read_frame, write_frame, TransportCounters, TransportStats, MAX_FRAME_BYTES};

@@ -11,14 +11,21 @@
 //! oversized `IN` clause, …) comes back as a normal
 //! [`Response::Error`] carrying the original [`DbError`]; anything that
 //! goes wrong *reaching* the server — connect, send, receive, framing,
-//! an undecodable response — surfaces as [`DbError::Transport`]. After
-//! a transport failure the connection is dropped (the stream may be
-//! desynchronized): the failed request is **never** silently retried,
-//! but the *next* request makes a single bounded reconnect attempt
-//! before failing, so a transient server restart does not kill the
-//! backend forever.
+//! an undecodable response — surfaces as [`DbError::Transport`], and a
+//! deadline elapsing ([`RemoteConfig::io_timeout`]) as
+//! [`DbError::Timeout`]. After a transport failure the connection is
+//! dropped (the stream may be desynchronized) and the [`RetryPolicy`]
+//! decides what happens next: requests classified *idempotent* (pings,
+//! joins, drains — reads whose replay cannot double-apply) are re-sent
+//! on a fresh connection with capped jittered exponential backoff;
+//! mutations (`InsertTable`/`InsertRows`/`DeleteRows`, whose outcome on
+//! the server is unknown) are **never** silently replayed and surface
+//! the failure immediately. Either way the *next* request reconnects,
+//! so a transient server restart does not kill the backend forever.
 
-use super::transport::{read_frame, write_frame, TransportCounters, TransportStats};
+use super::transport::{
+    apply_io_failpoint, read_frame, write_frame, TransportCounters, TransportStats,
+};
 use crate::error::DbError;
 use crate::protocol::{Request, Response, ServerApi};
 use eqjoin_pairing::Engine;
@@ -29,6 +36,108 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Retry policy for transport failures on **idempotent** requests.
+///
+/// Attempt `n` (1-based) sleeps `base × 2^(n−1)` capped at `cap`, then
+/// multiplied by a jitter factor in `[0.5, 1.5)` so a fleet of clients
+/// hammered by the same outage does not reconnect in lockstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-send attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff growth cap.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every transport failure surfaces immediately (the
+    /// pre-PR behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.cap);
+        // Cheap decorrelation without an RNG dependency: scale by the
+        // sub-second clock phase, mapped into [0.5, 1.5).
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let exp_ms = exp.as_millis().min(u128::from(u64::MAX)) as u64;
+        Duration::from_millis(exp_ms / 2 + exp_ms * u64::from(nanos % 1024) / 1024)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, 10 ms base backoff, 500 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Connection configuration for [`RemoteBackend`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteConfig {
+    /// Read **and** write deadline applied to every stream operation
+    /// (`None` = block indefinitely, the default — joins over big
+    /// tables legitimately take a while). An elapsed deadline surfaces
+    /// as [`DbError::Timeout`].
+    pub io_timeout: Option<Duration>,
+    /// What to do when an exchange fails and the request is idempotent.
+    pub retry: RetryPolicy,
+}
+
+impl RemoteConfig {
+    fn default_plain() -> Self {
+        RemoteConfig {
+            io_timeout: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// May `request` be silently re-sent after a transport failure whose
+/// point of no return is unknown? Reads and joins: yes — replaying
+/// them changes nothing but server work. Mutations: no — an
+/// `InsertRows` whose response was lost may well have been applied, and
+/// replaying it would double-apply (or spuriously fail) server-side.
+/// Envelopes classify as their contents.
+/// Deterministic pre-send rejection of requests too large for one
+/// frame. Never worth retrying — the payload will not shrink.
+fn check_frame_cap(payload: &[u8]) -> Result<(), DbError> {
+    if payload.len() > super::MAX_FRAME_BYTES {
+        return Err(DbError::Transport(format!(
+            "request of {} bytes exceeds the {} byte frame cap (split the batch)",
+            payload.len(),
+            super::MAX_FRAME_BYTES,
+        )));
+    }
+    Ok(())
+}
+
+fn is_idempotent<E: Engine>(request: &Request<E>) -> bool {
+    match request {
+        Request::Ping | Request::ExecuteJoin { .. } | Request::Drain => true,
+        Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. } => false,
+        Request::WithTenant { inner, .. } => is_idempotent(inner),
+        Request::Batch(requests) => requests.iter().all(is_idempotent),
+    }
+}
+
 /// A [`ServerApi`] over a TCP connection to an `eqjoind` server.
 ///
 /// The stream sits behind a `Mutex`: requests from concurrent sessions
@@ -38,27 +147,70 @@ use std::time::Duration;
 pub struct RemoteBackend {
     peer: String,
     stream: Mutex<Option<TcpStream>>,
+    config: Mutex<RemoteConfig>,
     counters: TransportCounters,
 }
 
 impl RemoteBackend {
-    /// Connect to an `eqjoind` server. Connection failure is
+    /// Connect to an `eqjoind` server with the default config (no
+    /// deadline, default [`RetryPolicy`]). Connection failure is
     /// [`DbError::Transport`].
     pub fn connect<A: ToSocketAddrs + ToString>(addr: A) -> Result<Self, DbError> {
+        Self::connect_with(addr, RemoteConfig::default_plain())
+    }
+
+    /// Connect with an explicit deadline/retry configuration.
+    pub fn connect_with<A: ToSocketAddrs + ToString>(
+        addr: A,
+        config: RemoteConfig,
+    ) -> Result<Self, DbError> {
         let peer = addr.to_string();
-        let stream = TcpStream::connect(&addr)
-            .map_err(|e| DbError::Transport(format!("connect to {peer}: {e}")))?;
-        let _ = stream.set_nodelay(true);
+        let stream = Self::open(&peer, &addr, config.io_timeout)?;
         Ok(RemoteBackend {
             peer,
             stream: Mutex::new(Some(stream)),
+            config: Mutex::new(config),
             counters: TransportCounters::default(),
         })
+    }
+
+    fn open<A: ToSocketAddrs>(
+        peer: &str,
+        addr: &A,
+        io_timeout: Option<Duration>,
+    ) -> Result<TcpStream, DbError> {
+        let fp = "remote::connect";
+        apply_io_failpoint(fp, eqjoin_failpoint::failpoint!(fp))
+            .map_err(|e| DbError::Transport(format!("connect to {peer}: {e}")))?;
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| DbError::Transport(format!("connect to {peer}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(io_timeout);
+        let _ = stream.set_write_timeout(io_timeout);
+        Ok(stream)
     }
 
     /// The address this backend connected to.
     pub fn peer(&self) -> &str {
         &self.peer
+    }
+
+    /// Replace the per-operation deadline (applied to the live stream
+    /// immediately and to every future reconnect). `None` blocks
+    /// indefinitely.
+    pub fn set_io_timeout(&self, io_timeout: Option<Duration>) {
+        let mut config = self.config.lock().unwrap_or_else(|e| e.into_inner());
+        config.io_timeout = io_timeout;
+        drop(config);
+        let guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = guard.as_ref() {
+            let _ = stream.set_read_timeout(io_timeout);
+            let _ = stream.set_write_timeout(io_timeout);
+        }
+    }
+
+    fn config(&self) -> RemoteConfig {
+        *self.config.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// One request frame out, one response frame back. Drops the
@@ -71,25 +223,16 @@ impl RemoteBackend {
         // Pre-send check: an oversized request fails *before* any byte
         // hits the wire, so the stream stays synchronized and the
         // connection must survive for later requests.
-        if payload.len() > super::MAX_FRAME_BYTES {
-            return Err(DbError::Transport(format!(
-                "request of {} bytes exceeds the {} byte frame cap (split the batch)",
-                payload.len(),
-                super::MAX_FRAME_BYTES,
-            )));
-        }
+        check_frame_cap(payload)?;
         let mut guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
         if guard.is_none() {
             // Single bounded reconnect attempt for this request; on
             // failure the backend stays disconnected and the *next*
-            // request gets its own single attempt.
-            let fresh = TcpStream::connect(self.peer.as_str()).map_err(|e| {
-                DbError::Transport(format!(
-                    "reconnect to {} after an earlier transport failure: {e}",
-                    self.peer
-                ))
-            })?;
-            let _ = fresh.set_nodelay(true);
+            // request (or retry attempt) gets its own single attempt.
+            let fresh = Self::open(&self.peer, &self.peer.as_str(), self.config().io_timeout)
+                .map_err(|e| {
+                    DbError::Transport(format!("reconnect after an earlier transport failure: {e}"))
+                })?;
             self.counters.add_reconnects(1);
             *guard = Some(fresh);
         }
@@ -102,8 +245,22 @@ impl RemoteBackend {
             )));
         };
         let exchange = (|| -> io::Result<Vec<u8>> {
+            let send_fp = "remote::send";
+            if apply_io_failpoint(send_fp, eqjoin_failpoint::failpoint!(send_fp))?.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("failpoint {send_fp}: injected connection drop"),
+                ));
+            }
             let sent = write_frame(stream, payload)?;
             self.counters.add_bytes_sent(sent);
+            let recv_fp = "remote::recv";
+            if apply_io_failpoint(recv_fp, eqjoin_failpoint::failpoint!(recv_fp))?.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("failpoint {recv_fp}: injected connection drop"),
+                ));
+            }
             let frame = read_frame(stream)?.ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -114,7 +271,20 @@ impl RemoteBackend {
             Ok(frame)
         })();
         let result = exchange
-            .map_err(|e| DbError::Transport(format!("exchange with {}: {e}", self.peer)))
+            .map_err(|e| {
+                // A blocking-socket deadline elapsing reports
+                // `WouldBlock` on Unix and `TimedOut` on Windows; both
+                // mean "deadline exceeded", typed apart from real
+                // transport failures.
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    DbError::Timeout(format!("exchange with {}: {e}", self.peer))
+                } else {
+                    DbError::Transport(format!("exchange with {}: {e}", self.peer))
+                }
+            })
             .and_then(|frame| {
                 Response::from_bytes(&frame).map_err(|e| {
                     DbError::Transport(format!("undecodable response from {}: {e}", self.peer))
@@ -129,17 +299,46 @@ impl RemoteBackend {
 
 impl<E: Engine> ServerApi<E> for RemoteBackend {
     fn handle(&self, request: Request<E>) -> Response {
-        match self.round_trip(&request.to_bytes()) {
-            Ok(response) => {
-                // Counted on success only, so `round_trips` means real
-                // completed exchanges — fail-fast calls on a poisoned
-                // connection and pre-send rejections don't inflate the
-                // batching-savings arithmetic (bytes of a half-finished
-                // exchange are still counted as they happen).
-                self.counters.record_request(&request);
-                response
+        let payload = request.to_bytes();
+        if let Err(e) = check_frame_cap(&payload) {
+            // Deterministic local rejection, not a transport outcome:
+            // no retry, no give-up accounting.
+            return Response::Error(e);
+        }
+        let retry = self.config().retry;
+        // Mutations are never replayed: a lost response leaves their
+        // server-side outcome unknown, and re-sending could
+        // double-apply. Transport failures *and* elapsed deadlines are
+        // both retriable for idempotent requests (the server may still
+        // be chewing on the original, but replaying a read is safe).
+        let budget = if is_idempotent(&request) {
+            retry.max_retries
+        } else {
+            0
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.round_trip(&payload) {
+                Ok(response) => {
+                    // Counted on success only, so `round_trips` means
+                    // real completed exchanges — fail-fast calls on a
+                    // poisoned connection and pre-send rejections don't
+                    // inflate the batching-savings arithmetic (bytes of
+                    // a half-finished exchange are still counted as
+                    // they happen).
+                    self.counters.record_request(&request);
+                    return response;
+                }
+                Err(e) => {
+                    if attempt >= budget {
+                        self.counters.add_gave_up(1);
+                        return Response::Error(e);
+                    }
+                    attempt += 1;
+                    self.counters.add_retries(1);
+                    std::thread::sleep(retry.backoff(attempt));
+                }
             }
-            Err(e) => Response::Error(e),
         }
     }
 
@@ -154,15 +353,34 @@ impl<E: Engine> ServerApi<E> for RemoteBackend {
 /// `handle(&self)` redesign buys.
 pub struct EqjoinServer {
     listener: TcpListener,
+    io_timeout: Option<Duration>,
 }
 
 impl EqjoinServer {
+    /// Default per-connection idle deadline: a client that goes silent
+    /// for this long between requests has its connection closed, so a
+    /// stalled peer cannot pin a handler thread forever.
+    pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
     /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral
     /// port — ask [`EqjoinServer::local_addr`] what was chosen).
     pub fn bind<A: ToSocketAddrs + ToString>(addr: A) -> Result<Self, DbError> {
         let listener = TcpListener::bind(&addr)
             .map_err(|e| DbError::Transport(format!("bind {}: {e}", addr.to_string())))?;
-        Ok(EqjoinServer { listener })
+        Ok(EqjoinServer {
+            listener,
+            io_timeout: Some(Self::DEFAULT_IO_TIMEOUT),
+        })
+    }
+
+    /// Override the per-connection idle deadline (builder style).
+    /// `None` restores the unbounded pre-deadline behavior. The
+    /// deadline applies to reading a request and writing its response —
+    /// not to backend compute between the two, so a long join is safe
+    /// behind a short idle timeout.
+    pub fn io_timeout(mut self, io_timeout: Option<Duration>) -> Self {
+        self.io_timeout = io_timeout;
+        self
     }
 
     /// The bound address.
@@ -195,14 +413,22 @@ impl EqjoinServer {
         const BACKOFF_CAP: Duration = Duration::from_millis(256);
         let mut backoff = BACKOFF_START;
         for connection in self.listener.incoming() {
-            if shutdown.load(Ordering::Acquire) {
-                return Ok(());
-            }
             match connection {
                 Ok(stream) => {
+                    // Serve before consulting the shutdown flag: this
+                    // connection finished its TCP handshake, so the
+                    // client believes it is established — dropping it
+                    // here would race connect-then-stop callers into a
+                    // broken pipe. The stop-path wakeup dial lands here
+                    // too; its handler reads an immediate EOF and
+                    // exits.
                     backoff = BACKOFF_START;
                     let backend = Arc::clone(&backend);
-                    std::thread::spawn(move || serve_connection::<E>(stream, backend));
+                    let io_timeout = self.io_timeout;
+                    std::thread::spawn(move || serve_connection::<E>(stream, backend, io_timeout));
+                    if shutdown.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
                 }
                 Err(e) => {
                     // Transient accept failures (per-connection resets,
@@ -217,6 +443,9 @@ impl EqjoinServer {
                             | io::ErrorKind::WouldBlock
                             | io::ErrorKind::TimedOut
                     ) {
+                        if shutdown.load(Ordering::Acquire) {
+                            return Ok(());
+                        }
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(BACKOFF_CAP);
                         continue;
@@ -322,8 +551,17 @@ impl Drop for ServerHandle {
 /// degrades to an in-band transport error telling the client to split
 /// the series — in both cases framing stays intact and the connection
 /// survives. Only a real I/O failure ends the connection.
-fn serve_connection<E: Engine>(mut stream: TcpStream, backend: Arc<dyn ServerApi<E>>) {
+fn serve_connection<E: Engine>(
+    mut stream: TcpStream,
+    backend: Arc<dyn ServerApi<E>>,
+    io_timeout: Option<Duration>,
+) {
     let _ = stream.set_nodelay(true);
+    // Idle deadline: a silent client releases this thread instead of
+    // pinning it forever. Compute time between read and write is not
+    // under the deadline.
+    let _ = stream.set_read_timeout(io_timeout);
+    let _ = stream.set_write_timeout(io_timeout);
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -400,12 +638,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn one_bounded_reconnect_recovers_after_a_dropped_connection() {
-        // A listener that drops its first accepted connection, then
-        // serves normally: request 1 fails with a transport error (and
-        // is NOT silently replayed), request 2 triggers the single
-        // bounded reconnect and succeeds on the fresh stream.
+    /// A listener that drops its first accepted connection, then serves
+    /// normally on the second.
+    fn flaky_listener() -> (SocketAddr, std::thread::JoinHandle<()>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
@@ -414,21 +649,92 @@ mod tests {
             let (second, _) = listener.accept().unwrap();
             let backend =
                 Arc::new(super::super::LocalBackend::<MockEngine>::new()) as Arc<dyn ServerApi<_>>;
-            serve_connection::<MockEngine>(second, backend);
+            serve_connection::<MockEngine>(second, backend, None);
         });
+        (addr, server)
+    }
+
+    #[test]
+    fn idempotent_request_retries_across_a_dropped_connection() {
+        // Request 1 lands on the dropped stream; the retry policy
+        // reconnects and replays it (a Ping is idempotent), so the
+        // caller sees success — with the retry and the reconnect on
+        // the books.
+        let (addr, server) = flaky_listener();
         let remote = RemoteBackend::connect(addr).unwrap();
-        match ServerApi::<MockEngine>::handle(&remote, Request::Ping) {
-            Response::Error(DbError::Transport(_)) => {}
-            other => panic!("expected a transport error on the dropped stream, got {other:?}"),
-        }
         assert!(matches!(
             ServerApi::<MockEngine>::handle(&remote, Request::Ping),
             Response::Pong
         ));
         let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.retries, 1, "one replayed attempt");
         assert_eq!(stats.reconnects, 1, "exactly one reconnect attempt");
         assert_eq!(stats.round_trips, 1, "only the successful exchange counts");
+        assert_eq!(stats.gave_up, 0);
         drop(remote);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mutations_are_never_silently_replayed() {
+        // The same flaky first connection, but the request is an
+        // InsertRows: its outcome on the server is unknown, so it must
+        // surface the transport error immediately — no retry, no
+        // reconnect for *this* request. The next (idempotent) request
+        // reconnects and succeeds.
+        let (addr, server) = flaky_listener();
+        let remote = RemoteBackend::connect(addr).unwrap();
+        let insert = Request::<MockEngine>::InsertRows {
+            table: "orders".into(),
+            start_row: 0,
+            rows: Vec::new(),
+        };
+        match ServerApi::<MockEngine>::handle(&remote, insert) {
+            Response::Error(DbError::Transport(_)) => {}
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+        let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.retries, 0, "mutations must not be replayed");
+        assert_eq!(stats.gave_up, 1);
+        assert!(matches!(
+            ServerApi::<MockEngine>::handle(&remote, Request::Ping),
+            Response::Pong
+        ));
+        drop(remote);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn elapsed_deadline_is_a_typed_timeout() {
+        // A server that accepts and then never answers: with a read
+        // deadline armed and retries off, the client gets
+        // `DbError::Timeout`, not a hang and not a plain transport
+        // error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = hold_rx.recv(); // keep the stream open, silent
+            drop(stream);
+        });
+        let remote = RemoteBackend::connect_with(
+            addr,
+            RemoteConfig {
+                io_timeout: Some(Duration::from_millis(50)),
+                retry: RetryPolicy::none(),
+            },
+        )
+        .unwrap();
+        match ServerApi::<MockEngine>::handle(&remote, Request::Ping) {
+            Response::Error(DbError::Timeout(msg)) => {
+                assert!(msg.contains("exchange with"), "{msg}")
+            }
+            other => panic!("expected DbError::Timeout, got {other:?}"),
+        }
+        let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.gave_up, 1);
+        drop(hold_tx);
         server.join().unwrap();
     }
 
@@ -448,15 +754,24 @@ mod tests {
 
     #[test]
     fn server_dropping_connection_poisons_the_backend() {
-        // A listener that accepts and immediately drops the stream: the
-        // first request fails with a transport error, and the backend
-        // then fails fast without touching the socket again.
+        // With retries off (the fail-fast configuration), a listener
+        // that accepts and immediately drops the stream: the first
+        // request fails with a transport error, and the backend then
+        // fails fast — each later request makes exactly one bounded
+        // reconnect attempt and reports it.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::spawn(move || {
             let _ = listener.accept().map(drop);
         });
-        let remote = RemoteBackend::connect(addr).unwrap();
+        let remote = RemoteBackend::connect_with(
+            addr,
+            RemoteConfig {
+                io_timeout: None,
+                retry: RetryPolicy::none(),
+            },
+        )
+        .unwrap();
         for attempt in 0..2 {
             match ServerApi::<MockEngine>::handle(&remote, Request::Ping) {
                 Response::Error(DbError::Transport(msg)) => {
@@ -467,5 +782,8 @@ mod tests {
                 other => panic!("expected a transport error, got {other:?}"),
             }
         }
+        let stats = ServerApi::<MockEngine>::transport_stats(&remote);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.gave_up, 2);
     }
 }

@@ -38,6 +38,25 @@ use crate::error::DbError;
 use crate::protocol::{Request, Response, ServerApi};
 use eqjoin_pairing::Engine;
 
+/// Failpoint `sharded::shard_response`, evaluated once per shard
+/// dispatch: when armed with a failure action the dispatch is replaced
+/// by a typed transport error — a *lost shard*, failing exactly the
+/// requests routed to it while every other shard keeps answering (the
+/// degraded-execution contract the merge below upholds).
+fn lost_shard(shard_id: usize) -> Option<DbError> {
+    match eqjoin_failpoint::failpoint!("sharded::shard_response") {
+        None => None,
+        Some(eqjoin_failpoint::Action::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Some(eqjoin_failpoint::Action::Abort) => std::process::abort(),
+        Some(_) => Some(DbError::Transport(format!(
+            "failpoint sharded::shard_response: shard {shard_id} lost"
+        ))),
+    }
+}
+
 /// Where one request executes.
 enum Placement {
     /// Replicated to every shard.
@@ -198,6 +217,12 @@ impl<E: Engine> ShardedBackend<E> {
                     scope.spawn(move || {
                         let (slots, reqs): (Vec<usize>, Vec<Request<E>>) =
                             items.into_iter().unzip();
+                        if let Some(e) = lost_shard(shard_id) {
+                            return slots
+                                .into_iter()
+                                .map(|slot| (slot, Response::Error(e.clone())))
+                                .collect();
+                        }
                         match shard.handle(Request::Batch(reqs)) {
                             Response::Batch(responses) if responses.len() == slots.len() => {
                                 slots.into_iter().zip(responses).collect::<Vec<_>>()
@@ -276,8 +301,12 @@ impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
             // in shard order wins, otherwise the drain is acknowledged.
             Request::Drain => {
                 let mut failure = None;
-                for shard in &self.shards {
+                for (shard_id, shard) in self.shards.iter().enumerate() {
                     self.counters.add_round_trips(1);
+                    if let Some(e) = lost_shard(shard_id) {
+                        failure.get_or_insert(e);
+                        continue;
+                    }
                     if let Response::Error(e) = shard.handle(Request::Drain) {
                         failure.get_or_insert(e);
                     }
@@ -292,6 +321,9 @@ impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
                 // shard — no batch wrapping, no scoped fan-out.
                 Ok(Placement::One(shard)) => {
                     self.counters.add_round_trips(1);
+                    if let Some(e) = lost_shard(shard) {
+                        return Response::Error(e);
+                    }
                     // audit-allow(panic-freedom): placement() yields indices modulo self.shards.len()
                     self.shards[shard].handle(single)
                 }

@@ -39,6 +39,13 @@ pub struct TransportStats {
     /// Successful reconnects after a transport failure (networked
     /// backends make one bounded attempt on the next request).
     pub reconnects: u64,
+    /// Request exchanges re-sent after a transport failure on an
+    /// idempotent request (networked backends only; each retried
+    /// attempt past the first counts once).
+    pub retries: u64,
+    /// Requests abandoned after the retry budget was exhausted (or
+    /// that were never retried because they are not idempotent).
+    pub gave_up: u64,
 }
 
 /// Interior-mutable counters behind [`TransportStats`] — backends
@@ -51,6 +58,8 @@ pub struct TransportCounters {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     reconnects: AtomicU64,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
 }
 
 impl TransportCounters {
@@ -93,6 +102,17 @@ impl TransportCounters {
         self.reconnects.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count retried request attempts (idempotent requests only).
+    pub fn add_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count requests abandoned to the caller after a transport
+    /// failure (retry budget exhausted, or never retriable).
+    pub fn add_gave_up(&self, n: u64) {
+        self.gave_up.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current values as a plain snapshot.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -102,7 +122,38 @@ impl TransportCounters {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Translate an armed failpoint action into this layer's failure mode:
+/// an `io::Error` (which the backends above map to
+/// [`DbError::Transport`](crate::DbError::Transport) /
+/// [`DbError::Timeout`](crate::DbError::Timeout)).
+/// `Ok(None)` means "proceed normally"; `Ok(Some(n))` is a
+/// partial-write budget for write paths.
+pub(crate) fn apply_io_failpoint(
+    name: &str,
+    action: Option<eqjoin_failpoint::Action>,
+) -> io::Result<Option<usize>> {
+    use eqjoin_failpoint::Action;
+    match action {
+        None => Ok(None),
+        Some(Action::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(None)
+        }
+        Some(Action::ReturnError) => Err(io::Error::other(format!(
+            "failpoint {name}: injected error"
+        ))),
+        Some(Action::DropConn) => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("failpoint {name}: injected connection drop"),
+        )),
+        Some(Action::PartialWrite(n)) => Ok(Some(n)),
+        Some(Action::Abort) => std::process::abort(),
     }
 }
 
@@ -113,6 +164,22 @@ pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("frame of {} bytes exceeds the frame cap", payload.len()),
+        ));
+    }
+    let fp = "transport::write_frame";
+    if let Some(budget) = apply_io_failpoint(fp, eqjoin_failpoint::failpoint!(fp))? {
+        // Torn write: emit the first `budget` bytes of the frame, then
+        // fail as if the connection died mid-send.
+        let frame_len = payload.len() + 4;
+        let mut frame = Vec::with_capacity(frame_len.min(budget));
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.truncate(budget);
+        stream.write_all(&frame)?;
+        stream.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("failpoint {fp}: connection died after {budget} of {frame_len} bytes"),
         ));
     }
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -126,6 +193,15 @@ pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
 /// mid-frame, an oversized length, or any other I/O failure is an
 /// error.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let fp = "transport::read_frame";
+    if apply_io_failpoint(fp, eqjoin_failpoint::failpoint!(fp))?.is_some() {
+        // partial-write makes no sense on the read side; treat it as a
+        // dropped connection so an armed plan still fails loudly.
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("failpoint {fp}: injected connection drop"),
+        ));
+    }
     let mut len_bytes = [0u8; 4];
     // First byte by hand, to tell "connection closed between frames"
     // from "frame cut short".

@@ -111,6 +111,13 @@ pub enum DbError {
     /// sending or receiving. Distinguished from every other variant,
     /// which the *server* reported after receiving the request intact.
     Transport(String),
+    /// A deadline elapsed before the operation completed: a stream
+    /// read/write timed out ([`SessionConfig::deadline`]
+    /// (crate::session::SessionConfig::deadline) or a server idle
+    /// timeout), or a retry budget was exhausted retrying timeouts.
+    /// Unlike [`DbError::Transport`], the peer may still be working on
+    /// the request — whether a retry is safe depends on idempotency.
+    Timeout(String),
     /// SQL text could not be parsed or resolved against the session
     /// catalog.
     Sql(String),
@@ -178,6 +185,7 @@ impl fmt::Display for DbError {
             },
             DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DbError::Transport(msg) => write!(f, "transport error: {msg}"),
+            DbError::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
             DbError::Sql(msg) => write!(f, "SQL error: {msg}"),
             DbError::NoSqlPlanner => {
                 write!(

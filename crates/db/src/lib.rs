@@ -87,7 +87,8 @@ pub mod session;
 pub mod store;
 
 pub use backend::{
-    EqjoinServer, LocalBackend, RemoteBackend, ServerHandle, ShardedBackend, TransportStats,
+    EqjoinServer, LocalBackend, RemoteBackend, RemoteConfig, RetryPolicy, ServerHandle,
+    ShardedBackend, TransportStats,
 };
 pub use client::{ClientConfig, ClientStats, DbClient, JoinedRow, TableConfig};
 pub use data::{Row, Schema, Table, Value};

@@ -709,6 +709,10 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.u64(*in_flight as u64);
             w.u64(*cap as u64);
         }
+        DbError::Timeout(msg) => {
+            w.u8(18);
+            w.str(msg);
+        }
     }
 }
 
@@ -768,6 +772,7 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
             in_flight: r.u64()? as usize,
             cap: r.u64()? as usize,
         },
+        18 => DbError::Timeout(r.str()?),
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -1401,6 +1406,7 @@ mod tests {
                 in_flight: 64,
                 cap: 64,
             },
+            DbError::Timeout("read deadline of 250ms elapsed".into()),
         ];
         for e in errors {
             let resp = Response::Error(e.clone());

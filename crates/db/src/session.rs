@@ -67,6 +67,7 @@ use crate::server::{
 use eqjoin_leakage::{closure, pairs_from_classes, LeakageLedger, Node, PairSet, QueryLeakage};
 use eqjoin_pairing::Engine;
 use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
 
 /// Session configuration: the client's crypto parameters plus execution
 /// and caching policy, fixed at construction.
@@ -79,6 +80,11 @@ pub struct SessionConfig {
     /// Cache token bundles per canonical pairwise stage (on by default;
     /// see the module docs for why the cache key is the stage).
     pub token_cache: bool,
+    /// Per-operation I/O deadline for remote sessions: every socket
+    /// read and write of a round trip must complete within this window
+    /// or the call fails with [`DbError::Timeout`]. `None` (the
+    /// default) blocks indefinitely; in-process backends ignore it.
+    pub deadline: Option<Duration>,
 }
 
 impl SessionConfig {
@@ -90,7 +96,17 @@ impl SessionConfig {
             client: ClientConfig::new(m, t),
             options: JoinOptions::default(),
             token_cache: true,
+            deadline: None,
         }
+    }
+
+    /// Bound every socket read/write of a remote round trip; an elapsed
+    /// deadline surfaces as [`DbError::Timeout`]. Only
+    /// [`Session::remote`] honors it — in-process backends never block
+    /// on a peer.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Set the deterministic RNG seed.
@@ -439,14 +455,21 @@ impl<E: Engine> Session<E> {
 
     /// Session over a [`RemoteBackend`] connected to an `eqjoind`
     /// server at `addr`. Connection failure is [`DbError::Transport`].
+    /// [`SessionConfig::deadline`] becomes the connection's I/O
+    /// timeout; idempotent requests retry per the default
+    /// [`RetryPolicy`](crate::backend::RetryPolicy).
     pub fn remote<A: std::net::ToSocketAddrs + ToString>(
         config: SessionConfig,
         addr: A,
     ) -> Result<Self, DbError> {
-        Ok(Self::with_backend(
-            config,
-            Box::new(RemoteBackend::connect(addr)?),
-        ))
+        let remote = RemoteBackend::connect_with(
+            addr,
+            crate::backend::RemoteConfig {
+                io_timeout: config.deadline,
+                ..crate::backend::RemoteConfig::default()
+            },
+        )?;
+        Ok(Self::with_backend(config, Box::new(remote)))
     }
 
     /// Session over a [`ShardedBackend`] of `shards` in-process shards
@@ -898,27 +921,100 @@ impl<E: Engine> Session<E> {
         self.run_series(prepared)
     }
 
-    /// The shared execution core: dispatch every stage of every plan
-    /// (one plain request for a single pairwise stage, one batch
-    /// otherwise), ledger every observation that came back, then
-    /// stitch + decrypt per plan.
+    /// Degraded-mode variant of [`execute_all`](Self::execute_all):
+    /// every query gets its **own** outcome instead of the first
+    /// failure poisoning the batch. A query whose stages all came back
+    /// yields `Ok(ResultSet)` even when its neighbors hit a lost shard,
+    /// a timeout, or a per-element server error; only failures that
+    /// predate the fan-out (planning, token generation, or a
+    /// whole-batch transport loss) reach every slot. Leakage
+    /// accounting is identical to `execute_all` — every join the
+    /// server executed is recorded before results are assembled.
+    pub fn execute_all_partial(
+        &mut self,
+        inputs: &[QueryInput],
+    ) -> Vec<Result<ResultSet, DbError>> {
+        let prepared = inputs
+            .iter()
+            .map(|input| self.prepare(input.clone()))
+            .collect();
+        self.run_series_partial(prepared)
+    }
+
+    /// The shared execution core with all-or-nothing semantics: the
+    /// first per-slot failure (in series order) fails the whole series.
     fn run_series(&mut self, prepared: Vec<PreparedQuery>) -> Result<Vec<ResultSet>, DbError> {
-        let mut stage_counts = Vec::with_capacity(prepared.len());
-        let mut cache_hits = Vec::new();
+        self.run_series_partial(prepared.into_iter().map(Ok).collect())
+            .into_iter()
+            .collect()
+    }
+
+    /// The per-slot execution core: dispatch every stage of every
+    /// still-viable plan (one plain request for a single pairwise
+    /// stage, one batch otherwise), ledger every observation that came
+    /// back, then stitch + decrypt per plan — each slot succeeding or
+    /// failing on its own.
+    fn run_series_partial(
+        &mut self,
+        prepared: Vec<Result<PreparedQuery, DbError>>,
+    ) -> Vec<Result<ResultSet, DbError>> {
+        // A slot that failed before dispatch keeps its own error and
+        // ships no stages; the rest share one batch.
+        enum Slot {
+            Failed(DbError),
+            Pending {
+                prepared: PreparedQuery,
+                cache_hits: Vec<bool>,
+            },
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(prepared.len());
         let mut requests = Vec::new();
-        for p in &prepared {
-            let dispatches = self.dispatch_stages(p)?;
-            stage_counts.push(dispatches.len());
-            for d in dispatches {
-                cache_hits.push(d.cache_hit);
-                requests.push(Request::ExecuteJoin {
-                    tokens: d.tokens,
-                    options: self.config.options,
-                    projection: d.projection,
-                });
+        for entry in prepared {
+            let p = match entry {
+                Ok(p) => p,
+                Err(e) => {
+                    slots.push(Slot::Failed(e));
+                    continue;
+                }
+            };
+            match self.dispatch_stages(&p) {
+                Ok(dispatches) => {
+                    let mut cache_hits = Vec::with_capacity(dispatches.len());
+                    for d in dispatches {
+                        cache_hits.push(d.cache_hit);
+                        requests.push(Request::ExecuteJoin {
+                            tokens: d.tokens,
+                            options: self.config.options,
+                            projection: d.projection,
+                        });
+                    }
+                    slots.push(Slot::Pending {
+                        prepared: p,
+                        cache_hits,
+                    });
+                }
+                Err(e) => slots.push(Slot::Failed(e)),
             }
         }
         let total_stages = requests.len();
+        // Failures that hit the batch as a whole (nothing dispatched,
+        // or the one response lost) land in every pending slot;
+        // pre-dispatch failures keep their own error.
+        let fail_pending = |slots: Vec<Slot>, e: DbError| -> Vec<Result<ResultSet, DbError>> {
+            slots
+                .into_iter()
+                .map(|slot| match slot {
+                    Slot::Failed(own) => Err(own),
+                    Slot::Pending { .. } => Err(e.clone()),
+                })
+                .collect()
+        };
+        if total_stages == 0 {
+            return fail_pending(
+                slots,
+                DbError::Protocol("plan lowered to zero stages".into()),
+            );
+        }
 
         let sent_before = self.backend.transport_stats().bytes_sent;
         let responses: Vec<Response> = if total_stages == 1 {
@@ -928,10 +1024,13 @@ impl<E: Engine> Session<E> {
             match self.dispatch(Request::Batch(requests)) {
                 Response::Batch(responses) => {
                     if responses.len() != total_stages {
-                        return Err(DbError::Protocol(format!(
-                            "batch arity mismatch: {total_stages} requests, {} responses",
-                            responses.len()
-                        )));
+                        return fail_pending(
+                            slots,
+                            DbError::Protocol(format!(
+                                "batch arity mismatch: {total_stages} requests, {} responses",
+                                responses.len()
+                            )),
+                        );
                     }
                     responses
                 }
@@ -944,12 +1043,15 @@ impl<E: Engine> Session<E> {
                     {
                         self.stats.queries_unaccounted += total_stages as u64;
                     }
-                    return Err(e);
+                    return fail_pending(slots, e);
                 }
                 _ => {
-                    return Err(DbError::Protocol(
-                        "backend answered Batch with the wrong response kind".into(),
-                    ))
+                    return fail_pending(
+                        slots,
+                        DbError::Protocol(
+                            "backend answered Batch with the wrong response kind".into(),
+                        ),
+                    )
                 }
             }
         };
@@ -986,29 +1088,49 @@ impl<E: Engine> Session<E> {
             }
         }
 
-        // Pass 2 — stitch and decrypt per plan, in series order; the
-        // first failure wins.
+        // Pass 2 — stitch and decrypt per plan, in series order. A
+        // failed stage fails its own plan's slot; every other plan
+        // still assembles (its stage responses are all consumed either
+        // way, so slots stay aligned).
         let mut executed = executed.into_iter();
-        let mut cache_hits = cache_hits.into_iter();
-        let mut results = Vec::with_capacity(prepared.len());
-        for (p, &n_stages) in prepared.iter().zip(&stage_counts) {
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (p, stage_cache_hits) = match slot {
+                Slot::Failed(e) => {
+                    results.push(Err(e));
+                    continue;
+                }
+                Slot::Pending {
+                    prepared,
+                    cache_hits,
+                } => (prepared, cache_hits),
+            };
+            let n_stages = stage_cache_hits.len();
             let mut stage_results = Vec::with_capacity(n_stages);
-            let mut stage_cache_hits = Vec::with_capacity(n_stages);
+            let mut first_error = None;
             let mut first_series_index = None;
             for _ in 0..n_stages {
-                let (result, series_index) = executed.next().expect("stage arity checked")?;
-                first_series_index.get_or_insert(series_index);
-                stage_results.push(result);
-                stage_cache_hits.push(cache_hits.next().expect("stage arity checked"));
+                match executed.next().expect("stage arity checked") {
+                    Ok((result, series_index)) => {
+                        first_series_index.get_or_insert(series_index);
+                        stage_results.push(result);
+                    }
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                    }
+                }
             }
-            results.push(self.assemble_result_set(
-                p,
-                stage_results,
-                first_series_index.expect("plans have at least one stage"),
-                stage_cache_hits,
-            )?);
+            results.push(match first_error {
+                Some(e) => Err(e),
+                None => self.assemble_result_set(
+                    &p,
+                    stage_results,
+                    first_series_index.expect("plans have at least one stage"),
+                    stage_cache_hits,
+                ),
+            });
         }
-        Ok(results)
+        results
     }
 
     /// The embedded per-query ledger (full history and growth series).
@@ -1655,6 +1777,84 @@ mod tests {
         // Queries 0 and 2 executed server-side; both must be in the
         // ledger even though the series as a whole failed.
         assert_eq!(s.leakage_report().queries, 2);
+    }
+
+    #[test]
+    fn execute_all_partial_isolates_per_query_failures() {
+        // Same shape as above, but through the degraded-mode API: the
+        // rejected query fails alone, its neighbors still answer, and
+        // a query that cannot even plan gets its own slot error.
+        struct FailSecondJoin(LocalBackend<MockEngine>, std::sync::atomic::AtomicUsize);
+        impl ServerApi<MockEngine> for FailSecondJoin {
+            fn handle(&self, request: Request<MockEngine>) -> Response {
+                match request {
+                    Request::Batch(requests) => {
+                        Response::Batch(requests.into_iter().map(|r| self.handle(r)).collect())
+                    }
+                    Request::ExecuteJoin { .. } => {
+                        let n = self.1.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if n == 1 {
+                            Response::Error(DbError::PayloadCorrupted)
+                        } else {
+                            self.0.handle(request)
+                        }
+                    }
+                    other => self.0.handle(other),
+                }
+            }
+        }
+
+        let mut s = Session::<MockEngine>::with_backend(
+            SessionConfig::new(1, 3).seed(99),
+            Box::new(FailSecondJoin(
+                LocalBackend::new(),
+                std::sync::atomic::AtomicUsize::new(0),
+            )),
+        );
+        let (left, right) = tables();
+        s.create_table(&left, cfg("L")).unwrap();
+        s.create_table(&right, cfg("R")).unwrap();
+        let inputs = vec![
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k")),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k").filter(
+                "L",
+                "color",
+                vec!["red".into()],
+            )),
+            QueryInput::from(JoinQuery::on("L", "k", "R", "k").filter(
+                "L",
+                "color",
+                vec!["blue".into()],
+            )),
+            QueryInput::from(JoinQuery::on("L", "k", "NoSuchTable", "k")),
+        ];
+        let outcomes = s.execute_all_partial(&inputs);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes[0].is_ok(), "unaffected query must still answer");
+        assert!(matches!(outcomes[1], Err(DbError::PayloadCorrupted)));
+        assert!(
+            outcomes[2].is_ok(),
+            "later slots survive an earlier failure"
+        );
+        assert!(
+            matches!(outcomes[3], Err(DbError::UnknownTable(_))),
+            "a plan-time failure stays in its own slot"
+        );
+        // Both executed joins are in the ledger, exactly as with
+        // `execute_all`.
+        assert_eq!(s.leakage_report().queries, 2);
+        // The session is not poisoned: the same series succeeds once
+        // the fault clears (the flaky backend only rejects call #1).
+        let ok = s
+            .execute_all(&inputs[..3])
+            .expect("series succeeds after the fault clears");
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn execute_all_partial_on_nothing_is_empty() {
+        let mut s = session();
+        assert!(s.execute_all_partial(&[]).is_empty());
     }
 
     #[test]

@@ -940,21 +940,81 @@ impl<E: Engine> EncryptedStore<E> {
         })
     }
 
-    /// Write the snapshot atomically (`path.tmp` + rename).
+    /// Write the snapshot atomically **and durably**: serialize to
+    /// `path.tmp`, `sync_all` it, rename over `path`, then fsync the
+    /// parent directory so the rename itself survives a power cut (on
+    /// some filesystems a rename without a directory fsync can be lost,
+    /// resurrecting the old snapshot — or on a fresh save, no snapshot
+    /// at all).
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
         let bytes = self.snapshot_bytes();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| DbError::Snapshot(format!("create {}: {e}", tmp.display())))?;
+        std::io::Write::write_all(&mut file, &bytes)
             .map_err(|e| DbError::Snapshot(format!("write {}: {e}", tmp.display())))?;
+        file.sync_all()
+            .map_err(|e| DbError::Snapshot(format!("fsync {}: {e}", tmp.display())))?;
+        store_failpoint("store::save::after_tmp_write")?;
         std::fs::rename(&tmp, path)
-            .map_err(|e| DbError::Snapshot(format!("rename to {}: {e}", path.display())))
+            .map_err(|e| DbError::Snapshot(format!("rename to {}: {e}", path.display())))?;
+        store_failpoint("store::save::after_rename")?;
+        sync_parent_dir(path)
     }
 
-    /// Load a snapshot written by [`EncryptedStore::save`].
+    /// Load a snapshot written by [`EncryptedStore::save`], sweeping
+    /// any stale `path.tmp` a crash mid-save left behind (it is at best
+    /// a complete copy of what `path` already holds, at worst a torn
+    /// write — never the only copy of anything).
     pub fn load(path: &Path) -> Result<Self, DbError> {
+        sweep_stale_tmp(path);
+        store_failpoint("store::load")?;
         let bytes = std::fs::read(path)
             .map_err(|e| DbError::Snapshot(format!("read {}: {e}", path.display())))?;
         Self::from_snapshot_bytes(&bytes)
+    }
+}
+
+/// Remove a stale `path.tmp` left by a crash between serialization and
+/// rename. Best-effort: a failure to remove only resurfaces on the
+/// next save.
+pub(crate) fn sweep_stale_tmp(path: &Path) {
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Fsync the directory containing `path`, making a just-completed
+/// rename durable. A missing parent (relative path with no directory
+/// component) falls back to `.`.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), DbError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = std::fs::File::open(parent)
+        .map_err(|e| DbError::Snapshot(format!("open dir {}: {e}", parent.display())))?;
+    dir.sync_all()
+        .map_err(|e| DbError::Snapshot(format!("fsync dir {}: {e}", parent.display())))
+}
+
+/// Evaluate a failpoint planted at one exact position in the save/load
+/// protocol: `delay` stalls there, `abort` kills the process in its
+/// tracks — a crash at exactly this point — and any failure action
+/// (`return-error`, or the I/O-only `partial-write`/`drop-conn`)
+/// surfaces as a typed [`DbError::Snapshot`].
+fn store_failpoint(name: &str) -> Result<(), DbError> {
+    match eqjoin_failpoint::failpoint!(name) {
+        None => Ok(()),
+        Some(eqjoin_failpoint::Action::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(eqjoin_failpoint::Action::Abort) => std::process::abort(),
+        Some(_) => Err(DbError::Snapshot(format!(
+            "failpoint {name}: injected error"
+        ))),
     }
 }
 

@@ -40,12 +40,14 @@ use crate::admission::{Admission, AdmitTicket};
 use crate::sys;
 use eqjoin_db::backend::MAX_FRAME_BYTES;
 use eqjoin_db::{peek_envelope, DbError, Request, RequestEnvelope, Response, ServerApi};
+use eqjoin_failpoint::{failpoint, Action};
 use eqjoin_pairing::Engine;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`NetServer::serve`].
 #[derive(Clone, Debug)]
@@ -60,6 +62,12 @@ pub struct NetConfig {
     /// servers share a process (tests): a signalfd steals the signal
     /// from every other consumer.
     pub handle_sigterm: bool,
+    /// Close a connection that has been completely idle — no admitted
+    /// work in flight, nothing pending, nothing left to flush — for
+    /// this long (`None` = keep idle connections forever). A
+    /// connection waiting on a slow join is *not* idle and is never
+    /// reaped, however long the join takes.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -69,6 +77,7 @@ impl Default for NetConfig {
             max_inflight: 64,
             queue_depth: 256,
             handle_sigterm: false,
+            io_timeout: None,
         }
     }
 }
@@ -169,6 +178,9 @@ struct Conn {
     kill_after_flush: bool,
     /// Last interest mask registered with epoll.
     interest: u32,
+    /// Last moment bytes moved on this socket (either direction);
+    /// the idle reaper measures from here.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -183,6 +195,7 @@ impl Conn {
             peer_closed: false,
             kill_after_flush: false,
             interest: 0,
+            last_activity: Instant::now(),
         }
     }
 
@@ -274,6 +287,7 @@ impl NetServer {
                 &admission,
                 &queue,
                 &completions,
+                config.io_timeout,
             );
             // Unblock the workers whether the loop drained or failed.
             queue.shutdown();
@@ -319,6 +333,7 @@ fn execute<E: Engine>(backend: &dyn ServerApi<E>, payload: &[u8]) -> (Vec<u8>, b
 
 /// The reactor proper. Returns after a drain completes or on a fatal
 /// epoll/listener error.
+#[allow(clippy::too_many_arguments)]
 fn event_loop(
     listener: TcpListener,
     wake_fd: i32,
@@ -326,6 +341,7 @@ fn event_loop(
     admission: &Arc<Admission>,
     queue: &JobQueue,
     completions: &Mutex<Vec<Completion>>,
+    io_timeout: Option<Duration>,
 ) -> Result<(), DbError> {
     let transport = |e: io::Error, what: &str| DbError::Transport(format!("{what}: {e}"));
     listener
@@ -358,7 +374,24 @@ fn event_loop(
     let mut scratch = vec![0u8; 64 * 1024];
 
     let result = loop {
-        let n = match sys::epoll_wait(epfd, &mut events, -1) {
+        // With an idle timeout configured, wake when the earliest
+        // idle-eligible connection crosses its deadline; otherwise
+        // sleep until an fd is ready.
+        let timeout_ms: i32 = match io_timeout {
+            None => -1,
+            Some(limit) => {
+                let now = Instant::now();
+                conns
+                    .values()
+                    .filter(|c| c.quiescent())
+                    .map(|c| limit.saturating_sub(now.duration_since(c.last_activity)))
+                    .min()
+                    .map_or(-1, |until| {
+                        i32::try_from(until.as_millis().saturating_add(1)).unwrap_or(i32::MAX)
+                    })
+            }
+        };
+        let n = match sys::epoll_wait(epfd, &mut events, timeout_ms) {
             Ok(n) => n,
             Err(e) => break Err(transport(e, "epoll_wait")),
         };
@@ -448,7 +481,31 @@ fn event_loop(
                 }
             }
         }
+        // Idle reaper: a connection with no admitted work, nothing
+        // pending and nothing to flush that has been silent past the
+        // deadline is closed. In-flight joins are exempt.
+        if let Some(limit) = io_timeout {
+            let now = Instant::now();
+            let stale: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.quiescent() && now.duration_since(c.last_activity) >= limit)
+                .map(|(token, _)| *token)
+                .collect();
+            for token in stale {
+                close_conn(epfd, &mut conns, token);
+            }
+        }
         if drain_now && !draining {
+            match failpoint!("reactor::drain") {
+                Some(Action::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                Some(Action::Abort) => std::process::abort(),
+                Some(Action::ReturnError | Action::DropConn | Action::PartialWrite(_)) => {
+                    break Err(DbError::Transport(
+                        "failpoint reactor::drain: injected error".into(),
+                    ));
+                }
+                None => {}
+            }
             draining = true;
             // Close the listener NOW: new connections are refused the
             // moment the drain starts.
@@ -523,14 +580,25 @@ pub fn next_frame(buf: &[u8], pos: usize) -> FrameStep<'_> {
 /// each and queue the outcome. Returns `false` if the connection is
 /// dead (reset / unrecoverable).
 fn read_frames(conn: &mut Conn, admission: &Arc<Admission>, scratch: &mut [u8]) -> bool {
+    match failpoint!("reactor::read") {
+        Some(Action::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(Action::Abort) => std::process::abort(),
+        // A torn read and an injected error both surface the same way
+        // a real socket fault does: the connection is dead.
+        Some(Action::ReturnError | Action::DropConn | Action::PartialWrite(_)) => return false,
+        None => {}
+    }
     loop {
         match conn.stream.read(scratch) {
             Ok(0) => {
                 conn.peer_closed = true;
                 break;
             }
-            // audit-allow(panic-freedom): read() returns at most scratch.len() bytes
-            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                // audit-allow(panic-freedom): read() returns at most scratch.len() bytes
+                conn.read_buf.extend_from_slice(&scratch[..n]);
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return false,
@@ -597,11 +665,35 @@ fn service_conn(epfd: i32, token: u64, conn: &mut Conn, queue: &JobQueue, draini
             None => break,
         }
     }
+    match failpoint!("reactor::write") {
+        Some(Action::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(Action::Abort) => std::process::abort(),
+        Some(Action::PartialWrite(n)) if conn.write_pending() => {
+            // Deliver a prefix of the buffered bytes, then poison the
+            // connection exactly as a peer reset below would.
+            let torn = conn.write_buf.len().min(conn.write_pos.saturating_add(n));
+            if let Some(prefix) = conn.write_buf.get(conn.write_pos..torn) {
+                let _ = conn.stream.write(prefix);
+            }
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            conn.peer_closed = true;
+        }
+        Some(Action::ReturnError | Action::DropConn) if conn.write_pending() => {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            conn.peer_closed = true;
+        }
+        Some(_) | None => {}
+    }
     while conn.write_pending() {
         // audit-allow(panic-freedom): write_pending() guarantees write_pos <= write_buf.len()
         match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => break,
-            Ok(n) => conn.write_pos += n,
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.write_pos += n;
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {

@@ -226,6 +226,7 @@ fn overload_rejects_in_order_without_dropping_admitted_responses() {
         max_inflight: 0,
         queue_depth: 1,
         handle_sigterm: false,
+        io_timeout: None,
     });
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_nodelay(true).unwrap();
@@ -267,6 +268,7 @@ fn per_tenant_admission_does_not_starve_other_tenants() {
         max_inflight: 1,
         queue_depth: 0,
         handle_sigterm: false,
+        io_timeout: None,
     });
     let for_tenant = |tenant: &str| Request::WithTenant {
         tenant: tenant.into(),
@@ -317,4 +319,48 @@ fn drain_finishes_inflight_work_before_exiting() {
     drain(addr, thread);
     // After the drain the listener is gone.
     assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn idle_connections_are_reaped_but_active_ones_survive() {
+    // A 150ms idle deadline: a connection that goes quiet is closed by
+    // the reactor, while one that keeps talking stays up well past the
+    // deadline.
+    let (addr, _registry, thread) = spawn_epoll(NetConfig {
+        io_timeout: Some(std::time::Duration::from_millis(150)),
+        ..NetConfig::default()
+    });
+
+    let idle = TcpStream::connect(addr).unwrap();
+    idle.set_nodelay(true).unwrap();
+    let mut active = TcpStream::connect(addr).unwrap();
+    active.set_nodelay(true).unwrap();
+
+    // Keep the active connection busy across 3x the idle deadline.
+    for _ in 0..6 {
+        std::thread::sleep(std::time::Duration::from_millis(75));
+        active.write_all(&frame(&Request::Ping)).unwrap();
+        assert!(matches!(read_response(&mut active), Response::Pong));
+    }
+
+    // The idle socket must have been closed server-side by now: a read
+    // observes EOF (not a timeout/hang).
+    idle.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut probe = idle;
+    use std::io::Read;
+    let mut buf = [0u8; 1];
+    match probe.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("idle connection got {n} unexpected bytes"),
+        // A reset is also an acceptable way to learn the peer hung up.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("expected EOF on the reaped connection, got {e}"),
+    }
+
+    // The active connection still answers after the reaping.
+    active.write_all(&frame(&Request::Ping)).unwrap();
+    assert!(matches!(read_response(&mut active), Response::Pong));
+    drop(active);
+    drain(addr, thread);
 }

@@ -54,6 +54,7 @@ struct Options {
     workers: usize,
     max_inflight: usize,
     queue_depth: usize,
+    io_timeout: u64,
     tenants: Option<Vec<String>>,
     data_dir: Option<String>,
     decrypt_cache_cap: Option<usize>,
@@ -63,8 +64,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: eqjoind [--listen ADDR] [--engine bls|mock] [--net threads|epoll]\n\
          \x20              [--shards N] [--threads T] [--workers W] [--max-inflight N]\n\
-         \x20              [--queue-depth N] [--tenants A,B,..] [--data-dir DIR]\n\
-         \x20              [--decrypt-cache-cap N]\n\
+         \x20              [--queue-depth N] [--io-timeout SECS] [--tenants A,B,..]\n\
+         \x20              [--data-dir DIR] [--decrypt-cache-cap N]\n\
          \n\
          --listen ADDR           bind address (default 127.0.0.1:4747; port 0 picks one)\n\
          --engine NAME           pairing engine, must match clients (default bls)\n\
@@ -82,6 +83,9 @@ fn usage() -> ! {
          \x20                       are refused with a typed 'overloaded' error\n\
          --queue-depth N         epoll layer: global cap on admitted requests\n\
          \x20                       (0 = unlimited; default 256)\n\
+         --io-timeout SECS       close a connection idle for SECS seconds — both\n\
+         \x20                       layers (0 = never; default 30); in-flight joins\n\
+         \x20                       are never cut short\n\
          --tenants A,B,..        allow-list of tenant namespaces (default: any\n\
          \x20                       well-formed tenant name materializes on first use)\n\
          --data-dir DIR          persist the store (tables + prepared pairing state +\n\
@@ -103,6 +107,7 @@ fn parse_options() -> Options {
         workers: 0,
         max_inflight: 64,
         queue_depth: 256,
+        io_timeout: 30,
         tenants: None,
         data_dir: None,
         decrypt_cache_cap: None,
@@ -138,6 +143,11 @@ fn parse_options() -> Options {
                 options.queue_depth = value("--queue-depth")
                     .parse()
                     .unwrap_or_else(|_| usage_for("--queue-depth"))
+            }
+            "--io-timeout" => {
+                options.io_timeout = value("--io-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--io-timeout"))
             }
             "--tenants" => {
                 options.tenants = Some(
@@ -206,6 +216,12 @@ fn banner(addr: std::net::SocketAddr, engine: &str, options: &Options) {
     );
 }
 
+/// `--io-timeout` as both layers consume it: `0` disables the idle
+/// deadline entirely.
+fn io_timeout(options: &Options) -> Option<std::time::Duration> {
+    (options.io_timeout > 0).then(|| std::time::Duration::from_secs(options.io_timeout))
+}
+
 fn run_epoll<E: Engine>(options: &Options) -> ExitCode {
     if options.shards > 1 {
         eprintln!("eqjoind: --net epoll does not support --shards (use --workers)");
@@ -234,6 +250,7 @@ fn run_epoll<E: Engine>(options: &Options) -> ExitCode {
         max_inflight: options.max_inflight,
         queue_depth: options.queue_depth,
         handle_sigterm: true,
+        io_timeout: io_timeout(options),
     };
     match server.serve(backend, config) {
         Ok(()) => {
@@ -295,7 +312,7 @@ fn run_threads<E: Engine>(options: &Options) -> ExitCode {
         }
     };
     let server = match EqjoinServer::bind(options.listen.as_str()) {
-        Ok(server) => server,
+        Ok(server) => server.io_timeout(io_timeout(options)),
         Err(e) => {
             eprintln!("eqjoind: {e}");
             return ExitCode::FAILURE;

@@ -25,17 +25,17 @@ impl Daemon {
 
     /// [`Daemon::spawn`] with extra flags (e.g. `--net epoll`).
     pub fn spawn_with(data_dir: &std::path::Path, extra: &[&str]) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_eqjoind"))
-            .args([
-                "--engine",
-                "mock",
-                "--listen",
-                "127.0.0.1:0",
-                "--data-dir",
-                data_dir.to_str().expect("utf-8 temp path"),
-            ])
-            .args(extra)
-            .stderr(Stdio::piped())
+        Self::spawn_with_env(data_dir, extra, &[])
+    }
+
+    /// [`Daemon::spawn_with`] plus environment variables — the chaos
+    /// suite hands fault plans down via `EQJOIN_FAILPOINTS`.
+    pub fn spawn_with_env(
+        data_dir: &std::path::Path,
+        extra: &[&str],
+        env: &[(&str, &str)],
+    ) -> Daemon {
+        let mut child = Self::command(data_dir, extra, env)
             .spawn()
             .expect("spawn eqjoind");
         let stderr = child.stderr.take().expect("piped stderr");
@@ -60,6 +60,57 @@ impl Daemon {
             child: Some(child),
             addr,
         }
+    }
+
+    /// Spawn `eqjoind` expecting it to exit **without** ever serving
+    /// (e.g. a fault plan that fails the startup snapshot load):
+    /// returns its exit status and captured stderr. Panics if the
+    /// process is still alive after `timeout`.
+    pub fn spawn_expecting_exit(
+        data_dir: &std::path::Path,
+        extra: &[&str],
+        env: &[(&str, &str)],
+        timeout: Duration,
+    ) -> (ExitStatus, String) {
+        let child = Self::command(data_dir, extra, env)
+            .spawn()
+            .expect("spawn eqjoind");
+        let deadline = Instant::now() + timeout;
+        let mut child = child;
+        let status = loop {
+            match child.try_wait().expect("wait for eqjoind") {
+                Some(status) => break status,
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+                None => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("eqjoind stayed alive {timeout:?} when it was expected to exit");
+                }
+            }
+        };
+        let mut stderr = String::new();
+        if let Some(mut pipe) = child.stderr.take() {
+            use std::io::Read;
+            let _ = pipe.read_to_string(&mut stderr);
+        }
+        (status, stderr)
+    }
+
+    fn command(data_dir: &std::path::Path, extra: &[&str], env: &[(&str, &str)]) -> Command {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_eqjoind"));
+        command
+            .args([
+                "--engine",
+                "mock",
+                "--listen",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().expect("utf-8 temp path"),
+            ])
+            .args(extra)
+            .envs(env.iter().map(|(k, v)| (k.to_owned(), v.to_owned())))
+            .stderr(Stdio::piped());
+        command
     }
 
     /// Hard kill (SIGKILL): the abrupt-crash path.

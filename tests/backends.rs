@@ -98,8 +98,12 @@ fn encode(results: &[ResultSet]) -> Vec<Vec<u8>> {
 }
 
 /// Spawn a loopback `eqjoind` and return a session connected to it.
+/// The session outlives this helper (it may reconnect mid-test after
+/// an injected or real transport hiccup), so the server is detached
+/// for the remainder of the process rather than stopped on return.
 fn remote_session(token_cache: bool) -> Session<MockEngine> {
-    let (addr, _handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+    let (addr, handle) = EqjoinServer::spawn_local::<MockEngine>().unwrap();
+    handle.detach();
     Session::remote(config(token_cache), addr).unwrap()
 }
 
