@@ -244,6 +244,9 @@ struct Measurement {
     /// Server stats summed per pairwise stage index across the series.
     stage_totals: Vec<ServerStats>,
     ops: OpCounts,
+    /// Per-query wall-time distribution across the whole series (one
+    /// sample per executed query, chains included).
+    latency: eqjoin_obs::HistogramSnapshot,
 }
 
 /// Run the series and report one line; returns the full measurement.
@@ -257,10 +260,16 @@ fn measure<E: Engine>(
     let mut rows_decrypted = 0u64;
     let mut first_round_rows = 0u64;
     let mut stage_totals = vec![ServerStats::default(); mode.stages()];
+    // A private histogram per phase: the global registry's
+    // `eqjoin_session_query_seconds` mixes both arms, this one is the
+    // per-phase p50/p99 that lands in the JSON artifact.
+    let latency = eqjoin_obs::Histogram::default();
     let t0 = Instant::now();
     for round in 0..rounds {
         for input in refresh_inputs(mode) {
+            let t_query = Instant::now();
             let result = session.execute(input).expect("join");
+            latency.record(t_query.elapsed());
             rows_decrypted += result.stats.rows_decrypted as u64;
             if round == 0 {
                 first_round_rows += result.stats.rows_decrypted as u64;
@@ -292,7 +301,26 @@ fn measure<E: Engine>(
         first_round_rows,
         stage_totals,
         ops: ops::snapshot().since(&ops_before),
+        latency: latency.snapshot(),
     }
+}
+
+/// One phase's latency distribution as a JSON object (seconds).
+/// Percentiles come from the log-scale histogram, so they are bucket
+/// upper bounds — machine-dependent like all the timing keys, hence
+/// NOT in `GUARDED_KEYS`.
+fn latency_json(snap: &eqjoin_obs::HistogramSnapshot) -> String {
+    let s = |ns: u64| ns as f64 / 1e9;
+    format!(
+        "{{\"p50_s\": {:.6}, \"p90_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}, \
+         \"mean_s\": {:.6}, \"queries\": {}}}",
+        s(snap.percentile_ns(0.5)),
+        s(snap.percentile_ns(0.9)),
+        s(snap.percentile_ns(0.99)),
+        s(snap.max_ns),
+        s(snap.sum_ns / snap.count.max(1)),
+        snap.count,
+    )
 }
 
 fn ops_json(ops: &OpCounts) -> String {
@@ -619,6 +647,15 @@ fn series<E: Engine>(cfg: &RunConfig) {
         "crypto ops (cache on):  {:?}\ncrypto ops (cache off): {:?}",
         on.ops, off.ops
     );
+    let p = |snap: &eqjoin_obs::HistogramSnapshot, q: f64| snap.percentile_ns(q) as f64 / 1e9;
+    println!(
+        "per-query latency: cache off p50 {:.4} s / p99 {:.4} s | \
+         cache on p50 {:.4} s / p99 {:.4} s",
+        p(&off.latency, 0.5),
+        p(&off.latency, 0.99),
+        p(&on.latency, 0.5),
+        p(&on.latency, 0.99),
+    );
     let transport = cached.stats().transport;
     println!(
         "transport (cache-on session): {} round trips for {} requests ({} batched), \
@@ -706,7 +743,8 @@ fn series<E: Engine>(cfg: &RunConfig) {
          \"series_token_cache_off_s\": {:.6}, \"series_token_cache_on_s\": {:.6}}},\n  \
          \"tkgen_calls\": {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \
          \"token_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"decrypt_cache\": {{\"hits\": {}, \
-         \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"stages\": [{}],\n  \"crypto_ops\": \
+         \"rows_decrypted\": {}, \"hit_rate\": {:.6}}},\n  \"latency\": \
+         {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \"stages\": [{}],\n  \"crypto_ops\": \
          {{\"token_cache_off\": {}, \"token_cache_on\": {}}},\n  \"transport\": \
          {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
          \"bytes_received\": {}}},\n  \"restart\": {{\"cold_s\": {:.6}, \"warm_s\": {:.6}, \
@@ -731,6 +769,8 @@ fn series<E: Engine>(cfg: &RunConfig) {
         on.decrypt_cache_hits,
         on.rows_decrypted,
         hit_rate,
+        latency_json(&off.latency),
+        latency_json(&on.latency),
         stages_json,
         ops_json(&off.ops),
         ops_json(&on.ops),

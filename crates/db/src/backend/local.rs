@@ -290,6 +290,8 @@ impl<E: Engine> LocalBackend<E> {
         };
         match flushed {
             Ok(()) => {
+                eqjoin_obs::counter!("eqjoin_store_snapshot_flushes_total").inc();
+                eqjoin_obs::info!("snapshot_flush", "path" => path.display());
                 // The snapshot now covers every applied intent: the
                 // journal is dead weight (and must not replay over a
                 // *newer* snapshot than the one it was written against).
@@ -325,7 +327,7 @@ impl<E: Engine> LocalBackend<E> {
             | Request::Drain => true,
             Request::Batch(requests) => requests.iter().any(Self::is_mutation),
             Request::WithTenant { inner, .. } => Self::is_mutation(inner),
-            Request::Ping | Request::ExecuteJoin { .. } => false,
+            Request::Ping | Request::ExecuteJoin { .. } | Request::Stats => false,
         }
     }
 
@@ -419,6 +421,13 @@ impl<E: Engine> LocalBackend<E> {
             // nothing left to write — acknowledge. (The connection
             // layers own the stop-accepting/finish-in-flight part.)
             Request::Drain => Response::Pong,
+            // Observability snapshot: this backend's own counters (the
+            // snapshot includes the Stats request itself — `handle`
+            // counts before dispatching) plus the process exposition.
+            Request::Stats => Response::Stats(crate::protocol::ServerMetrics {
+                transport: self.counters.snapshot(),
+                exposition: eqjoin_obs::exposition(),
+            }),
             // This backend has exactly one namespace. Serving a tenant
             // envelope here would silently merge tenants' stores, so
             // refuse loudly — multi-tenant serving goes through the

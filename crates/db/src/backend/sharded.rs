@@ -174,6 +174,11 @@ impl<E: Engine> ShardedBackend<E> {
                 "backend has no tenant support (route through a tenant registry)".into(),
             )),
             Request::Batch(_) => Err(DbError::Protocol("nested request batch".into())),
+            // A stats probe riding inside a batch is answered by one
+            // shard; its process-wide exposition covers all shards
+            // anyway (top-level probes are intercepted in `handle` and
+            // answer with the aggregate transport counters instead).
+            Request::Stats => Ok(Placement::One(0)),
         }
     }
 
@@ -316,6 +321,13 @@ impl<E: Engine> ServerApi<E> for ShardedBackend<E> {
                     None => Response::Pong,
                 }
             }
+            // A top-level stats probe answers with the *aggregate*
+            // transport view (routing counters + shard wire bytes), not
+            // one shard's — mirroring `transport_stats`.
+            Request::Stats => Response::Stats(crate::protocol::ServerMetrics {
+                transport: ServerApi::<E>::transport_stats(self),
+                exposition: eqjoin_obs::exposition(),
+            }),
             single => match self.placement(&single) {
                 // Fast path: a routed request goes straight to its
                 // shard — no batch wrapping, no scoped fan-out.

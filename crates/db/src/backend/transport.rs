@@ -182,9 +182,13 @@ pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
             format!("failpoint {fp}: connection died after {budget} of {frame_len} bytes"),
         ));
     }
+    let start = std::time::Instant::now();
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
     stream.write_all(payload)?;
     stream.flush()?;
+    eqjoin_obs::histogram!("eqjoin_frame_write_seconds").record(start.elapsed());
+    eqjoin_obs::counter!("eqjoin_frames_sent_total").inc();
+    eqjoin_obs::counter!("eqjoin_frame_bytes_sent_total").add(payload.len() as u64 + 4);
     Ok(payload.len() as u64 + 4)
 }
 
@@ -214,6 +218,10 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
+    // Latency is measured from the first frame byte, not from call
+    // entry — a server parked in read_frame waiting for the next
+    // request would otherwise count idle time as frame latency.
+    let start = std::time::Instant::now();
     // audit-allow(panic-freedom): constant range on a fixed [u8; 4]
     stream.read_exact(&mut len_bytes[1..])?;
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -225,6 +233,9 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload)?;
+    eqjoin_obs::histogram!("eqjoin_frame_read_seconds").record(start.elapsed());
+    eqjoin_obs::counter!("eqjoin_frames_received_total").inc();
+    eqjoin_obs::counter!("eqjoin_frame_bytes_received_total").add(len as u64 + 4);
     Ok(Some(payload))
 }
 

@@ -178,6 +178,7 @@ impl<E: Engine> DbClient<E> {
         table: &Table,
         config: TableConfig,
     ) -> Result<EncryptedTable<E>, DbError> {
+        let _span = eqjoin_obs::span!("client_encrypt", "table" => table.schema.name);
         let schema = &table.schema;
         let join_idx =
             schema
@@ -237,6 +238,7 @@ impl<E: Engine> DbClient<E> {
         table: &str,
         rows: &[Vec<Value>],
     ) -> Result<(u64, Vec<EncryptedRow<E>>), DbError> {
+        let _span = eqjoin_obs::span!("client_encrypt", "table" => table);
         let state = self
             .tables
             .get(table)
@@ -442,6 +444,7 @@ impl<E: Engine> DbClient<E> {
         }
 
         self.stats.tkgen_calls += 1;
+        let _span = eqjoin_obs::span!("client_tkgen", "table" => table);
         let token = SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng);
         Ok(SideTokens {
             table: table.clone(),

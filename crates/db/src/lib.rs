@@ -79,6 +79,7 @@ pub mod data;
 pub mod encrypted;
 pub mod error;
 pub mod join;
+pub mod obs_bridge;
 pub mod plan;
 pub mod protocol;
 pub mod query;
@@ -97,7 +98,7 @@ pub use error::DbError;
 pub use join::JoinAlgorithm;
 pub use plan::{ColumnId, LoweredPlan, OutputColumn, PlanNode, QueryPlan, Stage};
 pub use protocol::{
-    peek_envelope, valid_tenant_name, Request, RequestEnvelope, Response, ServerApi,
+    peek_envelope, valid_tenant_name, Request, RequestEnvelope, Response, ServerApi, ServerMetrics,
 };
 pub use query::{InFilter, JoinQuery};
 pub use server::{

@@ -117,6 +117,13 @@ pub enum Request<E: Engine> {
     /// connections, finish in-flight work, then exit. In-process
     /// backends flush and answer [`Response::Pong`].
     Drain,
+    /// Ask the server for its observability snapshot: cumulative
+    /// transport counters plus a full Prometheus-text metrics
+    /// exposition ([`Response::Stats`]). Read-only, so unlike
+    /// [`Request::Drain`] it may ride inside a batch or a tenant
+    /// envelope (a tenant envelope scopes the transport counters to
+    /// that tenant's namespace).
+    Stats,
 }
 
 impl<E: Engine> Request<E> {
@@ -195,6 +202,19 @@ pub fn peek_envelope(payload: &[u8]) -> RequestEnvelope {
     }
 }
 
+/// What a server reports for [`Request::Stats`]: the programmatic
+/// counter snapshot plus the same Prometheus-text exposition the
+/// `--metrics-addr` listener serves, so a client can introspect a live
+/// server over the ordinary wire without a second endpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Cumulative transport counters, scoped to the answering backend
+    /// (the whole server, or one tenant under a tenant envelope).
+    pub transport: TransportStats,
+    /// Prometheus text exposition of the server process's registry.
+    pub exposition: String,
+}
+
 /// A server→client message.
 ///
 /// No variant carries engine-typed data (matched pairs are returned as
@@ -237,6 +257,8 @@ pub enum Response {
     Error(DbError),
     /// Answer to [`Request::Batch`], element `i` answering request `i`.
     Batch(Vec<Response>),
+    /// Answer to [`Request::Stats`].
+    Stats(ServerMetrics),
 }
 
 /// A join-database backend: anything that can answer the protocol.
@@ -844,6 +866,7 @@ impl<E: Engine> Request<E> {
                 w.out
             }
             Request::Drain => Writer::new(7).out,
+            Request::Stats => Writer::new(8).out,
         }
     }
 
@@ -922,6 +945,7 @@ impl<E: Engine> Request<E> {
                 }
             }
             7 => Request::Drain,
+            8 => Request::Stats,
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -1000,6 +1024,20 @@ impl Response {
                 w.u64(*rows as u64);
                 w.out
             }
+            Response::Stats(metrics) => {
+                let mut w = Writer::new(7);
+                let t = &metrics.transport;
+                w.u64(t.round_trips);
+                w.u64(t.requests);
+                w.u64(t.batches);
+                w.u64(t.bytes_sent);
+                w.u64(t.bytes_received);
+                w.u64(t.reconnects);
+                w.u64(t.retries);
+                w.u64(t.gave_up);
+                w.str(&metrics.exposition);
+                w.out
+            }
         }
     }
 
@@ -1073,6 +1111,19 @@ impl Response {
                 table: r.str()?,
                 rows: r.u64()? as usize,
             },
+            7 => Response::Stats(ServerMetrics {
+                transport: TransportStats {
+                    round_trips: r.u64()?,
+                    requests: r.u64()?,
+                    batches: r.u64()?,
+                    bytes_sent: r.u64()?,
+                    bytes_received: r.u64()?,
+                    reconnects: r.u64()?,
+                    retries: r.u64()?,
+                    gave_up: r.u64()?,
+                },
+                exposition: r.str()?,
+            }),
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
         r.finish()?;

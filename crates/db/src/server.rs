@@ -276,6 +276,11 @@ impl<E: Engine> DbServer<E> {
         opts: &JoinOptions,
         projection: &PayloadProjection,
     ) -> Result<(EncryptedJoinResult, JoinObservation), DbError> {
+        let _span = eqjoin_obs::span!(
+            "join",
+            "left" => tokens.left.table,
+            "right" => tokens.right.table,
+        );
         let left_table = self
             .store
             .table(&tokens.left.table)
@@ -352,6 +357,19 @@ impl<E: Engine> DbServer<E> {
                 })
                 .collect(),
         };
+
+        // The leakage account, live: each executed join is one more
+        // ledger entry server-side, and the equality classes the match
+        // revealed are the pattern the paper's bound is about — export
+        // both so cumulative disclosure is scrapeable next to latency.
+        eqjoin_obs::counter!("eqjoin_leakage_queries_total").inc();
+        eqjoin_obs::counter!("eqjoin_leakage_equality_classes_total")
+            .add(observation.equality_classes.len() as u64);
+        eqjoin_obs::counter!("eqjoin_join_matched_pairs_total").add(stats.matched_pairs as u64);
+        eqjoin_obs::counter!("eqjoin_join_comparisons_total").add(stats.comparisons);
+        eqjoin_obs::counter!("eqjoin_join_rows_decrypted_total").add(stats.rows_decrypted as u64);
+        eqjoin_obs::counter!("eqjoin_join_rows_prefiltered_out_total")
+            .add(stats.rows_prefiltered_out as u64);
 
         Ok((EncryptedJoinResult { pairs, stats }, observation))
     }

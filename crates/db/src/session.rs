@@ -563,6 +563,21 @@ impl<E: Engine> Session<E> {
         self.backend.transport_stats()
     }
 
+    /// Ask the *server* for its observability snapshot over the wire
+    /// ([`Request::Stats`]): the server-side transport counters plus
+    /// its full Prometheus exposition. A tenant-scoped session gets
+    /// counters scoped to its namespace. Never sent implicitly — the
+    /// probe itself is one ordinary (counted) round trip.
+    pub fn server_metrics(&self) -> Result<crate::protocol::ServerMetrics, DbError> {
+        match self.dispatch(Request::Stats) {
+            Response::Stats(metrics) => Ok(metrics),
+            Response::Error(e) => Err(e),
+            _ => Err(DbError::Protocol(
+                "backend answered Stats with the wrong response kind".into(),
+            )),
+        }
+    }
+
     /// Encrypt a plaintext table under the session keys and upload it to
     /// the backend.
     pub fn create_table(&mut self, table: &Table, config: TableConfig) -> Result<(), DbError> {
@@ -698,8 +713,10 @@ impl<E: Engine> Session<E> {
         };
         if cache_hit {
             self.stats.token_cache_hits += 1;
+            eqjoin_obs::counter!("eqjoin_session_token_cache_hits_total").inc();
         } else {
             self.stats.token_cache_misses += 1;
+            eqjoin_obs::counter!("eqjoin_session_token_cache_misses_total").inc();
         }
         Ok((tokens, cache_hit))
     }
@@ -958,6 +975,10 @@ impl<E: Engine> Session<E> {
         &mut self,
         prepared: Vec<Result<PreparedQuery, DbError>>,
     ) -> Vec<Result<ResultSet, DbError>> {
+        // One record per dispatch: for `execute` this is exactly the
+        // per-query end-to-end latency (tokens → backend → stitch →
+        // decrypt); a batched series records its whole round trip once.
+        let _span = eqjoin_obs::span!("session_query");
         // A slot that failed before dispatch keeps its own error and
         // ships no stages; the rest share one batch.
         enum Slot {

@@ -257,6 +257,7 @@ impl<E: Engine> TableStore<E> {
             .iter()
             .flat_map(|row| row.cipher.elements().iter().cloned())
             .collect();
+        eqjoin_obs::counter!("eqjoin_store_prepared_pairings_total").add(elements.len() as u64);
         let mut prepared_elements = E::g2_prepare_batch(&elements).into_iter();
         for (i, (row, version)) in rows.into_iter().zip(versions).enumerate() {
             self.ids.push(start_row + i as u64);
@@ -360,6 +361,7 @@ impl DecryptCache {
                 break; // unreachable: the loop guard keeps the map non-empty
             };
             self.entries.remove(&oldest);
+            eqjoin_obs::counter!("eqjoin_store_decrypt_cache_evictions_total").inc();
         }
     }
 
@@ -551,6 +553,7 @@ impl<E: Engine> EncryptedStore<E> {
         threads: usize,
         stats: &mut ServerStats,
     ) -> Result<Vec<(usize, Vec<u8>)>, DbError> {
+        let _span = eqjoin_obs::span!("store_sj_dec", "table" => side.table);
         let table = self
             .tables
             .get(&side.table)
@@ -599,6 +602,10 @@ impl<E: Engine> EncryptedStore<E> {
                     .map(|&pos| (table.ids[pos] as usize, None)),
             );
         }
+
+        eqjoin_obs::counter!("eqjoin_store_decrypt_cache_hits_total")
+            .add((candidates.len() - misses.len()) as u64);
+        eqjoin_obs::counter!("eqjoin_store_decrypt_cache_misses_total").add(misses.len() as u64);
 
         // Phase 2 — decrypt the misses against the prepared rows.
         let fresh = decrypt_positions(table, &side.token, &misses, threads);
@@ -947,6 +954,7 @@ impl<E: Engine> EncryptedStore<E> {
     /// resurrecting the old snapshot — or on a fresh save, no snapshot
     /// at all).
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let _span = eqjoin_obs::span!("store_snapshot_save");
         let bytes = self.snapshot_bytes();
         let tmp = path.with_extension("tmp");
         let mut file = std::fs::File::create(&tmp)
@@ -967,6 +975,7 @@ impl<E: Engine> EncryptedStore<E> {
     /// a complete copy of what `path` already holds, at worst a torn
     /// write — never the only copy of anything).
     pub fn load(path: &Path) -> Result<Self, DbError> {
+        let _span = eqjoin_obs::span!("store_snapshot_load");
         sweep_stale_tmp(path);
         store_failpoint("store::load")?;
         let bytes = std::fs::read(path)

@@ -42,6 +42,7 @@ impl Admission {
         let global = self.global.fetch_add(1, Ordering::AcqRel);
         if self.queue_depth > 0 && global >= self.queue_depth {
             self.global.fetch_sub(1, Ordering::AcqRel);
+            record_overload(tenant);
             return Err(DbError::Overloaded {
                 tenant: None,
                 in_flight: global,
@@ -55,6 +56,7 @@ impl Admission {
                 let in_flight = *count;
                 drop(per_tenant);
                 self.global.fetch_sub(1, Ordering::AcqRel);
+                record_overload(tenant);
                 return Err(DbError::Overloaded {
                     tenant: tenant.map(str::to_owned),
                     in_flight,
@@ -63,6 +65,7 @@ impl Admission {
             }
             *count += 1;
         }
+        eqjoin_obs::gauge!("eqjoin_net_queue_depth").inc();
         Ok(AdmitTicket {
             admission: Arc::clone(self),
             tenant: tenant.map(str::to_owned),
@@ -83,8 +86,26 @@ pub struct AdmitTicket {
     tenant: Option<String>,
 }
 
+/// Count one refused admission under `overload_rejections{tenant}` —
+/// both refusal sites (global queue depth and per-tenant cap) report
+/// here, so per-tenant pressure is visible over time, not just in the
+/// in-band error the rejected client saw. Tenantless traffic reports
+/// as `tenant="default"`, matching the tenant registry's label.
+fn record_overload(tenant: Option<&str>) {
+    eqjoin_obs::counter!(
+        "eqjoin_net_overload_rejections_total",
+        "tenant" => tenant.unwrap_or("default")
+    )
+    .inc();
+    eqjoin_obs::info!(
+        "admission_rejected",
+        "tenant" => tenant.unwrap_or("default"),
+    );
+}
+
 impl Drop for AdmitTicket {
     fn drop(&mut self) {
+        eqjoin_obs::gauge!("eqjoin_net_queue_depth").dec();
         self.admission.global.fetch_sub(1, Ordering::AcqRel);
         let mut per_tenant = self
             .admission

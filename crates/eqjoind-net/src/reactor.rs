@@ -370,6 +370,7 @@ fn event_loop(
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token = FIRST_CONN;
     let mut draining = false;
+    let mut drain_started: Option<Instant> = None;
     let mut events = [sys::EpollEvent::default(); 64];
     let mut scratch = vec![0u8; 64 * 1024];
 
@@ -405,7 +406,7 @@ fn event_loop(
                     let Some(l) = &listener else { continue };
                     loop {
                         match l.accept() {
-                            Ok((stream, _)) => {
+                            Ok((stream, peer)) => {
                                 if draining {
                                     continue; // accepted in a race; drop.
                                 }
@@ -422,6 +423,13 @@ fn event_loop(
                                 let mut conn = Conn::new(stream);
                                 conn.interest = interest;
                                 conns.insert(token, conn);
+                                eqjoin_obs::counter!("eqjoin_net_accepts_total").inc();
+                                eqjoin_obs::gauge!("eqjoin_net_connections").inc();
+                                eqjoin_obs::info!(
+                                    "conn_open",
+                                    "conn" => token,
+                                    "peer" => peer,
+                                );
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -507,6 +515,8 @@ fn event_loop(
                 None => {}
             }
             draining = true;
+            drain_started = Some(Instant::now());
+            eqjoin_obs::info!("drain_begin", "open_conns" => conns.len());
             // Close the listener NOW: new connections are refused the
             // moment the drain starts.
             if let Some(l) = listener.take() {
@@ -523,6 +533,11 @@ fn event_loop(
             }
         }
         if draining && conns.is_empty() {
+            if let Some(started) = drain_started {
+                let elapsed = started.elapsed();
+                eqjoin_obs::histogram!("eqjoin_net_drain_seconds").record(elapsed);
+                eqjoin_obs::info!("drain_complete", "elapsed_ms" => elapsed.as_millis());
+            }
             break Ok(());
         }
     };
@@ -745,6 +760,8 @@ fn maybe_close(epfd: i32, conns: &mut HashMap<u64, Conn>, token: u64, draining: 
 fn close_conn(epfd: i32, conns: &mut HashMap<u64, Conn>, token: u64) {
     if let Some(conn) = conns.remove(&token) {
         let _ = sys::epoll_ctl(epfd, sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), None);
+        eqjoin_obs::gauge!("eqjoin_net_connections").dec();
+        eqjoin_obs::info!("conn_close", "conn" => token);
         // `conn.stream` drops here, closing the socket. Pending
         // tickets drop with it, releasing their admission slots.
     }

@@ -20,22 +20,38 @@
 //! (thread-per-connection and epoll) get multi-tenancy for free.
 
 use eqjoin_db::TransportStats;
-use eqjoin_db::{valid_tenant_name, DbError, LocalBackend, Request, Response, ServerApi};
+use eqjoin_db::{
+    valid_tenant_name, DbError, LocalBackend, Request, Response, ServerApi, ServerMetrics,
+};
 use eqjoin_pairing::Engine;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Cached per-tenant observability handles — resolved once per tenant,
+/// so the per-request path is three `Relaxed` atomic ops, not a
+/// registry lookup.
+struct TenantMetrics {
+    requests: Arc<eqjoin_obs::Counter>,
+    errors: Arc<eqjoin_obs::Counter>,
+    latency: Arc<eqjoin_obs::Histogram>,
+}
+
+/// The label the default (tenantless) namespace reports under.
+const DEFAULT_TENANT_LABEL: &str = "default";
 
 /// Routes requests to per-tenant [`LocalBackend`]s, creating them on
 /// first use (or only for an allow-listed set of names).
 pub struct TenantRegistry<E: Engine> {
     default: LocalBackend<E>,
     tenants: RwLock<HashMap<String, Arc<LocalBackend<E>>>>,
-    /// `Some` restricts tenants to this set; `None` creates on demand.
+    /// `Some` restricts tenants to this set; `None` admits any name.
     allowed: Option<Vec<String>>,
     data_dir: Option<PathBuf>,
     threads: Option<usize>,
     cache_cap: Option<usize>,
+    obs: RwLock<HashMap<String, Arc<TenantMetrics>>>,
 }
 
 impl<E: Engine> TenantRegistry<E> {
@@ -53,6 +69,7 @@ impl<E: Engine> TenantRegistry<E> {
             data_dir: None,
             threads,
             cache_cap,
+            obs: RwLock::new(HashMap::new()),
         }
     }
 
@@ -78,7 +95,31 @@ impl<E: Engine> TenantRegistry<E> {
             data_dir: Some(data_dir),
             threads,
             cache_cap,
+            obs: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// The cached observability handles for `tenant` (the default
+    /// namespace reports as `tenant="default"`).
+    fn metrics_for(&self, tenant: &str) -> Arc<TenantMetrics> {
+        if let Some(metrics) = self
+            .obs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+        {
+            return Arc::clone(metrics);
+        }
+        let mut obs = self.obs.write().unwrap_or_else(|e| e.into_inner());
+        let registry = eqjoin_obs::registry();
+        Arc::clone(obs.entry(tenant.to_owned()).or_insert_with(|| {
+            let label = Some(("tenant", tenant));
+            Arc::new(TenantMetrics {
+                requests: registry.counter_labeled("eqjoin_tenant_requests_total", label),
+                errors: registry.counter_labeled("eqjoin_tenant_errors_total", label),
+                latency: registry.histogram_labeled("eqjoin_tenant_request_seconds", label),
+            })
+        }))
     }
 
     /// The backend serving `tenant`, created on first use.
@@ -171,19 +212,55 @@ impl<E: Engine> TenantRegistry<E> {
     }
 }
 
+/// Does a response report any failure (top level or inside a batch)?
+fn has_error(response: &Response) -> bool {
+    match response {
+        Response::Error(_) => true,
+        Response::Batch(responses) => responses.iter().any(has_error),
+        _ => false,
+    }
+}
+
 impl<E: Engine> ServerApi<E> for TenantRegistry<E> {
     fn handle(&self, request: Request<E>) -> Response {
         match request {
-            Request::WithTenant { tenant, inner } => match self.tenant_backend(&tenant) {
-                Ok(backend) => backend.handle(*inner),
-                Err(e) => Response::Error(e),
-            },
+            Request::WithTenant { tenant, inner } => {
+                let metrics = self.metrics_for(&tenant);
+                metrics.requests.add(inner.request_count());
+                let start = Instant::now();
+                let response = match self.tenant_backend(&tenant) {
+                    Ok(backend) => backend.handle(*inner),
+                    Err(e) => Response::Error(e),
+                };
+                metrics.latency.record(start.elapsed());
+                if has_error(&response) {
+                    metrics.errors.inc();
+                }
+                response
+            }
             // Drain flushes EVERY namespace, not just the default one.
             Request::Drain => match self.flush_all() {
                 Ok(()) => Response::Pong,
                 Err(e) => Response::Error(e),
             },
-            other => self.default.handle(other),
+            // A top-level (tenantless) stats probe reports the
+            // *aggregate* transport view across every namespace; wrap
+            // it in a tenant envelope to scope it to one tenant.
+            Request::Stats => Response::Stats(ServerMetrics {
+                transport: ServerApi::<E>::transport_stats(self),
+                exposition: eqjoin_obs::exposition(),
+            }),
+            other => {
+                let metrics = self.metrics_for(DEFAULT_TENANT_LABEL);
+                metrics.requests.add(other.request_count());
+                let start = Instant::now();
+                let response = self.default.handle(other);
+                metrics.latency.record(start.elapsed());
+                if has_error(&response) {
+                    metrics.errors.inc();
+                }
+                response
+            }
         }
     }
 

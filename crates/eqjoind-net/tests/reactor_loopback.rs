@@ -228,6 +228,15 @@ fn overload_rejects_in_order_without_dropping_admitted_responses() {
         handle_sigterm: false,
         io_timeout: None,
     });
+    // Tenantless overload shows up under `tenant="default"` — counter
+    // deltas, because the process-wide registry is shared across tests.
+    let rejections = || {
+        eqjoin_obs::registry().counter_value(
+            "eqjoin_net_overload_rejections_total",
+            Some(("tenant", "default")),
+        )
+    };
+    let rejected_before = rejections();
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_nodelay(true).unwrap();
     let mut burst = Vec::new();
@@ -250,6 +259,11 @@ fn overload_rejects_in_order_without_dropping_admitted_responses() {
             other => panic!("burst request {i}: expected global overload, got {other:?}"),
         }
     }
+    assert_eq!(
+        rejections() - rejected_before,
+        4,
+        "each refusal increments overload_rejections{{tenant=\"default\"}}"
+    );
     // The connection survives overload: once the burst settles, a new
     // request is admitted again.
     stream.write_all(&frame(&Request::Ping)).unwrap();
@@ -274,6 +288,13 @@ fn per_tenant_admission_does_not_starve_other_tenants() {
         tenant: tenant.into(),
         inner: Box::new(Request::<MockEngine>::Ping),
     };
+    let tenant_a_rejections = || {
+        eqjoin_obs::registry().counter_value(
+            "eqjoin_net_overload_rejections_total",
+            Some(("tenant", "a")),
+        )
+    };
+    let rejected_before = tenant_a_rejections();
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_nodelay(true).unwrap();
     let mut burst = Vec::new();
@@ -301,6 +322,11 @@ fn per_tenant_admission_does_not_starve_other_tenants() {
     assert!(
         matches!(read_response(&mut stream), Response::Pong),
         "tenant b must not starve behind a's saturation"
+    );
+    assert_eq!(
+        tenant_a_rejections() - rejected_before,
+        2,
+        "the saturated tenant's rejections are attributed to it"
     );
     drop(stream);
     drain(addr, thread);

@@ -23,6 +23,8 @@
 //! eqjoind --data-dir /var/lib/eqjoin       # persistent: restart warm
 //! eqjoind --net epoll --workers 8          # event-driven reactor
 //! eqjoind --net epoll --tenants a,b        # allow-listed tenants
+//! eqjoind --metrics-addr 127.0.0.1:9100    # Prometheus scrape surface
+//! eqjoind --log-level info                 # JSONL lifecycle events
 //! ```
 //!
 //! With `--data-dir`, the server snapshots its full store — encrypted
@@ -58,6 +60,8 @@ struct Options {
     tenants: Option<Vec<String>>,
     data_dir: Option<String>,
     decrypt_cache_cap: Option<usize>,
+    metrics_addr: Option<String>,
+    log_level: eqjoin_obs::Level,
 }
 
 fn usage() -> ! {
@@ -66,6 +70,7 @@ fn usage() -> ! {
          \x20              [--shards N] [--threads T] [--workers W] [--max-inflight N]\n\
          \x20              [--queue-depth N] [--io-timeout SECS] [--tenants A,B,..]\n\
          \x20              [--data-dir DIR] [--decrypt-cache-cap N]\n\
+         \x20              [--metrics-addr ADDR] [--log-level off|info|debug]\n\
          \n\
          --listen ADDR           bind address (default 127.0.0.1:4747; port 0 picks one)\n\
          --engine NAME           pairing engine, must match clients (default bls)\n\
@@ -92,7 +97,15 @@ fn usage() -> ! {
          \x20                       decrypt cache) under DIR and restart warm from it;\n\
          \x20                       tenants snapshot under DIR/tenants/<name>/\n\
          --decrypt-cache-cap N   decrypt-cache entries kept per store (default 64,\n\
-         \x20                       LRU eviction; requests may pin their own cap)"
+         \x20                       LRU eviction; requests may pin their own cap)\n\
+         --metrics-addr ADDR     also serve a read-only Prometheus text exposition\n\
+         \x20                       on ADDR (port 0 picks one) — latency histograms,\n\
+         \x20                       throughput counters, the leakage ledger summary,\n\
+         \x20                       build/uptime info\n\
+         --log-level LEVEL       JSONL log events to stderr: 'off' (default), 'info'\n\
+         \x20                       (connections, admission rejections, drain,\n\
+         \x20                       snapshot flushes), or 'debug' (adds one trace\n\
+         \x20                       event per completed span)"
     );
     std::process::exit(2)
 }
@@ -111,6 +124,8 @@ fn parse_options() -> Options {
         tenants: None,
         data_dir: None,
         decrypt_cache_cap: None,
+        metrics_addr: None,
+        log_level: eqjoin_obs::Level::Off,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -159,6 +174,12 @@ fn parse_options() -> Options {
                 )
             }
             "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")),
+            "--log-level" => {
+                options.log_level = value("--log-level")
+                    .parse::<eqjoin_obs::Level>()
+                    .unwrap_or_else(|e: String| bad_value("--log-level", &e))
+            }
             "--decrypt-cache-cap" => {
                 options.decrypt_cache_cap = Some(
                     value("--decrypt-cache-cap")
@@ -175,6 +196,11 @@ fn parse_options() -> Options {
 
 fn usage_for(flag: &str) -> ! {
     eprintln!("eqjoind: {flag} needs a value");
+    usage()
+}
+
+fn bad_value(flag: &str, why: &str) -> ! {
+    eprintln!("eqjoind: {flag}: {why}");
     usage()
 }
 
@@ -222,6 +248,31 @@ fn io_timeout(options: &Options) -> Option<std::time::Duration> {
     (options.io_timeout > 0).then(|| std::time::Duration::from_secs(options.io_timeout))
 }
 
+/// Start the `--metrics-addr` scrape listener (if asked for) and wire
+/// the serving backend's live transport counters into the exposition.
+/// The returned handle must stay alive for the process lifetime; a
+/// failed bind is fatal — the operator asked for a scrape surface and
+/// silently not having one defeats the point.
+fn start_observability<E: Engine>(
+    options: &Options,
+    backend: &Arc<dyn ServerApi<E>>,
+) -> Result<Option<eqjoin_obs::MetricsServer>, ExitCode> {
+    eqjoin_db::obs_bridge::register_transport_source("eqjoind", Arc::clone(backend));
+    let Some(addr) = &options.metrics_addr else {
+        return Ok(None);
+    };
+    match eqjoin_obs::MetricsServer::spawn(addr.as_str(), Arc::new(eqjoin_obs::exposition)) {
+        Ok((bound, server)) => {
+            eprintln!("eqjoind: metrics on http://{bound}/metrics");
+            Ok(Some(server))
+        }
+        Err(e) => {
+            eprintln!("eqjoind: metrics bind {addr}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn run_epoll<E: Engine>(options: &Options) -> ExitCode {
     if options.shards > 1 {
         eprintln!("eqjoind: --net epoll does not support --shards (use --workers)");
@@ -245,6 +296,19 @@ fn run_epoll<E: Engine>(options: &Options) -> ExitCode {
         Ok(addr) => banner(addr, E::NAME, options),
         Err(e) => eprintln!("eqjoind: {e}"),
     }
+    // Block SIGTERM *before* any helper thread exists: threads inherit
+    // the mask, so the signal can only surface through the reactor's
+    // signalfd. Spawning the metrics listener first would leave it an
+    // unmasked delivery target and SIGTERM would kill the process
+    // instead of draining it. (The reactor re-blocks; idempotent.)
+    if let Err(e) = eqjoind_net::sys::block_sigterm() {
+        eprintln!("eqjoind: sigprocmask: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _metrics = match start_observability::<E>(options, &backend) {
+        Ok(metrics) => metrics,
+        Err(code) => return code,
+    };
     let config = NetConfig {
         workers: options.workers,
         max_inflight: options.max_inflight,
@@ -322,6 +386,10 @@ fn run_threads<E: Engine>(options: &Options) -> ExitCode {
         Ok(addr) => banner(addr, E::NAME, options),
         Err(e) => eprintln!("eqjoind: {e}"),
     }
+    let _metrics = match start_observability::<E>(options, &backend) {
+        Ok(metrics) => metrics,
+        Err(code) => return code,
+    };
     match server.serve(backend) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -344,6 +412,8 @@ fn run<E: Engine>(options: &Options) -> ExitCode {
 
 fn main() -> ExitCode {
     let options = parse_options();
+    eqjoin_obs::init_start_time();
+    eqjoin_obs::set_log_level(options.log_level);
     match options.engine.as_str() {
         "bls" => run::<Bls12>(&options),
         "mock" => run::<MockEngine>(&options),

@@ -66,7 +66,13 @@ fn sigterm_drains_flushes_and_restarts_warm() {
     let series = series();
 
     // ---- first process: upload, warm the cache, SIGTERM ----
-    let daemon = Daemon::spawn_with(&data_dir, EPOLL);
+    // `--metrics-addr` spawns a helper thread before the reactor runs;
+    // it must inherit a blocked SIGTERM or the signal kills the process
+    // instead of reaching the signalfd (regression guard).
+    let daemon = Daemon::spawn_with(
+        &data_dir,
+        &["--net", "epoll", "--metrics-addr", "127.0.0.1:0"],
+    );
     let warm_bytes;
     {
         let backend = eqjoin_db::RemoteBackend::connect(daemon.addr.as_str()).unwrap();

@@ -50,6 +50,7 @@ pub use eqjoin_crypto as crypto;
 pub use eqjoin_db as db;
 pub use eqjoin_fhipe as fhipe;
 pub use eqjoin_leakage as leakage;
+pub use eqjoin_obs as obs;
 pub use eqjoin_pairing as pairing;
 pub use eqjoin_sql as sql;
 pub use eqjoin_tpch as tpch;

@@ -1,0 +1,208 @@
+//! The introspection plane, end to end: an epoll `NetServer` and a
+//! `--metrics-addr`-style scrape listener in one process, a real
+//! tenant session running the paper series over TCP — and the scrape
+//! surface polled **mid-run**, asserting that what Prometheus would
+//! see equals what the client and the server report programmatically.
+//!
+//! Everything lives in ONE test: the obs registry is process-global,
+//! so all assertions are deltas against values captured up front, and
+//! a single test keeps concurrent test threads from racing the
+//! counters this test reasons about.
+
+use eqjoin::db::{RemoteBackend, Request, Response, ServerApi, Session, TableConfig};
+use eqjoin::db::{SessionConfig, SessionStats};
+use eqjoin::pairing::MockEngine;
+use eqjoind_net::{NetConfig, NetServer, TenantRegistry};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Read one series (exact `name{labels}` match) out of an exposition
+/// body; absent series read as 0 (a counter nobody touched yet).
+fn series_value(body: &str, series: &str) -> f64 {
+    body.lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(series)?;
+            rest.strip_prefix(' ')?.trim().parse().ok()
+        })
+        .unwrap_or(0.0)
+}
+
+fn populate(session: &mut Session<MockEngine>) {
+    use eqjoin::baselines::ground_truth::example_2_1;
+    let (teams, employees) = example_2_1();
+    session
+        .create_table(
+            &teams,
+            TableConfig {
+                join_column: "Key".into(),
+                filter_columns: vec!["Name".into()],
+            },
+        )
+        .unwrap();
+    session
+        .create_table(
+            &employees,
+            TableConfig {
+                join_column: "Team".into(),
+                filter_columns: vec!["Record".into(), "Employee".into(), "Role".into()],
+            },
+        )
+        .unwrap();
+}
+
+const PAPER_SERIES: [&str; 3] = [
+    "SELECT * FROM Employees JOIN Teams ON Team = Key \
+     WHERE Name = 'Web Application' AND Role = 'Tester'",
+    "SELECT * FROM Employees JOIN Teams ON Team = Key \
+     WHERE Name = 'Database' AND Role = 'Programmer'",
+    // Repeat of the first query: a token-cache hit the scrape must see.
+    "SELECT * FROM Employees JOIN Teams ON Team = Key \
+     WHERE Name = 'Web Application' AND Role = 'Tester'",
+];
+
+fn drain(addr: SocketAddr) {
+    let client = RemoteBackend::connect(addr).unwrap();
+    match ServerApi::<MockEngine>::handle(&client, Request::Drain) {
+        Response::Pong => {}
+        other => panic!("expected drain ack, got {other:?}"),
+    }
+}
+
+#[test]
+fn live_scrape_matches_client_and_server_counters() {
+    // The full deployment shape of `eqjoind --net epoll --metrics-addr`:
+    // reactor + tenant registry + scrape listener, all in-process.
+    let server = NetServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let registry = Arc::new(TenantRegistry::<MockEngine>::new(None, None, None));
+    let backend = Arc::clone(&registry) as Arc<dyn ServerApi<MockEngine>>;
+    let reactor = std::thread::spawn(move || server.serve(backend, NetConfig::default()));
+    eqjoin::db::obs_bridge::register_transport_source("metrics_scrape_test", Arc::clone(&registry));
+    let (scrape_addr, metrics_server) =
+        eqjoin::obs::MetricsServer::spawn("127.0.0.1:0", Arc::new(eqjoin::obs::exposition))
+            .unwrap();
+    let scrape = || eqjoin::obs::serve::scrape_once(scrape_addr).unwrap();
+
+    // Baselines: the registry is shared with whatever ran before us.
+    let before = scrape();
+    let leakage_before = series_value(&before, "eqjoin_leakage_queries_total");
+    let token_hits_before = series_value(&before, "eqjoin_session_token_cache_hits_total");
+    let query_count_before = series_value(&before, "eqjoin_session_query_seconds_count");
+    let join_count_before = series_value(&before, "eqjoin_join_seconds_count");
+    let frames_before = series_value(&before, "eqjoin_frames_sent_total");
+    let dec_hits_before = series_value(&before, "eqjoin_store_decrypt_cache_hits_total");
+    let trips_before = series_value(&before, "eqjoin_transport_round_trips_total");
+
+    let mut session = eqjoin::session_remote::<MockEngine>(
+        SessionConfig::new(3, 2).seed(20220501),
+        &addr.to_string(),
+    )
+    .unwrap()
+    .with_tenant("acme")
+    .unwrap();
+    populate(&mut session);
+    let stats_at_start: SessionStats = session.stats();
+
+    // --- Mid-run scrape: after the first query the surface must have
+    // moved in lockstep with the client's own view.
+    let first = session.execute(PAPER_SERIES[0]).unwrap();
+    assert!(!first.rows.is_empty());
+    let mid = scrape();
+    assert_eq!(
+        (series_value(&mid, "eqjoin_session_query_seconds_count") - query_count_before) as u64,
+        1,
+        "one query executed, one per-query latency recorded"
+    );
+    assert_eq!(
+        (series_value(&mid, "eqjoin_leakage_queries_total") - leakage_before) as u64,
+        session.leakage_report().queries as u64,
+        "mid-run: the leakage ledger and the leakage metric agree"
+    );
+
+    for &sql in &PAPER_SERIES[1..] {
+        session.execute(sql).unwrap();
+    }
+
+    // --- Post-run scrape: every layer's counters line up with the
+    // programmatic snapshots.
+    let after = scrape();
+    let stats: SessionStats = session.stats();
+    assert_eq!(
+        (series_value(&after, "eqjoin_session_query_seconds_count") - query_count_before) as u64,
+        3,
+        "per-query latency histogram counted every execute"
+    );
+    assert_eq!(
+        (series_value(&after, "eqjoin_join_seconds_count") - join_count_before) as u64,
+        3,
+        "the server timed every executed join"
+    );
+    assert_eq!(
+        (series_value(&after, "eqjoin_leakage_queries_total") - leakage_before) as u64,
+        session.leakage_report().queries as u64,
+        "leakage disclosure is scrapeable with ledger fidelity"
+    );
+    assert_eq!(
+        (series_value(&after, "eqjoin_session_token_cache_hits_total") - token_hits_before) as u64,
+        stats.token_cache_hits - stats_at_start.token_cache_hits,
+        "token-cache hit ratio is derivable from the scrape"
+    );
+    assert!(
+        stats.token_cache_hits > stats_at_start.token_cache_hits,
+        "the repeated query must hit the token cache"
+    );
+    assert_eq!(
+        (series_value(&after, "eqjoin_store_decrypt_cache_hits_total") - dec_hits_before) as u64,
+        stats.decrypt_cache_hits - stats_at_start.decrypt_cache_hits,
+        "store-side cache hits match what the client observed in responses"
+    );
+    let transport = session.transport_stats();
+    assert_eq!(
+        (series_value(&after, "eqjoin_transport_round_trips_total") - trips_before) as u64,
+        transport.round_trips,
+        "the server-side transport source agrees with the client's transport stats"
+    );
+    assert!(
+        series_value(&after, "eqjoin_frames_sent_total") - frames_before > 0.0,
+        "frame-level counters moved"
+    );
+    assert!(
+        after.contains("eqjoin_session_query_seconds{quantile=\"0.99\"}"),
+        "p99 lines are rendered for latency histograms"
+    );
+    assert!(
+        after.contains("eqjoin_net_queue_depth 0"),
+        "admission tickets all released: queue depth gauge back to zero"
+    );
+    assert!(
+        after.contains("eqjoin_tenant_requests_total{tenant=\"acme\"}"),
+        "per-tenant counters carry the tenant label"
+    );
+    assert!(after.contains("eqjoin_build_info{version=\""));
+
+    // --- The wire-level introspection pair: `Session::server_metrics`
+    // sends `Request::Stats` and gets the SAME exposition the scrape
+    // listener serves, plus the server's aggregate transport snapshot.
+    let server_metrics = session.server_metrics().unwrap();
+    assert!(server_metrics.transport.round_trips >= transport.round_trips);
+    assert!(server_metrics
+        .exposition
+        .contains("eqjoin_build_info{version=\""));
+    assert!(server_metrics
+        .exposition
+        .contains("eqjoin_leakage_queries_total"));
+
+    // Sending Stats was an explicit call — exactly one extra round trip.
+    assert_eq!(
+        session.transport_stats().round_trips,
+        transport.round_trips + 1
+    );
+
+    drop(session);
+    metrics_server.stop();
+    // Deregister the source so other binaries' renders never see a
+    // dropped registry (and this test leaks nothing into the process).
+    eqjoin::obs::registry().register_source("metrics_scrape_test", Box::new(Vec::new));
+    drain(addr);
+    reactor.join().unwrap().unwrap();
+}

@@ -7,8 +7,8 @@ use eqjoin::core::{SjRowCiphertext, SjTableSide, SjToken};
 use eqjoin::db::{peek_envelope, RequestEnvelope};
 use eqjoin::db::{
     DbError, EncryptedJoinResult, EncryptedRow, EncryptedTable, JoinAlgorithm, JoinObservation,
-    JoinOptions, MatchedPair, PayloadProjection, QueryTokens, Request, Response, ServerStats,
-    SideTokens,
+    JoinOptions, MatchedPair, PayloadProjection, QueryTokens, Request, Response, ServerMetrics,
+    ServerStats, SideTokens, TransportStats,
 };
 use eqjoin::pairing::{Engine, Fr, MockEngine};
 use eqjoind_net::reactor::{next_frame, FrameStep};
@@ -279,8 +279,44 @@ proptest! {
     }
 
     #[test]
+    fn stats_round_trip_and_reject_truncation(
+        trips in 0u64..1_000_000,
+        exposition_lines in 0u64..20,
+    ) {
+        // The request is a bare tag; it also rides inside batches and
+        // tenant envelopes (it is read-only, unlike Drain).
+        assert_request_round_trips(&Req::Stats);
+        assert_request_round_trips(&Request::Batch(vec![Request::Ping, Request::Stats]));
+        assert_request_round_trips(&Req::WithTenant {
+            tenant: "acme".into(),
+            inner: Box::new(Request::Stats),
+        });
+
+        let response = Response::Stats(ServerMetrics {
+            transport: TransportStats {
+                round_trips: trips,
+                requests: trips.wrapping_mul(3),
+                batches: trips % 17,
+                bytes_sent: trips.wrapping_mul(101),
+                bytes_received: trips.wrapping_mul(67),
+                reconnects: trips % 5,
+                retries: trips % 7,
+                gave_up: trips % 2,
+            },
+            exposition: (0..exposition_lines)
+                .map(|i| format!("eqjoin_metric_{i} {i}\n"))
+                .collect(),
+        });
+        assert_response_round_trips(&response);
+        assert_prefixes_rejected(&response.to_bytes(), response_rejected);
+        let mut long = response.to_bytes();
+        long.push(0);
+        prop_assert!(Response::from_bytes(&long).is_err());
+    }
+
+    #[test]
     fn oversized_length_fields_error_without_allocating(
-        tag_byte in 0u64..7,
+        tag_byte in 0u64..9,
         len in (1u64 << 32)..(1u64 << 62),
     ) {
         // A message whose first length field claims up to 2^62 bytes:
