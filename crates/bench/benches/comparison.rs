@@ -25,11 +25,11 @@ fn bench_per_row_unlock(c: &mut Criterion) {
     let msk = Sj::setup(SjParams { m: 8, t: 1 }, &mut rng);
     let attrs: Vec<Vec<u8>> = (0..8).map(|i| format!("a{i}").into_bytes()).collect();
     let row = RowEncoding::from_bytes(b"jv", &attrs);
-    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
     let key = Sj::fresh_query_key(&mut rng);
     let mut filters: Vec<Option<Vec<eqjoin_pairing::Fr>>> = vec![None; 8];
     filters[0] = Some(vec![eqjoin_core::embed_attribute(b"a0")]);
-    let tk = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+    let tk = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng).unwrap();
     group.bench_function("secure_join_dec", |b| b.iter(|| Sj::decrypt(&tk, &ct)));
 
     // Hahn: KP-ABE unwrap (2-leaf policy) for one row.

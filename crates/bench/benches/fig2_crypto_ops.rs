@@ -52,13 +52,13 @@ fn bench_fig2(c: &mut Criterion) {
         let fs = filters(t);
 
         group.bench_with_input(BenchmarkId::new("token_gen", t), &t, |b, _| {
-            b.iter(|| Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng));
+            b.iter(|| Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("encrypt_row", t), &t, |b, _| {
-            b.iter(|| Sj::encrypt_row(&msk, &row, &mut rng));
+            b.iter(|| Sj::encrypt_row(&msk, &row, &mut rng).unwrap());
         });
-        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng);
-        let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &fs, &mut rng).unwrap();
+        let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
         group.bench_with_input(BenchmarkId::new("decrypt", t), &t, |b, _| {
             b.iter(|| Sj::decrypt(&token, &ct));
         });

@@ -26,11 +26,11 @@ fn per_row_unlock() {
     let msk = Sj::setup(SjParams { m: 8, t: 1 }, &mut rng);
     let attrs: Vec<Vec<u8>> = (0..8).map(|i| format!("a{i}").into_bytes()).collect();
     let row = RowEncoding::from_bytes(b"jv", &attrs);
-    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
     let key = Sj::fresh_query_key(&mut rng);
     let mut filters: Vec<Option<Vec<Fr>>> = vec![None; 8];
     filters[0] = Some(vec![embed_attribute(b"a0")]);
-    let tk = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+    let tk = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng).unwrap();
     let sj_dec = mean_duration(10, || {
         let t0 = Instant::now();
         let _ = Sj::decrypt(&tk, &ct);

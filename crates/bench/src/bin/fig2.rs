@@ -59,16 +59,16 @@ fn main() {
 
         let tok = mean_duration(reps, || {
             let t0 = Instant::now();
-            let _ = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
+            let _ = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng).unwrap();
             t0.elapsed()
         });
         let enc = mean_duration(reps, || {
             let t0 = Instant::now();
-            let _ = Sj::encrypt_row(&msk, &row, &mut rng);
+            let _ = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
             t0.elapsed()
         });
-        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng);
-        let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+        let token = Sj::token_gen(&msk, SjTableSide::A, &key, &filters, &mut rng).unwrap();
+        let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
         let dec = mean_duration(reps, || {
             let t0 = Instant::now();
             let _ = Sj::decrypt(&token, &ct);

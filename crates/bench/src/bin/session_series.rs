@@ -35,8 +35,14 @@
 //! then carries per-stage op counts), `--sessions N` (run an extra
 //! phase with N concurrent tenant sessions against one shared server,
 //! thread-per-connection vs the epoll reactor, reporting
-//! queries/second for each in the JSON's `concurrent` section) and
-//! `--json PATH`.
+//! queries/second for each in the JSON's `concurrent` section),
+//! `--ingest` (run ONLY the production-scale ingest phase — the CI
+//! bulk-load smoke gate: batched fixed-base-mul counters, parallel
+//! vs. single-threaded byte-identity, O(delta) persistence of the
+//! mutation tail, and a zero-pairing warm restart after compaction)
+//! and `--json PATH`. Full runs always include the ingest phase and
+//! record it in the JSON's `ingest` (timing) and `ingest_counters`
+//! (deterministic, guarded by `--check-against`) sections.
 //!
 //! [`Session`]: eqjoin_db::Session
 
@@ -325,10 +331,13 @@ fn latency_json(snap: &eqjoin_obs::HistogramSnapshot) -> String {
 
 fn ops_json(ops: &OpCounts) -> String {
     format!(
-        "{{\"fixed_base_muls\": {}, \"variable_base_muls\": {}, \"pairings\": {}, \
+        "{{\"fixed_base_muls\": {}, \"batched_fixed_base_muls\": {}, \"msm_points\": {}, \
+         \"variable_base_muls\": {}, \"pairings\": {}, \
          \"miller_pairs\": {}, \"prepared_miller_pairs\": {}, \"g2_prepares\": {}, \
          \"gt_pows\": {}, \"cyclotomic_squares\": {}}}",
         ops.fixed_base_muls,
+        ops.batched_fixed_base_muls,
+        ops.msm_points,
         ops.variable_base_muls,
         ops.pairings,
         ops.miller_pairs,
@@ -394,6 +403,285 @@ fn measure_restart<E: Engine>(scale: f64) -> RestartMeasurement {
         warm_restart_s,
         pairings_cold,
         pairings_warm_restart: delta.pairings,
+    }
+}
+
+/// The production-scale ingest phase at **10× the query workload's
+/// load**: parallel client-side encryption (gated on the batched
+/// fixed-base-mul counters, not wall time), a COPY-style streaming
+/// bulk load into an O(delta) backend, a mutation tail comparing
+/// journal bytes against full-snapshot rewrites, and a warm restart
+/// after compaction that must replay with zero fresh `SJ.Dec`.
+struct IngestMeasurement {
+    rows: usize,
+    chunks: usize,
+    encrypt_s: f64,
+    load_s: f64,
+    cold_s: f64,
+    /// Reopen-from-disk plus the first (warm) query.
+    time_to_warm_s: f64,
+    /// Crypto ops of the parallel bulk encryption alone.
+    encrypt_ops: OpCounts,
+    mutations: usize,
+    /// Journal bytes the mutation tail appended under a deferred
+    /// snapshot (the O(delta) write cost).
+    journal_bytes: u64,
+    /// Snapshot bytes the same tail wrote under threshold 0 (the
+    /// legacy full-rewrite-per-mutation cost).
+    legacy_bytes: u64,
+    warm_cache_hits: u64,
+    warm_rows_decrypted: u64,
+}
+
+fn measure_ingest<E: Engine>(cfg: &RunConfig) -> IngestMeasurement {
+    use eqjoin_db::{
+        ClientConfig, DbClient, JoinQuery, LocalBackend, PayloadProjection, Request, Response,
+        ServerApi, DEFAULT_COPY_CHUNK_ROWS,
+    };
+    use eqjoin_tpch::{generate_orders, TpchConfig};
+
+    let orders = generate_orders(&TpchConfig::new(cfg.scale * 10.0, 0x16e5));
+    let rows = orders.len();
+    let table_cfg = TableConfig {
+        join_column: "custkey".into(),
+        filter_columns: vec!["orderpriority".into(), "selectivity".into()],
+    };
+    let client_cfg = |threads: usize| {
+        ClientConfig::new(2, 3)
+            .seed(0x16e5)
+            .encrypt_threads(threads)
+            .prefilter(true)
+    };
+
+    // Parallel client-side encryption, counter-gated: the per-row
+    // `SJ.Enc` exponent vector (dim m(t+1)+3 = 11 here) must go
+    // through the shared-table batch path, and at most a third of all
+    // fixed-base muls may take the one-at-a-time path — the "≥3×
+    // vs unbatched" gate expressed in op counts, not wall time.
+    let ops0 = ops::snapshot();
+    let mut client = DbClient::<E>::with_config(client_cfg(0));
+    let t = Instant::now();
+    let enc = client
+        .encrypt_table(&orders, table_cfg.clone())
+        .expect("bulk encrypt orders");
+    let encrypt_s = t.elapsed().as_secs_f64();
+    let encrypt_ops = ops::snapshot().since(&ops0);
+    assert!(
+        encrypt_ops.batched_fixed_base_muls >= rows as u64 * 11,
+        "bulk encryption must route its SJ.Enc muls through the batch path \
+         ({} batched for {rows} rows)",
+        encrypt_ops.batched_fixed_base_muls,
+    );
+    assert!(
+        encrypt_ops.fixed_base_muls * 3 <= encrypt_ops.batched_fixed_base_muls,
+        "too many fixed-base muls bypassed the batch path during bulk encryption \
+         ({} unbatched vs {} batched)",
+        encrypt_ops.fixed_base_muls,
+        encrypt_ops.batched_fixed_base_muls,
+    );
+    // Determinism gate: a single worker must produce byte-identical
+    // ciphertexts to the parallel run (same seed, same row split).
+    let enc_seq = DbClient::<E>::with_config(client_cfg(1))
+        .encrypt_table(&orders, table_cfg.clone())
+        .expect("single-threaded encrypt orders");
+    let wire = Request::InsertTable(enc);
+    let wire_seq = Request::InsertTable(enc_seq);
+    assert_eq!(
+        wire.to_bytes(),
+        wire_seq.to_bytes(),
+        "parallel and single-threaded bulk encryption must be byte-identical"
+    );
+    let (Request::InsertTable(enc), Request::InsertTable(enc_seq)) = (wire, wire_seq) else {
+        unreachable!()
+    };
+
+    let scratch = std::env::temp_dir().join(format!("eqjoin-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("ingest scratch dir");
+    let file_len = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+
+    // COPY-style streaming load into an O(delta) backend: every chunk
+    // is journaled, the snapshot rewrite is deferred until compaction.
+    let snap = scratch.join("odelta.snap");
+    let journal = snap.with_extension("journal");
+    let backend =
+        LocalBackend::<E>::with_persistence(&snap, None, None, 1 << 30).expect("odelta backend");
+    let mut pending = enc.rows;
+    let mut start_row = 0u64;
+    let mut chunks = 0usize;
+    let t = Instant::now();
+    while !pending.is_empty() {
+        let rest = pending.split_off(pending.len().min(DEFAULT_COPY_CHUNK_ROWS));
+        let chunk = std::mem::replace(&mut pending, rest);
+        let sent = chunk.len();
+        match backend.handle(Request::CopyRows {
+            table: enc.name.clone(),
+            join_column: enc.join_column.clone(),
+            filter_columns: enc.filter_columns.clone(),
+            start_row,
+            rows: chunk,
+        }) {
+            Response::CopyRows { rows: n, .. } => assert_eq!(n, sent, "short COPY chunk"),
+            other => panic!("COPY chunk rejected: {other:?}"),
+        }
+        start_row += sent as u64;
+        chunks += 1;
+    }
+    let load_s = t.elapsed().as_secs_f64();
+    assert_eq!(start_row as usize, rows);
+
+    // The mutation tail, materialized ONCE so the O(delta) backend and
+    // the legacy threshold-0 backend apply identical bytes: 8 appends
+    // (half of them in the queried selectivity class) + 4 deletes.
+    let mut mutations: Vec<Request<E>> = Vec::new();
+    for i in 0..8i64 {
+        let row = vec![
+            Value::Int(1_000_000 + i),
+            Value::Int(i % 97 + 1),
+            Value::Str("O".into()),
+            Value::Decimal(100_000 + i),
+            Value::Date(9_000 + i as i32),
+            Value::Str("1-URGENT".into()),
+            Value::Str(format!("Clerk#{i:09}")),
+            Value::Int(0),
+            Value::Str("bulk-load tail".into()),
+            Value::Str(if i % 2 == 0 { "1/25" } else { "1/100" }.into()),
+        ];
+        let (start, enc_rows) = client
+            .encrypt_rows(&enc.name, &[row])
+            .expect("encrypt tail row");
+        mutations.push(Request::InsertRows {
+            table: enc.name.clone(),
+            start_row: start,
+            rows: enc_rows,
+        });
+    }
+    for id in [3u64, 5, 8, 13] {
+        mutations.push(Request::DeleteRows {
+            table: enc.name.clone(),
+            rows: vec![id],
+        });
+    }
+
+    // O(delta) arm: the journal grows, the snapshot file does not move.
+    let snap_before = file_len(&snap);
+    let journal_before = file_len(&journal);
+    for req in &mutations {
+        let response = backend.handle(req.clone());
+        assert!(
+            !matches!(response, Response::Error(_)),
+            "mutation tail must apply"
+        );
+    }
+    let journal_bytes = file_len(&journal) - journal_before;
+    assert_eq!(
+        file_len(&snap),
+        snap_before,
+        "mutations below the compaction threshold must not rewrite the snapshot"
+    );
+
+    // Legacy arm: threshold 0 rewrites the full snapshot per mutation.
+    let legacy_snap = scratch.join("legacy.snap");
+    let legacy =
+        LocalBackend::<E>::with_persistence(&legacy_snap, None, None, 0).expect("legacy backend");
+    match legacy.handle(Request::InsertTable(enc_seq)) {
+        Response::TableInserted { .. } => {}
+        other => panic!("legacy bulk upload rejected: {other:?}"),
+    }
+    let mut legacy_bytes = 0u64;
+    for req in &mutations {
+        let response = legacy.handle(req.clone());
+        assert!(
+            !matches!(response, Response::Error(_)),
+            "legacy mutation tail must apply"
+        );
+        legacy_bytes += file_len(&legacy_snap);
+    }
+    assert!(
+        journal_bytes * 10 < legacy_bytes,
+        "the mutation tail must persist O(delta): {journal_bytes} journal bytes vs \
+         {legacy_bytes} legacy full-snapshot bytes"
+    );
+
+    // Cold query → forced compaction → reopen → warm query. The same
+    // token bundle both times, so the restart must replay entirely from
+    // the persisted decrypt cache: zero fresh pairings.
+    let query = JoinQuery::on(&enc.name, "custkey", &enc.name, "custkey").filter(
+        &enc.name,
+        "selectivity",
+        vec![Value::Str("1/25".into())],
+    );
+    let tokens = client.query_tokens(&query).expect("ingest query tokens");
+    let options = JoinOptions {
+        threads: cfg.threads,
+        ..JoinOptions::default()
+    };
+    let exec = || Request::ExecuteJoin {
+        tokens: tokens.clone(),
+        options,
+        projection: PayloadProjection::default(),
+    };
+    let t = Instant::now();
+    let cold = match backend.handle(exec()) {
+        Response::JoinExecuted { result, .. } => result,
+        other => panic!("cold ingest query rejected: {other:?}"),
+    };
+    let cold_s = t.elapsed().as_secs_f64();
+    assert!(
+        cold.stats.rows_decrypted > 0,
+        "ingest query must touch rows"
+    );
+    backend.flush().expect("forced compaction");
+    drop(backend);
+
+    let t = Instant::now();
+    let reopened = LocalBackend::<E>::with_persistence(&snap, None, None, 1 << 30)
+        .expect("reopen after compaction");
+    let ops1 = ops::snapshot();
+    let warm = match reopened.handle(exec()) {
+        Response::JoinExecuted { result, .. } => result,
+        other => panic!("warm ingest query rejected: {other:?}"),
+    };
+    let time_to_warm_s = t.elapsed().as_secs_f64();
+    let delta = ops::snapshot().since(&ops1);
+    assert_eq!(
+        delta.pairings, 0,
+        "a warm restart after compaction must replay with zero fresh SJ.Dec pairings"
+    );
+    assert_eq!(
+        warm.stats.decrypt_cache_hits as usize, warm.stats.rows_decrypted,
+        "every warm-restart row must come from the persisted decrypt cache"
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "ingest phase (10x load): encrypted {rows} rows in {encrypt_s:.3} s \
+         ({:.0} rows/s, {} batched muls, {} unbatched) | COPY-loaded in {load_s:.3} s \
+         ({:.0} rows/s, {chunks} chunks) | tail: {journal_bytes} journal B vs \
+         {legacy_bytes} legacy snapshot B | cold {cold_s:.4} s | warm restart \
+         {time_to_warm_s:.4} s ({} pairings, {}/{} cache hits)",
+        rows as f64 / encrypt_s.max(1e-9),
+        encrypt_ops.batched_fixed_base_muls,
+        encrypt_ops.fixed_base_muls,
+        rows as f64 / load_s.max(1e-9),
+        delta.pairings,
+        warm.stats.decrypt_cache_hits,
+        warm.stats.rows_decrypted,
+    );
+    IngestMeasurement {
+        rows,
+        chunks,
+        encrypt_s,
+        load_s,
+        cold_s,
+        time_to_warm_s,
+        encrypt_ops,
+        mutations: mutations.len(),
+        journal_bytes,
+        legacy_bytes,
+        warm_cache_hits: warm.stats.decrypt_cache_hits,
+        warm_rows_decrypted: warm.stats.rows_decrypted as u64,
     }
 }
 
@@ -494,6 +782,9 @@ struct RunConfig {
     threads: usize,
     plan: PlanMode,
     sessions: usize,
+    /// `--ingest`: run ONLY the ingest phase (the CI bulk-load smoke
+    /// gate — its assertions are the point; no JSON is written).
+    ingest_only: bool,
     json_path: String,
     /// Guard mode: compare this run's deterministic counters against a
     /// tracked baseline JSON instead of writing one; exit non-zero on
@@ -518,6 +809,7 @@ const GUARDED_KEYS: &[&str] = &[
     "decrypt_cache",
     "crypto_ops",
     "transport",
+    "ingest_counters",
 ];
 
 /// Slice the single line carrying `key` out of the emitted JSON (the
@@ -586,6 +878,14 @@ fn check_against_baseline(current: &str, baseline: &str, path: &str) -> bool {
 }
 
 fn series<E: Engine>(cfg: &RunConfig) {
+    if cfg.ingest_only {
+        // The CI bulk-load smoke gate: the phase's assertions (batched
+        // counters, byte-identical parallel encryption, O(delta) tail,
+        // zero-pairing warm restart) are the whole point.
+        measure_ingest::<E>(cfg);
+        println!("session_series: ingest smoke gate passed");
+        return;
+    }
     let t_setup = Instant::now();
     let (mut uncached, rows) =
         build_session::<E>(cfg.scale, false, cfg.backend, cfg.threads, cfg.plan);
@@ -680,6 +980,34 @@ fn series<E: Engine>(cfg: &RunConfig) {
         restart.pairings_warm_restart,
     );
 
+    // Production-scale ingest at 10× the query workload's load:
+    // batched parallel encryption, streaming COPY load, the O(delta)
+    // mutation tail, and the warm restart after compaction.
+    let ingest = measure_ingest::<E>(cfg);
+    let ingest_json = format!(
+        "{{\"encrypt_s\": {:.6}, \"encrypt_rows_per_s\": {:.1}, \"load_s\": {:.6}, \
+         \"load_rows_per_s\": {:.1}, \"cold_s\": {:.6}, \"time_to_warm_s\": {:.6}}}",
+        ingest.encrypt_s,
+        ingest.rows as f64 / ingest.encrypt_s.max(1e-9),
+        ingest.load_s,
+        ingest.rows as f64 / ingest.load_s.max(1e-9),
+        ingest.cold_s,
+        ingest.time_to_warm_s,
+    );
+    let ingest_counters_json = format!(
+        "{{\"rows\": {}, \"chunks\": {}, \"mutations\": {}, \"journal_bytes\": {}, \
+         \"legacy_bytes\": {}, \"warm_cache_hits\": {}, \"warm_rows_decrypted\": {}, \
+         \"crypto_ops\": {}}}",
+        ingest.rows,
+        ingest.chunks,
+        ingest.mutations,
+        ingest.journal_bytes,
+        ingest.legacy_bytes,
+        ingest.warm_cache_hits,
+        ingest.warm_rows_decrypted,
+        ops_json(&ingest.encrypt_ops),
+    );
+
     // N concurrent tenant sessions, threaded vs epoll, on one shared
     // server per layer (--sessions N; skipped when N = 0).
     let concurrent_json = if cfg.sessions > 0 {
@@ -749,6 +1077,7 @@ fn series<E: Engine>(cfg: &RunConfig) {
          {{\"round_trips\": {}, \"requests\": {}, \"batches\": {}, \"bytes_sent\": {}, \
          \"bytes_received\": {}}},\n  \"restart\": {{\"cold_s\": {:.6}, \"warm_s\": {:.6}, \
          \"warm_restart_s\": {:.6}, \"pairings_cold\": {}, \"pairings_warm_restart\": {}}},\n  \
+         \"ingest\": {},\n  \"ingest_counters\": {},\n  \
          \"concurrent\": {},\n  \
          \"wall_speedup_cache_on\": {:.6}\n}}\n",
         E::NAME,
@@ -784,6 +1113,8 @@ fn series<E: Engine>(cfg: &RunConfig) {
         restart.warm_restart_s,
         restart.pairings_cold,
         restart.pairings_warm_restart,
+        ingest_json,
+        ingest_counters_json,
         concurrent_json,
         off.wall_s / on.wall_s.max(1e-9),
     );
@@ -822,6 +1153,7 @@ fn main() {
     let mut threads = 0usize;
     let mut plan = PlanMode::Pairwise;
     let mut sessions = 0usize;
+    let mut ingest_only = false;
     let mut json_path = "BENCH_session.json".to_owned();
     let mut check_against: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
@@ -848,6 +1180,7 @@ fn main() {
                     .parse()
                     .expect("--sessions needs a number");
             }
+            "--ingest" => ingest_only = true,
             "--json" => json_path = raw.next().expect("--json needs a value"),
             "--check-against" => {
                 check_against = Some(raw.next().expect("--check-against needs a path"));
@@ -868,6 +1201,7 @@ fn main() {
         threads,
         plan,
         sessions,
+        ingest_only,
         json_path: json_path.clone(),
         check_against: check_against.clone(),
     };

@@ -34,6 +34,7 @@ pub mod poly;
 pub mod scheme;
 
 pub use encode::{embed_attribute, embed_join_value, RowEncoding};
+pub use eqjoin_fhipe::DimensionMismatch;
 pub use poly::SelectionPolynomial;
 pub use scheme::{
     SecureJoin, SjMasterKey, SjParams, SjPreparedCiphertext, SjQueryKey, SjRowCiphertext,

@@ -42,10 +42,22 @@ impl Journal {
         }
     }
 
+    /// Current journal size in bytes (0 if it does not exist). Drives
+    /// the compaction-threshold decision: below the threshold the
+    /// journal *is* the durable delta and the snapshot rewrite is
+    /// deferred.
+    fn size(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
     /// Append one intent record: `len ‖ fnv1a(bytes) ‖ bytes`, fsynced
     /// before returning so an acknowledged mutation's intent survives
     /// any crash after this call.
     fn append(&self, bytes: &[u8]) -> Result<(), DbError> {
+        // Byte counts ride the ns-bucketed histogram: the exponential
+        // buckets work for any magnitude, and the scrape labels the
+        // unit in the metric name.
+        eqjoin_obs::histogram!("eqjoin_store_journal_append_bytes").record_ns(bytes.len() as u64);
         let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut record = Vec::with_capacity(bytes.len() + 8);
         record.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
@@ -136,6 +148,15 @@ pub struct LocalBackend<E: Engine> {
     /// Mutation-intent journal (persistent backends only): written
     /// before a mutation applies, truncated after a snapshot flush.
     journal: Option<Journal>,
+    /// O(delta) persistence: while the journal is smaller than this many
+    /// bytes, dirtying requests leave the snapshot alone (the fsynced
+    /// journal already makes the mutations durable) and only the
+    /// threshold crossing pays a full snapshot rewrite + journal
+    /// truncation ("compaction"). `0` (the default) keeps the legacy
+    /// flush-every-mutation behavior. Forced flushes (drain, shutdown)
+    /// always compact, so a graceful restart starts journal-free and
+    /// warm.
+    compaction_threshold: u64,
 }
 
 impl<E: Engine> LocalBackend<E> {
@@ -146,6 +167,7 @@ impl<E: Engine> LocalBackend<E> {
             counters: TransportCounters::default(),
             persist: None,
             journal: None,
+            compaction_threshold: 0,
         }
     }
 
@@ -170,6 +192,7 @@ impl<E: Engine> LocalBackend<E> {
             counters: TransportCounters::default(),
             persist: None,
             journal: None,
+            compaction_threshold: 0,
         }
     }
 
@@ -178,10 +201,13 @@ impl<E: Engine> LocalBackend<E> {
     /// with a clean error) and re-saves the store whenever tables,
     /// rows or the decrypt cache change. `threads` and `cache_cap`
     /// configure the restored server like the plain constructors do.
+    /// `compaction_threshold` (bytes of journal) arms O(delta)
+    /// persistence; `0` flushes a full snapshot after every mutation.
     pub fn with_persistence(
         path: impl Into<PathBuf>,
         threads: Option<usize>,
         cache_cap: Option<usize>,
+        compaction_threshold: u64,
     ) -> Result<Self, DbError> {
         let path = path.into();
         // A crash between serialization and rename leaves `path.tmp`
@@ -204,12 +230,14 @@ impl<E: Engine> LocalBackend<E> {
             counters: TransportCounters::default(),
             persist: Some(path),
             journal: Some(journal),
+            compaction_threshold,
         };
         if replayed {
             // Fold the replayed intents into a fresh durable snapshot
-            // right away, so the journal can be dropped and a second
-            // crash does not depend on replaying twice.
-            backend.persist_if_dirty()?;
+            // right away (compacting regardless of threshold), so the
+            // journal can be dropped and a second crash does not depend
+            // on replaying twice.
+            backend.persist(true)?;
         }
         Ok(backend)
     }
@@ -245,7 +273,16 @@ impl<E: Engine> LocalBackend<E> {
                 Request::DeleteRows { table, rows } => {
                     server.delete_rows(&table, &rows).map(|_| ())
                 }
-                // Only the three mutations above are ever journaled.
+                Request::CopyRows {
+                    table,
+                    join_column,
+                    filter_columns,
+                    start_row,
+                    rows,
+                } => server
+                    .copy_rows(&table, &join_column, &filter_columns, start_row, rows)
+                    .map(|_| ()),
+                // Only the four mutations above are ever journaled.
                 _ => Ok(()),
             };
             match outcome {
@@ -270,13 +307,36 @@ impl<E: Engine> LocalBackend<E> {
     /// last flush. A failed write re-arms the dirty flag so the next
     /// request retries instead of silently dropping state.
     fn persist_if_dirty(&self) -> Result<(), DbError> {
+        self.persist(false)
+    }
+
+    /// The persistence decision after a dirtying request.
+    ///
+    /// With a nonzero [`compaction threshold`](Self::with_persistence),
+    /// a sub-threshold journal means the mutation is *already* durable
+    /// (append-before-apply, fsynced), so the full snapshot rewrite is
+    /// deferred — persisted bytes stay O(delta), not O(store). Crossing
+    /// the threshold compacts: one snapshot rewrite covers every
+    /// journaled intent and the journal is truncated. `force` (drain,
+    /// replay fold-in) always compacts.
+    fn persist(&self, force: bool) -> Result<(), DbError> {
         let Some(path) = &self.persist else {
             return Ok(());
         };
         let server = self.server.read().unwrap_or_else(|e| e.into_inner());
+        if !force && self.compaction_threshold > 0 {
+            let journal_bytes = self.journal.as_ref().map_or(0, Journal::size);
+            if journal_bytes < self.compaction_threshold {
+                if server.store().is_dirty() {
+                    eqjoin_obs::counter!("eqjoin_store_snapshot_deferred_total").inc();
+                }
+                return Ok(());
+            }
+        }
         if !server.store().take_dirty() {
             return Ok(());
         }
+        let compaction_timer = eqjoin_obs::span!("store_compaction");
         let flushed = match eqjoin_failpoint::failpoint!("local::flush") {
             None => server.save(path),
             Some(eqjoin_failpoint::Action::Delay(ms)) => {
@@ -288,10 +348,30 @@ impl<E: Engine> LocalBackend<E> {
                 "failpoint local::flush: injected error".into(),
             )),
         };
+        drop(compaction_timer);
         match flushed {
             Ok(()) => {
                 eqjoin_obs::counter!("eqjoin_store_snapshot_flushes_total").inc();
                 eqjoin_obs::info!("snapshot_flush", "path" => path.display());
+                // A crash in this window (snapshot durable, journal not
+                // yet truncated) replays the journal over the *newer*
+                // snapshot — idempotent by construction, exercised by
+                // the chaos suite.
+                match eqjoin_failpoint::failpoint!("store::journal::compact") {
+                    None => {}
+                    Some(eqjoin_failpoint::Action::Delay(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    Some(eqjoin_failpoint::Action::Abort) => std::process::abort(),
+                    Some(_) => {
+                        // Injected truncation failure: state is durable
+                        // (snapshot + stale journal replays as a no-op),
+                        // so surface the fault without re-arming dirty.
+                        return Err(DbError::Snapshot(
+                            "failpoint store::journal::compact: injected error".into(),
+                        ));
+                    }
+                }
                 // The snapshot now covers every applied intent: the
                 // journal is dead weight (and must not replay over a
                 // *newer* snapshot than the one it was written against).
@@ -308,10 +388,11 @@ impl<E: Engine> LocalBackend<E> {
         }
     }
 
-    /// Force a snapshot flush if the store is dirty (the drain path —
-    /// persistence normally happens after every dirtying request).
+    /// Force a compacting flush if the store is dirty or a journal is
+    /// pending (the drain path — after it, the snapshot alone carries
+    /// the whole store and a restart is warm with zero replay).
     pub fn flush(&self) -> Result<(), DbError> {
-        self.persist_if_dirty()
+        self.persist(true)
     }
 
     /// Does this request mutate durable state? A flush failure after a
@@ -324,6 +405,7 @@ impl<E: Engine> LocalBackend<E> {
             Request::InsertTable(_)
             | Request::InsertRows { .. }
             | Request::DeleteRows { .. }
+            | Request::CopyRows { .. }
             | Request::Drain => true,
             Request::Batch(requests) => requests.iter().any(Self::is_mutation),
             Request::WithTenant { inner, .. } => Self::is_mutation(inner),
@@ -340,7 +422,10 @@ impl<E: Engine> LocalBackend<E> {
         };
         if !matches!(
             request,
-            Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. }
+            Request::InsertTable(_)
+                | Request::InsertRows { .. }
+                | Request::DeleteRows { .. }
+                | Request::CopyRows { .. }
         ) {
             return Ok(());
         }
@@ -402,6 +487,27 @@ impl<E: Engine> LocalBackend<E> {
                     Err(e) => Response::Error(e),
                 }
             }
+            Request::CopyRows {
+                table,
+                join_column,
+                filter_columns,
+                start_row,
+                rows,
+            } => {
+                match self
+                    .server
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .copy_rows(&table, &join_column, &filter_columns, start_row, rows)
+                {
+                    Ok((rows, total_rows)) => Response::CopyRows {
+                        table,
+                        rows,
+                        total_rows,
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
             Request::ExecuteJoin {
                 tokens,
                 options,
@@ -416,11 +522,15 @@ impl<E: Engine> LocalBackend<E> {
                     Err(e) => Response::Error(e),
                 }
             }
-            // A drain reaching the backend directly: durable state is
-            // flushed after every dirtying request already, so there is
-            // nothing left to write — acknowledge. (The connection
-            // layers own the stop-accepting/finish-in-flight part.)
-            Request::Drain => Response::Pong,
+            // A drain reaching the backend directly: force a compacting
+            // flush — under O(delta) persistence the journal may hold
+            // deferred deltas, and the drain contract is "snapshot
+            // alone carries the store". (The connection layers own the
+            // stop-accepting/finish-in-flight part.)
+            Request::Drain => match self.persist(true) {
+                Ok(()) => Response::Pong,
+                Err(e) => Response::Error(e),
+            },
             // Observability snapshot: this backend's own counters (the
             // snapshot includes the Stats request itself — `handle`
             // counts before dispatching) plus the process exposition.
@@ -563,7 +673,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let snap = dir.join("store.snap");
-        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None).unwrap();
+        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 0).unwrap();
         // Occupy the snapshot path with a non-empty directory *after*
         // construction: the rename at the end of every save now fails.
         std::fs::create_dir_all(&snap).unwrap();
@@ -628,7 +738,7 @@ mod tests {
         // Restart: the intent replays, the torn tail is discarded, and
         // the replayed state is folded into a fresh snapshot with the
         // journal truncated.
-        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None).unwrap();
+        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 0).unwrap();
         assert!(snap.exists(), "replayed state must be snapshotted");
         assert!(
             !snap.with_extension("journal").exists(),
@@ -644,6 +754,150 @@ mod tests {
             }
             other => panic!("join over replayed table failed: {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_threshold_defers_snapshots_until_crossed() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 13);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        for i in 0..4 {
+            t.push_row(vec![Value::Int(i % 2), "x".into()]);
+        }
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+        let tokens = client
+            .query_tokens(&JoinQuery::on("T", "k", "T", "k"))
+            .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("eqjoin-odelta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("store.snap");
+        let journal = snap.with_extension("journal");
+
+        // Generous threshold: every mutation below stays sub-threshold,
+        // so the fsynced journal is the only durable artifact.
+        let backend =
+            LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 1 << 20).unwrap();
+        assert!(matches!(
+            backend.handle(Request::InsertTable(enc)),
+            Response::TableInserted { .. }
+        ));
+        assert!(
+            journal.exists() && !snap.exists(),
+            "sub-threshold mutation must defer the snapshot; the journal is the durable delta"
+        );
+        let mut last = std::fs::metadata(&journal).unwrap().len();
+        for _ in 0..3 {
+            let (start_row, rows) = client
+                .encrypt_rows("T", &[vec![Value::Int(1), "y".into()]])
+                .unwrap();
+            assert!(matches!(
+                backend.handle(Request::InsertRows {
+                    table: "T".into(),
+                    start_row,
+                    rows,
+                }),
+                Response::RowsInserted { .. }
+            ));
+            let size = std::fs::metadata(&journal).unwrap().len();
+            assert!(size > last, "each deferred mutation appends O(delta) bytes");
+            last = size;
+            assert!(!snap.exists(), "snapshot rewrite must stay deferred");
+        }
+
+        // A forced flush (the drain path) always compacts: one snapshot
+        // rewrite covers every journaled intent, journal truncated.
+        backend.flush().unwrap();
+        assert!(snap.exists(), "forced flush must compact to a snapshot");
+        assert!(!journal.exists(), "compaction must truncate the journal");
+
+        // Post-compaction mutations defer again, leaving the snapshot
+        // bytes untouched.
+        let snap_bytes = std::fs::read(&snap).unwrap();
+        let (start_row, rows) = client
+            .encrypt_rows("T", &[vec![Value::Int(0), "z".into()]])
+            .unwrap();
+        assert!(matches!(
+            backend.handle(Request::InsertRows {
+                table: "T".into(),
+                start_row,
+                rows,
+            }),
+            Response::RowsInserted { .. }
+        ));
+        assert!(journal.exists(), "new delta journals again");
+        assert_eq!(
+            std::fs::read(&snap).unwrap(),
+            snap_bytes,
+            "deferred persistence must not rewrite the snapshot"
+        );
+        drop(backend);
+
+        // Restart with a pending journal: replay folds the deltas into
+        // a fresh snapshot (compacting regardless of threshold) and the
+        // full row set joins.
+        let reopened =
+            LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 1 << 20).unwrap();
+        assert!(
+            !journal.exists(),
+            "replay fold-in must compact the journal away"
+        );
+        match reopened.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+            projection: Default::default(),
+        }) {
+            Response::JoinExecuted { result, .. } => {
+                // 4 seed rows (2 per key) + 3 × Int(1) + 1 × Int(0):
+                // key 0 has 3 rows, key 1 has 5 → 9 + 25 self-join pairs.
+                assert_eq!(result.pairs.len(), 34, "replayed deltas must all join");
+            }
+            other => panic!("join over replayed store failed: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_crossing_threshold_triggers_compaction() {
+        let mut client = DbClient::<MockEngine>::new(1, 2, 17);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        t.push_row(vec![Value::Int(1), "x".into()]);
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig {
+                    join_column: "k".into(),
+                    filter_columns: vec!["a".into()],
+                },
+            )
+            .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("eqjoin-cross-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("store.snap");
+        let journal = snap.with_extension("journal");
+
+        // Small threshold: the InsertTable intent alone crosses it, so
+        // the very first persistence decision compacts.
+        let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 32).unwrap();
+        assert!(matches!(
+            backend.handle(Request::InsertTable(enc)),
+            Response::TableInserted { .. }
+        ));
+        assert!(
+            snap.exists() && !journal.exists(),
+            "a journal at/past the threshold must compact on the spot"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

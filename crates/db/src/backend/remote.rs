@@ -132,7 +132,10 @@ fn check_frame_cap(payload: &[u8]) -> Result<(), DbError> {
 fn is_idempotent<E: Engine>(request: &Request<E>) -> bool {
     match request {
         Request::Ping | Request::ExecuteJoin { .. } | Request::Drain | Request::Stats => true,
-        Request::InsertTable(_) | Request::InsertRows { .. } | Request::DeleteRows { .. } => false,
+        Request::InsertTable(_)
+        | Request::InsertRows { .. }
+        | Request::DeleteRows { .. }
+        | Request::CopyRows { .. } => false,
         Request::WithTenant { inner, .. } => is_idempotent(inner),
         Request::Batch(requests) => requests.iter().all(is_idempotent),
     }

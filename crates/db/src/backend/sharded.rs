@@ -120,12 +120,16 @@ impl<E: Engine> ShardedBackend<E> {
         threads: Option<usize>,
         data_dir: &std::path::Path,
         cache_cap: Option<usize>,
+        compaction_threshold: u64,
     ) -> Result<Self, DbError> {
         let shards = (0..n.max(1))
             .map(|i| {
                 let path = data_dir.join(format!("shard-{i}.snap"));
                 Ok(Box::new(super::LocalBackend::<E>::with_persistence(
-                    path, threads, cache_cap,
+                    path,
+                    threads,
+                    cache_cap,
+                    compaction_threshold,
                 )?) as Box<dyn ServerApi<E>>)
             })
             .collect::<Result<Vec<_>, DbError>>()?;
@@ -164,6 +168,7 @@ impl<E: Engine> ShardedBackend<E> {
             | Request::InsertTable(_)
             | Request::InsertRows { .. }
             | Request::DeleteRows { .. }
+            | Request::CopyRows { .. }
             // A drain must reach every shard so each flushes its own
             // durable state.
             | Request::Drain => Ok(Placement::All),

@@ -6,7 +6,7 @@ use crate::encrypted::{EncryptedRow, EncryptedTable, QueryTokens, SideTokens};
 use crate::error::DbError;
 use crate::query::JoinQuery;
 use eqjoin_core::{embed_attribute, RowEncoding, SecureJoin, SjMasterKey, SjParams, SjTableSide};
-use eqjoin_crypto::{AeadKey, ChaChaRng, Prf};
+use eqjoin_crypto::{AeadKey, ChaChaRng, Prf, RandomSource};
 use eqjoin_pairing::{Engine, Fr};
 use std::collections::HashMap;
 
@@ -47,6 +47,13 @@ pub struct ClientConfig {
     /// core scheme itself does not — the paper's Figures 3/4 measure the
     /// pre-filtered configuration, so the benchmarks turn this on.
     pub prefilter: bool,
+    /// Worker threads row encryption fans out across
+    /// (`encrypt_table`/`encrypt_rows`); `0` means one per available
+    /// core. Every row draws its randomness from a dedicated stream
+    /// seeded before the fan-out, so ciphertexts are **byte-identical
+    /// at any thread count** — this knob trades wall-clock for cores,
+    /// never determinism.
+    pub encrypt_threads: usize,
 }
 
 impl ClientConfig {
@@ -58,12 +65,19 @@ impl ClientConfig {
             t,
             seed: 0,
             prefilter: false,
+            encrypt_threads: 1,
         }
     }
 
     /// Set the deterministic RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the row-encryption worker count (`0` = all available cores).
+    pub fn encrypt_threads(mut self, threads: usize) -> Self {
+        self.encrypt_threads = threads;
         self
     }
 
@@ -111,6 +125,7 @@ pub struct DbClient<E: Engine> {
     aead: AeadKey,
     prefilter_root: Prf,
     prefilter_enabled: bool,
+    encrypt_threads: usize,
     rng: ChaChaRng,
     tables: HashMap<String, TableState>,
     next_query_id: u64,
@@ -146,6 +161,7 @@ impl<E: Engine> DbClient<E> {
             aead,
             prefilter_root,
             prefilter_enabled: config.prefilter,
+            encrypt_threads: config.encrypt_threads,
             rng,
             tables: HashMap::new(),
             next_query_id: 0,
@@ -168,6 +184,14 @@ impl<E: Engine> DbClient<E> {
     /// Operation counters since construction.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// The encryption config a table was registered with (its join
+    /// column and filter columns), if this client has encrypted it.
+    /// Bulk loaders use this to build self-describing
+    /// [`Request::CopyRows`](crate::protocol::Request::CopyRows) chunks.
+    pub fn table_config(&self, table: &str) -> Option<&TableConfig> {
+        self.tables.get(table).map(|state| &state.config)
     }
 
     /// Encrypt a table for joins on `config.join_column` with the given
@@ -209,7 +233,7 @@ impl<E: Engine> DbClient<E> {
 
         let plain_rows: Vec<Vec<Value>> = table.rows.iter().map(|r| r.0.clone()).collect();
         let rows =
-            self.encrypt_row_batch(&schema.name, &config, join_idx, &filter_idx, 0, &plain_rows);
+            self.encrypt_row_batch(&schema.name, &config, join_idx, &filter_idx, 0, &plain_rows)?;
 
         self.tables.insert(
             schema.name.clone(),
@@ -272,7 +296,7 @@ impl<E: Engine> DbClient<E> {
             &filter_idx,
             start_row,
             rows,
-        );
+        )?;
         self.tables
             .get_mut(table)
             .expect("state looked up above")
@@ -282,6 +306,14 @@ impl<E: Engine> DbClient<E> {
 
     /// `SJ.Enc` + payload sealing for a slice of plaintext rows whose
     /// ids start at `start_row`.
+    ///
+    /// Each row draws its blinding scalars and AEAD nonces from a
+    /// dedicated ChaCha stream whose 32-byte seed is taken from the
+    /// client's master RNG *before* any encryption happens. A row's
+    /// ciphertext therefore depends only on (master RNG state, row
+    /// offset) — never on scheduling — so fanning the loop across
+    /// [`ClientConfig::encrypt_threads`] scoped workers produces
+    /// byte-identical output at any thread count.
     fn encrypt_row_batch(
         &mut self,
         table: &str,
@@ -290,7 +322,7 @@ impl<E: Engine> DbClient<E> {
         filter_idx: &[usize],
         start_row: u64,
         rows: &[Vec<Value>],
-    ) -> Vec<EncryptedRow<E>> {
+    ) -> Result<Vec<EncryptedRow<E>>, DbError> {
         let table_prf = self.prefilter_root.derive(table.as_bytes());
         let column_prfs: Vec<Prf> = config
             .filter_columns
@@ -298,8 +330,23 @@ impl<E: Engine> DbClient<E> {
             .map(|c| table_prf.derive(c.as_bytes()))
             .collect();
 
-        let mut out = Vec::with_capacity(rows.len());
-        for (offset, row) in rows.iter().enumerate() {
+        // Per-row RNG seeds, drawn sequentially so the master stream
+        // advances identically regardless of worker count.
+        let seeds: Vec<[u8; 32]> = rows
+            .iter()
+            .map(|_| {
+                let mut s = [0u8; 32];
+                self.rng.fill_bytes(&mut s);
+                s
+            })
+            .collect();
+
+        let m = self.params.m;
+        let msk = &self.msk;
+        let aead = &self.aead;
+        let prefilter_enabled = self.prefilter_enabled;
+        let encrypt_one = |offset: usize, row: &Vec<Value>| -> Result<EncryptedRow<E>, DbError> {
+            let mut rng = ChaChaRng::from_seed(seeds[offset]);
             let ridx = start_row as usize + offset;
             let join_bytes = row[join_idx].canonical_bytes();
             // Filter attribute bytes, padded to m with the pad constant.
@@ -307,11 +354,11 @@ impl<E: Engine> DbClient<E> {
                 .iter()
                 .map(|&i| row[i].canonical_bytes())
                 .collect();
-            while attr_bytes.len() < self.params.m {
+            while attr_bytes.len() < m {
                 attr_bytes.push(PAD_ATTRIBUTE.to_vec());
             }
             let encoding = RowEncoding::from_bytes(&join_bytes, &attr_bytes);
-            let cipher = SecureJoin::<E>::encrypt_row(&self.msk, &encoding, &mut self.rng);
+            let cipher = SecureJoin::<E>::encrypt_row(msk, &encoding, &mut rng)?;
             // One sealed blob per column: the associated data binds
             // table, row id and column index, so payloads can neither be
             // swapped between rows nor between columns — and the client
@@ -321,25 +368,61 @@ impl<E: Engine> DbClient<E> {
                 .enumerate()
                 .map(|(cidx, value)| {
                     let ad = payload_ad(table, ridx, cidx);
-                    self.aead
-                        .seal(&mut self.rng, ad.as_bytes(), &value.canonical_bytes())
+                    aead.seal(&mut rng, ad.as_bytes(), &value.canonical_bytes())
                 })
                 .collect();
-            let tags = self.prefilter_enabled.then(|| {
+            let tags = prefilter_enabled.then(|| {
                 filter_idx
                     .iter()
                     .zip(&column_prfs)
                     .map(|(&i, prf)| prf.tag16(&row[i].canonical_bytes()))
                     .collect()
             });
-            out.push(EncryptedRow {
+            Ok(EncryptedRow {
                 cipher,
                 payloads,
                 tags,
-            });
-            self.stats.rows_encrypted += 1;
+            })
+        };
+
+        let threads = match self.encrypt_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
-        out
+        .min(rows.len().max(1));
+        let out = if threads <= 1 {
+            rows.iter()
+                .enumerate()
+                .map(|(offset, row)| encrypt_one(offset, row))
+                .collect::<Result<Vec<_>, DbError>>()?
+        } else {
+            let chunk = rows.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, slice)| {
+                        let encrypt_one = &encrypt_one;
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .enumerate()
+                                .map(|(j, row)| encrypt_one(ci * chunk + j, row))
+                                .collect::<Result<Vec<_>, DbError>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(rows.len());
+                for h in handles {
+                    all.extend(h.join().expect("encrypt worker panicked")?);
+                }
+                Ok::<_, DbError>(all)
+            })?
+        };
+        self.stats.rows_encrypted += rows.len() as u64;
+        Ok(out)
     }
 
     /// Build the two tokens (sharing one fresh query key `k`) for a join
@@ -445,7 +528,7 @@ impl<E: Engine> DbClient<E> {
 
         self.stats.tkgen_calls += 1;
         let _span = eqjoin_obs::span!("client_tkgen", "table" => table);
-        let token = SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng);
+        let token = SecureJoin::<E>::token_gen(&self.msk, side, key, &per_column, &mut self.rng)?;
         Ok(SideTokens {
             table: table.clone(),
             token,
@@ -566,6 +649,58 @@ mod tests {
         assert_eq!(tags.len(), 2);
         // Equal values get equal tags; different rows differ.
         assert_ne!(enc.rows[0].tags, enc.rows[1].tags);
+    }
+
+    #[test]
+    fn parallel_encrypt_is_byte_identical_to_sequential() {
+        // Same seed, different worker counts (sequential, 3 workers,
+        // all cores): every ciphertext element, sealed payload and
+        // pre-filter tag must match exactly — per-row RNG streams make
+        // the output independent of scheduling.
+        let mut big = Table::new(Schema::new("People", &["id", "name", "role"]));
+        for i in 0..23 {
+            big.push_row(vec![
+                Value::Int(i),
+                format!("user-{i}").as_str().into(),
+                if i % 2 == 0 {
+                    "dev".into()
+                } else {
+                    "ops".into()
+                },
+            ]);
+        }
+        let extra: Vec<Vec<Value>> = (23..31)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    format!("late-{i}").as_str().into(),
+                    "dev".into(),
+                ]
+            })
+            .collect();
+        let encrypt_all = |threads: usize| {
+            let mut client = DbClient::<MockEngine>::with_config(
+                ClientConfig::new(2, 2)
+                    .seed(99)
+                    .prefilter(true)
+                    .encrypt_threads(threads),
+            );
+            let mut enc = client.encrypt_table(&big, config()).unwrap();
+            let (start, more) = client.encrypt_rows("People", &extra).unwrap();
+            assert_eq!(start, 23);
+            enc.rows.extend(more);
+            enc
+        };
+        let sequential = encrypt_all(1);
+        for threads in [3, 0] {
+            let parallel = encrypt_all(threads);
+            assert_eq!(parallel.rows.len(), sequential.rows.len());
+            for (a, b) in sequential.rows.iter().zip(&parallel.rows) {
+                assert_eq!(a.cipher.elements(), b.cipher.elements());
+                assert_eq!(a.payloads, b.payloads);
+                assert_eq!(a.tags, b.tags);
+            }
+        }
     }
 
     #[test]

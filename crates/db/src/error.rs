@@ -124,6 +124,19 @@ pub enum DbError {
     /// SQL text was submitted to a session without an installed
     /// [`SqlPlanner`](crate::session::SqlPlanner).
     NoSqlPlanner,
+    /// A vector handed to an FHIPE/Secure Join algorithm had the wrong
+    /// length for the master key (converted from
+    /// [`eqjoin_core::DimensionMismatch`] — the scheme layer rejects
+    /// typed instead of asserting, so no panic is reachable from a
+    /// request path).
+    DimensionMismatch {
+        /// Which input was malformed (e.g. `"row attributes"`).
+        what: String,
+        /// The dimension fixed at setup.
+        expected: usize,
+        /// The dimension actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -193,6 +206,24 @@ impl fmt::Display for DbError {
                     "session has no SQL planner installed (use prepare with a JoinQuery)"
                 )
             }
+            DbError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} has dimension {got}, the master key expects {expected}"
+            ),
+        }
+    }
+}
+
+impl From<eqjoin_core::DimensionMismatch> for DbError {
+    fn from(e: eqjoin_core::DimensionMismatch) -> Self {
+        DbError::DimensionMismatch {
+            what: e.what.to_string(),
+            expected: e.expected,
+            got: e.got,
         }
     }
 }

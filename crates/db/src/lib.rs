@@ -107,6 +107,6 @@ pub use server::{
 };
 pub use session::{
     Catalog, LeakageReport, PreparedQuery, QueryInput, ResultSet, Session, SessionConfig,
-    SessionStats, SqlOutcome, SqlPlanner, SqlStatement,
+    SessionStats, SqlOutcome, SqlPlanner, SqlStatement, DEFAULT_COPY_CHUNK_ROWS,
 };
 pub use store::{EncryptedStore, TableStore, DEFAULT_DECRYPT_CACHE_CAP};

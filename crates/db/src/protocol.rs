@@ -93,6 +93,27 @@ pub enum Request<E: Engine> {
         /// Row ids to delete (each must exist).
         rows: Vec<u64>,
     },
+    /// One chunk of a COPY-style streaming bulk load. Unlike
+    /// [`Request::InsertRows`] the chunk is self-describing: it carries
+    /// the table's join-key and payload-column metadata, so the first
+    /// chunk *creates* the table and every later chunk appends after
+    /// validating that its metadata matches the stored table. A loader
+    /// can therefore stream a table it has never announced, chunk by
+    /// chunk, pipelined inside a [`Request::Batch`], and a replayed
+    /// chunk is rejected by its `start_row` collision instead of
+    /// double-applying.
+    CopyRows {
+        /// Target table (created on first chunk).
+        table: String,
+        /// Join column the rows were encrypted under.
+        join_column: String,
+        /// Sealed payload columns, in row order.
+        filter_columns: Vec<String>,
+        /// Row id of `rows[0]`; `rows[i]` gets `start_row + i`.
+        start_row: u64,
+        /// The encrypted rows of this chunk.
+        rows: Vec<EncryptedRow<E>>,
+    },
     /// A pipelined series of requests, answered by one
     /// [`Response::Batch`] of the same arity. Must not nest, and must
     /// not contain [`Request::WithTenant`] or [`Request::Drain`] — a
@@ -252,6 +273,16 @@ pub enum Response {
         table: String,
         /// Number of rows deleted.
         rows: usize,
+    },
+    /// One bulk-load chunk applied ([`Request::CopyRows`]).
+    CopyRows {
+        /// Table name.
+        table: String,
+        /// Rows appended by this chunk.
+        rows: usize,
+        /// Total rows the table holds after the chunk (lets a streaming
+        /// loader confirm progress without a separate stats probe).
+        total_rows: u64,
     },
     /// The request failed.
     Error(DbError),
@@ -735,6 +766,16 @@ fn put_error(w: &mut Writer, e: &DbError) {
             w.u8(18);
             w.str(msg);
         }
+        DbError::DimensionMismatch {
+            what,
+            expected,
+            got,
+        } => {
+            w.u8(19);
+            w.str(what);
+            w.u64(*expected as u64);
+            w.u64(*got as u64);
+        }
     }
 }
 
@@ -795,6 +836,11 @@ fn get_error(r: &mut Reader<'_>) -> Result<DbError, DbError> {
             cap: r.u64()? as usize,
         },
         18 => DbError::Timeout(r.str()?),
+        19 => DbError::DimensionMismatch {
+            what: r.str()?,
+            expected: r.u64()? as usize,
+            got: r.u64()? as usize,
+        },
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -867,6 +913,27 @@ impl<E: Engine> Request<E> {
             }
             Request::Drain => Writer::new(7).out,
             Request::Stats => Writer::new(8).out,
+            Request::CopyRows {
+                table,
+                join_column,
+                filter_columns,
+                start_row,
+                rows,
+            } => {
+                let mut w = Writer::new(9);
+                w.str(table);
+                w.str(join_column);
+                w.u64(filter_columns.len() as u64);
+                for c in filter_columns {
+                    w.str(c);
+                }
+                w.u64(*start_row);
+                w.u64(rows.len() as u64);
+                for row in rows {
+                    put_row(&mut w, row);
+                }
+                w.out
+            }
         }
     }
 
@@ -946,6 +1013,25 @@ impl<E: Engine> Request<E> {
             }
             7 => Request::Drain,
             8 => Request::Stats,
+            9 => {
+                let table = r.str()?;
+                let join_column = r.str()?;
+                let n_cols = r.len("copy filter columns")?;
+                let filter_columns = (0..n_cols).map(|_| r.str()).collect::<Result<_, _>>()?;
+                let start_row = r.u64()?;
+                let n_rows = r.len("copied rows")?;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    rows.push(get_row(&mut r)?);
+                }
+                Request::CopyRows {
+                    table,
+                    join_column,
+                    filter_columns,
+                    start_row,
+                    rows,
+                }
+            }
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -1022,6 +1108,17 @@ impl Response {
                 let mut w = Writer::new(6);
                 w.str(table);
                 w.u64(*rows as u64);
+                w.out
+            }
+            Response::CopyRows {
+                table,
+                rows,
+                total_rows,
+            } => {
+                let mut w = Writer::new(8);
+                w.str(table);
+                w.u64(*rows as u64);
+                w.u64(*total_rows);
                 w.out
             }
             Response::Stats(metrics) => {
@@ -1124,6 +1221,11 @@ impl Response {
                 },
                 exposition: r.str()?,
             }),
+            8 => Response::CopyRows {
+                table: r.str()?,
+                rows: r.u64()? as usize,
+                total_rows: r.u64()?,
+            },
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
         r.finish()?;
@@ -1458,6 +1560,11 @@ mod tests {
                 cap: 64,
             },
             DbError::Timeout("read deadline of 250ms elapsed".into()),
+            DbError::DimensionMismatch {
+                what: "row attributes".into(),
+                expected: 2,
+                got: 5,
+            },
         ];
         for e in errors {
             let resp = Response::Error(e.clone());

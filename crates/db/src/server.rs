@@ -229,6 +229,20 @@ impl<E: Engine> DbServer<E> {
         self.store.delete_rows(table, rows)
     }
 
+    /// Apply one COPY-style bulk-load chunk (create-or-append; see
+    /// [`EncryptedStore::copy_rows`]).
+    pub fn copy_rows(
+        &mut self,
+        table: &str,
+        join_column: &str,
+        filter_columns: &[String],
+        start_row: u64,
+        rows: Vec<crate::encrypted::EncryptedRow<E>>,
+    ) -> Result<(usize, u64), DbError> {
+        self.store
+            .copy_rows(table, join_column, filter_columns, start_row, rows)
+    }
+
     /// Fix the worker count used when a request asks for auto threads
     /// (`JoinOptions::threads == 0`). `None` (the default) resolves
     /// auto to the machine's available parallelism.

@@ -85,6 +85,14 @@ pub struct SessionConfig {
     /// or the call fails with [`DbError::Timeout`]. `None` (the
     /// default) blocks indefinitely; in-process backends ignore it.
     pub deadline: Option<Duration>,
+    /// O(delta) persistence for sessions served by a persistent
+    /// [`LocalBackend`]: journal bytes past which the backend compacts
+    /// the mutation journal into a full snapshot. `0` (the default)
+    /// rewrites the snapshot after every mutation. Construct the
+    /// backend with
+    /// [`LocalBackend::with_persistence`](crate::backend::LocalBackend::with_persistence)
+    /// passing this value; in-memory backends ignore it.
+    pub compaction_threshold: u64,
 }
 
 impl SessionConfig {
@@ -97,7 +105,16 @@ impl SessionConfig {
             options: JoinOptions::default(),
             token_cache: true,
             deadline: None,
+            compaction_threshold: 0,
         }
+    }
+
+    /// Arm O(delta) persistence for persistent backends serving this
+    /// session: compact the mutation journal into a full snapshot only
+    /// past `bytes` of journal (`0` = rewrite after every mutation).
+    pub fn compaction_threshold(mut self, bytes: u64) -> Self {
+        self.compaction_threshold = bytes;
+        self
     }
 
     /// Bound every socket read/write of a remote round trip; an elapsed
@@ -163,6 +180,12 @@ impl SessionConfig {
 /// column references against this.
 pub type Catalog = BTreeMap<String, Vec<String>>;
 
+/// Rows per [`Request::CopyRows`] chunk when the caller does not pick a
+/// size. Large enough to amortize the per-chunk round trip and the
+/// batched fixed-base/pairing preparation, small enough that a chunk's
+/// encrypted frame stays far below the transport frame cap.
+pub const DEFAULT_COPY_CHUNK_ROWS: usize = 512;
+
 /// A resolved SQL statement: a query plan, or one of the incremental
 /// update statements ([`Session::run_sql`] dispatches on this).
 #[derive(Clone, Debug)]
@@ -184,6 +207,15 @@ pub enum SqlStatement {
         /// Row ids.
         rows: Vec<u64>,
     },
+    /// `COPY t FROM VALUES (…), (…)` — bulk-load rows the session
+    /// streams to the backend in self-describing
+    /// [`Request::CopyRows`](crate::protocol::Request::CopyRows) chunks.
+    Copy {
+        /// Target table.
+        table: String,
+        /// Rows in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 /// What one SQL statement produced.
@@ -196,6 +228,8 @@ pub enum SqlOutcome {
     Inserted(usize),
     /// Number of rows a `DELETE FROM` removed.
     Deleted(usize),
+    /// Number of rows a `COPY … FROM VALUES` bulk-loaded.
+    Copied(usize),
 }
 
 /// A pluggable SQL front-end. Implemented by `eqjoin-sql`'s
@@ -615,6 +649,87 @@ impl<E: Engine> Session<E> {
         }
     }
 
+    /// Stream a whole plaintext table to the backend as a COPY-style
+    /// bulk load: the table is encrypted and shipped in chunks of
+    /// `chunk_rows` rows (`0` = [`DEFAULT_COPY_CHUNK_ROWS`]), each a
+    /// self-describing [`Request::CopyRows`] frame, so peak memory —
+    /// client and wire — is one chunk, not one table. The first chunk
+    /// creates the table server-side (a zero-row table still ships one
+    /// empty chunk as a pure "create" declaration). Returns the number
+    /// of rows loaded.
+    pub fn copy_table(
+        &mut self,
+        table: &Table,
+        config: TableConfig,
+        chunk_rows: usize,
+    ) -> Result<usize, DbError> {
+        let name = table.schema.name.clone();
+        // Register the client-side table state (keys, PRF streams, row
+        // numbering) without materializing the whole encrypted table:
+        // an empty shell of the schema encrypts zero rows.
+        let shell = Table::new(table.schema.clone());
+        let _ = self.client.encrypt_table(&shell, config)?;
+        let chunk = if chunk_rows == 0 {
+            DEFAULT_COPY_CHUNK_ROWS
+        } else {
+            chunk_rows
+        };
+        let rows: Vec<Vec<Value>> = table.rows.iter().map(|r| r.0.clone()).collect();
+        let mut loaded = 0;
+        let mut offset = 0;
+        loop {
+            let end = (offset + chunk).min(rows.len());
+            loaded += self.copy_chunk(&name, &rows[offset..end])?;
+            offset = end;
+            if offset >= rows.len() {
+                break;
+            }
+        }
+        self.catalog.insert(name, table.schema.columns.clone());
+        Ok(loaded)
+    }
+
+    /// Bulk-append plaintext rows to a table this session already
+    /// encrypts (the server half is create-or-append, so the table need
+    /// not exist server-side yet). Rows are encrypted and shipped in
+    /// [`DEFAULT_COPY_CHUNK_ROWS`]-row [`Request::CopyRows`] chunks.
+    pub fn copy_rows(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<usize, DbError> {
+        let mut loaded = 0;
+        let mut offset = 0;
+        loop {
+            let end = (offset + DEFAULT_COPY_CHUNK_ROWS).min(rows.len());
+            loaded += self.copy_chunk(table, &rows[offset..end])?;
+            offset = end;
+            if offset >= rows.len() {
+                break;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Encrypt and ship one COPY chunk.
+    fn copy_chunk(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<usize, DbError> {
+        let config = self
+            .client
+            .table_config(table)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+        let (start_row, encrypted) = self.client.encrypt_rows(table, rows)?;
+        match self.dispatch(Request::CopyRows {
+            table: table.to_owned(),
+            join_column: config.join_column,
+            filter_columns: config.filter_columns,
+            start_row,
+            rows: encrypted,
+        }) {
+            Response::CopyRows { rows, .. } => Ok(rows),
+            Response::Error(e) => Err(e),
+            _ => Err(DbError::Protocol(
+                "backend answered CopyRows with the wrong response kind".into(),
+            )),
+        }
+    }
+
     /// Delete rows by their stable ids (the row indices result sets
     /// report). Row-granular: only the deleted rows' cached decrypt
     /// state is dropped server-side.
@@ -646,6 +761,9 @@ impl<E: Engine> Session<E> {
             }
             SqlStatement::Delete { table, rows } => {
                 self.delete_rows(&table, &rows).map(SqlOutcome::Deleted)
+            }
+            SqlStatement::Copy { table, rows } => {
+                self.copy_rows(&table, &rows).map(SqlOutcome::Copied)
             }
         }
     }

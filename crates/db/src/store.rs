@@ -439,6 +439,13 @@ impl<E: Engine> EncryptedStore<E> {
         self.dirty.swap(false, Ordering::Relaxed)
     }
 
+    /// Peek at the dirty flag without claiming it — O(delta) backends
+    /// that defer a snapshot rewrite must leave it armed for the
+    /// eventual compaction.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
     /// Re-arm the dirty flag — a persistent backend failed to flush and
     /// wants the next request to retry.
     pub fn mark_dirty_again(&self) {
@@ -491,6 +498,7 @@ impl<E: Engine> EncryptedStore<E> {
         };
         let versions = self.next_versions(n_rows);
         store.push_rows(0, table.rows, versions)?;
+        eqjoin_obs::counter!("eqjoin_rows_ingested_total").add(n_rows as u64);
         self.cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -515,8 +523,78 @@ impl<E: Engine> EncryptedStore<E> {
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
         let inserted = stored.push_rows(start_row, rows, versions)?;
+        eqjoin_obs::counter!("eqjoin_rows_ingested_total").add(inserted as u64);
         self.mark_dirty();
         Ok(inserted)
+    }
+
+    /// Apply one COPY-style bulk-load chunk
+    /// ([`Request::CopyRows`](crate::Request::CopyRows)).
+    ///
+    /// The chunk is self-describing: on first contact it *creates* the
+    /// table with the chunk's metadata (a zero-row chunk is a pure
+    /// "create table" declaration); afterwards it appends, but only if
+    /// the chunk's join column and filter columns match what the table
+    /// was created with — a loader pointed at the wrong table fails
+    /// loudly instead of splicing rows encrypted under a different key
+    /// column. A replayed chunk collides on `start_row` and is rejected
+    /// by [`TableStore::push_rows`], which is what makes journal replay
+    /// of a bulk load idempotent. Returns `(rows appended, total rows
+    /// now stored)`.
+    pub fn copy_rows(
+        &mut self,
+        table: &str,
+        join_column: &str,
+        filter_columns: &[String],
+        start_row: u64,
+        rows: Vec<EncryptedRow<E>>,
+    ) -> Result<(usize, u64), DbError> {
+        let versions = self.next_versions(rows.len());
+        match self.tables.get_mut(table) {
+            Some(stored) => {
+                if stored.join_column != join_column {
+                    return Err(DbError::JoinColumnMismatch {
+                        table: table.to_owned(),
+                        requested: join_column.to_owned(),
+                        encrypted: stored.join_column.clone(),
+                    });
+                }
+                if stored.filter_columns != filter_columns {
+                    return Err(DbError::Protocol(format!(
+                        "COPY chunk for table {table:?} names filter columns {:?}, \
+                         stored table has {:?}",
+                        filter_columns, stored.filter_columns
+                    )));
+                }
+                let inserted = stored.push_rows(start_row, rows, versions)?;
+                let total = stored.len() as u64;
+                eqjoin_obs::counter!("eqjoin_rows_ingested_total").add(inserted as u64);
+                self.mark_dirty();
+                Ok((inserted, total))
+            }
+            None => {
+                // First chunk: build the table off to the side and only
+                // publish it if the rows go in cleanly, so a malformed
+                // first chunk leaves no half-created table behind.
+                let mut store = TableStore {
+                    name: table.to_owned(),
+                    join_column: join_column.to_owned(),
+                    filter_columns: filter_columns.to_vec(),
+                    ids: Vec::new(),
+                    versions: Vec::new(),
+                    ciphers: Vec::new(),
+                    prepared: Vec::new(),
+                    payload_columns: Vec::new(),
+                    tag_columns: None,
+                };
+                let inserted = store.push_rows(start_row, rows, versions)?;
+                let total = store.len() as u64;
+                self.tables.insert(store.name.clone(), store);
+                eqjoin_obs::counter!("eqjoin_rows_ingested_total").add(inserted as u64);
+                self.mark_dirty();
+                Ok((inserted, total))
+            }
+        }
     }
 
     /// Delete rows by id. Cache entries for other rows stay valid (a

@@ -6,7 +6,10 @@
 //! same way (the SHA-256 body checksum catches what framing checks
 //! let through).
 
-use eqjoin_db::{DbClient, DbError, EncryptedStore, Schema, Table, TableConfig, Value};
+use eqjoin_db::{
+    DbClient, DbError, EncryptedStore, LocalBackend, Request, Response, Schema, ServerApi, Table,
+    TableConfig, Value,
+};
 use eqjoin_pairing::MockEngine;
 use proptest::prelude::*;
 
@@ -78,5 +81,209 @@ proptest! {
             EncryptedStore::<MockEngine>::from_snapshot_bytes(&bytes),
             Err(DbError::Snapshot(_))
         ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// O(delta) persistence vs the always-full-snapshot oracle
+// ---------------------------------------------------------------------------
+
+/// One step of a persistence workload: mutations interleaved with
+/// explicit compactions.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert this many fresh rows (1..=3).
+    Insert(u8),
+    /// Bulk-load this many fresh rows (1..=2) as a COPY chunk.
+    Copy(u8),
+    /// Delete the oldest still-live row id.
+    Delete,
+    /// Forced flush — the drain path, always compacts.
+    Compact,
+}
+
+/// Decode a raw proptest byte into an [`Op`] (insert-heavy mix: three
+/// insert codes, two COPY chunks, two deletes, one compaction).
+fn decode_op(code: u8) -> Op {
+    match code % 8 {
+        c @ 0..=2 => Op::Insert(c + 1),
+        c @ 3..=4 => Op::Copy(c - 2),
+        5 | 6 => Op::Delete,
+        _ => Op::Compact,
+    }
+}
+
+/// Unique scratch directory per proptest case (cases run in one
+/// process; the thread id alone would collide across cases).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eqjoin-odelta-prop-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A materialized step: the exact request both stores will apply, or a
+/// forced compaction.
+enum Step {
+    Req(Box<Request<MockEngine>>),
+    Compact,
+}
+
+impl Step {
+    fn req(r: Request<MockEngine>) -> Self {
+        Step::Req(Box::new(r))
+    }
+}
+
+fn apply(backend: &LocalBackend<MockEngine>, steps: &[Step]) {
+    for step in steps {
+        match step {
+            Step::Req(req) => {
+                let response = backend.handle((**req).clone());
+                assert!(
+                    !matches!(response, Response::Error(_)),
+                    "workload mutations must apply cleanly"
+                );
+            }
+            Step::Compact => backend.flush().unwrap(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The incremental-persistence equivalence gate: any interleaving of
+    // inserts, deletes and compactions, cut short by a crash at any
+    // step boundary (optionally mid-append, leaving a torn journal
+    // tail), must replay on restart to a store BYTE-IDENTICAL to an
+    // oracle that rewrote the full snapshot after every mutation.
+    #[test]
+    fn deferred_journal_replays_byte_identical_to_full_snapshot_oracle(
+        codes in proptest::collection::vec(0u8..8, 1..10),
+        cut_sel in any::<usize>(),
+        torn in any::<bool>(),
+    ) {
+        let ops: Vec<Op> = codes.into_iter().map(decode_op).collect();
+        // Materialize the op sequence into concrete requests ONCE, so
+        // the system under test and the oracle apply identical bytes
+        // (row encryption consumes client RNG state).
+        let mut client = DbClient::<MockEngine>::new(1, 2, 21);
+        let mut t = Table::new(Schema::new("T", &["k", "a"]));
+        for i in 0..5i64 {
+            t.push_row(vec![Value::Int(i % 3), Value::Str(format!("s{i}"))]);
+        }
+        let enc = client
+            .encrypt_table(
+                &t,
+                TableConfig { join_column: "k".into(), filter_columns: vec!["a".into()] },
+            )
+            .unwrap();
+        let mut live: Vec<u64> = (0..5).collect();
+        let mut fresh = 0i64;
+        let mut steps = vec![Step::req(Request::InsertTable(enc))];
+        for op in &ops {
+            match op {
+                Op::Insert(n) => {
+                    let rows: Vec<Vec<Value>> = (0..*n)
+                        .map(|_| {
+                            fresh += 1;
+                            vec![Value::Int(fresh % 3), Value::Str(format!("n{fresh}"))]
+                        })
+                        .collect();
+                    let (start_row, enc_rows) = client.encrypt_rows("T", &rows).unwrap();
+                    live.extend(start_row..start_row + enc_rows.len() as u64);
+                    steps.push(Step::req(Request::InsertRows {
+                        table: "T".into(),
+                        start_row,
+                        rows: enc_rows,
+                    }));
+                }
+                Op::Copy(n) => {
+                    let rows: Vec<Vec<Value>> = (0..*n)
+                        .map(|_| {
+                            fresh += 1;
+                            vec![Value::Int(fresh % 3), Value::Str(format!("c{fresh}"))]
+                        })
+                        .collect();
+                    let (start_row, enc_rows) = client.encrypt_rows("T", &rows).unwrap();
+                    live.extend(start_row..start_row + enc_rows.len() as u64);
+                    steps.push(Step::req(Request::CopyRows {
+                        table: "T".into(),
+                        join_column: "k".into(),
+                        filter_columns: vec!["a".into()],
+                        start_row,
+                        rows: enc_rows,
+                    }));
+                }
+                Op::Delete => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(0);
+                    steps.push(Step::req(Request::DeleteRows {
+                        table: "T".into(),
+                        rows: vec![id],
+                    }));
+                }
+                Op::Compact => steps.push(Step::Compact),
+            }
+        }
+        // The crash lands after `cut` steps (always past the initial
+        // table upload).
+        let cut = 1 + cut_sel % steps.len();
+
+        // System under test: a huge threshold, so every mutation defers
+        // the snapshot and the fsynced journal is the durable delta.
+        // Dropping the backend without a flush IS the crash.
+        let sut_dir = scratch("sut");
+        let sut_snap = sut_dir.join("store.snap");
+        {
+            let backend =
+                LocalBackend::<MockEngine>::with_persistence(&sut_snap, None, None, 1 << 20)
+                    .unwrap();
+            apply(&backend, &steps[..cut]);
+        }
+        if torn {
+            // Crash mid-append: a record header promising more bytes
+            // than the file holds. Replay must discard it cleanly.
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(sut_snap.with_extension("journal"))
+                .unwrap();
+            f.write_all(&[0xEE, 0x03, 0, 0, 1, 2, 3]).unwrap();
+        }
+        // Restart: replay the journal over whatever snapshot the last
+        // compaction (if any) left, fold into a fresh snapshot.
+        drop(LocalBackend::<MockEngine>::with_persistence(&sut_snap, None, None, 1 << 20).unwrap());
+
+        // Oracle: threshold 0 — the legacy full snapshot after every
+        // mutation, no crash.
+        let oracle_dir = scratch("oracle");
+        let oracle_snap = oracle_dir.join("store.snap");
+        {
+            let backend =
+                LocalBackend::<MockEngine>::with_persistence(&oracle_snap, None, None, 0).unwrap();
+            apply(&backend, &steps[..cut]);
+            backend.flush().unwrap();
+        }
+
+        let sut_bytes = std::fs::read(&sut_snap).unwrap();
+        let oracle_bytes = std::fs::read(&oracle_snap).unwrap();
+        prop_assert!(
+            sut_bytes == oracle_bytes,
+            "replayed O(delta) store must be byte-identical to the full-snapshot oracle \
+             (ops {ops:?}, cut {cut}, torn {torn})"
+        );
+        let _ = std::fs::remove_dir_all(&sut_dir);
+        let _ = std::fs::remove_dir_all(&oracle_dir);
     }
 }

@@ -51,6 +51,7 @@ pub struct TenantRegistry<E: Engine> {
     data_dir: Option<PathBuf>,
     threads: Option<usize>,
     cache_cap: Option<usize>,
+    compaction_threshold: u64,
     obs: RwLock<HashMap<String, Arc<TenantMetrics>>>,
 }
 
@@ -69,6 +70,7 @@ impl<E: Engine> TenantRegistry<E> {
             data_dir: None,
             threads,
             cache_cap,
+            compaction_threshold: 0,
             obs: RwLock::new(HashMap::new()),
         }
     }
@@ -78,16 +80,23 @@ impl<E: Engine> TenantRegistry<E> {
     /// restart warm), tenant `t` to `data_dir/tenants/t/store.snap`.
     /// Existing snapshots are loaded eagerly for the default namespace
     /// and lazily (on first request) for tenants.
+    /// `compaction_threshold` (journal bytes) arms O(delta) persistence
+    /// for every namespace; `0` keeps flush-per-mutation.
     pub fn with_persistence(
         data_dir: PathBuf,
         threads: Option<usize>,
         cache_cap: Option<usize>,
+        compaction_threshold: u64,
         allowed: Option<Vec<String>>,
     ) -> Result<Self, DbError> {
         std::fs::create_dir_all(&data_dir)
             .map_err(|e| DbError::Snapshot(format!("create {}: {e}", data_dir.display())))?;
-        let default =
-            LocalBackend::with_persistence(data_dir.join("store.snap"), threads, cache_cap)?;
+        let default = LocalBackend::with_persistence(
+            data_dir.join("store.snap"),
+            threads,
+            cache_cap,
+            compaction_threshold,
+        )?;
         Ok(TenantRegistry {
             default,
             tenants: RwLock::new(HashMap::new()),
@@ -95,6 +104,7 @@ impl<E: Engine> TenantRegistry<E> {
             data_dir: Some(data_dir),
             threads,
             cache_cap,
+            compaction_threshold,
             obs: RwLock::new(HashMap::new()),
         })
     }
@@ -159,6 +169,7 @@ impl<E: Engine> TenantRegistry<E> {
                     tenant_dir.join("store.snap"),
                     self.threads,
                     self.cache_cap,
+                    self.compaction_threshold,
                 )?
             }
             None => LocalBackend::with_config(self.threads, self.cache_cap),
@@ -342,7 +353,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let registry =
-                TenantRegistry::<MockEngine>::with_persistence(dir.clone(), None, None, None)
+                TenantRegistry::<MockEngine>::with_persistence(dir.clone(), None, None, 0, None)
                     .unwrap();
             for tenant in ["alpha", "beta"] {
                 let r = registry.handle(Request::WithTenant {

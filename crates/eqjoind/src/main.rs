@@ -60,6 +60,7 @@ struct Options {
     tenants: Option<Vec<String>>,
     data_dir: Option<String>,
     decrypt_cache_cap: Option<usize>,
+    compaction_threshold: u64,
     metrics_addr: Option<String>,
     log_level: eqjoin_obs::Level,
 }
@@ -70,6 +71,7 @@ fn usage() -> ! {
          \x20              [--shards N] [--threads T] [--workers W] [--max-inflight N]\n\
          \x20              [--queue-depth N] [--io-timeout SECS] [--tenants A,B,..]\n\
          \x20              [--data-dir DIR] [--decrypt-cache-cap N]\n\
+         \x20              [--compaction-threshold BYTES]\n\
          \x20              [--metrics-addr ADDR] [--log-level off|info|debug]\n\
          \n\
          --listen ADDR           bind address (default 127.0.0.1:4747; port 0 picks one)\n\
@@ -98,6 +100,12 @@ fn usage() -> ! {
          \x20                       tenants snapshot under DIR/tenants/<name>/\n\
          --decrypt-cache-cap N   decrypt-cache entries kept per store (default 64,\n\
          \x20                       LRU eviction; requests may pin their own cap)\n\
+         --compaction-threshold BYTES\n\
+         \x20                       O(delta) persistence: keep appending to the\n\
+         \x20                       fsynced mutation journal and rewrite the full\n\
+         \x20                       snapshot only once the journal exceeds BYTES\n\
+         \x20                       (0 = rewrite after every mutation, the default;\n\
+         \x20                       drain always compacts)\n\
          --metrics-addr ADDR     also serve a read-only Prometheus text exposition\n\
          \x20                       on ADDR (port 0 picks one) — latency histograms,\n\
          \x20                       throughput counters, the leakage ledger summary,\n\
@@ -124,6 +132,7 @@ fn parse_options() -> Options {
         tenants: None,
         data_dir: None,
         decrypt_cache_cap: None,
+        compaction_threshold: 0,
         metrics_addr: None,
         log_level: eqjoin_obs::Level::Off,
     };
@@ -174,6 +183,11 @@ fn parse_options() -> Options {
                 )
             }
             "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--compaction-threshold" => {
+                options.compaction_threshold = value("--compaction-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage_for("--compaction-threshold"))
+            }
             "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")),
             "--log-level" => {
                 options.log_level = value("--log-level")
@@ -215,6 +229,7 @@ fn tenant_registry<E: Engine>(options: &Options) -> Result<TenantRegistry<E>, eq
             std::path::PathBuf::from(dir),
             threads,
             options.decrypt_cache_cap,
+            options.compaction_threshold,
             options.tenants.clone(),
         ),
         None => Ok(TenantRegistry::new(
@@ -350,6 +365,7 @@ fn run_threads<E: Engine>(options: &Options) -> ExitCode {
                     threads,
                     dir,
                     options.decrypt_cache_cap,
+                    options.compaction_threshold,
                 )
                 .map(|b| Arc::new(b) as Arc<dyn ServerApi<E>>)
             }

@@ -115,6 +115,7 @@ fn every_server_failpoint_degrades_to_a_typed_error_then_recovers() {
         ("transport::write_frame=1*delay(100)", threads),
         ("local::flush=1*return-error", threads),
         ("local::journal::after_append=1*return-error", threads),
+        ("store::journal::compact=1*return-error", threads),
         ("store::save::after_tmp_write=1*return-error", threads),
         ("store::save::after_rename=1*return-error", threads),
         ("reactor::read=1*drop-conn", epoll),
@@ -323,6 +324,191 @@ fn sigkill_mid_save_restarts_consistent_via_journal_replay() {
         data_dir.join("store.snap").exists(),
         "the folded snapshot is durable"
     );
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// The other half of the compaction window: SIGKILL **between** the
+/// snapshot rename and the journal truncation. The snapshot already
+/// covers the journaled intent, so the restart replays the stale
+/// journal over a *newer* snapshot — every entry must collide into a
+/// no-op, never double-apply.
+#[test]
+fn sigkill_between_snapshot_and_journal_truncate_replays_idempotently() {
+    let _guard = chaos_guard();
+    let data_dir = scratch_data_dir("chaos-compact");
+    let (mut client, left, right) = client();
+    let enc_l = client.encrypt_table(&left, cfg("a")).unwrap();
+    let enc_r = client.encrypt_table(&right, cfg("b")).unwrap();
+    let tokens = client
+        .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+        .unwrap();
+    let exec = || Request::<MockEngine>::ExecuteJoin {
+        tokens: tokens.clone(),
+        options: JoinOptions::default(),
+        projection: Default::default(),
+    };
+
+    // ---- healthy first process: upload, baseline query, clean kill ----
+    let baseline_pairs;
+    let baseline_count;
+    {
+        let daemon = Daemon::spawn(&data_dir);
+        let backend = chaos_backend(&daemon.addr);
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_l)),
+            Response::TableInserted { .. }
+        ));
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_r)),
+            Response::TableInserted { .. }
+        ));
+        let response = api.handle(exec());
+        let (bytes, _, _) = join_response_bytes(&response);
+        baseline_pairs = bytes;
+        let Response::JoinExecuted { result, .. } = response else {
+            unreachable!("join_response_bytes verified the variant");
+        };
+        baseline_count = result.pairs.len();
+        daemon.kill();
+    }
+
+    // ---- faulted process: abort after the snapshot is durable ----
+    // The InsertRows intent journals, applies, and the snapshot rename
+    // completes — then the process dies before truncating the journal.
+    let (start_row, new_rows) = client
+        .encrypt_rows("L", &[vec![Value::Int(1), Value::Str("l-new".into())]])
+        .unwrap();
+    {
+        let daemon = Daemon::spawn_with_env(
+            &data_dir,
+            &[],
+            &[("EQJOIN_FAILPOINTS", "store::journal::compact=abort")],
+        );
+        let backend = chaos_backend(&daemon.addr);
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        match api.handle(Request::InsertRows {
+            table: "L".into(),
+            start_row,
+            rows: new_rows.clone(),
+        }) {
+            Response::Error(DbError::Transport(_) | DbError::Timeout(_)) => {}
+            other => {
+                panic!("a crash mid-compaction must surface as a transport loss, got {other:?}")
+            }
+        }
+        daemon.kill(); // already dead; reap
+    }
+    assert!(
+        data_dir.join("store.snap").exists(),
+        "the snapshot rename completed before the crash"
+    );
+    assert!(
+        data_dir.join("store.journal").exists(),
+        "the stale journal survives the crash window"
+    );
+
+    // ---- recovery: the stale journal replays as a no-op ----
+    {
+        let daemon = Daemon::spawn(&data_dir);
+        let backend = chaos_backend(&daemon.addr);
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        let response = api.handle(exec());
+        let (bytes, _, _) = join_response_bytes(&response);
+        assert_ne!(
+            bytes, baseline_pairs,
+            "the mutation the snapshot captured must be visible"
+        );
+        // k=1 gains one left row: its 3 right matches appear exactly
+        // once — a replay that double-applied would add 6, one that
+        // dropped the intent would add 0.
+        let Response::JoinExecuted { result, .. } = response else {
+            unreachable!("join_response_bytes verified the variant");
+        };
+        assert_eq!(
+            result.pairs.len(),
+            baseline_count + 3,
+            "the stale journal must replay idempotently (exactly-once effects)"
+        );
+        daemon.terminate_and_wait(Duration::from_secs(10));
+    }
+    assert!(
+        !data_dir.join("store.journal").exists(),
+        "recovery drops the stale journal"
+    );
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// O(delta) persistence end-to-end through the daemon flag: with
+/// `--compaction-threshold` armed, mutations leave only journal deltas
+/// on disk (no snapshot rewrite), and the graceful drain compacts so
+/// the next start is warm and journal-free.
+#[test]
+fn compaction_threshold_daemon_defers_then_drain_compacts() {
+    let _guard = chaos_guard();
+    let data_dir = scratch_data_dir("chaos-odelta");
+    let (mut client, left, right) = client();
+    let enc_l = client.encrypt_table(&left, cfg("a")).unwrap();
+    let enc_r = client.encrypt_table(&right, cfg("b")).unwrap();
+    let tokens = client
+        .query_tokens(&JoinQuery::on("L", "k", "R", "k"))
+        .unwrap();
+
+    {
+        // The epoll layer owns the SIGTERM → drain → forced-flush path.
+        let daemon = Daemon::spawn_with(
+            &data_dir,
+            &["--net", "epoll", "--compaction-threshold", "1073741824"],
+        );
+        let backend = chaos_backend(&daemon.addr);
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_l)),
+            Response::TableInserted { .. }
+        ));
+        assert!(matches!(
+            api.handle(Request::InsertTable(enc_r)),
+            Response::TableInserted { .. }
+        ));
+        assert!(
+            data_dir.join("store.journal").exists(),
+            "sub-threshold mutations persist as journal deltas"
+        );
+        assert!(
+            !data_dir.join("store.snap").exists(),
+            "the snapshot rewrite is deferred below the threshold"
+        );
+        daemon.terminate_and_wait(Duration::from_secs(10));
+    }
+    assert!(
+        data_dir.join("store.snap").exists(),
+        "graceful drain compacts to a full snapshot"
+    );
+    assert!(
+        !data_dir.join("store.journal").exists(),
+        "drain leaves no journal behind"
+    );
+
+    // Warm restart off the compacted snapshot alone.
+    {
+        let daemon = Daemon::spawn(&data_dir);
+        let backend = chaos_backend(&daemon.addr);
+        let api: &dyn ServerApi<MockEngine> = &backend;
+        match api.handle(Request::ExecuteJoin {
+            tokens,
+            options: JoinOptions::default(),
+            projection: Default::default(),
+        }) {
+            Response::JoinExecuted { result, .. } => {
+                assert!(
+                    !result.pairs.is_empty(),
+                    "compacted snapshot restores the store"
+                )
+            }
+            other => panic!("join over compacted snapshot failed: {other:?}"),
+        }
+        daemon.kill();
+    }
     let _ = std::fs::remove_dir_all(&data_dir);
 }
 

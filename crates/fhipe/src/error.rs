@@ -1,0 +1,52 @@
+//! Typed errors for the FHIPE layer.
+//!
+//! The scheme algorithms used to `assert_eq!` their vector dimensions,
+//! which made a malformed input a panic — unacceptable once these run
+//! behind a server request path. They now return
+//! [`DimensionMismatch`] instead, which the DB layer converts into its
+//! own wire-encodable error (the `DbError::TooManyFilterColumns`
+//! precedent: reject typed, never abort).
+
+use std::fmt;
+
+/// A vector handed to an FHIPE/Secure Join algorithm had the wrong
+/// length for the master key it was used with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// Which input was malformed (e.g. `"keygen vector"`).
+    pub what: &'static str,
+    /// The dimension fixed at setup.
+    pub expected: usize,
+    /// The dimension actually supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} has dimension {}, the master key expects {}",
+            self.what, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for DimensionMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_input() {
+        let e = DimensionMismatch {
+            what: "keygen vector",
+            expected: 4,
+            got: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "keygen vector has dimension 2, the master key expects 4"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! uses the [`crate::modified`] variant instead; this one exists to show
 //! the base construction and for differential testing.
 
+use crate::error::DimensionMismatch;
 use crate::linalg::Matrix;
 use eqjoin_crypto::RandomSource;
 use eqjoin_pairing::{Engine, Fr};
@@ -22,6 +23,7 @@ pub struct IpeMasterKey<E: Engine> {
 
 /// A decryption key for a vector `v`:
 /// `(K1, K2) = (g1^{α·det B}, g1^{α·v·B})`.
+#[derive(Debug)]
 pub struct IpeSecretKey<E: Engine> {
     /// `g1^{α·det B}`.
     pub k1: E::G1,
@@ -30,6 +32,7 @@ pub struct IpeSecretKey<E: Engine> {
 }
 
 /// A ciphertext for a vector `w`: `(C1, C2) = (g2^β, g2^{β·w·B*})`.
+#[derive(Debug)]
 pub struct IpeCiphertext<E: Engine> {
     /// `g2^β`.
     pub c1: E::G2,
@@ -57,29 +60,63 @@ impl<E: Engine> Ipe<E> {
     }
 
     /// `IPE.KeyGen(msk, v)` with fresh `α`.
-    pub fn keygen(msk: &IpeMasterKey<E>, v: &[Fr], rng: &mut dyn RandomSource) -> IpeSecretKey<E> {
-        assert_eq!(v.len(), msk.dim, "keygen vector dimension");
+    ///
+    /// All `n + 1` generator exponentiations (`K1` and the `K2`
+    /// components) go through one [`Engine::g1_mul_gen_batch`] call, so
+    /// batching engines amortize the affine normalizations across the
+    /// whole key.
+    pub fn keygen(
+        msk: &IpeMasterKey<E>,
+        v: &[Fr],
+        rng: &mut dyn RandomSource,
+    ) -> Result<IpeSecretKey<E>, DimensionMismatch> {
+        // audit-allow(ct-discipline): branches on the vector's public length, never its contents
+        if v.len() != msk.dim {
+            return Err(DimensionMismatch {
+                what: "keygen vector",
+                expected: msk.dim,
+                got: v.len(),
+            });
+        }
         let alpha = Fr::random_nonzero(rng);
         let vb = msk.b.row_vec_mul(v);
-        IpeSecretKey {
-            k1: E::g1_mul_gen(&(alpha * msk.det_b)),
-            k2: vb.iter().map(|x| E::g1_mul_gen(&(alpha * *x))).collect(),
-        }
+        let mut scalars = Vec::with_capacity(vb.len() + 1);
+        scalars.push(alpha * msk.det_b);
+        scalars.extend(vb.iter().map(|x| alpha * *x));
+        let mut points = E::g1_mul_gen_batch(&scalars).into_iter();
+        Ok(IpeSecretKey {
+            k1: points.next().expect("batch returns one point per scalar"),
+            k2: points.collect(),
+        })
     }
 
     /// `IPE.Encrypt(msk, w)` with fresh `β`.
+    ///
+    /// `C1` and all `C2` components ride one
+    /// [`Engine::g2_mul_gen_batch`] call.
     pub fn encrypt(
         msk: &IpeMasterKey<E>,
         w: &[Fr],
         rng: &mut dyn RandomSource,
-    ) -> IpeCiphertext<E> {
-        assert_eq!(w.len(), msk.dim, "encrypt vector dimension");
+    ) -> Result<IpeCiphertext<E>, DimensionMismatch> {
+        // audit-allow(ct-discipline): branches on the vector's public length, never its contents
+        if w.len() != msk.dim {
+            return Err(DimensionMismatch {
+                what: "encrypt vector",
+                expected: msk.dim,
+                got: w.len(),
+            });
+        }
         let beta = Fr::random_nonzero(rng);
         let wb = msk.b_star.row_vec_mul(w);
-        IpeCiphertext {
-            c1: E::g2_mul_gen(&beta),
-            c2: wb.iter().map(|x| E::g2_mul_gen(&(beta * *x))).collect(),
-        }
+        let mut scalars = Vec::with_capacity(wb.len() + 1);
+        scalars.push(beta);
+        scalars.extend(wb.iter().map(|x| beta * *x));
+        let mut points = E::g2_mul_gen_batch(&scalars).into_iter();
+        Ok(IpeCiphertext {
+            c1: points.next().expect("batch returns one point per scalar"),
+            c2: points.collect(),
+        })
     }
 
     /// `IPE.Decrypt(pp, sk, ct)`: compute `D1 = e(K1, C1)`,
@@ -132,8 +169,8 @@ mod tests {
         let msk = Ipe::<MockEngine>::setup(4, &mut r);
         let v = small_vec(&[1, 2, 3, 4]);
         let w = small_vec(&[5, 6, 7, 8]);
-        let sk = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
-        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        let sk = Ipe::<MockEngine>::keygen(&msk, &v, &mut r).unwrap();
+        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r).unwrap();
         // ⟨v, w⟩ = 5 + 12 + 21 + 32 = 70.
         assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 100), Some(70));
         assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 69), None);
@@ -145,8 +182,8 @@ mod tests {
         let msk = Ipe::<Bls12>::setup(3, &mut r);
         let v = small_vec(&[2, 0, 1]);
         let w = small_vec(&[3, 9, 4]);
-        let sk = Ipe::<Bls12>::keygen(&msk, &v, &mut r);
-        let ct = Ipe::<Bls12>::encrypt(&msk, &w, &mut r);
+        let sk = Ipe::<Bls12>::keygen(&msk, &v, &mut r).unwrap();
+        let ct = Ipe::<Bls12>::encrypt(&msk, &w, &mut r).unwrap();
         assert_eq!(Ipe::<Bls12>::decrypt(&sk, &ct, 20), Some(10));
     }
 
@@ -154,9 +191,9 @@ mod tests {
     fn zero_inner_product() {
         let mut r = rng();
         let msk = Ipe::<MockEngine>::setup(2, &mut r);
-        let sk = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1, 1]), &mut r);
+        let sk = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1, 1]), &mut r).unwrap();
         let w = vec![Fr::from_u64(5), -Fr::from_u64(5)];
-        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        let ct = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r).unwrap();
         assert_eq!(Ipe::<MockEngine>::decrypt(&sk, &ct, 10), Some(0));
     }
 
@@ -168,21 +205,31 @@ mod tests {
         let msk = Ipe::<MockEngine>::setup(2, &mut r);
         let v = small_vec(&[1, 2]);
         let w = small_vec(&[3, 4]);
-        let sk1 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
-        let sk2 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r);
+        let sk1 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r).unwrap();
+        let sk2 = Ipe::<MockEngine>::keygen(&msk, &v, &mut r).unwrap();
         assert_ne!(sk1.k2, sk2.k2, "keys must be randomized");
-        let ct1 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
-        let ct2 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r);
+        let ct1 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r).unwrap();
+        let ct2 = Ipe::<MockEngine>::encrypt(&msk, &w, &mut r).unwrap();
         assert_ne!(ct1.c2, ct2.c2, "ciphertexts must be randomized");
         assert_eq!(Ipe::<MockEngine>::decrypt(&sk1, &ct2, 20), Some(11));
         assert_eq!(Ipe::<MockEngine>::decrypt(&sk2, &ct1, 20), Some(11));
     }
 
     #[test]
-    #[should_panic(expected = "dimension")]
-    fn dimension_mismatch_panics() {
+    fn dimension_mismatch_is_a_typed_error() {
         let mut r = rng();
         let msk = Ipe::<MockEngine>::setup(3, &mut r);
-        let _ = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1]), &mut r);
+        let err = Ipe::<MockEngine>::keygen(&msk, &small_vec(&[1]), &mut r).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::DimensionMismatch {
+                what: "keygen vector",
+                expected: 3,
+                got: 1
+            }
+        );
+        let err = Ipe::<MockEngine>::encrypt(&msk, &small_vec(&[1, 2, 3, 4]), &mut r).unwrap_err();
+        assert_eq!(err.what, "encrypt vector");
+        assert_eq!((err.expected, err.got), (3, 4));
     }
 }

@@ -18,10 +18,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod ipe;
 pub mod linalg;
 pub mod modified;
 
+pub use error::DimensionMismatch;
 pub use ipe::{Ipe, IpeCiphertext, IpeMasterKey, IpeSecretKey};
 pub use linalg::Matrix;
 pub use modified::{

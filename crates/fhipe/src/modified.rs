@@ -13,6 +13,7 @@
 //!    `D = e(g1, g2)^{det(B)·⟨v,w⟩}` without discrete-log extraction;
 //!    Secure Join only ever compares two such values for equality.
 
+use crate::error::DimensionMismatch;
 use crate::linalg::Matrix;
 use eqjoin_crypto::RandomSource;
 use eqjoin_pairing::{Engine, Fr};
@@ -74,37 +75,59 @@ impl<E: Engine> ModifiedIpe<E> {
     }
 
     /// Generate a token for payload vector `ν` with fresh `δ`.
+    ///
+    /// The `base_dim + 2` token exponentiations go through one
+    /// [`Engine::g1_mul_gen_batch`] call so batching engines pay a
+    /// single shared affine normalization.
     pub fn token(
         msk: &ModifiedIpeMasterKey<E>,
         nu: &[Fr],
         rng: &mut dyn RandomSource,
-    ) -> ModifiedIpeToken<E> {
-        assert_eq!(nu.len(), msk.base_dim, "token vector dimension");
+    ) -> Result<ModifiedIpeToken<E>, DimensionMismatch> {
+        // audit-allow(ct-discipline): branches on the vector's public length, never its contents
+        if nu.len() != msk.base_dim {
+            return Err(DimensionMismatch {
+                what: "token vector",
+                expected: msk.base_dim,
+                got: nu.len(),
+            });
+        }
         let delta = Fr::random(rng);
         let mut v = nu.to_vec();
         v.push(Fr::zero());
         v.push(delta);
         let vb = msk.b.row_vec_mul(&v);
-        ModifiedIpeToken {
-            elements: vb.iter().map(E::g1_mul_gen).collect(),
-        }
+        Ok(ModifiedIpeToken {
+            elements: E::g1_mul_gen_batch(&vb),
+        })
     }
 
     /// Encrypt payload vector `ω` with fresh `γ₁`.
+    ///
+    /// The `base_dim + 2` ciphertext exponentiations — the whole
+    /// `SJ.Enc` cost of a row — ride one [`Engine::g2_mul_gen_batch`]
+    /// call.
     pub fn encrypt(
         msk: &ModifiedIpeMasterKey<E>,
         omega: &[Fr],
         rng: &mut dyn RandomSource,
-    ) -> ModifiedIpeCiphertext<E> {
-        assert_eq!(omega.len(), msk.base_dim, "ciphertext vector dimension");
+    ) -> Result<ModifiedIpeCiphertext<E>, DimensionMismatch> {
+        // audit-allow(ct-discipline): branches on the vector's public length, never its contents
+        if omega.len() != msk.base_dim {
+            return Err(DimensionMismatch {
+                what: "ciphertext vector",
+                expected: msk.base_dim,
+                got: omega.len(),
+            });
+        }
         let gamma1 = Fr::random(rng);
         let mut w = omega.to_vec();
         w.push(gamma1);
         w.push(Fr::zero());
         let wb = msk.b_star.row_vec_mul(&w);
-        ModifiedIpeCiphertext {
-            elements: wb.iter().map(E::g2_mul_gen).collect(),
-        }
+        Ok(ModifiedIpeCiphertext {
+            elements: E::g2_mul_gen_batch(&wb),
+        })
     }
 
     /// Decrypt: `D = ∏ᵢ e(Tkᵢ, Cᵢ) = e(g1,g2)^{det(B)·⟨ν,ω⟩}`.
@@ -176,8 +199,8 @@ mod tests {
         let msk = ModifiedIpe::<MockEngine>::setup(5, &mut r);
         let nu = rand_vec(5, &mut r);
         let omega = rand_vec(5, &mut r);
-        let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r);
-        let ct = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega, &mut r);
+        let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r).unwrap();
+        let ct = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega, &mut r).unwrap();
         let d = ModifiedIpe::<MockEngine>::decrypt(&tk, &ct);
         assert_eq!(d.0, msk.det_b() * inner_product(&nu, &omega));
     }
@@ -193,16 +216,16 @@ mod tests {
         // Adjust last coordinate of ω₂ so the inner products match.
         let diff = inner_product(&nu, &omega1) - inner_product(&nu, &omega2);
         omega2[2] += diff * nu[2].invert().unwrap();
-        let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r);
-        let ct1 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega1, &mut r);
-        let ct2 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega2, &mut r);
+        let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r).unwrap();
+        let ct1 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega1, &mut r).unwrap();
+        let ct2 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega2, &mut r).unwrap();
         assert_eq!(
             ModifiedIpe::<MockEngine>::decrypt(&tk, &ct1),
             ModifiedIpe::<MockEngine>::decrypt(&tk, &ct2)
         );
         // Perturb ω₂: decryption diverges.
         omega1[0] += Fr::one();
-        let ct3 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega1, &mut r);
+        let ct3 = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega1, &mut r).unwrap();
         assert_ne!(
             ModifiedIpe::<MockEngine>::decrypt(&tk, &ct1),
             ModifiedIpe::<MockEngine>::decrypt(&tk, &ct3)
@@ -222,14 +245,14 @@ mod tests {
         let w2 = vec![Fr::from_u64(1), Fr::from_u64(8)]; // ⟨ν,w⟩ = 11
         let w3 = vec![Fr::from_u64(1), Fr::from_u64(9)]; // ⟨ν,w⟩ = 12
         for (same, other) in [(true, &w2), (false, &w3)] {
-            let tk_m = ModifiedIpe::<MockEngine>::token(&msk_m, &nu, &mut r);
-            let c1_m = ModifiedIpe::<MockEngine>::encrypt(&msk_m, &w1, &mut r);
-            let c2_m = ModifiedIpe::<MockEngine>::encrypt(&msk_m, other, &mut r);
+            let tk_m = ModifiedIpe::<MockEngine>::token(&msk_m, &nu, &mut r).unwrap();
+            let c1_m = ModifiedIpe::<MockEngine>::encrypt(&msk_m, &w1, &mut r).unwrap();
+            let c2_m = ModifiedIpe::<MockEngine>::encrypt(&msk_m, other, &mut r).unwrap();
             let mock_match = ModifiedIpe::<MockEngine>::decrypt(&tk_m, &c1_m)
                 == ModifiedIpe::<MockEngine>::decrypt(&tk_m, &c2_m);
-            let tk_b = ModifiedIpe::<Bls12>::token(&msk_b, &nu, &mut r2);
-            let c1_b = ModifiedIpe::<Bls12>::encrypt(&msk_b, &w1, &mut r2);
-            let c2_b = ModifiedIpe::<Bls12>::encrypt(&msk_b, other, &mut r2);
+            let tk_b = ModifiedIpe::<Bls12>::token(&msk_b, &nu, &mut r2).unwrap();
+            let c1_b = ModifiedIpe::<Bls12>::encrypt(&msk_b, &w1, &mut r2).unwrap();
+            let c2_b = ModifiedIpe::<Bls12>::encrypt(&msk_b, other, &mut r2).unwrap();
             let bls_match = ModifiedIpe::<Bls12>::decrypt(&tk_b, &c1_b)
                 == ModifiedIpe::<Bls12>::decrypt(&tk_b, &c2_b);
             assert_eq!(mock_match, same);
@@ -243,11 +266,11 @@ mod tests {
             let mut r = ChaChaRng::seed_from_u64(seed);
             let msk = ModifiedIpe::<E>::setup(3, &mut r);
             let nu = rand_vec(3, &mut r);
-            let tk = ModifiedIpe::<E>::token(&msk, &nu, &mut r);
+            let tk = ModifiedIpe::<E>::token(&msk, &nu, &mut r).unwrap();
             let cts: Vec<_> = (0..4)
                 .map(|_| {
                     let omega = rand_vec(3, &mut r);
-                    ModifiedIpe::<E>::encrypt(&msk, &omega, &mut r)
+                    ModifiedIpe::<E>::encrypt(&msk, &omega, &mut r).unwrap()
                 })
                 .collect();
             let prepared: Vec<_> = cts.iter().map(ModifiedIpe::<E>::prepare).collect();
@@ -269,15 +292,29 @@ mod tests {
     }
 
     #[test]
+    fn dimension_mismatch_is_a_typed_error() {
+        let mut r = rng();
+        let msk = ModifiedIpe::<MockEngine>::setup(3, &mut r);
+        let err = ModifiedIpe::<MockEngine>::token(&msk, &rand_vec(2, &mut r), &mut r).unwrap_err();
+        assert_eq!((err.what, err.expected, err.got), ("token vector", 3, 2));
+        let err =
+            ModifiedIpe::<MockEngine>::encrypt(&msk, &rand_vec(4, &mut r), &mut r).unwrap_err();
+        assert_eq!(
+            (err.what, err.expected, err.got),
+            ("ciphertext vector", 3, 4)
+        );
+    }
+
+    #[test]
     fn tokens_and_ciphertexts_are_randomized() {
         let mut r = rng();
         let msk = ModifiedIpe::<MockEngine>::setup(2, &mut r);
         let nu = rand_vec(2, &mut r);
-        let tk1 = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r);
-        let tk2 = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r);
+        let tk1 = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r).unwrap();
+        let tk2 = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r).unwrap();
         assert_ne!(tk1.elements, tk2.elements, "δ must randomize tokens");
-        let ct1 = ModifiedIpe::<MockEngine>::encrypt(&msk, &nu, &mut r);
-        let ct2 = ModifiedIpe::<MockEngine>::encrypt(&msk, &nu, &mut r);
+        let ct1 = ModifiedIpe::<MockEngine>::encrypt(&msk, &nu, &mut r).unwrap();
+        let ct2 = ModifiedIpe::<MockEngine>::encrypt(&msk, &nu, &mut r).unwrap();
         assert_ne!(ct1.elements, ct2.elements, "γ₁ must randomize ciphertexts");
     }
 
@@ -291,8 +328,8 @@ mod tests {
         let omega = rand_vec(4, &mut r);
         let expect = msk.det_b() * inner_product(&nu, &omega);
         for _ in 0..5 {
-            let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r);
-            let ct = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega, &mut r);
+            let tk = ModifiedIpe::<MockEngine>::token(&msk, &nu, &mut r).unwrap();
+            let ct = ModifiedIpe::<MockEngine>::encrypt(&msk, &omega, &mut r).unwrap();
             assert_eq!(ModifiedIpe::<MockEngine>::decrypt(&tk, &ct).0, expect);
         }
     }

@@ -36,6 +36,48 @@ pub trait Engine: 'static + Clone + Copy + Debug + Send + Sync {
     /// `g2^s` for the fixed generator (fixed-base optimized).
     fn g2_mul_gen(s: &Fr) -> Self::G2;
 
+    /// Batch form of [`Engine::g1_mul_gen`]: engines may share the
+    /// affine-normalization inversions across the whole slice
+    /// (Montgomery's trick — the BLS engine pays one inversion per call
+    /// instead of one per scalar). Output order matches `scalars`. The
+    /// default falls back to per-scalar calls but still counts the
+    /// batch, so op-counter audits see the intended path either way.
+    fn g1_mul_gen_batch(scalars: &[Fr]) -> Vec<Self::G1> {
+        crate::ops::count_batched_fixed_base_muls(scalars.len() as u64);
+        scalars.iter().map(Self::g1_mul_gen).collect()
+    }
+    /// Batch form of [`Engine::g2_mul_gen`]; see
+    /// [`Engine::g1_mul_gen_batch`].
+    fn g2_mul_gen_batch(scalars: &[Fr]) -> Vec<Self::G2> {
+        crate::ops::count_batched_fixed_base_muls(scalars.len() as u64);
+        scalars.iter().map(Self::g2_mul_gen).collect()
+    }
+    /// Multi-scalar multiplication `Σ sᵢ·pᵢ` in `G1` (slices must have
+    /// equal length). The BLS engine runs Pippenger's bucket method
+    /// ([`crate::scalar_mul::msm`]); the default folds per-point muls.
+    fn g1_msm(points: &[Self::G1], scalars: &[Fr]) -> Self::G1 {
+        assert_eq!(points.len(), scalars.len(), "msm length mismatch");
+        crate::ops::count_msm_points(points.len() as u64);
+        points
+            .iter()
+            .zip(scalars)
+            .fold(Self::g1_identity(), |acc, (p, s)| {
+                Self::g1_add(&acc, &Self::g1_mul(p, s))
+            })
+    }
+    /// Multi-scalar multiplication `Σ sᵢ·qᵢ` in `G2`; see
+    /// [`Engine::g1_msm`].
+    fn g2_msm(points: &[Self::G2], scalars: &[Fr]) -> Self::G2 {
+        assert_eq!(points.len(), scalars.len(), "msm length mismatch");
+        crate::ops::count_msm_points(points.len() as u64);
+        points
+            .iter()
+            .zip(scalars)
+            .fold(Self::g2_identity(), |acc, (q, s)| {
+                Self::g2_add(&acc, &Self::g2_mul(q, s))
+            })
+    }
+
     /// Identity of `G1`.
     fn g1_identity() -> Self::G1;
     /// Identity of `G2`.
@@ -136,6 +178,22 @@ impl Engine for Bls12 {
 
     fn g2_mul_gen(s: &Fr) -> G2Affine {
         g2_table().mul(s).to_affine()
+    }
+
+    fn g1_mul_gen_batch(scalars: &[Fr]) -> Vec<G1Affine> {
+        g1_table().mul_batch(scalars)
+    }
+
+    fn g2_mul_gen_batch(scalars: &[Fr]) -> Vec<G2Affine> {
+        g2_table().mul_batch(scalars)
+    }
+
+    fn g1_msm(points: &[G1Affine], scalars: &[Fr]) -> G1Affine {
+        crate::scalar_mul::msm(points, scalars).to_affine()
+    }
+
+    fn g2_msm(points: &[G2Affine], scalars: &[Fr]) -> G2Affine {
+        crate::scalar_mul::msm(points, scalars).to_affine()
     }
 
     fn g1_identity() -> G1Affine {
@@ -281,6 +339,58 @@ mod tests {
             Bls12::g1_mul_gen(&(-Fr::one())),
             g1::generator().neg().to_affine()
         );
+    }
+
+    #[test]
+    fn batch_mul_gen_matches_per_scalar() {
+        let mut rng = ChaChaRng::seed_from_u64(65);
+        let mut scalars: Vec<Fr> = (0..7).map(|_| Fr::random(&mut rng)).collect();
+        scalars.push(Fr::zero());
+        scalars.push(Fr::one());
+        scalars.push(-Fr::one());
+        let g1s = Bls12::g1_mul_gen_batch(&scalars);
+        let g2s = Bls12::g2_mul_gen_batch(&scalars);
+        for (i, s) in scalars.iter().enumerate() {
+            assert_eq!(g1s[i], Bls12::g1_mul_gen(s));
+            assert_eq!(g2s[i], Bls12::g2_mul_gen(s));
+        }
+        assert!(Bls12::g1_mul_gen_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn engine_msm_matches_fold() {
+        let mut rng = ChaChaRng::seed_from_u64(66);
+        let points: Vec<G1Affine> = (0..5)
+            .map(|_| Bls12::g1_mul_gen(&Fr::random(&mut rng)))
+            .collect();
+        let scalars: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        let mut expect = Bls12::g1_identity();
+        for (p, s) in points.iter().zip(&scalars) {
+            expect = Bls12::g1_add(&expect, &Bls12::g1_mul(p, s));
+        }
+        assert_eq!(Bls12::g1_msm(&points, &scalars), expect);
+
+        let q: Vec<G2Affine> = (0..3)
+            .map(|_| Bls12::g2_mul_gen(&Fr::random(&mut rng)))
+            .collect();
+        let qs: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
+        let mut expect2 = Bls12::g2_identity();
+        for (p, s) in q.iter().zip(&qs) {
+            expect2 = Bls12::g2_add(&expect2, &Bls12::g2_mul(p, s));
+        }
+        assert_eq!(Bls12::g2_msm(&q, &qs), expect2);
+    }
+
+    #[test]
+    fn batch_counters_audit_the_batched_path() {
+        let before = crate::ops::snapshot();
+        let scalars = vec![Fr::from_u64(3); 4];
+        let _ = Bls12::g1_mul_gen_batch(&scalars);
+        let points: Vec<G1Affine> = vec![Bls12::g1_mul_gen(&Fr::one()); 2];
+        let _ = Bls12::g1_msm(&points, &[Fr::from_u64(5), Fr::from_u64(9)]);
+        let delta = crate::ops::snapshot().since(&before);
+        assert!(delta.batched_fixed_base_muls >= 4);
+        assert!(delta.msm_points >= 2);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static FIXED_BASE_MULS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_FIXED_BASE_MULS: AtomicU64 = AtomicU64::new(0);
 static VARIABLE_BASE_MULS: AtomicU64 = AtomicU64::new(0);
+static MSM_POINTS: AtomicU64 = AtomicU64::new(0);
 static PAIRINGS: AtomicU64 = AtomicU64::new(0);
 static MILLER_PAIRS: AtomicU64 = AtomicU64::new(0);
 static PREPARED_MILLER_PAIRS: AtomicU64 = AtomicU64::new(0);
@@ -26,10 +28,21 @@ static CYCLOTOMIC_SQUARES: AtomicU64 = AtomicU64::new(0);
 /// A snapshot of the cumulative operation counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
-    /// Fixed-base generator exponentiations (comb-table `g1`/`g2`).
+    /// Fixed-base generator exponentiations (comb-table `g1`/`g2`),
+    /// each paying its own affine normalization (one field inversion).
     pub fixed_base_muls: u64,
+    /// Fixed-base exponentiations that went through the *batched* path
+    /// ([`crate::scalar_mul::FixedBaseTable::mul_batch`]): a batch of
+    /// `n` adds `n` here but shares a **single** Montgomery-trick
+    /// inversion across the whole batch, so `fixed_base_muls` staying
+    /// flat while this grows is the counter-level proof that ingest
+    /// amortized its normalizations.
+    pub batched_fixed_base_muls: u64,
     /// Variable-base scalar multiplications (wNAF).
     pub variable_base_muls: u64,
+    /// Points fed through Pippenger multi-scalar multiplications
+    /// ([`crate::scalar_mul::msm`]); an `n`-point sum adds `n`.
+    pub msm_points: u64,
     /// Pairing evaluations (each = one Miller loop + one final
     /// exponentiation; a multi-pairing counts once).
     pub pairings: u64,
@@ -58,9 +71,13 @@ impl OpCounts {
     pub fn since(&self, earlier: &OpCounts) -> OpCounts {
         OpCounts {
             fixed_base_muls: self.fixed_base_muls.saturating_sub(earlier.fixed_base_muls),
+            batched_fixed_base_muls: self
+                .batched_fixed_base_muls
+                .saturating_sub(earlier.batched_fixed_base_muls),
             variable_base_muls: self
                 .variable_base_muls
                 .saturating_sub(earlier.variable_base_muls),
+            msm_points: self.msm_points.saturating_sub(earlier.msm_points),
             pairings: self.pairings.saturating_sub(earlier.pairings),
             miller_pairs: self.miller_pairs.saturating_sub(earlier.miller_pairs),
             prepared_miller_pairs: self
@@ -79,7 +96,9 @@ impl OpCounts {
 pub fn snapshot() -> OpCounts {
     OpCounts {
         fixed_base_muls: FIXED_BASE_MULS.load(Ordering::Relaxed),
+        batched_fixed_base_muls: BATCHED_FIXED_BASE_MULS.load(Ordering::Relaxed),
         variable_base_muls: VARIABLE_BASE_MULS.load(Ordering::Relaxed),
+        msm_points: MSM_POINTS.load(Ordering::Relaxed),
         pairings: PAIRINGS.load(Ordering::Relaxed),
         miller_pairs: MILLER_PAIRS.load(Ordering::Relaxed),
         prepared_miller_pairs: PREPARED_MILLER_PAIRS.load(Ordering::Relaxed),
@@ -95,8 +114,18 @@ pub(crate) fn count_fixed_base_mul() {
 }
 
 #[inline]
+pub(crate) fn count_batched_fixed_base_muls(n: u64) {
+    BATCHED_FIXED_BASE_MULS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[inline]
 pub(crate) fn count_variable_base_mul() {
     VARIABLE_BASE_MULS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_msm_points(n: u64) {
+    MSM_POINTS.fetch_add(n, Ordering::Relaxed);
 }
 
 #[inline]
@@ -135,7 +164,9 @@ mod tests {
     fn snapshot_deltas_track_increments() {
         let before = snapshot();
         count_fixed_base_mul();
+        count_batched_fixed_base_muls(6);
         count_variable_base_mul();
+        count_msm_points(5);
         count_pairing(3);
         count_prepared_pairing(2);
         count_g2_prepares(4);
@@ -145,7 +176,9 @@ mod tests {
         // Other tests run concurrently and also bump the globals, so
         // assert lower bounds only.
         assert!(delta.fixed_base_muls >= 1);
+        assert!(delta.batched_fixed_base_muls >= 6);
         assert!(delta.variable_base_muls >= 1);
+        assert!(delta.msm_points >= 5);
         assert!(delta.pairings >= 2);
         assert!(delta.miller_pairs >= 5);
         assert!(delta.prepared_miller_pairs >= 2);

@@ -185,10 +185,20 @@ pub enum ParsedStatement {
         /// Row ids to delete.
         rows: Vec<u64>,
     },
+    /// `COPY t FROM VALUES (…), (…)` — the bulk-load statement. Same
+    /// literal-rows shape as `INSERT INTO`, but the session streams the
+    /// rows to the server in self-describing chunks over the COPY wire
+    /// path instead of one append request.
+    Copy {
+        /// Target table.
+        table: String,
+        /// Literal rows, in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
 }
 
-/// Parse a full statement: `SELECT …`, `INSERT INTO …` or
-/// `DELETE FROM …`.
+/// Parse a full statement: `SELECT …`, `INSERT INTO …`,
+/// `DELETE FROM …` or `COPY … FROM VALUES …`.
 pub fn parse_statement(input: &str) -> Result<ParsedStatement, SqlError> {
     let tokens = tokenize(input)?;
     match tokens.first() {
@@ -198,16 +208,16 @@ pub fn parse_statement(input: &str) -> Result<ParsedStatement, SqlError> {
         Some((Token::Ident(w), _)) if w.eq_ignore_ascii_case("DELETE") => {
             parse_delete(Parser { tokens, pos: 0 })
         }
+        Some((Token::Ident(w), _)) if w.eq_ignore_ascii_case("COPY") => {
+            parse_copy(Parser { tokens, pos: 0 })
+        }
         _ => parse(input).map(ParsedStatement::Select),
     }
 }
 
-/// `INSERT INTO t VALUES (v, …) [, (v, …)]* [;]`
-fn parse_insert(mut p: Parser) -> Result<ParsedStatement, SqlError> {
-    p.expect_keyword("INSERT")?;
-    p.expect_keyword("INTO")?;
-    let table = p.ident()?;
-    p.expect_keyword("VALUES")?;
+/// `(v, …) [, (v, …)]*` — the literal rows shared by `INSERT INTO` and
+/// `COPY`. All rows must agree on arity.
+fn parse_values_rows(p: &mut Parser) -> Result<Vec<Vec<Value>>, SqlError> {
     let mut rows: Vec<Vec<Value>> = Vec::new();
     loop {
         p.expect(&Token::LParen)?;
@@ -234,8 +244,29 @@ fn parse_insert(mut p: Parser) -> Result<ParsedStatement, SqlError> {
             break;
         }
     }
+    Ok(rows)
+}
+
+/// `INSERT INTO t VALUES (v, …) [, (v, …)]* [;]`
+fn parse_insert(mut p: Parser) -> Result<ParsedStatement, SqlError> {
+    p.expect_keyword("INSERT")?;
+    p.expect_keyword("INTO")?;
+    let table = p.ident()?;
+    p.expect_keyword("VALUES")?;
+    let rows = parse_values_rows(&mut p)?;
     p.finish_statement()?;
     Ok(ParsedStatement::Insert { table, rows })
+}
+
+/// `COPY t FROM VALUES (v, …) [, (v, …)]* [;]`
+fn parse_copy(mut p: Parser) -> Result<ParsedStatement, SqlError> {
+    p.expect_keyword("COPY")?;
+    let table = p.ident()?;
+    p.expect_keyword("FROM")?;
+    p.expect_keyword("VALUES")?;
+    let rows = parse_values_rows(&mut p)?;
+    p.finish_statement()?;
+    Ok(ParsedStatement::Copy { table, rows })
 }
 
 /// `DELETE FROM t WHERE rowid (= n | IN (n, …)) [;]`

@@ -75,6 +75,21 @@ impl SqlPlanner for SqlFrontend {
                 }
                 Ok(SqlStatement::Delete { table, rows })
             }
+            ParsedStatement::Copy { table, rows } => {
+                let cols = catalog
+                    .get(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                for row in &rows {
+                    if row.len() != cols.len() {
+                        return Err(DbError::Sql(format!(
+                            "COPY {table}: row has {} values, table has {} columns",
+                            row.len(),
+                            cols.len()
+                        )));
+                    }
+                }
+                Ok(SqlStatement::Copy { table, rows })
+            }
         }
     }
 }

@@ -68,8 +68,13 @@ fn drain(addr: SocketAddr) {
     }
 }
 
+/// The obs registry is process-global and both tests assert counter
+/// DELTAS — running them concurrently would race each other's moves.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn live_scrape_matches_client_and_server_counters() {
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // The full deployment shape of `eqjoind --net epoll --metrics-addr`:
     // reactor + tenant registry + scrape listener, all in-process.
     let server = NetServer::bind("127.0.0.1:0").unwrap();
@@ -205,4 +210,113 @@ fn live_scrape_matches_client_and_server_counters() {
     eqjoin::obs::registry().register_source("metrics_scrape_test", Box::new(Vec::new));
     drain(addr);
     reactor.join().unwrap().unwrap();
+}
+
+/// The O(delta) persistence plane is scrape-visible: journal appends
+/// feed a size histogram, deferred snapshot rewrites count, and a
+/// compaction shows up in both the flush counter and the compaction
+/// latency histogram.
+#[test]
+fn persistence_metrics_are_scrape_visible() {
+    use eqjoin::db::{DbClient, LocalBackend, Schema, Table, Value};
+
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (scrape_addr, metrics_server) =
+        eqjoin::obs::MetricsServer::spawn("127.0.0.1:0", Arc::new(eqjoin::obs::exposition))
+            .unwrap();
+    let scrape = || eqjoin::obs::serve::scrape_once(scrape_addr).unwrap();
+
+    let before = scrape();
+    let appends_before = series_value(&before, "eqjoin_store_journal_append_bytes_count");
+    let append_sum_before = series_value(&before, "eqjoin_store_journal_append_bytes_sum");
+    let deferred_before = series_value(&before, "eqjoin_store_snapshot_deferred_total");
+    let ingested_before = series_value(&before, "eqjoin_rows_ingested_total");
+    let flushes_before = series_value(&before, "eqjoin_store_snapshot_flushes_total");
+    let compactions_before = series_value(&before, "eqjoin_store_compaction_seconds_count");
+
+    let mut client = DbClient::<MockEngine>::new(1, 2, 41);
+    let mut t = Table::new(Schema::new("T", &["k", "a"]));
+    for i in 0..4i64 {
+        t.push_row(vec![Value::Int(i % 2), Value::Str(format!("s{i}"))]);
+    }
+    let enc = client
+        .encrypt_table(
+            &t,
+            TableConfig {
+                join_column: "k".into(),
+                filter_columns: vec!["a".into()],
+            },
+        )
+        .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("eqjoin-scrape-odelta-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("store.snap");
+    let backend = LocalBackend::<MockEngine>::with_persistence(&snap, None, None, 1 << 20).unwrap();
+    backend.handle(Request::InsertTable(enc));
+    let (start_row, rows) = client
+        .encrypt_rows("T", &[vec![Value::Int(1), Value::Str("n".into())]])
+        .unwrap();
+    backend.handle(Request::InsertRows {
+        table: "T".into(),
+        start_row,
+        rows,
+    });
+    // One COPY bulk-load chunk rides the same journal/deferral plane.
+    let (start_row, rows) = client
+        .encrypt_rows("T", &[vec![Value::Int(0), Value::Str("c".into())]])
+        .unwrap();
+    backend.handle(Request::CopyRows {
+        table: "T".into(),
+        join_column: "k".into(),
+        filter_columns: vec!["a".into()],
+        start_row,
+        rows,
+    });
+
+    // Three deferred mutations: three journal appends, three deferrals,
+    // zero snapshot flushes.
+    let mid = scrape();
+    assert_eq!(
+        (series_value(&mid, "eqjoin_store_journal_append_bytes_count") - appends_before) as u64,
+        3,
+        "every journaled intent records its append size"
+    );
+    assert_eq!(
+        (series_value(&mid, "eqjoin_rows_ingested_total") - ingested_before) as u64,
+        6,
+        "4 uploaded + 1 appended + 1 copied rows count as ingested"
+    );
+    assert!(
+        series_value(&mid, "eqjoin_store_journal_append_bytes_sum") > append_sum_before,
+        "append sizes accumulate in the histogram sum"
+    );
+    assert_eq!(
+        (series_value(&mid, "eqjoin_store_snapshot_deferred_total") - deferred_before) as u64,
+        3,
+        "each sub-threshold mutation counts one deferred snapshot rewrite"
+    );
+    assert_eq!(
+        (series_value(&mid, "eqjoin_store_snapshot_flushes_total") - flushes_before) as u64,
+        0,
+        "no snapshot was rewritten below the threshold"
+    );
+
+    // Forced compaction: one flush, one compaction latency sample.
+    backend.flush().unwrap();
+    let after = scrape();
+    assert_eq!(
+        (series_value(&after, "eqjoin_store_snapshot_flushes_total") - flushes_before) as u64,
+        1,
+        "the forced flush compacted exactly once"
+    );
+    assert_eq!(
+        (series_value(&after, "eqjoin_store_compaction_seconds_count") - compactions_before) as u64,
+        1,
+        "the compaction latency histogram saw the flush"
+    );
+
+    metrics_server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -234,6 +234,42 @@ proptest! {
     }
 
     #[test]
+    fn copy_rows_requests_round_trip_and_reject_truncation(
+        name_id in 0u64..4,
+        start_row in 0u64..1_000_000,
+        rows in proptest::collection::vec((0u64..1_000_000, 0u64..6, 0u64..40), 0..8),
+        tagged in 0u64..2,
+        total in 0u64..1_000_000,
+    ) {
+        // The self-describing bulk-load chunk: table metadata rides in
+        // every frame, and a zero-row chunk (pure "create table") is
+        // wire-legal.
+        let t = table(name_id, &rows, tagged == 1);
+        let request = Req::CopyRows {
+            table: t.name.clone(),
+            join_column: t.join_column.clone(),
+            filter_columns: t.filter_columns.clone(),
+            start_row,
+            rows: t.rows,
+        };
+        assert_request_round_trips(&request);
+        assert_prefixes_rejected(&request.to_bytes(), request_rejected);
+        // Chunks pipeline inside a batch.
+        assert_request_round_trips(&Request::Batch(vec![Request::Ping, request.clone()]));
+
+        let response = Response::CopyRows {
+            table: t.name,
+            rows: rows.len(),
+            total_rows: total,
+        };
+        assert_response_round_trips(&response);
+        assert_prefixes_rejected(&response.to_bytes(), response_rejected);
+        let mut long = response.to_bytes();
+        long.push(0);
+        prop_assert!(Response::from_bytes(&long).is_err());
+    }
+
+    #[test]
     fn execute_join_requests_round_trip_and_reject_truncation(
         query_id in 0u64..1_000,
         seeds in proptest::collection::vec(0u64..1_000_000, 1..8),
@@ -316,7 +352,7 @@ proptest! {
 
     #[test]
     fn oversized_length_fields_error_without_allocating(
-        tag_byte in 0u64..9,
+        tag_byte in 0u64..10,
         len in (1u64 << 32)..(1u64 << 62),
     ) {
         // A message whose first length field claims up to 2^62 bytes:

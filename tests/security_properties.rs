@@ -34,8 +34,8 @@ fn run_trial(trial: &Trial, rng: &mut ChaChaRng, counter: u64) -> bool {
     };
     let row_a = RowEncoding::from_bytes(join_a.as_bytes(), &[b"attrA".to_vec(), b"other".to_vec()]);
     let row_b = RowEncoding::from_bytes(join_b.as_bytes(), &[b"attrB".to_vec(), b"other".to_vec()]);
-    let ct_a = Sj::encrypt_row(&msk, &row_a, rng);
-    let ct_b = Sj::encrypt_row(&msk, &row_b, rng);
+    let ct_a = Sj::encrypt_row(&msk, &row_a, rng).unwrap();
+    let ct_b = Sj::encrypt_row(&msk, &row_b, rng).unwrap();
 
     let k1 = Sj::fresh_query_key(rng);
     let k2 = if trial.same_query {
@@ -53,8 +53,8 @@ fn run_trial(trial: &Trial, rng: &mut ChaChaRng, counter: u64) -> bool {
         };
         vec![Some(vec![target]), None]
     };
-    let tk_a = Sj::token_gen(&msk, SjTableSide::A, &k1, &filt(trial.sel_a, b"attrA"), rng);
-    let tk_b = Sj::token_gen(&msk, SjTableSide::B, &k2, &filt(trial.sel_b, b"attrB"), rng);
+    let tk_a = Sj::token_gen(&msk, SjTableSide::A, &k1, &filt(trial.sel_a, b"attrA"), rng).unwrap();
+    let tk_b = Sj::token_gen(&msk, SjTableSide::B, &k2, &filt(trial.sel_b, b"attrB"), rng).unwrap();
 
     let da = Sj::decrypt(&tk_a, &ct_a);
     let db = Sj::decrypt(&tk_b, &ct_b);
@@ -121,12 +121,13 @@ fn corollary_5_2_1_selection_restricts_leakage() {
         &k,
         &[Some(vec![embed_attribute(b"selected")])],
         &mut rng,
-    );
+    )
+    .unwrap();
     // 30 rows, all with the SAME join value but a non-selected attribute.
     let ds: Vec<_> = (0..30)
         .map(|_| {
             let row = RowEncoding::from_bytes(b"shared-join", &[b"NOT-selected".to_vec()]);
-            let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+            let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
             Sj::match_key(&Sj::decrypt(&tk, &ct))
         })
         .collect();
@@ -145,7 +146,7 @@ fn corollary_5_2_2_no_cross_query_linkage() {
     let params = SjParams { m: 1, t: 2 };
     let msk = Sj::setup(params, &mut rng);
     let row = RowEncoding::from_bytes(b"jv", &[b"attr".to_vec()]);
-    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
     let mut seen = std::collections::HashSet::new();
     for _ in 0..200 {
         let k = Sj::fresh_query_key(&mut rng);
@@ -155,7 +156,8 @@ fn corollary_5_2_2_no_cross_query_linkage() {
             &k,
             &[Some(vec![embed_attribute(b"attr")])],
             &mut rng,
-        );
+        )
+        .unwrap();
         let key = Sj::match_key(&Sj::decrypt(&tk, &ct));
         assert!(seen.insert(key), "two queries produced linkable D values");
     }
@@ -171,13 +173,13 @@ fn tokens_hide_the_query_on_reuse() {
     let msk = Sj::setup(params, &mut rng);
     let k = Sj::fresh_query_key(&mut rng);
     let filters = vec![Some(vec![embed_attribute(b"v")])];
-    let tk1 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng);
-    let tk2 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng);
+    let tk1 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng).unwrap();
+    let tk2 = Sj::token_gen(&msk, SjTableSide::A, &k, &filters, &mut rng).unwrap();
     assert_ne!(tk1.elements(), tk2.elements());
     // Yet both decrypt a matching row to the same D (they carry the same
     // k and select the same value).
     let row = RowEncoding::from_bytes(b"j", &[b"v".to_vec()]);
-    let ct = Sj::encrypt_row(&msk, &row, &mut rng);
+    let ct = Sj::encrypt_row(&msk, &row, &mut rng).unwrap();
     assert_eq!(
         Sj::match_key(&Sj::decrypt(&tk1, &ct)),
         Sj::match_key(&Sj::decrypt(&tk2, &ct))

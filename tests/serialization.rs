@@ -41,9 +41,9 @@ fn roundtrip_scheme_artifacts<E: Engine>(seed: u64) {
     let mut rng = ChaChaRng::seed_from_u64(seed);
     let msk = SjOf::<E>::setup(SjParams { m: 2, t: 2 }, &mut rng);
     let row = RowEncoding::from_bytes(b"key", &[b"x".to_vec(), b"y".to_vec()]);
-    let ct = SjOf::<E>::encrypt_row(&msk, &row, &mut rng);
+    let ct = SjOf::<E>::encrypt_row(&msk, &row, &mut rng).unwrap();
     let key = SjOf::<E>::fresh_query_key(&mut rng);
-    let tk = SjOf::<E>::token_gen(&msk, SjTableSide::A, &key, &[None, None], &mut rng);
+    let tk = SjOf::<E>::token_gen(&msk, SjTableSide::A, &key, &[None, None], &mut rng).unwrap();
 
     // Serialize every element, rebuild, and check the decryption value
     // is bit-identical.
